@@ -1,0 +1,49 @@
+//! Bulk-load benchmarks: the paper's k-means construction vs STR packing
+//! (the ablation DESIGN.md calls out), across input sizes.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use colr_tree::{BuildStrategy, ColrConfig, ColrTree, SensorMeta, TimeDelta};
+use colr_workload::PlacementModel;
+use colr_geo::Rect;
+
+fn sensors(n: usize) -> Vec<SensorMeta> {
+    let extent = Rect::from_coords(0.0, 0.0, 4_000.0, 2_500.0);
+    PlacementModel::live_local()
+        .place(extent, n, 1)
+        .into_iter()
+        .enumerate()
+        .map(|(i, loc)| SensorMeta::new(i as u32, loc, TimeDelta::from_mins(10), 0.9))
+        .collect()
+}
+
+fn bench_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("build");
+    group.sample_size(10);
+    for n in [1_000usize, 10_000, 50_000] {
+        let s = sensors(n);
+        group.bench_function(format!("kmeans_{n}"), |b| {
+            b.iter(|| {
+                let config = ColrConfig {
+                    build: BuildStrategy::KMeans { iterations: 8 },
+                    ..Default::default()
+                };
+                black_box(ColrTree::build(s.clone(), config, 1))
+            })
+        });
+        group.bench_function(format!("str_{n}"), |b| {
+            b.iter(|| {
+                let config = ColrConfig {
+                    build: BuildStrategy::Str,
+                    ..Default::default()
+                };
+                black_box(ColrTree::build(s.clone(), config, 1))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_build);
+criterion_main!(benches);

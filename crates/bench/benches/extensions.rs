@@ -1,0 +1,108 @@
+//! Micro-benchmarks of the extension features: per-type filtered lookups,
+//! histogram-enabled slot caches, and IDW model estimation.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+use colr_geo::{Point, Rect};
+use colr_tree::agg::HistogramSpec;
+use colr_tree::probe::AlwaysAvailable;
+use colr_tree::{
+    ColrConfig, ColrTree, IdwModel, Mode, Query, SensorMeta, TimeDelta, Timestamp,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const EXPIRY_MS: u64 = 300_000;
+
+fn typed_tree(side: usize, histograms: bool) -> ColrTree {
+    let sensors: Vec<SensorMeta> = (0..side * side)
+        .map(|i| {
+            SensorMeta::new(
+                i as u32,
+                Point::new((i % side) as f64, (i / side) as f64),
+                TimeDelta::from_millis(EXPIRY_MS),
+                1.0,
+            )
+            .with_kind((i % 4) as u16)
+        })
+        .collect();
+    let config = ColrConfig {
+        slot_histograms: histograms.then_some(HistogramSpec {
+            lo: 0.0,
+            hi: (side * side) as f64,
+            buckets: 16,
+        }),
+        ..Default::default()
+    };
+    ColrTree::build(sensors, config, 7)
+}
+
+fn warmed(mut tree: ColrTree, region: Rect) -> ColrTree {
+    let mut probe = AlwaysAvailable { expiry_ms: EXPIRY_MS };
+    let mut rng = StdRng::seed_from_u64(3);
+    let q = Query::range(region, TimeDelta::from_mins(5)).with_terminal_level(2);
+    tree.execute(&q, Mode::HierCache, &mut probe, Timestamp(1_000), &mut rng);
+    tree
+}
+
+fn bench_extensions(c: &mut Criterion) {
+    let side = 64; // 4096 sensors
+    let region = Rect::from_coords(-0.5, -0.5, (side - 1) as f64 + 0.5, (side - 1) as f64 + 0.5);
+    let mut group = c.benchmark_group("extensions");
+
+    // Warm filtered lookup: served from per-type sub-aggregates.
+    group.bench_function("kind_filtered_warm_lookup", |b| {
+        let mut tree = warmed(typed_tree(side, false), region);
+        let mut probe = AlwaysAvailable { expiry_ms: EXPIRY_MS };
+        let mut rng = StdRng::seed_from_u64(5);
+        let q = Query::range(region, TimeDelta::from_mins(5))
+            .with_terminal_level(2)
+            .with_kind_filter(2);
+        b.iter(|| black_box(tree.execute(&q, Mode::HierCache, &mut probe, Timestamp(2_000), &mut rng)))
+    });
+
+    // Insert cost with and without per-slot histograms.
+    for (name, hist) in [("insert_plain", false), ("insert_with_histograms", true)] {
+        group.bench_function(name, |b| {
+            b.iter_batched(
+                || typed_tree(side, hist),
+                |mut tree| {
+                    for i in 0..200u32 {
+                        let r = colr_tree::Reading {
+                            sensor: colr_tree::SensorId(i * 7 % 4096),
+                            value: i as f64,
+                            timestamp: Timestamp(1_000),
+                            expires_at: Timestamp(1_000 + EXPIRY_MS),
+                        };
+                        tree.insert_reading(r, Timestamp(1_000));
+                    }
+                    black_box(tree.cached_readings())
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+
+    // IDW model estimation over a warm cache.
+    group.bench_function("idw_point_estimate", |b| {
+        let tree = warmed(typed_tree(side, false), region);
+        let model = IdwModel {
+            search_radius: 5.0,
+            ..Default::default()
+        };
+        b.iter(|| {
+            black_box(model.estimate_at(
+                &tree,
+                Point::new(31.5, 31.5),
+                Timestamp(2_000),
+                TimeDelta::from_mins(5),
+            ))
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_extensions);
+criterion_main!(benches);

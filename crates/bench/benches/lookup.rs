@@ -1,0 +1,62 @@
+//! End-to-end lookup throughput per index mode (the Fig 4 latency story at
+//! micro scale): cold vs warm cache, R-Tree vs hierarchical cache vs full
+//! COLR-Tree.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+use colr_bench::{build_tree, scenario};
+use colr_sensors::{RandomWalkField, SimNetwork};
+use colr_tree::{Mode, Query, TimeDelta};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_modes(c: &mut Criterion) {
+    let sc = scenario(false, Some(10), Some(10_000));
+    let mut group = c.benchmark_group("lookup");
+    for (name, mode, sample) in [
+        ("rtree", Mode::RTree, None),
+        ("hier_cold", Mode::HierCache, None),
+        ("colr_cold", Mode::Colr, Some(100.0)),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter_batched(
+                || {
+                    let tree = build_tree(&sc, None);
+                    let field = RandomWalkField::new(sc.sensors.len(), 0.0, 60.0, 2.0, 9);
+                    let net = SimNetwork::new(sc.sensors.clone(), field, 5);
+                    (tree, net, StdRng::seed_from_u64(3))
+                },
+                |(mut tree, mut net, mut rng)| {
+                    let spec = &sc.queries.queries[0];
+                    let mut q = Query::range(spec.rect, TimeDelta::from_mins(5))
+                        .with_terminal_level(3);
+                    if let Some(r) = sample {
+                        q = q.with_sample_size(r);
+                    }
+                    black_box(tree.execute(&q, mode, &mut net, spec.at, &mut rng))
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+
+    // Warm-cache COLR lookup: the cache-hit fast path.
+    group.bench_function("colr_warm", |b| {
+        let mut tree = build_tree(&sc, None);
+        let field = RandomWalkField::new(sc.sensors.len(), 0.0, 60.0, 2.0, 9);
+        let mut net = SimNetwork::new(sc.sensors.clone(), field, 5);
+        let mut rng = StdRng::seed_from_u64(3);
+        let spec = &sc.queries.queries[0];
+        let q = Query::range(spec.rect, TimeDelta::from_mins(5))
+            .with_terminal_level(3)
+            .with_sample_size(100.0);
+        // Warm it once.
+        tree.execute(&q, Mode::Colr, &mut net, spec.at, &mut rng);
+        b.iter(|| black_box(tree.execute(&q, Mode::Colr, &mut net, spec.at, &mut rng)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_modes);
+criterion_main!(benches);

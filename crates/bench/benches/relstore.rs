@@ -1,0 +1,97 @@
+//! Relational-backend benchmarks: trigger-pipeline insert cost and query
+//! cost over the Section VI schema, vs the native arena implementation.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+use colr_geo::{Rect, Region};
+use colr_relstore::RelationalColrTree;
+use colr_tree::probe::AlwaysAvailable;
+use colr_tree::{ColrConfig, ColrTree, Reading, SensorId, SensorMeta, TimeDelta, Timestamp};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const EXPIRY_MS: u64 = 300_000;
+
+fn native_tree(n: usize) -> ColrTree {
+    let side = (n as f64).sqrt() as usize;
+    let sensors: Vec<SensorMeta> = (0..side * side)
+        .map(|i| {
+            SensorMeta::new(
+                i as u32,
+                colr_geo::Point::new((i % side) as f64, (i / side) as f64),
+                TimeDelta::from_millis(EXPIRY_MS),
+                1.0,
+            )
+        })
+        .collect();
+    ColrTree::build(sensors, ColrConfig::default(), 7)
+}
+
+fn reading(sensor: u32, ts: u64) -> Reading {
+    Reading {
+        sensor: SensorId(sensor),
+        value: sensor as f64,
+        timestamp: Timestamp(ts),
+        expires_at: Timestamp(ts + EXPIRY_MS),
+    }
+}
+
+fn bench_insert(c: &mut Criterion) {
+    let tree = native_tree(1_024);
+    let mut group = c.benchmark_group("relstore");
+    group.bench_function("trigger_insert_100", |b| {
+        b.iter_batched(
+            || RelationalColrTree::from_tree(&tree),
+            |mut rel| {
+                for i in 0..100u32 {
+                    rel.insert_reading(reading(i, 1_000), Timestamp(1_000));
+                }
+                black_box(rel.total_cache_rows())
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.bench_function("native_insert_100", |b| {
+        b.iter_batched(
+            || tree.clone(),
+            |mut t| {
+                for i in 0..100u32 {
+                    t.insert_reading(reading(i, 1_000), Timestamp(1_000));
+                }
+                black_box(t.cached_readings())
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.bench_function("query_warm", |b| {
+        let mut rel = RelationalColrTree::from_tree(&tree);
+        let mut probe = AlwaysAvailable { expiry_ms: EXPIRY_MS };
+        let mut rng = StdRng::seed_from_u64(3);
+        let region = Region::Rect(Rect::from_coords(-0.5, -0.5, 15.5, 15.5));
+        rel.query(
+            &region,
+            TimeDelta::from_mins(5),
+            2,
+            None,
+            &mut probe,
+            Timestamp(1_000),
+            &mut rng,
+        );
+        b.iter(|| {
+            black_box(rel.query(
+                &region,
+                TimeDelta::from_mins(5),
+                2,
+                None,
+                &mut probe,
+                Timestamp(2_000),
+                &mut rng,
+            ))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_insert);
+criterion_main!(benches);

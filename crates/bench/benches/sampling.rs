@@ -1,0 +1,65 @@
+//! Layered-sampling micro-benchmarks: cost of Algorithm 1 as a function of
+//! target sample size and region size, versus the full range lookup it
+//! replaces.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+use colr_bench::{build_tree, scenario};
+use colr_geo::Rect;
+use colr_sensors::{RandomWalkField, SimNetwork};
+use colr_tree::{Mode, Query, TimeDelta, Timestamp};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_sample_sizes(c: &mut Criterion) {
+    let sc = scenario(false, Some(1), Some(20_000));
+    let region = {
+        // A region around the densest city: take the bbox of the first 500
+        // sensors as a dense-ish area.
+        let mut r = Rect::point(sc.sensors[0].location);
+        for m in sc.sensors.iter().take(500) {
+            r.expand_to_point(&m.location);
+        }
+        r
+    };
+    let mut group = c.benchmark_group("sampling");
+    for target in [10.0, 100.0, 1_000.0] {
+        group.bench_function(format!("colr_target_{target}"), |b| {
+            b.iter_batched(
+                || {
+                    let tree = build_tree(&sc, None);
+                    let field = RandomWalkField::new(sc.sensors.len(), 0.0, 60.0, 2.0, 9);
+                    let net = SimNetwork::new(sc.sensors.clone(), field, 5);
+                    (tree, net, StdRng::seed_from_u64(3))
+                },
+                |(mut tree, mut net, mut rng)| {
+                    let q = Query::range(region, TimeDelta::from_mins(5))
+                        .with_terminal_level(3)
+                        .with_sample_size(target);
+                    black_box(tree.execute(&q, Mode::Colr, &mut net, Timestamp(1_000), &mut rng))
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    group.bench_function("rtree_full_range", |b| {
+        b.iter_batched(
+            || {
+                let tree = build_tree(&sc, None);
+                let field = RandomWalkField::new(sc.sensors.len(), 0.0, 60.0, 2.0, 9);
+                let net = SimNetwork::new(sc.sensors.clone(), field, 5);
+                (tree, net, StdRng::seed_from_u64(3))
+            },
+            |(mut tree, mut net, mut rng)| {
+                let q = Query::range(region, TimeDelta::from_mins(5)).with_terminal_level(3);
+                black_box(tree.execute(&q, Mode::RTree, &mut net, Timestamp(1_000), &mut rng))
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_sample_sizes);
+criterion_main!(benches);

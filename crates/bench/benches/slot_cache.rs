@@ -1,0 +1,73 @@
+//! Micro-benchmarks of the slot-cache primitives: insert, lookup (usable),
+//! roll, and decrement-or-rebuild.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+use colr_tree::{SlotCache, SlotConfig, TimeDelta, Timestamp};
+
+fn filled_cache(entries: u64) -> SlotCache {
+    let cfg = SlotConfig::for_window(TimeDelta::from_mins(10), 8);
+    let mut sc = SlotCache::new(cfg);
+    for i in 0..entries {
+        let exp = Timestamp(1_000 + (i * 7_919) % 600_000);
+        sc.insert(exp, Timestamp(500), (i % 100) as f64, 0);
+    }
+    sc
+}
+
+fn bench_insert(c: &mut Criterion) {
+    let cfg = SlotConfig::for_window(TimeDelta::from_mins(10), 8);
+    c.bench_function("slot_cache/insert", |b| {
+        b.iter_batched(
+            || SlotCache::new(cfg),
+            |mut sc| {
+                for i in 0..1_000u64 {
+                    sc.insert(
+                        Timestamp(1_000 + (i * 7_919) % 600_000),
+                        Timestamp(500),
+                        i as f64,
+                        0,
+                    );
+                }
+                black_box(sc.occupied_slots())
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_usable(c: &mut Criterion) {
+    let sc = filled_cache(10_000);
+    c.bench_function("slot_cache/usable_lookup", |b| {
+        b.iter(|| black_box(sc.usable(Timestamp(100_000), TimeDelta::from_mins(10))))
+    });
+}
+
+fn bench_roll(c: &mut Criterion) {
+    c.bench_function("slot_cache/roll", |b| {
+        b.iter_batched(
+            || filled_cache(10_000),
+            |mut sc| black_box(sc.roll_to(4)),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_remove(c: &mut Criterion) {
+    c.bench_function("slot_cache/try_remove", |b| {
+        b.iter_batched(
+            || filled_cache(1_000),
+            |mut sc| {
+                for i in 0..500u64 {
+                    let exp = Timestamp(1_000 + (i * 7_919) % 600_000);
+                    black_box(sc.try_remove(exp, (i % 100) as f64));
+                }
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group!(benches, bench_insert, bench_usable, bench_roll, bench_remove);
+criterion_main!(benches);

@@ -1,0 +1,167 @@
+//! Structural introspection of a built tree.
+//!
+//! Section VII-B of the paper grounds the Fig 3 analysis in a structural
+//! property of the k-means construction: "we verified near uniform
+//! distributions of internal node weights (i.e., number of descendents) per
+//! layer at lower tree layers". This module computes exactly those
+//! statistics so experiments (and users tuning build parameters) can check
+//! them.
+
+use crate::tree::{ColrTree, Node};
+
+/// Summary statistics of node weights at one level.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LevelStats {
+    /// Tree level (root = 0).
+    pub level: u16,
+    /// Number of nodes at the level.
+    pub nodes: usize,
+    /// Minimum node weight.
+    pub min_weight: u64,
+    /// Maximum node weight.
+    pub max_weight: u64,
+    /// Mean node weight.
+    pub mean_weight: f64,
+    /// Coefficient of variation of node weights (stddev / mean); low values
+    /// mean near-uniform weights.
+    pub weight_cv: f64,
+    /// Mean bounding-box diagonal (spatial resolution of the level).
+    pub mean_diameter: f64,
+}
+
+/// Per-level structural statistics of a tree, root first.
+pub fn level_stats(tree: &ColrTree) -> Vec<LevelStats> {
+    let levels = tree.leaf_level() as usize + 1;
+    let mut buckets: Vec<Vec<&Node>> = vec![Vec::new(); levels];
+    for id in tree.node_ids() {
+        let n = tree.node(id);
+        buckets[n.level as usize].push(n);
+    }
+    buckets
+        .iter()
+        .enumerate()
+        .map(|(level, nodes)| {
+            let count = nodes.len();
+            let weights: Vec<f64> = nodes.iter().map(|n| n.weight as f64).collect();
+            let mean = if count == 0 {
+                0.0
+            } else {
+                weights.iter().sum::<f64>() / count as f64
+            };
+            let var = if count == 0 {
+                0.0
+            } else {
+                weights.iter().map(|w| (w - mean) * (w - mean)).sum::<f64>() / count as f64
+            };
+            let cv = if mean > 0.0 { var.sqrt() / mean } else { 0.0 };
+            let mean_diameter = if count == 0 {
+                0.0
+            } else {
+                nodes
+                    .iter()
+                    .map(|n| (n.bbox.width().powi(2) + n.bbox.height().powi(2)).sqrt())
+                    .sum::<f64>()
+                    / count as f64
+            };
+            LevelStats {
+                level: level as u16,
+                nodes: count,
+                min_weight: nodes.iter().map(|n| n.weight).min().unwrap_or(0),
+                max_weight: nodes.iter().map(|n| n.weight).max().unwrap_or(0),
+                mean_weight: mean,
+                weight_cv: cv,
+                mean_diameter,
+            }
+        })
+        .collect()
+}
+
+/// Fanout distribution: number of children per internal node, plus leaves'
+/// sensor counts, as `(internal_fanouts, leaf_fanouts)`.
+pub fn fanouts(tree: &ColrTree) -> (Vec<usize>, Vec<usize>) {
+    let mut internal = Vec::new();
+    let mut leaf = Vec::new();
+    for id in tree.node_ids() {
+        match &tree.node(id).children {
+            crate::tree::Children::Internal(c) => internal.push(c.len()),
+            crate::tree::Children::Leaf(s) => leaf.push(s.len()),
+        }
+    }
+    (internal, leaf)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reading::SensorMeta;
+    use crate::time::TimeDelta;
+    use crate::tree::ColrConfig;
+    use colr_geo::Point;
+
+    fn grid_tree(side: usize) -> ColrTree {
+        let sensors: Vec<SensorMeta> = (0..side * side)
+            .map(|i| {
+                SensorMeta::new(
+                    i as u32,
+                    Point::new((i % side) as f64, (i / side) as f64),
+                    TimeDelta::from_mins(5),
+                    1.0,
+                )
+            })
+            .collect();
+        ColrTree::build(sensors, ColrConfig::default(), 42)
+    }
+
+    #[test]
+    fn level_stats_cover_every_level() {
+        let tree = grid_tree(30); // 900 sensors
+        let stats = level_stats(&tree);
+        assert_eq!(stats.len(), tree.leaf_level() as usize + 1);
+        assert_eq!(stats[0].nodes, 1, "one root");
+        assert_eq!(stats[0].mean_weight, 900.0);
+        // Node counts grow with depth; weights shrink.
+        for pair in stats.windows(2) {
+            assert!(pair[1].nodes >= pair[0].nodes);
+            assert!(pair[1].mean_weight <= pair[0].mean_weight);
+            assert!(pair[1].mean_diameter <= pair[0].mean_diameter + 1e-9);
+        }
+    }
+
+    #[test]
+    fn kmeans_weights_are_near_uniform_at_lower_layers() {
+        // The paper's VII-B observation: CV of node weights at the lower
+        // layers is small for k-means-built trees on uniform data.
+        let tree = grid_tree(40); // 1600 sensors
+        let stats = level_stats(&tree);
+        let leaf_stats = stats.last().unwrap();
+        assert!(
+            leaf_stats.weight_cv < 0.6,
+            "leaf weight CV {} too high for uniform data",
+            leaf_stats.weight_cv
+        );
+    }
+
+    #[test]
+    fn fanouts_account_for_every_node() {
+        let tree = grid_tree(20);
+        let (internal, leaf) = fanouts(&tree);
+        assert_eq!(internal.len() + leaf.len(), tree.node_count());
+        let total_sensors: usize = leaf.iter().sum();
+        assert_eq!(total_sensors, 400);
+        assert!(internal.iter().all(|&f| f >= 1));
+    }
+
+    #[test]
+    fn weight_totals_telescope() {
+        let tree = grid_tree(25);
+        let stats = level_stats(&tree);
+        for s in &stats {
+            let total = s.mean_weight * s.nodes as f64;
+            assert!(
+                (total - 625.0).abs() < 1e-6,
+                "level {} total weight {total} != 625",
+                s.level
+            );
+        }
+    }
+}

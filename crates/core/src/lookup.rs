@@ -1,0 +1,724 @@
+//! Range lookup (Section III-C) in the three configurations the paper
+//! evaluates: a plain R-Tree, the hierarchical (slot) cache, and full
+//! COLR-Tree (caching + layered sampling, in [`crate::sampling`]).
+//!
+//! All three share the same top-down traversal: prune nodes whose boxes do
+//! not meet the query region, and complete the descent at *terminal nodes* —
+//! nodes at or below the threshold level `T` that are contained entirely
+//! within the query region. They differ in what happens at (and on the way
+//! to) terminals:
+//!
+//! * [`Mode::RTree`] probes **every** sensor in the region, touching no cache
+//!   — the collection-agnostic baseline;
+//! * [`Mode::HierCache`] stops early at nodes whose slot cache holds a fresh
+//!   aggregate covering all their descendants, uses fresh cached readings at
+//!   leaves, probes only the uncovered sensors, and writes probe results back
+//!   into the cache;
+//! * [`Mode::Colr`] additionally samples (Algorithm 1) so only a target
+//!   number of sensors is ever contacted.
+
+use colr_geo::{Rect, Region};
+use rand::Rng;
+
+use crate::agg::{AggKind, Histogram, PartialAgg};
+use crate::probe::ProbeService;
+use crate::reading::{Reading, SensorId};
+use crate::stats::QueryStats;
+use crate::time::{TimeDelta, Timestamp};
+use crate::tree::{Children, ColrTree, NodeId};
+
+/// A spatio-temporal query against the index.
+#[derive(Debug, Clone)]
+pub struct Query {
+    /// Spatial region of interest.
+    pub region: Region,
+    /// Maximum acceptable staleness of readings (the `S.time BETWEEN
+    /// now()-X AND now()` window).
+    pub staleness: TimeDelta,
+    /// Result threshold level `T`: one result group is produced per node at
+    /// this level (derived from the `CLUSTER` clause / map zoom).
+    pub terminal_level: u16,
+    /// Oversampling level `O` (Algorithm 1): the level at which target sizes
+    /// are scaled up by inverse availability when no fully contained node
+    /// above it has done so.
+    pub oversample_level: u16,
+    /// Target sample size `R` (`SAMPLESIZE` clause); `None` collects from
+    /// every sensor in the region.
+    pub sample_size: Option<f64>,
+    /// Restricts the query to sensors of one registered type (`None` = all
+    /// types). Type-filtered queries are served from the per-type
+    /// sub-aggregates each slot maintains.
+    pub kind_filter: Option<u16>,
+}
+
+impl Query {
+    /// A range query over `region` accepting readings at most `staleness`
+    /// old, with defaults: terminal level 2, oversample level 1, no
+    /// sampling.
+    pub fn range(region: impl Into<Region>, staleness: TimeDelta) -> Query {
+        Query {
+            region: region.into(),
+            staleness,
+            terminal_level: 2,
+            oversample_level: 1,
+            sample_size: None,
+            kind_filter: None,
+        }
+    }
+
+    /// Sets the result threshold level `T`.
+    pub fn with_terminal_level(mut self, t: u16) -> Query {
+        self.terminal_level = t;
+        self
+    }
+
+    /// Sets the oversampling level `O`.
+    pub fn with_oversample_level(mut self, o: u16) -> Query {
+        self.oversample_level = o;
+        self
+    }
+
+    /// Sets the target sample size `R`.
+    pub fn with_sample_size(mut self, r: f64) -> Query {
+        assert!(r >= 0.0, "sample size must be non-negative");
+        self.sample_size = Some(r);
+        self
+    }
+
+    /// Restricts the query to one sensor type.
+    pub fn with_kind_filter(mut self, kind: u16) -> Query {
+        self.kind_filter = Some(kind);
+        self
+    }
+
+    /// `true` when a sensor satisfies both the spatial predicate and the
+    /// type filter.
+    pub fn matches_sensor(&self, meta: &crate::reading::SensorMeta) -> bool {
+        self.kind_filter.is_none_or(|k| meta.kind == k)
+            && self.region.contains_point(&meta.location)
+    }
+}
+
+/// Which index configuration processes the query (Section VII-B's three
+/// setups).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Mode {
+    /// Plain R-Tree: no caching, no sampling.
+    RTree,
+    /// Slot caches + standard range lookup: no sampling.
+    HierCache,
+    /// Full COLR-Tree: caching + layered sampling.
+    Colr,
+}
+
+/// One result group — the per-`CLUSTER` aggregate SensorMap renders as a map
+/// icon.
+#[derive(Debug, Clone)]
+pub struct GroupResult {
+    /// The terminal node that produced the group.
+    pub node: NodeId,
+    /// Its bounding box (the icon's extent).
+    pub bbox: Rect,
+    /// Aggregate over the group's readings.
+    pub agg: PartialAgg,
+    /// Whether the group was answered from a cached aggregate.
+    pub from_cache: bool,
+    /// Target sample size assigned to this terminal (Fig 6's
+    /// `target size(i)`).
+    pub target: f64,
+    /// Number of readings that produced the aggregate (Fig 6's
+    /// `#results(i)`).
+    pub results: u64,
+    /// Value distribution of the group, available for cache-served groups
+    /// when [`crate::tree::ColrConfig::slot_histograms`] is configured
+    /// (groups with raw readings leave this `None`; callers bin the readings
+    /// themselves).
+    pub hist: Option<Histogram>,
+}
+
+/// The full output of one query.
+#[derive(Debug, Clone)]
+pub struct QueryOutput {
+    /// Result groups, one per terminal reached.
+    pub groups: Vec<GroupResult>,
+    /// Raw readings materialised (cached + freshly probed); empty for groups
+    /// answered purely from aggregate caches.
+    pub readings: Vec<Reading>,
+    /// Structural counters.
+    pub stats: QueryStats,
+    /// Modelled processing latency in milliseconds.
+    pub latency_ms: f64,
+}
+
+impl QueryOutput {
+    /// Combines all groups into a single aggregate and finalises it.
+    pub fn aggregate(&self, kind: AggKind) -> Option<f64> {
+        let mut agg = PartialAgg::empty();
+        for g in &self.groups {
+            agg.merge(&g.agg);
+        }
+        agg.finalize(kind)
+    }
+
+    /// Total number of readings represented across groups (cached aggregates
+    /// included by weight).
+    pub fn result_size(&self) -> u64 {
+        self.groups.iter().map(|g| g.agg.count).sum()
+    }
+}
+
+impl ColrTree {
+    /// Processes `query` in the given `mode`, probing sensors through
+    /// `probe`, at simulated instant `now`.
+    ///
+    /// `rng` drives sampling decisions (only used by [`Mode::Colr`]); pass a
+    /// seeded RNG for reproducible runs.
+    pub fn execute<P, R>(
+        &mut self,
+        query: &Query,
+        mode: Mode,
+        probe: &mut P,
+        now: Timestamp,
+        rng: &mut R,
+    ) -> QueryOutput
+    where
+        P: ProbeService + ?Sized,
+        R: Rng + ?Sized,
+    {
+        self.advance(now);
+        let mut out = match mode {
+            Mode::RTree => self.exec_rtree(query, probe, now),
+            Mode::HierCache => self.exec_hier(query, probe, now),
+            Mode::Colr => self.exec_colr(query, probe, now, rng),
+        };
+        out.latency_ms = self.config().cost.latency_ms(&out.stats);
+        out
+    }
+
+    // ------------------------------------------------------------------
+    // Shared helpers
+    // ------------------------------------------------------------------
+
+    /// Walks the subtree of `id`, classifying each sensor matching the query
+    /// (region and type filter) as *cached fresh* (returning its reading) or
+    /// *uncached* (a probe candidate). Counts visited nodes into `stats`.
+    pub(crate) fn terminal_scan(
+        &self,
+        id: NodeId,
+        query: &Query,
+        now: Timestamp,
+        stats: &mut QueryStats,
+    ) -> (Vec<Reading>, Vec<SensorId>) {
+        let region = &query.region;
+        let staleness = query.staleness;
+        let mut cached = Vec::new();
+        let mut candidates = Vec::new();
+        let mut stack = vec![id];
+        let mut first = true;
+        while let Some(cur) = stack.pop() {
+            // The terminal itself was already counted by the caller.
+            if !first {
+                stats.nodes_traversed += 1;
+            }
+            first = false;
+            let node = self.node(cur);
+            if !region.intersects_rect(&node.bbox) {
+                continue;
+            }
+            match &node.children {
+                Children::Leaf(sensors) => {
+                    for &s in sensors {
+                        if !query.matches_sensor(self.sensor(s)) {
+                            continue;
+                        }
+                        match node.entry(s) {
+                            Some(e) if e.reading.is_fresh(now, staleness) => {
+                                cached.push(e.reading);
+                            }
+                            _ => candidates.push(s),
+                        }
+                    }
+                }
+                Children::Internal(children) => stack.extend(children.iter().copied()),
+            }
+        }
+        (cached, candidates)
+    }
+
+    /// Collects every sensor under `id` matching the query, counting the
+    /// subtree nodes visited (excluding `id` itself, which the caller already
+    /// counted).
+    pub(crate) fn collect_region_sensors(
+        &self,
+        id: NodeId,
+        query: &Query,
+        stats: &mut QueryStats,
+    ) -> Vec<SensorId> {
+        let region = &query.region;
+        let mut out = Vec::new();
+        let mut stack = vec![id];
+        let mut first = true;
+        while let Some(cur) = stack.pop() {
+            if !first {
+                stats.nodes_traversed += 1;
+            }
+            first = false;
+            let node = self.node(cur);
+            if !region.intersects_rect(&node.bbox) {
+                continue;
+            }
+            match &node.children {
+                Children::Leaf(sensors) => {
+                    for &s in sensors {
+                        if query.matches_sensor(self.sensor(s)) {
+                            out.push(s);
+                        }
+                    }
+                }
+                Children::Internal(children) => stack.extend(children.iter().copied()),
+            }
+        }
+        out
+    }
+
+    /// Probes `ids`, returning the successful readings; updates `stats`.
+    pub(crate) fn probe_sensors<P: ProbeService + ?Sized>(
+        &mut self,
+        ids: &[SensorId],
+        probe: &mut P,
+        now: Timestamp,
+        stats: &mut QueryStats,
+        cache_results: bool,
+    ) -> Vec<Reading> {
+        if ids.is_empty() {
+            return Vec::new();
+        }
+        let outcomes = probe.probe_batch(ids, now);
+        debug_assert_eq!(outcomes.len(), ids.len());
+        stats.sensors_probed += ids.len() as u64;
+        let mut readings = Vec::with_capacity(ids.len());
+        for outcome in outcomes {
+            match outcome {
+                Some(r) => readings.push(r),
+                None => stats.probes_failed += 1,
+            }
+        }
+        if cache_results {
+            for r in &readings {
+                if self.insert_reading(*r, now) {
+                    stats.cache_inserts += 1;
+                }
+            }
+        }
+        readings
+    }
+
+    fn group_over(node: NodeId, bbox: Rect, readings: &[Reading], target: f64) -> GroupResult {
+        let mut agg = PartialAgg::empty();
+        for r in readings {
+            agg.insert(r.value);
+        }
+        GroupResult {
+            node,
+            bbox,
+            agg,
+            from_cache: false,
+            target,
+            results: readings.len() as u64,
+            hist: None,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Mode::RTree — collection-agnostic baseline
+    // ------------------------------------------------------------------
+
+    fn exec_rtree<P: ProbeService + ?Sized>(
+        &mut self,
+        query: &Query,
+        probe: &mut P,
+        now: Timestamp,
+    ) -> QueryOutput {
+        let terminal_level = query.terminal_level.min(self.leaf_level());
+        let mut stats = QueryStats::default();
+        let mut groups = Vec::new();
+        let mut readings = Vec::new();
+        let mut stack = vec![self.root()];
+        while let Some(id) = stack.pop() {
+            stats.nodes_traversed += 1;
+            let node = self.node(id);
+            if !query.region.intersects_rect(&node.bbox) {
+                continue;
+            }
+            let terminal = node.is_leaf()
+                || (node.level >= terminal_level
+                    && query.region.contains_rect(&node.bbox));
+            if terminal {
+                let bbox = node.bbox;
+                // No cache in this mode: every sensor in the region is probed.
+                let sensors = self.collect_region_sensors(id, query, &mut stats);
+                let got = self.probe_sensors(&sensors, probe, now, &mut stats, false);
+                groups.push(Self::group_over(id, bbox, &got, sensors.len() as f64));
+                readings.extend(got);
+            } else if let Children::Internal(children) = &self.node(id).children {
+                stack.extend(children.iter().copied());
+            }
+        }
+        QueryOutput {
+            groups,
+            readings,
+            stats,
+            latency_ms: 0.0,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Mode::HierCache — slot caches + standard range lookup
+    // ------------------------------------------------------------------
+
+    fn exec_hier<P: ProbeService + ?Sized>(
+        &mut self,
+        query: &Query,
+        probe: &mut P,
+        now: Timestamp,
+    ) -> QueryOutput {
+        let terminal_level = query.terminal_level.min(self.leaf_level());
+        let mut stats = QueryStats::default();
+        let mut groups = Vec::new();
+        let mut readings = Vec::new();
+        let mut stack = vec![self.root()];
+        while let Some(id) = stack.pop() {
+            stats.nodes_traversed += 1;
+            let node = self.node(id);
+            if !query.region.intersects_rect(&node.bbox) {
+                continue;
+            }
+            let contained = query.region.contains_rect(&node.bbox);
+            // Early termination on a sufficiently covering cached aggregate
+            // (Section IV-B lookup). Type-filtered queries use the per-type
+            // sub-aggregates against the per-type population.
+            let population = node.query_weight(query.kind_filter);
+            if contained && node.level >= terminal_level && population > 0 {
+                let (agg, slots) = match query.kind_filter {
+                    None => node.cache.usable(now, query.staleness),
+                    Some(k) => node.cache.usable_kind(now, query.staleness, k),
+                };
+                let needed = (population as f64 * self.config.cache_coverage_threshold).ceil();
+                if agg.count as f64 >= needed.max(1.0) {
+                    stats.cache_nodes_used += 1;
+                    stats.slots_combined += slots;
+                    let hist = node.cache.usable_histogram(now, query.staleness);
+                    groups.push(GroupResult {
+                        node: id,
+                        bbox: node.bbox,
+                        agg,
+                        from_cache: true,
+                        target: population as f64,
+                        results: agg.count,
+                        hist,
+                    });
+                    continue;
+                }
+            }
+            if node.is_leaf() {
+                let bbox = node.bbox;
+                let (cached, candidates) =
+                    self.terminal_scan(id, query, now, &mut stats);
+                stats.readings_from_cache += cached.len() as u64;
+                if !cached.is_empty() {
+                    stats.cache_nodes_used += 1;
+                }
+                let target = (cached.len() + candidates.len()) as f64;
+                let probed = self.probe_sensors(&candidates, probe, now, &mut stats, true);
+                let mut all = cached;
+                all.extend(probed);
+                groups.push(Self::group_over(id, bbox, &all, target));
+                readings.extend(all);
+            } else if let Children::Internal(children) = &self.node(id).children {
+                stack.extend(children.iter().copied());
+            }
+        }
+        QueryOutput {
+            groups,
+            readings,
+            stats,
+            latency_ms: 0.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::probe::{AlwaysAvailable, FailEveryKth};
+    use crate::reading::SensorMeta;
+    use crate::tree::ColrConfig;
+    use colr_geo::Point;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    const EXPIRY_MS: u64 = 300_000; // 5 minutes
+
+    fn grid_tree(side: usize, cache_capacity: Option<usize>) -> ColrTree {
+        let sensors: Vec<SensorMeta> = (0..side * side)
+            .map(|i| {
+                SensorMeta::new(
+                    i as u32,
+                    Point::new((i % side) as f64, (i / side) as f64),
+                    TimeDelta::from_millis(EXPIRY_MS),
+                    1.0,
+                )
+            })
+            .collect();
+        let config = ColrConfig {
+            cache_capacity,
+            ..Default::default()
+        };
+        ColrTree::build(sensors, config, 42)
+    }
+
+    fn q(rect: Rect) -> Query {
+        Query::range(rect, TimeDelta::from_mins(10)).with_terminal_level(2)
+    }
+
+    #[test]
+    fn rtree_probes_every_sensor_in_region() {
+        let mut tree = grid_tree(16, None);
+        let mut probe = AlwaysAvailable { expiry_ms: EXPIRY_MS };
+        let mut rng = StdRng::seed_from_u64(1);
+        let region = Rect::from_coords(-0.5, -0.5, 7.5, 7.5); // 8x8 = 64 sensors
+        let out = tree.execute(&q(region), Mode::RTree, &mut probe, Timestamp(1_000), &mut rng);
+        assert_eq!(out.stats.sensors_probed, 64);
+        assert_eq!(out.readings.len(), 64);
+        assert_eq!(out.aggregate(AggKind::Count), Some(64.0));
+        assert_eq!(out.stats.cache_nodes_used, 0);
+        assert_eq!(out.stats.cache_inserts, 0);
+        assert!(out.latency_ms > 0.0);
+    }
+
+    #[test]
+    fn rtree_never_uses_cache_even_when_warm() {
+        let mut tree = grid_tree(16, None);
+        let mut probe = AlwaysAvailable { expiry_ms: EXPIRY_MS };
+        let mut rng = StdRng::seed_from_u64(1);
+        let region = Rect::from_coords(-0.5, -0.5, 7.5, 7.5);
+        // Warm the cache with a hier query first.
+        tree.execute(&q(region), Mode::HierCache, &mut probe, Timestamp(1_000), &mut rng);
+        let out = tree.execute(&q(region), Mode::RTree, &mut probe, Timestamp(2_000), &mut rng);
+        assert_eq!(out.stats.sensors_probed, 64);
+        assert_eq!(out.stats.readings_from_cache, 0);
+    }
+
+    #[test]
+    fn hier_cold_probes_then_warm_serves_from_cache() {
+        let mut tree = grid_tree(16, None);
+        let mut probe = AlwaysAvailable { expiry_ms: EXPIRY_MS };
+        let mut rng = StdRng::seed_from_u64(1);
+        let region = Rect::from_coords(-0.5, -0.5, 7.5, 7.5);
+        let cold = tree.execute(&q(region), Mode::HierCache, &mut probe, Timestamp(1_000), &mut rng);
+        assert_eq!(cold.stats.sensors_probed, 64);
+        assert_eq!(cold.stats.cache_inserts, 64);
+        assert_eq!(tree.cached_readings(), 64);
+
+        let warm = tree.execute(&q(region), Mode::HierCache, &mut probe, Timestamp(2_000), &mut rng);
+        assert_eq!(warm.stats.sensors_probed, 0, "fully cached region reprobed");
+        assert!(warm.stats.cache_nodes_used > 0);
+        assert_eq!(warm.result_size(), 64);
+        // Aggregate shortcut visits fewer nodes than the cold descent.
+        assert!(warm.stats.nodes_traversed <= cold.stats.nodes_traversed);
+    }
+
+    #[test]
+    fn hier_respects_freshness_bound() {
+        let mut tree = grid_tree(16, None);
+        let mut probe = AlwaysAvailable { expiry_ms: EXPIRY_MS };
+        let mut rng = StdRng::seed_from_u64(1);
+        let region = Rect::from_coords(-0.5, -0.5, 7.5, 7.5);
+        tree.execute(&q(region), Mode::HierCache, &mut probe, Timestamp(1_000), &mut rng);
+        // 2 minutes later, demand 1-minute freshness → cache unusable.
+        let strict = Query::range(region, TimeDelta::from_mins(1)).with_terminal_level(2);
+        let out = tree.execute(&strict, Mode::HierCache, &mut probe, Timestamp(121_000), &mut rng);
+        assert_eq!(out.stats.sensors_probed, 64);
+    }
+
+    #[test]
+    fn hier_uses_partial_cache_at_leaves() {
+        let mut tree = grid_tree(16, None);
+        let mut rng = StdRng::seed_from_u64(1);
+        // Warm a smaller region, then query a larger one.
+        let small = Rect::from_coords(-0.5, -0.5, 3.5, 3.5); // 16 sensors
+        let large = Rect::from_coords(-0.5, -0.5, 7.5, 7.5); // 64 sensors
+        let mut probe = AlwaysAvailable { expiry_ms: EXPIRY_MS };
+        tree.execute(&q(small), Mode::HierCache, &mut probe, Timestamp(1_000), &mut rng);
+        let out = tree.execute(&q(large), Mode::HierCache, &mut probe, Timestamp(2_000), &mut rng);
+        // Every sensor is answered exactly once: by a probe, a raw cached
+        // reading, or a covering cached aggregate.
+        assert_eq!(out.result_size(), 64);
+        // The 16 warmed sensors must not be re-probed.
+        assert!(
+            out.stats.sensors_probed <= 48,
+            "probed {} despite 16 cached",
+            out.stats.sensors_probed
+        );
+        let served_from_cache = 64 - out.stats.sensors_probed;
+        assert!(served_from_cache >= 16);
+    }
+
+    #[test]
+    fn probe_failures_shrink_results_not_crash() {
+        let mut tree = grid_tree(8, None);
+        let mut probe = FailEveryKth::new(EXPIRY_MS, 2); // every 2nd probe fails
+        let mut rng = StdRng::seed_from_u64(1);
+        let region = Rect::from_coords(-0.5, -0.5, 7.5, 7.5); // all 64
+        let out = tree.execute(&q(region), Mode::RTree, &mut probe, Timestamp(1_000), &mut rng);
+        assert_eq!(out.stats.sensors_probed, 64);
+        assert_eq!(out.stats.probes_failed, 32);
+        assert_eq!(out.readings.len(), 32);
+    }
+
+    #[test]
+    fn cache_capacity_is_enforced_after_queries() {
+        let mut tree = grid_tree(16, Some(20));
+        let mut probe = AlwaysAvailable { expiry_ms: EXPIRY_MS };
+        let mut rng = StdRng::seed_from_u64(1);
+        let region = Rect::from_coords(-0.5, -0.5, 7.5, 7.5);
+        tree.execute(&q(region), Mode::HierCache, &mut probe, Timestamp(1_000), &mut rng);
+        assert!(tree.cached_readings() <= 20);
+        tree.validate().expect("valid after eviction");
+    }
+
+    #[test]
+    fn disjoint_region_returns_empty() {
+        let mut tree = grid_tree(8, None);
+        let mut probe = AlwaysAvailable { expiry_ms: EXPIRY_MS };
+        let mut rng = StdRng::seed_from_u64(1);
+        let region = Rect::from_coords(100.0, 100.0, 110.0, 110.0);
+        for mode in [Mode::RTree, Mode::HierCache] {
+            let out = tree.execute(&q(region), mode, &mut probe, Timestamp(1_000), &mut rng);
+            assert_eq!(out.result_size(), 0);
+            assert_eq!(out.stats.sensors_probed, 0);
+        }
+    }
+
+    #[test]
+    fn polygon_region_filters_sensors() {
+        use colr_geo::Polygon;
+        let mut tree = grid_tree(8, None);
+        let mut probe = AlwaysAvailable { expiry_ms: EXPIRY_MS };
+        let mut rng = StdRng::seed_from_u64(1);
+        // Triangle covering roughly half of the 8x8 grid (x + y < 7.2).
+        let tri = Polygon::new(vec![
+            Point::new(-0.5, -0.5),
+            Point::new(7.7, -0.5),
+            Point::new(-0.5, 7.7),
+        ]);
+        let query = Query::range(tri, TimeDelta::from_mins(10)).with_terminal_level(2);
+        let out = tree.execute(&query, Mode::RTree, &mut probe, Timestamp(1_000), &mut rng);
+        // Sensors with x + y <= 7 (below the hypotenuse): 36 of 64.
+        assert_eq!(out.readings.len(), 36);
+    }
+
+    #[test]
+    fn query_builder_sets_fields() {
+        let query = Query::range(Rect::from_coords(0.0, 0.0, 1.0, 1.0), TimeDelta::from_mins(3))
+            .with_terminal_level(4)
+            .with_oversample_level(2)
+            .with_sample_size(30.0);
+        assert_eq!(query.terminal_level, 4);
+        assert_eq!(query.oversample_level, 2);
+        assert_eq!(query.sample_size, Some(30.0));
+        assert_eq!(query.staleness, TimeDelta::from_mins(3));
+    }
+
+    #[test]
+    fn kind_filter_restricts_every_mode() {
+        // Half the sensors are type 1 (even ids), half type 2.
+        let sensors: Vec<SensorMeta> = (0..64)
+            .map(|i| {
+                SensorMeta::new(
+                    i as u32,
+                    Point::new((i % 8) as f64, (i / 8) as f64),
+                    TimeDelta::from_millis(EXPIRY_MS),
+                    1.0,
+                )
+                .with_kind(1 + (i % 2) as u16)
+            })
+            .collect();
+        let region = Rect::from_coords(-0.5, -0.5, 7.5, 7.5);
+        for mode in [Mode::RTree, Mode::HierCache, Mode::Colr] {
+            let mut tree = ColrTree::build(sensors.clone(), ColrConfig::default(), 42);
+            let mut probe = AlwaysAvailable { expiry_ms: EXPIRY_MS };
+            let mut rng = StdRng::seed_from_u64(1);
+            let mut query = q(region).with_kind_filter(1);
+            if mode == Mode::Colr {
+                query = query.with_sample_size(64.0);
+            }
+            let out = tree.execute(&query, mode, &mut probe, Timestamp(1_000), &mut rng);
+            assert!(!out.readings.is_empty(), "{mode:?} returned nothing");
+            for r in &out.readings {
+                assert_eq!(
+                    tree.sensor(r.sensor).kind,
+                    1,
+                    "{mode:?} leaked a type-2 sensor"
+                );
+            }
+            assert!(out.result_size() <= 32, "{mode:?} returned too many");
+        }
+    }
+
+    #[test]
+    fn kind_filter_served_from_per_type_aggregates() {
+        let sensors: Vec<SensorMeta> = (0..64)
+            .map(|i| {
+                SensorMeta::new(
+                    i as u32,
+                    Point::new((i % 8) as f64, (i / 8) as f64),
+                    TimeDelta::from_millis(EXPIRY_MS),
+                    1.0,
+                )
+                .with_kind(1 + (i % 2) as u16)
+            })
+            .collect();
+        let region = Rect::from_coords(-0.5, -0.5, 7.5, 7.5);
+        let mut tree = ColrTree::build(sensors, ColrConfig::default(), 42);
+        let mut probe = AlwaysAvailable { expiry_ms: EXPIRY_MS };
+        let mut rng = StdRng::seed_from_u64(1);
+        // Warm with an unfiltered query: aggregates cover both types, with
+        // per-type sub-aggregates alongside.
+        tree.execute(&q(region), Mode::HierCache, &mut probe, Timestamp(1_000), &mut rng);
+        // A filtered query is answered from the per-type sub-aggregates:
+        // no probes, and the aggregate reflects only type-2 sensors.
+        let out = tree.execute(
+            &q(region).with_kind_filter(2),
+            Mode::HierCache,
+            &mut probe,
+            Timestamp(2_000),
+            &mut rng,
+        );
+        assert_eq!(out.stats.sensors_probed, 0);
+        assert_eq!(out.result_size(), 32);
+        assert!(out.stats.cache_nodes_used > 0, "per-type aggregates unused");
+        // AlwaysAvailable reports value == id; type 2 = odd ids → the
+        // combined aggregate must be exactly the odd ids 1..63.
+        let mut agg = crate::agg::PartialAgg::empty();
+        for g in &out.groups {
+            agg.merge(&g.agg);
+        }
+        assert_eq!(agg.min, 1.0);
+        assert_eq!(agg.max, 63.0);
+        assert_eq!(agg.sum, (0..32).map(|i| (2 * i + 1) as f64).sum::<f64>());
+    }
+
+    #[test]
+    fn expired_cache_entries_are_not_served() {
+        let mut tree = grid_tree(8, None);
+        let mut probe = AlwaysAvailable { expiry_ms: 10_000 }; // 10s expiry
+        let mut rng = StdRng::seed_from_u64(1);
+        let region = Rect::from_coords(-0.5, -0.5, 7.5, 7.5);
+        tree.execute(&q(region), Mode::HierCache, &mut probe, Timestamp(1_000), &mut rng);
+        // 30s later every cached reading has expired.
+        let out = tree.execute(&q(region), Mode::HierCache, &mut probe, Timestamp(31_000), &mut rng);
+        assert_eq!(out.stats.readings_from_cache, 0);
+        assert_eq!(out.stats.sensors_probed, 64);
+    }
+}

@@ -1,0 +1,121 @@
+//! The data-collection boundary.
+//!
+//! COLR-Tree *pulls* data from sensors on demand during query processing.
+//! [`ProbeService`] is the trait the index calls at probe points; the
+//! `colr-sensors` crate provides the simulated live network implementation
+//! (Bernoulli availability, spatially correlated values), and tests use small
+//! scripted implementations.
+
+use crate::reading::{Reading, SensorId};
+use crate::time::Timestamp;
+
+/// A live collection endpoint for a set of registered sensors.
+///
+/// A probe of a sensor either yields a fresh [`Reading`] or `None` when the
+/// sensor is unavailable (disconnected, failed, resource-constrained — the
+/// paper's Section I heterogeneity). Probes issued in one `probe_batch` call
+/// are considered concurrent by the latency model.
+pub trait ProbeService {
+    /// Probes every sensor in `ids` at simulated instant `now`, returning one
+    /// outcome per id, in order.
+    fn probe_batch(&mut self, ids: &[SensorId], now: Timestamp) -> Vec<Option<Reading>>;
+}
+
+/// A probe service for tests: every sensor always answers with a fixed value
+/// equal to its id, full expiry `expiry_ms`, timestamped `now`.
+#[derive(Debug, Clone)]
+pub struct AlwaysAvailable {
+    /// Expiry duration applied to produced readings, in milliseconds.
+    pub expiry_ms: u64,
+}
+
+impl ProbeService for AlwaysAvailable {
+    fn probe_batch(&mut self, ids: &[SensorId], now: Timestamp) -> Vec<Option<Reading>> {
+        ids.iter()
+            .map(|&id| {
+                Some(Reading {
+                    sensor: id,
+                    value: id.0 as f64,
+                    timestamp: now,
+                    expires_at: now + crate::time::TimeDelta::from_millis(self.expiry_ms),
+                })
+            })
+            .collect()
+    }
+}
+
+/// A probe service for tests that deterministically fails every `k`-th probe
+/// request (1-based counting across calls).
+#[derive(Debug, Clone)]
+pub struct FailEveryKth {
+    inner: AlwaysAvailable,
+    k: u64,
+    issued: u64,
+}
+
+impl FailEveryKth {
+    /// Fails every `k`-th probe; `k == 0` never fails.
+    pub fn new(expiry_ms: u64, k: u64) -> Self {
+        FailEveryKth {
+            inner: AlwaysAvailable { expiry_ms },
+            k,
+            issued: 0,
+        }
+    }
+}
+
+impl ProbeService for FailEveryKth {
+    fn probe_batch(&mut self, ids: &[SensorId], now: Timestamp) -> Vec<Option<Reading>> {
+        let base = self.inner.probe_batch(ids, now);
+        base.into_iter()
+            .map(|r| {
+                self.issued += 1;
+                if self.k > 0 && self.issued.is_multiple_of(self.k) {
+                    None
+                } else {
+                    r
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn always_available_yields_all() {
+        let mut svc = AlwaysAvailable { expiry_ms: 1_000 };
+        let ids = [SensorId(0), SensorId(5)];
+        let out = svc.probe_batch(&ids, Timestamp(10));
+        assert_eq!(out.len(), 2);
+        let r = out[1].unwrap();
+        assert_eq!(r.sensor, SensorId(5));
+        assert_eq!(r.value, 5.0);
+        assert_eq!(r.timestamp, Timestamp(10));
+        assert_eq!(r.expires_at, Timestamp(1_010));
+    }
+
+    #[test]
+    fn fail_every_kth_fails_deterministically() {
+        let mut svc = FailEveryKth::new(1_000, 3);
+        let ids: Vec<SensorId> = (0..6).map(SensorId).collect();
+        let out = svc.probe_batch(&ids, Timestamp(0));
+        let failures: Vec<usize> = out
+            .iter()
+            .enumerate()
+            .filter_map(|(i, r)| r.is_none().then_some(i))
+            .collect();
+        assert_eq!(failures, vec![2, 5]);
+    }
+
+    #[test]
+    fn fail_counter_spans_calls() {
+        let mut svc = FailEveryKth::new(1_000, 2);
+        let a = svc.probe_batch(&[SensorId(0)], Timestamp(0));
+        let b = svc.probe_batch(&[SensorId(1)], Timestamp(0));
+        assert!(a[0].is_some());
+        assert!(b[0].is_none());
+    }
+}

@@ -1,0 +1,862 @@
+//! Layered sampling (Section V, Algorithms 1 and 2).
+//!
+//! COLR-Tree bounds per-query collection cost by probing only a target
+//! number `R` of sensors, chosen uniformly at random among the sensors in
+//! the query region, in a **single pass** interleaved with the range lookup:
+//!
+//! * **Weighted partitioning** — a node splits its target among children in
+//!   proportion to `w_i · Overlap(BB(i), A)` (weight × query-overlap
+//!   fraction), so each subtree contributes in proportion to its expected
+//!   population inside the region (Theorem 2's uniformity).
+//! * **Oversampling** — exactly once per root→probe path the target is
+//!   scaled by `1/a_i` (inverse mean availability) so that the *expected*
+//!   number of successful probes matches the target (Theorem 1): at the
+//!   first fully contained node below the terminal level, or at level `O`
+//!   when containment happens deeper.
+//! * **Cache exploitation** — fresh cached readings count against the target
+//!   before any probe is issued, and a terminal whose slot cache already
+//!   holds a sufficient fresh aggregate is answered without touching its
+//!   sensors at all.
+//! * **Redistribution** (Algorithm 2) — shortfall at one subtree (deployment
+//!   holes, empty regions, unlucky failures) is redistributed proportionally
+//!   over the targets of all nodes still awaiting processing.
+//!
+//! The priority queue orders pending nodes by target size. Redistribution
+//! multiplies every pending target by the same factor, which preserves the
+//! ordering — so it is implemented as a single global scale factor instead
+//! of a heap rebuild.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use rand::Rng;
+
+use crate::lookup::{GroupResult, Query, QueryOutput};
+use crate::probe::ProbeService;
+use crate::reading::{Reading, SensorId};
+use crate::stats::QueryStats;
+use crate::time::Timestamp;
+use crate::tree::{Children, ColrTree, NodeId};
+
+/// Minimum availability used when scaling targets, to bound oversampling of
+/// nearly dead subtrees.
+const MIN_AVAILABILITY: f64 = 0.05;
+/// Targets below this are treated as zero.
+const TARGET_EPS: f64 = 1e-9;
+
+struct PqEntry {
+    /// Priority in *base* units (effective target = base × queue scale).
+    base: f64,
+    /// Tie-breaker for deterministic ordering.
+    seq: u64,
+    node: NodeId,
+    /// Whether an ancestor already applied the availability scale-up.
+    scaled: bool,
+}
+
+impl PartialEq for PqEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.base == other.base && self.seq == other.seq
+    }
+}
+impl Eq for PqEntry {}
+impl PartialOrd for PqEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for PqEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.base
+            .total_cmp(&other.base)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// Priority queue with O(1) proportional redistribution (Algorithm 2).
+struct ScaledPq {
+    heap: BinaryHeap<PqEntry>,
+    scale: f64,
+    sum_base: f64,
+    seq: u64,
+    /// Ablation: when `false`, `redistribute` is a no-op.
+    enabled: bool,
+}
+
+impl ScaledPq {
+    fn new(enabled: bool) -> Self {
+        ScaledPq {
+            heap: BinaryHeap::new(),
+            scale: 1.0,
+            sum_base: 0.0,
+            seq: 0,
+            enabled,
+        }
+    }
+
+    fn push(&mut self, node: NodeId, target: f64, scaled: bool) {
+        if target <= TARGET_EPS {
+            return;
+        }
+        let base = target / self.scale;
+        self.sum_base += base;
+        self.seq += 1;
+        self.heap.push(PqEntry {
+            base,
+            seq: self.seq,
+            node,
+            scaled,
+        });
+    }
+
+    fn pop(&mut self) -> Option<(NodeId, f64, bool)> {
+        let e = self.heap.pop()?;
+        self.sum_base -= e.base;
+        Some((e.node, e.base * self.scale, e.scaled))
+    }
+
+    /// Distributes `lag` additional target proportionally over every pending
+    /// node (Algorithm 2): each priority grows by `lag · p_i / Σp`.
+    fn redistribute(&mut self, lag: f64) {
+        if !self.enabled {
+            return;
+        }
+        let total = self.sum_base * self.scale;
+        if lag <= TARGET_EPS || total <= TARGET_EPS {
+            return;
+        }
+        self.scale *= 1.0 + lag / total;
+    }
+
+    fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+impl ColrTree {
+    /// Full COLR-Tree execution: Algorithm 1's layered sampling over the
+    /// slot-cache tree.
+    pub(crate) fn exec_colr<P, R>(
+        &mut self,
+        query: &Query,
+        probe: &mut P,
+        now: Timestamp,
+        rng: &mut R,
+    ) -> QueryOutput
+    where
+        P: ProbeService + ?Sized,
+        R: Rng + ?Sized,
+    {
+        let terminal_level = query.terminal_level.min(self.leaf_level());
+        let mut stats = QueryStats::default();
+        let mut groups: Vec<GroupResult> = Vec::new();
+        let mut readings: Vec<Reading> = Vec::new();
+
+        let root = self.root();
+        let target = query
+            .sample_size
+            .unwrap_or(self.node(root).weight as f64);
+        let mut pq = ScaledPq::new(self.config.enable_redistribution);
+        pq.push(root, target, false);
+
+        while let Some((id, r_eff, scaled)) = pq.pop() {
+            stats.nodes_traversed += 1;
+            let node = self.node(id);
+            if !query.region.intersects_rect(&node.bbox) {
+                pq.redistribute(r_eff);
+                continue;
+            }
+            let contained = query.region.contains_rect(&node.bbox);
+
+            // --- Terminal: probe/serve this subtree -----------------------
+            if contained && node.level >= terminal_level {
+                let fulfilled =
+                    self.serve_terminal(id, r_eff, scaled, query, probe, now, rng, &mut stats, &mut groups, &mut readings);
+                let want = if scaled && self.config.enable_oversampling {
+                    r_eff * self.node(id).avail_mean.max(MIN_AVAILABILITY)
+                } else {
+                    r_eff
+                };
+                if fulfilled + TARGET_EPS < want {
+                    pq.redistribute(want - fulfilled);
+                }
+                continue;
+            }
+
+            // --- Partition the target among children ----------------------
+            enum Kid {
+                Node(NodeId),
+                Sensor(SensorId),
+            }
+            let kids: Vec<(Kid, f64)> = match &node.children {
+                Children::Internal(children) => children
+                    .iter()
+                    .filter_map(|&c| {
+                        let child = self.node(c);
+                        let ow = child.query_weight(query.kind_filter) as f64
+                            * query.region.overlap_fraction(&child.bbox);
+                        (ow > TARGET_EPS).then_some((Kid::Node(c), ow))
+                    })
+                    .collect(),
+                Children::Leaf(sensors) => sensors
+                    .iter()
+                    .filter_map(|&s| {
+                        query
+                            .matches_sensor(self.sensor(s))
+                            .then_some((Kid::Sensor(s), 1.0))
+                    })
+                    .collect(),
+            };
+            let denom: f64 = kids.iter().map(|(_, ow)| ow).sum();
+            if denom <= TARGET_EPS {
+                // Dead end: give the whole target back to pending nodes.
+                pq.redistribute(r_eff);
+                continue;
+            }
+
+            let mut fulfilled = 0.0;
+            let mut assigned = 0.0;
+            // Readings gathered from per-sensor terminals under this leaf.
+            let mut leaf_readings: Vec<Reading> = Vec::new();
+            let mut leaf_target = 0.0;
+
+            for (kid, ow) in kids {
+                let share = r_eff * ow / denom;
+                if share <= TARGET_EPS {
+                    continue;
+                }
+                match kid {
+                    Kid::Sensor(s) => {
+                        leaf_target += share;
+                        fulfilled += self.serve_sensor(
+                            s,
+                            share,
+                            scaled,
+                            query,
+                            probe,
+                            now,
+                            rng,
+                            &mut stats,
+                            &mut leaf_readings,
+                        );
+                    }
+                    Kid::Node(c) => {
+                        let child = self.node(c);
+                        let child_contained = query.region.contains_rect(&child.bbox)
+                            && child.level >= terminal_level;
+                        if child_contained {
+                            // Terminal child: handled when popped; push keeps
+                            // the traversal order and redistribution simple.
+                            pq.push(c, share, scaled);
+                            assigned += share;
+                        } else {
+                            let mut push_target = share;
+                            let mut child_scaled = scaled;
+                            if !scaled
+                                && child.level == query.oversample_level
+                                && self.config.enable_oversampling
+                            {
+                                push_target /=
+                                    child.avail_mean.max(MIN_AVAILABILITY);
+                                child_scaled = true;
+                            }
+                            pq.push(c, push_target, child_scaled);
+                            assigned += share;
+                        }
+                    }
+                }
+            }
+
+            if !leaf_readings.is_empty() || leaf_target > TARGET_EPS {
+                let bbox = self.node(id).bbox;
+                let mut group = Self::group_over_readings(id, bbox, &leaf_readings, leaf_target);
+                group.results = leaf_readings.len() as u64;
+                groups.push(group);
+                readings.extend(leaf_readings);
+            }
+
+            let lag = r_eff - fulfilled - assigned;
+            if lag > TARGET_EPS {
+                pq.redistribute(lag);
+            }
+        }
+        debug_assert!(pq.is_empty());
+
+        QueryOutput {
+            groups,
+            readings,
+            stats,
+            latency_ms: 0.0,
+        }
+    }
+
+    fn group_over_readings(
+        node: NodeId,
+        bbox: colr_geo::Rect,
+        readings: &[Reading],
+        target: f64,
+    ) -> GroupResult {
+        let mut agg = crate::agg::PartialAgg::empty();
+        for r in readings {
+            agg.insert(r.value);
+        }
+        GroupResult {
+            node,
+            bbox,
+            agg,
+            from_cache: false,
+            target,
+            results: readings.len() as u64,
+            hist: None,
+        }
+    }
+
+    /// Serves one terminal subtree: cached aggregate shortcut → raw cache →
+    /// sampled probes. Returns the number of successful readings credited
+    /// against the (raw, pre-oversampling) target.
+    #[allow(clippy::too_many_arguments)]
+    fn serve_terminal<P, R>(
+        &mut self,
+        id: NodeId,
+        r_eff: f64,
+        scaled: bool,
+        query: &Query,
+        probe: &mut P,
+        now: Timestamp,
+        rng: &mut R,
+        stats: &mut QueryStats,
+        groups: &mut Vec<GroupResult>,
+        readings: &mut Vec<Reading>,
+    ) -> f64
+    where
+        P: ProbeService + ?Sized,
+        R: Rng + ?Sized,
+    {
+        let node = self.node(id);
+        let bbox = node.bbox;
+        let avail = if self.config.enable_oversampling {
+            node.avail_mean.max(MIN_AVAILABILITY)
+        } else {
+            1.0
+        };
+        let weight = node.query_weight(query.kind_filter) as f64;
+        // The desired number of *successful* readings from this subtree.
+        let want = if scaled { r_eff * avail } else { r_eff }.min(weight.max(1.0));
+
+        // 1. Aggregate-cache shortcut: a fresh cached aggregate covering at
+        //    least the desired sample answers the terminal outright.
+        //    Type-filtered queries consult the per-type sub-aggregates.
+        let (agg, slots) = match query.kind_filter {
+            None => node.cache.usable(now, query.staleness),
+            Some(k) => node.cache.usable_kind(now, query.staleness, k),
+        };
+        if !agg.is_empty() && (agg.count as f64) + TARGET_EPS >= want.min(weight) {
+            stats.cache_nodes_used += 1;
+            stats.slots_combined += slots;
+            let hist = node.cache.usable_histogram(now, query.staleness);
+            groups.push(GroupResult {
+                node: id,
+                bbox,
+                agg,
+                from_cache: true,
+                target: want,
+                results: agg.count,
+                hist,
+            });
+            return want;
+        }
+
+        // 2. Raw cached readings count against the target (line 9 / 15).
+        let (cached, mut candidates) = self.terminal_scan(id, query, now, stats);
+        stats.readings_from_cache += cached.len() as u64;
+        if !cached.is_empty() {
+            stats.cache_nodes_used += 1;
+        }
+        let need = want - cached.len() as f64;
+
+        // 3. Oversampled probing of the remainder (lines 11–14).
+        let probe_target = if need <= TARGET_EPS {
+            0.0
+        } else if scaled {
+            // Target was inflated upstream; spend what remains of it.
+            (r_eff - cached.len() as f64).max(0.0)
+        } else {
+            need / avail
+        };
+        // `attempted` is the paper's `|s|` accounting in expectation units:
+        // stochastic rounding of fractional targets must NOT trigger
+        // redistribution (the rounding is unbiased by construction — pushing
+        // only the downside back into the queue would inflate the sample).
+        // Only a *structural* shortfall — fewer candidates than the target —
+        // redistributes (deployment holes, Algorithm 1 line 22).
+        let attempted = probe_target.min(candidates.len() as f64);
+        let k = stochastic_round(attempted, rng).min(candidates.len());
+        // Partial Fisher–Yates: uniform k-subset of the candidates.
+        for i in 0..k {
+            let j = rng.random_range(i..candidates.len());
+            candidates.swap(i, j);
+        }
+        let probed = self.probe_sensors(&candidates[..k], probe, now, stats, true);
+
+        let cached_count = cached.len();
+        let mut all = cached;
+        all.extend(probed);
+        let mut group = Self::group_over_readings(id, bbox, &all, want);
+        group.results = all.len() as u64;
+        groups.push(group);
+        readings.extend(all);
+        // Expected successes from the attempt, independent of rounding and
+        // per-probe luck (oversampling already compensates failures).
+        let credit = cached_count as f64 + attempted * avail;
+        credit.min(want)
+    }
+
+    /// Serves a single-sensor terminal (a sensor child of a partially
+    /// overlapped leaf). Returns the credit against the raw target.
+    #[allow(clippy::too_many_arguments)]
+    fn serve_sensor<P, R>(
+        &mut self,
+        s: SensorId,
+        share: f64,
+        scaled: bool,
+        query: &Query,
+        probe: &mut P,
+        now: Timestamp,
+        rng: &mut R,
+        stats: &mut QueryStats,
+        out: &mut Vec<Reading>,
+    ) -> f64
+    where
+        P: ProbeService + ?Sized,
+        R: Rng + ?Sized,
+    {
+        let meta = *self.sensor(s);
+        let avail = if self.config.enable_oversampling {
+            meta.availability.max(MIN_AVAILABILITY)
+        } else {
+            1.0
+        };
+        let want = if scaled { share * avail } else { share }.min(1.0);
+
+        // A cached fresh reading satisfies the sensor without a probe and is
+        // always included (Algorithm 1 line 15: `sample ∪ d ∪ c_i`).
+        let leaf = self.home_leaf(s);
+        if let Some(e) = self.node(leaf).entry(s) {
+            if e.reading.is_fresh(now, query.staleness) {
+                stats.readings_from_cache += 1;
+                out.push(e.reading);
+                return want;
+            }
+        }
+
+        let p = if scaled { share } else { want / avail }.clamp(0.0, 1.0);
+        if !rng.random_bool(p) {
+            return want; // not selected; expectation already accounted
+        }
+        let got = self.probe_sensors(&[s], probe, now, stats, true);
+        if let Some(r) = got.first() {
+            out.push(*r);
+        }
+        // Full credit either way: the selection was made with the
+        // availability-compensated probability, so expected successes match
+        // the share; per-probe failures are absorbed by oversampling rather
+        // than redistributed (which would bias the sample upward).
+        want
+    }
+}
+
+/// Rounds `x` to an integer stochastically so the expectation is preserved:
+/// `⌊x⌋ + Bernoulli(frac(x))`.
+pub(crate) fn stochastic_round<R: Rng + ?Sized>(x: f64, rng: &mut R) -> usize {
+    if x <= 0.0 {
+        return 0;
+    }
+    let floor = x.floor();
+    let frac = x - floor;
+    let mut k = floor as usize;
+    if frac > 0.0 && rng.random_bool(frac.min(1.0)) {
+        k += 1;
+    }
+    k
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lookup::Mode;
+    use crate::probe::AlwaysAvailable;
+    use crate::reading::SensorMeta;
+    use crate::time::TimeDelta;
+    use crate::tree::ColrConfig;
+    use colr_geo::{Point, Rect};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    const EXPIRY_MS: u64 = 300_000;
+
+    fn grid_tree(side: usize, availability: f64) -> ColrTree {
+        let sensors: Vec<SensorMeta> = (0..side * side)
+            .map(|i| {
+                SensorMeta::new(
+                    i as u32,
+                    Point::new((i % side) as f64, (i / side) as f64),
+                    TimeDelta::from_millis(EXPIRY_MS),
+                    availability,
+                )
+            })
+            .collect();
+        ColrTree::build(sensors, ColrConfig::default(), 42)
+    }
+
+    fn sample_query(rect: Rect, r: f64) -> Query {
+        Query::range(rect, TimeDelta::from_mins(10))
+            .with_terminal_level(2)
+            .with_oversample_level(1)
+            .with_sample_size(r)
+    }
+
+    #[test]
+    fn stochastic_round_preserves_expectation() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let trials = 20_000;
+        let x = 2.3;
+        let total: usize = (0..trials).map(|_| stochastic_round(x, &mut rng)).sum();
+        let mean = total as f64 / trials as f64;
+        assert!((mean - x).abs() < 0.05, "mean {mean} too far from {x}");
+    }
+
+    #[test]
+    fn stochastic_round_exact_on_integers() {
+        let mut rng = StdRng::seed_from_u64(7);
+        assert_eq!(stochastic_round(3.0, &mut rng), 3);
+        assert_eq!(stochastic_round(0.0, &mut rng), 0);
+        assert_eq!(stochastic_round(-1.0, &mut rng), 0);
+    }
+
+    #[test]
+    fn scaled_pq_pops_in_priority_order() {
+        let mut pq = ScaledPq::new(true);
+        pq.push(NodeId(1), 1.0, false);
+        pq.push(NodeId(2), 5.0, false);
+        pq.push(NodeId(3), 3.0, false);
+        assert_eq!(pq.pop().unwrap().0, NodeId(2));
+        assert_eq!(pq.pop().unwrap().0, NodeId(3));
+        assert_eq!(pq.pop().unwrap().0, NodeId(1));
+        assert!(pq.pop().is_none());
+    }
+
+    #[test]
+    fn scaled_pq_redistribute_grows_targets_proportionally() {
+        let mut pq = ScaledPq::new(true);
+        pq.push(NodeId(1), 2.0, false);
+        pq.push(NodeId(2), 6.0, false);
+        pq.redistribute(4.0); // total 8 → scale 1.5
+        let (n, t, _) = pq.pop().unwrap();
+        assert_eq!(n, NodeId(2));
+        assert!((t - 9.0).abs() < 1e-9);
+        let (_, t, _) = pq.pop().unwrap();
+        assert!((t - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn scaled_pq_push_after_redistribute_uses_current_scale() {
+        let mut pq = ScaledPq::new(true);
+        pq.push(NodeId(1), 4.0, false);
+        pq.redistribute(4.0); // scale 2
+        pq.push(NodeId(2), 4.0, false); // effective 4.0 at push time
+        let (n, t, _) = pq.pop().unwrap();
+        assert_eq!(n, NodeId(1));
+        assert!((t - 8.0).abs() < 1e-9);
+        let (_, t, _) = pq.pop().unwrap();
+        assert!((t - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sampling_probes_roughly_target_many_runs() {
+        // Theorem 1: expected sample size ≈ R (availability 1, cold cache).
+        let region = Rect::from_coords(-0.5, -0.5, 15.5, 15.5); // all 256
+        let mut rng = StdRng::seed_from_u64(11);
+        let trials = 60;
+        let r = 30.0;
+        let mut total = 0usize;
+        for t in 0..trials {
+            let mut tree = grid_tree(16, 1.0);
+            let mut probe = AlwaysAvailable { expiry_ms: EXPIRY_MS };
+            let out = tree.execute(
+                &sample_query(region, r),
+                Mode::Colr,
+                &mut probe,
+                Timestamp(1_000 + t),
+                &mut rng,
+            );
+            total += out.readings.len();
+        }
+        let mean = total as f64 / trials as f64;
+        assert!(
+            (mean - r).abs() < r * 0.15,
+            "mean sample size {mean} too far from target {r}"
+        );
+    }
+
+    #[test]
+    fn sampling_contacts_far_fewer_sensors_than_rtree() {
+        let region = Rect::from_coords(-0.5, -0.5, 15.5, 15.5);
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut tree = grid_tree(16, 1.0);
+        let mut probe = AlwaysAvailable { expiry_ms: EXPIRY_MS };
+        let out = tree.execute(
+            &sample_query(region, 20.0),
+            Mode::Colr,
+            &mut probe,
+            Timestamp(1_000),
+            &mut rng,
+        );
+        assert!(
+            out.stats.sensors_probed < 60,
+            "probed {} for a target of 20",
+            out.stats.sensors_probed
+        );
+        assert!(out.stats.sensors_probed > 0);
+    }
+
+    #[test]
+    fn oversampling_compensates_for_unavailability() {
+        // With availability 0.5, ~2R probes should yield ~R readings.
+        let region = Rect::from_coords(-0.5, -0.5, 15.5, 15.5);
+        let mut rng = StdRng::seed_from_u64(5);
+        let r = 30.0;
+        let trials = 60;
+        let mut got = 0usize;
+        let mut probed = 0u64;
+        for t in 0..trials {
+            let mut tree = grid_tree(16, 0.5);
+            // Simulated network honouring availability 0.5 via the rng.
+            struct HalfAvailable(StdRng);
+            impl ProbeService for HalfAvailable {
+                fn probe_batch(&mut self, ids: &[SensorId], now: Timestamp) -> Vec<Option<Reading>> {
+                    ids.iter()
+                        .map(|&id| {
+                            self.0.random_bool(0.5).then_some(Reading {
+                                sensor: id,
+                                value: 1.0,
+                                timestamp: now,
+                                expires_at: now + TimeDelta::from_millis(EXPIRY_MS),
+                            })
+                        })
+                        .collect()
+                }
+            }
+            let mut probe = HalfAvailable(StdRng::seed_from_u64(100 + t));
+            let out = tree.execute(
+                &sample_query(region, r),
+                Mode::Colr,
+                &mut probe,
+                Timestamp(1_000),
+                &mut rng,
+            );
+            got += out.readings.len();
+            probed += out.stats.sensors_probed;
+        }
+        let mean_got = got as f64 / trials as f64;
+        let mean_probed = probed as f64 / trials as f64;
+        assert!(
+            (mean_got - r).abs() < r * 0.25,
+            "mean successes {mean_got} too far from target {r}"
+        );
+        assert!(
+            mean_probed > 1.5 * r && mean_probed < 3.0 * r,
+            "mean probes {mean_probed} not ≈ 2R"
+        );
+    }
+
+    #[test]
+    fn uniform_inclusion_probability() {
+        // Theorem 2: every sensor included with probability ≈ R/N.
+        let side = 12; // 144 sensors
+        let region = Rect::from_coords(-0.5, -0.5, 11.5, 11.5);
+        let r = 24.0;
+        let n = (side * side) as f64;
+        let trials = 400;
+        let mut rng = StdRng::seed_from_u64(17);
+        let mut counts = vec![0u32; side * side];
+        for t in 0..trials {
+            let mut tree = grid_tree(side, 1.0);
+            let mut probe = AlwaysAvailable { expiry_ms: EXPIRY_MS };
+            let out = tree.execute(
+                &sample_query(region, r),
+                Mode::Colr,
+                &mut probe,
+                Timestamp(1_000 + t),
+                &mut rng,
+            );
+            for reading in &out.readings {
+                counts[reading.sensor.index()] += 1;
+            }
+        }
+        let expected = r / n; // per-trial inclusion probability
+        let mean_incl =
+            counts.iter().map(|&c| c as f64).sum::<f64>() / (trials as f64 * n);
+        assert!(
+            (mean_incl - expected).abs() < expected * 0.15,
+            "mean inclusion {mean_incl} vs expected {expected}"
+        );
+        // No sensor should be wildly over- or under-represented.
+        let max = counts.iter().copied().max().unwrap() as f64 / trials as f64;
+        let min = counts.iter().copied().min().unwrap() as f64 / trials as f64;
+        assert!(max < expected * 3.0, "max inclusion {max} vs {expected}");
+        assert!(min > expected * 0.15, "min inclusion {min} vs {expected}");
+    }
+
+    #[test]
+    fn disabled_redistribution_never_inflates_targets() {
+        let mut pq = ScaledPq::new(false);
+        pq.push(NodeId(1), 2.0, false);
+        pq.redistribute(100.0);
+        let (_, t, _) = pq.pop().unwrap();
+        assert_eq!(t, 2.0);
+    }
+
+    #[test]
+    fn disabled_oversampling_probes_fewer_under_failures() {
+        // With availability 0.5 advertised, oversampling ~doubles probes;
+        // disabling it keeps probes near the raw target.
+        let region = Rect::from_coords(-0.5, -0.5, 15.5, 15.5);
+        let r = 40.0;
+        let trials = 30;
+        let mut probes_on = 0u64;
+        let mut probes_off = 0u64;
+        for t in 0..trials {
+            for enable in [true, false] {
+                let sensors: Vec<SensorMeta> = (0..256)
+                    .map(|i| {
+                        SensorMeta::new(
+                            i as u32,
+                            Point::new((i % 16) as f64, (i / 16) as f64),
+                            TimeDelta::from_millis(EXPIRY_MS),
+                            0.5,
+                        )
+                    })
+                    .collect();
+                let config = ColrConfig {
+                    enable_oversampling: enable,
+                    ..Default::default()
+                };
+                let mut tree = ColrTree::build(sensors, config, 42);
+                let mut probe = AlwaysAvailable { expiry_ms: EXPIRY_MS };
+                let mut rng = StdRng::seed_from_u64(1000 + t);
+                let out = tree.execute(
+                    &sample_query(region, r),
+                    Mode::Colr,
+                    &mut probe,
+                    Timestamp(1_000),
+                    &mut rng,
+                );
+                if enable {
+                    probes_on += out.stats.sensors_probed;
+                } else {
+                    probes_off += out.stats.sensors_probed;
+                }
+            }
+        }
+        assert!(
+            probes_on as f64 > probes_off as f64 * 1.5,
+            "oversampling on {probes_on} vs off {probes_off}"
+        );
+    }
+
+    #[test]
+    fn warm_cache_reduces_probes_in_colr_mode() {
+        let region = Rect::from_coords(-0.5, -0.5, 15.5, 15.5);
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut tree = grid_tree(16, 1.0);
+        let mut probe = AlwaysAvailable { expiry_ms: EXPIRY_MS };
+        let q = sample_query(region, 40.0);
+        let cold = tree.execute(&q, Mode::Colr, &mut probe, Timestamp(1_000), &mut rng);
+        assert!(cold.stats.sensors_probed > 0);
+        let warm = tree.execute(&q, Mode::Colr, &mut probe, Timestamp(2_000), &mut rng);
+        assert!(
+            warm.stats.sensors_probed < cold.stats.sensors_probed,
+            "warm {} !< cold {}",
+            warm.stats.sensors_probed,
+            cold.stats.sensors_probed
+        );
+        assert!(warm.stats.cache_nodes_used > 0 || warm.stats.readings_from_cache > 0);
+    }
+
+    #[test]
+    fn sample_size_zero_probes_nothing() {
+        let region = Rect::from_coords(-0.5, -0.5, 15.5, 15.5);
+        let mut rng = StdRng::seed_from_u64(13);
+        let mut tree = grid_tree(16, 1.0);
+        let mut probe = AlwaysAvailable { expiry_ms: EXPIRY_MS };
+        let out = tree.execute(
+            &sample_query(region, 0.0),
+            Mode::Colr,
+            &mut probe,
+            Timestamp(1_000),
+            &mut rng,
+        );
+        assert_eq!(out.stats.sensors_probed, 0);
+        assert!(out.readings.is_empty());
+    }
+
+    #[test]
+    fn disjoint_region_samples_nothing() {
+        let region = Rect::from_coords(100.0, 100.0, 110.0, 110.0);
+        let mut rng = StdRng::seed_from_u64(13);
+        let mut tree = grid_tree(8, 1.0);
+        let mut probe = AlwaysAvailable { expiry_ms: EXPIRY_MS };
+        let out = tree.execute(
+            &sample_query(region, 10.0),
+            Mode::Colr,
+            &mut probe,
+            Timestamp(1_000),
+            &mut rng,
+        );
+        assert_eq!(out.stats.sensors_probed, 0);
+        assert!(out.groups.is_empty());
+    }
+
+    #[test]
+    fn partial_region_samples_only_inside() {
+        // Region covering the left half: no reading from the right half.
+        let side = 12;
+        let region = Rect::from_coords(-0.5, -0.5, 5.5, 11.5);
+        let mut rng = StdRng::seed_from_u64(23);
+        let mut tree = grid_tree(side, 1.0);
+        let mut probe = AlwaysAvailable { expiry_ms: EXPIRY_MS };
+        let out = tree.execute(
+            &sample_query(region, 20.0),
+            Mode::Colr,
+            &mut probe,
+            Timestamp(1_000),
+            &mut rng,
+        );
+        for r in &out.readings {
+            let loc = tree.sensor_location(r.sensor);
+            assert!(loc.x <= 5.5, "sampled sensor outside region at {loc:?}");
+        }
+        assert!(!out.readings.is_empty());
+    }
+
+    #[test]
+    fn groups_report_targets_for_pde() {
+        let region = Rect::from_coords(-0.5, -0.5, 15.5, 15.5);
+        let mut rng = StdRng::seed_from_u64(29);
+        let mut tree = grid_tree(16, 1.0);
+        let mut probe = AlwaysAvailable { expiry_ms: EXPIRY_MS };
+        let out = tree.execute(
+            &sample_query(region, 32.0),
+            Mode::Colr,
+            &mut probe,
+            Timestamp(1_000),
+            &mut rng,
+        );
+        assert!(!out.groups.is_empty());
+        let total_target: f64 = out.groups.iter().map(|g| g.target).sum();
+        assert!(
+            (total_target - 32.0).abs() < 32.0 * 0.5,
+            "sum of terminal targets {total_target} should approximate R"
+        );
+    }
+}

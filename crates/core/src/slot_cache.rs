@@ -1,0 +1,721 @@
+//! The slot cache (Section IV).
+//!
+//! A slot cache maintains `m = t_max/Δ` *partial aggregates* in globally
+//! aligned slots of width `Δ`. Slot `i` (an absolute index: `expiry / Δ`)
+//! aggregates exactly the readings whose **expiry instants** fall in
+//! `[iΔ, (i+1)Δ)`. Because every cache in the tree uses the same alignment, a
+//! parent's slot `i` is the aggregate of its children's slots `i`, which is
+//! what makes bottom-up incremental maintenance possible (Section IV-B).
+//!
+//! The window slides forward as simulated time advances: slots whose entire
+//! expiry range is in the past contain only expired readings and are dropped
+//! wholesale — no per-reading decrement is ever needed for expiry, only for
+//! value *updates* and capacity *evictions* (handled by
+//! [`SlotCache::try_remove`], which falls back to a rebuild signal when the
+//! aggregate cannot be decremented).
+//!
+//! ## Freshness
+//!
+//! In addition to the paper's slot bookkeeping, each slot tracks the minimum
+//! *production timestamp* of its constituents (`min_ts`). A user freshness
+//! bound `S` accepts a cached slot only when `min_ts >= now - S`, i.e. every
+//! constituent reading was produced within the staleness window. This is a
+//! conservative *strengthening* of the paper's query-slot heuristic: it can
+//! reject a borderline-usable slot but never serves data staler than
+//! requested. Under removal `min_ts` stays a valid lower bound (removals can
+//! only raise the true minimum).
+
+use crate::agg::{Histogram, HistogramSpec, PartialAgg};
+use crate::time::{TimeDelta, Timestamp};
+
+/// Sizing of a slot cache: `slot_width` is the paper's `Δ`, `num_slots` its
+/// `m`. The window must cover `t_max` (the maximum sensor expiry), i.e.
+/// `slot_width · num_slots >= t_max`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SlotConfig {
+    /// Slot width `Δ`.
+    pub slot_width: TimeDelta,
+    /// Number of slots `m`.
+    pub num_slots: usize,
+    /// When set, every slot also maintains a value histogram with this
+    /// binning, so group *distributions* (the portal's multi-resolution
+    /// display) can be served from cache.
+    pub histogram: Option<HistogramSpec>,
+}
+
+impl SlotConfig {
+    /// Derives the configuration from a window size and slot count, the way
+    /// the paper parameterises it: `Δ = t_max / m` (rounded up so the window
+    /// always covers `t_max`).
+    pub fn for_window(t_max: TimeDelta, num_slots: usize) -> Self {
+        assert!(num_slots > 0, "need at least one slot");
+        let width = t_max.millis().div_ceil(num_slots as u64).max(1);
+        SlotConfig {
+            slot_width: TimeDelta::from_millis(width),
+            num_slots,
+            histogram: None,
+        }
+    }
+
+    /// Enables per-slot histograms with the given binning.
+    pub fn with_histogram(mut self, spec: HistogramSpec) -> Self {
+        self.histogram = Some(spec);
+        self
+    }
+
+    /// Absolute slot index of an instant.
+    #[inline]
+    pub fn slot_of(&self, t: Timestamp) -> u64 {
+        t.millis() / self.slot_width.millis()
+    }
+
+    /// The base slot (oldest slot that can still contain live readings) at
+    /// `now`.
+    #[inline]
+    pub fn base_at(&self, now: Timestamp) -> u64 {
+        self.slot_of(now)
+    }
+}
+
+/// One cached partial aggregate plus its freshness watermark and per-type
+/// sub-aggregates.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Slot {
+    /// Partial aggregate over the slot's constituent readings.
+    pub agg: PartialAgg,
+    /// Minimum production timestamp among constituents (conservative lower
+    /// bound after removals).
+    pub min_ts: Timestamp,
+    /// Per-sensor-type sub-aggregates (sorted by kind). These let
+    /// type-filtered queries use aggregate caches instead of bypassing them
+    /// — the "per-type slot caches" extension.
+    pub by_kind: Vec<(u16, PartialAgg)>,
+    /// Value histogram over the slot's constituents (present only when the
+    /// cache's [`SlotConfig::histogram`] is set).
+    pub hist: Option<Histogram>,
+}
+
+impl Slot {
+    /// A slot holding exactly one reading.
+    pub fn singleton(value: f64, ts: Timestamp, kind: u16, hist_spec: Option<HistogramSpec>) -> Slot {
+        let hist = hist_spec.map(|spec| {
+            let mut h = spec.empty();
+            h.insert(value);
+            h
+        });
+        Slot {
+            agg: PartialAgg::from_value(value),
+            min_ts: ts,
+            by_kind: vec![(kind, PartialAgg::from_value(value))],
+            hist,
+        }
+    }
+
+    /// The sub-aggregate for one sensor type (empty aggregate when the slot
+    /// holds no readings of that type).
+    pub fn kind_agg(&self, kind: u16) -> PartialAgg {
+        self.by_kind
+            .iter()
+            .find(|(k, _)| *k == kind)
+            .map(|(_, a)| *a)
+            .unwrap_or_else(PartialAgg::empty)
+    }
+
+    fn kind_insert(&mut self, kind: u16, value: f64) {
+        match self.by_kind.binary_search_by_key(&kind, |(k, _)| *k) {
+            Ok(i) => self.by_kind[i].1.insert(value),
+            Err(i) => self.by_kind.insert(i, (kind, PartialAgg::from_value(value))),
+        }
+    }
+
+    /// Attempts to decrement `value` from both the total and the per-kind
+    /// aggregate; leaves the slot unchanged and reports failure when either
+    /// side cannot be decremented.
+    fn kind_remove(&mut self, kind: u16, value: f64) -> bool {
+        let Ok(i) = self.by_kind.binary_search_by_key(&kind, |(k, _)| *k) else {
+            return false; // unknown kind: force a rebuild
+        };
+        // Trial-remove on copies so failure leaves no partial mutation.
+        let mut total = self.agg;
+        let mut per = self.by_kind[i].1;
+        if !total.try_remove(value) || !per.try_remove(value) {
+            return false;
+        }
+        if let Some(h) = &mut self.hist {
+            if !h.try_remove(value) {
+                return false;
+            }
+        }
+        self.agg = total;
+        if per.is_empty() {
+            self.by_kind.remove(i);
+        } else {
+            self.by_kind[i].1 = per;
+        }
+        true
+    }
+}
+
+/// Outcome of attempting an in-place decrement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RemoveOutcome {
+    /// The value was removed incrementally.
+    Removed,
+    /// The slot exists but cannot be decremented (the value is an extreme);
+    /// the owner must rebuild the slot from the level below.
+    NeedsRebuild,
+    /// No slot covers that expiry instant (nothing to do).
+    Absent,
+}
+
+/// The per-node slot cache. Stores up to `num_slots + 1` consecutive
+/// absolute slots in a ring (the `+1` covers the partially expired boundary
+/// slot while the window is mid-stride).
+///
+/// ```
+/// use colr_tree::{SlotCache, SlotConfig, TimeDelta, Timestamp};
+///
+/// // 8 slots covering a 10-minute window.
+/// let config = SlotConfig::for_window(TimeDelta::from_mins(10), 8);
+/// let mut cache = SlotCache::new(config);
+///
+/// // A reading worth 21.5, produced at t=1s, expiring at t=5min.
+/// cache.insert(Timestamp(300_000), Timestamp(1_000), 21.5, 0);
+///
+/// // A query at t=60s accepting 2-minute-old data can use it...
+/// let (agg, slots) = cache.usable(Timestamp(60_000), TimeDelta::from_mins(2));
+/// assert_eq!(agg.count, 1);
+/// assert_eq!(slots, 1);
+///
+/// // ...but after the window slides past the reading's slot it is gone.
+/// cache.roll_to(config.base_at(Timestamp(310_000)));
+/// let (agg, _) = cache.usable(Timestamp(310_000), TimeDelta::from_mins(10));
+/// assert!(agg.is_empty());
+/// ```
+#[derive(Debug, Clone)]
+pub struct SlotCache {
+    config: SlotConfig,
+    /// Ring of `(absolute_slot_index, slot)` keyed by `abs % ring_len`.
+    ring: Vec<Option<(u64, Slot)>>,
+}
+
+impl SlotCache {
+    /// An empty cache with the given configuration.
+    pub fn new(config: SlotConfig) -> Self {
+        let ring_len = config.num_slots + 1;
+        SlotCache {
+            config,
+            ring: vec![None; ring_len],
+        }
+    }
+
+    /// The cache configuration.
+    pub fn config(&self) -> &SlotConfig {
+        &self.config
+    }
+
+    fn bucket(&self, abs: u64) -> usize {
+        (abs % self.ring.len() as u64) as usize
+    }
+
+    /// Number of non-empty slots currently held.
+    pub fn occupied_slots(&self) -> usize {
+        self.ring.iter().flatten().count()
+    }
+
+    /// Returns the slot with absolute index `abs`, if present.
+    pub fn slot(&self, abs: u64) -> Option<&Slot> {
+        match &self.ring[self.bucket(abs)] {
+            Some((a, s)) if *a == abs => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Inserts one reading's value into the slot covering `expires_at`
+    /// (sensor type 0). See [`SlotCache::insert_kind`].
+    pub fn insert(&mut self, expires_at: Timestamp, ts: Timestamp, value: f64, base: u64) -> bool {
+        self.insert_kind(expires_at, ts, value, 0, base)
+    }
+
+    /// Inserts one reading's value into the slot covering `expires_at`,
+    /// tracking the sensor type's sub-aggregate.
+    ///
+    /// `base` is the tree-wide current base slot; readings that would land
+    /// below it are already expired and are ignored (returns `false`).
+    /// Readings beyond the window top are also ignored — the owner is
+    /// expected to have rolled the window first (the paper's "slide until the
+    /// youngest slot covers the reading").
+    pub fn insert_kind(
+        &mut self,
+        expires_at: Timestamp,
+        ts: Timestamp,
+        value: f64,
+        kind: u16,
+        base: u64,
+    ) -> bool {
+        let abs = self.config.slot_of(expires_at);
+        if abs < base || abs >= base + self.ring.len() as u64 {
+            return false;
+        }
+        let bucket = self.bucket(abs);
+        match &mut self.ring[bucket] {
+            Some((a, s)) if *a == abs => {
+                s.agg.insert(value);
+                s.kind_insert(kind, value);
+                if let Some(h) = &mut s.hist {
+                    h.insert(value);
+                }
+                if ts < s.min_ts {
+                    s.min_ts = ts;
+                }
+            }
+            entry => {
+                // Either empty or holds a stale (pre-roll) slot; replace.
+                *entry = Some((abs, Slot::singleton(value, ts, kind, self.config.histogram)));
+            }
+        }
+        true
+    }
+
+    /// Attempts to decrement `value` (sensor type 0) from the slot covering
+    /// `expires_at`.
+    pub fn try_remove(&mut self, expires_at: Timestamp, value: f64) -> RemoveOutcome {
+        self.try_remove_kind(expires_at, value, 0)
+    }
+
+    /// Attempts to decrement `value` of sensor type `kind` from the slot
+    /// covering `expires_at`; both the total and the per-type aggregate must
+    /// be decrementable or the slot is left for a rebuild.
+    pub fn try_remove_kind(
+        &mut self,
+        expires_at: Timestamp,
+        value: f64,
+        kind: u16,
+    ) -> RemoveOutcome {
+        let abs = self.config.slot_of(expires_at);
+        let bucket = self.bucket(abs);
+        match &mut self.ring[bucket] {
+            Some((a, s)) if *a == abs => {
+                if s.kind_remove(kind, value) {
+                    if s.agg.is_empty() {
+                        self.ring[bucket] = None;
+                    }
+                    RemoveOutcome::Removed
+                } else {
+                    RemoveOutcome::NeedsRebuild
+                }
+            }
+            _ => RemoveOutcome::Absent,
+        }
+    }
+
+    /// Replaces the slot with absolute index `abs` outright (used by slot
+    /// rebuilds); an empty aggregate clears the slot.
+    pub fn set_slot(&mut self, abs: u64, slot: Slot) {
+        let bucket = self.bucket(abs);
+        if slot.agg.is_empty() {
+            if matches!(&self.ring[bucket], Some((a, _)) if *a == abs) {
+                self.ring[bucket] = None;
+            }
+        } else {
+            self.ring[bucket] = Some((abs, slot));
+        }
+    }
+
+    /// Drops every slot older than `new_base` (the window slide / roll
+    /// trigger). Returns the number of slots expunged.
+    pub fn roll_to(&mut self, new_base: u64) -> usize {
+        let mut dropped = 0;
+        for entry in &mut self.ring {
+            if matches!(entry, Some((a, _)) if *a < new_base) {
+                *entry = None;
+                dropped += 1;
+            }
+        }
+        dropped
+    }
+
+    /// Clears the cache entirely.
+    pub fn clear(&mut self) {
+        self.ring.iter_mut().for_each(|e| *e = None);
+    }
+
+    /// Combines every slot usable for a query at `now` with freshness bound
+    /// `staleness` (Section IV-A "Lookup"):
+    ///
+    /// * the slot must be **fully unexpired** (`abs·Δ >= now`) — the
+    ///   partially expired boundary slot is skipped at aggregate level, and
+    /// * every constituent must satisfy the freshness bound
+    ///   (`min_ts >= now - staleness`).
+    ///
+    /// Returns the combined aggregate and the number of slots merged.
+    pub fn usable(&self, now: Timestamp, staleness: TimeDelta) -> (PartialAgg, u64) {
+        let bound = now.saturating_sub(staleness);
+        let width = self.config.slot_width.millis();
+        let mut agg = PartialAgg::empty();
+        let mut used = 0;
+        for entry in self.ring.iter().flatten() {
+            let (abs, slot) = entry;
+            if abs * width >= now.millis() && slot.min_ts >= bound {
+                agg.merge(&slot.agg);
+                used += 1;
+            }
+        }
+        (agg, used)
+    }
+
+    /// Like [`SlotCache::usable`], but combines only the per-type
+    /// sub-aggregates for `kind`. The freshness watermark is the slot-wide
+    /// one (conservative: a stale reading of another type can disqualify a
+    /// slot for this type).
+    pub fn usable_kind(&self, now: Timestamp, staleness: TimeDelta, kind: u16) -> (PartialAgg, u64) {
+        let bound = now.saturating_sub(staleness);
+        let width = self.config.slot_width.millis();
+        let mut agg = PartialAgg::empty();
+        let mut used = 0;
+        for entry in self.ring.iter().flatten() {
+            let (abs, slot) = entry;
+            if abs * width >= now.millis() && slot.min_ts >= bound {
+                let k = slot.kind_agg(kind);
+                if !k.is_empty() {
+                    agg.merge(&k);
+                    used += 1;
+                }
+            }
+        }
+        (agg, used)
+    }
+
+    /// Combines the histograms of every slot usable at `now` under the
+    /// freshness bound. `None` when histograms are not configured or no
+    /// usable slot holds one.
+    pub fn usable_histogram(&self, now: Timestamp, staleness: TimeDelta) -> Option<Histogram> {
+        let spec = self.config.histogram?;
+        let bound = now.saturating_sub(staleness);
+        let width = self.config.slot_width.millis();
+        let mut merged = spec.empty();
+        let mut any = false;
+        for entry in self.ring.iter().flatten() {
+            let (abs, slot) = entry;
+            if abs * width >= now.millis() && slot.min_ts >= bound {
+                if let Some(h) = &slot.hist {
+                    merged.merge(h);
+                    any = true;
+                }
+            }
+        }
+        any.then_some(merged)
+    }
+
+    /// Total weight (reading count) across all currently held slots,
+    /// regardless of freshness — the cache table's aggregate `value weight`.
+    pub fn total_weight(&self) -> u64 {
+        self.ring.iter().flatten().map(|(_, s)| s.agg.count).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::agg::AggKind;
+
+    fn cfg(width_ms: u64, slots: usize) -> SlotConfig {
+        SlotConfig {
+            slot_width: TimeDelta::from_millis(width_ms),
+            num_slots: slots,
+            histogram: None,
+        }
+    }
+
+    #[test]
+    fn for_window_covers_t_max() {
+        let c = SlotConfig::for_window(TimeDelta::from_millis(1_000), 3);
+        assert!(c.slot_width.millis() * 3 >= 1_000);
+        assert_eq!(c.num_slots, 3);
+        let exact = SlotConfig::for_window(TimeDelta::from_millis(900), 3);
+        assert_eq!(exact.slot_width, TimeDelta::from_millis(300));
+    }
+
+    #[test]
+    fn slot_of_uses_floor() {
+        let c = cfg(100, 4);
+        assert_eq!(c.slot_of(Timestamp(0)), 0);
+        assert_eq!(c.slot_of(Timestamp(99)), 0);
+        assert_eq!(c.slot_of(Timestamp(100)), 1);
+    }
+
+    #[test]
+    fn insert_groups_by_expiry_slot() {
+        let mut sc = SlotCache::new(cfg(100, 4));
+        assert!(sc.insert(Timestamp(150), Timestamp(10), 5.0, 0));
+        assert!(sc.insert(Timestamp(199), Timestamp(20), 7.0, 0));
+        assert!(sc.insert(Timestamp(250), Timestamp(30), 1.0, 0));
+        let s1 = sc.slot(1).unwrap();
+        assert_eq!(s1.agg.count, 2);
+        assert_eq!(s1.agg.sum, 12.0);
+        assert_eq!(s1.min_ts, Timestamp(10));
+        assert_eq!(sc.slot(2).unwrap().agg.count, 1);
+        assert_eq!(sc.occupied_slots(), 2);
+        assert_eq!(sc.total_weight(), 3);
+    }
+
+    #[test]
+    fn insert_below_base_is_rejected() {
+        let mut sc = SlotCache::new(cfg(100, 4));
+        assert!(!sc.insert(Timestamp(50), Timestamp(0), 1.0, 2));
+        assert_eq!(sc.occupied_slots(), 0);
+    }
+
+    #[test]
+    fn insert_beyond_window_is_rejected() {
+        let mut sc = SlotCache::new(cfg(100, 4)); // ring covers base..base+5
+        assert!(!sc.insert(Timestamp(501), Timestamp(0), 1.0, 0));
+        assert!(sc.insert(Timestamp(499), Timestamp(0), 1.0, 0));
+    }
+
+    #[test]
+    fn roll_drops_old_slots_only() {
+        let mut sc = SlotCache::new(cfg(100, 4));
+        sc.insert(Timestamp(50), Timestamp(0), 1.0, 0);
+        sc.insert(Timestamp(150), Timestamp(0), 2.0, 0);
+        sc.insert(Timestamp(250), Timestamp(0), 3.0, 0);
+        assert_eq!(sc.roll_to(2), 2);
+        assert!(sc.slot(0).is_none());
+        assert!(sc.slot(1).is_none());
+        assert_eq!(sc.slot(2).unwrap().agg.sum, 3.0);
+    }
+
+    #[test]
+    fn try_remove_midrange() {
+        let mut sc = SlotCache::new(cfg(100, 4));
+        sc.insert(Timestamp(150), Timestamp(0), 1.0, 0);
+        sc.insert(Timestamp(150), Timestamp(0), 2.0, 0);
+        sc.insert(Timestamp(150), Timestamp(0), 3.0, 0);
+        assert_eq!(sc.try_remove(Timestamp(150), 2.0), RemoveOutcome::Removed);
+        assert_eq!(sc.slot(1).unwrap().agg.count, 2);
+    }
+
+    #[test]
+    fn try_remove_extreme_signals_rebuild() {
+        let mut sc = SlotCache::new(cfg(100, 4));
+        sc.insert(Timestamp(150), Timestamp(0), 1.0, 0);
+        sc.insert(Timestamp(150), Timestamp(0), 3.0, 0);
+        assert_eq!(sc.try_remove(Timestamp(150), 3.0), RemoveOutcome::NeedsRebuild);
+        // State preserved for the rebuild.
+        assert_eq!(sc.slot(1).unwrap().agg.count, 2);
+    }
+
+    #[test]
+    fn try_remove_absent() {
+        let mut sc = SlotCache::new(cfg(100, 4));
+        assert_eq!(sc.try_remove(Timestamp(150), 1.0), RemoveOutcome::Absent);
+    }
+
+    #[test]
+    fn remove_last_clears_slot() {
+        let mut sc = SlotCache::new(cfg(100, 4));
+        sc.insert(Timestamp(150), Timestamp(0), 1.0, 0);
+        assert_eq!(sc.try_remove(Timestamp(150), 1.0), RemoveOutcome::Removed);
+        assert!(sc.slot(1).is_none());
+        assert_eq!(sc.occupied_slots(), 0);
+    }
+
+    #[test]
+    fn usable_skips_partially_expired_boundary_slot() {
+        let mut sc = SlotCache::new(cfg(100, 4));
+        sc.insert(Timestamp(150), Timestamp(100), 1.0, 1); // slot 1: [100,200)
+        sc.insert(Timestamp(250), Timestamp(100), 2.0, 1); // slot 2: [200,300)
+        // now = 150 sits inside slot 1 → slot 1 is partially expired, skip.
+        let (agg, used) = sc.usable(Timestamp(150), TimeDelta::from_millis(1_000));
+        assert_eq!(used, 1);
+        assert_eq!(agg.sum, 2.0);
+        // now = 100 exactly at slot 1's lower edge → slot 1 fully unexpired.
+        let (agg, used) = sc.usable(Timestamp(100), TimeDelta::from_millis(1_000));
+        assert_eq!(used, 2);
+        assert_eq!(agg.sum, 3.0);
+    }
+
+    #[test]
+    fn usable_enforces_freshness_watermark() {
+        let mut sc = SlotCache::new(cfg(100, 4));
+        sc.insert(Timestamp(250), Timestamp(10), 2.0, 0); // old production ts
+        sc.insert(Timestamp(350), Timestamp(90), 5.0, 0); // fresh
+        let now = Timestamp(100);
+        // staleness 20ms → bound=80 → only the ts=90 slot qualifies.
+        let (agg, used) = sc.usable(now, TimeDelta::from_millis(20));
+        assert_eq!(used, 1);
+        assert_eq!(agg.sum, 5.0);
+        // staleness 95ms → bound=5 → both.
+        let (agg, used) = sc.usable(now, TimeDelta::from_millis(95));
+        assert_eq!(used, 2);
+        assert_eq!(agg.sum, 7.0);
+    }
+
+    #[test]
+    fn usable_freshness_uses_min_constituent() {
+        let mut sc = SlotCache::new(cfg(100, 4));
+        // Same slot: one stale constituent poisons the slot for tight bounds.
+        sc.insert(Timestamp(250), Timestamp(10), 2.0, 0);
+        sc.insert(Timestamp(260), Timestamp(90), 5.0, 0);
+        let (agg, used) = sc.usable(Timestamp(100), TimeDelta::from_millis(20));
+        assert_eq!(used, 0);
+        assert!(agg.is_empty());
+    }
+
+    #[test]
+    fn set_slot_replaces_and_clears() {
+        let mut sc = SlotCache::new(cfg(100, 4));
+        sc.set_slot(
+            3,
+            Slot {
+                agg: PartialAgg::from_values(&[1.0, 2.0]),
+                min_ts: Timestamp(5),
+                by_kind: vec![(0, PartialAgg::from_values(&[1.0, 2.0]))],
+                hist: None,
+            },
+        );
+        assert_eq!(sc.slot(3).unwrap().agg.count, 2);
+        sc.set_slot(
+            3,
+            Slot {
+                agg: PartialAgg::empty(),
+                min_ts: Timestamp(0),
+                by_kind: Vec::new(),
+                hist: None,
+            },
+        );
+        assert!(sc.slot(3).is_none());
+    }
+
+    #[test]
+    fn ring_reuses_buckets_across_rolls() {
+        let mut sc = SlotCache::new(cfg(100, 2)); // ring len 3
+        sc.insert(Timestamp(50), Timestamp(0), 1.0, 0); // slot 0
+        sc.roll_to(3);
+        // Slot 3 maps to bucket 0 — the rolled-out slot 0 must not alias.
+        assert!(sc.slot(3).is_none());
+        assert!(sc.insert(Timestamp(350), Timestamp(300), 9.0, 3));
+        assert_eq!(sc.slot(3).unwrap().agg.sum, 9.0);
+        assert!(sc.slot(0).is_none());
+    }
+
+    #[test]
+    fn stale_bucket_is_replaced_on_insert_without_roll() {
+        // Defensive path: insert into a bucket still holding a pre-roll slot.
+        let mut sc = SlotCache::new(cfg(100, 2)); // ring len 3
+        sc.insert(Timestamp(50), Timestamp(0), 1.0, 0); // abs 0, bucket 0
+        // Window has moved to base 3 but roll_to was not called; abs 3 shares
+        // bucket 0.
+        assert!(sc.insert(Timestamp(350), Timestamp(300), 9.0, 3));
+        let s = sc.slot(3).unwrap();
+        assert_eq!(s.agg.count, 1);
+        assert_eq!(s.agg.sum, 9.0);
+    }
+
+    #[test]
+    fn combined_aggregate_finalises_correctly() {
+        let mut sc = SlotCache::new(cfg(100, 4));
+        sc.insert(Timestamp(150), Timestamp(0), 1.0, 0);
+        sc.insert(Timestamp(250), Timestamp(0), 5.0, 0);
+        sc.insert(Timestamp(350), Timestamp(0), 3.0, 0);
+        let (agg, _) = sc.usable(Timestamp(100), TimeDelta::from_millis(1_000));
+        assert_eq!(agg.finalize(AggKind::Count), Some(3.0));
+        assert_eq!(agg.finalize(AggKind::Min), Some(1.0));
+        assert_eq!(agg.finalize(AggKind::Max), Some(5.0));
+        assert_eq!(agg.finalize(AggKind::Avg), Some(3.0));
+    }
+
+    #[test]
+    fn per_kind_subaggregates_track_inserts() {
+        let mut sc = SlotCache::new(cfg(100, 4));
+        sc.insert_kind(Timestamp(150), Timestamp(0), 1.0, 1, 0);
+        sc.insert_kind(Timestamp(150), Timestamp(0), 2.0, 2, 0);
+        sc.insert_kind(Timestamp(160), Timestamp(0), 3.0, 1, 0);
+        let slot = sc.slot(1).unwrap();
+        assert_eq!(slot.agg.count, 3);
+        assert_eq!(slot.kind_agg(1).count, 2);
+        assert_eq!(slot.kind_agg(1).sum, 4.0);
+        assert_eq!(slot.kind_agg(2).count, 1);
+        assert!(slot.kind_agg(9).is_empty());
+    }
+
+    #[test]
+    fn usable_kind_filters_by_type() {
+        let mut sc = SlotCache::new(cfg(100, 4));
+        sc.insert_kind(Timestamp(150), Timestamp(0), 1.0, 1, 0);
+        sc.insert_kind(Timestamp(250), Timestamp(0), 2.0, 2, 0);
+        sc.insert_kind(Timestamp(250), Timestamp(0), 4.0, 1, 0);
+        let (agg, used) = sc.usable_kind(Timestamp(100), TimeDelta::from_millis(1_000), 1);
+        assert_eq!(agg.count, 2);
+        assert_eq!(agg.sum, 5.0);
+        assert_eq!(used, 2);
+        let (agg, used) = sc.usable_kind(Timestamp(100), TimeDelta::from_millis(1_000), 2);
+        assert_eq!(agg.count, 1);
+        assert_eq!(used, 1);
+        let (agg, used) = sc.usable_kind(Timestamp(100), TimeDelta::from_millis(1_000), 7);
+        assert!(agg.is_empty());
+        assert_eq!(used, 0);
+    }
+
+    #[test]
+    fn kind_remove_keeps_total_and_per_kind_consistent() {
+        let mut sc = SlotCache::new(cfg(100, 4));
+        sc.insert_kind(Timestamp(150), Timestamp(0), 1.0, 1, 0);
+        sc.insert_kind(Timestamp(150), Timestamp(0), 2.0, 1, 0);
+        sc.insert_kind(Timestamp(150), Timestamp(0), 3.0, 1, 0);
+        assert_eq!(sc.try_remove_kind(Timestamp(150), 2.0, 1), RemoveOutcome::Removed);
+        let slot = sc.slot(1).unwrap();
+        assert_eq!(slot.agg.count, 2);
+        assert_eq!(slot.kind_agg(1).count, 2);
+        // Removing with the wrong kind forces a rebuild.
+        assert_eq!(
+            sc.try_remove_kind(Timestamp(150), 3.0, 9),
+            RemoveOutcome::NeedsRebuild
+        );
+    }
+
+    #[test]
+    fn slot_histograms_track_inserts_and_lookups() {
+        let spec = HistogramSpec { lo: 0.0, hi: 10.0, buckets: 5 };
+        let mut sc = SlotCache::new(cfg(100, 4).with_histogram(spec));
+        sc.insert(Timestamp(150), Timestamp(0), 1.0, 0);
+        sc.insert(Timestamp(150), Timestamp(0), 3.0, 0);
+        sc.insert(Timestamp(250), Timestamp(0), 9.0, 0);
+        let h = sc.usable_histogram(Timestamp(100), TimeDelta::from_millis(1_000)).unwrap();
+        assert_eq!(h.total(), 3);
+        assert_eq!(h.counts(), &[1, 1, 0, 0, 1]);
+        // The partially expired boundary slot is excluded, like aggregates.
+        let h = sc.usable_histogram(Timestamp(150), TimeDelta::from_millis(1_000)).unwrap();
+        assert_eq!(h.total(), 1);
+    }
+
+    #[test]
+    fn histograms_absent_when_not_configured() {
+        let mut sc = SlotCache::new(cfg(100, 4));
+        sc.insert(Timestamp(150), Timestamp(0), 1.0, 0);
+        assert!(sc.usable_histogram(Timestamp(100), TimeDelta::from_millis(1_000)).is_none());
+        assert!(sc.slot(1).unwrap().hist.is_none());
+    }
+
+    #[test]
+    fn histogram_removal_keeps_counts_consistent() {
+        let spec = HistogramSpec { lo: 0.0, hi: 10.0, buckets: 5 };
+        let mut sc = SlotCache::new(cfg(100, 4).with_histogram(spec));
+        sc.insert(Timestamp(150), Timestamp(0), 2.0, 0);
+        sc.insert(Timestamp(150), Timestamp(0), 5.0, 0);
+        sc.insert(Timestamp(150), Timestamp(0), 8.0, 0);
+        assert_eq!(sc.try_remove(Timestamp(150), 5.0), RemoveOutcome::Removed);
+        let slot = sc.slot(1).unwrap();
+        assert_eq!(slot.hist.as_ref().unwrap().total(), 2);
+        assert_eq!(slot.agg.count, 2);
+    }
+
+    #[test]
+    fn clear_empties_cache() {
+        let mut sc = SlotCache::new(cfg(100, 4));
+        sc.insert(Timestamp(150), Timestamp(0), 1.0, 0);
+        sc.clear();
+        assert_eq!(sc.occupied_slots(), 0);
+        assert_eq!(sc.total_weight(), 0);
+    }
+}

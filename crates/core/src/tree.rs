@@ -1,0 +1,627 @@
+//! The COLR-Tree structure and its cache-maintenance operations.
+//!
+//! A [`ColrTree`] is an R-Tree bulk-built bottom-up over the registered
+//! sensors (Section III-C), where **every node carries a slot cache**
+//! (Section IV-B): leaves cache raw readings, internal nodes cache per-slot
+//! partial aggregates over their descendants' readings. All caches share one
+//! globally aligned slotting scheme, so maintenance is strictly bottom-up:
+//!
+//! * **insert/update** — a probed reading lands in its home leaf and its
+//!   value is added to the matching slot of every ancestor; replacing an
+//!   existing reading first decrements the old value (rebuilding any slot
+//!   whose aggregate cannot be decremented — the min/max case);
+//! * **roll** — when simulated time crosses a slot boundary the window
+//!   slides: the all-expired slots are dropped at every node at once, and the
+//!   raw readings they covered are expunged from the leaves;
+//! * **evict** — a tree-wide raw-cache capacity constraint is enforced by
+//!   evicting the *least recently fetched* readings from the *oldest* slot
+//!   (Section IV-A's replacement policy), maintained here as a global
+//!   `(slot, fetched_at, sensor)` ordering.
+
+use std::collections::BTreeSet;
+
+use colr_geo::{Point, Rect, Region};
+
+use crate::reading::{Reading, SensorId, SensorMeta};
+use crate::slot_cache::{RemoveOutcome, Slot, SlotCache, SlotConfig};
+use crate::stats::CostModel;
+use crate::time::{TimeDelta, Timestamp};
+
+/// Index of a node in the tree arena.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// The id as a `usize` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A node's children: internal nodes point at other nodes, leaves at sensors.
+#[derive(Debug, Clone)]
+pub enum Children {
+    /// Child nodes of an internal node.
+    Internal(Vec<NodeId>),
+    /// Sensors homed at a leaf.
+    Leaf(Vec<SensorId>),
+}
+
+/// A raw reading cached at a leaf, with the instant it was fetched (for the
+/// least-recently-fetched replacement policy).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CachedEntry {
+    /// The cached reading.
+    pub reading: Reading,
+    /// When the portal fetched it from the sensor.
+    pub fetched_at: Timestamp,
+}
+
+/// One tree node.
+#[derive(Debug, Clone)]
+pub struct Node {
+    /// Depth from the root (root is level 0, as in the paper).
+    pub level: u16,
+    /// Minimum bounding rectangle of the descendant sensors.
+    pub bbox: Rect,
+    /// Parent node (`None` for the root).
+    pub parent: Option<NodeId>,
+    /// Children.
+    pub children: Children,
+    /// Number of descendant sensors — the sampling weight `w_i`.
+    pub weight: u64,
+    /// Descendant sensor counts per sensor type (sorted by kind). Lets
+    /// type-filtered queries partition targets and check aggregate coverage
+    /// against the right population.
+    pub kind_weights: Vec<(u16, u64)>,
+    /// Mean historical availability of descendant sensors — the `a_i` used
+    /// by oversampling.
+    pub avail_mean: f64,
+    /// The node's slot cache (leaf caches mirror their raw entries so parent
+    /// updates are uniform).
+    pub cache: SlotCache,
+    /// Raw cached readings; non-empty only at leaves. Kept sorted by sensor
+    /// id for O(log) lookup (leaf fanout is small).
+    pub entries: Vec<CachedEntry>,
+}
+
+impl Node {
+    /// `true` when the node is a leaf.
+    pub fn is_leaf(&self) -> bool {
+        matches!(self.children, Children::Leaf(_))
+    }
+
+    /// Number of descendant sensors of one type.
+    pub fn weight_of_kind(&self, kind: u16) -> u64 {
+        self.kind_weights
+            .binary_search_by_key(&kind, |(k, _)| *k)
+            .map(|i| self.kind_weights[i].1)
+            .unwrap_or(0)
+    }
+
+    /// The sampling weight for an optionally type-filtered query.
+    pub fn query_weight(&self, kind_filter: Option<u16>) -> u64 {
+        match kind_filter {
+            None => self.weight,
+            Some(k) => self.weight_of_kind(k),
+        }
+    }
+
+    fn entry_pos(&self, sensor: SensorId) -> Result<usize, usize> {
+        self.entries
+            .binary_search_by_key(&sensor, |e| e.reading.sensor)
+    }
+
+    /// The cached entry for `sensor`, if any.
+    pub fn entry(&self, sensor: SensorId) -> Option<&CachedEntry> {
+        self.entry_pos(sensor).ok().map(|i| &self.entries[i])
+    }
+}
+
+/// How the bulk loader clusters sensors (Section III-C uses k-means; STR
+/// packing — the Kamel–Faloutsos style the paper cites — is provided as an
+/// ablation alternative).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum BuildStrategy {
+    /// Bottom-up iterative k-means clustering (the paper's construction).
+    KMeans {
+        /// Lloyd iterations per clustering level.
+        iterations: usize,
+    },
+    /// Sort-Tile-Recursive packing.
+    Str,
+}
+
+impl Default for BuildStrategy {
+    fn default() -> Self {
+        BuildStrategy::KMeans { iterations: 8 }
+    }
+}
+
+/// Configuration of a COLR-Tree.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColrConfig {
+    /// Target branching factor `B` (cluster count per level is `⌈n/B⌉`).
+    pub branching: usize,
+    /// Number of slots `m` in every slot cache.
+    pub num_slots: usize,
+    /// Tree-wide cap on cached raw readings (`None` = unconstrained). The
+    /// paper varies this between 16% and 32% of the sensor population.
+    pub cache_capacity: Option<usize>,
+    /// Bulk-load strategy.
+    pub build: BuildStrategy,
+    /// When set, every slot cache also maintains per-slot value histograms
+    /// with this binning, letting the portal serve group *distributions*
+    /// (Section I's "distribution of waiting times") straight from cache.
+    pub slot_histograms: Option<crate::agg::HistogramSpec>,
+    /// Ablation switch: when `false`, layered sampling skips the
+    /// availability scale-up of Algorithm 1 (targets are taken at face
+    /// value, so failures directly shrink the sample).
+    pub enable_oversampling: bool,
+    /// Ablation switch: when `false`, Algorithm 2's redistribution is
+    /// disabled (shortfalls are simply lost).
+    pub enable_redistribution: bool,
+    /// Fraction of a node's descendants a cached aggregate must cover before
+    /// the hierarchical-cache lookup terminates early at that node
+    /// (Section IV-B's "aggregate is indeed cached"). 1.0 demands full
+    /// coverage; the default tolerates partially expired coverage, which is
+    /// what lets the hierarchical cache cut traversals in Fig 3.
+    pub cache_coverage_threshold: f64,
+    /// Latency model used to convert query stats into processing latency.
+    pub cost: CostModel,
+}
+
+impl Default for ColrConfig {
+    fn default() -> Self {
+        ColrConfig {
+            branching: 10,
+            num_slots: 8,
+            cache_capacity: None,
+            build: BuildStrategy::default(),
+            slot_histograms: None,
+            enable_oversampling: true,
+            enable_redistribution: true,
+            cache_coverage_threshold: 0.5,
+            cost: CostModel::default(),
+        }
+    }
+}
+
+/// The COLR-Tree: a bulk-built R-Tree whose every node carries a slot cache,
+/// plus the tree-wide raw-cache accounting.
+#[derive(Debug, Clone)]
+pub struct ColrTree {
+    pub(crate) config: ColrConfig,
+    pub(crate) slot_config: SlotConfig,
+    pub(crate) t_max: TimeDelta,
+    pub(crate) sensors: Vec<SensorMeta>,
+    pub(crate) nodes: Vec<Node>,
+    pub(crate) root: NodeId,
+    /// Level of the leaves (`= height`; root is level 0).
+    pub(crate) leaf_level: u16,
+    /// Home leaf of each sensor.
+    pub(crate) sensor_leaf: Vec<NodeId>,
+    /// Oldest slot that can still hold live readings.
+    pub(crate) cache_base: u64,
+    /// Total raw readings cached across all leaves.
+    pub(crate) total_cached: usize,
+    /// Global eviction order: `(slot_of_expiry, fetched_at, sensor)`.
+    pub(crate) evict_index: BTreeSet<(u64, Timestamp, SensorId)>,
+}
+
+impl ColrTree {
+    // ------------------------------------------------------------------
+    // Accessors
+    // ------------------------------------------------------------------
+
+    /// The tree configuration.
+    pub fn config(&self) -> &ColrConfig {
+        &self.config
+    }
+
+    /// The slot-cache configuration shared by every node.
+    pub fn slot_config(&self) -> &SlotConfig {
+        &self.slot_config
+    }
+
+    /// The maximum sensor expiry (`t_max`), which the slot window covers.
+    pub fn t_max(&self) -> TimeDelta {
+        self.t_max
+    }
+
+    /// The root node id.
+    pub fn root(&self) -> NodeId {
+        self.root
+    }
+
+    /// Borrow a node.
+    pub fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id.index()]
+    }
+
+    /// Number of nodes in the tree.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Level of the leaves (tree height; root is level 0).
+    pub fn leaf_level(&self) -> u16 {
+        self.leaf_level
+    }
+
+    /// All registered sensors, indexed by [`SensorId`].
+    pub fn sensors(&self) -> &[SensorMeta] {
+        &self.sensors
+    }
+
+    /// Metadata of one sensor.
+    pub fn sensor(&self, id: SensorId) -> &SensorMeta {
+        &self.sensors[id.index()]
+    }
+
+    /// The leaf a sensor is homed at.
+    pub fn home_leaf(&self, id: SensorId) -> NodeId {
+        self.sensor_leaf[id.index()]
+    }
+
+    /// Number of raw readings currently cached tree-wide.
+    pub fn cached_readings(&self) -> usize {
+        self.total_cached
+    }
+
+    /// The ancestor of `id` at `level` (or `id` itself when already at or
+    /// above that level).
+    pub fn ancestor_at_level(&self, id: NodeId, level: u16) -> NodeId {
+        let mut cur = id;
+        while self.node(cur).level > level {
+            match self.node(cur).parent {
+                Some(p) => cur = p,
+                None => break,
+            }
+        }
+        cur
+    }
+
+    /// Iterates over node ids in arena order.
+    pub fn node_ids(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.nodes.len() as u32).map(NodeId)
+    }
+
+    // ------------------------------------------------------------------
+    // Window maintenance (the roll trigger)
+    // ------------------------------------------------------------------
+
+    /// Slides the slot window forward to cover `now`, expiring whole slots at
+    /// every node and expunging the raw readings they covered (Section VI-B's
+    /// roll trigger). Idempotent; called by every public operation.
+    pub fn advance(&mut self, now: Timestamp) {
+        let new_base = self.slot_config.base_at(now);
+        if new_base <= self.cache_base {
+            return;
+        }
+        // Expunge raw readings living in slots that slid out.
+        while let Some(&key @ (slot, _, sensor)) = self.evict_index.iter().next() {
+            if slot >= new_base {
+                break;
+            }
+            self.evict_index.remove(&key);
+            let leaf = self.sensor_leaf[sensor.index()];
+            let node = &mut self.nodes[leaf.index()];
+            if let Ok(pos) = node.entry_pos(sensor) {
+                node.entries.remove(pos);
+                self.total_cached -= 1;
+            }
+        }
+        // Drop the expired aggregate slots everywhere.
+        for node in &mut self.nodes {
+            node.cache.roll_to(new_base);
+        }
+        self.cache_base = new_base;
+    }
+
+    // ------------------------------------------------------------------
+    // Reading insertion / update (slot insert + update triggers)
+    // ------------------------------------------------------------------
+
+    /// Caches a freshly collected reading, updating the leaf raw cache and
+    /// every ancestor's slot aggregate, then enforces the cache capacity.
+    ///
+    /// Returns `true` when the reading was cached (expired readings and
+    /// readings beyond the window are dropped).
+    pub fn insert_reading(&mut self, reading: Reading, now: Timestamp) -> bool {
+        self.advance(now);
+        let slot = self.slot_config.slot_of(reading.expires_at);
+        let window_top = self.cache_base + self.config.num_slots as u64 + 1;
+        if slot < self.cache_base || slot >= window_top || !reading.is_live(now) {
+            return false;
+        }
+        let leaf = self.sensor_leaf[reading.sensor.index()];
+
+        // Replace any existing reading for the sensor (the update trigger).
+        if self.nodes[leaf.index()].entry(reading.sensor).is_some() {
+            self.remove_cached(reading.sensor);
+        }
+
+        let node = &mut self.nodes[leaf.index()];
+        let pos = match node.entry_pos(reading.sensor) {
+            Ok(_) => unreachable!("entry was just removed"),
+            Err(pos) => pos,
+        };
+        node.entries.insert(
+            pos,
+            CachedEntry {
+                reading,
+                fetched_at: now,
+            },
+        );
+        self.total_cached += 1;
+        self.evict_index.insert((slot, now, reading.sensor));
+
+        // Bottom-up slot aggregate updates, leaf first.
+        let base = self.cache_base;
+        let kind = self.sensors[reading.sensor.index()].kind;
+        let mut cur = Some(leaf);
+        while let Some(id) = cur {
+            self.nodes[id.index()].cache.insert_kind(
+                reading.expires_at,
+                reading.timestamp,
+                reading.value,
+                kind,
+                base,
+            );
+            cur = self.nodes[id.index()].parent;
+        }
+
+        self.enforce_capacity();
+        true
+    }
+
+    /// Removes the cached reading of `sensor` (if any) from the leaf and all
+    /// ancestor aggregates. Used for updates and evictions.
+    pub fn remove_cached(&mut self, sensor: SensorId) -> Option<Reading> {
+        let leaf = self.sensor_leaf[sensor.index()];
+        let node = &mut self.nodes[leaf.index()];
+        let pos = node.entry_pos(sensor).ok()?;
+        let entry = node.entries.remove(pos);
+        self.total_cached -= 1;
+        let slot = self.slot_config.slot_of(entry.reading.expires_at);
+        self.evict_index.remove(&(slot, entry.fetched_at, sensor));
+
+        // Decrement bottom-up; rebuild any slot that cannot be decremented.
+        let kind = self.sensors[sensor.index()].kind;
+        let mut cur = Some(leaf);
+        while let Some(id) = cur {
+            match self.nodes[id.index()].cache.try_remove_kind(
+                entry.reading.expires_at,
+                entry.reading.value,
+                kind,
+            ) {
+                RemoveOutcome::Removed | RemoveOutcome::Absent => {}
+                RemoveOutcome::NeedsRebuild => self.rebuild_slot(id, slot),
+            }
+            cur = self.nodes[id.index()].parent;
+        }
+        Some(entry.reading)
+    }
+
+    /// Recomputes one slot of one node from the level below (leaf: from raw
+    /// entries; internal: from the children's same slot) — the fallback for
+    /// non-decrementable aggregates.
+    fn rebuild_slot(&mut self, id: NodeId, slot: u64) {
+        fn merge_kind(by_kind: &mut Vec<(u16, crate::agg::PartialAgg)>, kind: u16, add: &crate::agg::PartialAgg) {
+            match by_kind.binary_search_by_key(&kind, |(k, _)| *k) {
+                Ok(i) => by_kind[i].1.merge(add),
+                Err(i) => by_kind.insert(i, (kind, *add)),
+            }
+        }
+        let hist_spec = self.slot_config.histogram;
+        let rebuilt = match &self.nodes[id.index()].children {
+            Children::Leaf(_) => {
+                let node = &self.nodes[id.index()];
+                let mut agg = crate::agg::PartialAgg::empty();
+                let mut min_ts = Timestamp(u64::MAX);
+                let mut by_kind: Vec<(u16, crate::agg::PartialAgg)> = Vec::new();
+                let mut hist = hist_spec.map(|spec| spec.empty());
+                for e in &node.entries {
+                    if self.slot_config.slot_of(e.reading.expires_at) == slot {
+                        agg.insert(e.reading.value);
+                        min_ts = min_ts.min(e.reading.timestamp);
+                        let kind = self.sensors[e.reading.sensor.index()].kind;
+                        merge_kind(
+                            &mut by_kind,
+                            kind,
+                            &crate::agg::PartialAgg::from_value(e.reading.value),
+                        );
+                        if let Some(h) = &mut hist {
+                            h.insert(e.reading.value);
+                        }
+                    }
+                }
+                Slot { agg, min_ts, by_kind, hist }
+            }
+            Children::Internal(children) => {
+                let children = children.clone();
+                let mut agg = crate::agg::PartialAgg::empty();
+                let mut min_ts = Timestamp(u64::MAX);
+                let mut by_kind: Vec<(u16, crate::agg::PartialAgg)> = Vec::new();
+                let mut hist = hist_spec.map(|spec| spec.empty());
+                for ch in children {
+                    if let Some(s) = self.nodes[ch.index()].cache.slot(slot) {
+                        agg.merge(&s.agg);
+                        min_ts = min_ts.min(s.min_ts);
+                        for (k, a) in &s.by_kind {
+                            merge_kind(&mut by_kind, *k, a);
+                        }
+                        if let (Some(h), Some(sh)) = (&mut hist, &s.hist) {
+                            h.merge(sh);
+                        }
+                    }
+                }
+                Slot { agg, min_ts, by_kind, hist }
+            }
+        };
+        self.nodes[id.index()].cache.set_slot(slot, rebuilt);
+    }
+
+    /// Enforces the tree-wide raw-cache capacity by evicting least recently
+    /// fetched readings from the oldest slot (Section IV-A's policy).
+    fn enforce_capacity(&mut self) {
+        let Some(cap) = self.config.cache_capacity else {
+            return;
+        };
+        while self.total_cached > cap {
+            let Some(&(_, _, sensor)) = self.evict_index.iter().next() else {
+                break;
+            };
+            self.remove_cached(sensor);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Subtree walks used by lookup & sampling
+    // ------------------------------------------------------------------
+
+    /// Collects every sensor under `id` whose location lies within `region`.
+    pub fn sensors_in_region(&self, id: NodeId, region: &Region) -> Vec<SensorId> {
+        let mut out = Vec::new();
+        let mut stack = vec![id];
+        while let Some(cur) = stack.pop() {
+            let node = self.node(cur);
+            if !region.intersects_rect(&node.bbox) {
+                continue;
+            }
+            match &node.children {
+                Children::Leaf(sensors) => {
+                    for &s in sensors {
+                        if region.contains_point(&self.sensors[s.index()].location) {
+                            out.push(s);
+                        }
+                    }
+                }
+                Children::Internal(children) => stack.extend(children.iter().copied()),
+            }
+        }
+        out
+    }
+
+    /// Collects the fresh cached readings under `id` within `region` at
+    /// `now` with freshness bound `staleness`.
+    pub fn fresh_cached_readings(
+        &self,
+        id: NodeId,
+        region: &Region,
+        now: Timestamp,
+        staleness: TimeDelta,
+    ) -> Vec<Reading> {
+        let mut out = Vec::new();
+        let mut stack = vec![id];
+        while let Some(cur) = stack.pop() {
+            let node = self.node(cur);
+            if !region.intersects_rect(&node.bbox) {
+                continue;
+            }
+            match &node.children {
+                Children::Leaf(_) => {
+                    for e in &node.entries {
+                        if e.reading.is_fresh(now, staleness)
+                            && region.contains_point(&self.sensors[e.reading.sensor.index()].location)
+                        {
+                            out.push(e.reading);
+                        }
+                    }
+                }
+                Children::Internal(children) => stack.extend(children.iter().copied()),
+            }
+        }
+        out
+    }
+
+    /// Location of a sensor.
+    pub fn sensor_location(&self, id: SensorId) -> Point {
+        self.sensors[id.index()].location
+    }
+
+    /// Clears every cache in the tree (used between experiment phases).
+    pub fn clear_caches(&mut self) {
+        for node in &mut self.nodes {
+            node.cache.clear();
+            node.entries.clear();
+        }
+        self.evict_index.clear();
+        self.total_cached = 0;
+    }
+
+    /// Debug validation: checks the structural invariants of the tree and
+    /// cache accounting. Used by tests; O(n).
+    pub fn validate(&self) -> Result<(), String> {
+        // Parent bbox contains child bboxes; weights add up.
+        for id in self.node_ids() {
+            let node = self.node(id);
+            match &node.children {
+                Children::Internal(children) => {
+                    if children.is_empty() {
+                        return Err(format!("internal node {id:?} has no children"));
+                    }
+                    let mut w = 0;
+                    for &c in children {
+                        let child = self.node(c);
+                        if child.parent != Some(id) {
+                            return Err(format!("child {c:?} has wrong parent"));
+                        }
+                        if child.level != node.level + 1 {
+                            return Err(format!("child {c:?} has wrong level"));
+                        }
+                        if !node.bbox.contains_rect(&child.bbox) {
+                            return Err(format!("bbox of {id:?} does not contain child {c:?}"));
+                        }
+                        w += child.weight;
+                    }
+                    if w != node.weight {
+                        return Err(format!(
+                            "weight mismatch at {id:?}: {} vs sum {}",
+                            node.weight, w
+                        ));
+                    }
+                }
+                Children::Leaf(sensors) => {
+                    if node.level != self.leaf_level {
+                        return Err(format!("leaf {id:?} not at leaf level"));
+                    }
+                    if node.weight != sensors.len() as u64 {
+                        return Err(format!("leaf {id:?} weight mismatch"));
+                    }
+                    for &s in sensors {
+                        if self.sensor_leaf[s.index()] != id {
+                            return Err(format!("sensor {s:?} home-leaf mismatch"));
+                        }
+                        if !node.bbox.contains_point(&self.sensors[s.index()].location) {
+                            return Err(format!("sensor {s:?} outside leaf bbox"));
+                        }
+                    }
+                }
+            }
+        }
+        // Cache accounting.
+        let counted: usize = self.nodes.iter().map(|n| n.entries.len()).sum();
+        if counted != self.total_cached {
+            return Err(format!(
+                "total_cached {} != actual {}",
+                self.total_cached, counted
+            ));
+        }
+        if self.evict_index.len() != self.total_cached {
+            return Err(format!(
+                "evict index size {} != cached {}",
+                self.evict_index.len(),
+                self.total_cached
+            ));
+        }
+        if let Some(cap) = self.config.cache_capacity {
+            if self.total_cached > cap {
+                return Err(format!("cache over capacity: {} > {cap}", self.total_cached));
+            }
+        }
+        Ok(())
+    }
+}

@@ -1,0 +1,28 @@
+//! # colr-engine
+//!
+//! The SensorMap-style portal layer (Section III): the piece that sits
+//! between web-frontend queries and the COLR-Tree back-end.
+//!
+//! * [`ast`] — the query AST for the portal dialect:
+//!   `SELECT count(*) FROM sensor WHERE location WITHIN Polygon(...) AND
+//!   time BETWEEN now()-10 AND now() MINS CLUSTER 10 SAMPLESIZE 30`;
+//! * [`parser`] — a hand-written tokenizer + recursive-descent parser for
+//!   that dialect;
+//! * [`planner`] — maps the `CLUSTER` distance to a terminal level `T`
+//!   (the zoom-level → threshold-level translation of Section III-C) and
+//!   assembles the physical [`colr_tree::Query`];
+//! * [`portal`] — the [`Portal`] facade: register sensors, accept SQL or
+//!   programmatic queries, collect live data through a probe service, and
+//!   return per-group results ready to overlay on a map.
+
+pub mod ast;
+pub mod parser;
+pub mod planner;
+pub mod portal;
+pub mod shared;
+
+pub use ast::{AggSpec, SelectQuery, SpatialPredicate};
+pub use parser::{parse, ParseError};
+pub use planner::Planner;
+pub use portal::{GroupView, Portal, PortalConfig, PortalResult};
+pub use shared::SharedPortal;

@@ -1,0 +1,572 @@
+//! Tokenizer and recursive-descent parser for the portal dialect.
+//!
+//! Grammar (case-insensitive keywords):
+//!
+//! ```text
+//! query      := SELECT agg FROM ident [ident]
+//!               WHERE [qual.]LOCATION WITHIN shape
+//!               (AND ([qual.]TIME BETWEEN NOW() '-' number AND NOW() unit
+//!                     | [qual.]TYPE '=' number))*
+//!               [CLUSTER number [ident]]
+//!               [SAMPLESIZE number]
+//! agg        := (COUNT '(' '*' ')') | ((SUM|AVG|MIN|MAX) '(' ident ')')
+//! shape      := POLYGON '(' '(' point (',' point)* ')' ')'
+//!             | RECT '(' number ',' number ',' number ',' number ')'
+//!             | CIRCLE '(' number ',' number ',' number ')'
+//! point      := number number
+//! unit       := MINS | MINUTES | SECS | SECONDS | MS
+//! ```
+
+use std::fmt;
+
+use colr_geo::{Point, Rect};
+use colr_tree::TimeDelta;
+
+use crate::ast::{AggSpec, SelectQuery, SpatialPredicate};
+
+/// A parse failure with a human-readable message.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseError {
+    /// What went wrong.
+    pub message: String,
+    /// Token position (0-based) where the failure occurred.
+    pub at: usize,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at token {}: {}", self.at, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Token {
+    Ident(String),
+    Number(f64),
+    Symbol(char),
+}
+
+fn tokenize(input: &str) -> Result<Vec<Token>, ParseError> {
+    let mut tokens = Vec::new();
+    let mut chars = input.char_indices().peekable();
+    while let Some(&(i, c)) = chars.peek() {
+        if c.is_whitespace() {
+            chars.next();
+        } else if c.is_ascii_alphabetic() || c == '_' {
+            let mut ident = String::new();
+            while let Some(&(_, c)) = chars.peek() {
+                if c.is_ascii_alphanumeric() || c == '_' {
+                    ident.push(c);
+                    chars.next();
+                } else {
+                    break;
+                }
+            }
+            tokens.push(Token::Ident(ident));
+        } else if c.is_ascii_digit()
+            || (c == '-' && matches!(chars.clone().nth(1), Some((_, d)) if d.is_ascii_digit() || d == '.'))
+        {
+            let mut num = String::new();
+            if c == '-' {
+                num.push(c);
+                chars.next();
+            }
+            while let Some(&(_, c)) = chars.peek() {
+                if c.is_ascii_digit() || c == '.' || c == 'e' || c == 'E' {
+                    num.push(c);
+                    chars.next();
+                } else {
+                    break;
+                }
+            }
+            let v = num.parse::<f64>().map_err(|_| ParseError {
+                message: format!("bad number `{num}`"),
+                at: tokens.len(),
+            })?;
+            tokens.push(Token::Number(v));
+        } else if "(),.*-+=".contains(c) {
+            tokens.push(Token::Symbol(c));
+            chars.next();
+        } else {
+            return Err(ParseError {
+                message: format!("unexpected character `{c}` at byte {i}"),
+                at: tokens.len(),
+            });
+        }
+    }
+    Ok(tokens)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn err<T>(&self, message: impl Into<String>) -> Result<T, ParseError> {
+        Err(ParseError {
+            message: message.into(),
+            at: self.pos,
+        })
+    }
+
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn keyword(&mut self, kw: &str) -> Result<(), ParseError> {
+        match self.next() {
+            Some(Token::Ident(s)) if s.eq_ignore_ascii_case(kw) => Ok(()),
+            other => self.err(format!("expected `{kw}`, found {other:?}")),
+        }
+    }
+
+    fn try_keyword(&mut self, kw: &str) -> bool {
+        if matches!(self.peek(), Some(Token::Ident(s)) if s.eq_ignore_ascii_case(kw)) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn symbol(&mut self, c: char) -> Result<(), ParseError> {
+        match self.next() {
+            Some(Token::Symbol(s)) if s == c => Ok(()),
+            other => self.err(format!("expected `{c}`, found {other:?}")),
+        }
+    }
+
+    fn try_symbol(&mut self, c: char) -> bool {
+        if matches!(self.peek(), Some(Token::Symbol(s)) if *s == c) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn number(&mut self) -> Result<f64, ParseError> {
+        match self.next() {
+            Some(Token::Number(v)) => Ok(v),
+            other => self.err(format!("expected number, found {other:?}")),
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, ParseError> {
+        match self.next() {
+            Some(Token::Ident(s)) => Ok(s),
+            other => self.err(format!("expected identifier, found {other:?}")),
+        }
+    }
+
+    fn agg(&mut self) -> Result<AggSpec, ParseError> {
+        let name = self.ident()?;
+        let spec = match name.to_ascii_lowercase().as_str() {
+            "count" => AggSpec::Count,
+            "sum" => AggSpec::Sum,
+            "avg" => AggSpec::Avg,
+            "min" => AggSpec::Min,
+            "max" => AggSpec::Max,
+            other => return self.err(format!("unknown aggregate `{other}`")),
+        };
+        self.symbol('(')?;
+        if spec == AggSpec::Count {
+            // count(*) or count(col)
+            if !self.try_symbol('*') {
+                self.ident()?;
+            }
+        } else {
+            self.ident()?;
+        }
+        self.symbol(')')?;
+        Ok(spec)
+    }
+
+    /// Parses `[qualifier '.'] name`, requiring `name` to match.
+    fn qualified(&mut self, name: &str) -> Result<(), ParseError> {
+        let found = self.qualified_any()?;
+        if found.eq_ignore_ascii_case(name) {
+            Ok(())
+        } else {
+            self.err(format!("expected `{name}`, found `{found}`"))
+        }
+    }
+
+    /// Parses `[qualifier '.'] name` and returns the field name.
+    fn qualified_any(&mut self) -> Result<String, ParseError> {
+        let first = self.ident()?;
+        if self.try_symbol('.') {
+            self.ident()
+        } else {
+            Ok(first)
+        }
+    }
+
+    fn shape(&mut self) -> Result<SpatialPredicate, ParseError> {
+        let kind = self.ident()?;
+        match kind.to_ascii_lowercase().as_str() {
+            "polygon" => {
+                self.symbol('(')?;
+                self.symbol('(')?;
+                let mut points = Vec::new();
+                loop {
+                    let x = self.number()?;
+                    let y = self.number()?;
+                    points.push(Point::new(x, y));
+                    if !self.try_symbol(',') {
+                        break;
+                    }
+                }
+                self.symbol(')')?;
+                self.symbol(')')?;
+                if points.len() < 3 {
+                    return self.err("polygon needs at least 3 vertices");
+                }
+                Ok(SpatialPredicate::Polygon(points))
+            }
+            "rect" => {
+                self.symbol('(')?;
+                let min_x = self.number()?;
+                self.symbol(',')?;
+                let min_y = self.number()?;
+                self.symbol(',')?;
+                let max_x = self.number()?;
+                self.symbol(',')?;
+                let max_y = self.number()?;
+                self.symbol(')')?;
+                Ok(SpatialPredicate::Rect(Rect::from_coords(
+                    min_x, min_y, max_x, max_y,
+                )))
+            }
+            "circle" => {
+                self.symbol('(')?;
+                let cx = self.number()?;
+                self.symbol(',')?;
+                let cy = self.number()?;
+                self.symbol(',')?;
+                let r = self.number()?;
+                self.symbol(')')?;
+                if r < 0.0 {
+                    return self.err("circle radius must be non-negative");
+                }
+                Ok(SpatialPredicate::Circle(colr_geo::Circle::new(
+                    Point::new(cx, cy),
+                    r,
+                )))
+            }
+            other => self.err(format!("expected POLYGON, RECT or CIRCLE, found `{other}`")),
+        }
+    }
+
+    /// Parses the remainder of `time BETWEEN now() - N AND now() UNIT`
+    /// after the field name was consumed.
+    fn time_clause(&mut self) -> Result<TimeDelta, ParseError> {
+        self.keyword("between")?;
+        self.keyword("now")?;
+        self.symbol('(')?;
+        self.symbol(')')?;
+        // The `-N` may tokenize as a negative number or as `-` then `N`.
+        let n = match self.next() {
+            Some(Token::Symbol('-')) => self.number()?,
+            Some(Token::Number(v)) if v < 0.0 => -v,
+            other => return self.err(format!("expected `- <number>`, found {other:?}")),
+        };
+        self.keyword("and")?;
+        self.keyword("now")?;
+        self.symbol('(')?;
+        self.symbol(')')?;
+        let unit = self.ident()?;
+        let ms = match unit.to_ascii_lowercase().as_str() {
+            "mins" | "minutes" | "min" => n * 60_000.0,
+            "secs" | "seconds" | "sec" => n * 1_000.0,
+            "ms" | "millis" => n,
+            other => return self.err(format!("unknown time unit `{other}`")),
+        };
+        if ms < 0.0 {
+            return self.err("staleness must be non-negative");
+        }
+        Ok(TimeDelta::from_millis(ms.round() as u64))
+    }
+
+    fn query(&mut self) -> Result<SelectQuery, ParseError> {
+        self.keyword("select")?;
+        let agg = self.agg()?;
+        self.keyword("from")?;
+        let table = self.ident()?;
+        if !table.eq_ignore_ascii_case("sensor") && !table.eq_ignore_ascii_case("sensors") {
+            return self.err(format!("unknown table `{table}`"));
+        }
+        // Optional table alias (`sensor S`).
+        if let Some(Token::Ident(s)) = self.peek() {
+            if !s.eq_ignore_ascii_case("where") {
+                self.pos += 1;
+            }
+        }
+        self.keyword("where")?;
+        self.qualified("location")?;
+        self.keyword("within")?;
+        let within = self.shape()?;
+
+        let mut staleness = None;
+        let mut sensor_type = None;
+        while self.try_keyword("and") {
+            let field = self.qualified_any()?;
+            match field.to_ascii_lowercase().as_str() {
+                "time" => {
+                    if staleness.replace(self.time_clause()?).is_some() {
+                        return self.err("duplicate time clause");
+                    }
+                }
+                "type" => {
+                    // `type = N`
+                    match self.next() {
+                        Some(Token::Symbol('=')) => {}
+                        other => return self.err(format!("expected `=`, found {other:?}")),
+                    }
+                    let n = self.number()?;
+                    if n < 0.0 || n.fract() != 0.0 || n > u16::MAX as f64 {
+                        return self.err("sensor type must be a small non-negative integer");
+                    }
+                    if sensor_type.replace(n as u16).is_some() {
+                        return self.err("duplicate type clause");
+                    }
+                }
+                other => return self.err(format!("unknown predicate field `{other}`")),
+            }
+        }
+        let mut cluster = None;
+        if self.try_keyword("cluster") {
+            let d = self.number()?;
+            if d <= 0.0 {
+                return self.err("CLUSTER distance must be positive");
+            }
+            cluster = Some(d);
+            // Optional unit word (`miles`), accepted and ignored: the portal
+            // works in map units.
+            if let Some(Token::Ident(s)) = self.peek() {
+                if s.eq_ignore_ascii_case("miles") || s.eq_ignore_ascii_case("units") {
+                    self.pos += 1;
+                }
+            }
+        }
+        let mut sample_size = None;
+        if self.try_keyword("samplesize") {
+            let n = self.number()?;
+            if n < 0.0 || n.fract() != 0.0 {
+                return self.err("SAMPLESIZE must be a non-negative integer");
+            }
+            sample_size = Some(n as usize);
+        }
+        if self.pos != self.tokens.len() {
+            return self.err(format!("trailing tokens: {:?}", &self.tokens[self.pos..]));
+        }
+        Ok(SelectQuery {
+            agg,
+            within,
+            staleness,
+            cluster,
+            sample_size,
+            sensor_type,
+        })
+    }
+}
+
+/// Parses one portal query.
+///
+/// ```
+/// use colr_engine::parse;
+///
+/// let q = parse(
+///     "SELECT avg(value) FROM sensor S \
+///      WHERE S.location WITHIN RECT(0, 0, 100, 100) \
+///      AND S.time BETWEEN now()-5 AND now() mins \
+///      CLUSTER 10 SAMPLESIZE 30",
+/// ).unwrap();
+/// assert_eq!(q.sample_size, Some(30));
+/// assert_eq!(q.cluster, Some(10.0));
+/// ```
+pub fn parse(input: &str) -> Result<SelectQuery, ParseError> {
+    let tokens = tokenize(input)?;
+    Parser { tokens, pos: 0 }.query()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_paper_example() {
+        // The exact query of Section III-B (with coordinates filled in).
+        let q = parse(
+            "SELECT count(*) FROM sensor S \
+             WHERE S.location WITHIN Polygon((0 0, 10 0, 10 10, 0 10)) \
+             AND S.time BETWEEN now()-10 AND now() mins \
+             CLUSTER 10 miles \
+             SAMPLESIZE 30",
+        )
+        .expect("parses");
+        assert_eq!(q.agg, AggSpec::Count);
+        assert!(matches!(q.within, SpatialPredicate::Polygon(ref pts) if pts.len() == 4));
+        assert_eq!(q.staleness, Some(TimeDelta::from_mins(10)));
+        assert_eq!(q.cluster, Some(10.0));
+        assert_eq!(q.sample_size, Some(30));
+    }
+
+    #[test]
+    fn parses_minimal_rect_query() {
+        let q = parse("SELECT avg(value) FROM sensors WHERE location WITHIN RECT(0, 0, 5, 5)")
+            .expect("parses");
+        assert_eq!(q.agg, AggSpec::Avg);
+        assert_eq!(
+            q.within,
+            SpatialPredicate::Rect(Rect::from_coords(0.0, 0.0, 5.0, 5.0))
+        );
+        assert_eq!(q.staleness, None);
+        assert_eq!(q.cluster, None);
+        assert_eq!(q.sample_size, None);
+    }
+
+    #[test]
+    fn keywords_are_case_insensitive() {
+        let q = parse("select MIN(value) from SENSOR where LOCATION within rect(0,0,1,1)")
+            .expect("parses");
+        assert_eq!(q.agg, AggSpec::Min);
+    }
+
+    #[test]
+    fn parses_seconds_unit() {
+        let q = parse(
+            "SELECT count(*) FROM sensor WHERE location WITHIN RECT(0,0,1,1) \
+             AND time BETWEEN now()-30 AND now() secs",
+        )
+        .expect("parses");
+        assert_eq!(q.staleness, Some(TimeDelta::from_secs(30)));
+    }
+
+    #[test]
+    fn rejects_unknown_aggregate() {
+        let err = parse("SELECT median(value) FROM sensor WHERE location WITHIN RECT(0,0,1,1)")
+            .unwrap_err();
+        assert!(err.message.contains("unknown aggregate"));
+    }
+
+    #[test]
+    fn rejects_unknown_table() {
+        let err =
+            parse("SELECT count(*) FROM restaurants WHERE location WITHIN RECT(0,0,1,1)")
+                .unwrap_err();
+        assert!(err.message.contains("unknown table"));
+    }
+
+    #[test]
+    fn rejects_degenerate_polygon() {
+        let err = parse(
+            "SELECT count(*) FROM sensor WHERE location WITHIN POLYGON((0 0, 1 1))",
+        )
+        .unwrap_err();
+        assert!(err.message.contains("3 vertices"));
+    }
+
+    #[test]
+    fn rejects_negative_samplesize_and_fractional() {
+        assert!(parse(
+            "SELECT count(*) FROM sensor WHERE location WITHIN RECT(0,0,1,1) SAMPLESIZE 1.5"
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn rejects_trailing_tokens() {
+        let err = parse(
+            "SELECT count(*) FROM sensor WHERE location WITHIN RECT(0,0,1,1) GARBAGE",
+        )
+        .unwrap_err();
+        assert!(err.message.contains("trailing"));
+    }
+
+    #[test]
+    fn rejects_zero_cluster() {
+        assert!(parse(
+            "SELECT count(*) FROM sensor WHERE location WITHIN RECT(0,0,1,1) CLUSTER 0"
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn error_display_mentions_position() {
+        let err = parse("SELECT").unwrap_err();
+        assert!(err.to_string().contains("parse error at token"));
+    }
+
+    #[test]
+    fn parses_type_filter() {
+        let q = parse(
+            "SELECT count(*) FROM sensor S WHERE S.location WITHIN RECT(0,0,1,1) \
+             AND S.type = 3",
+        )
+        .expect("parses");
+        assert_eq!(q.sensor_type, Some(3));
+        assert_eq!(q.staleness, None);
+    }
+
+    #[test]
+    fn parses_type_and_time_in_either_order() {
+        let a = parse(
+            "SELECT count(*) FROM sensor WHERE location WITHIN RECT(0,0,1,1) \
+             AND type = 1 AND time BETWEEN now()-5 AND now() mins",
+        )
+        .expect("parses");
+        let b = parse(
+            "SELECT count(*) FROM sensor WHERE location WITHIN RECT(0,0,1,1) \
+             AND time BETWEEN now()-5 AND now() mins AND type = 1",
+        )
+        .expect("parses");
+        assert_eq!(a.sensor_type, b.sensor_type);
+        assert_eq!(a.staleness, b.staleness);
+    }
+
+    #[test]
+    fn rejects_duplicate_clauses() {
+        assert!(parse(
+            "SELECT count(*) FROM sensor WHERE location WITHIN RECT(0,0,1,1) \
+             AND type = 1 AND type = 2",
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn parses_circle_shape() {
+        let q = parse("SELECT count(*) FROM sensor WHERE location WITHIN CIRCLE(5, 5, 2.5)")
+            .expect("parses");
+        match q.within {
+            SpatialPredicate::Circle(c) => {
+                assert_eq!(c.center, Point::new(5.0, 5.0));
+                assert_eq!(c.radius, 2.5);
+            }
+            other => panic!("expected circle, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn negative_coordinates_parse() {
+        let q = parse(
+            "SELECT count(*) FROM sensor WHERE location WITHIN RECT(-10, -5, -1, -2)",
+        )
+        .expect("parses");
+        assert_eq!(
+            q.within,
+            SpatialPredicate::Rect(Rect::from_coords(-10.0, -5.0, -1.0, -2.0))
+        );
+    }
+}

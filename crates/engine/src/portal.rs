@@ -1,0 +1,526 @@
+//! The portal facade — the programmatic equivalent of SENSORMAP's front
+//! door.
+//!
+//! A [`Portal`] owns a built COLR-Tree, a probe service (the live network),
+//! a planner, a simulation clock and a seeded RNG. Clients submit dialect
+//! SQL ([`Portal::query_sql`]) or parsed queries and receive per-group
+//! results ([`GroupView`]) ready to overlay on a map, plus the combined
+//! aggregate and the query's collection statistics.
+
+use colr_geo::Rect;
+use colr_tree::{
+    AggKind, ColrConfig, ColrTree, Histogram, Mode, ProbeService, Query, QueryStats, SensorMeta,
+    SimClock, TimeDelta, Timestamp,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::ast::SelectQuery;
+use crate::parser::{parse, ParseError};
+use crate::planner::Planner;
+
+/// Portal construction parameters.
+#[derive(Debug, Clone)]
+pub struct PortalConfig {
+    /// Index configuration.
+    pub tree: ColrConfig,
+    /// Default staleness when queries carry no time clause.
+    pub default_staleness: TimeDelta,
+    /// Execution mode (full COLR-Tree by default; the baselines are exposed
+    /// for experiments).
+    pub mode: Mode,
+    /// The portal-wide cap on sensors contacted per query ("SENSORMAP is
+    /// configured with the maximum number of sensors that can be contacted
+    /// per query"); applied when a query has no explicit `SAMPLESIZE`.
+    pub max_sensors_per_query: Option<usize>,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for PortalConfig {
+    fn default() -> Self {
+        PortalConfig {
+            tree: ColrConfig::default(),
+            default_staleness: TimeDelta::from_mins(5),
+            mode: Mode::Colr,
+            max_sensors_per_query: Some(500),
+            seed: 42,
+        }
+    }
+}
+
+/// One map-icon group in a portal result.
+#[derive(Debug, Clone)]
+pub struct GroupView {
+    /// Bounding box of the group (icon extent on the map).
+    pub bbox: Rect,
+    /// Number of readings represented.
+    pub count: u64,
+    /// The requested aggregate over the group (`None` when the group is
+    /// empty and the aggregate is undefined).
+    pub value: Option<f64>,
+    /// Whether the group was served from cache.
+    pub from_cache: bool,
+}
+
+/// A complete portal answer.
+#[derive(Debug, Clone)]
+pub struct PortalResult {
+    /// Per-group views, the map overlay payload.
+    pub groups: Vec<GroupView>,
+    /// The requested aggregate over all groups combined.
+    pub value: Option<f64>,
+    /// Distribution of raw reading values (for the multi-resolution
+    /// "distribution of waiting times" display); present when raw readings
+    /// were materialised.
+    pub histogram: Option<Histogram>,
+    /// Collection statistics.
+    pub stats: QueryStats,
+    /// Modelled processing latency, ms.
+    pub latency_ms: f64,
+}
+
+/// The portal: SensorMap's query front end over a COLR-Tree back end.
+pub struct Portal<P> {
+    tree: ColrTree,
+    planner: Planner,
+    probe: P,
+    clock: SimClock,
+    rng: StdRng,
+    mode: Mode,
+    max_sensors_per_query: Option<usize>,
+    /// Publishers registered since the last index reconstruction.
+    pending_registrations: Vec<SensorMeta>,
+    seed: u64,
+}
+
+impl<P: ProbeService> Portal<P> {
+    /// Builds a portal over `sensors`, probing live data through `probe`.
+    pub fn new(sensors: Vec<SensorMeta>, probe: P, config: PortalConfig) -> Portal<P> {
+        let tree = ColrTree::build(sensors, config.tree, config.seed);
+        let planner = Planner::new(&tree, config.default_staleness);
+        Portal {
+            tree,
+            planner,
+            probe,
+            clock: SimClock::new(),
+            rng: StdRng::seed_from_u64(config.seed),
+            mode: config.mode,
+            max_sensors_per_query: config.max_sensors_per_query,
+            pending_registrations: Vec::new(),
+            seed: config.seed,
+        }
+    }
+
+    /// Registers a new publisher (Section III-A). The sensor becomes
+    /// queryable after the next [`Portal::rebuild_index`] — COLR-Tree is
+    /// bulk-built, so the portal batches registrations and reconstructs
+    /// periodically, exactly as the paper prescribes for location changes.
+    ///
+    /// The caller supplies location, expiry and availability; the portal
+    /// assigns the next dense id and returns it.
+    pub fn register_sensor(
+        &mut self,
+        location: colr_geo::Point,
+        expiry: TimeDelta,
+        availability: f64,
+        kind: u16,
+    ) -> colr_tree::SensorId {
+        let id = (self.tree.sensors().len() + self.pending_registrations.len()) as u32;
+        let meta = SensorMeta::new(id, location, expiry, availability).with_kind(kind);
+        self.pending_registrations.push(meta);
+        meta.id
+    }
+
+    /// Number of registrations awaiting the next reconstruction.
+    pub fn pending_registrations(&self) -> usize {
+        self.pending_registrations.len()
+    }
+
+    /// Reconstructs the index over the current sensor population plus all
+    /// pending registrations (the paper's periodic rebuild). Cached data is
+    /// discarded — the rebuild is a batch, offline operation in SensorMap.
+    /// Returns the new population size.
+    pub fn rebuild_index(&mut self) -> usize {
+        let mut sensors = self.tree.sensors().to_vec();
+        sensors.append(&mut self.pending_registrations);
+        let n = sensors.len();
+        self.tree.rebuild(sensors, self.seed ^ n as u64);
+        self.planner = Planner::new(&self.tree, self.planner.default_staleness);
+        n
+    }
+
+    /// The simulation clock (advance it to model passing time).
+    pub fn clock_mut(&mut self) -> &mut SimClock {
+        &mut self.clock
+    }
+
+    /// Current simulated instant.
+    pub fn now(&self) -> Timestamp {
+        self.clock.now()
+    }
+
+    /// The underlying index (read-only).
+    pub fn tree(&self) -> &ColrTree {
+        &self.tree
+    }
+
+    /// The planner (read-only).
+    pub fn planner(&self) -> &Planner {
+        &self.planner
+    }
+
+    /// The probe service (e.g. to inspect simulated probe counters).
+    pub fn probe(&self) -> &P {
+        &self.probe
+    }
+
+    /// Parses and executes a dialect SQL query.
+    pub fn query_sql(&mut self, sql: &str) -> Result<PortalResult, ParseError> {
+        let parsed = parse(sql)?;
+        Ok(self.query(&parsed))
+    }
+
+    /// Parses a dialect query and describes its physical plan without
+    /// executing it (the portal's `EXPLAIN`).
+    pub fn explain_sql(&self, sql: &str) -> Result<String, ParseError> {
+        let parsed = parse(sql)?;
+        Ok(self.planner.explain(&parsed))
+    }
+
+    /// Executes a parsed query.
+    pub fn query(&mut self, q: &SelectQuery) -> PortalResult {
+        let mut plan: Query = self.planner.plan(q);
+        // Apply the portal-wide collection cap when the query didn't choose.
+        if plan.sample_size.is_none() {
+            if let Some(cap) = self.max_sensors_per_query {
+                plan = plan.with_sample_size(cap as f64);
+            }
+        }
+        let now = self.clock.now();
+        let out = self
+            .tree
+            .execute(&plan, self.mode, &mut self.probe, now, &mut self.rng);
+
+        let kind: AggKind = q.agg.kind();
+        let groups: Vec<GroupView> = out
+            .groups
+            .iter()
+            .map(|g| GroupView {
+                bbox: g.bbox,
+                count: g.agg.count,
+                value: g.agg.finalize(kind),
+                from_cache: g.from_cache,
+            })
+            .collect();
+        // Distribution: when the index maintains slot histograms, merge the
+        // cache-served group histograms with the raw readings under the
+        // configured binning; otherwise bin the raw readings adaptively.
+        let histogram = if let Some(spec) = self.tree.config().slot_histograms {
+            let mut h = spec.empty();
+            let mut any = false;
+            for g in &out.groups {
+                if let Some(gh) = &g.hist {
+                    h.merge(gh);
+                    any = true;
+                }
+            }
+            for r in &out.readings {
+                h.insert(r.value);
+                any = true;
+            }
+            any.then_some(h)
+        } else {
+            (!out.readings.is_empty()).then(|| {
+                let (lo, hi) = out.readings.iter().fold(
+                    (f64::INFINITY, f64::NEG_INFINITY),
+                    |(lo, hi), r| (lo.min(r.value), hi.max(r.value)),
+                );
+                let hi = if hi > lo { hi + 1e-9 } else { lo + 1.0 };
+                let mut h = Histogram::new(lo, hi, 10);
+                for r in &out.readings {
+                    h.insert(r.value);
+                }
+                h
+            })
+        };
+        PortalResult {
+            groups,
+            value: out.aggregate(kind),
+            histogram,
+            stats: out.stats,
+            latency_ms: out.latency_ms,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use colr_geo::Point;
+    use colr_tree::probe::AlwaysAvailable;
+
+    const EXPIRY_MS: u64 = 300_000;
+
+    fn portal(mode: Mode) -> Portal<AlwaysAvailable> {
+        let sensors: Vec<SensorMeta> = (0..256)
+            .map(|i| {
+                SensorMeta::new(
+                    i as u32,
+                    Point::new((i % 16) as f64, (i / 16) as f64),
+                    TimeDelta::from_millis(EXPIRY_MS),
+                    1.0,
+                )
+            })
+            .collect();
+        Portal::new(
+            sensors,
+            AlwaysAvailable { expiry_ms: EXPIRY_MS },
+            PortalConfig {
+                mode,
+                ..Default::default()
+            },
+        )
+    }
+
+    #[test]
+    fn end_to_end_sql_count() {
+        let mut p = portal(Mode::HierCache);
+        p.clock_mut().advance(TimeDelta::from_secs(1));
+        let res = p
+            .query_sql(
+                "SELECT count(*) FROM sensor WHERE location WITHIN RECT(-0.5, -0.5, 7.5, 7.5)",
+            )
+            .expect("query runs");
+        assert_eq!(res.value, Some(64.0));
+        assert!(res.latency_ms > 0.0);
+        assert!(!res.groups.is_empty());
+    }
+
+    #[test]
+    fn sql_samplesize_limits_probes() {
+        let mut p = portal(Mode::Colr);
+        p.clock_mut().advance(TimeDelta::from_secs(1));
+        let res = p
+            .query_sql(
+                "SELECT count(*) FROM sensor WHERE location WITHIN RECT(-0.5,-0.5,15.5,15.5) \
+                 SAMPLESIZE 20",
+            )
+            .expect("query runs");
+        assert!(
+            res.stats.sensors_probed < 64,
+            "probed {} of 256 for SAMPLESIZE 20",
+            res.stats.sensors_probed
+        );
+    }
+
+    #[test]
+    fn polygon_query_via_sql() {
+        let mut p = portal(Mode::RTree);
+        p.clock_mut().advance(TimeDelta::from_secs(1));
+        let res = p
+            .query_sql(
+                "SELECT count(*) FROM sensor WHERE location WITHIN \
+                 POLYGON((-0.5 -0.5, 15.7 -0.5, -0.5 15.7))",
+            )
+            .expect("query runs");
+        // Sensors with x + y <= 15 (below the hypotenuse x+y≈15.2): 136.
+        assert_eq!(res.value, Some(136.0));
+    }
+
+    #[test]
+    fn avg_histogram_present_with_raw_readings() {
+        let mut p = portal(Mode::HierCache);
+        p.clock_mut().advance(TimeDelta::from_secs(1));
+        let res = p
+            .query_sql("SELECT avg(value) FROM sensor WHERE location WITHIN RECT(-0.5,-0.5,3.5,3.5)")
+            .expect("query runs");
+        assert!(res.value.is_some());
+        let h = res.histogram.expect("histogram from raw readings");
+        assert_eq!(h.total(), 16);
+    }
+
+    #[test]
+    fn warm_cache_reduces_latency() {
+        let mut p = portal(Mode::HierCache);
+        p.clock_mut().advance(TimeDelta::from_secs(1));
+        let sql =
+            "SELECT count(*) FROM sensor WHERE location WITHIN RECT(-0.5,-0.5,7.5,7.5) \
+             AND time BETWEEN now()-5 AND now() mins";
+        let cold = p.query_sql(sql).unwrap();
+        p.clock_mut().advance(TimeDelta::from_secs(1));
+        let warm = p.query_sql(sql).unwrap();
+        assert!(warm.latency_ms < cold.latency_ms);
+        assert!(warm.stats.sensors_probed < cold.stats.sensors_probed);
+    }
+
+    #[test]
+    fn portal_cap_applies_without_samplesize() {
+        let sensors: Vec<SensorMeta> = (0..256)
+            .map(|i| {
+                SensorMeta::new(
+                    i as u32,
+                    Point::new((i % 16) as f64, (i / 16) as f64),
+                    TimeDelta::from_millis(EXPIRY_MS),
+                    1.0,
+                )
+            })
+            .collect();
+        let mut p = Portal::new(
+            sensors,
+            AlwaysAvailable { expiry_ms: EXPIRY_MS },
+            PortalConfig {
+                mode: Mode::Colr,
+                max_sensors_per_query: Some(10),
+                ..Default::default()
+            },
+        );
+        p.clock_mut().advance(TimeDelta::from_secs(1));
+        let res = p
+            .query_sql("SELECT count(*) FROM sensor WHERE location WITHIN RECT(-0.5,-0.5,15.5,15.5)")
+            .unwrap();
+        assert!(
+            res.stats.sensors_probed <= 30,
+            "portal cap ignored: probed {}",
+            res.stats.sensors_probed
+        );
+    }
+
+    #[test]
+    fn distribution_served_from_slot_histograms() {
+        use colr_tree::agg::HistogramSpec;
+        let sensors: Vec<SensorMeta> = (0..256)
+            .map(|i| {
+                SensorMeta::new(
+                    i as u32,
+                    Point::new((i % 16) as f64, (i / 16) as f64),
+                    TimeDelta::from_millis(EXPIRY_MS),
+                    1.0,
+                )
+            })
+            .collect();
+        let mut config = PortalConfig {
+            mode: Mode::HierCache,
+            ..Default::default()
+        };
+        config.tree.slot_histograms = Some(HistogramSpec {
+            lo: 0.0,
+            hi: 256.0,
+            buckets: 8,
+        });
+        let mut p = Portal::new(sensors, AlwaysAvailable { expiry_ms: EXPIRY_MS }, config);
+        p.clock_mut().advance(TimeDelta::from_secs(1));
+        let sql = "SELECT count(*) FROM sensor WHERE location WITHIN RECT(-0.5,-0.5,15.5,15.5)";
+        let cold = p.query_sql(sql).unwrap();
+        assert_eq!(cold.histogram.as_ref().unwrap().total(), 256);
+        // Warm query: answered from aggregates, yet the distribution is
+        // still complete — out of the slot histograms, not raw readings.
+        p.clock_mut().advance(TimeDelta::from_secs(1));
+        let warm = p.query_sql(sql).unwrap();
+        assert!(warm.stats.sensors_probed == 0);
+        let h = warm.histogram.as_ref().expect("cached distribution");
+        assert_eq!(h.total(), 256);
+        // AlwaysAvailable values = ids 0..256 → 32 per bucket of width 32.
+        assert!(h.counts().iter().all(|&c| c == 32), "{:?}", h.counts());
+    }
+
+    #[test]
+    fn registration_and_rebuild_extend_the_population() {
+        let mut p = portal(Mode::RTree);
+        p.clock_mut().advance(TimeDelta::from_secs(1));
+        let before = p
+            .query_sql("SELECT count(*) FROM sensor WHERE location WITHIN RECT(100,100,110,110)")
+            .unwrap();
+        assert_eq!(before.value, Some(0.0));
+        // Three new restaurants open in an empty area.
+        for i in 0..3 {
+            let id = p.register_sensor(
+                Point::new(105.0 + i as f64, 105.0),
+                TimeDelta::from_mins(5),
+                1.0,
+                0,
+            );
+            assert_eq!(id.index(), 256 + i);
+        }
+        assert_eq!(p.pending_registrations(), 3);
+        // Invisible until the rebuild...
+        let mid = p
+            .query_sql("SELECT count(*) FROM sensor WHERE location WITHIN RECT(100,100,110,110)")
+            .unwrap();
+        assert_eq!(mid.value, Some(0.0));
+        // ...and queryable afterwards.
+        assert_eq!(p.rebuild_index(), 259);
+        assert_eq!(p.pending_registrations(), 0);
+        let after = p
+            .query_sql("SELECT count(*) FROM sensor WHERE location WITHIN RECT(100,100,110,110)")
+            .unwrap();
+        assert_eq!(after.value, Some(3.0));
+        // The old population still answers.
+        let old = p
+            .query_sql("SELECT count(*) FROM sensor WHERE location WITHIN RECT(-0.5,-0.5,15.5,15.5)")
+            .unwrap();
+        assert_eq!(old.value, Some(256.0));
+    }
+
+    #[test]
+    fn rebuild_discards_cached_data() {
+        let mut p = portal(Mode::HierCache);
+        p.clock_mut().advance(TimeDelta::from_secs(1));
+        let sql = "SELECT count(*) FROM sensor WHERE location WITHIN RECT(-0.5,-0.5,7.5,7.5)";
+        p.query_sql(sql).unwrap();
+        assert!(p.tree().cached_readings() > 0);
+        p.rebuild_index();
+        assert_eq!(p.tree().cached_readings(), 0);
+        // Queries work against the fresh index.
+        let res = p.query_sql(sql).unwrap();
+        assert_eq!(res.value, Some(64.0));
+    }
+
+    #[test]
+    fn explain_sql_describes_without_executing() {
+        let p = portal(Mode::Colr);
+        let text = p
+            .explain_sql(
+                "SELECT count(*) FROM sensor WHERE location WITHIN RECT(0,0,8,8)                  CLUSTER 4 SAMPLESIZE 25",
+            )
+            .unwrap();
+        assert!(text.contains("R=25"), "{text}");
+        assert!(text.contains("CLUSTER 4"), "{text}");
+        // No probes happened.
+        assert_eq!(p.probe().expiry_ms, EXPIRY_MS); // probe untouched, state readable
+    }
+
+    #[test]
+    fn parse_errors_bubble_up() {
+        let mut p = portal(Mode::Colr);
+        assert!(p.query_sql("SELECT nonsense").is_err());
+    }
+
+    #[test]
+    fn cluster_controls_group_granularity() {
+        let mut p = portal(Mode::RTree);
+        p.clock_mut().advance(TimeDelta::from_secs(1));
+        let fine = p
+            .query_sql(
+                "SELECT count(*) FROM sensor WHERE location WITHIN RECT(-0.5,-0.5,15.5,15.5) \
+                 CLUSTER 1",
+            )
+            .unwrap();
+        let mut p2 = portal(Mode::RTree);
+        p2.clock_mut().advance(TimeDelta::from_secs(1));
+        let coarse = p2
+            .query_sql(
+                "SELECT count(*) FROM sensor WHERE location WITHIN RECT(-0.5,-0.5,15.5,15.5) \
+                 CLUSTER 1000",
+            )
+            .unwrap();
+        assert!(
+            fine.groups.len() >= coarse.groups.len(),
+            "fine {} < coarse {}",
+            fine.groups.len(),
+            coarse.groups.len()
+        );
+        // Same total either way.
+        assert_eq!(fine.value, coarse.value);
+    }
+}

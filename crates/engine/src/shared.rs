@@ -1,0 +1,137 @@
+//! Concurrent portal access.
+//!
+//! The real SensorMap front-end serves many web sessions against one
+//! back-end database. [`SharedPortal`] is a cheaply cloneable, thread-safe
+//! handle around a [`Portal`]: queries serialise on a `parking_lot` mutex
+//! (the index is a single writer — every query may update caches, as in the
+//! paper's SQL Server deployment where the trigger pipeline serialises
+//! maintenance).
+
+use std::sync::Arc;
+
+use colr_tree::{ProbeService, TimeDelta, Timestamp};
+use parking_lot::Mutex;
+
+use crate::parser::ParseError;
+use crate::portal::{Portal, PortalResult};
+
+/// A clone-to-share handle over a portal.
+pub struct SharedPortal<P> {
+    inner: Arc<Mutex<Portal<P>>>,
+}
+
+impl<P> Clone for SharedPortal<P> {
+    fn clone(&self) -> Self {
+        SharedPortal {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+impl<P: ProbeService> SharedPortal<P> {
+    /// Wraps a portal for shared use.
+    pub fn new(portal: Portal<P>) -> SharedPortal<P> {
+        SharedPortal {
+            inner: Arc::new(Mutex::new(portal)),
+        }
+    }
+
+    /// Parses and executes a dialect query under the portal lock.
+    pub fn query_sql(&self, sql: &str) -> Result<PortalResult, ParseError> {
+        self.inner.lock().query_sql(sql)
+    }
+
+    /// Advances the shared simulation clock.
+    pub fn advance(&self, delta: TimeDelta) {
+        self.inner.lock().clock_mut().advance(delta);
+    }
+
+    /// Current simulated instant.
+    pub fn now(&self) -> Timestamp {
+        self.inner.lock().now()
+    }
+
+    /// Runs `f` with exclusive access to the portal (bulk operations,
+    /// inspection).
+    pub fn with<R>(&self, f: impl FnOnce(&mut Portal<P>) -> R) -> R {
+        f(&mut self.inner.lock())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::portal::PortalConfig;
+    use colr_geo::Point;
+    use colr_tree::probe::AlwaysAvailable;
+    use colr_tree::SensorMeta;
+
+    fn shared_portal() -> SharedPortal<AlwaysAvailable> {
+        let sensors: Vec<SensorMeta> = (0..256)
+            .map(|i| {
+                SensorMeta::new(
+                    i as u32,
+                    Point::new((i % 16) as f64, (i / 16) as f64),
+                    TimeDelta::from_mins(5),
+                    1.0,
+                )
+            })
+            .collect();
+        let portal = Portal::new(
+            sensors,
+            AlwaysAvailable { expiry_ms: 300_000 },
+            PortalConfig::default(),
+        );
+        SharedPortal::new(portal)
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let a = shared_portal();
+        let b = a.clone();
+        a.advance(TimeDelta::from_secs(5));
+        assert_eq!(b.now(), Timestamp(5_000));
+        // A query through one handle warms the cache seen by the other.
+        let sql = "SELECT count(*) FROM sensor WHERE location WITHIN RECT(-0.5,-0.5,7.5,7.5)";
+        let cold = a.query_sql(sql).unwrap();
+        b.advance(TimeDelta::from_secs(1));
+        let warm = b.query_sql(sql).unwrap();
+        assert!(warm.stats.sensors_probed < cold.stats.sensors_probed);
+    }
+
+    #[test]
+    fn concurrent_queries_do_not_poison() {
+        let portal = shared_portal();
+        portal.advance(TimeDelta::from_secs(1));
+        let mut handles = Vec::new();
+        for t in 0..8 {
+            let p = portal.clone();
+            handles.push(std::thread::spawn(move || {
+                let x0 = (t % 4) as f64 * 4.0 - 0.5;
+                let sql = format!(
+                    "SELECT count(*) FROM sensor WHERE location WITHIN \
+                     RECT({x0}, -0.5, {}, 15.5) SAMPLESIZE 20",
+                    x0 + 4.0
+                );
+                for _ in 0..5 {
+                    p.query_sql(&sql).expect("query under contention");
+                }
+            }));
+        }
+        for h in handles {
+            h.join().expect("no thread panicked");
+        }
+        // Portal still functional afterwards.
+        let res = portal
+            .query_sql("SELECT count(*) FROM sensor WHERE location WITHIN RECT(-1,-1,16,16)")
+            .unwrap();
+        assert!(res.value.is_some());
+    }
+
+    #[test]
+    fn with_gives_exclusive_access() {
+        let portal = shared_portal();
+        let nodes = portal.with(|p| p.tree().node_count());
+        assert!(nodes > 1);
+    }
+}

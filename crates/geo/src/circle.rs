@@ -1,0 +1,194 @@
+//! Circles — "sensors within d miles of a point" regions.
+
+use crate::{Point, Rect, EPSILON};
+
+/// A disc with centre and radius.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Circle {
+    /// Centre of the disc.
+    pub center: Point,
+    /// Radius (must be non-negative).
+    pub radius: f64,
+}
+
+impl Circle {
+    /// Creates a circle.
+    ///
+    /// # Panics
+    /// Panics on a negative radius.
+    pub fn new(center: Point, radius: f64) -> Circle {
+        assert!(radius >= 0.0, "circle radius must be non-negative");
+        Circle { center, radius }
+    }
+
+    /// Area of the disc.
+    pub fn area(&self) -> f64 {
+        std::f64::consts::PI * self.radius * self.radius
+    }
+
+    /// Minimum bounding rectangle.
+    pub fn bounding_rect(&self) -> Rect {
+        Rect::centered(self.center, self.radius)
+    }
+
+    /// `true` when `p` lies within the disc (boundary inclusive).
+    pub fn contains_point(&self, p: &Point) -> bool {
+        self.center.distance_sq(p) <= self.radius * self.radius + EPSILON
+    }
+
+    /// `true` when `rect` lies entirely inside the disc — every corner must
+    /// be within the radius.
+    pub fn contains_rect(&self, rect: &Rect) -> bool {
+        let corners = [
+            rect.min,
+            Point::new(rect.max.x, rect.min.y),
+            rect.max,
+            Point::new(rect.min.x, rect.max.y),
+        ];
+        corners.iter().all(|c| self.contains_point(c))
+    }
+
+    /// `true` when the disc and `rect` share any point: the distance from
+    /// the centre to the rectangle (clamped projection) is within the
+    /// radius.
+    pub fn intersects_rect(&self, rect: &Rect) -> bool {
+        let nearest = Point::new(
+            self.center.x.clamp(rect.min.x, rect.max.x),
+            self.center.y.clamp(rect.min.y, rect.max.y),
+        );
+        self.contains_point(&nearest)
+    }
+
+    /// Fraction of `rect`'s area inside the disc, estimated on a fixed
+    /// sub-grid (exact circle–rectangle intersection area is needless
+    /// precision for sampling weights; an 8×8 grid keeps the estimate within
+    /// a few percent, and degenerate rects fall back to the centre
+    /// indicator).
+    pub fn overlap_fraction(&self, rect: &Rect) -> f64 {
+        if rect.area() <= EPSILON {
+            return if self.contains_point(&rect.center()) { 1.0 } else { 0.0 };
+        }
+        if self.contains_rect(rect) {
+            return 1.0;
+        }
+        if !self.intersects_rect(rect) {
+            return 0.0;
+        }
+        const G: usize = 8;
+        let mut inside = 0usize;
+        for gy in 0..G {
+            for gx in 0..G {
+                let p = Point::new(
+                    rect.min.x + rect.width() * (gx as f64 + 0.5) / G as f64,
+                    rect.min.y + rect.height() * (gy as f64 + 0.5) / G as f64,
+                );
+                if self.contains_point(&p) {
+                    inside += 1;
+                }
+            }
+        }
+        inside as f64 / (G * G) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn unit() -> Circle {
+        Circle::new(Point::new(0.0, 0.0), 1.0)
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn rejects_negative_radius() {
+        Circle::new(Point::new(0.0, 0.0), -1.0);
+    }
+
+    #[test]
+    fn area_is_pi_r_squared() {
+        let c = Circle::new(Point::new(0.0, 0.0), 2.0);
+        assert!((c.area() - 4.0 * std::f64::consts::PI).abs() < 1e-12);
+    }
+
+    #[test]
+    fn contains_point_boundary_inclusive() {
+        let c = unit();
+        assert!(c.contains_point(&Point::new(1.0, 0.0)));
+        assert!(c.contains_point(&Point::new(0.5, 0.5)));
+        assert!(!c.contains_point(&Point::new(0.8, 0.8)));
+    }
+
+    #[test]
+    fn bounding_rect_is_tight() {
+        assert_eq!(
+            unit().bounding_rect(),
+            Rect::from_coords(-1.0, -1.0, 1.0, 1.0)
+        );
+    }
+
+    #[test]
+    fn contains_rect_requires_all_corners() {
+        let c = unit();
+        assert!(c.contains_rect(&Rect::from_coords(-0.5, -0.5, 0.5, 0.5)));
+        assert!(!c.contains_rect(&Rect::from_coords(-0.9, -0.9, 0.9, 0.9)));
+    }
+
+    #[test]
+    fn intersects_rect_edge_cases() {
+        let c = unit();
+        // Disjoint.
+        assert!(!c.intersects_rect(&Rect::from_coords(2.0, 2.0, 3.0, 3.0)));
+        // Rect containing circle.
+        assert!(c.intersects_rect(&Rect::from_coords(-2.0, -2.0, 2.0, 2.0)));
+        // Corner graze: nearest point of the rect is (1,1)/√2 away... use a
+        // rect whose nearest corner sits exactly at distance 1.
+        let d = 1.0 / std::f64::consts::SQRT_2;
+        assert!(c.intersects_rect(&Rect::from_coords(d, d, 2.0, 2.0)));
+        assert!(!c.intersects_rect(&Rect::from_coords(1.1, 1.1, 2.0, 2.0)));
+    }
+
+    #[test]
+    fn overlap_fraction_limits() {
+        let c = unit();
+        assert_eq!(c.overlap_fraction(&Rect::from_coords(-0.1, -0.1, 0.1, 0.1)), 1.0);
+        assert_eq!(c.overlap_fraction(&Rect::from_coords(5.0, 5.0, 6.0, 6.0)), 0.0);
+        // Half-plane split through the centre: about half the rect inside.
+        let f = c.overlap_fraction(&Rect::from_coords(0.0, -0.2, 2.0, 0.2));
+        assert!((0.35..=0.65).contains(&f), "got {f}");
+    }
+
+    #[test]
+    fn overlap_fraction_degenerate_rect() {
+        let c = unit();
+        assert_eq!(c.overlap_fraction(&Rect::point(Point::new(0.1, 0.1))), 1.0);
+        assert_eq!(c.overlap_fraction(&Rect::point(Point::new(2.0, 2.0))), 0.0);
+    }
+
+    proptest! {
+        #[test]
+        fn overlap_fraction_in_unit_interval(cx in -5.0..5.0f64, cy in -5.0..5.0f64,
+                                             r in 0.0..4.0f64,
+                                             rx in -5.0..5.0f64, ry in -5.0..5.0f64,
+                                             w in 0.0..4.0f64, h in 0.0..4.0f64) {
+            let c = Circle::new(Point::new(cx, cy), r);
+            let rect = Rect::from_coords(rx, ry, rx + w, ry + h);
+            let f = c.overlap_fraction(&rect);
+            prop_assert!((0.0..=1.0).contains(&f));
+        }
+
+        #[test]
+        fn containment_implies_intersection(cx in -5.0..5.0f64, cy in -5.0..5.0f64,
+                                            r in 0.1..4.0f64,
+                                            rx in -5.0..5.0f64, ry in -5.0..5.0f64,
+                                            w in 0.01..2.0f64, h in 0.01..2.0f64) {
+            let c = Circle::new(Point::new(cx, cy), r);
+            let rect = Rect::from_coords(rx, ry, rx + w, ry + h);
+            if c.contains_rect(&rect) {
+                prop_assert!(c.intersects_rect(&rect));
+                prop_assert!((c.overlap_fraction(&rect) - 1.0).abs() < 1e-12);
+            }
+        }
+    }
+}

@@ -1,0 +1,291 @@
+//! Axis-aligned bounding rectangles.
+
+use crate::{Point, EPSILON};
+
+/// An axis-aligned rectangle, the bounding-box type used throughout the index.
+///
+/// Invariant: `min.x <= max.x && min.y <= max.y`. Degenerate rectangles
+/// (zero width and/or height) are legal — a leaf bounding a single sensor is a
+/// point rectangle.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Rect {
+    /// Lower-left corner.
+    pub min: Point,
+    /// Upper-right corner.
+    pub max: Point,
+}
+
+impl Rect {
+    /// Creates the rectangle spanning the two corners, normalising the
+    /// coordinate order so the invariant holds regardless of argument order.
+    pub fn new(a: Point, b: Point) -> Self {
+        Rect {
+            min: Point::new(a.x.min(b.x), a.y.min(b.y)),
+            max: Point::new(a.x.max(b.x), a.y.max(b.y)),
+        }
+    }
+
+    /// Creates a rectangle from `(min_x, min_y, max_x, max_y)`.
+    pub fn from_coords(min_x: f64, min_y: f64, max_x: f64, max_y: f64) -> Self {
+        Rect::new(Point::new(min_x, min_y), Point::new(max_x, max_y))
+    }
+
+    /// A point rectangle covering exactly `p`.
+    pub fn point(p: Point) -> Self {
+        Rect { min: p, max: p }
+    }
+
+    /// A square of side `2 * half` centred at `c`.
+    pub fn centered(c: Point, half: f64) -> Self {
+        Rect::from_coords(c.x - half, c.y - half, c.x + half, c.y + half)
+    }
+
+    /// Width along the x axis.
+    #[inline]
+    pub fn width(&self) -> f64 {
+        self.max.x - self.min.x
+    }
+
+    /// Height along the y axis.
+    #[inline]
+    pub fn height(&self) -> f64 {
+        self.max.y - self.min.y
+    }
+
+    /// Area of the rectangle (zero for degenerate rectangles).
+    #[inline]
+    pub fn area(&self) -> f64 {
+        self.width() * self.height()
+    }
+
+    /// Geometric centre.
+    #[inline]
+    pub fn center(&self) -> Point {
+        self.min.midpoint(&self.max)
+    }
+
+    /// `true` when `p` lies inside or on the boundary.
+    #[inline]
+    pub fn contains_point(&self, p: &Point) -> bool {
+        p.x >= self.min.x && p.x <= self.max.x && p.y >= self.min.y && p.y <= self.max.y
+    }
+
+    /// `true` when `other` lies entirely within `self` (boundary touching
+    /// counts as contained).
+    #[inline]
+    pub fn contains_rect(&self, other: &Rect) -> bool {
+        self.min.x <= other.min.x
+            && self.min.y <= other.min.y
+            && self.max.x >= other.max.x
+            && self.max.y >= other.max.y
+    }
+
+    /// `true` when the two rectangles share at least a boundary point.
+    #[inline]
+    pub fn intersects(&self, other: &Rect) -> bool {
+        self.min.x <= other.max.x
+            && self.max.x >= other.min.x
+            && self.min.y <= other.max.y
+            && self.max.y >= other.min.y
+    }
+
+    /// The intersection rectangle, or `None` when disjoint.
+    pub fn intersection(&self, other: &Rect) -> Option<Rect> {
+        if !self.intersects(other) {
+            return None;
+        }
+        Some(Rect {
+            min: Point::new(self.min.x.max(other.min.x), self.min.y.max(other.min.y)),
+            max: Point::new(self.max.x.min(other.max.x), self.max.y.min(other.max.y)),
+        })
+    }
+
+    /// Smallest rectangle covering both `self` and `other`.
+    pub fn union(&self, other: &Rect) -> Rect {
+        Rect {
+            min: Point::new(self.min.x.min(other.min.x), self.min.y.min(other.min.y)),
+            max: Point::new(self.max.x.max(other.max.x), self.max.y.max(other.max.y)),
+        }
+    }
+
+    /// Grows `self` in place to cover `p`.
+    pub fn expand_to_point(&mut self, p: &Point) {
+        self.min.x = self.min.x.min(p.x);
+        self.min.y = self.min.y.min(p.y);
+        self.max.x = self.max.x.max(p.x);
+        self.max.y = self.max.y.max(p.y);
+    }
+
+    /// Minimum bounding rectangle of a non-empty point set.
+    pub fn bounding(points: &[Point]) -> Option<Rect> {
+        let (first, rest) = points.split_first()?;
+        let mut r = Rect::point(*first);
+        for p in rest {
+            r.expand_to_point(p);
+        }
+        Some(r)
+    }
+
+    /// Minimum bounding rectangle of a non-empty rectangle set.
+    pub fn bounding_rects<'a, I: IntoIterator<Item = &'a Rect>>(rects: I) -> Option<Rect> {
+        let mut it = rects.into_iter();
+        let first = *it.next()?;
+        Some(it.fold(first, |acc, r| acc.union(r)))
+    }
+
+    /// The fraction of `self`'s area that lies inside `other`:
+    /// `area(self ∩ other) / area(self)`, the paper's `Overlap(BB(i), A)` for
+    /// rectangular query regions.
+    ///
+    /// Degenerate (zero-area) rectangles are handled as indicator functions:
+    /// the fraction is 1.0 when the (point or segment) rectangle intersects
+    /// `other`, else 0.0. This matches how Algorithm 1 must treat single-sensor
+    /// leaves: a sensor is either inside the query region or not.
+    pub fn overlap_fraction(&self, other: &Rect) -> f64 {
+        match self.intersection(other) {
+            None => 0.0,
+            Some(ix) => {
+                let a = self.area();
+                if a <= EPSILON {
+                    1.0
+                } else {
+                    (ix.area() / a).clamp(0.0, 1.0)
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn r(min_x: f64, min_y: f64, max_x: f64, max_y: f64) -> Rect {
+        Rect::from_coords(min_x, min_y, max_x, max_y)
+    }
+
+    #[test]
+    fn new_normalises_corner_order() {
+        let a = Rect::new(Point::new(2.0, 3.0), Point::new(0.0, 1.0));
+        assert_eq!(a, r(0.0, 1.0, 2.0, 3.0));
+    }
+
+    #[test]
+    fn area_and_dims() {
+        let a = r(0.0, 0.0, 4.0, 2.0);
+        assert_eq!(a.width(), 4.0);
+        assert_eq!(a.height(), 2.0);
+        assert_eq!(a.area(), 8.0);
+        assert_eq!(a.center(), Point::new(2.0, 1.0));
+    }
+
+    #[test]
+    fn containment_includes_boundary() {
+        let a = r(0.0, 0.0, 1.0, 1.0);
+        assert!(a.contains_point(&Point::new(0.0, 0.0)));
+        assert!(a.contains_point(&Point::new(1.0, 1.0)));
+        assert!(!a.contains_point(&Point::new(1.0 + 1e-6, 1.0)));
+        assert!(a.contains_rect(&r(0.0, 0.0, 0.5, 1.0)));
+        assert!(!a.contains_rect(&r(0.0, 0.0, 1.5, 1.0)));
+    }
+
+    #[test]
+    fn intersection_of_overlapping() {
+        let a = r(0.0, 0.0, 2.0, 2.0);
+        let b = r(1.0, 1.0, 3.0, 3.0);
+        assert_eq!(a.intersection(&b), Some(r(1.0, 1.0, 2.0, 2.0)));
+    }
+
+    #[test]
+    fn intersection_of_disjoint_is_none() {
+        let a = r(0.0, 0.0, 1.0, 1.0);
+        let b = r(2.0, 2.0, 3.0, 3.0);
+        assert!(!a.intersects(&b));
+        assert!(a.intersection(&b).is_none());
+    }
+
+    #[test]
+    fn touching_rectangles_intersect() {
+        let a = r(0.0, 0.0, 1.0, 1.0);
+        let b = r(1.0, 0.0, 2.0, 1.0);
+        assert!(a.intersects(&b));
+        assert_eq!(a.intersection(&b).unwrap().area(), 0.0);
+    }
+
+    #[test]
+    fn union_covers_both() {
+        let a = r(0.0, 0.0, 1.0, 1.0);
+        let b = r(2.0, -1.0, 3.0, 0.5);
+        let u = a.union(&b);
+        assert!(u.contains_rect(&a));
+        assert!(u.contains_rect(&b));
+        assert_eq!(u, r(0.0, -1.0, 3.0, 1.0));
+    }
+
+    #[test]
+    fn bounding_of_points() {
+        let pts = [Point::new(1.0, 5.0), Point::new(-2.0, 0.0), Point::new(3.0, 2.0)];
+        assert_eq!(Rect::bounding(&pts), Some(r(-2.0, 0.0, 3.0, 5.0)));
+        assert!(Rect::bounding(&[]).is_none());
+    }
+
+    #[test]
+    fn overlap_fraction_basics() {
+        let a = r(0.0, 0.0, 2.0, 2.0);
+        assert_eq!(a.overlap_fraction(&a), 1.0);
+        assert_eq!(a.overlap_fraction(&r(0.0, 0.0, 1.0, 2.0)), 0.5);
+        assert_eq!(a.overlap_fraction(&r(5.0, 5.0, 6.0, 6.0)), 0.0);
+    }
+
+    #[test]
+    fn overlap_fraction_degenerate_rect_is_indicator() {
+        let p = Rect::point(Point::new(0.5, 0.5));
+        assert_eq!(p.overlap_fraction(&r(0.0, 0.0, 1.0, 1.0)), 1.0);
+        assert_eq!(p.overlap_fraction(&r(2.0, 2.0, 3.0, 3.0)), 0.0);
+    }
+
+    proptest! {
+        #[test]
+        fn union_is_commutative(ax in -100.0..100.0f64, ay in -100.0..100.0f64,
+                                aw in 0.0..50.0f64, ah in 0.0..50.0f64,
+                                bx in -100.0..100.0f64, by in -100.0..100.0f64,
+                                bw in 0.0..50.0f64, bh in 0.0..50.0f64) {
+            let a = r(ax, ay, ax + aw, ay + ah);
+            let b = r(bx, by, bx + bw, by + bh);
+            prop_assert_eq!(a.union(&b), b.union(&a));
+        }
+
+        #[test]
+        fn intersection_within_both(ax in -100.0..100.0f64, ay in -100.0..100.0f64,
+                                    aw in 0.0..50.0f64, ah in 0.0..50.0f64,
+                                    bx in -100.0..100.0f64, by in -100.0..100.0f64,
+                                    bw in 0.0..50.0f64, bh in 0.0..50.0f64) {
+            let a = r(ax, ay, ax + aw, ay + ah);
+            let b = r(bx, by, bx + bw, by + bh);
+            if let Some(ix) = a.intersection(&b) {
+                prop_assert!(a.contains_rect(&ix));
+                prop_assert!(b.contains_rect(&ix));
+            }
+        }
+
+        #[test]
+        fn overlap_fraction_in_unit_interval(ax in -100.0..100.0f64, ay in -100.0..100.0f64,
+                                             aw in 0.0..50.0f64, ah in 0.0..50.0f64,
+                                             bx in -100.0..100.0f64, by in -100.0..100.0f64,
+                                             bw in 0.0..50.0f64, bh in 0.0..50.0f64) {
+            let a = r(ax, ay, ax + aw, ay + ah);
+            let b = r(bx, by, bx + bw, by + bh);
+            let f = a.overlap_fraction(&b);
+            prop_assert!((0.0..=1.0).contains(&f));
+        }
+
+        #[test]
+        fn contained_rect_has_full_overlap(ax in -100.0..100.0f64, ay in -100.0..100.0f64,
+                                           aw in 0.01..50.0f64, ah in 0.01..50.0f64) {
+            let a = r(ax, ay, ax + aw, ay + ah);
+            let bigger = r(ax - 1.0, ay - 1.0, ax + aw + 1.0, ay + ah + 1.0);
+            prop_assert!((a.overlap_fraction(&bigger) - 1.0).abs() < 1e-12);
+        }
+    }
+}

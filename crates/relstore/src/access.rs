@@ -1,0 +1,739 @@
+//! The relational access methods (Section VI-A).
+//!
+//! *Sensor selection* walks the layer tables root→leaf (the paper's
+//! left-deep multiway join), pruning spatially, checking each layer's cache
+//! table for sufficiently cached nodes, and sampling targets down the
+//! partitioning — returning the set of sensor ids the front-end must probe.
+//! *Cache read* retrieves the cached aggregates covering the query at the
+//! highest level possible (the "no contained cached entry exists in a higher
+//! level" duplicate-elimination rule), plus fresh raw readings at the leaf
+//! layer.
+//!
+//! [`RelationalColrTree::query`] combines the two with a probe round and
+//! feeds collected readings back through the trigger pipeline.
+
+use colr_geo::{Rect, Region};
+use colr_tree::{PartialAgg, ProbeService, QueryStats, Reading, SensorId, TimeDelta, Timestamp};
+use rand::Rng;
+
+use crate::schema::RelationalColrTree;
+use crate::store::RowId;
+
+/// One result group from the relational backend.
+#[derive(Debug, Clone)]
+pub struct RelGroup {
+    /// Node that produced the group.
+    pub node: i64,
+    /// Its bounding box.
+    pub bbox: Rect,
+    /// The aggregate.
+    pub agg: PartialAgg,
+    /// Whether it came from a cache table.
+    pub from_cache: bool,
+}
+
+/// Output of a relational query.
+#[derive(Debug, Clone)]
+pub struct RelQueryOutput {
+    /// Result groups.
+    pub groups: Vec<RelGroup>,
+    /// Raw readings materialised.
+    pub readings: Vec<Reading>,
+    /// Structural counters (nodes = layer-table join rows visited).
+    pub stats: QueryStats,
+}
+
+impl RelQueryOutput {
+    /// Total readings represented across groups.
+    pub fn result_size(&self) -> u64 {
+        self.groups.iter().map(|g| g.agg.count).sum()
+    }
+}
+
+/// Accumulated outputs of one join descent.
+#[derive(Debug, Default)]
+struct Descent {
+    groups: Vec<RelGroup>,
+    cached_readings: Vec<Reading>,
+    to_probe: Vec<SensorId>,
+    stats: QueryStats,
+}
+
+/// A constant RNG for cache reads: the cache-read access method only uses
+/// the descent's group/reading outputs, never its probe selection, so the
+/// rounding decisions an RNG would drive are irrelevant — a constant source
+/// keeps the method deterministic.
+struct DeterministicRng;
+
+impl rand::RngCore for DeterministicRng {
+    fn next_u32(&mut self) -> u32 {
+        0
+    }
+    fn next_u64(&mut self) -> u64 {
+        0
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        dest.fill(0);
+    }
+}
+
+impl RelationalColrTree {
+    /// Processes a range query against the relational backend: one
+    /// join-descent computing the cache read and the sensor selection, a
+    /// probe round, and write-back through the trigger pipeline.
+    ///
+    /// With `sample_size = None` this is the hierarchical-cache behaviour
+    /// (probe everything not served by a cache); with a target it applies
+    /// weighted target partitioning down the layer joins, the relational
+    /// rendition of Algorithm 1's sampling heuristic.
+    #[allow(clippy::too_many_arguments)]
+    pub fn query<P, R>(
+        &mut self,
+        region: &Region,
+        staleness: TimeDelta,
+        terminal_level: u16,
+        sample_size: Option<f64>,
+        probe: &mut P,
+        now: Timestamp,
+        rng: &mut R,
+    ) -> RelQueryOutput
+    where
+        P: ProbeService + ?Sized,
+        R: Rng + ?Sized,
+    {
+        self.query_filtered(region, staleness, terminal_level, sample_size, None, probe, now, rng)
+    }
+
+    /// [`RelationalColrTree::query`] restricted to one sensor type: the
+    /// per-type cache rows serve the aggregates and only matching sensors
+    /// are selected for probing.
+    #[allow(clippy::too_many_arguments)]
+    pub fn query_filtered<P, R>(
+        &mut self,
+        region: &Region,
+        staleness: TimeDelta,
+        terminal_level: u16,
+        sample_size: Option<f64>,
+        kind_filter: Option<u16>,
+        probe: &mut P,
+        now: Timestamp,
+        rng: &mut R,
+    ) -> RelQueryOutput
+    where
+        P: ProbeService + ?Sized,
+        R: Rng + ?Sized,
+    {
+        self.roll_trigger(now);
+        let d = self.join_descent(region, staleness, terminal_level, sample_size, kind_filter, now, rng);
+        let mut stats = d.stats;
+        let mut groups = d.groups;
+        let mut readings = d.cached_readings;
+
+        // Probe round + write-back through the trigger pipeline.
+        let outcomes = probe.probe_batch(&d.to_probe, now);
+        stats.sensors_probed += d.to_probe.len() as u64;
+        let mut probed_agg = PartialAgg::empty();
+        for outcome in outcomes {
+            match outcome {
+                Some(r) => {
+                    if self.insert_reading(r, now) {
+                        stats.cache_inserts += 1;
+                    }
+                    probed_agg.insert(r.value);
+                    readings.push(r);
+                }
+                None => stats.probes_failed += 1,
+            }
+        }
+        if !probed_agg.is_empty() {
+            groups.push(RelGroup {
+                node: -1,
+                bbox: region.bounding_rect(),
+                agg: probed_agg,
+                from_cache: false,
+            });
+        }
+
+        RelQueryOutput {
+            groups,
+            readings,
+            stats,
+        }
+    }
+
+    /// The **cache read** access method (Section VI-A): the cached
+    /// aggregates and fresh raw readings that answer (part of) the query,
+    /// without contacting any sensor. Returns `(groups, raw readings,
+    /// stats)`.
+    pub fn cache_read(
+        &mut self,
+        region: &Region,
+        staleness: TimeDelta,
+        terminal_level: u16,
+        now: Timestamp,
+    ) -> (Vec<RelGroup>, Vec<Reading>, QueryStats) {
+        self.roll_trigger(now);
+        // Cache reads are deterministic: no sampling, so the rng is unused.
+        let mut rng = DeterministicRng;
+        let d = self.join_descent(region, staleness, terminal_level, None, None, now, &mut rng);
+        (d.groups, d.cached_readings, d.stats)
+    }
+
+    /// The **sensor selection** access method (Section VI-A): the set of
+    /// sensor ids the front-end must probe for fresh readings, after the
+    /// sampling heuristic and the per-layer cache checks.
+    pub fn sensor_selection<R>(
+        &mut self,
+        region: &Region,
+        staleness: TimeDelta,
+        terminal_level: u16,
+        sample_size: Option<f64>,
+        now: Timestamp,
+        rng: &mut R,
+    ) -> (Vec<SensorId>, QueryStats)
+    where
+        R: Rng + ?Sized,
+    {
+        self.roll_trigger(now);
+        let d = self.join_descent(region, staleness, terminal_level, sample_size, None, now, rng);
+        (d.to_probe, d.stats)
+    }
+
+    /// One left-deep join descent through the layer tables, producing both
+    /// access methods' outputs.
+    #[allow(clippy::too_many_arguments)]
+    fn join_descent<R>(
+        &self,
+        region: &Region,
+        staleness: TimeDelta,
+        terminal_level: u16,
+        sample_size: Option<f64>,
+        kind_filter: Option<u16>,
+        now: Timestamp,
+        rng: &mut R,
+    ) -> Descent
+    where
+        R: Rng + ?Sized,
+    {
+        // A coarser-than-leaf zoom can never exceed the tree height.
+        let terminal_level = terminal_level.min(self.leaf_level());
+        let mut d = Descent::default();
+
+        let root = self.root_id();
+        let root_weight = self.node_level_weight(root).1 as f64;
+        let target = sample_size.unwrap_or(root_weight);
+        let mut stack: Vec<(i64, u16, f64)> = vec![(root, 0, target)];
+
+        while let Some((node, level, share)) = stack.pop() {
+            d.stats.nodes_traversed += 1;
+            let bbox = self.node_bbox(node);
+            if !region.intersects_rect(&bbox) || share <= 1e-9 {
+                continue;
+            }
+            let (_, weight) = self.node_level_weight(node);
+            let contained = region.contains_rect(&bbox);
+
+            // Cache check: a fresh cached aggregate covering this node
+            // (restricted to the filtered type's rows when applicable).
+            if contained && level >= terminal_level && weight > 0 {
+                if let Some((agg, slots)) =
+                    self.usable_aggregate(level, node, now, staleness, kind_filter)
+                {
+                    let want = share.min(weight as f64);
+                    if agg.count as f64 + 1e-9 >= want {
+                        d.stats.cache_nodes_used += 1;
+                        d.stats.slots_combined += slots;
+                        d.groups.push(RelGroup {
+                            node,
+                            bbox,
+                            agg,
+                            from_cache: true,
+                        });
+                        continue;
+                    }
+                }
+            }
+
+            if level == self.leaf_level() {
+                // Leaf layer: fresh raw readings from the reading table, the
+                // rest sampled for probing.
+                let (cached, candidates) =
+                    self.leaf_scan(node, region, now, staleness, kind_filter, &mut d.stats);
+                let mut agg = PartialAgg::empty();
+                for r in &cached {
+                    agg.insert(r.value);
+                }
+                d.stats.readings_from_cache += cached.len() as u64;
+                d.cached_readings.extend(cached);
+                let need = (share - agg.count as f64).max(0.0);
+                let k = pick(need, candidates.len(), rng);
+                let mut cands = candidates;
+                for i in 0..k {
+                    let j = rng.random_range(i..cands.len());
+                    cands.swap(i, j);
+                }
+                d.to_probe.extend_from_slice(&cands[..k]);
+                if !agg.is_empty() {
+                    d.groups.push(RelGroup {
+                        node,
+                        bbox,
+                        agg,
+                        from_cache: false,
+                    });
+                }
+            } else {
+                // Join to the next layer, partitioning the target by
+                // weight × overlap.
+                let layer = self.store.table(self.layer_t[level as usize]);
+                let node_col = layer.col("node_id");
+                let child_rows: Vec<(i64, Rect, f64)> = layer
+                    .find(node_col, node)
+                    .into_iter()
+                    .filter_map(|rid| {
+                        let row = layer.get(rid)?;
+                        let bbox = Rect::from_coords(
+                            row[2].float(),
+                            row[3].float(),
+                            row[4].float(),
+                            row[5].float(),
+                        );
+                        let ow = row[6].float() * region.overlap_fraction(&bbox);
+                        (ow > 1e-9).then_some((row[1].int(), bbox, ow))
+                    })
+                    .collect();
+                let denom: f64 = child_rows.iter().map(|(_, _, ow)| ow).sum();
+                if denom <= 1e-9 {
+                    continue;
+                }
+                for (child, _, ow) in child_rows {
+                    stack.push((child, level + 1, share * ow / denom));
+                }
+            }
+        }
+        d
+    }
+
+    /// Combines a node's fresh cache-table slots (the cache-read join's
+    /// per-node piece).
+    fn usable_aggregate(
+        &self,
+        level: u16,
+        node: i64,
+        now: Timestamp,
+        staleness: TimeDelta,
+        kind_filter: Option<u16>,
+    ) -> Option<(PartialAgg, u64)> {
+        let t = self.store.table(self.cache_t[level as usize]);
+        let node_col = t.col("node_id");
+        let kind_col = t.col("kind");
+        let bound = now.saturating_sub(staleness).millis() as i64;
+        let mut agg = PartialAgg::empty();
+        let mut slots = std::collections::BTreeSet::new();
+        for rid in t.find(node_col, node) {
+            let row = t.get(rid)?;
+            let slot = row[1].int() as u64;
+            if let Some(k) = kind_filter {
+                if row[kind_col].int() != k as i64 {
+                    continue;
+                }
+            }
+            // Fully unexpired slot, all constituents fresh.
+            if slot * self.slot_width_ms >= now.millis() && row[8].int() >= bound {
+                let r = crate::triggers::CacheRow::from_row(row);
+                agg.merge(&r.as_agg());
+                slots.insert(slot);
+            }
+        }
+        (!agg.is_empty()).then_some((agg, slots.len() as u64))
+    }
+
+    /// Classifies the sensors of one leaf within the region: fresh cached
+    /// readings vs probe candidates.
+    fn leaf_scan(
+        &self,
+        leaf: i64,
+        region: &Region,
+        now: Timestamp,
+        staleness: TimeDelta,
+        kind_filter: Option<u16>,
+        stats: &mut QueryStats,
+    ) -> (Vec<Reading>, Vec<SensorId>) {
+        let layer = self.store.table(self.layer_t[self.leaf_level() as usize]);
+        let node_col = layer.col("node_id");
+        let mut cached = Vec::new();
+        let mut candidates = Vec::new();
+        let reading_t = self.store.table(self.reading_t);
+        let sensor_col = reading_t.col("sensor_id");
+        for rid in layer.find(node_col, leaf) {
+            let row = layer.get(rid).expect("live row");
+            let sensor = row[1].int();
+            let loc = colr_geo::Point::new(row[2].float(), row[3].float());
+            if !region.contains_point(&loc) {
+                continue;
+            }
+            if let Some(k) = kind_filter {
+                if self.kind_of(SensorId(sensor as u32)) != k {
+                    continue;
+                }
+            }
+            stats.entries_scanned += 1;
+            let hit = reading_t
+                .find(sensor_col, sensor)
+                .into_iter()
+                .filter_map(|r: RowId| reading_t.get(r))
+                .map(|r| Reading {
+                    sensor: SensorId(r[0].int() as u32),
+                    value: r[1].float(),
+                    timestamp: Timestamp(r[2].int() as u64),
+                    expires_at: Timestamp(r[3].int() as u64),
+                })
+                .find(|r| r.is_fresh(now, staleness));
+            match hit {
+                Some(r) => cached.push(r),
+                None => candidates.push(SensorId(sensor as u32)),
+            }
+        }
+        (cached, candidates)
+    }
+}
+
+/// Stochastically rounds `x` and caps at `limit`.
+fn pick<R: Rng + ?Sized>(x: f64, limit: usize, rng: &mut R) -> usize {
+    if x <= 0.0 {
+        return 0;
+    }
+    let floor = x.floor();
+    let mut k = floor as usize;
+    if x - floor > 0.0 && rng.random_bool((x - floor).min(1.0)) {
+        k += 1;
+    }
+    k.min(limit)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use colr_geo::Point;
+    use colr_tree::probe::AlwaysAvailable;
+    use colr_tree::{ColrConfig, ColrTree, SensorMeta};
+    use colr_tree::PartialAgg;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    const EXPIRY_MS: u64 = 300_000;
+
+    fn rel_tree() -> RelationalColrTree {
+        let sensors: Vec<SensorMeta> = (0..64)
+            .map(|i| {
+                SensorMeta::new(
+                    i as u32,
+                    Point::new((i % 8) as f64, (i / 8) as f64),
+                    TimeDelta::from_millis(EXPIRY_MS),
+                    1.0,
+                )
+            })
+            .collect();
+        let tree = ColrTree::build(sensors, ColrConfig::default(), 7);
+        RelationalColrTree::from_tree(&tree)
+    }
+
+    fn region_all() -> Region {
+        Region::Rect(Rect::from_coords(-0.5, -0.5, 7.5, 7.5))
+    }
+
+    #[test]
+    fn cold_query_probes_everything() {
+        let mut rel = rel_tree();
+        let mut probe = AlwaysAvailable { expiry_ms: EXPIRY_MS };
+        let mut rng = StdRng::seed_from_u64(1);
+        let out = rel.query(
+            &region_all(),
+            TimeDelta::from_mins(5),
+            2,
+            None,
+            &mut probe,
+            Timestamp(1_000),
+            &mut rng,
+        );
+        assert_eq!(out.stats.sensors_probed, 64);
+        assert_eq!(out.readings.len(), 64);
+        assert_eq!(out.result_size(), 64);
+    }
+
+    #[test]
+    fn warm_query_served_from_cache() {
+        let mut rel = rel_tree();
+        let mut probe = AlwaysAvailable { expiry_ms: EXPIRY_MS };
+        let mut rng = StdRng::seed_from_u64(1);
+        rel.query(
+            &region_all(),
+            TimeDelta::from_mins(5),
+            2,
+            None,
+            &mut probe,
+            Timestamp(1_000),
+            &mut rng,
+        );
+        let out = rel.query(
+            &region_all(),
+            TimeDelta::from_mins(5),
+            2,
+            None,
+            &mut probe,
+            Timestamp(2_000),
+            &mut rng,
+        );
+        assert_eq!(out.stats.sensors_probed, 0, "warm query reprobed");
+        assert!(out.stats.cache_nodes_used > 0);
+        assert_eq!(out.result_size(), 64);
+    }
+
+    #[test]
+    fn sampled_query_probes_fewer() {
+        let mut rel = rel_tree();
+        let mut probe = AlwaysAvailable { expiry_ms: EXPIRY_MS };
+        let mut rng = StdRng::seed_from_u64(2);
+        let out = rel.query(
+            &region_all(),
+            TimeDelta::from_mins(5),
+            2,
+            Some(16.0),
+            &mut probe,
+            Timestamp(1_000),
+            &mut rng,
+        );
+        assert!(
+            out.stats.sensors_probed < 40,
+            "sampled query probed {}",
+            out.stats.sensors_probed
+        );
+        assert!(out.stats.sensors_probed > 4);
+    }
+
+    #[test]
+    fn freshness_bound_expires_relational_cache() {
+        let mut rel = rel_tree();
+        let mut probe = AlwaysAvailable { expiry_ms: EXPIRY_MS };
+        let mut rng = StdRng::seed_from_u64(3);
+        rel.query(
+            &region_all(),
+            TimeDelta::from_mins(5),
+            2,
+            None,
+            &mut probe,
+            Timestamp(1_000),
+            &mut rng,
+        );
+        // Demand 30s freshness two minutes later.
+        let out = rel.query(
+            &region_all(),
+            TimeDelta::from_secs(30),
+            2,
+            None,
+            &mut probe,
+            Timestamp(121_000),
+            &mut rng,
+        );
+        assert_eq!(out.stats.sensors_probed, 64);
+    }
+
+    #[test]
+    fn disjoint_region_is_empty() {
+        let mut rel = rel_tree();
+        let mut probe = AlwaysAvailable { expiry_ms: EXPIRY_MS };
+        let mut rng = StdRng::seed_from_u64(4);
+        let region = Region::Rect(Rect::from_coords(50.0, 50.0, 60.0, 60.0));
+        let out = rel.query(
+            &region,
+            TimeDelta::from_mins(5),
+            2,
+            None,
+            &mut probe,
+            Timestamp(1_000),
+            &mut rng,
+        );
+        assert_eq!(out.result_size(), 0);
+        assert_eq!(out.stats.sensors_probed, 0);
+    }
+
+    #[test]
+    fn cache_read_returns_nothing_cold_everything_warm() {
+        let mut rel = rel_tree();
+        let mut probe = AlwaysAvailable { expiry_ms: EXPIRY_MS };
+        let mut rng = StdRng::seed_from_u64(7);
+        let (groups, readings, _) =
+            rel.cache_read(&region_all(), TimeDelta::from_mins(5), 2, Timestamp(1_000));
+        assert!(groups.is_empty());
+        assert!(readings.is_empty());
+        // Warm through a full query, then the cache read serves 64.
+        rel.query(
+            &region_all(),
+            TimeDelta::from_mins(5),
+            2,
+            None,
+            &mut probe,
+            Timestamp(1_000),
+            &mut rng,
+        );
+        let (groups, readings, stats) =
+            rel.cache_read(&region_all(), TimeDelta::from_mins(5), 2, Timestamp(2_000));
+        let total: u64 =
+            groups.iter().map(|g| g.agg.count).sum::<u64>().max(readings.len() as u64);
+        assert_eq!(total, 64);
+        assert!(stats.cache_nodes_used > 0 || stats.readings_from_cache > 0);
+    }
+
+    #[test]
+    fn sensor_selection_shrinks_as_cache_fills() {
+        let mut rel = rel_tree();
+        let mut probe = AlwaysAvailable { expiry_ms: EXPIRY_MS };
+        let mut rng = StdRng::seed_from_u64(9);
+        let (cold, _) = rel.sensor_selection(
+            &region_all(),
+            TimeDelta::from_mins(5),
+            2,
+            None,
+            Timestamp(1_000),
+            &mut rng,
+        );
+        assert_eq!(cold.len(), 64, "cold selection must cover the region");
+        rel.query(
+            &region_all(),
+            TimeDelta::from_mins(5),
+            2,
+            None,
+            &mut probe,
+            Timestamp(1_000),
+            &mut rng,
+        );
+        let (warm, _) = rel.sensor_selection(
+            &region_all(),
+            TimeDelta::from_mins(5),
+            2,
+            None,
+            Timestamp(2_000),
+            &mut rng,
+        );
+        assert!(warm.is_empty(), "warm selection still wants {} probes", warm.len());
+    }
+
+    #[test]
+    fn sensor_selection_respects_sample_target() {
+        let mut rel = rel_tree();
+        let mut rng = StdRng::seed_from_u64(11);
+        let (sel, _) = rel.sensor_selection(
+            &region_all(),
+            TimeDelta::from_mins(5),
+            2,
+            Some(10.0),
+            Timestamp(1_000),
+            &mut rng,
+        );
+        assert!(
+            sel.len() >= 4 && sel.len() <= 25,
+            "selection {} far from target 10",
+            sel.len()
+        );
+    }
+
+    #[test]
+    fn kind_filtered_query_uses_per_type_cache_rows() {
+        // Even ids type 1, odd ids type 2.
+        let sensors: Vec<SensorMeta> = (0..64)
+            .map(|i| {
+                SensorMeta::new(
+                    i as u32,
+                    Point::new((i % 8) as f64, (i / 8) as f64),
+                    TimeDelta::from_millis(EXPIRY_MS),
+                    1.0,
+                )
+                .with_kind(1 + (i % 2) as u16)
+            })
+            .collect();
+        let tree = ColrTree::build(sensors, ColrConfig::default(), 7);
+        let mut rel = RelationalColrTree::from_tree(&tree);
+        let mut probe = AlwaysAvailable { expiry_ms: EXPIRY_MS };
+        let mut rng = StdRng::seed_from_u64(13);
+        // Warm with an unfiltered query.
+        rel.query(
+            &region_all(),
+            TimeDelta::from_mins(5),
+            2,
+            None,
+            &mut probe,
+            Timestamp(1_000),
+            &mut rng,
+        );
+        // Filtered query: no probes, served from the type-2 cache rows.
+        let out = rel.query_filtered(
+            &region_all(),
+            TimeDelta::from_mins(5),
+            2,
+            None,
+            Some(2),
+            &mut probe,
+            Timestamp(2_000),
+            &mut rng,
+        );
+        assert_eq!(out.stats.sensors_probed, 0, "filtered warm query probed");
+        assert_eq!(out.result_size(), 32);
+        // AlwaysAvailable value == id; type 2 = odd ids.
+        let mut agg = PartialAgg::empty();
+        for g in &out.groups {
+            agg.merge(&g.agg);
+        }
+        assert_eq!(agg.min, 1.0);
+        assert_eq!(agg.max, 63.0);
+    }
+
+    #[test]
+    fn kind_filtered_cold_query_probes_only_matching() {
+        let sensors: Vec<SensorMeta> = (0..64)
+            .map(|i| {
+                SensorMeta::new(
+                    i as u32,
+                    Point::new((i % 8) as f64, (i / 8) as f64),
+                    TimeDelta::from_millis(EXPIRY_MS),
+                    1.0,
+                )
+                .with_kind(1 + (i % 2) as u16)
+            })
+            .collect();
+        let tree = ColrTree::build(sensors, ColrConfig::default(), 7);
+        let mut rel = RelationalColrTree::from_tree(&tree);
+        let mut probe = AlwaysAvailable { expiry_ms: EXPIRY_MS };
+        let mut rng = StdRng::seed_from_u64(13);
+        let out = rel.query_filtered(
+            &region_all(),
+            TimeDelta::from_mins(5),
+            2,
+            None,
+            Some(1),
+            &mut probe,
+            Timestamp(1_000),
+            &mut rng,
+        );
+        assert_eq!(out.stats.sensors_probed, 32);
+        for r in &out.readings {
+            assert_eq!(r.sensor.0 % 2, 0, "type-1 sensors are the even ids");
+        }
+    }
+
+    #[test]
+    fn partial_region_probes_only_inside() {
+        let mut rel = rel_tree();
+        let mut probe = AlwaysAvailable { expiry_ms: EXPIRY_MS };
+        let mut rng = StdRng::seed_from_u64(5);
+        let region = Region::Rect(Rect::from_coords(-0.5, -0.5, 3.5, 7.5)); // left half: 32
+        let out = rel.query(
+            &region,
+            TimeDelta::from_mins(5),
+            2,
+            None,
+            &mut probe,
+            Timestamp(1_000),
+            &mut rng,
+        );
+        assert_eq!(out.stats.sensors_probed, 32);
+    }
+}

@@ -1,0 +1,221 @@
+//! Value processes behind simulated sensor readings.
+//!
+//! A [`ValueField`] answers "what does sensor `s` observe at instant `t`?".
+//! The experiments need three shapes:
+//!
+//! * [`ConstantField`] — fixed per-sensor values (deterministic tests),
+//! * [`RandomWalkField`] — independent per-sensor drifting values (restaurant
+//!   waiting times),
+//! * [`SpatialField`] — values correlated across space (USGS water
+//!   discharge, Fig 7): a sum of smooth radial bumps plus small white noise,
+//!   whose correlation length is configurable.
+
+use colr_geo::Point;
+use colr_tree::{SensorId, Timestamp};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A process assigning a value to each sensor at each instant.
+pub trait ValueField {
+    /// The value sensor `s` at `location` observes at `now`.
+    fn value(&mut self, s: SensorId, location: Point, now: Timestamp) -> f64;
+}
+
+/// Every sensor observes `base + id · step` forever.
+#[derive(Debug, Clone)]
+pub struct ConstantField {
+    /// Value of sensor 0.
+    pub base: f64,
+    /// Increment per sensor id.
+    pub step: f64,
+}
+
+impl ValueField for ConstantField {
+    fn value(&mut self, s: SensorId, _location: Point, _now: Timestamp) -> f64 {
+        self.base + self.step * s.0 as f64
+    }
+}
+
+/// Independent per-sensor random walks: each observation moves the sensor's
+/// value by a uniform step in `[-step, step]`, clamped to `[lo, hi]`.
+#[derive(Debug)]
+pub struct RandomWalkField {
+    values: Vec<f64>,
+    step: f64,
+    lo: f64,
+    hi: f64,
+    rng: StdRng,
+}
+
+impl RandomWalkField {
+    /// A walk over `n` sensors starting uniformly in `[lo, hi]`.
+    pub fn new(n: usize, lo: f64, hi: f64, step: f64, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let values = (0..n).map(|_| rng.random_range(lo..=hi)).collect();
+        RandomWalkField {
+            values,
+            step,
+            lo,
+            hi,
+            rng,
+        }
+    }
+}
+
+impl ValueField for RandomWalkField {
+    fn value(&mut self, s: SensorId, _location: Point, _now: Timestamp) -> f64 {
+        let v = &mut self.values[s.index()];
+        *v = (*v + self.rng.random_range(-self.step..=self.step)).clamp(self.lo, self.hi);
+        *v
+    }
+}
+
+/// A smooth, spatially correlated field: a fixed set of Gaussian radial
+/// bumps with random centres/amplitudes, plus per-observation white noise.
+///
+/// Nearby sensors see similar values; the `correlation_length` sets how fast
+/// similarity decays with distance. This reproduces the spatial correlation
+/// premise behind the paper's Fig 7 result-accuracy experiment.
+#[derive(Debug)]
+pub struct SpatialField {
+    bumps: Vec<(Point, f64)>,
+    correlation_length: f64,
+    baseline: f64,
+    noise: f64,
+    rng: StdRng,
+}
+
+impl SpatialField {
+    /// A field over the `extent` rectangle with `bumps` random Gaussian
+    /// components of amplitude up to `amplitude`, plus white noise of
+    /// standard width `noise` on every observation.
+    pub fn new(
+        extent: colr_geo::Rect,
+        bumps: usize,
+        amplitude: f64,
+        correlation_length: f64,
+        baseline: f64,
+        noise: f64,
+        seed: u64,
+    ) -> Self {
+        assert!(correlation_length > 0.0, "correlation length must be positive");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let bumps = (0..bumps)
+            .map(|_| {
+                let p = Point::new(
+                    rng.random_range(extent.min.x..=extent.max.x),
+                    rng.random_range(extent.min.y..=extent.max.y),
+                );
+                let a = rng.random_range(0.0..=amplitude);
+                (p, a)
+            })
+            .collect();
+        SpatialField {
+            bumps,
+            correlation_length,
+            baseline,
+            noise,
+            rng,
+        }
+    }
+
+    /// The noiseless field value at a location (used to compute ground truth
+    /// in experiments).
+    pub fn smooth_value(&self, location: Point) -> f64 {
+        let l2 = self.correlation_length * self.correlation_length;
+        self.baseline
+            + self
+                .bumps
+                .iter()
+                .map(|(c, a)| a * (-location.distance_sq(c) / (2.0 * l2)).exp())
+                .sum::<f64>()
+    }
+}
+
+impl ValueField for SpatialField {
+    fn value(&mut self, _s: SensorId, location: Point, _now: Timestamp) -> f64 {
+        let noise = if self.noise > 0.0 {
+            self.rng.random_range(-self.noise..=self.noise)
+        } else {
+            0.0
+        };
+        self.smooth_value(location) + noise
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use colr_geo::Rect;
+
+    #[test]
+    fn constant_field_is_deterministic() {
+        let mut f = ConstantField { base: 10.0, step: 2.0 };
+        assert_eq!(f.value(SensorId(0), Point::new(0.0, 0.0), Timestamp(0)), 10.0);
+        assert_eq!(f.value(SensorId(3), Point::new(0.0, 0.0), Timestamp(5)), 16.0);
+        // Same inputs, same outputs.
+        assert_eq!(f.value(SensorId(3), Point::new(0.0, 0.0), Timestamp(5)), 16.0);
+    }
+
+    #[test]
+    fn random_walk_stays_in_bounds() {
+        let mut f = RandomWalkField::new(10, 0.0, 60.0, 5.0, 1);
+        for _ in 0..200 {
+            for i in 0..10 {
+                let v = f.value(SensorId(i), Point::new(0.0, 0.0), Timestamp(0));
+                assert!((0.0..=60.0).contains(&v));
+            }
+        }
+    }
+
+    #[test]
+    fn random_walk_moves_gradually() {
+        let mut f = RandomWalkField::new(1, 0.0, 100.0, 2.0, 7);
+        let a = f.value(SensorId(0), Point::new(0.0, 0.0), Timestamp(0));
+        let b = f.value(SensorId(0), Point::new(0.0, 0.0), Timestamp(1));
+        assert!((a - b).abs() <= 2.0);
+    }
+
+    #[test]
+    fn spatial_field_is_correlated_in_space() {
+        let extent = Rect::from_coords(0.0, 0.0, 100.0, 100.0);
+        let f = SpatialField::new(extent, 12, 50.0, 20.0, 10.0, 0.0, 3);
+        // Nearby points closer in value than distant points, on average.
+        let mut near_diff = 0.0;
+        let mut far_diff = 0.0;
+        let mut rng = StdRng::seed_from_u64(9);
+        let trials = 200;
+        for _ in 0..trials {
+            let p = Point::new(rng.random_range(10.0..90.0), rng.random_range(10.0..90.0));
+            let near = Point::new(p.x + 1.0, p.y + 1.0);
+            let far = Point::new(
+                rng.random_range(0.0..100.0),
+                rng.random_range(0.0..100.0),
+            );
+            near_diff += (f.smooth_value(p) - f.smooth_value(near)).abs();
+            far_diff += (f.smooth_value(p) - f.smooth_value(far)).abs();
+        }
+        assert!(
+            near_diff < far_diff * 0.5,
+            "near diff {near_diff} not ≪ far diff {far_diff}"
+        );
+    }
+
+    #[test]
+    fn spatial_field_noise_is_bounded() {
+        let extent = Rect::from_coords(0.0, 0.0, 10.0, 10.0);
+        let mut f = SpatialField::new(extent, 4, 10.0, 3.0, 5.0, 0.5, 3);
+        let p = Point::new(5.0, 5.0);
+        let smooth = f.smooth_value(p);
+        for _ in 0..100 {
+            let v = f.value(SensorId(0), p, Timestamp(0));
+            assert!((v - smooth).abs() <= 0.5 + 1e-12);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "correlation length")]
+    fn spatial_field_rejects_zero_correlation() {
+        SpatialField::new(Rect::from_coords(0.0, 0.0, 1.0, 1.0), 1, 1.0, 0.0, 0.0, 0.0, 1);
+    }
+}

@@ -1,0 +1,202 @@
+//! The simulated probe endpoint.
+
+use colr_geo::Point;
+use colr_tree::{ProbeService, Reading, SensorId, SensorMeta, Timestamp};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::field::ValueField;
+
+/// A simulated wide-area sensor network.
+///
+/// Implements [`ProbeService`]: each probe of sensor `s` succeeds with
+/// probability `meta.availability` (independently per probe — the paper's
+/// nondeterministic unavailability) and, on success, yields a reading whose
+/// value comes from the configured [`ValueField`], timestamped `now` and
+/// valid for `meta.expiry`.
+///
+/// The network keeps per-sensor probe counters so experiments can audit the
+/// *sensing workload* — Theorem 2's uniformity claim is about exactly this
+/// distribution.
+pub struct SimNetwork<F> {
+    sensors: Vec<SensorMeta>,
+    field: F,
+    rng: StdRng,
+    probes: Vec<u64>,
+    successes: Vec<u64>,
+    /// Optional override forcing specific sensors offline (failure
+    /// injection).
+    forced_down: Vec<bool>,
+}
+
+impl<F: ValueField> SimNetwork<F> {
+    /// A network over `sensors` whose values come from `field`.
+    pub fn new(sensors: Vec<SensorMeta>, field: F, seed: u64) -> Self {
+        let n = sensors.len();
+        SimNetwork {
+            sensors,
+            field,
+            rng: StdRng::seed_from_u64(seed),
+            probes: vec![0; n],
+            successes: vec![0; n],
+            forced_down: vec![false; n],
+        }
+    }
+
+    /// Registered sensors.
+    pub fn sensors(&self) -> &[SensorMeta] {
+        &self.sensors
+    }
+
+    /// Times each sensor has been probed so far.
+    pub fn probe_counts(&self) -> &[u64] {
+        &self.probes
+    }
+
+    /// Times each sensor successfully answered.
+    pub fn success_counts(&self) -> &[u64] {
+        &self.successes
+    }
+
+    /// Total probes issued across all sensors.
+    pub fn total_probes(&self) -> u64 {
+        self.probes.iter().sum()
+    }
+
+    /// Forces a sensor offline (`true`) or back to its availability model
+    /// (`false`) — failure injection for tests and experiments.
+    pub fn set_forced_down(&mut self, s: SensorId, down: bool) {
+        self.forced_down[s.index()] = down;
+    }
+
+    /// Resets the probe counters (between experiment phases).
+    pub fn reset_counters(&mut self) {
+        self.probes.iter_mut().for_each(|c| *c = 0);
+        self.successes.iter_mut().for_each(|c| *c = 0);
+    }
+
+    /// The ground-truth value sensor `s` would report at `now` if probed and
+    /// available. Advances stateful fields exactly like a probe does.
+    pub fn observe(&mut self, s: SensorId, now: Timestamp) -> f64 {
+        let loc = self.sensors[s.index()].location;
+        self.field.value(s, loc, now)
+    }
+
+    /// Location of a sensor (convenience passthrough).
+    pub fn location(&self, s: SensorId) -> Point {
+        self.sensors[s.index()].location
+    }
+}
+
+impl<F: ValueField> ProbeService for SimNetwork<F> {
+    fn probe_batch(&mut self, ids: &[SensorId], now: Timestamp) -> Vec<Option<Reading>> {
+        ids.iter()
+            .map(|&id| {
+                let meta = self.sensors[id.index()];
+                self.probes[id.index()] += 1;
+                if self.forced_down[id.index()] {
+                    return None;
+                }
+                let up = meta.availability >= 1.0
+                    || (meta.availability > 0.0 && self.rng.random_bool(meta.availability));
+                if !up {
+                    return None;
+                }
+                self.successes[id.index()] += 1;
+                let value = self.field.value(id, meta.location, now);
+                Some(Reading {
+                    sensor: id,
+                    value,
+                    timestamp: now,
+                    expires_at: now + meta.expiry,
+                })
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::field::ConstantField;
+    use colr_tree::TimeDelta;
+
+    fn sensors(n: usize, availability: f64) -> Vec<SensorMeta> {
+        (0..n)
+            .map(|i| {
+                SensorMeta::new(
+                    i as u32,
+                    Point::new(i as f64, 0.0),
+                    TimeDelta::from_mins(5),
+                    availability,
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn probe_returns_reading_with_meta_expiry() {
+        let mut net = SimNetwork::new(sensors(3, 1.0), ConstantField { base: 1.0, step: 1.0 }, 1);
+        let out = net.probe_batch(&[SensorId(2)], Timestamp(1_000));
+        let r = out[0].expect("available");
+        assert_eq!(r.sensor, SensorId(2));
+        assert_eq!(r.value, 3.0);
+        assert_eq!(r.timestamp, Timestamp(1_000));
+        assert_eq!(r.expires_at, Timestamp(1_000 + 300_000));
+    }
+
+    #[test]
+    fn full_availability_never_fails() {
+        let mut net = SimNetwork::new(sensors(10, 1.0), ConstantField { base: 0.0, step: 0.0 }, 1);
+        let ids: Vec<SensorId> = (0..10).map(SensorId).collect();
+        let out = net.probe_batch(&ids, Timestamp(0));
+        assert!(out.iter().all(|r| r.is_some()));
+    }
+
+    #[test]
+    fn zero_availability_always_fails() {
+        let mut net = SimNetwork::new(sensors(10, 0.0), ConstantField { base: 0.0, step: 0.0 }, 1);
+        let ids: Vec<SensorId> = (0..10).map(SensorId).collect();
+        let out = net.probe_batch(&ids, Timestamp(0));
+        assert!(out.iter().all(|r| r.is_none()));
+    }
+
+    #[test]
+    fn availability_rate_matches_statistics() {
+        let mut net = SimNetwork::new(sensors(1, 0.7), ConstantField { base: 0.0, step: 0.0 }, 1);
+        let trials = 20_000;
+        let mut ok = 0;
+        for t in 0..trials {
+            if net.probe_batch(&[SensorId(0)], Timestamp(t))[0].is_some() {
+                ok += 1;
+            }
+        }
+        let rate = ok as f64 / trials as f64;
+        assert!((rate - 0.7).abs() < 0.02, "rate {rate}");
+    }
+
+    #[test]
+    fn counters_track_probes_and_successes() {
+        let mut net = SimNetwork::new(sensors(3, 1.0), ConstantField { base: 0.0, step: 0.0 }, 1);
+        net.probe_batch(&[SensorId(0), SensorId(0), SensorId(2)], Timestamp(0));
+        assert_eq!(net.probe_counts(), &[2, 0, 1]);
+        assert_eq!(net.success_counts(), &[2, 0, 1]);
+        assert_eq!(net.total_probes(), 3);
+        net.reset_counters();
+        assert_eq!(net.total_probes(), 0);
+    }
+
+    #[test]
+    fn forced_down_sensor_fails_despite_availability() {
+        let mut net = SimNetwork::new(sensors(2, 1.0), ConstantField { base: 0.0, step: 0.0 }, 1);
+        net.set_forced_down(SensorId(0), true);
+        let out = net.probe_batch(&[SensorId(0), SensorId(1)], Timestamp(0));
+        assert!(out[0].is_none());
+        assert!(out[1].is_some());
+        // Probe still counted, success not.
+        assert_eq!(net.probe_counts(), &[1, 1]);
+        assert_eq!(net.success_counts(), &[0, 1]);
+        net.set_forced_down(SensorId(0), false);
+        assert!(net.probe_batch(&[SensorId(0)], Timestamp(0))[0].is_some());
+    }
+}

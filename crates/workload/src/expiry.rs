@@ -1,0 +1,144 @@
+//! Expiry-time distributions (Section IV-C, Fig 2).
+//!
+//! Publishers register how long each reading stays valid. The paper measures
+//! three populations: a hypothetical *Uniform* deployment, ~10k *USGS*
+//! gauges, and ~1k *WeatherUnderground* personal weather stations, whose
+//! optimal slot sizes come out at Δ ≈ 0.5, 0.8 and 0.2 respectively. We
+//! model the distributions parametrically to match those optima:
+//!
+//! * `Uniform` — expiries uniform over `(0, 1]` of `t_max`;
+//! * `UsgsLike` — homogeneous long-validity gauges: most expiries just under
+//!   `t_max` (institutional sensors share a reporting policy), small tail of
+//!   faster gauges;
+//! * `WeatherLike` — heterogeneous consumer stations: most report with short
+//!   validity (≈0.2 · t_max) with a thin tail of long-validity stations that
+//!   set `t_max`.
+
+use colr_tree::TimeDelta;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A distribution of per-sensor expiry durations, normalised to
+/// `t_max = 1.0`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ExpiryModel {
+    /// Uniform over `(0, 1]`.
+    Uniform,
+    /// USGS-like: 85% of sensors in `[0.82, 1.0]`, the rest uniform over
+    /// `(0, 0.82)`.
+    UsgsLike,
+    /// Weather-station-like: 85% of sensors in `[0.18, 0.32]`, the rest
+    /// uniform over `(0.32, 1.0]`.
+    WeatherLike,
+    /// Every sensor expires after the same normalised duration.
+    Fixed(f64),
+}
+
+impl ExpiryModel {
+    /// Draws one normalised expiry in `(0, 1]`.
+    pub fn sample_normalized<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        let v = match *self {
+            ExpiryModel::Uniform => rng.random_range(f64::MIN_POSITIVE..=1.0),
+            ExpiryModel::UsgsLike => {
+                if rng.random_bool(0.85) {
+                    rng.random_range(0.82..=1.0)
+                } else {
+                    rng.random_range(0.05..0.82)
+                }
+            }
+            ExpiryModel::WeatherLike => {
+                if rng.random_bool(0.85) {
+                    rng.random_range(0.18..=0.32)
+                } else {
+                    rng.random_range(0.32..=1.0)
+                }
+            }
+            ExpiryModel::Fixed(v) => v,
+        };
+        v.clamp(f64::MIN_POSITIVE, 1.0)
+    }
+
+    /// Draws `n` normalised expiries (the `expiry_times` input of the
+    /// slot-size analysis).
+    pub fn samples(&self, n: usize, seed: u64) -> Vec<f64> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n).map(|_| self.sample_normalized(&mut rng)).collect()
+    }
+
+    /// Draws `n` absolute expiry durations scaled by `t_max`.
+    pub fn durations(&self, n: usize, t_max: TimeDelta, seed: u64) -> Vec<TimeDelta> {
+        self.samples(n, seed)
+            .into_iter()
+            .map(|v| t_max.mul_f64(v).max(TimeDelta::from_millis(1)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mean(xs: &[f64]) -> f64 {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+
+    #[test]
+    fn all_models_stay_in_unit_interval() {
+        for model in [
+            ExpiryModel::Uniform,
+            ExpiryModel::UsgsLike,
+            ExpiryModel::WeatherLike,
+            ExpiryModel::Fixed(0.4),
+        ] {
+            let xs = model.samples(5_000, 1);
+            assert!(xs.iter().all(|&x| x > 0.0 && x <= 1.0), "{model:?}");
+        }
+    }
+
+    #[test]
+    fn uniform_mean_is_half() {
+        let xs = ExpiryModel::Uniform.samples(20_000, 2);
+        assert!((mean(&xs) - 0.5).abs() < 0.01);
+    }
+
+    #[test]
+    fn usgs_mass_is_near_t_max() {
+        let xs = ExpiryModel::UsgsLike.samples(20_000, 3);
+        let frac_high = xs.iter().filter(|&&x| x >= 0.82).count() as f64 / xs.len() as f64;
+        assert!((frac_high - 0.85).abs() < 0.02, "frac {frac_high}");
+        assert!(mean(&xs) > 0.8);
+    }
+
+    #[test]
+    fn weather_mass_is_short_lived() {
+        let xs = ExpiryModel::WeatherLike.samples(20_000, 4);
+        let frac_short = xs.iter().filter(|&&x| x <= 0.32).count() as f64 / xs.len() as f64;
+        assert!(frac_short > 0.8, "frac {frac_short}");
+    }
+
+    #[test]
+    fn fixed_is_constant() {
+        let xs = ExpiryModel::Fixed(0.3).samples(10, 5);
+        assert!(xs.iter().all(|&x| x == 0.3));
+    }
+
+    #[test]
+    fn durations_scale_by_t_max() {
+        let ds = ExpiryModel::Fixed(0.5).durations(3, TimeDelta::from_mins(10), 1);
+        assert!(ds.iter().all(|&d| d == TimeDelta::from_mins(5)));
+    }
+
+    #[test]
+    fn durations_never_zero() {
+        let ds = ExpiryModel::Uniform.durations(1_000, TimeDelta::from_millis(10), 1);
+        assert!(ds.iter().all(|&d| d.millis() >= 1));
+    }
+
+    #[test]
+    fn sampling_is_deterministic_per_seed() {
+        assert_eq!(
+            ExpiryModel::WeatherLike.samples(100, 9),
+            ExpiryModel::WeatherLike.samples(100, 9)
+        );
+    }
+}

@@ -1,0 +1,266 @@
+//! Viewport query workloads.
+//!
+//! Live Local queries are rectangular viewports with strong spatio-temporal
+//! locality: popular places get queried again and again at varying zoom
+//! levels. The generator draws a hotspot centre (Zipf over the placement's
+//! city centres, with a uniform fallback mix), a viewport side length
+//! (log-uniform across zoom levels), a freshness window, and an arrival
+//! offset from a fixed mean inter-arrival time.
+
+use colr_geo::{Point, Rect};
+use colr_tree::{TimeDelta, Timestamp};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::rand_util::{log_uniform, normal, Zipf};
+
+/// Configuration of the query generator.
+#[derive(Debug, Clone)]
+pub struct QueryWorkloadConfig {
+    /// Number of queries.
+    pub count: usize,
+    /// Zipf exponent over hotspot centres.
+    pub hotspot_alpha: f64,
+    /// Probability a query is aimed at a hotspot (vs uniform over the
+    /// extent).
+    pub hotspot_fraction: f64,
+    /// Scatter of query centres around a hotspot, in extent units.
+    pub hotspot_scatter: f64,
+    /// Viewport side length range (log-uniform), in extent units.
+    pub viewport_side: (f64, f64),
+    /// Freshness window range (uniform), i.e. the user's staleness bound.
+    pub staleness: (TimeDelta, TimeDelta),
+    /// Mean simulated time between consecutive queries.
+    pub mean_interarrival: TimeDelta,
+    /// Optional diurnal load modulation: `(period, amplitude)` scales the
+    /// instantaneous arrival rate by `1 + amplitude·sin(2π·t/period)`
+    /// (amplitude in `[0, 1)`), producing rush-hour/overnight cycles.
+    pub diurnal: Option<(TimeDelta, f64)>,
+}
+
+impl Default for QueryWorkloadConfig {
+    fn default() -> Self {
+        QueryWorkloadConfig {
+            count: 1_000,
+            hotspot_alpha: 1.0,
+            hotspot_fraction: 0.85,
+            hotspot_scatter: 30.0,
+            viewport_side: (40.0, 800.0),
+            staleness: (TimeDelta::from_mins(2), TimeDelta::from_mins(10)),
+            mean_interarrival: TimeDelta::from_secs(2),
+            diurnal: None,
+        }
+    }
+}
+
+/// One generated query: a viewport, a freshness bound, and an arrival time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuerySpec {
+    /// The viewport rectangle.
+    pub rect: Rect,
+    /// The user's staleness bound.
+    pub staleness: TimeDelta,
+    /// Simulated arrival instant.
+    pub at: Timestamp,
+}
+
+/// A generated query trace.
+#[derive(Debug, Clone)]
+pub struct QueryWorkload {
+    /// Queries in arrival order.
+    pub queries: Vec<QuerySpec>,
+}
+
+impl QueryWorkload {
+    /// Generates a trace over `extent`, aiming hotspots at `centres` (falls
+    /// back to fully uniform when `centres` is empty).
+    pub fn generate(
+        extent: Rect,
+        centres: &[Point],
+        config: &QueryWorkloadConfig,
+        seed: u64,
+    ) -> QueryWorkload {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let zipf = (!centres.is_empty())
+            .then(|| Zipf::new(centres.len(), config.hotspot_alpha));
+        let mut at = Timestamp::ZERO;
+        let mean_gap = config.mean_interarrival.millis().max(1);
+        let queries = (0..config.count)
+            .map(|_| {
+                // Arrival process: exponential-ish gaps via inverse CDF,
+                // optionally modulated by the diurnal cycle (thinning: the
+                // mean gap stretches when the instantaneous rate is low).
+                let u: f64 = rng.random_range(f64::MIN_POSITIVE..1.0);
+                let rate = match config.diurnal {
+                    Some((period, amp)) if period.millis() > 0 => {
+                        let phase = std::f64::consts::TAU * at.millis() as f64
+                            / period.millis() as f64;
+                        (1.0 + amp.clamp(0.0, 0.99) * phase.sin()).max(0.01)
+                    }
+                    _ => 1.0,
+                };
+                let gap = ((-u.ln()) * mean_gap as f64 / rate).round() as u64;
+                at += TimeDelta::from_millis(gap.clamp(1, mean_gap * 100));
+
+                let centre = match &zipf {
+                    Some(z) if rng.random_bool(config.hotspot_fraction) => {
+                        let c = centres[z.sample(&mut rng)];
+                        Point::new(
+                            c.x + normal(&mut rng) * config.hotspot_scatter,
+                            c.y + normal(&mut rng) * config.hotspot_scatter,
+                        )
+                    }
+                    _ => Point::new(
+                        rng.random_range(extent.min.x..=extent.max.x),
+                        rng.random_range(extent.min.y..=extent.max.y),
+                    ),
+                };
+                let side = log_uniform(&mut rng, config.viewport_side.0, config.viewport_side.1);
+                let half = side * 0.5;
+                let rect = Rect::from_coords(
+                    (centre.x - half).max(extent.min.x),
+                    (centre.y - half).max(extent.min.y),
+                    (centre.x + half).min(extent.max.x),
+                    (centre.y + half).min(extent.max.y),
+                );
+                let lo = config.staleness.0.millis();
+                let hi = config.staleness.1.millis().max(lo);
+                let staleness = TimeDelta::from_millis(rng.random_range(lo..=hi));
+                QuerySpec { rect, staleness, at }
+            })
+            .collect();
+        QueryWorkload { queries }
+    }
+
+    /// Normalised query time-windows `staleness / t_max`, clamped to
+    /// `(0, 1]` — the `query_windows` input of the slot-size analysis.
+    pub fn normalized_windows(&self, t_max: TimeDelta) -> Vec<f64> {
+        let t_max_ms = t_max.millis().max(1) as f64;
+        self.queries
+            .iter()
+            .map(|q| (q.staleness.millis() as f64 / t_max_ms).clamp(1e-6, 1.0))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn extent() -> Rect {
+        Rect::from_coords(0.0, 0.0, 4_000.0, 2_500.0)
+    }
+
+    fn centres() -> Vec<Point> {
+        vec![
+            Point::new(1_000.0, 1_000.0),
+            Point::new(3_000.0, 2_000.0),
+            Point::new(500.0, 2_200.0),
+        ]
+    }
+
+    #[test]
+    fn generates_requested_count_in_arrival_order() {
+        let w = QueryWorkload::generate(extent(), &centres(), &QueryWorkloadConfig::default(), 1);
+        assert_eq!(w.queries.len(), 1_000);
+        for pair in w.queries.windows(2) {
+            assert!(pair[0].at <= pair[1].at);
+        }
+    }
+
+    #[test]
+    fn viewports_stay_in_extent() {
+        let w = QueryWorkload::generate(extent(), &centres(), &QueryWorkloadConfig::default(), 2);
+        for q in &w.queries {
+            assert!(extent().contains_rect(&q.rect), "{:?}", q.rect);
+            assert!(q.rect.width() <= 800.0 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn staleness_within_configured_range() {
+        let w = QueryWorkload::generate(extent(), &centres(), &QueryWorkloadConfig::default(), 3);
+        for q in &w.queries {
+            assert!(q.staleness >= TimeDelta::from_mins(2));
+            assert!(q.staleness <= TimeDelta::from_mins(10));
+        }
+    }
+
+    #[test]
+    fn hotspot_locality_concentrates_queries() {
+        let cfg = QueryWorkloadConfig {
+            count: 2_000,
+            hotspot_fraction: 1.0,
+            hotspot_scatter: 10.0,
+            ..Default::default()
+        };
+        let cs = centres();
+        let w = QueryWorkload::generate(extent(), &cs, &cfg, 4);
+        let near = w
+            .queries
+            .iter()
+            .filter(|q| cs.iter().any(|c| q.rect.center().distance(c) < 100.0))
+            .count();
+        assert!(
+            near as f64 > 0.95 * w.queries.len() as f64,
+            "only {near} queries near hotspots"
+        );
+    }
+
+    #[test]
+    fn empty_centres_fall_back_to_uniform() {
+        let w = QueryWorkload::generate(extent(), &[], &QueryWorkloadConfig::default(), 5);
+        assert_eq!(w.queries.len(), 1_000);
+        // Queries spread across the extent rather than piling up.
+        let left = w.queries.iter().filter(|q| q.rect.center().x < 2_000.0).count();
+        assert!(left > 300 && left < 700, "left {left}");
+    }
+
+    #[test]
+    fn diurnal_modulation_clusters_arrivals() {
+        // With a strong diurnal cycle, gaps during the peak half-period are
+        // much shorter than during the trough.
+        let period = TimeDelta::from_mins(60);
+        let cfg = QueryWorkloadConfig {
+            count: 4_000,
+            mean_interarrival: TimeDelta::from_secs(2),
+            diurnal: Some((period, 0.9)),
+            ..Default::default()
+        };
+        let w = QueryWorkload::generate(extent(), &centres(), &cfg, 8);
+        // Bucket gaps by phase: first half of the period (sin > 0 ⇒ busy)
+        // vs second half (sin < 0 ⇒ quiet).
+        let mut busy = Vec::new();
+        let mut quiet = Vec::new();
+        for pair in w.queries.windows(2) {
+            let t = pair[0].at.millis() % period.millis();
+            let gap = (pair[1].at.millis() - pair[0].at.millis()) as f64;
+            if t < period.millis() / 2 {
+                busy.push(gap);
+            } else {
+                quiet.push(gap);
+            }
+        }
+        let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
+        assert!(
+            mean(&quiet) > mean(&busy) * 2.0,
+            "quiet gaps {} not ≫ busy gaps {}",
+            mean(&quiet),
+            mean(&busy)
+        );
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = QueryWorkload::generate(extent(), &centres(), &QueryWorkloadConfig::default(), 6);
+        let b = QueryWorkload::generate(extent(), &centres(), &QueryWorkloadConfig::default(), 6);
+        assert_eq!(a.queries, b.queries);
+    }
+
+    #[test]
+    fn normalized_windows_clamped_to_unit() {
+        let w = QueryWorkload::generate(extent(), &centres(), &QueryWorkloadConfig::default(), 7);
+        let xs = w.normalized_windows(TimeDelta::from_mins(5));
+        assert!(xs.iter().all(|&x| x > 0.0 && x <= 1.0));
+    }
+}

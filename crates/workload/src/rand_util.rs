@@ -1,0 +1,149 @@
+//! Small samplers the generators need (kept in-repo: `rand` ships only
+//! uniform primitives and the `rand_distr` crate is outside our dependency
+//! budget).
+
+use rand::Rng;
+
+/// A Zipf(α) sampler over ranks `1..=n` using inverse-CDF over precomputed
+/// cumulative weights. O(n) setup, O(log n) per sample.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// A Zipf distribution over `n` ranks with exponent `alpha >= 0`
+    /// (`alpha = 0` is uniform).
+    ///
+    /// # Panics
+    /// Panics when `n == 0` or `alpha < 0`.
+    pub fn new(n: usize, alpha: f64) -> Self {
+        assert!(n > 0, "Zipf needs at least one rank");
+        assert!(alpha >= 0.0, "Zipf exponent must be non-negative");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for rank in 1..=n {
+            acc += (rank as f64).powf(-alpha);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for c in &mut cdf {
+            *c /= total;
+        }
+        Zipf { cdf }
+    }
+
+    /// Samples a 0-based rank (0 is the most popular).
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.random();
+        self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
+    }
+
+    /// Number of ranks.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// `true` when there are no ranks (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.cdf.is_empty()
+    }
+}
+
+/// A standard-normal sample via Box–Muller.
+pub fn normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    let u1: f64 = rng.random_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.random();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// A log-uniform sample in `[lo, hi]` (`0 < lo <= hi`): uniform in log space,
+/// so each decade is equally likely — the usual model for map viewport side
+/// lengths across zoom levels.
+pub fn log_uniform<R: Rng + ?Sized>(rng: &mut R, lo: f64, hi: f64) -> f64 {
+    assert!(lo > 0.0 && hi >= lo, "need 0 < lo <= hi");
+    let (llo, lhi) = (lo.ln(), hi.ln());
+    (rng.random_range(llo..=lhi)).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn zipf_prefers_low_ranks() {
+        let z = Zipf::new(100, 1.0);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut counts = [0u32; 100];
+        for _ in 0..20_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        assert!(counts[0] > counts[10]);
+        assert!(counts[0] > counts[99] * 10);
+    }
+
+    #[test]
+    fn zipf_alpha_zero_is_uniformish() {
+        let z = Zipf::new(10, 0.0);
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut counts = [0u32; 10];
+        for _ in 0..50_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        for &c in &counts {
+            assert!((c as f64 - 5_000.0).abs() < 500.0, "count {c}");
+        }
+    }
+
+    #[test]
+    fn zipf_single_rank() {
+        let z = Zipf::new(1, 2.0);
+        let mut rng = StdRng::seed_from_u64(3);
+        assert_eq!(z.sample(&mut rng), 0);
+        assert_eq!(z.len(), 1);
+        assert!(!z.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one rank")]
+    fn zipf_rejects_empty() {
+        Zipf::new(0, 1.0);
+    }
+
+    #[test]
+    fn normal_moments() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let n = 50_000;
+        let xs: Vec<f64> = (0..n).map(|_| normal(&mut rng)).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.03, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+
+    #[test]
+    fn log_uniform_within_bounds() {
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..1_000 {
+            let v = log_uniform(&mut rng, 0.1, 100.0);
+            assert!((0.1..=100.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn log_uniform_covers_decades() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let n = 30_000;
+        let mut small = 0;
+        for _ in 0..n {
+            if log_uniform(&mut rng, 0.01, 100.0) < 1.0 {
+                small += 1;
+            }
+        }
+        // log-uniform over 4 decades: half the mass below 1.0.
+        let frac = small as f64 / n as f64;
+        assert!((frac - 0.5).abs() < 0.03, "frac {frac}");
+    }
+}

@@ -1,0 +1,222 @@
+//! Trace persistence: save and reload generated workloads.
+//!
+//! The paper evaluates on a fixed trace (106k Live Local queries over 370k
+//! restaurants). Generated scenarios are deterministic per seed, but saving
+//! a trace lets external tools analyse it, lets experiments pin the *exact*
+//! workload across code changes, and documents what a run used. The format
+//! is plain CSV: one `sensors` file and one `queries` file.
+
+use std::fs;
+use std::io::{self, BufRead, BufWriter, Write};
+use std::path::Path;
+
+use colr_geo::{Point, Rect};
+use colr_tree::{SensorMeta, TimeDelta, Timestamp};
+
+use crate::queries::{QuerySpec, QueryWorkload};
+use crate::scenario::Scenario;
+
+/// Writes the scenario's sensors to `<dir>/sensors.csv` and its queries to
+/// `<dir>/queries.csv`.
+pub fn save(scenario: &Scenario, dir: &Path) -> io::Result<()> {
+    fs::create_dir_all(dir)?;
+    let mut s = BufWriter::new(fs::File::create(dir.join("sensors.csv"))?);
+    writeln!(s, "id,x,y,expiry_ms,availability,kind")?;
+    for m in &scenario.sensors {
+        writeln!(
+            s,
+            "{},{},{},{},{},{}",
+            m.id.0,
+            m.location.x,
+            m.location.y,
+            m.expiry.millis(),
+            m.availability,
+            m.kind
+        )?;
+    }
+    s.flush()?;
+
+    let mut q = BufWriter::new(fs::File::create(dir.join("queries.csv"))?);
+    writeln!(q, "min_x,min_y,max_x,max_y,staleness_ms,at_ms")?;
+    for spec in &scenario.queries.queries {
+        writeln!(
+            q,
+            "{},{},{},{},{},{}",
+            spec.rect.min.x,
+            spec.rect.min.y,
+            spec.rect.max.x,
+            spec.rect.max.y,
+            spec.staleness.millis(),
+            spec.at.millis()
+        )?;
+    }
+    q.flush()
+}
+
+fn parse_err(msg: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.into())
+}
+
+fn fields(line: &str, n: usize, what: &str) -> io::Result<Vec<f64>> {
+    let parts: Result<Vec<f64>, _> = line.split(',').map(str::parse::<f64>).collect();
+    match parts {
+        Ok(v) if v.len() == n => Ok(v),
+        Ok(v) => Err(parse_err(format!(
+            "{what}: expected {n} fields, found {}",
+            v.len()
+        ))),
+        Err(e) => Err(parse_err(format!("{what}: {e}"))),
+    }
+}
+
+/// Reads a scenario back from `save`'s files. `t_max` and `extent` are
+/// recomputed from the data.
+pub fn load(dir: &Path) -> io::Result<Scenario> {
+    let sensors_file = fs::File::open(dir.join("sensors.csv"))?;
+    let mut sensors = Vec::new();
+    for (i, line) in io::BufReader::new(sensors_file).lines().enumerate() {
+        let line = line?;
+        if i == 0 {
+            continue; // header
+        }
+        let f = fields(&line, 6, "sensors.csv")?;
+        if f[0] as usize != sensors.len() {
+            return Err(parse_err(format!(
+                "sensors.csv: non-dense id {} at row {}",
+                f[0],
+                sensors.len()
+            )));
+        }
+        sensors.push(
+            SensorMeta::new(
+                f[0] as u32,
+                Point::new(f[1], f[2]),
+                TimeDelta::from_millis(f[3] as u64),
+                f[4],
+            )
+            .with_kind(f[5] as u16),
+        );
+    }
+
+    let queries_file = fs::File::open(dir.join("queries.csv"))?;
+    let mut queries = Vec::new();
+    for (i, line) in io::BufReader::new(queries_file).lines().enumerate() {
+        let line = line?;
+        if i == 0 {
+            continue;
+        }
+        let f = fields(&line, 6, "queries.csv")?;
+        queries.push(QuerySpec {
+            rect: Rect::from_coords(f[0], f[1], f[2], f[3]),
+            staleness: TimeDelta::from_millis(f[4] as u64),
+            at: Timestamp(f[5] as u64),
+        });
+    }
+
+    let t_max = sensors
+        .iter()
+        .map(|m| m.expiry)
+        .max()
+        .unwrap_or(TimeDelta::from_mins(10));
+    let extent = Rect::bounding(
+        &sensors
+            .iter()
+            .map(|m| m.location)
+            .collect::<Vec<_>>(),
+    )
+    .unwrap_or(Rect::from_coords(0.0, 0.0, 1.0, 1.0));
+    Ok(Scenario {
+        sensors,
+        queries: QueryWorkload { queries },
+        extent,
+        t_max,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::ScenarioConfig;
+
+    fn temp_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("colr-trace-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let mut cfg = ScenarioConfig::live_local_small();
+        cfg.sensor_count = 500;
+        cfg.queries.count = 50;
+        let original = cfg.build();
+        let dir = temp_dir("roundtrip");
+        save(&original, &dir).expect("save");
+        let loaded = load(&dir).expect("load");
+        assert_eq!(loaded.sensors.len(), original.sensors.len());
+        assert_eq!(loaded.queries.queries.len(), original.queries.queries.len());
+        for (a, b) in original.sensors.iter().zip(&loaded.sensors) {
+            assert_eq!(a.id, b.id);
+            assert_eq!(a.location, b.location);
+            assert_eq!(a.expiry, b.expiry);
+            assert_eq!(a.kind, b.kind);
+            assert!((a.availability - b.availability).abs() < 1e-12);
+        }
+        for (a, b) in original.queries.queries.iter().zip(&loaded.queries.queries) {
+            assert_eq!(a, b);
+        }
+        // t_max is recomputed from the data: the max *sampled* expiry is at
+        // most the configured window and close to it for large samples.
+        assert!(loaded.t_max <= original.t_max);
+        assert!(loaded.t_max.millis() as f64 >= 0.9 * original.t_max.millis() as f64);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn load_missing_dir_errors() {
+        assert!(load(Path::new("/definitely/not/here")).is_err());
+    }
+
+    #[test]
+    fn load_rejects_malformed_rows() {
+        let dir = temp_dir("bad");
+        fs::create_dir_all(&dir).unwrap();
+        fs::write(dir.join("sensors.csv"), "id,x,y,expiry_ms,availability,kind\n0,1,2\n").unwrap();
+        fs::write(dir.join("queries.csv"), "min_x,min_y,max_x,max_y,staleness_ms,at_ms\n").unwrap();
+        let err = load(&dir).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn load_rejects_sparse_ids() {
+        let dir = temp_dir("sparse");
+        fs::create_dir_all(&dir).unwrap();
+        fs::write(
+            dir.join("sensors.csv"),
+            "id,x,y,expiry_ms,availability,kind\n5,1,2,1000,1,0\n",
+        )
+        .unwrap();
+        fs::write(dir.join("queries.csv"), "min_x,min_y,max_x,max_y,staleness_ms,at_ms\n").unwrap();
+        assert!(load(&dir).is_err());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn kinds_survive_roundtrip() {
+        let mut cfg = ScenarioConfig::live_local_small();
+        cfg.sensor_count = 20;
+        cfg.queries.count = 5;
+        let mut sc = cfg.build();
+        for (i, m) in sc.sensors.iter_mut().enumerate() {
+            m.kind = (i % 3) as u16;
+        }
+        let dir = temp_dir("kinds");
+        save(&sc, &dir).expect("save");
+        let loaded = load(&dir).expect("load");
+        for (i, m) in loaded.sensors.iter().enumerate() {
+            assert_eq!(m.kind, (i % 3) as u16);
+        }
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

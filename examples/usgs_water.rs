@@ -1,0 +1,67 @@
+//! The Fig 7 scenario as an application: approximate the average water
+//! discharge reported by 200 spatially correlated river gauges by probing
+//! only a handful of them.
+//!
+//! ```sh
+//! cargo run --example usgs_water
+//! ```
+
+use colr_repro::colr::{
+    metrics, AggKind, ColrConfig, ColrTree, Mode, Query, SensorMeta, TimeDelta, Timestamp,
+};
+use colr_repro::geo::{Point, Rect, Region};
+use colr_repro::sensors::{SimNetwork, SpatialField};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn main() {
+    // 200 gauges scattered over a state-sized extent. Discharge is spatially
+    // correlated: nearby rivers respond to the same rainfall.
+    let extent = Rect::from_coords(0.0, 0.0, 500.0, 400.0);
+    let mut rng = StdRng::seed_from_u64(11);
+    let sensors: Vec<SensorMeta> = (0..200)
+        .map(|i| {
+            SensorMeta::new(
+                i as u32,
+                Point::new(rng.random_range(0.0..500.0), rng.random_range(0.0..400.0)),
+                TimeDelta::from_mins(10),
+                0.97,
+            )
+        })
+        .collect();
+    let field = SpatialField::new(extent, 25, 900.0, 40.0, 60.0, 22.0, 23);
+    let mut network = SimNetwork::new(sensors.clone(), field, 29);
+
+    let region = Region::Rect(Rect::from_coords(-1.0, -1.0, 501.0, 401.0));
+
+    // Ground truth: probe everyone once through a plain R-Tree lookup.
+    let mut full_tree = ColrTree::build(sensors.clone(), ColrConfig::default(), 1);
+    let exact_q = Query::range(region.clone(), TimeDelta::from_mins(10)).with_terminal_level(2);
+    let mut qrng = StdRng::seed_from_u64(5);
+    let exact_out = full_tree.execute(&exact_q, Mode::RTree, &mut network, Timestamp(1_000), &mut qrng);
+    let exact = exact_out.aggregate(AggKind::Avg).expect("gauges answered");
+    println!(
+        "exact average discharge (all {} gauges probed): {:.1}",
+        exact_out.stats.sensors_probed, exact
+    );
+
+    println!("\n{:>8} {:>12} {:>11} {:>10}", "sample", "avg", "rel_error", "probes");
+    for sample in [5usize, 10, 15, 30, 60] {
+        let mut tree = ColrTree::build(sensors.clone(), ColrConfig::default(), 1);
+        let q = Query::range(region.clone(), TimeDelta::from_mins(10))
+            .with_terminal_level(2)
+            .with_sample_size(sample as f64);
+        let out = tree.execute(&q, Mode::Colr, &mut network, Timestamp(1_000), &mut qrng);
+        let approx = out.aggregate(AggKind::Avg).unwrap_or(f64::NAN);
+        println!(
+            "{sample:>8} {approx:>12.1} {:>11.3} {:>10}",
+            metrics::relative_error(approx, exact),
+            out.stats.sensors_probed,
+        );
+    }
+
+    println!(
+        "\nspatial correlation is what makes this work: a ~15-gauge sample \
+         lands within ~10% of the truth (the paper's Fig 7)."
+    );
+}

@@ -1,0 +1,171 @@
+//! Freshness/expiry correctness across the whole stack: the paper's claim
+//! that "since cached data is expired after expiry times defined by sensors,
+//! caching does not affect the accuracy of results". No mode may ever serve
+//! a reading that is expired or staler than the query bound.
+
+use colr_repro::colr::{
+    ColrConfig, ColrTree, Mode, Query, SensorMeta, TimeDelta, Timestamp,
+};
+use colr_repro::geo::{Point, Rect, Region};
+use colr_repro::sensors::{RandomWalkField, SimNetwork};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Heterogeneous expiries: sensor i's readings live between 30s and 10min.
+fn mixed_expiry_sensors(n: usize) -> Vec<SensorMeta> {
+    (0..n)
+        .map(|i| {
+            let expiry_ms = 30_000 + (i as u64 * 7_919) % 570_000;
+            SensorMeta::new(
+                i as u32,
+                Point::new((i % 32) as f64, (i / 32) as f64),
+                TimeDelta::from_millis(expiry_ms),
+                1.0,
+            )
+        })
+        .collect()
+}
+
+#[test]
+fn no_mode_ever_serves_stale_or_expired_readings() {
+    let sensors = mixed_expiry_sensors(1_024);
+    let region = Region::Rect(Rect::from_coords(-0.5, -0.5, 31.5, 31.5));
+    for mode in [Mode::RTree, Mode::HierCache, Mode::Colr] {
+        let mut tree = ColrTree::build(sensors.clone(), ColrConfig::default(), 9);
+        let field = RandomWalkField::new(sensors.len(), 0.0, 100.0, 3.0, 5);
+        let mut net = SimNetwork::new(sensors.clone(), field, 5);
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut clock = 1_000u64;
+        for step in 0..40 {
+            clock += 17_000 + (step * 3_001) % 60_000;
+            let now = Timestamp(clock);
+            let staleness = TimeDelta::from_millis(20_000 + (step * 13_337) % 300_000);
+            let mut q = Query::range(region.clone(), staleness).with_terminal_level(3);
+            if mode == Mode::Colr {
+                q = q.with_sample_size(64.0);
+            }
+            let out = tree.execute(&q, mode, &mut net, now, &mut rng);
+            for r in &out.readings {
+                assert!(
+                    r.expires_at > now,
+                    "{mode:?} served an expired reading: {r:?} at {now}"
+                );
+                assert!(
+                    r.timestamp >= now.saturating_sub(staleness),
+                    "{mode:?} served a stale reading: {r:?} at {now} bound {staleness}"
+                );
+            }
+            tree.validate().expect("tree invariants hold mid-trace");
+        }
+    }
+}
+
+#[test]
+fn cached_aggregates_only_cover_unexpired_fresh_slots() {
+    // After warming the cache, advance past the shortest expiries. A tight
+    // freshness bound must shrink the cache-served result, never keep it.
+    let sensors = mixed_expiry_sensors(256);
+    let mut tree = ColrTree::build(sensors.clone(), ColrConfig::default(), 9);
+    let field = RandomWalkField::new(sensors.len(), 0.0, 100.0, 3.0, 5);
+    let mut net = SimNetwork::new(sensors.clone(), field, 5);
+    let mut rng = StdRng::seed_from_u64(13);
+    let region = Region::Rect(Rect::from_coords(-0.5, -0.5, 31.5, 31.5));
+
+    let loose = Query::range(region.clone(), TimeDelta::from_mins(10)).with_terminal_level(2);
+    tree.execute(&loose, Mode::HierCache, &mut net, Timestamp(1_000), &mut rng);
+    let cached_initial = tree.cached_readings();
+    assert!(cached_initial > 0);
+
+    // Advance 3 minutes: everything with expiry < 3min is gone from the
+    // window after the roll.
+    let later = Timestamp(1_000 + 180_000);
+    tree.advance(later);
+    assert!(
+        tree.cached_readings() < cached_initial,
+        "roll failed to expunge short-expiry readings"
+    );
+    tree.validate().expect("valid after roll");
+}
+
+#[test]
+fn window_roll_is_idempotent_and_monotone() {
+    let sensors = mixed_expiry_sensors(256);
+    let mut tree = ColrTree::build(sensors.clone(), ColrConfig::default(), 9);
+    let field = RandomWalkField::new(sensors.len(), 0.0, 100.0, 3.0, 5);
+    let mut net = SimNetwork::new(sensors.clone(), field, 5);
+    let mut rng = StdRng::seed_from_u64(17);
+    let region = Region::Rect(Rect::from_coords(-0.5, -0.5, 31.5, 31.5));
+    let q = Query::range(region, TimeDelta::from_mins(10)).with_terminal_level(2);
+    tree.execute(&q, Mode::HierCache, &mut net, Timestamp(1_000), &mut rng);
+
+    let t = Timestamp(100_000);
+    tree.advance(t);
+    let after_first = tree.cached_readings();
+    tree.advance(t); // idempotent
+    assert_eq!(tree.cached_readings(), after_first);
+    tree.advance(Timestamp(50_000)); // never rolls backwards
+    assert_eq!(tree.cached_readings(), after_first);
+    tree.validate().expect("valid after repeated rolls");
+}
+
+#[test]
+fn random_op_soup_preserves_invariants() {
+    // Interleave queries, direct inserts, rolls, and evictions under a tight
+    // capacity; the structural validator must hold throughout.
+    let sensors = mixed_expiry_sensors(512);
+    let config = ColrConfig {
+        cache_capacity: Some(100),
+        ..Default::default()
+    };
+    let mut tree = ColrTree::build(sensors.clone(), config, 9);
+    let field = RandomWalkField::new(sensors.len(), 0.0, 100.0, 3.0, 5);
+    let mut net = SimNetwork::new(sensors.clone(), field, 5);
+    let mut rng = StdRng::seed_from_u64(23);
+    let mut clock = 1_000u64;
+    for i in 0..200 {
+        clock += rng.random_range(100..30_000);
+        let now = Timestamp(clock);
+        match i % 4 {
+            0 | 1 => {
+                let cx = rng.random_range(0.0..28.0);
+                let cy = rng.random_range(0.0..12.0);
+                let q = Query::range(
+                    Rect::from_coords(cx, cy, cx + 4.0, cy + 4.0),
+                    TimeDelta::from_mins(5),
+                )
+                .with_terminal_level(3)
+                .with_sample_size(10.0);
+                tree.execute(&q, Mode::Colr, &mut net, now, &mut rng);
+            }
+            2 => {
+                let sensor = colr_repro::colr::SensorId(rng.random_range(0..512));
+                if let Some(r) = net.probe_batch_one(sensor, now) {
+                    tree.insert_reading(r, now);
+                }
+            }
+            _ => tree.advance(now),
+        }
+        assert!(tree.cached_readings() <= 100);
+    }
+    tree.validate().expect("invariants after op soup");
+}
+
+/// Convenience extension used by the soup test.
+trait ProbeOne {
+    fn probe_batch_one(
+        &mut self,
+        s: colr_repro::colr::SensorId,
+        now: Timestamp,
+    ) -> Option<colr_repro::colr::Reading>;
+}
+
+impl<F: colr_repro::sensors::ValueField> ProbeOne for SimNetwork<F> {
+    fn probe_batch_one(
+        &mut self,
+        s: colr_repro::colr::SensorId,
+        now: Timestamp,
+    ) -> Option<colr_repro::colr::Reading> {
+        use colr_repro::colr::ProbeService;
+        self.probe_batch(&[s], now).pop().flatten()
+    }
+}

@@ -1,0 +1,112 @@
+//! Integration test of the model-based views extension: over a spatially
+//! correlated field with a warm cache, IDW estimates must land close to
+//! ground truth with zero probes, and region averages must be competitive
+//! with sampled collection.
+
+use colr_repro::colr::{
+    AggKind, ColrConfig, ColrTree, IdwModel, Mode, Query, SensorMeta, TimeDelta, Timestamp,
+};
+use colr_repro::geo::{Point, Rect, Region};
+use colr_repro::sensors::{SimNetwork, SpatialField};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn setup() -> (ColrTree, SimNetwork<SpatialField>, SpatialField) {
+    let extent = Rect::from_coords(0.0, 0.0, 200.0, 200.0);
+    let mut rng = StdRng::seed_from_u64(7);
+    let sensors: Vec<SensorMeta> = (0..400)
+        .map(|i| {
+            SensorMeta::new(
+                i as u32,
+                Point::new(rng.random_range(0.0..200.0), rng.random_range(0.0..200.0)),
+                TimeDelta::from_mins(10),
+                1.0,
+            )
+        })
+        .collect();
+    let args = (extent, 12usize, 40.0, 50.0, 20.0, 0.5);
+    let field = SpatialField::new(args.0, args.1, args.2, args.3, args.4, args.5, 3);
+    let truth = SpatialField::new(args.0, args.1, args.2, args.3, args.4, args.5, 3);
+    let network = SimNetwork::new(sensors.clone(), field, 11);
+    let tree = ColrTree::build(sensors, ColrConfig::default(), 1);
+    (tree, network, truth)
+}
+
+fn warm(tree: &mut ColrTree, net: &mut SimNetwork<SpatialField>) {
+    let mut rng = StdRng::seed_from_u64(13);
+    let q = Query::range(
+        Region::Rect(Rect::from_coords(-1.0, -1.0, 201.0, 201.0)),
+        TimeDelta::from_mins(10),
+    )
+    .with_terminal_level(2)
+    .with_sample_size(250.0);
+    tree.execute(&q, Mode::Colr, net, Timestamp(1_000), &mut rng);
+}
+
+#[test]
+fn point_estimates_track_ground_truth_with_zero_probes() {
+    let (mut tree, mut net, truth) = setup();
+    warm(&mut tree, &mut net);
+    let probes_before = net.total_probes();
+    let model = IdwModel::default();
+    let mut errs = Vec::new();
+    let mut grid_rng = StdRng::seed_from_u64(17);
+    for _ in 0..30 {
+        let p = Point::new(
+            grid_rng.random_range(20.0..180.0),
+            grid_rng.random_range(20.0..180.0),
+        );
+        let est = model
+            .estimate_at(&tree, p, Timestamp(2_000), TimeDelta::from_mins(10))
+            .expect("warm cache covers the extent");
+        let t = truth.smooth_value(p);
+        errs.push((est - t).abs() / t.abs().max(1e-9));
+    }
+    let mean_err = errs.iter().sum::<f64>() / errs.len() as f64;
+    assert!(mean_err < 0.15, "mean relative error {mean_err} too high");
+    assert_eq!(net.total_probes(), probes_before, "model probed the network");
+}
+
+#[test]
+fn region_avg_model_vs_sampling_vs_exact() {
+    let (mut tree, mut net, _) = setup();
+    warm(&mut tree, &mut net);
+    let region = Region::Rect(Rect::from_coords(40.0, 40.0, 160.0, 160.0));
+    let staleness = TimeDelta::from_mins(10);
+    let mut rng = StdRng::seed_from_u64(19);
+
+    // Exact: every sensor in region through a fresh tree at the same time.
+    let mut exact_tree = ColrTree::build(tree.sensors().to_vec(), ColrConfig::default(), 1);
+    let exact_q = Query::range(region.clone(), staleness).with_terminal_level(3);
+    let exact = exact_tree
+        .execute(&exact_q, Mode::RTree, &mut net, Timestamp(2_000), &mut rng)
+        .aggregate(AggKind::Avg)
+        .expect("sensors in region");
+
+    let model_avg = IdwModel::default()
+        .estimate_region_avg(&tree, &region, Timestamp(2_000), staleness, 10)
+        .expect("warm cache");
+    let model_err = (model_avg - exact).abs() / exact.abs();
+    assert!(model_err < 0.15, "model region error {model_err}");
+
+    let sampled_q = Query::range(region.clone(), staleness)
+        .with_terminal_level(3)
+        .with_sample_size(20.0);
+    let out = tree.execute(&sampled_q, Mode::Colr, &mut net, Timestamp(2_000), &mut rng);
+    let sampled = out.aggregate(AggKind::Avg).expect("sample non-empty");
+    let sampled_err = (sampled - exact).abs() / exact.abs();
+    assert!(sampled_err < 0.2, "sampled region error {sampled_err}");
+}
+
+#[test]
+fn model_goes_dark_when_cache_expires() {
+    let (mut tree, mut net, _) = setup();
+    warm(&mut tree, &mut net);
+    let model = IdwModel::default();
+    // 20 minutes later everything has expired.
+    let later = Timestamp(1_000 + 20 * 60_000);
+    tree.advance(later);
+    assert!(model
+        .estimate_at(&tree, Point::new(100.0, 100.0), later, TimeDelta::from_mins(10))
+        .is_none());
+}

@@ -1,0 +1,153 @@
+//! Statistical tests of the layered-sampling guarantees (Section V-B) on
+//! realistic clustered workloads, plus the *sensing-workload uniformity*
+//! property observed through the simulated network's probe counters.
+
+use colr_repro::colr::{ColrConfig, ColrTree, Mode, Query, TimeDelta, Timestamp};
+use colr_repro::geo::{Rect, Region};
+use colr_repro::sensors::{ConstantField, SimNetwork};
+use colr_repro::workload::{PlacementModel, ScenarioConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn clustered_scenario(n: usize, availability: (f64, f64), seed: u64) -> Vec<colr_repro::colr::SensorMeta> {
+    let mut cfg = ScenarioConfig::live_local_small();
+    cfg.sensor_count = n;
+    cfg.queries.count = 0;
+    cfg.availability = availability;
+    cfg.placement = PlacementModel::Clustered {
+        cities: 20,
+        alpha: 1.0,
+        spread: 0.02,
+    };
+    cfg.seed = seed;
+    cfg.build().sensors
+}
+
+#[test]
+fn theorem1_expected_sample_size_on_clustered_deployment() {
+    // Clustered placement, full availability, cold cache each trial:
+    // E[|sample|] ≈ R despite wildly unequal subtree weights.
+    let sensors = clustered_scenario(3_000, (1.0, 1.0), 41);
+    let region = Region::Rect(Rect::from_coords(0.0, 0.0, 4_000.0, 2_500.0));
+    let r = 60.0;
+    let trials = 40;
+    let mut rng = StdRng::seed_from_u64(13);
+    let mut total = 0usize;
+    for t in 0..trials {
+        let mut tree = ColrTree::build(sensors.clone(), ColrConfig::default(), 5);
+        let mut net = SimNetwork::new(sensors.clone(), ConstantField { base: 1.0, step: 0.0 }, t);
+        let q = Query::range(region.clone(), TimeDelta::from_mins(5))
+            .with_terminal_level(3)
+            .with_sample_size(r);
+        let out = tree.execute(&q, Mode::Colr, &mut net, Timestamp(1_000), &mut rng);
+        total += out.readings.len();
+    }
+    let mean = total as f64 / trials as f64;
+    assert!(
+        (mean - r).abs() < r * 0.2,
+        "mean sample {mean} too far from target {r}"
+    );
+}
+
+#[test]
+fn theorem1_holds_under_heterogeneous_availability() {
+    // Availability 0.6–1.0 per sensor: oversampling must still deliver ≈ R
+    // successful readings.
+    let sensors = clustered_scenario(3_000, (0.6, 1.0), 43);
+    let region = Region::Rect(Rect::from_coords(0.0, 0.0, 4_000.0, 2_500.0));
+    let r = 60.0;
+    let trials = 40;
+    let mut rng = StdRng::seed_from_u64(29);
+    let mut successes = 0usize;
+    let mut probes = 0u64;
+    for t in 0..trials {
+        let mut tree = ColrTree::build(sensors.clone(), ColrConfig::default(), 5);
+        let mut net = SimNetwork::new(sensors.clone(), ConstantField { base: 1.0, step: 0.0 }, 100 + t);
+        let q = Query::range(region.clone(), TimeDelta::from_mins(5))
+            .with_terminal_level(3)
+            .with_oversample_level(1)
+            .with_sample_size(r);
+        let out = tree.execute(&q, Mode::Colr, &mut net, Timestamp(1_000), &mut rng);
+        successes += out.readings.len();
+        probes += out.stats.sensors_probed;
+    }
+    let mean = successes as f64 / trials as f64;
+    let mean_probes = probes as f64 / trials as f64;
+    assert!(
+        (mean - r).abs() < r * 0.25,
+        "mean successes {mean} too far from {r}"
+    );
+    // Oversampling implies more probes than successes, but bounded.
+    assert!(mean_probes > mean);
+    assert!(mean_probes < mean * 2.0, "oversampling exploded: {mean_probes}");
+}
+
+#[test]
+fn sensing_workload_is_spread_across_sensors() {
+    // Theorem 2's purpose: no small subset of sensors absorbs the sensing
+    // load. Run many sampled queries over the same region and check the
+    // probe counters through the network.
+    let sensors = clustered_scenario(1_000, (1.0, 1.0), 47);
+    let mut net = SimNetwork::new(sensors.clone(), ConstantField { base: 1.0, step: 0.0 }, 3);
+    let region = Region::Rect(Rect::from_coords(0.0, 0.0, 4_000.0, 2_500.0));
+    let mut rng = StdRng::seed_from_u64(31);
+    let queries = 150;
+    for t in 0..queries {
+        // Fresh tree per query → no cache: pure sampling behaviour.
+        let mut tree = ColrTree::build(sensors.clone(), ColrConfig::default(), 5);
+        let q = Query::range(region.clone(), TimeDelta::from_mins(5))
+            .with_terminal_level(3)
+            .with_sample_size(50.0);
+        tree.execute(&q, Mode::Colr, &mut net, Timestamp(1_000 + t), &mut rng);
+    }
+    let counts = net.probe_counts();
+    let total: u64 = counts.iter().sum();
+    assert!(total > 0);
+    let expected = total as f64 / counts.len() as f64;
+    // No sensor should carry more than ~6x its fair share of the load.
+    let max = *counts.iter().max().unwrap() as f64;
+    assert!(
+        max < expected * 6.0,
+        "load concentrated: max {max} vs fair share {expected}"
+    );
+    // And the load should touch a large fraction of the population.
+    let touched = counts.iter().filter(|&&c| c > 0).count();
+    assert!(
+        touched as f64 > 0.9 * counts.len() as f64,
+        "only {touched} of {} sensors ever probed",
+        counts.len()
+    );
+}
+
+#[test]
+fn redistribution_compensates_forced_failures() {
+    // Force 30% of sensors down: Algorithm 2 should keep the delivered
+    // sample close to target by shifting probes to live subtrees.
+    let sensors = clustered_scenario(2_000, (1.0, 1.0), 53);
+    let region = Region::Rect(Rect::from_coords(0.0, 0.0, 4_000.0, 2_500.0));
+    let r = 50.0;
+    let trials = 30;
+    let mut rng = StdRng::seed_from_u64(37);
+    let mut total = 0usize;
+    for t in 0..trials {
+        let mut net = SimNetwork::new(sensors.clone(), ConstantField { base: 1.0, step: 0.0 }, 7 + t);
+        for i in 0..sensors.len() {
+            if i % 3 == 0 {
+                net.set_forced_down(colr_repro::colr::SensorId(i as u32), true);
+            }
+        }
+        let mut tree = ColrTree::build(sensors.clone(), ColrConfig::default(), 5);
+        let q = Query::range(region.clone(), TimeDelta::from_mins(5))
+            .with_terminal_level(3)
+            .with_sample_size(r);
+        let out = tree.execute(&q, Mode::Colr, &mut net, Timestamp(1_000), &mut rng);
+        total += out.readings.len();
+    }
+    let mean = total as f64 / trials as f64;
+    // Availability metadata says 1.0 but a third of the network is dark:
+    // redistribution should still recover a decent fraction of the target.
+    assert!(
+        mean > r * 0.55,
+        "mean sample {mean} collapsed under failures (target {r})"
+    );
+}

@@ -1,0 +1,67 @@
+//! Long-trace soak test: replay hours of simulated portal traffic against a
+//! capacity-constrained tree with a flaky network, validating structural
+//! invariants and bounded state throughout. This is the "runs for a year
+//! like SensorMap did" confidence test at miniature scale.
+
+use colr_repro::colr::{ColrConfig, Mode, Query, TimeDelta, Timestamp};
+use colr_repro::colr::tree::ColrTree;
+use colr_repro::geo::Region;
+use colr_repro::sensors::{RandomWalkField, SimNetwork};
+use colr_repro::workload::{QueryWorkloadConfig, ScenarioConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[test]
+fn hours_of_traffic_preserve_invariants_and_bounds() {
+    let mut cfg = ScenarioConfig::live_local_small();
+    cfg.sensor_count = 4_000;
+    cfg.availability = (0.6, 1.0);
+    cfg.queries = QueryWorkloadConfig {
+        count: 600,
+        mean_interarrival: TimeDelta::from_secs(20), // trace spans ~3.3 sim hours
+        ..Default::default()
+    };
+    let sc = cfg.build();
+    let cap = 800usize; // 20% of sensors
+    let tree_config = ColrConfig {
+        cache_capacity: Some(cap),
+        ..Default::default()
+    };
+    let mut tree = ColrTree::build(sc.sensors.clone(), tree_config, 1);
+    let field = RandomWalkField::new(sc.sensors.len(), 0.0, 60.0, 2.0, 5);
+    let mut net = SimNetwork::new(sc.sensors.clone(), field, 5);
+    let mut rng = StdRng::seed_from_u64(3);
+
+    let mut last_at = Timestamp::ZERO;
+    for (i, spec) in sc.queries.queries.iter().enumerate() {
+        assert!(spec.at >= last_at, "trace must be time-ordered");
+        last_at = spec.at;
+        let query = Query::range(spec.rect, spec.staleness)
+            .with_terminal_level(3)
+            .with_sample_size(40.0);
+        let out = tree.execute(&query, Mode::Colr, &mut net, spec.at, &mut rng);
+        // Freshness discipline holds on every answer.
+        for r in &out.readings {
+            assert!(r.is_fresh(spec.at, spec.staleness), "stale answer at query {i}");
+        }
+        // Bounded state.
+        assert!(tree.cached_readings() <= cap, "capacity violated at query {i}");
+        // Periodic deep validation (O(n), so not every step).
+        if i % 100 == 0 {
+            tree.validate().unwrap_or_else(|e| panic!("invariant broken at query {i}: {e}"));
+        }
+    }
+    tree.validate().expect("final invariants");
+
+    // After the trace ends, everything eventually expires.
+    let far_future = last_at + TimeDelta::from_mins(30);
+    tree.advance(far_future);
+    assert_eq!(tree.cached_readings(), 0, "rolls failed to drain the cache");
+    // And the tree still answers queries.
+    let region = Region::Rect(sc.extent);
+    let q = Query::range(region, TimeDelta::from_mins(5))
+        .with_terminal_level(3)
+        .with_sample_size(20.0);
+    let out = tree.execute(&q, Mode::Colr, &mut net, far_future, &mut rng);
+    assert!(out.stats.sensors_probed > 0);
+}

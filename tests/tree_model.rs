@@ -1,0 +1,135 @@
+//! Property-based testing of the whole slot-cache *tree* against brute
+//! force: after any sequence of inserts, updates, rolls, and evictions,
+//! every node's per-slot aggregate must equal the aggregate recomputed from
+//! the raw leaf entries below it — the invariant the paper's bottom-up
+//! trigger maintenance is supposed to preserve.
+
+use colr_repro::colr::tree::{Children, ColrTree};
+use colr_repro::colr::{ColrConfig, PartialAgg, Reading, SensorId, SensorMeta, TimeDelta, Timestamp};
+use colr_repro::geo::Point;
+use proptest::prelude::*;
+
+const EXPIRY_MS: u64 = 240_000;
+
+#[derive(Debug, Clone)]
+enum Op {
+    /// Insert/update a reading for sensor `id % population`.
+    Insert { sensor: u32, value: i32 },
+    /// Advance the clock by this many ms.
+    Advance(u64),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        5 => (0u32..64, -50i32..50).prop_map(|(sensor, value)| Op::Insert { sensor, value }),
+        1 => (5_000u64..120_000).prop_map(Op::Advance),
+    ]
+}
+
+/// Recomputes the expected per-slot aggregate of `node` from the raw leaf
+/// entries in its subtree.
+fn brute_force_slot(tree: &ColrTree, node: colr_repro::colr::NodeId, slot: u64) -> PartialAgg {
+    let mut agg = PartialAgg::empty();
+    let mut stack = vec![node];
+    let width = tree.slot_config().slot_width.millis();
+    while let Some(cur) = stack.pop() {
+        let n = tree.node(cur);
+        match &n.children {
+            Children::Leaf(_) => {
+                for e in &n.entries {
+                    if e.reading.expires_at.millis() / width == slot {
+                        agg.insert(e.reading.value);
+                    }
+                }
+            }
+            Children::Internal(children) => stack.extend(children.iter().copied()),
+        }
+    }
+    agg
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn every_node_slot_matches_brute_force(ops in proptest::collection::vec(op_strategy(), 1..60),
+                                           cap in prop_oneof![Just(None), Just(Some(20usize))]) {
+        let sensors: Vec<SensorMeta> = (0..64)
+            .map(|i| {
+                SensorMeta::new(
+                    i,
+                    Point::new((i % 8) as f64, (i / 8) as f64),
+                    TimeDelta::from_millis(EXPIRY_MS),
+                    1.0,
+                )
+                .with_kind((i % 3) as u16)
+            })
+            .collect();
+        let config = ColrConfig {
+            cache_capacity: cap,
+            // Exercise the per-slot histogram maintenance too.
+            slot_histograms: Some(colr_repro::colr::agg::HistogramSpec {
+                lo: -50.0,
+                hi: 50.0,
+                buckets: 10,
+            }),
+            ..Default::default()
+        };
+        let mut tree = ColrTree::build(sensors, config, 7);
+        let mut now = Timestamp(1_000);
+
+        for op in ops {
+            match op {
+                Op::Insert { sensor, value } => {
+                    let r = Reading {
+                        sensor: SensorId(sensor),
+                        value: value as f64,
+                        timestamp: now,
+                        expires_at: now + TimeDelta::from_millis(EXPIRY_MS),
+                    };
+                    tree.insert_reading(r, now);
+                }
+                Op::Advance(ms) => {
+                    now += TimeDelta::from_millis(ms);
+                    tree.advance(now);
+                }
+            }
+        }
+
+        tree.validate().expect("structural invariants");
+        // Check every node × occupied slot against brute force.
+        let max_slot = tree.slot_config().slot_of(now) + tree.config().num_slots as u64 + 2;
+        let min_slot = tree.slot_config().slot_of(now).saturating_sub(1);
+        for id in tree.node_ids() {
+            for slot in min_slot..=max_slot {
+                let expected = brute_force_slot(&tree, id, slot);
+                let actual = tree
+                    .node(id)
+                    .cache
+                    .slot(slot)
+                    .map(|s| s.agg)
+                    .unwrap_or_else(PartialAgg::empty);
+                prop_assert_eq!(
+                    actual.count, expected.count,
+                    "count mismatch at {:?} slot {}", id, slot
+                );
+                prop_assert!(
+                    (actual.sum - expected.sum).abs() < 1e-9,
+                    "sum mismatch at {:?} slot {}: {} vs {}", id, slot, actual.sum, expected.sum
+                );
+                if expected.count > 0 {
+                    prop_assert_eq!(actual.min, expected.min, "min mismatch at {:?} slot {}", id, slot);
+                    prop_assert_eq!(actual.max, expected.max, "max mismatch at {:?} slot {}", id, slot);
+                }
+                // Per-kind sub-aggregates must partition the total, and the
+                // slot histogram must hold exactly the slot's readings.
+                if let Some(s) = tree.node(id).cache.slot(slot) {
+                    let kind_total: u64 = s.by_kind.iter().map(|(_, a)| a.count).sum();
+                    prop_assert_eq!(kind_total, s.agg.count, "kind partition broken at {:?}", id);
+                    let h = s.hist.as_ref().expect("histograms configured");
+                    prop_assert_eq!(h.total(), s.agg.count, "histogram drift at {:?}", id);
+                }
+            }
+        }
+    }
+}
