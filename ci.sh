@@ -1,0 +1,9 @@
+#!/usr/bin/env bash
+# Local CI gate: release build, workspace tests, and lint-clean clippy.
+# The build environment is offline (vendored deps), hence --offline.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+cargo build --release --offline
+cargo test -q --offline
+cargo clippy --all-targets --offline -- -D warnings

@@ -1,0 +1,265 @@
+//! Multi-client query throughput benchmark.
+//!
+//! Drives a batch of seeded viewport queries against ONE shared COLR-Tree
+//! (simulated wide-area network) from 1..=N worker threads and writes
+//! `BENCH_throughput.json` with queries/sec, probes/query and p50/p95
+//! per-query wall-clock latency per thread count — the perf trajectory for
+//! the concurrent query engine.
+//!
+//! ```text
+//! throughput [--sensors N] [--queries N] [--threads a,b,...] [--rtt-us N]
+//!            [--out FILE]
+//! ```
+//!
+//! The workload is communication-bound, as in the paper's setting: every
+//! probe batch pays a simulated WAN round-trip (`--rtt-us`, default 200µs —
+//! deliberately far below real WAN RTTs so the benchmark stays fast). A
+//! single-threaded portal serialises those round-trips across clients; the
+//! concurrent executor overlaps them, which is exactly the throughput this
+//! benchmark tracks. Queries run frozen against a fixed snapshot (as in
+//! `Portal::execute_many`), so every thread count executes the identical
+//! per-query work for the same derived seeds and the comparison is pure
+//! scheduling.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use colr_geo::Rect;
+use colr_sensors::{ConstantField, SimNetwork};
+use colr_tree::{ColrConfig, ColrTree, Mode, Query, SensorMeta, TimeDelta, Timestamp};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+struct Args {
+    sensors: usize,
+    queries: usize,
+    threads: Vec<usize>,
+    rtt_us: u64,
+    out: String,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        sensors: 10_000,
+        queries: 600,
+        threads: vec![1, 2, 4, 8],
+        rtt_us: 200,
+        out: "BENCH_throughput.json".to_owned(),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--sensors" => {
+                args.sensors = it.next().and_then(|v| v.parse().ok()).expect("--sensors N")
+            }
+            "--queries" => {
+                args.queries = it.next().and_then(|v| v.parse().ok()).expect("--queries N")
+            }
+            "--threads" => {
+                let list = it.next().expect("--threads a,b,...");
+                args.threads = list
+                    .split(',')
+                    .map(|t| t.parse().expect("thread count"))
+                    .collect();
+            }
+            "--rtt-us" => {
+                args.rtt_us = it.next().and_then(|v| v.parse().ok()).expect("--rtt-us N")
+            }
+            "--out" => args.out = it.next().expect("--out FILE"),
+            other => panic!("unknown flag {other}"),
+        }
+    }
+    args
+}
+
+/// Wraps a probe service with a simulated wide-area round-trip: each
+/// non-empty batch blocks the issuing worker for `rtt` before the simulated
+/// network answers, without holding any lock — concurrent clients overlap
+/// their waits.
+struct WanProbe<P> {
+    inner: P,
+    rtt: Duration,
+}
+
+impl<P: colr_tree::ProbeService> colr_tree::ProbeService for WanProbe<P> {
+    fn probe_batch(
+        &self,
+        ids: &[colr_tree::SensorId],
+        now: Timestamp,
+    ) -> Vec<Option<colr_tree::Reading>> {
+        if !ids.is_empty() && !self.rtt.is_zero() {
+            std::thread::sleep(self.rtt);
+        }
+        self.inner.probe_batch(ids, now)
+    }
+}
+
+const EXPIRY: TimeDelta = TimeDelta::from_mins(10);
+
+fn grid_sensors(n: usize) -> (Vec<SensorMeta>, usize) {
+    let side = (n as f64).sqrt().ceil() as usize;
+    let sensors = (0..n)
+        .map(|i| {
+            SensorMeta::new(
+                i as u32,
+                colr_geo::Point::new((i % side) as f64, (i / side) as f64),
+                EXPIRY,
+                1.0,
+            )
+        })
+        .collect();
+    (sensors, side)
+}
+
+/// Seeded viewport mix: square viewports of 8..=24 cells, uniform positions,
+/// sampled at R = 64 — the SensorMap "map pan" workload.
+fn viewport_queries(n: usize, side: usize, seed: u64) -> Vec<Query> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            let w = rng.random_range(8..=24) as f64;
+            let x0 = rng.random_range(0.0..(side as f64 - w).max(1.0));
+            let y0 = rng.random_range(0.0..(side as f64 - w).max(1.0));
+            Query::range(
+                Rect::from_coords(x0 - 0.5, y0 - 0.5, x0 + w + 0.5, y0 + w + 0.5),
+                EXPIRY,
+            )
+            .with_terminal_level(2)
+            .with_sample_size(64.0)
+        })
+        .collect()
+}
+
+/// Same per-query seed derivation as `Portal::execute_many`.
+fn derive_seed(seed: u64, i: u64) -> u64 {
+    let mut z = seed ^ i.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+struct RunResult {
+    threads: usize,
+    queries_per_sec: f64,
+    probes_per_query: f64,
+    p50_latency_ms: f64,
+    p95_latency_ms: f64,
+}
+
+fn run<P: colr_tree::ProbeService + Sync>(
+    tree: &ColrTree,
+    probe: &P,
+    queries: &[Query],
+    threads: usize,
+    now: Timestamp,
+    seed: u64,
+) -> RunResult {
+    let next = AtomicUsize::new(0);
+    let probes = AtomicU64::new(0);
+    let latencies: Mutex<Vec<u64>> = Mutex::new(Vec::with_capacity(queries.len()));
+    let wall = Instant::now();
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| {
+                let mut local = Vec::with_capacity(queries.len() / threads + 1);
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= queries.len() {
+                        break;
+                    }
+                    let mut rng = StdRng::seed_from_u64(derive_seed(seed, i as u64));
+                    let start = Instant::now();
+                    let (out, _deferred) =
+                        tree.execute_frozen(&queries[i], Mode::Colr, probe, now, &mut rng);
+                    local.push(start.elapsed().as_nanos() as u64);
+                    probes.fetch_add(out.stats.sensors_probed, Ordering::Relaxed);
+                }
+                latencies.lock().expect("latency sink").extend(local);
+            });
+        }
+    });
+    let elapsed = wall.elapsed().as_secs_f64();
+    let mut lat = latencies.into_inner().expect("latency sink");
+    lat.sort_unstable();
+    let pct = |p: f64| -> f64 {
+        if lat.is_empty() {
+            return 0.0;
+        }
+        let idx = ((lat.len() as f64 - 1.0) * p).round() as usize;
+        lat[idx] as f64 / 1e6
+    };
+    RunResult {
+        threads,
+        queries_per_sec: queries.len() as f64 / elapsed,
+        probes_per_query: probes.load(Ordering::Relaxed) as f64 / queries.len() as f64,
+        p50_latency_ms: pct(0.50),
+        p95_latency_ms: pct(0.95),
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    let (sensors, side) = grid_sensors(args.sensors);
+    eprintln!("building tree over {} sensors...", sensors.len());
+    let tree = ColrTree::build(sensors.clone(), ColrConfig::default(), 42);
+    let net = WanProbe {
+        inner: SimNetwork::new(sensors, ConstantField { base: 0.0, step: 0.01 }, 7),
+        rtt: Duration::from_micros(args.rtt_us),
+    };
+
+    let now = Timestamp(1_000);
+    tree.advance(now);
+
+    let queries = viewport_queries(args.queries, side, 1234);
+    let mut runs = Vec::new();
+    for &t in &args.threads {
+        // Untimed rehearsal so allocator and page-cache effects hit every
+        // thread count equally.
+        run(&tree, &net, &queries[..queries.len().min(64)], t, now, 999);
+        let r = run(&tree, &net, &queries, t, now, 5678);
+        eprintln!(
+            "threads={:<2} q/s={:>10.0} probes/q={:>6.2} p50={:.3}ms p95={:.3}ms",
+            r.threads, r.queries_per_sec, r.probes_per_query, r.p50_latency_ms, r.p95_latency_ms
+        );
+        runs.push(r);
+    }
+
+    let single = runs
+        .iter()
+        .find(|r| r.threads == 1)
+        .map(|r| r.queries_per_sec);
+    let best = runs
+        .iter()
+        .map(|r| r.queries_per_sec)
+        .fold(0.0f64, f64::max);
+    let speedup = single.map(|s| best / s).unwrap_or(1.0);
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"benchmark\": \"concurrent_query_throughput\",\n");
+    json.push_str(&format!("  \"sensors\": {},\n", args.sensors));
+    json.push_str(&format!("  \"queries_per_run\": {},\n", args.queries));
+    json.push_str(&format!("  \"probe_rtt_us\": {},\n", args.rtt_us));
+    json.push_str(
+        "  \"mode\": \"Colr\",\n  \"workload\": \"seeded viewports, R=64, simulated WAN RTT per probe batch\",\n",
+    );
+    json.push_str("  \"runs\": [\n");
+    for (i, r) in runs.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"threads\": {}, \"queries_per_sec\": {:.1}, \"probes_per_query\": {:.3}, \
+             \"p50_latency_ms\": {:.4}, \"p95_latency_ms\": {:.4}}}{}\n",
+            r.threads,
+            r.queries_per_sec,
+            r.probes_per_query,
+            r.p50_latency_ms,
+            r.p95_latency_ms,
+            if i + 1 < runs.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ],\n");
+    json.push_str(&format!("  \"speedup_vs_single_thread\": {speedup:.2}\n"));
+    json.push_str("}\n");
+    std::fs::write(&args.out, &json).expect("write BENCH_throughput.json");
+    eprintln!("wrote {} (speedup {:.2}x)", args.out, speedup);
+}

@@ -13,13 +13,23 @@
 //! within each cell with a proportional share of `k`. This keeps construction
 //! near-linear while preserving the spatial-compactness property the paper
 //! relies on (near-uniform node weights per level, Section VII-B).
+//!
+//! ## Parallel construction
+//!
+//! Grid cells are independent, so each clustering level fans its cells out
+//! over a scoped thread pool ([`ColrTree::build_with_threads`]). Every cell
+//! draws its k-means seed from the build RNG *in cell order before* any
+//! thread starts, and results are merged back in the same order — the built
+//! tree is bit-identical for a fixed `(sensors, config, seed)` regardless of
+//! the thread count. Levels themselves run sequentially (level `l` clusters
+//! the centroids produced by level `l+1`).
 
 use colr_geo::{Point, Rect};
 use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use rand::{Rng, RngCore, SeedableRng};
 
 use crate::reading::{SensorId, SensorMeta};
-use crate::slot_cache::{SlotCache, SlotConfig};
+use crate::slot_cache::SlotConfig;
 use crate::time::TimeDelta;
 use crate::tree::{BuildStrategy, Children, ColrConfig, ColrTree, Node, NodeId};
 
@@ -29,11 +39,27 @@ const DIRECT_KMEANS_MAX: usize = 4096;
 const TARGET_CELL: usize = 1024;
 
 impl ColrTree {
-    /// Bulk-builds a COLR-Tree over `sensors`.
+    /// Bulk-builds a COLR-Tree over `sensors`, clustering grid cells on all
+    /// available cores.
     ///
-    /// Construction is deterministic for a given `(sensors, config, seed)`;
-    /// the seed feeds the k-means initialisation.
+    /// Construction is deterministic for a given `(sensors, config, seed)`
+    /// — independent of the machine's core count; the seed feeds the k-means
+    /// initialisation.
     pub fn build(sensors: Vec<SensorMeta>, config: ColrConfig, seed: u64) -> ColrTree {
+        let threads = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        Self::build_with_threads(sensors, config, seed, threads)
+    }
+
+    /// [`ColrTree::build`] with an explicit worker-thread count (`1` =
+    /// fully sequential). The output is bit-identical across thread counts.
+    pub fn build_with_threads(
+        sensors: Vec<SensorMeta>,
+        config: ColrConfig,
+        seed: u64,
+        threads: usize,
+    ) -> ColrTree {
         assert!(config.branching >= 2, "branching factor must be >= 2");
         for (i, s) in sensors.iter().enumerate() {
             assert_eq!(
@@ -54,8 +80,8 @@ impl ColrTree {
         let mut builder = Builder {
             nodes: Vec::new(),
             sensor_leaf: vec![NodeId(0); sensors.len()],
-            slot_config,
             rng: StdRng::seed_from_u64(seed),
+            threads: threads.max(1),
         };
 
         let root = if sensors.is_empty() {
@@ -64,19 +90,15 @@ impl ColrTree {
             builder.build_levels(&sensors, &config)
         };
 
-        let mut tree = ColrTree {
+        let mut tree = ColrTree::assemble(
             config,
             slot_config,
             t_max,
             sensors,
-            nodes: builder.nodes,
+            builder.nodes,
             root,
-            leaf_level: 0,
-            sensor_leaf: builder.sensor_leaf,
-            cache_base: 0,
-            total_cached: 0,
-            evict_index: Default::default(),
-        };
+            builder.sensor_leaf,
+        );
         tree.assign_levels();
         tree
     }
@@ -109,32 +131,11 @@ impl ColrTree {
 struct Builder {
     nodes: Vec<Node>,
     sensor_leaf: Vec<NodeId>,
-    slot_config: SlotConfig,
     rng: StdRng,
+    threads: usize,
 }
 
 impl Builder {
-    fn fresh_node(
-        &self,
-        bbox: Rect,
-        children: Children,
-        weight: u64,
-        kind_weights: Vec<(u16, u64)>,
-        avail_mean: f64,
-    ) -> Node {
-        Node {
-            level: 0,
-            bbox,
-            parent: None,
-            children,
-            weight,
-            kind_weights,
-            avail_mean,
-            cache: SlotCache::new(self.slot_config),
-            entries: Vec::new(),
-        }
-    }
-
     fn merge_kind_weight(kw: &mut Vec<(u16, u64)>, kind: u16, add: u64) {
         match kw.binary_search_by_key(&kind, |(k, _)| *k) {
             Ok(i) => kw[i].1 += add,
@@ -162,13 +163,15 @@ impl Builder {
             self.sensor_leaf[s.index()] = id;
             Self::merge_kind_weight(&mut kind_weights, sensors[s.index()].kind, 1);
         }
-        self.nodes.push(self.fresh_node(
+        self.nodes.push(Node {
+            level: 0,
             bbox,
-            Children::Leaf(members),
+            parent: None,
+            children: Children::Leaf(members),
             weight,
             kind_weights,
             avail_mean,
-        ));
+        });
         id
     }
 
@@ -196,13 +199,15 @@ impl Builder {
                 Self::merge_kind_weight(&mut kind_weights, k, w);
             }
         }
-        self.nodes.push(self.fresh_node(
+        self.nodes.push(Node {
+            level: 0,
             bbox,
-            Children::Internal(members),
+            parent: None,
+            children: Children::Internal(members),
             weight,
             kind_weights,
             avail_mean,
-        ));
+        });
         id
     }
 
@@ -263,73 +268,21 @@ impl Builder {
                 if points.len() > DIRECT_KMEANS_MAX {
                     self.grid_kmeans(points, items, k, iterations)
                 } else {
-                    self.lloyd(points, items, k, iterations)
+                    lloyd(points, items, k, iterations, &mut self.rng)
                 }
             }
             BuildStrategy::Str => str_pack(points, items, k),
         }
     }
 
-    /// Plain Lloyd's k-means with random distinct seeding.
-    fn lloyd(
-        &mut self,
-        points: &[Point],
-        items: &[usize],
-        k: usize,
-        iterations: usize,
-    ) -> Vec<Vec<usize>> {
-        let n = points.len();
-        let k = k.min(n);
-        // Seed with k distinct random points (partial Fisher–Yates).
-        let mut order: Vec<usize> = (0..n).collect();
-        for i in 0..k {
-            let j = self.rng.random_range(i..n);
-            order.swap(i, j);
-        }
-        let mut centers: Vec<Point> = order[..k].iter().map(|&i| points[i]).collect();
-        let mut assign = vec![0usize; n];
-        for _ in 0..iterations.max(1) {
-            // Assignment step.
-            for (i, p) in points.iter().enumerate() {
-                let mut best = 0;
-                let mut best_d = f64::INFINITY;
-                for (c, center) in centers.iter().enumerate() {
-                    let d = p.distance_sq(center);
-                    if d < best_d {
-                        best_d = d;
-                        best = c;
-                    }
-                }
-                assign[i] = best;
-            }
-            // Update step.
-            let mut sums = vec![(0.0f64, 0.0f64, 0usize); k];
-            for (i, p) in points.iter().enumerate() {
-                let s = &mut sums[assign[i]];
-                s.0 += p.x;
-                s.1 += p.y;
-                s.2 += 1;
-            }
-            for (c, center) in centers.iter_mut().enumerate() {
-                let (sx, sy, cnt) = sums[c];
-                if cnt > 0 {
-                    *center = Point::new(sx / cnt as f64, sy / cnt as f64);
-                } else {
-                    // Re-seed empty cluster at a random point.
-                    *center = points[self.rng.random_range(0..n)];
-                }
-            }
-        }
-        let mut groups: Vec<Vec<usize>> = vec![Vec::new(); k];
-        for (i, &a) in assign.iter().enumerate() {
-            groups[a].push(items[i]);
-        }
-        groups.retain(|g| !g.is_empty());
-        groups
-    }
-
     /// Grid-partitioned k-means for large inputs: cluster each spatial cell
-    /// independently with a proportional share of `k`.
+    /// independently with a proportional share of `k`, fanning the cells out
+    /// over `self.threads` scoped workers.
+    ///
+    /// Determinism: every cell's RNG seed is drawn from the build RNG in cell
+    /// order before any worker starts, and cell results are concatenated in
+    /// that same order, so the grouping does not depend on the thread count
+    /// or scheduling.
     fn grid_kmeans(
         &mut self,
         points: &[Point],
@@ -348,16 +301,103 @@ impl Builder {
             let cy = (((p.y - bbox.min.y) / h * g as f64) as usize).min(g - 1);
             cells[cy * g + cx].push(i);
         }
-        let mut groups = Vec::new();
-        for cell in cells.into_iter().filter(|c| !c.is_empty()) {
-            let cell_points: Vec<Point> = cell.iter().map(|&i| points[i]).collect();
-            let cell_items: Vec<usize> = cell.iter().map(|&i| items[i]).collect();
-            let share =
-                ((k as f64 * cell.len() as f64 / n as f64).round() as usize).clamp(1, cell.len());
-            groups.extend(self.lloyd(&cell_points, &cell_items, share, iterations));
+        struct Job {
+            points: Vec<Point>,
+            items: Vec<usize>,
+            share: usize,
+            seed: u64,
         }
-        groups
+        let jobs: Vec<Job> = cells
+            .into_iter()
+            .filter(|c| !c.is_empty())
+            .map(|cell| Job {
+                points: cell.iter().map(|&i| points[i]).collect(),
+                items: cell.iter().map(|&i| items[i]).collect(),
+                share: ((k as f64 * cell.len() as f64 / n as f64).round() as usize)
+                    .clamp(1, cell.len()),
+                seed: self.rng.next_u64(),
+            })
+            .collect();
+
+        let run = |job: &Job| {
+            let mut rng = StdRng::seed_from_u64(job.seed);
+            lloyd(&job.points, &job.items, job.share, iterations, &mut rng)
+        };
+        let per_cell: Vec<Vec<Vec<usize>>> = if self.threads <= 1 || jobs.len() <= 1 {
+            jobs.iter().map(run).collect()
+        } else {
+            let chunk = jobs.len().div_ceil(self.threads);
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = jobs
+                    .chunks(chunk)
+                    .map(|batch| scope.spawn(move || batch.iter().map(run).collect::<Vec<_>>()))
+                    .collect();
+                handles
+                    .into_iter()
+                    .flat_map(|h| h.join().expect("k-means worker panicked"))
+                    .collect()
+            })
+        };
+        per_cell.into_iter().flatten().collect()
     }
+}
+
+/// Plain Lloyd's k-means with random distinct seeding.
+fn lloyd(
+    points: &[Point],
+    items: &[usize],
+    k: usize,
+    iterations: usize,
+    rng: &mut StdRng,
+) -> Vec<Vec<usize>> {
+    let n = points.len();
+    let k = k.min(n);
+    // Seed with k distinct random points (partial Fisher–Yates).
+    let mut order: Vec<usize> = (0..n).collect();
+    for i in 0..k {
+        let j = rng.random_range(i..n);
+        order.swap(i, j);
+    }
+    let mut centers: Vec<Point> = order[..k].iter().map(|&i| points[i]).collect();
+    let mut assign = vec![0usize; n];
+    for _ in 0..iterations.max(1) {
+        // Assignment step.
+        for (i, p) in points.iter().enumerate() {
+            let mut best = 0;
+            let mut best_d = f64::INFINITY;
+            for (c, center) in centers.iter().enumerate() {
+                let d = p.distance_sq(center);
+                if d < best_d {
+                    best_d = d;
+                    best = c;
+                }
+            }
+            assign[i] = best;
+        }
+        // Update step.
+        let mut sums = vec![(0.0f64, 0.0f64, 0usize); k];
+        for (i, p) in points.iter().enumerate() {
+            let s = &mut sums[assign[i]];
+            s.0 += p.x;
+            s.1 += p.y;
+            s.2 += 1;
+        }
+        for (c, center) in centers.iter_mut().enumerate() {
+            let (sx, sy, cnt) = sums[c];
+            if cnt > 0 {
+                *center = Point::new(sx / cnt as f64, sy / cnt as f64);
+            } else {
+                // Re-seed empty cluster at a random point.
+                *center = points[rng.random_range(0..n)];
+            }
+        }
+    }
+    let mut groups: Vec<Vec<usize>> = vec![Vec::new(); k];
+    for (i, &a) in assign.iter().enumerate() {
+        groups[a].push(items[i]);
+    }
+    groups.retain(|g| !g.is_empty());
+    groups
 }
 
 /// Sort-tile-recursive packing into `k` groups.
@@ -505,6 +545,32 @@ mod tests {
         let tree = ColrTree::build(grid_sensors(72), ColrConfig::default(), 3); // 5184 sensors
         tree.validate().expect("valid large tree");
         assert_eq!(tree.node(tree.root()).weight, 5184);
+    }
+
+    #[test]
+    fn parallel_build_is_bit_identical_to_sequential() {
+        // Large enough to exercise the partitioned (parallel) path.
+        let sensors = grid_sensors(72); // 5184 sensors
+        let seq = ColrTree::build_with_threads(sensors.clone(), ColrConfig::default(), 11, 1);
+        for threads in [2, 4, 7] {
+            let par =
+                ColrTree::build_with_threads(sensors.clone(), ColrConfig::default(), 11, threads);
+            assert_eq!(seq.node_count(), par.node_count(), "{threads} threads");
+            for id in seq.node_ids() {
+                assert_eq!(
+                    format!("{:?}", seq.node(id)),
+                    format!("{:?}", par.node(id)),
+                    "node {id:?} differs at {threads} threads"
+                );
+            }
+            for s in 0..sensors.len() {
+                assert_eq!(
+                    seq.home_leaf(SensorId(s as u32)),
+                    par.home_leaf(SensorId(s as u32)),
+                    "sensor {s} homed differently at {threads} threads"
+                );
+            }
+        }
     }
 
     #[test]

@@ -61,7 +61,7 @@ impl FlatCache {
         &mut self,
         region: &Region,
         staleness: TimeDelta,
-        probe: &mut P,
+        probe: &P,
         now: Timestamp,
     ) -> FlatOutput {
         let mut stats = QueryStats::default();

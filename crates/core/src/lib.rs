@@ -33,14 +33,15 @@
 //!     .map(|i| SensorMeta::new(i, Point::new((i % 10) as f64, (i / 10) as f64),
 //!                              TimeDelta::from_mins(5), 0.95))
 //!     .collect();
-//! let mut tree = ColrTree::build(sensors, ColrConfig::default(), 42);
+//! let tree = ColrTree::build(sensors, ColrConfig::default(), 42);
 //!
 //! // Ask for ~12 of the sensors in a viewport, at most 2 minutes stale.
+//! // Queries take `&tree`: any number of clients can share one tree.
 //! let query = Query::range(Rect::from_coords(-0.5, -0.5, 6.5, 6.5), TimeDelta::from_mins(2))
 //!     .with_sample_size(12.0);
-//! let mut probe = AlwaysAvailable { expiry_ms: 300_000 };
+//! let probe = AlwaysAvailable { expiry_ms: 300_000 };
 //! let mut rng = rand::rngs::StdRng::seed_from_u64(7);
-//! let out = tree.execute(&query, Mode::Colr, &mut probe, Timestamp(1_000), &mut rng);
+//! let out = tree.execute(&query, Mode::Colr, &probe, Timestamp(1_000), &mut rng);
 //!
 //! assert!(out.stats.sensors_probed <= 49);
 //! let _count = out.aggregate(AggKind::Count);
@@ -72,4 +73,7 @@ pub use slot_cache::{Slot, SlotCache, SlotConfig};
 pub use slot_size::SlotSizeWorkload;
 pub use stats::{CostModel, QueryStats};
 pub use time::{SimClock, TimeDelta, Timestamp};
-pub use tree::{BuildStrategy, CachedEntry, Children, ColrConfig, ColrTree, Node, NodeId};
+pub use tree::{
+    BuildStrategy, CachedEntry, Children, ColrConfig, ColrTree, Node, NodeCache, NodeId,
+    CACHE_STRIPES,
+};

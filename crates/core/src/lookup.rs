@@ -16,6 +16,13 @@
 //!   into the cache;
 //! * [`Mode::Colr`] additionally samples (Algorithm 1) so only a target
 //!   number of sensors is ever contacted.
+//!
+//! Execution takes `&self`: cache reads go through the tree's striped locks
+//! and write-backs through the maintenance path, so any number of queries can
+//! run against one shared tree concurrently. [`ColrTree::execute_frozen`]
+//! additionally *defers* write-backs, which a batch executor uses to make
+//! every query in a batch see the same cache snapshot (see
+//! `colr-engine`'s `execute_many`).
 
 use colr_geo::{Rect, Region};
 use rand::Rng;
@@ -167,17 +174,52 @@ impl QueryOutput {
     }
 }
 
+/// What happens to probe results that the executed mode wants cached.
+///
+/// `Immediate` applies them to the tree as they arrive (the interactive
+/// single-query path). `Buffered` collects them for a later, ordered
+/// [`ColrTree::apply_readings`] — used by batch executors so every query of a
+/// batch runs against one frozen cache snapshot, making results independent
+/// of scheduling. In buffered mode `cache_inserts` stays 0 (nothing is
+/// inserted during the query).
+pub(crate) enum WriteBack {
+    Immediate,
+    Buffered(Vec<Reading>),
+}
+
+impl WriteBack {
+    fn record(
+        &mut self,
+        tree: &ColrTree,
+        readings: &[Reading],
+        now: Timestamp,
+        stats: &mut QueryStats,
+    ) {
+        match self {
+            WriteBack::Immediate => {
+                for r in readings {
+                    if tree.insert_reading(*r, now) {
+                        stats.cache_inserts += 1;
+                    }
+                }
+            }
+            WriteBack::Buffered(buf) => buf.extend_from_slice(readings),
+        }
+    }
+}
+
 impl ColrTree {
     /// Processes `query` in the given `mode`, probing sensors through
     /// `probe`, at simulated instant `now`.
     ///
     /// `rng` drives sampling decisions (only used by [`Mode::Colr`]); pass a
-    /// seeded RNG for reproducible runs.
+    /// seeded RNG for reproducible runs. Takes `&self`: concurrent callers
+    /// share the tree through its internal striped locks.
     pub fn execute<P, R>(
-        &mut self,
+        &self,
         query: &Query,
         mode: Mode,
-        probe: &mut P,
+        probe: &P,
         now: Timestamp,
         rng: &mut R,
     ) -> QueryOutput
@@ -186,10 +228,57 @@ impl ColrTree {
         R: Rng + ?Sized,
     {
         self.advance(now);
+        let mut wb = WriteBack::Immediate;
+        self.dispatch(query, mode, probe, now, rng, &mut wb)
+    }
+
+    /// [`ColrTree::execute`] against a *frozen* cache: the window is not
+    /// advanced and probe results are returned for a deferred
+    /// [`ColrTree::apply_readings`] instead of being cached mid-query.
+    ///
+    /// The caller is expected to have advanced the tree to `now` already.
+    /// Because nothing is written back during execution, any number of
+    /// frozen executions can run concurrently and each sees the identical
+    /// cache state — the result depends only on `(tree, query, rng, probe)`,
+    /// not on scheduling.
+    pub fn execute_frozen<P, R>(
+        &self,
+        query: &Query,
+        mode: Mode,
+        probe: &P,
+        now: Timestamp,
+        rng: &mut R,
+    ) -> (QueryOutput, Vec<Reading>)
+    where
+        P: ProbeService + ?Sized,
+        R: Rng + ?Sized,
+    {
+        let mut wb = WriteBack::Buffered(Vec::new());
+        let out = self.dispatch(query, mode, probe, now, rng, &mut wb);
+        let deferred = match wb {
+            WriteBack::Buffered(buf) => buf,
+            WriteBack::Immediate => unreachable!(),
+        };
+        (out, deferred)
+    }
+
+    fn dispatch<P, R>(
+        &self,
+        query: &Query,
+        mode: Mode,
+        probe: &P,
+        now: Timestamp,
+        rng: &mut R,
+        wb: &mut WriteBack,
+    ) -> QueryOutput
+    where
+        P: ProbeService + ?Sized,
+        R: Rng + ?Sized,
+    {
         let mut out = match mode {
-            Mode::RTree => self.exec_rtree(query, probe, now),
-            Mode::HierCache => self.exec_hier(query, probe, now),
-            Mode::Colr => self.exec_colr(query, probe, now, rng),
+            Mode::RTree => self.exec_rtree(query, probe, now, wb),
+            Mode::HierCache => self.exec_hier(query, probe, now, wb),
+            Mode::Colr => self.exec_colr(query, probe, now, rng, wb),
         };
         out.latency_ms = self.config().cost.latency_ms(&out.stats);
         out
@@ -202,6 +291,7 @@ impl ColrTree {
     /// Walks the subtree of `id`, classifying each sensor matching the query
     /// (region and type filter) as *cached fresh* (returning its reading) or
     /// *uncached* (a probe candidate). Counts visited nodes into `stats`.
+    /// Takes each leaf's cache lock once.
     pub(crate) fn terminal_scan(
         &self,
         id: NodeId,
@@ -227,17 +317,19 @@ impl ColrTree {
             }
             match &node.children {
                 Children::Leaf(sensors) => {
-                    for &s in sensors {
-                        if !query.matches_sensor(self.sensor(s)) {
-                            continue;
-                        }
-                        match node.entry(s) {
-                            Some(e) if e.reading.is_fresh(now, staleness) => {
-                                cached.push(e.reading);
+                    self.with_cache(cur, |nc| {
+                        for &s in sensors {
+                            if !query.matches_sensor(self.sensor(s)) {
+                                continue;
                             }
-                            _ => candidates.push(s),
+                            match nc.entry(s) {
+                                Some(e) if e.reading.is_fresh(now, staleness) => {
+                                    cached.push(e.reading);
+                                }
+                                _ => candidates.push(s),
+                            }
                         }
-                    }
+                    });
                 }
                 Children::Internal(children) => stack.extend(children.iter().copied()),
             }
@@ -282,13 +374,17 @@ impl ColrTree {
     }
 
     /// Probes `ids`, returning the successful readings; updates `stats`.
+    /// When `cache_results` is set the readings are routed through `wb`
+    /// (applied immediately or buffered for a deferred apply).
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn probe_sensors<P: ProbeService + ?Sized>(
-        &mut self,
+        &self,
         ids: &[SensorId],
-        probe: &mut P,
+        probe: &P,
         now: Timestamp,
         stats: &mut QueryStats,
         cache_results: bool,
+        wb: &mut WriteBack,
     ) -> Vec<Reading> {
         if ids.is_empty() {
             return Vec::new();
@@ -304,11 +400,7 @@ impl ColrTree {
             }
         }
         if cache_results {
-            for r in &readings {
-                if self.insert_reading(*r, now) {
-                    stats.cache_inserts += 1;
-                }
-            }
+            wb.record(self, &readings, now, stats);
         }
         readings
     }
@@ -334,10 +426,11 @@ impl ColrTree {
     // ------------------------------------------------------------------
 
     fn exec_rtree<P: ProbeService + ?Sized>(
-        &mut self,
+        &self,
         query: &Query,
-        probe: &mut P,
+        probe: &P,
         now: Timestamp,
+        wb: &mut WriteBack,
     ) -> QueryOutput {
         let terminal_level = query.terminal_level.min(self.leaf_level());
         let mut stats = QueryStats::default();
@@ -357,7 +450,7 @@ impl ColrTree {
                 let bbox = node.bbox;
                 // No cache in this mode: every sensor in the region is probed.
                 let sensors = self.collect_region_sensors(id, query, &mut stats);
-                let got = self.probe_sensors(&sensors, probe, now, &mut stats, false);
+                let got = self.probe_sensors(&sensors, probe, now, &mut stats, false, wb);
                 groups.push(Self::group_over(id, bbox, &got, sensors.len() as f64));
                 readings.extend(got);
             } else if let Children::Internal(children) = &self.node(id).children {
@@ -377,10 +470,11 @@ impl ColrTree {
     // ------------------------------------------------------------------
 
     fn exec_hier<P: ProbeService + ?Sized>(
-        &mut self,
+        &self,
         query: &Query,
-        probe: &mut P,
+        probe: &P,
         now: Timestamp,
+        wb: &mut WriteBack,
     ) -> QueryOutput {
         let terminal_level = query.terminal_level.min(self.leaf_level());
         let mut stats = QueryStats::default();
@@ -399,15 +493,18 @@ impl ColrTree {
             // sub-aggregates against the per-type population.
             let population = node.query_weight(query.kind_filter);
             if contained && node.level >= terminal_level && population > 0 {
-                let (agg, slots) = match query.kind_filter {
-                    None => node.cache.usable(now, query.staleness),
-                    Some(k) => node.cache.usable_kind(now, query.staleness, k),
-                };
+                let (agg, slots, hist) = self.with_cache(id, |nc| {
+                    let (agg, slots) = match query.kind_filter {
+                        None => nc.cache.usable(now, query.staleness),
+                        Some(k) => nc.cache.usable_kind(now, query.staleness, k),
+                    };
+                    let hist = nc.cache.usable_histogram(now, query.staleness);
+                    (agg, slots, hist)
+                });
                 let needed = (population as f64 * self.config.cache_coverage_threshold).ceil();
                 if agg.count as f64 >= needed.max(1.0) {
                     stats.cache_nodes_used += 1;
                     stats.slots_combined += slots;
-                    let hist = node.cache.usable_histogram(now, query.staleness);
                     groups.push(GroupResult {
                         node: id,
                         bbox: node.bbox,
@@ -429,7 +526,7 @@ impl ColrTree {
                     stats.cache_nodes_used += 1;
                 }
                 let target = (cached.len() + candidates.len()) as f64;
-                let probed = self.probe_sensors(&candidates, probe, now, &mut stats, true);
+                let probed = self.probe_sensors(&candidates, probe, now, &mut stats, true, wb);
                 let mut all = cached;
                 all.extend(probed);
                 groups.push(Self::group_over(id, bbox, &all, target));
@@ -483,11 +580,11 @@ mod tests {
 
     #[test]
     fn rtree_probes_every_sensor_in_region() {
-        let mut tree = grid_tree(16, None);
-        let mut probe = AlwaysAvailable { expiry_ms: EXPIRY_MS };
+        let tree = grid_tree(16, None);
+        let probe = AlwaysAvailable { expiry_ms: EXPIRY_MS };
         let mut rng = StdRng::seed_from_u64(1);
         let region = Rect::from_coords(-0.5, -0.5, 7.5, 7.5); // 8x8 = 64 sensors
-        let out = tree.execute(&q(region), Mode::RTree, &mut probe, Timestamp(1_000), &mut rng);
+        let out = tree.execute(&q(region), Mode::RTree, &probe, Timestamp(1_000), &mut rng);
         assert_eq!(out.stats.sensors_probed, 64);
         assert_eq!(out.readings.len(), 64);
         assert_eq!(out.aggregate(AggKind::Count), Some(64.0));
@@ -498,29 +595,29 @@ mod tests {
 
     #[test]
     fn rtree_never_uses_cache_even_when_warm() {
-        let mut tree = grid_tree(16, None);
-        let mut probe = AlwaysAvailable { expiry_ms: EXPIRY_MS };
+        let tree = grid_tree(16, None);
+        let probe = AlwaysAvailable { expiry_ms: EXPIRY_MS };
         let mut rng = StdRng::seed_from_u64(1);
         let region = Rect::from_coords(-0.5, -0.5, 7.5, 7.5);
         // Warm the cache with a hier query first.
-        tree.execute(&q(region), Mode::HierCache, &mut probe, Timestamp(1_000), &mut rng);
-        let out = tree.execute(&q(region), Mode::RTree, &mut probe, Timestamp(2_000), &mut rng);
+        tree.execute(&q(region), Mode::HierCache, &probe, Timestamp(1_000), &mut rng);
+        let out = tree.execute(&q(region), Mode::RTree, &probe, Timestamp(2_000), &mut rng);
         assert_eq!(out.stats.sensors_probed, 64);
         assert_eq!(out.stats.readings_from_cache, 0);
     }
 
     #[test]
     fn hier_cold_probes_then_warm_serves_from_cache() {
-        let mut tree = grid_tree(16, None);
-        let mut probe = AlwaysAvailable { expiry_ms: EXPIRY_MS };
+        let tree = grid_tree(16, None);
+        let probe = AlwaysAvailable { expiry_ms: EXPIRY_MS };
         let mut rng = StdRng::seed_from_u64(1);
         let region = Rect::from_coords(-0.5, -0.5, 7.5, 7.5);
-        let cold = tree.execute(&q(region), Mode::HierCache, &mut probe, Timestamp(1_000), &mut rng);
+        let cold = tree.execute(&q(region), Mode::HierCache, &probe, Timestamp(1_000), &mut rng);
         assert_eq!(cold.stats.sensors_probed, 64);
         assert_eq!(cold.stats.cache_inserts, 64);
         assert_eq!(tree.cached_readings(), 64);
 
-        let warm = tree.execute(&q(region), Mode::HierCache, &mut probe, Timestamp(2_000), &mut rng);
+        let warm = tree.execute(&q(region), Mode::HierCache, &probe, Timestamp(2_000), &mut rng);
         assert_eq!(warm.stats.sensors_probed, 0, "fully cached region reprobed");
         assert!(warm.stats.cache_nodes_used > 0);
         assert_eq!(warm.result_size(), 64);
@@ -529,28 +626,48 @@ mod tests {
     }
 
     #[test]
-    fn hier_respects_freshness_bound() {
-        let mut tree = grid_tree(16, None);
-        let mut probe = AlwaysAvailable { expiry_ms: EXPIRY_MS };
+    fn frozen_execution_defers_writebacks() {
+        let tree = grid_tree(16, None);
+        let probe = AlwaysAvailable { expiry_ms: EXPIRY_MS };
         let mut rng = StdRng::seed_from_u64(1);
         let region = Rect::from_coords(-0.5, -0.5, 7.5, 7.5);
-        tree.execute(&q(region), Mode::HierCache, &mut probe, Timestamp(1_000), &mut rng);
+        tree.advance(Timestamp(1_000));
+        let (out, deferred) =
+            tree.execute_frozen(&q(region), Mode::HierCache, &probe, Timestamp(1_000), &mut rng);
+        assert_eq!(out.stats.sensors_probed, 64);
+        assert_eq!(out.stats.cache_inserts, 0, "frozen run must not insert");
+        assert_eq!(tree.cached_readings(), 0, "tree untouched during frozen run");
+        assert_eq!(deferred.len(), 64);
+        // Applying the deferred batch reproduces the immediate-mode state.
+        assert_eq!(tree.apply_readings(&deferred, Timestamp(1_000)), 64);
+        assert_eq!(tree.cached_readings(), 64);
+        let warm = tree.execute(&q(region), Mode::HierCache, &probe, Timestamp(2_000), &mut rng);
+        assert_eq!(warm.stats.sensors_probed, 0);
+    }
+
+    #[test]
+    fn hier_respects_freshness_bound() {
+        let tree = grid_tree(16, None);
+        let probe = AlwaysAvailable { expiry_ms: EXPIRY_MS };
+        let mut rng = StdRng::seed_from_u64(1);
+        let region = Rect::from_coords(-0.5, -0.5, 7.5, 7.5);
+        tree.execute(&q(region), Mode::HierCache, &probe, Timestamp(1_000), &mut rng);
         // 2 minutes later, demand 1-minute freshness → cache unusable.
         let strict = Query::range(region, TimeDelta::from_mins(1)).with_terminal_level(2);
-        let out = tree.execute(&strict, Mode::HierCache, &mut probe, Timestamp(121_000), &mut rng);
+        let out = tree.execute(&strict, Mode::HierCache, &probe, Timestamp(121_000), &mut rng);
         assert_eq!(out.stats.sensors_probed, 64);
     }
 
     #[test]
     fn hier_uses_partial_cache_at_leaves() {
-        let mut tree = grid_tree(16, None);
+        let tree = grid_tree(16, None);
         let mut rng = StdRng::seed_from_u64(1);
         // Warm a smaller region, then query a larger one.
         let small = Rect::from_coords(-0.5, -0.5, 3.5, 3.5); // 16 sensors
         let large = Rect::from_coords(-0.5, -0.5, 7.5, 7.5); // 64 sensors
-        let mut probe = AlwaysAvailable { expiry_ms: EXPIRY_MS };
-        tree.execute(&q(small), Mode::HierCache, &mut probe, Timestamp(1_000), &mut rng);
-        let out = tree.execute(&q(large), Mode::HierCache, &mut probe, Timestamp(2_000), &mut rng);
+        let probe = AlwaysAvailable { expiry_ms: EXPIRY_MS };
+        tree.execute(&q(small), Mode::HierCache, &probe, Timestamp(1_000), &mut rng);
+        let out = tree.execute(&q(large), Mode::HierCache, &probe, Timestamp(2_000), &mut rng);
         // Every sensor is answered exactly once: by a probe, a raw cached
         // reading, or a covering cached aggregate.
         assert_eq!(out.result_size(), 64);
@@ -566,11 +683,11 @@ mod tests {
 
     #[test]
     fn probe_failures_shrink_results_not_crash() {
-        let mut tree = grid_tree(8, None);
-        let mut probe = FailEveryKth::new(EXPIRY_MS, 2); // every 2nd probe fails
+        let tree = grid_tree(8, None);
+        let probe = FailEveryKth::new(EXPIRY_MS, 2); // every 2nd probe fails
         let mut rng = StdRng::seed_from_u64(1);
         let region = Rect::from_coords(-0.5, -0.5, 7.5, 7.5); // all 64
-        let out = tree.execute(&q(region), Mode::RTree, &mut probe, Timestamp(1_000), &mut rng);
+        let out = tree.execute(&q(region), Mode::RTree, &probe, Timestamp(1_000), &mut rng);
         assert_eq!(out.stats.sensors_probed, 64);
         assert_eq!(out.stats.probes_failed, 32);
         assert_eq!(out.readings.len(), 32);
@@ -578,23 +695,23 @@ mod tests {
 
     #[test]
     fn cache_capacity_is_enforced_after_queries() {
-        let mut tree = grid_tree(16, Some(20));
-        let mut probe = AlwaysAvailable { expiry_ms: EXPIRY_MS };
+        let tree = grid_tree(16, Some(20));
+        let probe = AlwaysAvailable { expiry_ms: EXPIRY_MS };
         let mut rng = StdRng::seed_from_u64(1);
         let region = Rect::from_coords(-0.5, -0.5, 7.5, 7.5);
-        tree.execute(&q(region), Mode::HierCache, &mut probe, Timestamp(1_000), &mut rng);
+        tree.execute(&q(region), Mode::HierCache, &probe, Timestamp(1_000), &mut rng);
         assert!(tree.cached_readings() <= 20);
         tree.validate().expect("valid after eviction");
     }
 
     #[test]
     fn disjoint_region_returns_empty() {
-        let mut tree = grid_tree(8, None);
-        let mut probe = AlwaysAvailable { expiry_ms: EXPIRY_MS };
+        let tree = grid_tree(8, None);
+        let probe = AlwaysAvailable { expiry_ms: EXPIRY_MS };
         let mut rng = StdRng::seed_from_u64(1);
         let region = Rect::from_coords(100.0, 100.0, 110.0, 110.0);
         for mode in [Mode::RTree, Mode::HierCache] {
-            let out = tree.execute(&q(region), mode, &mut probe, Timestamp(1_000), &mut rng);
+            let out = tree.execute(&q(region), mode, &probe, Timestamp(1_000), &mut rng);
             assert_eq!(out.result_size(), 0);
             assert_eq!(out.stats.sensors_probed, 0);
         }
@@ -603,8 +720,8 @@ mod tests {
     #[test]
     fn polygon_region_filters_sensors() {
         use colr_geo::Polygon;
-        let mut tree = grid_tree(8, None);
-        let mut probe = AlwaysAvailable { expiry_ms: EXPIRY_MS };
+        let tree = grid_tree(8, None);
+        let probe = AlwaysAvailable { expiry_ms: EXPIRY_MS };
         let mut rng = StdRng::seed_from_u64(1);
         // Triangle covering roughly half of the 8x8 grid (x + y < 7.2).
         let tri = Polygon::new(vec![
@@ -613,7 +730,7 @@ mod tests {
             Point::new(-0.5, 7.7),
         ]);
         let query = Query::range(tri, TimeDelta::from_mins(10)).with_terminal_level(2);
-        let out = tree.execute(&query, Mode::RTree, &mut probe, Timestamp(1_000), &mut rng);
+        let out = tree.execute(&query, Mode::RTree, &probe, Timestamp(1_000), &mut rng);
         // Sensors with x + y <= 7 (below the hypotenuse): 36 of 64.
         assert_eq!(out.readings.len(), 36);
     }
@@ -646,14 +763,14 @@ mod tests {
             .collect();
         let region = Rect::from_coords(-0.5, -0.5, 7.5, 7.5);
         for mode in [Mode::RTree, Mode::HierCache, Mode::Colr] {
-            let mut tree = ColrTree::build(sensors.clone(), ColrConfig::default(), 42);
-            let mut probe = AlwaysAvailable { expiry_ms: EXPIRY_MS };
+            let tree = ColrTree::build(sensors.clone(), ColrConfig::default(), 42);
+            let probe = AlwaysAvailable { expiry_ms: EXPIRY_MS };
             let mut rng = StdRng::seed_from_u64(1);
             let mut query = q(region).with_kind_filter(1);
             if mode == Mode::Colr {
                 query = query.with_sample_size(64.0);
             }
-            let out = tree.execute(&query, mode, &mut probe, Timestamp(1_000), &mut rng);
+            let out = tree.execute(&query, mode, &probe, Timestamp(1_000), &mut rng);
             assert!(!out.readings.is_empty(), "{mode:?} returned nothing");
             for r in &out.readings {
                 assert_eq!(
@@ -680,18 +797,18 @@ mod tests {
             })
             .collect();
         let region = Rect::from_coords(-0.5, -0.5, 7.5, 7.5);
-        let mut tree = ColrTree::build(sensors, ColrConfig::default(), 42);
-        let mut probe = AlwaysAvailable { expiry_ms: EXPIRY_MS };
+        let tree = ColrTree::build(sensors, ColrConfig::default(), 42);
+        let probe = AlwaysAvailable { expiry_ms: EXPIRY_MS };
         let mut rng = StdRng::seed_from_u64(1);
         // Warm with an unfiltered query: aggregates cover both types, with
         // per-type sub-aggregates alongside.
-        tree.execute(&q(region), Mode::HierCache, &mut probe, Timestamp(1_000), &mut rng);
+        tree.execute(&q(region), Mode::HierCache, &probe, Timestamp(1_000), &mut rng);
         // A filtered query is answered from the per-type sub-aggregates:
         // no probes, and the aggregate reflects only type-2 sensors.
         let out = tree.execute(
             &q(region).with_kind_filter(2),
             Mode::HierCache,
-            &mut probe,
+            &probe,
             Timestamp(2_000),
             &mut rng,
         );
@@ -711,13 +828,13 @@ mod tests {
 
     #[test]
     fn expired_cache_entries_are_not_served() {
-        let mut tree = grid_tree(8, None);
-        let mut probe = AlwaysAvailable { expiry_ms: 10_000 }; // 10s expiry
+        let tree = grid_tree(8, None);
+        let probe = AlwaysAvailable { expiry_ms: 10_000 }; // 10s expiry
         let mut rng = StdRng::seed_from_u64(1);
         let region = Rect::from_coords(-0.5, -0.5, 7.5, 7.5);
-        tree.execute(&q(region), Mode::HierCache, &mut probe, Timestamp(1_000), &mut rng);
+        tree.execute(&q(region), Mode::HierCache, &probe, Timestamp(1_000), &mut rng);
         // 30s later every cached reading has expired.
-        let out = tree.execute(&q(region), Mode::HierCache, &mut probe, Timestamp(31_000), &mut rng);
+        let out = tree.execute(&q(region), Mode::HierCache, &probe, Timestamp(31_000), &mut rng);
         assert_eq!(out.stats.readings_from_cache, 0);
         assert_eq!(out.stats.sensors_probed, 64);
     }

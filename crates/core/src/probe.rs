@@ -6,6 +6,8 @@
 //! (Bernoulli availability, spatially correlated values), and tests use small
 //! scripted implementations.
 
+use std::sync::atomic::{AtomicU64, Ordering};
+
 use crate::reading::{Reading, SensorId};
 use crate::time::Timestamp;
 
@@ -15,10 +17,26 @@ use crate::time::Timestamp;
 /// sensor is unavailable (disconnected, failed, resource-constrained — the
 /// paper's Section I heterogeneity). Probes issued in one `probe_batch` call
 /// are considered concurrent by the latency model.
+///
+/// `probe_batch` takes `&self` so one service can serve many query threads
+/// at once; implementations keep any bookkeeping behind interior mutability
+/// (atomics or a lock).
 pub trait ProbeService {
     /// Probes every sensor in `ids` at simulated instant `now`, returning one
     /// outcome per id, in order.
-    fn probe_batch(&mut self, ids: &[SensorId], now: Timestamp) -> Vec<Option<Reading>>;
+    fn probe_batch(&self, ids: &[SensorId], now: Timestamp) -> Vec<Option<Reading>>;
+}
+
+impl<P: ProbeService + ?Sized> ProbeService for &P {
+    fn probe_batch(&self, ids: &[SensorId], now: Timestamp) -> Vec<Option<Reading>> {
+        (**self).probe_batch(ids, now)
+    }
+}
+
+impl<P: ProbeService + ?Sized> ProbeService for &mut P {
+    fn probe_batch(&self, ids: &[SensorId], now: Timestamp) -> Vec<Option<Reading>> {
+        (**self).probe_batch(ids, now)
+    }
 }
 
 /// A probe service for tests: every sensor always answers with a fixed value
@@ -30,7 +48,7 @@ pub struct AlwaysAvailable {
 }
 
 impl ProbeService for AlwaysAvailable {
-    fn probe_batch(&mut self, ids: &[SensorId], now: Timestamp) -> Vec<Option<Reading>> {
+    fn probe_batch(&self, ids: &[SensorId], now: Timestamp) -> Vec<Option<Reading>> {
         ids.iter()
             .map(|&id| {
                 Some(Reading {
@@ -45,12 +63,23 @@ impl ProbeService for AlwaysAvailable {
 }
 
 /// A probe service for tests that deterministically fails every `k`-th probe
-/// request (1-based counting across calls).
-#[derive(Debug, Clone)]
+/// request (1-based counting across calls; the counter is atomic so shared
+/// use from multiple threads stays consistent).
+#[derive(Debug)]
 pub struct FailEveryKth {
     inner: AlwaysAvailable,
     k: u64,
-    issued: u64,
+    issued: AtomicU64,
+}
+
+impl Clone for FailEveryKth {
+    fn clone(&self) -> Self {
+        FailEveryKth {
+            inner: self.inner.clone(),
+            k: self.k,
+            issued: AtomicU64::new(self.issued.load(Ordering::Relaxed)),
+        }
+    }
 }
 
 impl FailEveryKth {
@@ -59,18 +88,18 @@ impl FailEveryKth {
         FailEveryKth {
             inner: AlwaysAvailable { expiry_ms },
             k,
-            issued: 0,
+            issued: AtomicU64::new(0),
         }
     }
 }
 
 impl ProbeService for FailEveryKth {
-    fn probe_batch(&mut self, ids: &[SensorId], now: Timestamp) -> Vec<Option<Reading>> {
+    fn probe_batch(&self, ids: &[SensorId], now: Timestamp) -> Vec<Option<Reading>> {
         let base = self.inner.probe_batch(ids, now);
         base.into_iter()
             .map(|r| {
-                self.issued += 1;
-                if self.k > 0 && self.issued.is_multiple_of(self.k) {
+                let issued = self.issued.fetch_add(1, Ordering::Relaxed) + 1;
+                if self.k > 0 && issued.is_multiple_of(self.k) {
                     None
                 } else {
                     r
@@ -86,7 +115,7 @@ mod tests {
 
     #[test]
     fn always_available_yields_all() {
-        let mut svc = AlwaysAvailable { expiry_ms: 1_000 };
+        let svc = AlwaysAvailable { expiry_ms: 1_000 };
         let ids = [SensorId(0), SensorId(5)];
         let out = svc.probe_batch(&ids, Timestamp(10));
         assert_eq!(out.len(), 2);
@@ -99,7 +128,7 @@ mod tests {
 
     #[test]
     fn fail_every_kth_fails_deterministically() {
-        let mut svc = FailEveryKth::new(1_000, 3);
+        let svc = FailEveryKth::new(1_000, 3);
         let ids: Vec<SensorId> = (0..6).map(SensorId).collect();
         let out = svc.probe_batch(&ids, Timestamp(0));
         let failures: Vec<usize> = out
@@ -112,7 +141,7 @@ mod tests {
 
     #[test]
     fn fail_counter_spans_calls() {
-        let mut svc = FailEveryKth::new(1_000, 2);
+        let svc = FailEveryKth::new(1_000, 2);
         let a = svc.probe_batch(&[SensorId(0)], Timestamp(0));
         let b = svc.probe_batch(&[SensorId(1)], Timestamp(0));
         assert!(a[0].is_some());

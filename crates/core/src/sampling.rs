@@ -31,7 +31,7 @@ use std::collections::BinaryHeap;
 
 use rand::Rng;
 
-use crate::lookup::{GroupResult, Query, QueryOutput};
+use crate::lookup::{GroupResult, Query, QueryOutput, WriteBack};
 use crate::probe::ProbeService;
 use crate::reading::{Reading, SensorId};
 use crate::stats::QueryStats;
@@ -137,11 +137,12 @@ impl ColrTree {
     /// Full COLR-Tree execution: Algorithm 1's layered sampling over the
     /// slot-cache tree.
     pub(crate) fn exec_colr<P, R>(
-        &mut self,
+        &self,
         query: &Query,
-        probe: &mut P,
+        probe: &P,
         now: Timestamp,
         rng: &mut R,
+        wb: &mut WriteBack,
     ) -> QueryOutput
     where
         P: ProbeService + ?Sized,
@@ -170,8 +171,10 @@ impl ColrTree {
 
             // --- Terminal: probe/serve this subtree -----------------------
             if contained && node.level >= terminal_level {
-                let fulfilled =
-                    self.serve_terminal(id, r_eff, scaled, query, probe, now, rng, &mut stats, &mut groups, &mut readings);
+                let fulfilled = self.serve_terminal(
+                    id, r_eff, scaled, query, probe, now, rng, &mut stats, &mut groups,
+                    &mut readings, wb,
+                );
                 let want = if scaled && self.config.enable_oversampling {
                     r_eff * self.node(id).avail_mean.max(MIN_AVAILABILITY)
                 } else {
@@ -238,6 +241,7 @@ impl ColrTree {
                             rng,
                             &mut stats,
                             &mut leaf_readings,
+                            wb,
                         );
                     }
                     Kid::Node(c) => {
@@ -316,17 +320,18 @@ impl ColrTree {
     /// against the (raw, pre-oversampling) target.
     #[allow(clippy::too_many_arguments)]
     fn serve_terminal<P, R>(
-        &mut self,
+        &self,
         id: NodeId,
         r_eff: f64,
         scaled: bool,
         query: &Query,
-        probe: &mut P,
+        probe: &P,
         now: Timestamp,
         rng: &mut R,
         stats: &mut QueryStats,
         groups: &mut Vec<GroupResult>,
         readings: &mut Vec<Reading>,
+        wb: &mut WriteBack,
     ) -> f64
     where
         P: ProbeService + ?Sized,
@@ -346,14 +351,22 @@ impl ColrTree {
         // 1. Aggregate-cache shortcut: a fresh cached aggregate covering at
         //    least the desired sample answers the terminal outright.
         //    Type-filtered queries consult the per-type sub-aggregates.
-        let (agg, slots) = match query.kind_filter {
-            None => node.cache.usable(now, query.staleness),
-            Some(k) => node.cache.usable_kind(now, query.staleness, k),
-        };
+        //    One stripe lock acquisition serves the whole check.
+        let (agg, slots, hist) = self.with_cache(id, |nc| {
+            let (agg, slots) = match query.kind_filter {
+                None => nc.cache.usable(now, query.staleness),
+                Some(k) => nc.cache.usable_kind(now, query.staleness, k),
+            };
+            let hist = if !agg.is_empty() && (agg.count as f64) + TARGET_EPS >= want.min(weight) {
+                nc.cache.usable_histogram(now, query.staleness)
+            } else {
+                None
+            };
+            (agg, slots, hist)
+        });
         if !agg.is_empty() && (agg.count as f64) + TARGET_EPS >= want.min(weight) {
             stats.cache_nodes_used += 1;
             stats.slots_combined += slots;
-            let hist = node.cache.usable_histogram(now, query.staleness);
             groups.push(GroupResult {
                 node: id,
                 bbox,
@@ -396,7 +409,7 @@ impl ColrTree {
             let j = rng.random_range(i..candidates.len());
             candidates.swap(i, j);
         }
-        let probed = self.probe_sensors(&candidates[..k], probe, now, stats, true);
+        let probed = self.probe_sensors(&candidates[..k], probe, now, stats, true, wb);
 
         let cached_count = cached.len();
         let mut all = cached;
@@ -415,16 +428,17 @@ impl ColrTree {
     /// overlapped leaf). Returns the credit against the raw target.
     #[allow(clippy::too_many_arguments)]
     fn serve_sensor<P, R>(
-        &mut self,
+        &self,
         s: SensorId,
         share: f64,
         scaled: bool,
         query: &Query,
-        probe: &mut P,
+        probe: &P,
         now: Timestamp,
         rng: &mut R,
         stats: &mut QueryStats,
         out: &mut Vec<Reading>,
+        wb: &mut WriteBack,
     ) -> f64
     where
         P: ProbeService + ?Sized,
@@ -441,19 +455,22 @@ impl ColrTree {
         // A cached fresh reading satisfies the sensor without a probe and is
         // always included (Algorithm 1 line 15: `sample ∪ d ∪ c_i`).
         let leaf = self.home_leaf(s);
-        if let Some(e) = self.node(leaf).entry(s) {
-            if e.reading.is_fresh(now, query.staleness) {
-                stats.readings_from_cache += 1;
-                out.push(e.reading);
-                return want;
-            }
+        let fresh = self.with_cache(leaf, |nc| {
+            nc.entry(s)
+                .filter(|e| e.reading.is_fresh(now, query.staleness))
+                .map(|e| e.reading)
+        });
+        if let Some(r) = fresh {
+            stats.readings_from_cache += 1;
+            out.push(r);
+            return want;
         }
 
         let p = if scaled { share } else { want / avail }.clamp(0.0, 1.0);
         if !rng.random_bool(p) {
             return want; // not selected; expectation already accounted
         }
-        let got = self.probe_sensors(&[s], probe, now, stats, true);
+        let got = self.probe_sensors(&[s], probe, now, stats, true, wb);
         if let Some(r) = got.first() {
             out.push(*r);
         }
@@ -580,12 +597,12 @@ mod tests {
         let r = 30.0;
         let mut total = 0usize;
         for t in 0..trials {
-            let mut tree = grid_tree(16, 1.0);
-            let mut probe = AlwaysAvailable { expiry_ms: EXPIRY_MS };
+            let tree = grid_tree(16, 1.0);
+            let probe = AlwaysAvailable { expiry_ms: EXPIRY_MS };
             let out = tree.execute(
                 &sample_query(region, r),
                 Mode::Colr,
-                &mut probe,
+                &probe,
                 Timestamp(1_000 + t),
                 &mut rng,
             );
@@ -602,12 +619,12 @@ mod tests {
     fn sampling_contacts_far_fewer_sensors_than_rtree() {
         let region = Rect::from_coords(-0.5, -0.5, 15.5, 15.5);
         let mut rng = StdRng::seed_from_u64(3);
-        let mut tree = grid_tree(16, 1.0);
-        let mut probe = AlwaysAvailable { expiry_ms: EXPIRY_MS };
+        let tree = grid_tree(16, 1.0);
+        let probe = AlwaysAvailable { expiry_ms: EXPIRY_MS };
         let out = tree.execute(
             &sample_query(region, 20.0),
             Mode::Colr,
-            &mut probe,
+            &probe,
             Timestamp(1_000),
             &mut rng,
         );
@@ -629,14 +646,16 @@ mod tests {
         let mut got = 0usize;
         let mut probed = 0u64;
         for t in 0..trials {
-            let mut tree = grid_tree(16, 0.5);
-            // Simulated network honouring availability 0.5 via the rng.
-            struct HalfAvailable(StdRng);
+            let tree = grid_tree(16, 0.5);
+            // Simulated network honouring availability 0.5 via the rng,
+            // locked so the service works from behind `&self`.
+            struct HalfAvailable(std::sync::Mutex<StdRng>);
             impl ProbeService for HalfAvailable {
-                fn probe_batch(&mut self, ids: &[SensorId], now: Timestamp) -> Vec<Option<Reading>> {
+                fn probe_batch(&self, ids: &[SensorId], now: Timestamp) -> Vec<Option<Reading>> {
+                    let mut rng = self.0.lock().unwrap();
                     ids.iter()
                         .map(|&id| {
-                            self.0.random_bool(0.5).then_some(Reading {
+                            rng.random_bool(0.5).then_some(Reading {
                                 sensor: id,
                                 value: 1.0,
                                 timestamp: now,
@@ -646,11 +665,11 @@ mod tests {
                         .collect()
                 }
             }
-            let mut probe = HalfAvailable(StdRng::seed_from_u64(100 + t));
+            let probe = HalfAvailable(std::sync::Mutex::new(StdRng::seed_from_u64(100 + t)));
             let out = tree.execute(
                 &sample_query(region, r),
                 Mode::Colr,
-                &mut probe,
+                &probe,
                 Timestamp(1_000),
                 &mut rng,
             );
@@ -680,12 +699,12 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(17);
         let mut counts = vec![0u32; side * side];
         for t in 0..trials {
-            let mut tree = grid_tree(side, 1.0);
-            let mut probe = AlwaysAvailable { expiry_ms: EXPIRY_MS };
+            let tree = grid_tree(side, 1.0);
+            let probe = AlwaysAvailable { expiry_ms: EXPIRY_MS };
             let out = tree.execute(
                 &sample_query(region, r),
                 Mode::Colr,
-                &mut probe,
+                &probe,
                 Timestamp(1_000 + t),
                 &mut rng,
             );
@@ -741,13 +760,13 @@ mod tests {
                     enable_oversampling: enable,
                     ..Default::default()
                 };
-                let mut tree = ColrTree::build(sensors, config, 42);
-                let mut probe = AlwaysAvailable { expiry_ms: EXPIRY_MS };
+                let tree = ColrTree::build(sensors, config, 42);
+                let probe = AlwaysAvailable { expiry_ms: EXPIRY_MS };
                 let mut rng = StdRng::seed_from_u64(1000 + t);
                 let out = tree.execute(
                     &sample_query(region, r),
                     Mode::Colr,
-                    &mut probe,
+                    &probe,
                     Timestamp(1_000),
                     &mut rng,
                 );
@@ -768,12 +787,12 @@ mod tests {
     fn warm_cache_reduces_probes_in_colr_mode() {
         let region = Rect::from_coords(-0.5, -0.5, 15.5, 15.5);
         let mut rng = StdRng::seed_from_u64(9);
-        let mut tree = grid_tree(16, 1.0);
-        let mut probe = AlwaysAvailable { expiry_ms: EXPIRY_MS };
+        let tree = grid_tree(16, 1.0);
+        let probe = AlwaysAvailable { expiry_ms: EXPIRY_MS };
         let q = sample_query(region, 40.0);
-        let cold = tree.execute(&q, Mode::Colr, &mut probe, Timestamp(1_000), &mut rng);
+        let cold = tree.execute(&q, Mode::Colr, &probe, Timestamp(1_000), &mut rng);
         assert!(cold.stats.sensors_probed > 0);
-        let warm = tree.execute(&q, Mode::Colr, &mut probe, Timestamp(2_000), &mut rng);
+        let warm = tree.execute(&q, Mode::Colr, &probe, Timestamp(2_000), &mut rng);
         assert!(
             warm.stats.sensors_probed < cold.stats.sensors_probed,
             "warm {} !< cold {}",
@@ -787,12 +806,12 @@ mod tests {
     fn sample_size_zero_probes_nothing() {
         let region = Rect::from_coords(-0.5, -0.5, 15.5, 15.5);
         let mut rng = StdRng::seed_from_u64(13);
-        let mut tree = grid_tree(16, 1.0);
-        let mut probe = AlwaysAvailable { expiry_ms: EXPIRY_MS };
+        let tree = grid_tree(16, 1.0);
+        let probe = AlwaysAvailable { expiry_ms: EXPIRY_MS };
         let out = tree.execute(
             &sample_query(region, 0.0),
             Mode::Colr,
-            &mut probe,
+            &probe,
             Timestamp(1_000),
             &mut rng,
         );
@@ -804,12 +823,12 @@ mod tests {
     fn disjoint_region_samples_nothing() {
         let region = Rect::from_coords(100.0, 100.0, 110.0, 110.0);
         let mut rng = StdRng::seed_from_u64(13);
-        let mut tree = grid_tree(8, 1.0);
-        let mut probe = AlwaysAvailable { expiry_ms: EXPIRY_MS };
+        let tree = grid_tree(8, 1.0);
+        let probe = AlwaysAvailable { expiry_ms: EXPIRY_MS };
         let out = tree.execute(
             &sample_query(region, 10.0),
             Mode::Colr,
-            &mut probe,
+            &probe,
             Timestamp(1_000),
             &mut rng,
         );
@@ -823,12 +842,12 @@ mod tests {
         let side = 12;
         let region = Rect::from_coords(-0.5, -0.5, 5.5, 11.5);
         let mut rng = StdRng::seed_from_u64(23);
-        let mut tree = grid_tree(side, 1.0);
-        let mut probe = AlwaysAvailable { expiry_ms: EXPIRY_MS };
+        let tree = grid_tree(side, 1.0);
+        let probe = AlwaysAvailable { expiry_ms: EXPIRY_MS };
         let out = tree.execute(
             &sample_query(region, 20.0),
             Mode::Colr,
-            &mut probe,
+            &probe,
             Timestamp(1_000),
             &mut rng,
         );
@@ -843,12 +862,12 @@ mod tests {
     fn groups_report_targets_for_pde() {
         let region = Rect::from_coords(-0.5, -0.5, 15.5, 15.5);
         let mut rng = StdRng::seed_from_u64(29);
-        let mut tree = grid_tree(16, 1.0);
-        let mut probe = AlwaysAvailable { expiry_ms: EXPIRY_MS };
+        let tree = grid_tree(16, 1.0);
+        let probe = AlwaysAvailable { expiry_ms: EXPIRY_MS };
         let out = tree.execute(
             &sample_query(region, 32.0),
             Mode::Colr,
-            &mut probe,
+            &probe,
             Timestamp(1_000),
             &mut rng,
         );

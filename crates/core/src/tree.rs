@@ -17,15 +17,42 @@
 //!   evicting the *least recently fetched* readings from the *oldest* slot
 //!   (Section IV-A's replacement policy), maintained here as a global
 //!   `(slot, fetched_at, sensor)` ordering.
+//!
+//! ## Concurrency
+//!
+//! The static index (nodes, bounding boxes, sensor registry) is immutable
+//! after construction and read without synchronisation. The *mutable* state —
+//! every node's [`NodeCache`] — lives outside the node arena, sharded over
+//! [`CACHE_STRIPES`] reader–writer locks keyed by node id, so concurrent
+//! queries can read (and write back to) disjoint parts of the tree without
+//! contending on a single lock. Cross-node bookkeeping (the window base, the
+//! eviction order, the cached-reading count) sits behind one maintenance
+//! mutex that serialises mutators; readers never take it, so a query that is
+//! purely cache-served touches only the stripes it reads.
+//!
+//! Lock ordering is `maint → (one stripe at a time)`: mutators hold the
+//! maintenance lock across a whole logical operation and acquire stripe locks
+//! one node at a time; readers hold at most one stripe lock at any instant
+//! and never take the maintenance lock while holding a stripe. This makes
+//! deadlock impossible by construction. Concurrent readers may observe a
+//! bottom-up update mid-flight (a leaf updated, an ancestor not yet) — the
+//! same transient inconsistency the paper's portal tolerates between cache
+//! triggers; per-node state is always internally consistent.
 
 use std::collections::BTreeSet;
 
 use colr_geo::{Point, Rect, Region};
+use parking_lot::{Mutex, RwLock};
 
 use crate::reading::{Reading, SensorId, SensorMeta};
 use crate::slot_cache::{RemoveOutcome, Slot, SlotCache, SlotConfig};
 use crate::stats::CostModel;
 use crate::time::{TimeDelta, Timestamp};
+
+/// Number of reader–writer locks the per-node caches are sharded over.
+/// A power of two so the stripe of a node is a mask away.
+pub const CACHE_STRIPES: usize = 64;
+const STRIPE_SHIFT: u32 = CACHE_STRIPES.trailing_zeros();
 
 /// Index of a node in the tree arena.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -58,7 +85,41 @@ pub struct CachedEntry {
     pub fetched_at: Timestamp,
 }
 
-/// One tree node.
+/// The mutable cache state of one node: its slot cache of partial aggregates
+/// and (at leaves) the raw cached readings. Split out of [`Node`] so queries
+/// can share the immutable tree structure while cache access goes through
+/// the striped locks.
+#[derive(Debug, Clone)]
+pub struct NodeCache {
+    /// The node's slot cache (leaf caches mirror their raw entries so parent
+    /// updates are uniform).
+    pub cache: SlotCache,
+    /// Raw cached readings; non-empty only at leaves. Kept sorted by sensor
+    /// id for O(log) lookup (leaf fanout is small).
+    pub entries: Vec<CachedEntry>,
+}
+
+impl NodeCache {
+    fn new(slot_config: SlotConfig) -> Self {
+        NodeCache {
+            cache: SlotCache::new(slot_config),
+            entries: Vec::new(),
+        }
+    }
+
+    fn entry_pos(&self, sensor: SensorId) -> Result<usize, usize> {
+        self.entries
+            .binary_search_by_key(&sensor, |e| e.reading.sensor)
+    }
+
+    /// The cached entry for `sensor`, if any.
+    pub fn entry(&self, sensor: SensorId) -> Option<&CachedEntry> {
+        self.entry_pos(sensor).ok().map(|i| &self.entries[i])
+    }
+}
+
+/// One tree node — the immutable structural part; the node's cache lives in
+/// the tree's lock-striped cache table (see [`ColrTree::with_cache`]).
 #[derive(Debug, Clone)]
 pub struct Node {
     /// Depth from the root (root is level 0, as in the paper).
@@ -78,12 +139,6 @@ pub struct Node {
     /// Mean historical availability of descendant sensors — the `a_i` used
     /// by oversampling.
     pub avail_mean: f64,
-    /// The node's slot cache (leaf caches mirror their raw entries so parent
-    /// updates are uniform).
-    pub cache: SlotCache,
-    /// Raw cached readings; non-empty only at leaves. Kept sorted by sensor
-    /// id for O(log) lookup (leaf fanout is small).
-    pub entries: Vec<CachedEntry>,
 }
 
 impl Node {
@@ -106,16 +161,6 @@ impl Node {
             None => self.weight,
             Some(k) => self.weight_of_kind(k),
         }
-    }
-
-    fn entry_pos(&self, sensor: SensorId) -> Result<usize, usize> {
-        self.entries
-            .binary_search_by_key(&sensor, |e| e.reading.sensor)
-    }
-
-    /// The cached entry for `sensor`, if any.
-    pub fn entry(&self, sensor: SensorId) -> Option<&CachedEntry> {
-        self.entry_pos(sensor).ok().map(|i| &self.entries[i])
     }
 }
 
@@ -188,9 +233,27 @@ impl Default for ColrConfig {
     }
 }
 
+/// Cross-node cache bookkeeping, guarded by one mutex so that logical
+/// mutations (insert + ancestor updates + eviction) are serialised while
+/// readers proceed through the stripes.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct Maintenance {
+    /// Oldest slot that can still hold live readings.
+    pub(crate) cache_base: u64,
+    /// Total raw readings cached across all leaves.
+    pub(crate) total_cached: usize,
+    /// Global eviction order: `(slot_of_expiry, fetched_at, sensor)`.
+    pub(crate) evict_index: BTreeSet<(u64, Timestamp, SensorId)>,
+}
+
 /// The COLR-Tree: a bulk-built R-Tree whose every node carries a slot cache,
 /// plus the tree-wide raw-cache accounting.
-#[derive(Debug, Clone)]
+///
+/// All cache-touching operations take `&self`: reads go through the striped
+/// cache locks, mutations additionally serialise on the maintenance mutex.
+/// A `ColrTree` can therefore be shared across query threads directly (e.g.
+/// behind an `Arc`) with no external locking.
+#[derive(Debug)]
 pub struct ColrTree {
     pub(crate) config: ColrConfig,
     pub(crate) slot_config: SlotConfig,
@@ -202,15 +265,99 @@ pub struct ColrTree {
     pub(crate) leaf_level: u16,
     /// Home leaf of each sensor.
     pub(crate) sensor_leaf: Vec<NodeId>,
-    /// Oldest slot that can still hold live readings.
-    pub(crate) cache_base: u64,
-    /// Total raw readings cached across all leaves.
-    pub(crate) total_cached: usize,
-    /// Global eviction order: `(slot_of_expiry, fetched_at, sensor)`.
-    pub(crate) evict_index: BTreeSet<(u64, Timestamp, SensorId)>,
+    /// Per-node caches, sharded by `id % CACHE_STRIPES`; node `id` sits at
+    /// position `id / CACHE_STRIPES` within its stripe.
+    pub(crate) stripes: Vec<RwLock<Vec<NodeCache>>>,
+    /// Serialises mutators and holds the cross-node accounting.
+    pub(crate) maint: Mutex<Maintenance>,
+}
+
+impl Clone for ColrTree {
+    fn clone(&self) -> Self {
+        ColrTree {
+            config: self.config.clone(),
+            slot_config: self.slot_config,
+            t_max: self.t_max,
+            sensors: self.sensors.clone(),
+            nodes: self.nodes.clone(),
+            root: self.root,
+            leaf_level: self.leaf_level,
+            sensor_leaf: self.sensor_leaf.clone(),
+            stripes: self
+                .stripes
+                .iter()
+                .map(|s| RwLock::new(s.read().clone()))
+                .collect(),
+            maint: Mutex::new(self.maint.lock().clone()),
+        }
+    }
 }
 
 impl ColrTree {
+    /// Assembles a tree from bulk-built parts, creating empty caches for
+    /// every node. Levels are assigned by the caller.
+    pub(crate) fn assemble(
+        config: ColrConfig,
+        slot_config: SlotConfig,
+        t_max: TimeDelta,
+        sensors: Vec<SensorMeta>,
+        nodes: Vec<Node>,
+        root: NodeId,
+        sensor_leaf: Vec<NodeId>,
+    ) -> ColrTree {
+        let mut stripes: Vec<Vec<NodeCache>> = (0..CACHE_STRIPES).map(|_| Vec::new()).collect();
+        for i in 0..nodes.len() {
+            stripes[i & (CACHE_STRIPES - 1)].push(NodeCache::new(slot_config));
+        }
+        ColrTree {
+            config,
+            slot_config,
+            t_max,
+            sensors,
+            nodes,
+            root,
+            leaf_level: 0,
+            sensor_leaf,
+            stripes: stripes.into_iter().map(RwLock::new).collect(),
+            maint: Mutex::new(Maintenance::default()),
+        }
+    }
+
+    #[inline]
+    fn stripe_slot(id: NodeId) -> (usize, usize) {
+        (id.index() & (CACHE_STRIPES - 1), id.index() >> STRIPE_SHIFT)
+    }
+
+    // ------------------------------------------------------------------
+    // Cache access
+    // ------------------------------------------------------------------
+
+    /// Runs `f` with shared access to the cache of node `id`.
+    ///
+    /// Holds the node's stripe read lock for the duration of `f`; do not
+    /// call tree mutators (or `with_cache_mut`) from inside the closure.
+    pub fn with_cache<T>(&self, id: NodeId, f: impl FnOnce(&NodeCache) -> T) -> T {
+        let (stripe, pos) = Self::stripe_slot(id);
+        let guard = self.stripes[stripe].read();
+        f(&guard[pos])
+    }
+
+    /// Runs `f` with exclusive access to the cache of node `id`.
+    ///
+    /// Holds the node's stripe write lock for the duration of `f`; same
+    /// re-entrancy rule as [`ColrTree::with_cache`].
+    pub fn with_cache_mut<T>(&self, id: NodeId, f: impl FnOnce(&mut NodeCache) -> T) -> T {
+        let (stripe, pos) = Self::stripe_slot(id);
+        let mut guard = self.stripes[stripe].write();
+        f(&mut guard[pos])
+    }
+
+    /// A point-in-time copy of the cache of node `id` (for inspection and
+    /// tests; queries use [`ColrTree::with_cache`] to avoid the copy).
+    pub fn cache_snapshot(&self, id: NodeId) -> NodeCache {
+        self.with_cache(id, |c| c.clone())
+    }
+
     // ------------------------------------------------------------------
     // Accessors
     // ------------------------------------------------------------------
@@ -267,7 +414,7 @@ impl ColrTree {
 
     /// Number of raw readings currently cached tree-wide.
     pub fn cached_readings(&self) -> usize {
-        self.total_cached
+        self.maint.lock().total_cached
     }
 
     /// The ancestor of `id` at `level` (or `id` itself when already at or
@@ -295,29 +442,42 @@ impl ColrTree {
     /// Slides the slot window forward to cover `now`, expiring whole slots at
     /// every node and expunging the raw readings they covered (Section VI-B's
     /// roll trigger). Idempotent; called by every public operation.
-    pub fn advance(&mut self, now: Timestamp) {
+    pub fn advance(&self, now: Timestamp) {
+        let mut maint = self.maint.lock();
+        self.advance_locked(&mut maint, now);
+    }
+
+    fn advance_locked(&self, maint: &mut Maintenance, now: Timestamp) {
         let new_base = self.slot_config.base_at(now);
-        if new_base <= self.cache_base {
+        if new_base <= maint.cache_base {
             return;
         }
         // Expunge raw readings living in slots that slid out.
-        while let Some(&key @ (slot, _, sensor)) = self.evict_index.iter().next() {
+        while let Some(&key @ (slot, _, sensor)) = maint.evict_index.iter().next() {
             if slot >= new_base {
                 break;
             }
-            self.evict_index.remove(&key);
+            maint.evict_index.remove(&key);
             let leaf = self.sensor_leaf[sensor.index()];
-            let node = &mut self.nodes[leaf.index()];
-            if let Ok(pos) = node.entry_pos(sensor) {
-                node.entries.remove(pos);
-                self.total_cached -= 1;
+            let removed = self.with_cache_mut(leaf, |c| match c.entry_pos(sensor) {
+                Ok(pos) => {
+                    c.entries.remove(pos);
+                    true
+                }
+                Err(_) => false,
+            });
+            if removed {
+                maint.total_cached -= 1;
             }
         }
         // Drop the expired aggregate slots everywhere.
-        for node in &mut self.nodes {
-            node.cache.roll_to(new_base);
+        for stripe in &self.stripes {
+            let mut guard = stripe.write();
+            for cache in guard.iter_mut() {
+                cache.cache.roll_to(new_base);
+            }
         }
-        self.cache_base = new_base;
+        maint.cache_base = new_base;
     }
 
     // ------------------------------------------------------------------
@@ -329,125 +489,159 @@ impl ColrTree {
     ///
     /// Returns `true` when the reading was cached (expired readings and
     /// readings beyond the window are dropped).
-    pub fn insert_reading(&mut self, reading: Reading, now: Timestamp) -> bool {
-        self.advance(now);
+    pub fn insert_reading(&self, reading: Reading, now: Timestamp) -> bool {
+        let mut maint = self.maint.lock();
+        self.insert_reading_locked(&mut maint, reading, now)
+    }
+
+    fn insert_reading_locked(
+        &self,
+        maint: &mut Maintenance,
+        reading: Reading,
+        now: Timestamp,
+    ) -> bool {
+        self.advance_locked(maint, now);
         let slot = self.slot_config.slot_of(reading.expires_at);
-        let window_top = self.cache_base + self.config.num_slots as u64 + 1;
-        if slot < self.cache_base || slot >= window_top || !reading.is_live(now) {
+        let window_top = maint.cache_base + self.config.num_slots as u64 + 1;
+        if slot < maint.cache_base || slot >= window_top || !reading.is_live(now) {
             return false;
         }
         let leaf = self.sensor_leaf[reading.sensor.index()];
 
         // Replace any existing reading for the sensor (the update trigger).
-        if self.nodes[leaf.index()].entry(reading.sensor).is_some() {
-            self.remove_cached(reading.sensor);
+        if self.with_cache(leaf, |c| c.entry(reading.sensor).is_some()) {
+            self.remove_cached_locked(maint, reading.sensor);
         }
 
-        let node = &mut self.nodes[leaf.index()];
-        let pos = match node.entry_pos(reading.sensor) {
-            Ok(_) => unreachable!("entry was just removed"),
-            Err(pos) => pos,
-        };
-        node.entries.insert(
-            pos,
-            CachedEntry {
-                reading,
-                fetched_at: now,
-            },
-        );
-        self.total_cached += 1;
-        self.evict_index.insert((slot, now, reading.sensor));
+        self.with_cache_mut(leaf, |c| {
+            let pos = match c.entry_pos(reading.sensor) {
+                Ok(_) => unreachable!("entry was just removed"),
+                Err(pos) => pos,
+            };
+            c.entries.insert(
+                pos,
+                CachedEntry {
+                    reading,
+                    fetched_at: now,
+                },
+            );
+        });
+        maint.total_cached += 1;
+        maint.evict_index.insert((slot, now, reading.sensor));
 
         // Bottom-up slot aggregate updates, leaf first.
-        let base = self.cache_base;
+        let base = maint.cache_base;
         let kind = self.sensors[reading.sensor.index()].kind;
         let mut cur = Some(leaf);
         while let Some(id) = cur {
-            self.nodes[id.index()].cache.insert_kind(
-                reading.expires_at,
-                reading.timestamp,
-                reading.value,
-                kind,
-                base,
-            );
-            cur = self.nodes[id.index()].parent;
+            self.with_cache_mut(id, |c| {
+                c.cache.insert_kind(
+                    reading.expires_at,
+                    reading.timestamp,
+                    reading.value,
+                    kind,
+                    base,
+                )
+            });
+            cur = self.node(id).parent;
         }
 
-        self.enforce_capacity();
+        self.enforce_capacity_locked(maint);
         true
+    }
+
+    /// Applies a batch of probe results collected by a *frozen* execution
+    /// (see [`ColrTree::execute_frozen`]) in order, returning how many were
+    /// cached. One maintenance acquisition covers the whole batch.
+    pub fn apply_readings(&self, readings: &[Reading], now: Timestamp) -> usize {
+        let mut maint = self.maint.lock();
+        self.advance_locked(&mut maint, now);
+        readings
+            .iter()
+            .filter(|r| self.insert_reading_locked(&mut maint, **r, now))
+            .count()
     }
 
     /// Removes the cached reading of `sensor` (if any) from the leaf and all
     /// ancestor aggregates. Used for updates and evictions.
-    pub fn remove_cached(&mut self, sensor: SensorId) -> Option<Reading> {
+    pub fn remove_cached(&self, sensor: SensorId) -> Option<Reading> {
+        let mut maint = self.maint.lock();
+        self.remove_cached_locked(&mut maint, sensor)
+    }
+
+    fn remove_cached_locked(&self, maint: &mut Maintenance, sensor: SensorId) -> Option<Reading> {
         let leaf = self.sensor_leaf[sensor.index()];
-        let node = &mut self.nodes[leaf.index()];
-        let pos = node.entry_pos(sensor).ok()?;
-        let entry = node.entries.remove(pos);
-        self.total_cached -= 1;
+        let entry = self.with_cache_mut(leaf, |c| {
+            c.entry_pos(sensor).ok().map(|pos| c.entries.remove(pos))
+        })?;
+        maint.total_cached -= 1;
         let slot = self.slot_config.slot_of(entry.reading.expires_at);
-        self.evict_index.remove(&(slot, entry.fetched_at, sensor));
+        maint
+            .evict_index
+            .remove(&(slot, entry.fetched_at, sensor));
 
         // Decrement bottom-up; rebuild any slot that cannot be decremented.
         let kind = self.sensors[sensor.index()].kind;
         let mut cur = Some(leaf);
         while let Some(id) = cur {
-            match self.nodes[id.index()].cache.try_remove_kind(
-                entry.reading.expires_at,
-                entry.reading.value,
-                kind,
-            ) {
+            let outcome = self.with_cache_mut(id, |c| {
+                c.cache
+                    .try_remove_kind(entry.reading.expires_at, entry.reading.value, kind)
+            });
+            match outcome {
                 RemoveOutcome::Removed | RemoveOutcome::Absent => {}
                 RemoveOutcome::NeedsRebuild => self.rebuild_slot(id, slot),
             }
-            cur = self.nodes[id.index()].parent;
+            cur = self.node(id).parent;
         }
         Some(entry.reading)
     }
 
     /// Recomputes one slot of one node from the level below (leaf: from raw
     /// entries; internal: from the children's same slot) — the fallback for
-    /// non-decrementable aggregates.
-    fn rebuild_slot(&mut self, id: NodeId, slot: u64) {
-        fn merge_kind(by_kind: &mut Vec<(u16, crate::agg::PartialAgg)>, kind: u16, add: &crate::agg::PartialAgg) {
+    /// non-decrementable aggregates. Child caches are read one at a time
+    /// before the node's own stripe is locked, so at most one stripe lock is
+    /// ever held.
+    fn rebuild_slot(&self, id: NodeId, slot: u64) {
+        fn merge_kind(
+            by_kind: &mut Vec<(u16, crate::agg::PartialAgg)>,
+            kind: u16,
+            add: &crate::agg::PartialAgg,
+        ) {
             match by_kind.binary_search_by_key(&kind, |(k, _)| *k) {
                 Ok(i) => by_kind[i].1.merge(add),
                 Err(i) => by_kind.insert(i, (kind, *add)),
             }
         }
         let hist_spec = self.slot_config.histogram;
-        let rebuilt = match &self.nodes[id.index()].children {
+        let mut agg = crate::agg::PartialAgg::empty();
+        let mut min_ts = Timestamp(u64::MAX);
+        let mut by_kind: Vec<(u16, crate::agg::PartialAgg)> = Vec::new();
+        let mut hist = hist_spec.map(|spec| spec.empty());
+        match &self.nodes[id.index()].children {
             Children::Leaf(_) => {
-                let node = &self.nodes[id.index()];
-                let mut agg = crate::agg::PartialAgg::empty();
-                let mut min_ts = Timestamp(u64::MAX);
-                let mut by_kind: Vec<(u16, crate::agg::PartialAgg)> = Vec::new();
-                let mut hist = hist_spec.map(|spec| spec.empty());
-                for e in &node.entries {
-                    if self.slot_config.slot_of(e.reading.expires_at) == slot {
-                        agg.insert(e.reading.value);
-                        min_ts = min_ts.min(e.reading.timestamp);
-                        let kind = self.sensors[e.reading.sensor.index()].kind;
-                        merge_kind(
-                            &mut by_kind,
-                            kind,
-                            &crate::agg::PartialAgg::from_value(e.reading.value),
-                        );
-                        if let Some(h) = &mut hist {
-                            h.insert(e.reading.value);
+                self.with_cache(id, |c| {
+                    for e in &c.entries {
+                        if self.slot_config.slot_of(e.reading.expires_at) == slot {
+                            agg.insert(e.reading.value);
+                            min_ts = min_ts.min(e.reading.timestamp);
+                            let kind = self.sensors[e.reading.sensor.index()].kind;
+                            merge_kind(
+                                &mut by_kind,
+                                kind,
+                                &crate::agg::PartialAgg::from_value(e.reading.value),
+                            );
+                            if let Some(h) = &mut hist {
+                                h.insert(e.reading.value);
+                            }
                         }
                     }
-                }
-                Slot { agg, min_ts, by_kind, hist }
+                });
             }
             Children::Internal(children) => {
-                let children = children.clone();
-                let mut agg = crate::agg::PartialAgg::empty();
-                let mut min_ts = Timestamp(u64::MAX);
-                let mut by_kind: Vec<(u16, crate::agg::PartialAgg)> = Vec::new();
-                let mut hist = hist_spec.map(|spec| spec.empty());
-                for ch in children {
-                    if let Some(s) = self.nodes[ch.index()].cache.slot(slot) {
+                for &ch in children {
+                    let child_slot = self.with_cache(ch, |c| c.cache.slot(slot).cloned());
+                    if let Some(s) = child_slot {
                         agg.merge(&s.agg);
                         min_ts = min_ts.min(s.min_ts);
                         for (k, a) in &s.by_kind {
@@ -458,23 +652,28 @@ impl ColrTree {
                         }
                     }
                 }
-                Slot { agg, min_ts, by_kind, hist }
             }
+        }
+        let rebuilt = Slot {
+            agg,
+            min_ts,
+            by_kind,
+            hist,
         };
-        self.nodes[id.index()].cache.set_slot(slot, rebuilt);
+        self.with_cache_mut(id, |c| c.cache.set_slot(slot, rebuilt));
     }
 
     /// Enforces the tree-wide raw-cache capacity by evicting least recently
     /// fetched readings from the oldest slot (Section IV-A's policy).
-    fn enforce_capacity(&mut self) {
+    fn enforce_capacity_locked(&self, maint: &mut Maintenance) {
         let Some(cap) = self.config.cache_capacity else {
             return;
         };
-        while self.total_cached > cap {
-            let Some(&(_, _, sensor)) = self.evict_index.iter().next() else {
+        while maint.total_cached > cap {
+            let Some(&(_, _, sensor)) = maint.evict_index.iter().next() else {
                 break;
             };
-            self.remove_cached(sensor);
+            self.remove_cached_locked(maint, sensor);
         }
     }
 
@@ -523,13 +722,16 @@ impl ColrTree {
             }
             match &node.children {
                 Children::Leaf(_) => {
-                    for e in &node.entries {
-                        if e.reading.is_fresh(now, staleness)
-                            && region.contains_point(&self.sensors[e.reading.sensor.index()].location)
-                        {
-                            out.push(e.reading);
+                    self.with_cache(cur, |c| {
+                        for e in &c.entries {
+                            if e.reading.is_fresh(now, staleness)
+                                && region
+                                    .contains_point(&self.sensors[e.reading.sensor.index()].location)
+                            {
+                                out.push(e.reading);
+                            }
                         }
-                    }
+                    });
                 }
                 Children::Internal(children) => stack.extend(children.iter().copied()),
             }
@@ -543,18 +745,23 @@ impl ColrTree {
     }
 
     /// Clears every cache in the tree (used between experiment phases).
-    pub fn clear_caches(&mut self) {
-        for node in &mut self.nodes {
-            node.cache.clear();
-            node.entries.clear();
+    pub fn clear_caches(&self) {
+        let mut maint = self.maint.lock();
+        for stripe in &self.stripes {
+            let mut guard = stripe.write();
+            for cache in guard.iter_mut() {
+                cache.cache.clear();
+                cache.entries.clear();
+            }
         }
-        self.evict_index.clear();
-        self.total_cached = 0;
+        maint.evict_index.clear();
+        maint.total_cached = 0;
     }
 
     /// Debug validation: checks the structural invariants of the tree and
     /// cache accounting. Used by tests; O(n).
     pub fn validate(&self) -> Result<(), String> {
+        let maint = self.maint.lock();
         // Parent bbox contains child bboxes; weights add up.
         for id in self.node_ids() {
             let node = self.node(id);
@@ -603,23 +810,30 @@ impl ColrTree {
             }
         }
         // Cache accounting.
-        let counted: usize = self.nodes.iter().map(|n| n.entries.len()).sum();
-        if counted != self.total_cached {
+        let counted: usize = self
+            .stripes
+            .iter()
+            .map(|s| s.read().iter().map(|c| c.entries.len()).sum::<usize>())
+            .sum();
+        if counted != maint.total_cached {
             return Err(format!(
                 "total_cached {} != actual {}",
-                self.total_cached, counted
+                maint.total_cached, counted
             ));
         }
-        if self.evict_index.len() != self.total_cached {
+        if maint.evict_index.len() != maint.total_cached {
             return Err(format!(
                 "evict index size {} != cached {}",
-                self.evict_index.len(),
-                self.total_cached
+                maint.evict_index.len(),
+                maint.total_cached
             ));
         }
         if let Some(cap) = self.config.cache_capacity {
-            if self.total_cached > cap {
-                return Err(format!("cache over capacity: {} > {cap}", self.total_cached));
+            if maint.total_cached > cap {
+                return Err(format!(
+                    "cache over capacity: {} > {cap}",
+                    maint.total_cached
+                ));
             }
         }
         Ok(())

@@ -7,10 +7,13 @@
 //! results ([`GroupView`]) ready to overlay on a map, plus the combined
 //! aggregate and the query's collection statistics.
 
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
 use colr_geo::Rect;
 use colr_tree::{
-    AggKind, ColrConfig, ColrTree, Histogram, Mode, ProbeService, Query, QueryStats, SensorMeta,
-    SimClock, TimeDelta, Timestamp,
+    AggKind, ColrConfig, ColrTree, Histogram, Mode, ProbeService, Query, QueryOutput, QueryStats,
+    Reading, SensorMeta, SimClock, TimeDelta, Timestamp,
 };
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -61,6 +64,21 @@ pub struct GroupView {
     pub value: Option<f64>,
     /// Whether the group was served from cache.
     pub from_cache: bool,
+}
+
+/// What one frozen query execution produces: its output plus the probe
+/// write-backs deferred until the batch completes.
+type FrozenOutcome = (QueryOutput, Vec<Reading>);
+
+/// Aggregated outcome of a [`Portal::execute_many`] batch.
+#[derive(Debug, Clone)]
+pub struct BatchResult {
+    /// One result per submitted query, in submission order.
+    pub results: Vec<PortalResult>,
+    /// Collection statistics summed over the batch.
+    pub stats: QueryStats,
+    /// Readings written back into the cache after the batch completed.
+    pub readings_applied: usize,
 }
 
 /// A complete portal answer.
@@ -190,19 +208,118 @@ impl<P: ProbeService> Portal<P> {
 
     /// Executes a parsed query.
     pub fn query(&mut self, q: &SelectQuery) -> PortalResult {
+        let plan = self.plan_capped(q);
+        let now = self.clock.now();
+        let out = self
+            .tree
+            .execute(&plan, self.mode, &self.probe, now, &mut self.rng);
+        self.finish(q.agg.kind(), out)
+    }
+
+    /// Executes a batch of parsed queries, fanning them out over `threads`
+    /// worker threads against one shared tree.
+    ///
+    /// Every query in the batch runs against the cache snapshot taken at
+    /// batch start ([`ColrTree::execute_frozen`]), with its own RNG seeded
+    /// from `(portal seed, query index)`; the probe write-backs are applied
+    /// afterwards in query-index order. Results are therefore independent of
+    /// the thread count and of scheduling, provided the probe service is
+    /// order-insensitive. `threads == 0` uses the machine's available
+    /// parallelism.
+    pub fn execute_many(&mut self, queries: &[SelectQuery], threads: usize) -> BatchResult
+    where
+        P: Sync,
+    {
+        let now = self.clock.now();
+        self.tree.advance(now);
+        let plans: Vec<(Query, AggKind)> = queries
+            .iter()
+            .map(|q| (self.plan_capped(q), q.agg.kind()))
+            .collect();
+
+        let threads = if threads == 0 {
+            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+        } else {
+            threads
+        }
+        .min(plans.len().max(1));
+        let tree = &self.tree;
+        let probe = &self.probe;
+        let mode = self.mode;
+        let seed = self.seed;
+        let run_query = |i: usize| {
+            let mut rng = StdRng::seed_from_u64(derive_seed(seed, i as u64));
+            tree.execute_frozen(&plans[i].0, mode, probe, now, &mut rng)
+        };
+
+        let outcomes: Vec<Option<FrozenOutcome>> = if threads <= 1 {
+            (0..plans.len()).map(|i| Some(run_query(i))).collect()
+        } else {
+            // Work-stealing by shared index: each worker claims the next
+            // unprocessed query until the batch is drained.
+            let next = AtomicUsize::new(0);
+            let slots: Vec<Mutex<Option<FrozenOutcome>>> =
+                plans.iter().map(|_| Mutex::new(None)).collect();
+            std::thread::scope(|scope| {
+                for _ in 0..threads {
+                    scope.spawn(|| loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= plans.len() {
+                            break;
+                        }
+                        let out = run_query(i);
+                        *slots[i].lock().expect("result slot") = Some(out);
+                    });
+                }
+            });
+            slots
+                .into_iter()
+                .map(|s| s.into_inner().expect("result slot"))
+                .collect()
+        };
+
+        // Deferred write-backs land in query-index order, so the post-batch
+        // cache state matches a sequential run of the same batch.
+        let mut stats = QueryStats::default();
+        let mut readings_applied = 0;
+        let mut results = Vec::with_capacity(plans.len());
+        for ((_, kind), outcome) in plans.iter().zip(outcomes) {
+            let (out, deferred) = outcome.expect("worker completed");
+            readings_applied += self.tree.apply_readings(&deferred, now);
+            stats.merge(&out.stats);
+            results.push(self.finish(*kind, out));
+        }
+        BatchResult {
+            results,
+            stats,
+            readings_applied,
+        }
+    }
+
+    /// Parses and executes a batch of dialect SQL queries via
+    /// [`Portal::execute_many`]. Fails fast on the first parse error.
+    pub fn query_many_sql(&mut self, sqls: &[&str], threads: usize) -> Result<BatchResult, ParseError>
+    where
+        P: Sync,
+    {
+        let parsed: Vec<SelectQuery> = sqls.iter().map(|s| parse(s)).collect::<Result<_, _>>()?;
+        Ok(self.execute_many(&parsed, threads))
+    }
+
+    /// Plans a query, applying the portal-wide collection cap when the query
+    /// didn't choose a sample size.
+    fn plan_capped(&self, q: &SelectQuery) -> Query {
         let mut plan: Query = self.planner.plan(q);
-        // Apply the portal-wide collection cap when the query didn't choose.
         if plan.sample_size.is_none() {
             if let Some(cap) = self.max_sensors_per_query {
                 plan = plan.with_sample_size(cap as f64);
             }
         }
-        let now = self.clock.now();
-        let out = self
-            .tree
-            .execute(&plan, self.mode, &mut self.probe, now, &mut self.rng);
+        plan
+    }
 
-        let kind: AggKind = q.agg.kind();
+    /// Converts a raw engine output into the portal's result shape.
+    fn finish(&self, kind: AggKind, out: QueryOutput) -> PortalResult {
         let groups: Vec<GroupView> = out
             .groups
             .iter()
@@ -252,6 +369,16 @@ impl<P: ProbeService> Portal<P> {
             latency_ms: out.latency_ms,
         }
     }
+}
+
+/// Derives the per-query RNG seed for query `i` of a batch (splitmix64-style
+/// mix of the portal seed and the query index, so neighbouring indices get
+/// decorrelated streams).
+fn derive_seed(seed: u64, i: u64) -> u64 {
+    let mut z = seed ^ i.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
 }
 
 #[cfg(test)]
@@ -494,6 +621,69 @@ mod tests {
     fn parse_errors_bubble_up() {
         let mut p = portal(Mode::Colr);
         assert!(p.query_sql("SELECT nonsense").is_err());
+    }
+
+    #[test]
+    fn execute_many_is_thread_count_invariant() {
+        let sqls: Vec<String> = (0..12)
+            .map(|i| {
+                let x0 = (i % 4) as f64 * 4.0 - 0.5;
+                format!(
+                    "SELECT count(*) FROM sensor WHERE location WITHIN \
+                     RECT({x0}, -0.5, {}, 15.5) SAMPLESIZE 20",
+                    x0 + 4.0
+                )
+            })
+            .collect();
+        let sql_refs: Vec<&str> = sqls.iter().map(String::as_str).collect();
+        let mut batches = Vec::new();
+        for threads in [1usize, 4] {
+            let mut p = portal(Mode::Colr);
+            p.clock_mut().advance(TimeDelta::from_secs(1));
+            batches.push(p.query_many_sql(&sql_refs, threads).expect("batch runs"));
+        }
+        let (seq, par) = (&batches[0], &batches[1]);
+        assert_eq!(seq.results.len(), par.results.len());
+        assert_eq!(seq.readings_applied, par.readings_applied);
+        for (a, b) in seq.results.iter().zip(&par.results) {
+            assert_eq!(a.value, b.value);
+            assert_eq!(a.groups.len(), b.groups.len());
+            for (ga, gb) in a.groups.iter().zip(&b.groups) {
+                assert_eq!(ga.count, gb.count);
+                assert_eq!(ga.value, gb.value);
+            }
+        }
+        assert_eq!(format!("{:?}", seq.stats), format!("{:?}", par.stats));
+    }
+
+    #[test]
+    fn execute_many_applies_writebacks_after_batch() {
+        let mut p = portal(Mode::HierCache);
+        p.clock_mut().advance(TimeDelta::from_secs(1));
+        let sql = "SELECT count(*) FROM sensor WHERE location WITHIN RECT(-0.5,-0.5,7.5,7.5)";
+        let batch = p.query_many_sql(&[sql], 2).unwrap();
+        // Frozen execution probed the region, then wrote the readings back.
+        assert_eq!(batch.stats.sensors_probed, 64);
+        assert_eq!(batch.readings_applied, 64);
+        assert_eq!(p.tree().cached_readings(), 64);
+        // A follow-up interactive query is served warm.
+        p.clock_mut().advance(TimeDelta::from_secs(1));
+        let warm = p.query_sql(sql).unwrap();
+        assert_eq!(warm.stats.sensors_probed, 0);
+    }
+
+    #[test]
+    fn batch_queries_share_one_snapshot() {
+        // Two identical queries in one batch both see the cold cache: the
+        // batch is a snapshot, so the second query must NOT be served from
+        // the first one's write-backs (unlike sequential interactive mode).
+        let mut p = portal(Mode::HierCache);
+        p.clock_mut().advance(TimeDelta::from_secs(1));
+        let sql = "SELECT count(*) FROM sensor WHERE location WITHIN RECT(-0.5,-0.5,7.5,7.5)";
+        let batch = p.query_many_sql(&[sql, sql], 2).unwrap();
+        assert_eq!(batch.stats.sensors_probed, 128, "both queries probed cold");
+        // Duplicate write-backs collapse: the second apply replaces the first.
+        assert_eq!(p.tree().cached_readings(), 64);
     }
 
     #[test]

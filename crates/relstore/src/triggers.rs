@@ -544,8 +544,9 @@ mod tests {
         // Compare every node's per-slot aggregates.
         for id in native.node_ids() {
             let node = native.node(id);
+            let nc = native.cache_snapshot(id);
             for slot in 0..(native.slot_config().num_slots as u64 + 2) {
-                let native_slot = node.cache.slot(slot);
+                let native_slot = nc.cache.slot(slot);
                 let rel_slot = rel.cache_row(node.level, id.0 as i64, slot as i64);
                 match (native_slot, rel_slot) {
                     (None, None) => {}

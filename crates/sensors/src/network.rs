@@ -1,7 +1,10 @@
 //! The simulated probe endpoint.
 
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
 use colr_geo::Point;
 use colr_tree::{ProbeService, Reading, SensorId, SensorMeta, Timestamp};
+use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -18,15 +21,27 @@ use crate::field::ValueField;
 /// The network keeps per-sensor probe counters so experiments can audit the
 /// *sensing workload* — Theorem 2's uniformity claim is about exactly this
 /// distribution.
+///
+/// Probing takes `&self` so one network can serve many concurrent query
+/// threads: the value field and its availability RNG live behind a mutex
+/// (each batch draws from it atomically), and the counters are lock-free
+/// atomics. Under concurrency the interleaving of batches — and hence which
+/// RNG draw lands on which probe — depends on scheduling; single-threaded
+/// use remains fully deterministic for a fixed seed.
 pub struct SimNetwork<F> {
     sensors: Vec<SensorMeta>,
-    field: F,
-    rng: StdRng,
-    probes: Vec<u64>,
-    successes: Vec<u64>,
+    state: Mutex<NetState<F>>,
+    probes: Vec<AtomicU64>,
+    successes: Vec<AtomicU64>,
     /// Optional override forcing specific sensors offline (failure
     /// injection).
-    forced_down: Vec<bool>,
+    forced_down: Vec<AtomicBool>,
+}
+
+/// The mutable part of the network: value process + availability RNG.
+struct NetState<F> {
+    field: F,
+    rng: StdRng,
 }
 
 impl<F: ValueField> SimNetwork<F> {
@@ -35,11 +50,13 @@ impl<F: ValueField> SimNetwork<F> {
         let n = sensors.len();
         SimNetwork {
             sensors,
-            field,
-            rng: StdRng::seed_from_u64(seed),
-            probes: vec![0; n],
-            successes: vec![0; n],
-            forced_down: vec![false; n],
+            state: Mutex::new(NetState {
+                field,
+                rng: StdRng::seed_from_u64(seed),
+            }),
+            probes: (0..n).map(|_| AtomicU64::new(0)).collect(),
+            successes: (0..n).map(|_| AtomicU64::new(0)).collect(),
+            forced_down: (0..n).map(|_| AtomicBool::new(false)).collect(),
         }
     }
 
@@ -49,37 +66,41 @@ impl<F: ValueField> SimNetwork<F> {
     }
 
     /// Times each sensor has been probed so far.
-    pub fn probe_counts(&self) -> &[u64] {
-        &self.probes
+    pub fn probe_counts(&self) -> Vec<u64> {
+        self.probes.iter().map(|c| c.load(Ordering::Relaxed)).collect()
     }
 
     /// Times each sensor successfully answered.
-    pub fn success_counts(&self) -> &[u64] {
-        &self.successes
+    pub fn success_counts(&self) -> Vec<u64> {
+        self.successes
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .collect()
     }
 
     /// Total probes issued across all sensors.
     pub fn total_probes(&self) -> u64 {
-        self.probes.iter().sum()
+        self.probes.iter().map(|c| c.load(Ordering::Relaxed)).sum()
     }
 
     /// Forces a sensor offline (`true`) or back to its availability model
     /// (`false`) — failure injection for tests and experiments.
-    pub fn set_forced_down(&mut self, s: SensorId, down: bool) {
-        self.forced_down[s.index()] = down;
+    pub fn set_forced_down(&self, s: SensorId, down: bool) {
+        self.forced_down[s.index()].store(down, Ordering::Relaxed);
     }
 
     /// Resets the probe counters (between experiment phases).
-    pub fn reset_counters(&mut self) {
-        self.probes.iter_mut().for_each(|c| *c = 0);
-        self.successes.iter_mut().for_each(|c| *c = 0);
+    pub fn reset_counters(&self) {
+        for c in self.probes.iter().chain(self.successes.iter()) {
+            c.store(0, Ordering::Relaxed);
+        }
     }
 
     /// The ground-truth value sensor `s` would report at `now` if probed and
     /// available. Advances stateful fields exactly like a probe does.
-    pub fn observe(&mut self, s: SensorId, now: Timestamp) -> f64 {
+    pub fn observe(&self, s: SensorId, now: Timestamp) -> f64 {
         let loc = self.sensors[s.index()].location;
-        self.field.value(s, loc, now)
+        self.state.lock().field.value(s, loc, now)
     }
 
     /// Location of a sensor (convenience passthrough).
@@ -89,21 +110,25 @@ impl<F: ValueField> SimNetwork<F> {
 }
 
 impl<F: ValueField> ProbeService for SimNetwork<F> {
-    fn probe_batch(&mut self, ids: &[SensorId], now: Timestamp) -> Vec<Option<Reading>> {
+    fn probe_batch(&self, ids: &[SensorId], now: Timestamp) -> Vec<Option<Reading>> {
+        // One lock acquisition per batch: probes within a batch are
+        // "concurrent" in the latency model, so serialising the whole batch
+        // on the state mutex matches the simulated semantics.
+        let mut state = self.state.lock();
         ids.iter()
             .map(|&id| {
                 let meta = self.sensors[id.index()];
-                self.probes[id.index()] += 1;
-                if self.forced_down[id.index()] {
+                self.probes[id.index()].fetch_add(1, Ordering::Relaxed);
+                if self.forced_down[id.index()].load(Ordering::Relaxed) {
                     return None;
                 }
                 let up = meta.availability >= 1.0
-                    || (meta.availability > 0.0 && self.rng.random_bool(meta.availability));
+                    || (meta.availability > 0.0 && state.rng.random_bool(meta.availability));
                 if !up {
                     return None;
                 }
-                self.successes[id.index()] += 1;
-                let value = self.field.value(id, meta.location, now);
+                self.successes[id.index()].fetch_add(1, Ordering::Relaxed);
+                let value = state.field.value(id, meta.location, now);
                 Some(Reading {
                     sensor: id,
                     value,
@@ -136,7 +161,7 @@ mod tests {
 
     #[test]
     fn probe_returns_reading_with_meta_expiry() {
-        let mut net = SimNetwork::new(sensors(3, 1.0), ConstantField { base: 1.0, step: 1.0 }, 1);
+        let net = SimNetwork::new(sensors(3, 1.0), ConstantField { base: 1.0, step: 1.0 }, 1);
         let out = net.probe_batch(&[SensorId(2)], Timestamp(1_000));
         let r = out[0].expect("available");
         assert_eq!(r.sensor, SensorId(2));
@@ -147,7 +172,7 @@ mod tests {
 
     #[test]
     fn full_availability_never_fails() {
-        let mut net = SimNetwork::new(sensors(10, 1.0), ConstantField { base: 0.0, step: 0.0 }, 1);
+        let net = SimNetwork::new(sensors(10, 1.0), ConstantField { base: 0.0, step: 0.0 }, 1);
         let ids: Vec<SensorId> = (0..10).map(SensorId).collect();
         let out = net.probe_batch(&ids, Timestamp(0));
         assert!(out.iter().all(|r| r.is_some()));
@@ -155,7 +180,7 @@ mod tests {
 
     #[test]
     fn zero_availability_always_fails() {
-        let mut net = SimNetwork::new(sensors(10, 0.0), ConstantField { base: 0.0, step: 0.0 }, 1);
+        let net = SimNetwork::new(sensors(10, 0.0), ConstantField { base: 0.0, step: 0.0 }, 1);
         let ids: Vec<SensorId> = (0..10).map(SensorId).collect();
         let out = net.probe_batch(&ids, Timestamp(0));
         assert!(out.iter().all(|r| r.is_none()));
@@ -163,7 +188,7 @@ mod tests {
 
     #[test]
     fn availability_rate_matches_statistics() {
-        let mut net = SimNetwork::new(sensors(1, 0.7), ConstantField { base: 0.0, step: 0.0 }, 1);
+        let net = SimNetwork::new(sensors(1, 0.7), ConstantField { base: 0.0, step: 0.0 }, 1);
         let trials = 20_000;
         let mut ok = 0;
         for t in 0..trials {
@@ -177,7 +202,7 @@ mod tests {
 
     #[test]
     fn counters_track_probes_and_successes() {
-        let mut net = SimNetwork::new(sensors(3, 1.0), ConstantField { base: 0.0, step: 0.0 }, 1);
+        let net = SimNetwork::new(sensors(3, 1.0), ConstantField { base: 0.0, step: 0.0 }, 1);
         net.probe_batch(&[SensorId(0), SensorId(0), SensorId(2)], Timestamp(0));
         assert_eq!(net.probe_counts(), &[2, 0, 1]);
         assert_eq!(net.success_counts(), &[2, 0, 1]);
@@ -188,7 +213,7 @@ mod tests {
 
     #[test]
     fn forced_down_sensor_fails_despite_availability() {
-        let mut net = SimNetwork::new(sensors(2, 1.0), ConstantField { base: 0.0, step: 0.0 }, 1);
+        let net = SimNetwork::new(sensors(2, 1.0), ConstantField { base: 0.0, step: 0.0 }, 1);
         net.set_forced_down(SensorId(0), true);
         let out = net.probe_batch(&[SensorId(0), SensorId(1)], Timestamp(0));
         assert!(out[0].is_none());
@@ -198,5 +223,23 @@ mod tests {
         assert_eq!(net.success_counts(), &[0, 1]);
         net.set_forced_down(SensorId(0), false);
         assert!(net.probe_batch(&[SensorId(0)], Timestamp(0))[0].is_some());
+    }
+
+    #[test]
+    fn shared_network_serves_concurrent_probes() {
+        let net = SimNetwork::new(sensors(8, 1.0), ConstantField { base: 0.0, step: 1.0 }, 1);
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    let ids: Vec<SensorId> = (0..8).map(SensorId).collect();
+                    for t in 0..50 {
+                        let out = net.probe_batch(&ids, Timestamp(t));
+                        assert!(out.iter().all(|r| r.is_some()));
+                    }
+                });
+            }
+        });
+        assert_eq!(net.total_probes(), 4 * 50 * 8);
+        assert_eq!(net.probe_counts(), net.success_counts());
     }
 }

@@ -34,8 +34,8 @@ fn main() {
     // A second identically-seeded field gives us noiseless ground truth.
     let truth_field = SpatialField::new(extent, 15, 30.0, 60.0, 15.0, 0.5, 3);
     let truth_at = move |p: Point| truth_field.smooth_value(p);
-    let mut network = SimNetwork::new(sensors.clone(), field, 11);
-    let mut tree = ColrTree::build(sensors, ColrConfig::default(), 1);
+    let network = SimNetwork::new(sensors.clone(), field, 11);
+    let tree = ColrTree::build(sensors, ColrConfig::default(), 1);
 
     // Warm the cache with one sampled query over the whole extent.
     let mut qrng = StdRng::seed_from_u64(13);
@@ -45,7 +45,7 @@ fn main() {
     )
     .with_terminal_level(2)
     .with_sample_size(200.0);
-    let out = tree.execute(&warmup, Mode::Colr, &mut network, Timestamp(1_000), &mut qrng);
+    let out = tree.execute(&warmup, Mode::Colr, &network, Timestamp(1_000), &mut qrng);
     println!(
         "warm-up: probed {} sensors, cache now holds {} readings",
         out.stats.sensors_probed,
@@ -81,10 +81,10 @@ fn main() {
     let sampled_q = Query::range(region.clone(), staleness)
         .with_terminal_level(3)
         .with_sample_size(15.0);
-    let sampled = tree.execute(&sampled_q, Mode::Colr, &mut network, Timestamp(2_000), &mut qrng);
+    let sampled = tree.execute(&sampled_q, Mode::Colr, &network, Timestamp(2_000), &mut qrng);
     let sampled_avg = sampled.aggregate(AggKind::Avg).unwrap_or(f64::NAN);
 
-    let mut fresh_tree_for_truth = {
+    let fresh_tree_for_truth = {
         // Probe everyone in-region through a clean tree for ground truth.
         let metas = tree.sensors().to_vec();
         ColrTree::build(metas, ColrConfig::default(), 1)
@@ -93,7 +93,7 @@ fn main() {
     let exact = fresh_tree_for_truth.execute(
         &exact_q,
         Mode::RTree,
-        &mut network,
+        &network,
         Timestamp(2_000),
         &mut qrng,
     );

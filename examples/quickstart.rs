@@ -28,7 +28,7 @@ fn main() {
         .collect();
 
     // 2. Bulk-build the index (bottom-up k-means clustering, Section III-C).
-    let mut tree = ColrTree::build(sensors, ColrConfig::default(), 42);
+    let tree = ColrTree::build(sensors, ColrConfig::default(), 42);
     println!(
         "built COLR-Tree: {} nodes, {} levels, slot width {}",
         tree.node_count(),
@@ -44,10 +44,10 @@ fn main() {
     )
     .with_terminal_level(2)
     .with_sample_size(25.0);
-    let mut probe = AlwaysAvailable { expiry_ms: 300_000 };
+    let probe = AlwaysAvailable { expiry_ms: 300_000 };
     let mut rng = StdRng::seed_from_u64(7);
 
-    let cold = tree.execute(&query, Mode::Colr, &mut probe, Timestamp(1_000), &mut rng);
+    let cold = tree.execute(&query, Mode::Colr, &probe, Timestamp(1_000), &mut rng);
     println!(
         "\ncold query: probed {} of 200 region sensors, count(*) ≈ {:?}, latency {:.1} ms",
         cold.stats.sensors_probed,
@@ -57,7 +57,7 @@ fn main() {
 
     // 4. Re-issue the query a few seconds later: the slot caches answer most
     //    of it without touching the network.
-    let warm = tree.execute(&query, Mode::Colr, &mut probe, Timestamp(10_000), &mut rng);
+    let warm = tree.execute(&query, Mode::Colr, &probe, Timestamp(10_000), &mut rng);
     println!(
         "warm query: probed {}, served {} readings + {} aggregate nodes from cache, latency {:.1} ms",
         warm.stats.sensors_probed,

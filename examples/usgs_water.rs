@@ -30,15 +30,15 @@ fn main() {
         })
         .collect();
     let field = SpatialField::new(extent, 25, 900.0, 40.0, 60.0, 22.0, 23);
-    let mut network = SimNetwork::new(sensors.clone(), field, 29);
+    let network = SimNetwork::new(sensors.clone(), field, 29);
 
     let region = Region::Rect(Rect::from_coords(-1.0, -1.0, 501.0, 401.0));
 
     // Ground truth: probe everyone once through a plain R-Tree lookup.
-    let mut full_tree = ColrTree::build(sensors.clone(), ColrConfig::default(), 1);
+    let full_tree = ColrTree::build(sensors.clone(), ColrConfig::default(), 1);
     let exact_q = Query::range(region.clone(), TimeDelta::from_mins(10)).with_terminal_level(2);
     let mut qrng = StdRng::seed_from_u64(5);
-    let exact_out = full_tree.execute(&exact_q, Mode::RTree, &mut network, Timestamp(1_000), &mut qrng);
+    let exact_out = full_tree.execute(&exact_q, Mode::RTree, &network, Timestamp(1_000), &mut qrng);
     let exact = exact_out.aggregate(AggKind::Avg).expect("gauges answered");
     println!(
         "exact average discharge (all {} gauges probed): {:.1}",
@@ -47,11 +47,11 @@ fn main() {
 
     println!("\n{:>8} {:>12} {:>11} {:>10}", "sample", "avg", "rel_error", "probes");
     for sample in [5usize, 10, 15, 30, 60] {
-        let mut tree = ColrTree::build(sensors.clone(), ColrConfig::default(), 1);
+        let tree = ColrTree::build(sensors.clone(), ColrConfig::default(), 1);
         let q = Query::range(region.clone(), TimeDelta::from_mins(10))
             .with_terminal_level(2)
             .with_sample_size(sample as f64);
-        let out = tree.execute(&q, Mode::Colr, &mut network, Timestamp(1_000), &mut qrng);
+        let out = tree.execute(&q, Mode::Colr, &network, Timestamp(1_000), &mut qrng);
         let approx = out.aggregate(AggKind::Avg).unwrap_or(f64::NAN);
         println!(
             "{sample:>8} {approx:>12.1} {:>11.3} {:>10}",

@@ -36,8 +36,9 @@ fn assert_parity(native: &ColrTree, rel: &RelationalColrTree) {
     let max_slot = 20 * EXPIRY_MS / (EXPIRY_MS / 8) + 4;
     for id in native.node_ids() {
         let node = native.node(id);
+        let nc = native.cache_snapshot(id);
         for slot in 0..max_slot {
-            let ns = node.cache.slot(slot);
+            let ns = nc.cache.slot(slot);
             let rs = rel.cache_row_agg(node.level, id.0 as i64, slot as i64);
             match (ns, rs) {
                 (None, None) => {}
@@ -61,7 +62,7 @@ fn assert_parity(native: &ColrTree, rel: &RelationalColrTree) {
                 ),
             }
             // Per-type sub-aggregates must agree too.
-            if let Some(ns) = node.cache.slot(slot) {
+            if let Some(ns) = nc.cache.slot(slot) {
                 for (kind, a) in &ns.by_kind {
                     let rk = rel
                         .cache_row_agg_of_kind(node.level, id.0 as i64, slot as i64, *kind as i64)
@@ -87,7 +88,7 @@ fn reading(sensor: u32, value: f64, ts: u64) -> Reading {
 
 #[test]
 fn parity_under_random_inserts_and_updates() {
-    let (mut native, mut rel) = build(None);
+    let (native, mut rel) = build(None);
     let mut rng = StdRng::seed_from_u64(17);
     let mut now = 1_000u64;
     for _ in 0..300 {
@@ -110,7 +111,7 @@ fn parity_under_random_inserts_and_updates() {
 
 #[test]
 fn parity_across_window_rolls() {
-    let (mut native, mut rel) = build(None);
+    let (native, mut rel) = build(None);
     // Fill, then jump time in slot-sized steps and verify after each roll.
     for i in 0..50u32 {
         let r = reading(i, i as f64, 1_000 + i as u64);
@@ -131,7 +132,7 @@ fn parity_across_window_rolls() {
 
 #[test]
 fn both_backends_enforce_capacity_identically_in_size() {
-    let (mut native, mut rel) = build(Some(20));
+    let (native, mut rel) = build(Some(20));
     for i in 0..100u32 {
         let r = reading(i, 1.0, 1_000 + i as u64);
         native.insert_reading(r, Timestamp(1_000 + i as u64));
@@ -148,7 +149,7 @@ fn parity_with_min_max_rebuild_paths() {
     // Updates that replace extreme values force the non-decrementable
     // rebuild path in the native tree; the recompute-based relational
     // triggers must agree afterwards.
-    let (mut native, mut rel) = build(None);
+    let (native, mut rel) = build(None);
     let t = Timestamp(1_000);
     for (sensor, value) in [(0u32, 100.0), (1, 1.0), (2, 50.0)] {
         let r = reading(sensor, value, 1_000);

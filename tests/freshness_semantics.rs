@@ -31,9 +31,9 @@ fn no_mode_ever_serves_stale_or_expired_readings() {
     let sensors = mixed_expiry_sensors(1_024);
     let region = Region::Rect(Rect::from_coords(-0.5, -0.5, 31.5, 31.5));
     for mode in [Mode::RTree, Mode::HierCache, Mode::Colr] {
-        let mut tree = ColrTree::build(sensors.clone(), ColrConfig::default(), 9);
+        let tree = ColrTree::build(sensors.clone(), ColrConfig::default(), 9);
         let field = RandomWalkField::new(sensors.len(), 0.0, 100.0, 3.0, 5);
-        let mut net = SimNetwork::new(sensors.clone(), field, 5);
+        let net = SimNetwork::new(sensors.clone(), field, 5);
         let mut rng = StdRng::seed_from_u64(11);
         let mut clock = 1_000u64;
         for step in 0..40 {
@@ -44,7 +44,7 @@ fn no_mode_ever_serves_stale_or_expired_readings() {
             if mode == Mode::Colr {
                 q = q.with_sample_size(64.0);
             }
-            let out = tree.execute(&q, mode, &mut net, now, &mut rng);
+            let out = tree.execute(&q, mode, &net, now, &mut rng);
             for r in &out.readings {
                 assert!(
                     r.expires_at > now,
@@ -65,14 +65,14 @@ fn cached_aggregates_only_cover_unexpired_fresh_slots() {
     // After warming the cache, advance past the shortest expiries. A tight
     // freshness bound must shrink the cache-served result, never keep it.
     let sensors = mixed_expiry_sensors(256);
-    let mut tree = ColrTree::build(sensors.clone(), ColrConfig::default(), 9);
+    let tree = ColrTree::build(sensors.clone(), ColrConfig::default(), 9);
     let field = RandomWalkField::new(sensors.len(), 0.0, 100.0, 3.0, 5);
-    let mut net = SimNetwork::new(sensors.clone(), field, 5);
+    let net = SimNetwork::new(sensors.clone(), field, 5);
     let mut rng = StdRng::seed_from_u64(13);
     let region = Region::Rect(Rect::from_coords(-0.5, -0.5, 31.5, 31.5));
 
     let loose = Query::range(region.clone(), TimeDelta::from_mins(10)).with_terminal_level(2);
-    tree.execute(&loose, Mode::HierCache, &mut net, Timestamp(1_000), &mut rng);
+    tree.execute(&loose, Mode::HierCache, &net, Timestamp(1_000), &mut rng);
     let cached_initial = tree.cached_readings();
     assert!(cached_initial > 0);
 
@@ -90,13 +90,13 @@ fn cached_aggregates_only_cover_unexpired_fresh_slots() {
 #[test]
 fn window_roll_is_idempotent_and_monotone() {
     let sensors = mixed_expiry_sensors(256);
-    let mut tree = ColrTree::build(sensors.clone(), ColrConfig::default(), 9);
+    let tree = ColrTree::build(sensors.clone(), ColrConfig::default(), 9);
     let field = RandomWalkField::new(sensors.len(), 0.0, 100.0, 3.0, 5);
-    let mut net = SimNetwork::new(sensors.clone(), field, 5);
+    let net = SimNetwork::new(sensors.clone(), field, 5);
     let mut rng = StdRng::seed_from_u64(17);
     let region = Region::Rect(Rect::from_coords(-0.5, -0.5, 31.5, 31.5));
     let q = Query::range(region, TimeDelta::from_mins(10)).with_terminal_level(2);
-    tree.execute(&q, Mode::HierCache, &mut net, Timestamp(1_000), &mut rng);
+    tree.execute(&q, Mode::HierCache, &net, Timestamp(1_000), &mut rng);
 
     let t = Timestamp(100_000);
     tree.advance(t);
@@ -117,7 +117,7 @@ fn random_op_soup_preserves_invariants() {
         cache_capacity: Some(100),
         ..Default::default()
     };
-    let mut tree = ColrTree::build(sensors.clone(), config, 9);
+    let tree = ColrTree::build(sensors.clone(), config, 9);
     let field = RandomWalkField::new(sensors.len(), 0.0, 100.0, 3.0, 5);
     let mut net = SimNetwork::new(sensors.clone(), field, 5);
     let mut rng = StdRng::seed_from_u64(23);
@@ -135,7 +135,7 @@ fn random_op_soup_preserves_invariants() {
                 )
                 .with_terminal_level(3)
                 .with_sample_size(10.0);
-                tree.execute(&q, Mode::Colr, &mut net, now, &mut rng);
+                tree.execute(&q, Mode::Colr, &net, now, &mut rng);
             }
             2 => {
                 let sensor = colr_repro::colr::SensorId(rng.random_range(0..512));

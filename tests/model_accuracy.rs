@@ -76,10 +76,10 @@ fn region_avg_model_vs_sampling_vs_exact() {
     let mut rng = StdRng::seed_from_u64(19);
 
     // Exact: every sensor in region through a fresh tree at the same time.
-    let mut exact_tree = ColrTree::build(tree.sensors().to_vec(), ColrConfig::default(), 1);
+    let exact_tree = ColrTree::build(tree.sensors().to_vec(), ColrConfig::default(), 1);
     let exact_q = Query::range(region.clone(), staleness).with_terminal_level(3);
     let exact = exact_tree
-        .execute(&exact_q, Mode::RTree, &mut net, Timestamp(2_000), &mut rng)
+        .execute(&exact_q, Mode::RTree, &net, Timestamp(2_000), &mut rng)
         .aggregate(AggKind::Avg)
         .expect("sensors in region");
 
@@ -92,7 +92,7 @@ fn region_avg_model_vs_sampling_vs_exact() {
     let sampled_q = Query::range(region.clone(), staleness)
         .with_terminal_level(3)
         .with_sample_size(20.0);
-    let out = tree.execute(&sampled_q, Mode::Colr, &mut net, Timestamp(2_000), &mut rng);
+    let out = tree.execute(&sampled_q, Mode::Colr, &net, Timestamp(2_000), &mut rng);
     let sampled = out.aggregate(AggKind::Avg).expect("sample non-empty");
     let sampled_err = (sampled - exact).abs() / exact.abs();
     assert!(sampled_err < 0.2, "sampled region error {sampled_err}");

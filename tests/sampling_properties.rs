@@ -34,12 +34,12 @@ fn theorem1_expected_sample_size_on_clustered_deployment() {
     let mut rng = StdRng::seed_from_u64(13);
     let mut total = 0usize;
     for t in 0..trials {
-        let mut tree = ColrTree::build(sensors.clone(), ColrConfig::default(), 5);
-        let mut net = SimNetwork::new(sensors.clone(), ConstantField { base: 1.0, step: 0.0 }, t);
+        let tree = ColrTree::build(sensors.clone(), ColrConfig::default(), 5);
+        let net = SimNetwork::new(sensors.clone(), ConstantField { base: 1.0, step: 0.0 }, t);
         let q = Query::range(region.clone(), TimeDelta::from_mins(5))
             .with_terminal_level(3)
             .with_sample_size(r);
-        let out = tree.execute(&q, Mode::Colr, &mut net, Timestamp(1_000), &mut rng);
+        let out = tree.execute(&q, Mode::Colr, &net, Timestamp(1_000), &mut rng);
         total += out.readings.len();
     }
     let mean = total as f64 / trials as f64;
@@ -61,13 +61,13 @@ fn theorem1_holds_under_heterogeneous_availability() {
     let mut successes = 0usize;
     let mut probes = 0u64;
     for t in 0..trials {
-        let mut tree = ColrTree::build(sensors.clone(), ColrConfig::default(), 5);
-        let mut net = SimNetwork::new(sensors.clone(), ConstantField { base: 1.0, step: 0.0 }, 100 + t);
+        let tree = ColrTree::build(sensors.clone(), ColrConfig::default(), 5);
+        let net = SimNetwork::new(sensors.clone(), ConstantField { base: 1.0, step: 0.0 }, 100 + t);
         let q = Query::range(region.clone(), TimeDelta::from_mins(5))
             .with_terminal_level(3)
             .with_oversample_level(1)
             .with_sample_size(r);
-        let out = tree.execute(&q, Mode::Colr, &mut net, Timestamp(1_000), &mut rng);
+        let out = tree.execute(&q, Mode::Colr, &net, Timestamp(1_000), &mut rng);
         successes += out.readings.len();
         probes += out.stats.sensors_probed;
     }
@@ -88,17 +88,17 @@ fn sensing_workload_is_spread_across_sensors() {
     // load. Run many sampled queries over the same region and check the
     // probe counters through the network.
     let sensors = clustered_scenario(1_000, (1.0, 1.0), 47);
-    let mut net = SimNetwork::new(sensors.clone(), ConstantField { base: 1.0, step: 0.0 }, 3);
+    let net = SimNetwork::new(sensors.clone(), ConstantField { base: 1.0, step: 0.0 }, 3);
     let region = Region::Rect(Rect::from_coords(0.0, 0.0, 4_000.0, 2_500.0));
     let mut rng = StdRng::seed_from_u64(31);
     let queries = 150;
     for t in 0..queries {
         // Fresh tree per query → no cache: pure sampling behaviour.
-        let mut tree = ColrTree::build(sensors.clone(), ColrConfig::default(), 5);
+        let tree = ColrTree::build(sensors.clone(), ColrConfig::default(), 5);
         let q = Query::range(region.clone(), TimeDelta::from_mins(5))
             .with_terminal_level(3)
             .with_sample_size(50.0);
-        tree.execute(&q, Mode::Colr, &mut net, Timestamp(1_000 + t), &mut rng);
+        tree.execute(&q, Mode::Colr, &net, Timestamp(1_000 + t), &mut rng);
     }
     let counts = net.probe_counts();
     let total: u64 = counts.iter().sum();
@@ -130,17 +130,17 @@ fn redistribution_compensates_forced_failures() {
     let mut rng = StdRng::seed_from_u64(37);
     let mut total = 0usize;
     for t in 0..trials {
-        let mut net = SimNetwork::new(sensors.clone(), ConstantField { base: 1.0, step: 0.0 }, 7 + t);
+        let net = SimNetwork::new(sensors.clone(), ConstantField { base: 1.0, step: 0.0 }, 7 + t);
         for i in 0..sensors.len() {
             if i % 3 == 0 {
                 net.set_forced_down(colr_repro::colr::SensorId(i as u32), true);
             }
         }
-        let mut tree = ColrTree::build(sensors.clone(), ColrConfig::default(), 5);
+        let tree = ColrTree::build(sensors.clone(), ColrConfig::default(), 5);
         let q = Query::range(region.clone(), TimeDelta::from_mins(5))
             .with_terminal_level(3)
             .with_sample_size(r);
-        let out = tree.execute(&q, Mode::Colr, &mut net, Timestamp(1_000), &mut rng);
+        let out = tree.execute(&q, Mode::Colr, &net, Timestamp(1_000), &mut rng);
         total += out.readings.len();
     }
     let mean = total as f64 / trials as f64;

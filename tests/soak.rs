@@ -27,9 +27,9 @@ fn hours_of_traffic_preserve_invariants_and_bounds() {
         cache_capacity: Some(cap),
         ..Default::default()
     };
-    let mut tree = ColrTree::build(sc.sensors.clone(), tree_config, 1);
+    let tree = ColrTree::build(sc.sensors.clone(), tree_config, 1);
     let field = RandomWalkField::new(sc.sensors.len(), 0.0, 60.0, 2.0, 5);
-    let mut net = SimNetwork::new(sc.sensors.clone(), field, 5);
+    let net = SimNetwork::new(sc.sensors.clone(), field, 5);
     let mut rng = StdRng::seed_from_u64(3);
 
     let mut last_at = Timestamp::ZERO;
@@ -39,7 +39,7 @@ fn hours_of_traffic_preserve_invariants_and_bounds() {
         let query = Query::range(spec.rect, spec.staleness)
             .with_terminal_level(3)
             .with_sample_size(40.0);
-        let out = tree.execute(&query, Mode::Colr, &mut net, spec.at, &mut rng);
+        let out = tree.execute(&query, Mode::Colr, &net, spec.at, &mut rng);
         // Freshness discipline holds on every answer.
         for r in &out.readings {
             assert!(r.is_fresh(spec.at, spec.staleness), "stale answer at query {i}");
@@ -62,6 +62,6 @@ fn hours_of_traffic_preserve_invariants_and_bounds() {
     let q = Query::range(region, TimeDelta::from_mins(5))
         .with_terminal_level(3)
         .with_sample_size(20.0);
-    let out = tree.execute(&q, Mode::Colr, &mut net, far_future, &mut rng);
+    let out = tree.execute(&q, Mode::Colr, &net, far_future, &mut rng);
     assert!(out.stats.sensors_probed > 0);
 }

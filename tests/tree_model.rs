@@ -36,11 +36,13 @@ fn brute_force_slot(tree: &ColrTree, node: colr_repro::colr::NodeId, slot: u64) 
         let n = tree.node(cur);
         match &n.children {
             Children::Leaf(_) => {
-                for e in &n.entries {
-                    if e.reading.expires_at.millis() / width == slot {
-                        agg.insert(e.reading.value);
+                tree.with_cache(cur, |c| {
+                    for e in &c.entries {
+                        if e.reading.expires_at.millis() / width == slot {
+                            agg.insert(e.reading.value);
+                        }
                     }
-                }
+                });
             }
             Children::Internal(children) => stack.extend(children.iter().copied()),
         }
@@ -75,7 +77,7 @@ proptest! {
             }),
             ..Default::default()
         };
-        let mut tree = ColrTree::build(sensors, config, 7);
+        let tree = ColrTree::build(sensors, config, 7);
         let mut now = Timestamp(1_000);
 
         for op in ops {
@@ -104,10 +106,7 @@ proptest! {
             for slot in min_slot..=max_slot {
                 let expected = brute_force_slot(&tree, id, slot);
                 let actual = tree
-                    .node(id)
-                    .cache
-                    .slot(slot)
-                    .map(|s| s.agg)
+                    .with_cache(id, |c| c.cache.slot(slot).map(|s| s.agg))
                     .unwrap_or_else(PartialAgg::empty);
                 prop_assert_eq!(
                     actual.count, expected.count,
@@ -123,7 +122,7 @@ proptest! {
                 }
                 // Per-kind sub-aggregates must partition the total, and the
                 // slot histogram must hold exactly the slot's readings.
-                if let Some(s) = tree.node(id).cache.slot(slot) {
+                if let Some(s) = tree.with_cache(id, |c| c.cache.slot(slot).cloned()) {
                     let kind_total: u64 = s.by_kind.iter().map(|(_, a)| a.count).sum();
                     prop_assert_eq!(kind_total, s.agg.count, "kind partition broken at {:?}", id);
                     let h = s.hist.as_ref().expect("histograms configured");

@@ -1,0 +1,201 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Provides the macro and type surface the workspace's benches use
+//! (`criterion_group!`/`criterion_main!`, `Criterion::bench_function`,
+//! benchmark groups with `sample_size`, `Bencher::iter`/`iter_batched`) backed
+//! by a simple wall-clock timer: each benchmark is warmed up briefly, then
+//! timed over a fixed number of samples, and the per-iteration mean and spread
+//! are printed. No HTML reports, statistics engine, or regression tracking —
+//! numbers land on stdout, which is all the offline environment can support.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// How batched inputs are grouped per measurement; accepted for API
+/// compatibility, all variants behave like `SmallInput` here.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small setup output; batch many iterations per sample.
+    SmallInput,
+    /// Medium setup output.
+    MediumInput,
+    /// Large setup output; one iteration per batch.
+    LargeInput,
+    /// Re-run setup for every single iteration.
+    PerIteration,
+}
+
+/// Times closures handed to it by a benchmark function.
+pub struct Bencher {
+    samples: usize,
+    /// Mean wall-clock time per iteration of the last `iter*` call.
+    elapsed_per_iter: Duration,
+    spread: Duration,
+}
+
+impl Bencher {
+    fn new(samples: usize) -> Self {
+        Bencher {
+            samples,
+            elapsed_per_iter: Duration::ZERO,
+            spread: Duration::ZERO,
+        }
+    }
+
+    fn record(&mut self, mut per_sample: Vec<Duration>) {
+        per_sample.sort();
+        let mid = per_sample[per_sample.len() / 2];
+        let lo = per_sample[0];
+        let hi = *per_sample.last().unwrap();
+        self.elapsed_per_iter = mid;
+        self.spread = hi.saturating_sub(lo);
+    }
+
+    /// Times `routine` repeatedly.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up pass also calibrates how many iterations fit in a sample.
+        let start = Instant::now();
+        std::hint::black_box(routine());
+        let once = start.elapsed().max(Duration::from_nanos(50));
+        let per_sample_iters = (Duration::from_millis(10).as_nanos() / once.as_nanos()).clamp(1, 10_000) as usize;
+
+        let mut samples = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let t = Instant::now();
+            for _ in 0..per_sample_iters {
+                std::hint::black_box(routine());
+            }
+            samples.push(t.elapsed() / per_sample_iters as u32);
+        }
+        self.record(samples);
+    }
+
+    /// Times `routine` over fresh inputs built by `setup` (setup excluded
+    /// from measurement).
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let mut samples = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let input = setup();
+            let t = Instant::now();
+            std::hint::black_box(routine(input));
+            samples.push(t.elapsed());
+        }
+        self.record(samples);
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(group: Option<&str>, name: &str, samples: usize, mut f: F) {
+    let mut b = Bencher::new(samples);
+    f(&mut b);
+    let label = match group {
+        Some(g) => format!("{g}/{name}"),
+        None => name.to_string(),
+    };
+    println!(
+        "bench {label:<48} {:>12.3} µs/iter (spread {:.3} µs, {} samples)",
+        b.elapsed_per_iter.as_secs_f64() * 1e6,
+        b.spread.as_secs_f64() * 1e6,
+        samples
+    );
+}
+
+/// Top-level benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    const DEFAULT_SAMPLES: usize = 20;
+
+    /// Runs a single named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: impl Display, f: F) -> &mut Self {
+        run_one(None, &name.to_string(), Self::DEFAULT_SAMPLES, f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Display) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            name: name.to_string(),
+            samples: Self::DEFAULT_SAMPLES,
+        }
+    }
+}
+
+/// A named set of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    samples: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = n.max(2);
+        self
+    }
+
+    /// Runs a benchmark within this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: impl Display, f: F) -> &mut Self {
+        run_one(Some(&self.name), &name.to_string(), self.samples, f);
+        self
+    }
+
+    /// Ends the group (no-op; exists for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Re-export for benches that use `criterion::black_box`.
+pub use std::hint::black_box;
+
+/// Bundles benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generates `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_closure() {
+        let mut c = Criterion::default();
+        let mut ran = 0u32;
+        c.bench_function("noop", |b| {
+            b.iter(|| ran = ran.wrapping_add(1));
+        });
+        assert!(ran > 0);
+    }
+
+    #[test]
+    fn group_sample_size_and_batched() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(3);
+        group.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u8; 16], |v| v.len(), BatchSize::SmallInput);
+        });
+        group.finish();
+    }
+}

@@ -1,0 +1,358 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Implements the subset of proptest this workspace uses: the [`Strategy`]
+//! trait with `prop_map` and boxing, range/tuple/`Just`/vec strategies, the
+//! `prop_oneof!` union macro, and the `proptest!`/`prop_assert!` macros. Each
+//! property runs `ProptestConfig::cases` random samples from a deterministic
+//! per-test RNG (seeded from the test name) and reports the generating inputs
+//! on failure. No shrinking: a failing case prints its exact inputs instead of
+//! minimising them, which is enough signal for this repo's test suite and
+//! keeps the stand-in dependency-free.
+
+pub mod strategy {
+    use rand::rngs::StdRng;
+    use rand::Rng;
+    use std::fmt::Debug;
+    use std::marker::PhantomData;
+    use std::ops::{Range, RangeInclusive};
+
+    /// A recipe for generating random values of `Self::Value`.
+    pub trait Strategy {
+        /// The generated type (must be `Debug` so failures can print inputs).
+        type Value: Debug;
+
+        /// Draws one value.
+        fn sample(&self, rng: &mut StdRng) -> Self::Value;
+
+        /// Transforms generated values through `f`.
+        fn prop_map<U: Debug, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Erases the concrete strategy type.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy {
+                inner: Box::new(self),
+            }
+        }
+    }
+
+    /// Object-safe sampling, used by [`BoxedStrategy`].
+    trait DynStrategy {
+        type Value;
+        fn sample_dyn(&self, rng: &mut StdRng) -> Self::Value;
+    }
+
+    impl<S: Strategy> DynStrategy for S {
+        type Value = S::Value;
+        fn sample_dyn(&self, rng: &mut StdRng) -> S::Value {
+            self.sample(rng)
+        }
+    }
+
+    /// A type-erased strategy.
+    pub struct BoxedStrategy<T> {
+        inner: Box<dyn DynStrategy<Value = T>>,
+    }
+
+    impl<T: Debug> Strategy for BoxedStrategy<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut StdRng) -> T {
+            self.inner.sample_dyn(rng)
+        }
+    }
+
+    /// [`Strategy::prop_map`] adapter.
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, U: Debug, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+        type Value = U;
+        fn sample(&self, rng: &mut StdRng) -> U {
+            (self.f)(self.inner.sample(rng))
+        }
+    }
+
+    /// Always yields a clone of the wrapped value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone + Debug>(pub T);
+
+    impl<T: Clone + Debug> Strategy for Just<T> {
+        type Value = T;
+        fn sample(&self, _rng: &mut StdRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    macro_rules! range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut StdRng) -> $t {
+                    rng.random_range(self.clone())
+                }
+            }
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut StdRng) -> $t {
+                    rng.random_range(self.clone())
+                }
+            }
+        )*};
+    }
+    range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f64);
+
+    macro_rules! tuple_strategy {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                #[allow(non_snake_case)]
+                fn sample(&self, rng: &mut StdRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.sample(rng),)+)
+                }
+            }
+        };
+    }
+    tuple_strategy!(A);
+    tuple_strategy!(A, B);
+    tuple_strategy!(A, B, C);
+    tuple_strategy!(A, B, C, D);
+    tuple_strategy!(A, B, C, D, E);
+    tuple_strategy!(A, B, C, D, E, F2);
+
+    /// Weighted choice between boxed strategies; built by `prop_oneof!`.
+    pub struct Union<T> {
+        options: Vec<(u32, BoxedStrategy<T>)>,
+        total: u32,
+    }
+
+    impl<T: Debug> Union<T> {
+        /// Builds a union from `(weight, strategy)` pairs.
+        ///
+        /// # Panics
+        /// Panics when `options` is empty or all weights are zero.
+        pub fn new(options: Vec<(u32, BoxedStrategy<T>)>) -> Self {
+            let total: u32 = options.iter().map(|(w, _)| *w).sum();
+            assert!(total > 0, "prop_oneof! needs at least one positive weight");
+            Union { options, total }
+        }
+    }
+
+    impl<T: Debug> Strategy for Union<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut StdRng) -> T {
+            let mut pick = rng.random_range(0..self.total);
+            for (w, s) in &self.options {
+                if pick < *w {
+                    return s.sample(rng);
+                }
+                pick -= w;
+            }
+            unreachable!("weights summed incorrectly")
+        }
+    }
+
+    /// Strategy produced by [`crate::collection::vec`].
+    pub struct VecStrategy<S> {
+        pub(crate) element: S,
+        pub(crate) len: Range<usize>,
+        pub(crate) _marker: PhantomData<S>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let len = if self.len.start + 1 >= self.len.end {
+                self.len.start
+            } else {
+                rng.random_range(self.len.clone())
+            };
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::strategy::{Strategy, VecStrategy};
+    use std::marker::PhantomData;
+    use std::ops::Range;
+
+    /// A `Vec` whose length is drawn from `len` and whose elements come from
+    /// `element`.
+    pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            len,
+            _marker: PhantomData,
+        }
+    }
+}
+
+/// Test-runner configuration and entry points used by the macros.
+pub mod test_runner {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Per-property configuration.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of random cases to run.
+        pub cases: u32,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 256 }
+        }
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` cases.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    /// Deterministic RNG for a named test: same name, same sample sequence.
+    pub fn rng_for(test_name: &str) -> StdRng {
+        // FNV-1a over the test path keeps runs reproducible without any
+        // global state or environment dependence.
+        let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+        for b in test_name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        StdRng::seed_from_u64(h)
+    }
+}
+
+/// What `use proptest::prelude::*` brings in.
+pub mod prelude {
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Asserts a condition inside a property (panics on failure, like `assert!`).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)*) => { assert!($($t)*) };
+}
+
+/// Asserts equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($t:tt)*) => { assert_eq!($($t)*) };
+}
+
+/// Asserts inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($t:tt)*) => { assert_ne!($($t)*) };
+}
+
+/// Weighted (`w => strategy`) or unweighted choice between strategies.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $((($weight) as u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::prop_oneof![$(1 => $strat),+]
+    };
+}
+
+/// Declares property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` running `cases` random samples.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)]
+     $($(#[$meta:meta])*
+       fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config = $config;
+                let mut __rng = $crate::test_runner::rng_for(concat!(
+                    module_path!(), "::", stringify!($name)
+                ));
+                for __case in 0..__config.cases {
+                    $(let $arg = $crate::strategy::Strategy::sample(&($strat), &mut __rng);)+
+                    let __inputs = format!(
+                        concat!($(stringify!($arg), " = {:?}; "),+),
+                        $(&$arg),+
+                    );
+                    let __result = ::std::panic::catch_unwind(
+                        ::std::panic::AssertUnwindSafe(move || { $body })
+                    );
+                    if __result.is_err() {
+                        panic!(
+                            "proptest case {}/{} failed for inputs: {}",
+                            __case + 1, __config.cases, __inputs
+                        );
+                    }
+                }
+            }
+        )*
+    };
+    ($($t:tt)*) => {
+        $crate::proptest! {
+            #![proptest_config($crate::test_runner::ProptestConfig::default())]
+            $($t)*
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn union_respects_weights_roughly() {
+        let u = prop_oneof![9 => Just(1u32), 1 => Just(2u32)];
+        let mut rng = crate::test_runner::rng_for("union_weights");
+        let ones = (0..10_000).filter(|_| u.sample(&mut rng) == 1).count();
+        assert!((8_500..9_500).contains(&ones), "ones = {ones}");
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 0u32..10, y in -3i32..3, f in 0.5..1.5f64) {
+            prop_assert!(x < 10);
+            prop_assert!((-3..3).contains(&y));
+            prop_assert!((0.5..1.5).contains(&f));
+        }
+
+        #[test]
+        fn vec_lengths_in_range(v in crate::collection::vec(0u32..5, 2..6)) {
+            prop_assert!((2..6).contains(&v.len()));
+            prop_assert!(v.iter().all(|&e| e < 5));
+        }
+
+        #[test]
+        fn tuple_map_composes(pair in (0u32..4, 0u32..4).prop_map(|(a, b)| a * 10 + b)) {
+            prop_assert!(pair <= 33);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn default_config_also_works(x in 0u64..100) {
+            prop_assert!(x < 100);
+        }
+    }
+}
