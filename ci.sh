@@ -1,9 +1,21 @@
 #!/usr/bin/env bash
-# Local CI gate: release build, workspace tests, and lint-clean clippy.
+# Local CI gate: formatting, release build, workspace tests, lint-clean
+# clippy, and an observability smoke test.
 # The build environment is offline (vendored deps), hence --offline.
 set -euo pipefail
 cd "$(dirname "$0")"
 
+cargo fmt --check
 cargo build --release --offline
-cargo test -q --offline
+cargo test -q --offline --workspace
 cargo clippy --all-targets --offline -- -D warnings
+
+# Observability smoke: the example must emit the promised metric families.
+smoke=$(cargo run --release --offline -q --example colr-stats)
+for metric in colr_query_latency_us colr_tree_cache_hits_total colr_portal_queries_total; do
+    grep -q "$metric" <<<"$smoke" || {
+        echo "ci: metric $metric missing from colr-stats output" >&2
+        exit 1
+    }
+done
+echo "ci: observability smoke OK"

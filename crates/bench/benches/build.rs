@@ -4,9 +4,9 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
+use colr_geo::Rect;
 use colr_tree::{BuildStrategy, ColrConfig, ColrTree, SensorMeta, TimeDelta};
 use colr_workload::PlacementModel;
-use colr_geo::Rect;
 
 fn sensors(n: usize) -> Vec<SensorMeta> {
     let extent = Rect::from_coords(0.0, 0.0, 4_000.0, 2_500.0);

@@ -7,9 +7,7 @@ use std::hint::black_box;
 use colr_geo::{Point, Rect};
 use colr_tree::agg::HistogramSpec;
 use colr_tree::probe::AlwaysAvailable;
-use colr_tree::{
-    ColrConfig, ColrTree, IdwModel, Mode, Query, SensorMeta, TimeDelta, Timestamp,
-};
+use colr_tree::{ColrConfig, ColrTree, IdwModel, Mode, Query, SensorMeta, TimeDelta, Timestamp};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -38,11 +36,13 @@ fn typed_tree(side: usize, histograms: bool) -> ColrTree {
     ColrTree::build(sensors, config, 7)
 }
 
-fn warmed(mut tree: ColrTree, region: Rect) -> ColrTree {
-    let mut probe = AlwaysAvailable { expiry_ms: EXPIRY_MS };
+fn warmed(tree: ColrTree, region: Rect) -> ColrTree {
+    let probe = AlwaysAvailable {
+        expiry_ms: EXPIRY_MS,
+    };
     let mut rng = StdRng::seed_from_u64(3);
     let q = Query::range(region, TimeDelta::from_mins(5)).with_terminal_level(2);
-    tree.execute(&q, Mode::HierCache, &mut probe, Timestamp(1_000), &mut rng);
+    tree.execute(&q, Mode::HierCache, &probe, Timestamp(1_000), &mut rng);
     tree
 }
 
@@ -53,13 +53,15 @@ fn bench_extensions(c: &mut Criterion) {
 
     // Warm filtered lookup: served from per-type sub-aggregates.
     group.bench_function("kind_filtered_warm_lookup", |b| {
-        let mut tree = warmed(typed_tree(side, false), region);
-        let mut probe = AlwaysAvailable { expiry_ms: EXPIRY_MS };
+        let tree = warmed(typed_tree(side, false), region);
+        let probe = AlwaysAvailable {
+            expiry_ms: EXPIRY_MS,
+        };
         let mut rng = StdRng::seed_from_u64(5);
         let q = Query::range(region, TimeDelta::from_mins(5))
             .with_terminal_level(2)
             .with_kind_filter(2);
-        b.iter(|| black_box(tree.execute(&q, Mode::HierCache, &mut probe, Timestamp(2_000), &mut rng)))
+        b.iter(|| black_box(tree.execute(&q, Mode::HierCache, &probe, Timestamp(2_000), &mut rng)))
     });
 
     // Insert cost with and without per-slot histograms.
@@ -67,7 +69,7 @@ fn bench_extensions(c: &mut Criterion) {
         group.bench_function(name, |b| {
             b.iter_batched(
                 || typed_tree(side, hist),
-                |mut tree| {
+                |tree| {
                     for i in 0..200u32 {
                         let r = colr_tree::Reading {
                             sensor: colr_tree::SensorId(i * 7 % 4096),

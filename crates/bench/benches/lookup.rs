@@ -27,14 +27,14 @@ fn bench_modes(c: &mut Criterion) {
                     let net = SimNetwork::new(sc.sensors.clone(), field, 5);
                     (tree, net, StdRng::seed_from_u64(3))
                 },
-                |(mut tree, mut net, mut rng)| {
+                |(tree, net, mut rng)| {
                     let spec = &sc.queries.queries[0];
-                    let mut q = Query::range(spec.rect, TimeDelta::from_mins(5))
-                        .with_terminal_level(3);
+                    let mut q =
+                        Query::range(spec.rect, TimeDelta::from_mins(5)).with_terminal_level(3);
                     if let Some(r) = sample {
                         q = q.with_sample_size(r);
                     }
-                    black_box(tree.execute(&q, mode, &mut net, spec.at, &mut rng))
+                    black_box(tree.execute(&q, mode, &net, spec.at, &mut rng))
                 },
                 BatchSize::SmallInput,
             )
@@ -43,17 +43,17 @@ fn bench_modes(c: &mut Criterion) {
 
     // Warm-cache COLR lookup: the cache-hit fast path.
     group.bench_function("colr_warm", |b| {
-        let mut tree = build_tree(&sc, None);
+        let tree = build_tree(&sc, None);
         let field = RandomWalkField::new(sc.sensors.len(), 0.0, 60.0, 2.0, 9);
-        let mut net = SimNetwork::new(sc.sensors.clone(), field, 5);
+        let net = SimNetwork::new(sc.sensors.clone(), field, 5);
         let mut rng = StdRng::seed_from_u64(3);
         let spec = &sc.queries.queries[0];
         let q = Query::range(spec.rect, TimeDelta::from_mins(5))
             .with_terminal_level(3)
             .with_sample_size(100.0);
         // Warm it once.
-        tree.execute(&q, Mode::Colr, &mut net, spec.at, &mut rng);
-        b.iter(|| black_box(tree.execute(&q, Mode::Colr, &mut net, spec.at, &mut rng)))
+        tree.execute(&q, Mode::Colr, &net, spec.at, &mut rng);
+        b.iter(|| black_box(tree.execute(&q, Mode::Colr, &net, spec.at, &mut rng)))
     });
     group.finish();
 }

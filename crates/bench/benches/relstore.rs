@@ -55,7 +55,7 @@ fn bench_insert(c: &mut Criterion) {
     group.bench_function("native_insert_100", |b| {
         b.iter_batched(
             || tree.clone(),
-            |mut t| {
+            |t| {
                 for i in 0..100u32 {
                     t.insert_reading(reading(i, 1_000), Timestamp(1_000));
                 }
@@ -66,7 +66,9 @@ fn bench_insert(c: &mut Criterion) {
     });
     group.bench_function("query_warm", |b| {
         let mut rel = RelationalColrTree::from_tree(&tree);
-        let mut probe = AlwaysAvailable { expiry_ms: EXPIRY_MS };
+        let mut probe = AlwaysAvailable {
+            expiry_ms: EXPIRY_MS,
+        };
         let mut rng = StdRng::seed_from_u64(3);
         let region = Region::Rect(Rect::from_coords(-0.5, -0.5, 15.5, 15.5));
         rel.query(

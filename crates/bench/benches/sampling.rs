@@ -33,11 +33,11 @@ fn bench_sample_sizes(c: &mut Criterion) {
                     let net = SimNetwork::new(sc.sensors.clone(), field, 5);
                     (tree, net, StdRng::seed_from_u64(3))
                 },
-                |(mut tree, mut net, mut rng)| {
+                |(tree, net, mut rng)| {
                     let q = Query::range(region, TimeDelta::from_mins(5))
                         .with_terminal_level(3)
                         .with_sample_size(target);
-                    black_box(tree.execute(&q, Mode::Colr, &mut net, Timestamp(1_000), &mut rng))
+                    black_box(tree.execute(&q, Mode::Colr, &net, Timestamp(1_000), &mut rng))
                 },
                 BatchSize::SmallInput,
             )
@@ -51,9 +51,9 @@ fn bench_sample_sizes(c: &mut Criterion) {
                 let net = SimNetwork::new(sc.sensors.clone(), field, 5);
                 (tree, net, StdRng::seed_from_u64(3))
             },
-            |(mut tree, mut net, mut rng)| {
+            |(tree, net, mut rng)| {
                 let q = Query::range(region, TimeDelta::from_mins(5)).with_terminal_level(3);
-                black_box(tree.execute(&q, Mode::RTree, &mut net, Timestamp(1_000), &mut rng))
+                black_box(tree.execute(&q, Mode::RTree, &net, Timestamp(1_000), &mut rng))
             },
             BatchSize::SmallInput,
         )

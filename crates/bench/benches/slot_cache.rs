@@ -69,5 +69,11 @@ fn bench_remove(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_insert, bench_usable, bench_roll, bench_remove);
+criterion_group!(
+    benches,
+    bench_insert,
+    bench_usable,
+    bench_roll,
+    bench_remove
+);
 criterion_main!(benches);

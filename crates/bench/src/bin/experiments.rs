@@ -117,7 +117,10 @@ fn fig2(args: &Args) {
         series.push((name.to_owned(), sweep, opt));
     }
 
-    println!("{:>6} {:>12} {:>12} {:>12}", "delta", "uniform", "usgs", "weather");
+    println!(
+        "{:>6} {:>12} {:>12} {:>12}",
+        "delta", "uniform", "usgs", "weather"
+    );
     let mut rows = Vec::new();
     for (i, &d) in grid.iter().enumerate() {
         let u = series[0].1[i].1;
@@ -183,7 +186,10 @@ fn fig3(args: &Args) {
         per_config.push((
             name.to_owned(),
             nodes_bins.iter().map(|b| mean(b.iter().copied())).collect(),
-            cached_bins.iter().map(|b| mean(b.iter().copied())).collect(),
+            cached_bins
+                .iter()
+                .map(|b| mean(b.iter().copied()))
+                .collect(),
         ));
     }
     println!(
@@ -348,7 +354,10 @@ fn fig56(args: &Args, which: &str) {
                 cache_fracs[*ci] * 100.0,
                 samples[*si]
             );
-            rows.push(format!("{},{},{p},{l},{nd}", cache_fracs[*ci], samples[*si]));
+            rows.push(format!(
+                "{},{},{p},{l},{nd}",
+                cache_fracs[*ci], samples[*si]
+            ));
         }
         write_csv(
             &args.out,
@@ -360,7 +369,10 @@ fn fig56(args: &Args, which: &str) {
         println!("== Fig 6: sampling accuracy & probe discretisation error ==");
         println!("   paper: ≥93% target accuracy at small cache, up to 99%; pde grows");
         println!("   with cache at small targets, shrinks at large targets\n");
-        println!("{:>7} {:>9} {:>12} {:>8}", "cache%", "sample", "target_acc", "pde");
+        println!(
+            "{:>7} {:>9} {:>12} {:>8}",
+            "cache%", "sample", "target_acc", "pde"
+        );
         for ((ci, si), &(_, _, _, acc, pde)) in &results {
             println!(
                 "{:>7.0} {:>9.0} {acc:>12.3} {pde:>8.3}",
@@ -402,7 +414,7 @@ fn fig7(args: &Args) {
         })
         .collect();
     let field = SpatialField::new(extent, 25, 900.0, 40.0, 60.0, 22.0, 23);
-    let mut net = SimNetwork::new(sensors.clone(), field, 29);
+    let net = SimNetwork::new(sensors.clone(), field, 29);
 
     let region = Region::Rect(Rect::from_coords(-1.0, -1.0, 501.0, 401.0));
     let sample_sizes = [5usize, 10, 15, 20, 30, 50, 100, 200];
@@ -413,20 +425,20 @@ fn fig7(args: &Args) {
     for &r in &sample_sizes {
         let mut errs = Vec::new();
         for trial in 0..trials {
-            let mut tree = ColrTree::build(sensors.clone(), ColrConfig::default(), 1);
+            let tree = ColrTree::build(sensors.clone(), ColrConfig::default(), 1);
             let mut qrng = StdRng::seed_from_u64(1000 + trial);
             let now = Timestamp(1_000 + trial);
             let query = Query::range(region.clone(), TimeDelta::from_mins(10))
                 .with_terminal_level(2)
                 .with_oversample_level(1)
                 .with_sample_size(r as f64);
-            let out = tree.execute(&query, Mode::Colr, &mut net, now, &mut qrng);
+            let out = tree.execute(&query, Mode::Colr, &net, now, &mut qrng);
             // Exact answer: probe everyone through a fresh tree at the same
             // instant.
-            let mut tree2 = ColrTree::build(sensors.clone(), ColrConfig::default(), 1);
+            let tree2 = ColrTree::build(sensors.clone(), ColrConfig::default(), 1);
             let exact_q =
                 Query::range(region.clone(), TimeDelta::from_mins(10)).with_terminal_level(2);
-            let exact_out = tree2.execute(&exact_q, Mode::RTree, &mut net, now, &mut qrng);
+            let exact_out = tree2.execute(&exact_q, Mode::RTree, &net, now, &mut qrng);
             let approx = out.aggregate(colr_tree::AggKind::Avg);
             let exact = exact_out.aggregate(colr_tree::AggKind::Avg);
             if let (Some(a), Some(e)) = (approx, exact) {
@@ -459,15 +471,15 @@ fn uniformity(args: &Args) {
     let queries = args.queries.unwrap_or(400);
     let sc = scenario(false, Some(0), Some(n));
     let region = Region::Rect(sc.extent);
-    let mut net = net_for(&sc, 5);
+    let net = net_for(&sc, 5);
     let mut rng = StdRng::seed_from_u64(31);
     for t in 0..queries as u64 {
         // Fresh tree per query: no cache, pure sampling behaviour.
-        let mut tree = ColrTree::build(sc.sensors.clone(), ColrConfig::default(), 5);
+        let tree = ColrTree::build(sc.sensors.clone(), ColrConfig::default(), 5);
         let q = Query::range(region.clone(), TimeDelta::from_mins(5))
             .with_terminal_level(3)
             .with_sample_size(50.0);
-        tree.execute(&q, Mode::Colr, &mut net, Timestamp(1_000 + t), &mut rng);
+        tree.execute(&q, Mode::Colr, &net, Timestamp(1_000 + t), &mut rng);
     }
     let counts = net.probe_counts();
     let total: u64 = counts.iter().sum();
@@ -492,7 +504,11 @@ fn uniformity(args: &Args) {
     );
     let rows = vec![format!(
         "{n},{queries},{total},{mean_load},{},{},{},{},{}",
-        pct(10.0), pct(50.0), pct(90.0), pct(99.0), sorted.last().unwrap()
+        pct(10.0),
+        pct(50.0),
+        pct(90.0),
+        pct(99.0),
+        sorted.last().unwrap()
     )];
     write_csv(
         &args.out,
@@ -561,11 +577,18 @@ fn motivation(args: &Args) {
 
 fn ablation(args: &Args) {
     println!("== Ablations: slot count, oversampling, redistribution, build strategy ==\n");
-    let sc = scenario(args.full, args.queries.or(Some(800)), args.sensors.or(Some(20_000)));
+    let sc = scenario(
+        args.full,
+        args.queries.or(Some(800)),
+        args.sensors.or(Some(20_000)),
+    );
 
     // --- (a) slot count m ------------------------------------------------
     println!("(a) slot-cache slot count m → probes / latency / slots combined");
-    println!("{:>4} {:>10} {:>12} {:>10}", "m", "probes", "latency_ms", "slots");
+    println!(
+        "{:>4} {:>10} {:>12} {:>10}",
+        "m", "probes", "latency_ms", "slots"
+    );
     let mut rows = Vec::new();
     for m in [1usize, 2, 4, 8, 16, 32] {
         let config = ColrConfig {
@@ -591,11 +614,19 @@ fn ablation(args: &Args) {
         println!("{m:>4} {probes:>10.1} {lat:>12.2} {slots:>10.1}");
         rows.push(format!("{m},{probes},{lat},{slots}"));
     }
-    write_csv(&args.out, "ablation_slots.csv", "num_slots,probes,latency_ms,slots_combined", &rows);
+    write_csv(
+        &args.out,
+        "ablation_slots.csv",
+        "num_slots,probes,latency_ms,slots_combined",
+        &rows,
+    );
 
     // --- (b) oversampling & redistribution under failures -----------------
     println!("\n(b) oversampling / redistribution under 0.7 availability → delivered sample (target 100)");
-    println!("{:>14} {:>14} {:>12} {:>10}", "oversampling", "redistribution", "delivered", "probes");
+    println!(
+        "{:>14} {:>14} {:>12} {:>10}",
+        "oversampling", "redistribution", "delivered", "probes"
+    );
     let mut rows = Vec::new();
     let mut flaky = sc.clone();
     for m in &mut flaky.sensors {
@@ -627,7 +658,12 @@ fn ablation(args: &Args) {
         println!("{ov:>14} {rd:>14} {delivered:>12.1} {probes:>10.1}");
         rows.push(format!("{ov},{rd},{delivered},{probes}"));
     }
-    write_csv(&args.out, "ablation_sampling.csv", "oversampling,redistribution,delivered,probes", &rows);
+    write_csv(
+        &args.out,
+        "ablation_sampling.csv",
+        "oversampling,redistribution,delivered,probes",
+        &rows,
+    );
 
     // --- (c) build strategy ------------------------------------------------
     println!("\n(c) bulk-load strategy → nodes traversed / probes");
@@ -659,7 +695,12 @@ fn ablation(args: &Args) {
         println!("{name:>8} {nodes:>10.1} {probes:>10.1}");
         rows.push(format!("{name},{nodes},{probes}"));
     }
-    write_csv(&args.out, "ablation_build.csv", "strategy,nodes_traversed,probes", &rows);
+    write_csv(
+        &args.out,
+        "ablation_build.csv",
+        "strategy,nodes_traversed,probes",
+        &rows,
+    );
 }
 
 // ---------------------------------------------------------------------

@@ -10,7 +10,7 @@ use colr_bench::mean;
 use colr_engine::{Portal, PortalConfig};
 use colr_sensors::{RandomWalkField, SimNetwork};
 use colr_tree::{Mode, Timestamp};
-use colr_workload::{ScenarioConfig, QueryWorkloadConfig};
+use colr_workload::{QueryWorkloadConfig, ScenarioConfig};
 
 fn main() {
     let mut sensors = 20_000usize;
@@ -23,7 +23,10 @@ fn main() {
             "--sensors" => sensors = it.next().and_then(|v| v.parse().ok()).expect("--sensors N"),
             "--queries" => queries = it.next().and_then(|v| v.parse().ok()).expect("--queries N"),
             "--samplesize" => {
-                samplesize = it.next().and_then(|v| v.parse().ok()).expect("--samplesize R")
+                samplesize = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--samplesize R")
             }
             "--mode" => {
                 mode = match it.next().as_deref() {
@@ -88,9 +91,17 @@ fn main() {
 
     latencies.sort_by(|a, b| a.total_cmp(b));
     let pct = |p: f64| latencies[((p / 100.0) * (latencies.len() - 1) as f64) as usize];
-    println!("\nreplay done in {wall:.1?} ({:.0} queries/s wall-clock)", queries as f64 / wall.as_secs_f64());
-    println!("modelled latency: mean {:.1} ms, p50 {:.1}, p95 {:.1}, p99 {:.1}",
-        mean(latencies.iter().copied()), pct(50.0), pct(95.0), pct(99.0));
+    println!(
+        "\nreplay done in {wall:.1?} ({:.0} queries/s wall-clock)",
+        queries as f64 / wall.as_secs_f64()
+    );
+    println!(
+        "modelled latency: mean {:.1} ms, p50 {:.1}, p95 {:.1}, p99 {:.1}",
+        mean(latencies.iter().copied()),
+        pct(50.0),
+        pct(95.0),
+        pct(99.0)
+    );
     println!("probes/query: mean {:.1}", mean(probes.iter().copied()));
     println!("cache contributions (aggregate nodes + raw readings): {cache_hits}");
     println!("queries with empty result: {empty}");
@@ -99,7 +110,10 @@ fn main() {
         portal.probe().total_probes(),
         sensors,
     );
-    println!("cached readings at end: {}", portal.tree().cached_readings());
+    println!(
+        "cached readings at end: {}",
+        portal.tree().cached_readings()
+    );
     let span = portal.now().millis() as f64 / 60_000.0;
     println!("simulated span: {span:.1} minutes");
 }

@@ -2,14 +2,18 @@
 //!
 //! Drives a batch of seeded viewport queries against ONE shared COLR-Tree
 //! (simulated wide-area network) from 1..=N worker threads and writes
-//! `BENCH_throughput.json` with queries/sec, probes/query and p50/p95
-//! per-query wall-clock latency per thread count — the perf trajectory for
-//! the concurrent query engine.
+//! `BENCH_throughput.json` with queries/sec, probes/query, slot-cache hit
+//! ratio and p50/p95/p99 per-query wall-clock latency per thread count — the
+//! perf trajectory for the concurrent query engine.
 //!
 //! ```text
 //! throughput [--sensors N] [--queries N] [--threads a,b,...] [--rtt-us N]
-//!            [--out FILE]
+//!            [--telemetry on|off] [--out FILE]
 //! ```
+//!
+//! `--telemetry off` disables the global metrics registry and tracer before
+//! the timed runs, for measuring the instrumentation's own overhead
+//! (the hot paths then reduce to one relaxed atomic load per site).
 //!
 //! The workload is communication-bound, as in the paper's setting: every
 //! probe batch pays a simulated WAN round-trip (`--rtt-us`, default 200µs —
@@ -36,6 +40,7 @@ struct Args {
     queries: usize,
     threads: Vec<usize>,
     rtt_us: u64,
+    telemetry: bool,
     out: String,
 }
 
@@ -45,6 +50,7 @@ fn parse_args() -> Args {
         queries: 600,
         threads: vec![1, 2, 4, 8],
         rtt_us: 200,
+        telemetry: true,
         out: "BENCH_throughput.json".to_owned(),
     };
     let mut it = std::env::args().skip(1);
@@ -63,8 +69,13 @@ fn parse_args() -> Args {
                     .map(|t| t.parse().expect("thread count"))
                     .collect();
             }
-            "--rtt-us" => {
-                args.rtt_us = it.next().and_then(|v| v.parse().ok()).expect("--rtt-us N")
+            "--rtt-us" => args.rtt_us = it.next().and_then(|v| v.parse().ok()).expect("--rtt-us N"),
+            "--telemetry" => {
+                args.telemetry = match it.next().as_deref() {
+                    Some("on") => true,
+                    Some("off") => false,
+                    other => panic!("--telemetry on|off, got {other:?}"),
+                }
             }
             "--out" => args.out = it.next().expect("--out FILE"),
             other => panic!("unknown flag {other}"),
@@ -143,8 +154,12 @@ struct RunResult {
     threads: usize,
     queries_per_sec: f64,
     probes_per_query: f64,
+    /// Fraction of answer readings served from the slot caches rather than
+    /// live probes: `from_cache / (from_cache + probed)`.
+    cache_hit_ratio: f64,
     p50_latency_ms: f64,
     p95_latency_ms: f64,
+    p99_latency_ms: f64,
 }
 
 fn run<P: colr_tree::ProbeService + Sync>(
@@ -157,6 +172,7 @@ fn run<P: colr_tree::ProbeService + Sync>(
 ) -> RunResult {
     let next = AtomicUsize::new(0);
     let probes = AtomicU64::new(0);
+    let from_cache = AtomicU64::new(0);
     let latencies: Mutex<Vec<u64>> = Mutex::new(Vec::with_capacity(queries.len()));
     let wall = Instant::now();
     std::thread::scope(|scope| {
@@ -174,6 +190,7 @@ fn run<P: colr_tree::ProbeService + Sync>(
                         tree.execute_frozen(&queries[i], Mode::Colr, probe, now, &mut rng);
                     local.push(start.elapsed().as_nanos() as u64);
                     probes.fetch_add(out.stats.sensors_probed, Ordering::Relaxed);
+                    from_cache.fetch_add(out.stats.readings_from_cache, Ordering::Relaxed);
                 }
                 latencies.lock().expect("latency sink").extend(local);
             });
@@ -189,22 +206,41 @@ fn run<P: colr_tree::ProbeService + Sync>(
         let idx = ((lat.len() as f64 - 1.0) * p).round() as usize;
         lat[idx] as f64 / 1e6
     };
+    let probed = probes.load(Ordering::Relaxed);
+    let cached = from_cache.load(Ordering::Relaxed);
     RunResult {
         threads,
         queries_per_sec: queries.len() as f64 / elapsed,
-        probes_per_query: probes.load(Ordering::Relaxed) as f64 / queries.len() as f64,
+        probes_per_query: probed as f64 / queries.len() as f64,
+        cache_hit_ratio: if probed + cached == 0 {
+            0.0
+        } else {
+            cached as f64 / (probed + cached) as f64
+        },
         p50_latency_ms: pct(0.50),
         p95_latency_ms: pct(0.95),
+        p99_latency_ms: pct(0.99),
     }
 }
 
 fn main() {
     let args = parse_args();
+    if !args.telemetry {
+        colr_telemetry::global().set_enabled(false);
+        colr_telemetry::tracer().set_enabled(false);
+    }
     let (sensors, side) = grid_sensors(args.sensors);
     eprintln!("building tree over {} sensors...", sensors.len());
     let tree = ColrTree::build(sensors.clone(), ColrConfig::default(), 42);
     let net = WanProbe {
-        inner: SimNetwork::new(sensors, ConstantField { base: 0.0, step: 0.01 }, 7),
+        inner: SimNetwork::new(
+            sensors,
+            ConstantField {
+                base: 0.0,
+                step: 0.01,
+            },
+            7,
+        ),
         rtt: Duration::from_micros(args.rtt_us),
     };
 
@@ -219,11 +255,41 @@ fn main() {
         run(&tree, &net, &queries[..queries.len().min(64)], t, now, 999);
         let r = run(&tree, &net, &queries, t, now, 5678);
         eprintln!(
-            "threads={:<2} q/s={:>10.0} probes/q={:>6.2} p50={:.3}ms p95={:.3}ms",
-            r.threads, r.queries_per_sec, r.probes_per_query, r.p50_latency_ms, r.p95_latency_ms
+            "threads={:<2} q/s={:>10.0} probes/q={:>6.2} hit={:.3} p50={:.3}ms p95={:.3}ms p99={:.3}ms",
+            r.threads,
+            r.queries_per_sec,
+            r.probes_per_query,
+            r.cache_hit_ratio,
+            r.p50_latency_ms,
+            r.p95_latency_ms,
+            r.p99_latency_ms
         );
         runs.push(r);
     }
+
+    // Warm phase: the cold runs all execute against the same frozen snapshot
+    // (hit ratio 0 by construction), so apply one batch's write-backs and
+    // measure once more at the widest thread count — the slot caches now
+    // serve the viewports and the hit ratio is the interesting number.
+    let max_threads = args.threads.iter().copied().max().unwrap_or(1);
+    let mut deferred = Vec::new();
+    for (i, q) in queries.iter().enumerate() {
+        let mut rng = StdRng::seed_from_u64(derive_seed(5678, i as u64));
+        let (_, d) = tree.execute_frozen(q, Mode::Colr, &net, now, &mut rng);
+        deferred.extend(d);
+    }
+    tree.apply_readings(&deferred, now);
+    let warm = run(&tree, &net, &queries, max_threads, now, 5678);
+    eprintln!(
+        "warm threads={:<2} q/s={:>10.0} probes/q={:>6.2} hit={:.3} p50={:.3}ms p95={:.3}ms p99={:.3}ms",
+        warm.threads,
+        warm.queries_per_sec,
+        warm.probes_per_query,
+        warm.cache_hit_ratio,
+        warm.p50_latency_ms,
+        warm.p95_latency_ms,
+        warm.p99_latency_ms
+    );
 
     let single = runs
         .iter()
@@ -241,6 +307,10 @@ fn main() {
     json.push_str(&format!("  \"sensors\": {},\n", args.sensors));
     json.push_str(&format!("  \"queries_per_run\": {},\n", args.queries));
     json.push_str(&format!("  \"probe_rtt_us\": {},\n", args.rtt_us));
+    json.push_str(&format!(
+        "  \"telemetry\": \"{}\",\n",
+        if args.telemetry { "on" } else { "off" }
+    ));
     json.push_str(
         "  \"mode\": \"Colr\",\n  \"workload\": \"seeded viewports, R=64, simulated WAN RTT per probe batch\",\n",
     );
@@ -248,16 +318,31 @@ fn main() {
     for (i, r) in runs.iter().enumerate() {
         json.push_str(&format!(
             "    {{\"threads\": {}, \"queries_per_sec\": {:.1}, \"probes_per_query\": {:.3}, \
-             \"p50_latency_ms\": {:.4}, \"p95_latency_ms\": {:.4}}}{}\n",
+             \"cache_hit_ratio\": {:.4}, \"p50_latency_ms\": {:.4}, \"p95_latency_ms\": {:.4}, \
+             \"p99_latency_ms\": {:.4}}}{}\n",
             r.threads,
             r.queries_per_sec,
             r.probes_per_query,
+            r.cache_hit_ratio,
             r.p50_latency_ms,
             r.p95_latency_ms,
+            r.p99_latency_ms,
             if i + 1 < runs.len() { "," } else { "" }
         ));
     }
     json.push_str("  ],\n");
+    json.push_str(&format!(
+        "  \"warm_run\": {{\"threads\": {}, \"queries_per_sec\": {:.1}, \"probes_per_query\": {:.3}, \
+         \"cache_hit_ratio\": {:.4}, \"p50_latency_ms\": {:.4}, \"p95_latency_ms\": {:.4}, \
+         \"p99_latency_ms\": {:.4}}},\n",
+        warm.threads,
+        warm.queries_per_sec,
+        warm.probes_per_query,
+        warm.cache_hit_ratio,
+        warm.p50_latency_ms,
+        warm.p95_latency_ms,
+        warm.p99_latency_ms
+    ));
     json.push_str(&format!("  \"speedup_vs_single_thread\": {speedup:.2}\n"));
     json.push_str("}\n");
     std::fs::write(&args.out, &json).expect("write BENCH_throughput.json");

@@ -183,7 +183,11 @@ mod tests {
         let field = RandomWalkField::new(sc.sensors.len(), 0.0, 60.0, 2.0, 9);
 
         let mut tree_r = build_tree(&sc, None);
-        let mut net_r = SimNetwork::new(sc.sensors.clone(), RandomWalkField::new(sc.sensors.len(), 0.0, 60.0, 2.0, 9), 5);
+        let mut net_r = SimNetwork::new(
+            sc.sensors.clone(),
+            RandomWalkField::new(sc.sensors.len(), 0.0, 60.0, 2.0, 9),
+            5,
+        );
         let rtree = replay(
             &mut tree_r,
             &sc,
@@ -212,10 +216,7 @@ mod tests {
 
         let probes_r = mean(rtree.iter().map(|m| m.stats.sensors_probed as f64));
         let probes_c = mean(colr.iter().map(|m| m.stats.sensors_probed as f64));
-        assert!(
-            probes_c < probes_r,
-            "colr {probes_c} !< rtree {probes_r}"
-        );
+        assert!(probes_c < probes_r, "colr {probes_c} !< rtree {probes_r}");
     }
 
     #[test]

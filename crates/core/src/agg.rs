@@ -264,7 +264,11 @@ impl Histogram {
     pub fn merge(&mut self, other: &Histogram) {
         assert_eq!(self.lo, other.lo, "histogram lo mismatch");
         assert_eq!(self.hi, other.hi, "histogram hi mismatch");
-        assert_eq!(self.counts.len(), other.counts.len(), "bucket count mismatch");
+        assert_eq!(
+            self.counts.len(),
+            other.counts.len(),
+            "bucket count mismatch"
+        );
         for (a, b) in self.counts.iter_mut().zip(&other.counts) {
             *a += b;
         }
@@ -389,7 +393,11 @@ mod tests {
 
     #[test]
     fn histogram_spec_builds_empty() {
-        let spec = HistogramSpec { lo: 0.0, hi: 1.0, buckets: 4 };
+        let spec = HistogramSpec {
+            lo: 0.0,
+            hi: 1.0,
+            buckets: 4,
+        };
         let h = spec.empty();
         assert_eq!(h.counts().len(), 4);
         assert!(h.is_empty());

@@ -90,6 +90,8 @@ impl ColrTree {
             builder.build_levels(&sensors, &config)
         };
 
+        let telem = crate::telem::build();
+        let assemble_start = std::time::Instant::now();
         let mut tree = ColrTree::assemble(
             config,
             slot_config,
@@ -100,6 +102,10 @@ impl ColrTree {
             builder.sensor_leaf,
         );
         tree.assign_levels();
+        telem
+            .assemble_phase_us
+            .observe(assemble_start.elapsed().as_micros() as u64);
+        telem.trees.inc();
         tree
     }
 
@@ -145,9 +151,11 @@ impl Builder {
 
     fn push_leaf(&mut self, sensors: &[SensorMeta], members: Vec<SensorId>) -> NodeId {
         let id = NodeId(self.nodes.len() as u32);
-        let points: Vec<Point> = members.iter().map(|s| sensors[s.index()].location).collect();
-        let bbox = Rect::bounding(&points)
-            .unwrap_or_else(|| Rect::from_coords(0.0, 0.0, 0.0, 0.0));
+        let points: Vec<Point> = members
+            .iter()
+            .map(|s| sensors[s.index()].location)
+            .collect();
+        let bbox = Rect::bounding(&points).unwrap_or_else(|| Rect::from_coords(0.0, 0.0, 0.0, 0.0));
         let weight = members.len() as u64;
         let avail_mean = if members.is_empty() {
             1.0
@@ -212,8 +220,10 @@ impl Builder {
     }
 
     fn build_levels(&mut self, sensors: &[SensorMeta], config: &ColrConfig) -> NodeId {
+        let telem = crate::telem::build();
         let b = config.branching;
         // --- Leaf level ---
+        let leaf_start = std::time::Instant::now();
         let points: Vec<Point> = sensors.iter().map(|s| s.location).collect();
         let ids: Vec<usize> = (0..sensors.len()).collect();
         let k = sensors.len().div_ceil(b).max(1);
@@ -225,8 +235,12 @@ impl Builder {
                 self.push_leaf(sensors, members)
             })
             .collect();
+        telem
+            .leaf_phase_us
+            .observe(leaf_start.elapsed().as_micros() as u64);
 
         // --- Internal levels ---
+        let internal_start = std::time::Instant::now();
         while current.len() > b {
             let centroids: Vec<Point> = current
                 .iter()
@@ -243,11 +257,15 @@ impl Builder {
                 })
                 .collect();
         }
-        if current.len() == 1 {
+        let root = if current.len() == 1 {
             current[0]
         } else {
             self.push_internal(current)
-        }
+        };
+        telem
+            .internal_phase_us
+            .observe(internal_start.elapsed().as_micros() as u64);
+        root
     }
 
     /// Clusters `items` (parallel to `points`) into at most `k` non-empty
@@ -352,6 +370,9 @@ fn lloyd(
 ) -> Vec<Vec<usize>> {
     let n = points.len();
     let k = k.min(n);
+    crate::telem::build()
+        .kmeans_iterations
+        .add(iterations.max(1) as u64);
     // Seed with k distinct random points (partial Fisher–Yates).
     let mut order: Vec<usize> = (0..n).collect();
     for i in 0..k {

@@ -172,8 +172,15 @@ mod tests {
     #[test]
     fn scans_entire_pool_every_query() {
         let mut fc = FlatCache::new(sensors(100), None, CostModel::default());
-        let mut probe = AlwaysAvailable { expiry_ms: EXPIRY_MS };
-        let out = fc.query(&region(0.0, 9.5), TimeDelta::from_mins(5), &mut probe, Timestamp(1_000));
+        let probe = AlwaysAvailable {
+            expiry_ms: EXPIRY_MS,
+        };
+        let out = fc.query(
+            &region(0.0, 9.5),
+            TimeDelta::from_mins(5),
+            &probe,
+            Timestamp(1_000),
+        );
         assert_eq!(out.stats.entries_scanned, 100);
         assert_eq!(out.stats.sensors_probed, 10);
         assert_eq!(out.readings.len(), 10);
@@ -182,9 +189,21 @@ mod tests {
     #[test]
     fn warm_cache_avoids_probes() {
         let mut fc = FlatCache::new(sensors(100), None, CostModel::default());
-        let mut probe = AlwaysAvailable { expiry_ms: EXPIRY_MS };
-        fc.query(&region(0.0, 9.5), TimeDelta::from_mins(5), &mut probe, Timestamp(1_000));
-        let out = fc.query(&region(0.0, 9.5), TimeDelta::from_mins(5), &mut probe, Timestamp(2_000));
+        let probe = AlwaysAvailable {
+            expiry_ms: EXPIRY_MS,
+        };
+        fc.query(
+            &region(0.0, 9.5),
+            TimeDelta::from_mins(5),
+            &probe,
+            Timestamp(1_000),
+        );
+        let out = fc.query(
+            &region(0.0, 9.5),
+            TimeDelta::from_mins(5),
+            &probe,
+            Timestamp(2_000),
+        );
         assert_eq!(out.stats.sensors_probed, 0);
         assert_eq!(out.stats.readings_from_cache, 10);
         assert_eq!(out.readings.len(), 10);
@@ -193,12 +212,19 @@ mod tests {
     #[test]
     fn staleness_bound_forces_reprobe() {
         let mut fc = FlatCache::new(sensors(100), None, CostModel::default());
-        let mut probe = AlwaysAvailable { expiry_ms: EXPIRY_MS };
-        fc.query(&region(0.0, 9.5), TimeDelta::from_mins(5), &mut probe, Timestamp(1_000));
+        let probe = AlwaysAvailable {
+            expiry_ms: EXPIRY_MS,
+        };
+        fc.query(
+            &region(0.0, 9.5),
+            TimeDelta::from_mins(5),
+            &probe,
+            Timestamp(1_000),
+        );
         let out = fc.query(
             &region(0.0, 9.5),
             TimeDelta::from_secs(30),
-            &mut probe,
+            &probe,
             Timestamp(1_000 + 60_000),
         );
         assert_eq!(out.stats.sensors_probed, 10);
@@ -207,16 +233,28 @@ mod tests {
     #[test]
     fn capacity_evicts_least_recently_fetched() {
         let mut fc = FlatCache::new(sensors(100), Some(5), CostModel::default());
-        let mut probe = AlwaysAvailable { expiry_ms: EXPIRY_MS };
-        fc.query(&region(0.0, 9.5), TimeDelta::from_mins(5), &mut probe, Timestamp(1_000));
+        let probe = AlwaysAvailable {
+            expiry_ms: EXPIRY_MS,
+        };
+        fc.query(
+            &region(0.0, 9.5),
+            TimeDelta::from_mins(5),
+            &probe,
+            Timestamp(1_000),
+        );
         assert_eq!(fc.cached_readings(), 5);
     }
 
     #[test]
     fn expire_drops_dead_readings() {
         let mut fc = FlatCache::new(sensors(10), None, CostModel::default());
-        let mut probe = AlwaysAvailable { expiry_ms: 1_000 };
-        fc.query(&region(0.0, 9.5), TimeDelta::from_mins(5), &mut probe, Timestamp(0));
+        let probe = AlwaysAvailable { expiry_ms: 1_000 };
+        fc.query(
+            &region(0.0, 9.5),
+            TimeDelta::from_mins(5),
+            &probe,
+            Timestamp(0),
+        );
         assert_eq!(fc.cached_readings(), 10);
         fc.expire(Timestamp(2_000));
         assert_eq!(fc.cached_readings(), 0);
@@ -225,10 +263,22 @@ mod tests {
     #[test]
     fn latency_includes_scan_cost() {
         let mut fc = FlatCache::new(sensors(1_000), None, CostModel::default());
-        let mut probe = AlwaysAvailable { expiry_ms: EXPIRY_MS };
+        let probe = AlwaysAvailable {
+            expiry_ms: EXPIRY_MS,
+        };
         // Warm then re-query: no probes, only the pool scan remains.
-        fc.query(&region(0.0, 9.5), TimeDelta::from_mins(5), &mut probe, Timestamp(1_000));
-        let out = fc.query(&region(0.0, 9.5), TimeDelta::from_mins(5), &mut probe, Timestamp(2_000));
+        fc.query(
+            &region(0.0, 9.5),
+            TimeDelta::from_mins(5),
+            &probe,
+            Timestamp(1_000),
+        );
+        let out = fc.query(
+            &region(0.0, 9.5),
+            TimeDelta::from_mins(5),
+            &probe,
+            Timestamp(2_000),
+        );
         assert!(out.latency_ms > 0.0);
         assert_eq!(out.stats.entries_scanned, 1_000);
     }

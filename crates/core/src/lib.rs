@@ -60,6 +60,7 @@ pub mod sampling;
 pub mod slot_cache;
 pub mod slot_size;
 pub mod stats;
+pub(crate) mod telem;
 pub mod time;
 pub mod tree;
 

@@ -197,10 +197,19 @@ impl WriteBack {
     ) {
         match self {
             WriteBack::Immediate => {
+                let mut inserted = 0u64;
                 for r in readings {
                     if tree.insert_reading(*r, now) {
-                        stats.cache_inserts += 1;
+                        inserted += 1;
                     }
+                }
+                stats.cache_inserts += inserted;
+                if inserted > 0 {
+                    colr_telemetry::tracer().record_now(
+                        colr_telemetry::SpanKind::WriteBack,
+                        0,
+                        inserted,
+                    );
                 }
             }
             WriteBack::Buffered(buf) => buf.extend_from_slice(readings),
@@ -281,6 +290,39 @@ impl ColrTree {
             Mode::Colr => self.exec_colr(query, probe, now, rng, wb),
         };
         out.latency_ms = self.config().cost.latency_ms(&out.stats);
+        let telem = crate::telem::query();
+        telem.count_query(mode);
+        telem.latency_us.observe((out.latency_ms * 1_000.0) as u64);
+        let tr = colr_telemetry::tracer();
+        if tr.enabled() {
+            // Span durations are fed by the deterministic cost model, so the
+            // recorded lifecycle is reproducible run to run.
+            let cost = &self.config().cost;
+            let at = tr.now_us();
+            let stats = &out.stats;
+            tr.record(
+                colr_telemetry::SpanKind::Traverse,
+                at,
+                (stats.nodes_traversed as f64 * cost.node_visit_ms * 1_000.0) as u64,
+                stats.nodes_traversed,
+            );
+            if stats.cache_nodes_used > 0 {
+                tr.record(
+                    colr_telemetry::SpanKind::CacheHit,
+                    at,
+                    0,
+                    stats.cache_nodes_used,
+                );
+            }
+            if stats.slots_combined > 0 {
+                tr.record(
+                    colr_telemetry::SpanKind::SlotCombine,
+                    at,
+                    (stats.slots_combined as f64 * cost.slot_combine_ms * 1_000.0) as u64,
+                    stats.slots_combined,
+                );
+            }
+        }
         out
     }
 
@@ -393,12 +435,33 @@ impl ColrTree {
         debug_assert_eq!(outcomes.len(), ids.len());
         stats.sensors_probed += ids.len() as u64;
         let mut readings = Vec::with_capacity(ids.len());
+        let mut failed = 0u64;
         for outcome in outcomes {
             match outcome {
                 Some(r) => readings.push(r),
-                None => stats.probes_failed += 1,
+                None => failed += 1,
             }
         }
+        stats.probes_failed += failed;
+        let telem = crate::telem::query();
+        telem.probes_issued.add(ids.len() as u64);
+        telem.probes_failed.add(failed);
+        telem.probe_batch_size.observe(ids.len() as u64);
+        let cost = &self.config().cost;
+        let waves = if cost.probe_parallelism == 0 {
+            ids.len() as u64
+        } else {
+            (ids.len() as u64).div_ceil(cost.probe_parallelism)
+        };
+        let wave_us = ((waves as f64 * cost.probe_rtt_ms
+            + ids.len() as f64 * cost.probe_overhead_ms)
+            * 1_000.0) as u64;
+        telem.probe_wave_us.observe(wave_us);
+        colr_telemetry::tracer().record_now(
+            colr_telemetry::SpanKind::ProbeWave,
+            wave_us,
+            ids.len() as u64,
+        );
         if cache_results {
             wb.record(self, &readings, now, stats);
         }
@@ -444,8 +507,7 @@ impl ColrTree {
                 continue;
             }
             let terminal = node.is_leaf()
-                || (node.level >= terminal_level
-                    && query.region.contains_rect(&node.bbox));
+                || (node.level >= terminal_level && query.region.contains_rect(&node.bbox));
             if terminal {
                 let bbox = node.bbox;
                 // No cache in this mode: every sensor in the region is probed.
@@ -503,6 +565,7 @@ impl ColrTree {
                 });
                 let needed = (population as f64 * self.config.cache_coverage_threshold).ceil();
                 if agg.count as f64 >= needed.max(1.0) {
+                    crate::telem::tree().cache_hit(node.level);
                     stats.cache_nodes_used += 1;
                     stats.slots_combined += slots;
                     groups.push(GroupResult {
@@ -516,11 +579,11 @@ impl ColrTree {
                     });
                     continue;
                 }
+                crate::telem::tree().cache_miss(node.level);
             }
             if node.is_leaf() {
                 let bbox = node.bbox;
-                let (cached, candidates) =
-                    self.terminal_scan(id, query, now, &mut stats);
+                let (cached, candidates) = self.terminal_scan(id, query, now, &mut stats);
                 stats.readings_from_cache += cached.len() as u64;
                 if !cached.is_empty() {
                     stats.cache_nodes_used += 1;
@@ -581,7 +644,9 @@ mod tests {
     #[test]
     fn rtree_probes_every_sensor_in_region() {
         let tree = grid_tree(16, None);
-        let probe = AlwaysAvailable { expiry_ms: EXPIRY_MS };
+        let probe = AlwaysAvailable {
+            expiry_ms: EXPIRY_MS,
+        };
         let mut rng = StdRng::seed_from_u64(1);
         let region = Rect::from_coords(-0.5, -0.5, 7.5, 7.5); // 8x8 = 64 sensors
         let out = tree.execute(&q(region), Mode::RTree, &probe, Timestamp(1_000), &mut rng);
@@ -596,11 +661,19 @@ mod tests {
     #[test]
     fn rtree_never_uses_cache_even_when_warm() {
         let tree = grid_tree(16, None);
-        let probe = AlwaysAvailable { expiry_ms: EXPIRY_MS };
+        let probe = AlwaysAvailable {
+            expiry_ms: EXPIRY_MS,
+        };
         let mut rng = StdRng::seed_from_u64(1);
         let region = Rect::from_coords(-0.5, -0.5, 7.5, 7.5);
         // Warm the cache with a hier query first.
-        tree.execute(&q(region), Mode::HierCache, &probe, Timestamp(1_000), &mut rng);
+        tree.execute(
+            &q(region),
+            Mode::HierCache,
+            &probe,
+            Timestamp(1_000),
+            &mut rng,
+        );
         let out = tree.execute(&q(region), Mode::RTree, &probe, Timestamp(2_000), &mut rng);
         assert_eq!(out.stats.sensors_probed, 64);
         assert_eq!(out.stats.readings_from_cache, 0);
@@ -609,15 +682,29 @@ mod tests {
     #[test]
     fn hier_cold_probes_then_warm_serves_from_cache() {
         let tree = grid_tree(16, None);
-        let probe = AlwaysAvailable { expiry_ms: EXPIRY_MS };
+        let probe = AlwaysAvailable {
+            expiry_ms: EXPIRY_MS,
+        };
         let mut rng = StdRng::seed_from_u64(1);
         let region = Rect::from_coords(-0.5, -0.5, 7.5, 7.5);
-        let cold = tree.execute(&q(region), Mode::HierCache, &probe, Timestamp(1_000), &mut rng);
+        let cold = tree.execute(
+            &q(region),
+            Mode::HierCache,
+            &probe,
+            Timestamp(1_000),
+            &mut rng,
+        );
         assert_eq!(cold.stats.sensors_probed, 64);
         assert_eq!(cold.stats.cache_inserts, 64);
         assert_eq!(tree.cached_readings(), 64);
 
-        let warm = tree.execute(&q(region), Mode::HierCache, &probe, Timestamp(2_000), &mut rng);
+        let warm = tree.execute(
+            &q(region),
+            Mode::HierCache,
+            &probe,
+            Timestamp(2_000),
+            &mut rng,
+        );
         assert_eq!(warm.stats.sensors_probed, 0, "fully cached region reprobed");
         assert!(warm.stats.cache_nodes_used > 0);
         assert_eq!(warm.result_size(), 64);
@@ -628,33 +715,64 @@ mod tests {
     #[test]
     fn frozen_execution_defers_writebacks() {
         let tree = grid_tree(16, None);
-        let probe = AlwaysAvailable { expiry_ms: EXPIRY_MS };
+        let probe = AlwaysAvailable {
+            expiry_ms: EXPIRY_MS,
+        };
         let mut rng = StdRng::seed_from_u64(1);
         let region = Rect::from_coords(-0.5, -0.5, 7.5, 7.5);
         tree.advance(Timestamp(1_000));
-        let (out, deferred) =
-            tree.execute_frozen(&q(region), Mode::HierCache, &probe, Timestamp(1_000), &mut rng);
+        let (out, deferred) = tree.execute_frozen(
+            &q(region),
+            Mode::HierCache,
+            &probe,
+            Timestamp(1_000),
+            &mut rng,
+        );
         assert_eq!(out.stats.sensors_probed, 64);
         assert_eq!(out.stats.cache_inserts, 0, "frozen run must not insert");
-        assert_eq!(tree.cached_readings(), 0, "tree untouched during frozen run");
+        assert_eq!(
+            tree.cached_readings(),
+            0,
+            "tree untouched during frozen run"
+        );
         assert_eq!(deferred.len(), 64);
         // Applying the deferred batch reproduces the immediate-mode state.
         assert_eq!(tree.apply_readings(&deferred, Timestamp(1_000)), 64);
         assert_eq!(tree.cached_readings(), 64);
-        let warm = tree.execute(&q(region), Mode::HierCache, &probe, Timestamp(2_000), &mut rng);
+        let warm = tree.execute(
+            &q(region),
+            Mode::HierCache,
+            &probe,
+            Timestamp(2_000),
+            &mut rng,
+        );
         assert_eq!(warm.stats.sensors_probed, 0);
     }
 
     #[test]
     fn hier_respects_freshness_bound() {
         let tree = grid_tree(16, None);
-        let probe = AlwaysAvailable { expiry_ms: EXPIRY_MS };
+        let probe = AlwaysAvailable {
+            expiry_ms: EXPIRY_MS,
+        };
         let mut rng = StdRng::seed_from_u64(1);
         let region = Rect::from_coords(-0.5, -0.5, 7.5, 7.5);
-        tree.execute(&q(region), Mode::HierCache, &probe, Timestamp(1_000), &mut rng);
+        tree.execute(
+            &q(region),
+            Mode::HierCache,
+            &probe,
+            Timestamp(1_000),
+            &mut rng,
+        );
         // 2 minutes later, demand 1-minute freshness → cache unusable.
         let strict = Query::range(region, TimeDelta::from_mins(1)).with_terminal_level(2);
-        let out = tree.execute(&strict, Mode::HierCache, &probe, Timestamp(121_000), &mut rng);
+        let out = tree.execute(
+            &strict,
+            Mode::HierCache,
+            &probe,
+            Timestamp(121_000),
+            &mut rng,
+        );
         assert_eq!(out.stats.sensors_probed, 64);
     }
 
@@ -665,9 +783,23 @@ mod tests {
         // Warm a smaller region, then query a larger one.
         let small = Rect::from_coords(-0.5, -0.5, 3.5, 3.5); // 16 sensors
         let large = Rect::from_coords(-0.5, -0.5, 7.5, 7.5); // 64 sensors
-        let probe = AlwaysAvailable { expiry_ms: EXPIRY_MS };
-        tree.execute(&q(small), Mode::HierCache, &probe, Timestamp(1_000), &mut rng);
-        let out = tree.execute(&q(large), Mode::HierCache, &probe, Timestamp(2_000), &mut rng);
+        let probe = AlwaysAvailable {
+            expiry_ms: EXPIRY_MS,
+        };
+        tree.execute(
+            &q(small),
+            Mode::HierCache,
+            &probe,
+            Timestamp(1_000),
+            &mut rng,
+        );
+        let out = tree.execute(
+            &q(large),
+            Mode::HierCache,
+            &probe,
+            Timestamp(2_000),
+            &mut rng,
+        );
         // Every sensor is answered exactly once: by a probe, a raw cached
         // reading, or a covering cached aggregate.
         assert_eq!(out.result_size(), 64);
@@ -696,10 +828,18 @@ mod tests {
     #[test]
     fn cache_capacity_is_enforced_after_queries() {
         let tree = grid_tree(16, Some(20));
-        let probe = AlwaysAvailable { expiry_ms: EXPIRY_MS };
+        let probe = AlwaysAvailable {
+            expiry_ms: EXPIRY_MS,
+        };
         let mut rng = StdRng::seed_from_u64(1);
         let region = Rect::from_coords(-0.5, -0.5, 7.5, 7.5);
-        tree.execute(&q(region), Mode::HierCache, &probe, Timestamp(1_000), &mut rng);
+        tree.execute(
+            &q(region),
+            Mode::HierCache,
+            &probe,
+            Timestamp(1_000),
+            &mut rng,
+        );
         assert!(tree.cached_readings() <= 20);
         tree.validate().expect("valid after eviction");
     }
@@ -707,7 +847,9 @@ mod tests {
     #[test]
     fn disjoint_region_returns_empty() {
         let tree = grid_tree(8, None);
-        let probe = AlwaysAvailable { expiry_ms: EXPIRY_MS };
+        let probe = AlwaysAvailable {
+            expiry_ms: EXPIRY_MS,
+        };
         let mut rng = StdRng::seed_from_u64(1);
         let region = Rect::from_coords(100.0, 100.0, 110.0, 110.0);
         for mode in [Mode::RTree, Mode::HierCache] {
@@ -721,7 +863,9 @@ mod tests {
     fn polygon_region_filters_sensors() {
         use colr_geo::Polygon;
         let tree = grid_tree(8, None);
-        let probe = AlwaysAvailable { expiry_ms: EXPIRY_MS };
+        let probe = AlwaysAvailable {
+            expiry_ms: EXPIRY_MS,
+        };
         let mut rng = StdRng::seed_from_u64(1);
         // Triangle covering roughly half of the 8x8 grid (x + y < 7.2).
         let tri = Polygon::new(vec![
@@ -737,10 +881,13 @@ mod tests {
 
     #[test]
     fn query_builder_sets_fields() {
-        let query = Query::range(Rect::from_coords(0.0, 0.0, 1.0, 1.0), TimeDelta::from_mins(3))
-            .with_terminal_level(4)
-            .with_oversample_level(2)
-            .with_sample_size(30.0);
+        let query = Query::range(
+            Rect::from_coords(0.0, 0.0, 1.0, 1.0),
+            TimeDelta::from_mins(3),
+        )
+        .with_terminal_level(4)
+        .with_oversample_level(2)
+        .with_sample_size(30.0);
         assert_eq!(query.terminal_level, 4);
         assert_eq!(query.oversample_level, 2);
         assert_eq!(query.sample_size, Some(30.0));
@@ -764,7 +911,9 @@ mod tests {
         let region = Rect::from_coords(-0.5, -0.5, 7.5, 7.5);
         for mode in [Mode::RTree, Mode::HierCache, Mode::Colr] {
             let tree = ColrTree::build(sensors.clone(), ColrConfig::default(), 42);
-            let probe = AlwaysAvailable { expiry_ms: EXPIRY_MS };
+            let probe = AlwaysAvailable {
+                expiry_ms: EXPIRY_MS,
+            };
             let mut rng = StdRng::seed_from_u64(1);
             let mut query = q(region).with_kind_filter(1);
             if mode == Mode::Colr {
@@ -798,11 +947,19 @@ mod tests {
             .collect();
         let region = Rect::from_coords(-0.5, -0.5, 7.5, 7.5);
         let tree = ColrTree::build(sensors, ColrConfig::default(), 42);
-        let probe = AlwaysAvailable { expiry_ms: EXPIRY_MS };
+        let probe = AlwaysAvailable {
+            expiry_ms: EXPIRY_MS,
+        };
         let mut rng = StdRng::seed_from_u64(1);
         // Warm with an unfiltered query: aggregates cover both types, with
         // per-type sub-aggregates alongside.
-        tree.execute(&q(region), Mode::HierCache, &probe, Timestamp(1_000), &mut rng);
+        tree.execute(
+            &q(region),
+            Mode::HierCache,
+            &probe,
+            Timestamp(1_000),
+            &mut rng,
+        );
         // A filtered query is answered from the per-type sub-aggregates:
         // no probes, and the aggregate reflects only type-2 sensors.
         let out = tree.execute(
@@ -832,9 +989,21 @@ mod tests {
         let probe = AlwaysAvailable { expiry_ms: 10_000 }; // 10s expiry
         let mut rng = StdRng::seed_from_u64(1);
         let region = Rect::from_coords(-0.5, -0.5, 7.5, 7.5);
-        tree.execute(&q(region), Mode::HierCache, &probe, Timestamp(1_000), &mut rng);
+        tree.execute(
+            &q(region),
+            Mode::HierCache,
+            &probe,
+            Timestamp(1_000),
+            &mut rng,
+        );
         // 30s later every cached reading has expired.
-        let out = tree.execute(&q(region), Mode::HierCache, &probe, Timestamp(31_000), &mut rng);
+        let out = tree.execute(
+            &q(region),
+            Mode::HierCache,
+            &probe,
+            Timestamp(31_000),
+            &mut rng,
+        );
         assert_eq!(out.stats.readings_from_cache, 0);
         assert_eq!(out.stats.sensors_probed, 64);
     }

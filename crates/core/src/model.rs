@@ -183,7 +183,7 @@ mod tests {
                 )
             })
             .collect();
-        let mut tree = ColrTree::build(sensors, ColrConfig::default(), 7);
+        let tree = ColrTree::build(sensors, ColrConfig::default(), 7);
         for i in 0..64u32 {
             let loc = tree.sensor_location(SensorId(i));
             let reading = Reading {
@@ -202,7 +202,12 @@ mod tests {
         let tree = seeded_tree();
         let m = IdwModel::default();
         let v = m
-            .estimate_at(&tree, Point::new(3.0, 2.0), Timestamp(2_000), TimeDelta::from_mins(5))
+            .estimate_at(
+                &tree,
+                Point::new(3.0, 2.0),
+                Timestamp(2_000),
+                TimeDelta::from_mins(5),
+            )
             .unwrap();
         assert!((v - 23.0).abs() < 1e-9, "got {v}");
     }
@@ -213,7 +218,12 @@ mod tests {
         let m = IdwModel::default();
         // Between (3,2)=23 and (4,2)=24: symmetric neighbours → ≈23.5.
         let v = m
-            .estimate_at(&tree, Point::new(3.5, 2.0), Timestamp(2_000), TimeDelta::from_mins(5))
+            .estimate_at(
+                &tree,
+                Point::new(3.5, 2.0),
+                Timestamp(2_000),
+                TimeDelta::from_mins(5),
+            )
             .unwrap();
         assert!((v - 23.5).abs() < 0.5, "got {v}");
     }
@@ -233,7 +243,12 @@ mod tests {
         let tree = ColrTree::build(sensors, ColrConfig::default(), 7);
         let m = IdwModel::default();
         assert!(m
-            .estimate_at(&tree, Point::new(1.0, 0.0), Timestamp(1_000), TimeDelta::from_mins(5))
+            .estimate_at(
+                &tree,
+                Point::new(1.0, 0.0),
+                Timestamp(1_000),
+                TimeDelta::from_mins(5)
+            )
             .is_none());
     }
 
@@ -254,7 +269,7 @@ mod tests {
 
     #[test]
     fn expired_readings_are_excluded() {
-        let mut tree = seeded_tree();
+        let tree = seeded_tree();
         // Past every expiry: cache rolls empty → no estimate.
         tree.advance(Timestamp(1_000 + EXPIRY_MS * 2));
         let m = IdwModel::default();
@@ -276,7 +291,12 @@ mod tests {
             ..Default::default()
         };
         assert!(m
-            .estimate_at(&tree, Point::new(3.5, 2.5), Timestamp(2_000), TimeDelta::from_mins(5))
+            .estimate_at(
+                &tree,
+                Point::new(3.5, 2.5),
+                Timestamp(2_000),
+                TimeDelta::from_mins(5)
+            )
             .is_none());
     }
 

@@ -154,9 +154,7 @@ impl ColrTree {
         let mut readings: Vec<Reading> = Vec::new();
 
         let root = self.root();
-        let target = query
-            .sample_size
-            .unwrap_or(self.node(root).weight as f64);
+        let target = query.sample_size.unwrap_or(self.node(root).weight as f64);
         let mut pq = ScaledPq::new(self.config.enable_redistribution);
         pq.push(root, target, false);
 
@@ -172,8 +170,17 @@ impl ColrTree {
             // --- Terminal: probe/serve this subtree -----------------------
             if contained && node.level >= terminal_level {
                 let fulfilled = self.serve_terminal(
-                    id, r_eff, scaled, query, probe, now, rng, &mut stats, &mut groups,
-                    &mut readings, wb,
+                    id,
+                    r_eff,
+                    scaled,
+                    query,
+                    probe,
+                    now,
+                    rng,
+                    &mut stats,
+                    &mut groups,
+                    &mut readings,
+                    wb,
                 );
                 let want = if scaled && self.config.enable_oversampling {
                     r_eff * self.node(id).avail_mean.max(MIN_AVAILABILITY)
@@ -260,8 +267,7 @@ impl ColrTree {
                                 && child.level == query.oversample_level
                                 && self.config.enable_oversampling
                             {
-                                push_target /=
-                                    child.avail_mean.max(MIN_AVAILABILITY);
+                                push_target /= child.avail_mean.max(MIN_AVAILABILITY);
                                 child_scaled = true;
                             }
                             pq.push(c, push_target, child_scaled);
@@ -598,7 +604,9 @@ mod tests {
         let mut total = 0usize;
         for t in 0..trials {
             let tree = grid_tree(16, 1.0);
-            let probe = AlwaysAvailable { expiry_ms: EXPIRY_MS };
+            let probe = AlwaysAvailable {
+                expiry_ms: EXPIRY_MS,
+            };
             let out = tree.execute(
                 &sample_query(region, r),
                 Mode::Colr,
@@ -620,7 +628,9 @@ mod tests {
         let region = Rect::from_coords(-0.5, -0.5, 15.5, 15.5);
         let mut rng = StdRng::seed_from_u64(3);
         let tree = grid_tree(16, 1.0);
-        let probe = AlwaysAvailable { expiry_ms: EXPIRY_MS };
+        let probe = AlwaysAvailable {
+            expiry_ms: EXPIRY_MS,
+        };
         let out = tree.execute(
             &sample_query(region, 20.0),
             Mode::Colr,
@@ -700,7 +710,9 @@ mod tests {
         let mut counts = vec![0u32; side * side];
         for t in 0..trials {
             let tree = grid_tree(side, 1.0);
-            let probe = AlwaysAvailable { expiry_ms: EXPIRY_MS };
+            let probe = AlwaysAvailable {
+                expiry_ms: EXPIRY_MS,
+            };
             let out = tree.execute(
                 &sample_query(region, r),
                 Mode::Colr,
@@ -713,8 +725,7 @@ mod tests {
             }
         }
         let expected = r / n; // per-trial inclusion probability
-        let mean_incl =
-            counts.iter().map(|&c| c as f64).sum::<f64>() / (trials as f64 * n);
+        let mean_incl = counts.iter().map(|&c| c as f64).sum::<f64>() / (trials as f64 * n);
         assert!(
             (mean_incl - expected).abs() < expected * 0.15,
             "mean inclusion {mean_incl} vs expected {expected}"
@@ -761,7 +772,9 @@ mod tests {
                     ..Default::default()
                 };
                 let tree = ColrTree::build(sensors, config, 42);
-                let probe = AlwaysAvailable { expiry_ms: EXPIRY_MS };
+                let probe = AlwaysAvailable {
+                    expiry_ms: EXPIRY_MS,
+                };
                 let mut rng = StdRng::seed_from_u64(1000 + t);
                 let out = tree.execute(
                     &sample_query(region, r),
@@ -788,7 +801,9 @@ mod tests {
         let region = Rect::from_coords(-0.5, -0.5, 15.5, 15.5);
         let mut rng = StdRng::seed_from_u64(9);
         let tree = grid_tree(16, 1.0);
-        let probe = AlwaysAvailable { expiry_ms: EXPIRY_MS };
+        let probe = AlwaysAvailable {
+            expiry_ms: EXPIRY_MS,
+        };
         let q = sample_query(region, 40.0);
         let cold = tree.execute(&q, Mode::Colr, &probe, Timestamp(1_000), &mut rng);
         assert!(cold.stats.sensors_probed > 0);
@@ -807,7 +822,9 @@ mod tests {
         let region = Rect::from_coords(-0.5, -0.5, 15.5, 15.5);
         let mut rng = StdRng::seed_from_u64(13);
         let tree = grid_tree(16, 1.0);
-        let probe = AlwaysAvailable { expiry_ms: EXPIRY_MS };
+        let probe = AlwaysAvailable {
+            expiry_ms: EXPIRY_MS,
+        };
         let out = tree.execute(
             &sample_query(region, 0.0),
             Mode::Colr,
@@ -824,7 +841,9 @@ mod tests {
         let region = Rect::from_coords(100.0, 100.0, 110.0, 110.0);
         let mut rng = StdRng::seed_from_u64(13);
         let tree = grid_tree(8, 1.0);
-        let probe = AlwaysAvailable { expiry_ms: EXPIRY_MS };
+        let probe = AlwaysAvailable {
+            expiry_ms: EXPIRY_MS,
+        };
         let out = tree.execute(
             &sample_query(region, 10.0),
             Mode::Colr,
@@ -843,7 +862,9 @@ mod tests {
         let region = Rect::from_coords(-0.5, -0.5, 5.5, 11.5);
         let mut rng = StdRng::seed_from_u64(23);
         let tree = grid_tree(side, 1.0);
-        let probe = AlwaysAvailable { expiry_ms: EXPIRY_MS };
+        let probe = AlwaysAvailable {
+            expiry_ms: EXPIRY_MS,
+        };
         let out = tree.execute(
             &sample_query(region, 20.0),
             Mode::Colr,
@@ -863,7 +884,9 @@ mod tests {
         let region = Rect::from_coords(-0.5, -0.5, 15.5, 15.5);
         let mut rng = StdRng::seed_from_u64(29);
         let tree = grid_tree(16, 1.0);
-        let probe = AlwaysAvailable { expiry_ms: EXPIRY_MS };
+        let probe = AlwaysAvailable {
+            expiry_ms: EXPIRY_MS,
+        };
         let out = tree.execute(
             &sample_query(region, 32.0),
             Mode::Colr,

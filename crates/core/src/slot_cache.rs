@@ -97,7 +97,12 @@ pub struct Slot {
 
 impl Slot {
     /// A slot holding exactly one reading.
-    pub fn singleton(value: f64, ts: Timestamp, kind: u16, hist_spec: Option<HistogramSpec>) -> Slot {
+    pub fn singleton(
+        value: f64,
+        ts: Timestamp,
+        kind: u16,
+        hist_spec: Option<HistogramSpec>,
+    ) -> Slot {
         let hist = hist_spec.map(|spec| {
             let mut h = spec.empty();
             h.insert(value);
@@ -124,7 +129,9 @@ impl Slot {
     fn kind_insert(&mut self, kind: u16, value: f64) {
         match self.by_kind.binary_search_by_key(&kind, |(k, _)| *k) {
             Ok(i) => self.by_kind[i].1.insert(value),
-            Err(i) => self.by_kind.insert(i, (kind, PartialAgg::from_value(value))),
+            Err(i) => self
+                .by_kind
+                .insert(i, (kind, PartialAgg::from_value(value))),
         }
     }
 
@@ -368,7 +375,12 @@ impl SlotCache {
     /// sub-aggregates for `kind`. The freshness watermark is the slot-wide
     /// one (conservative: a stale reading of another type can disqualify a
     /// slot for this type).
-    pub fn usable_kind(&self, now: Timestamp, staleness: TimeDelta, kind: u16) -> (PartialAgg, u64) {
+    pub fn usable_kind(
+        &self,
+        now: Timestamp,
+        staleness: TimeDelta,
+        kind: u16,
+    ) -> (PartialAgg, u64) {
         let bound = now.saturating_sub(staleness);
         let width = self.config.slot_width.millis();
         let mut agg = PartialAgg::empty();
@@ -500,7 +512,10 @@ mod tests {
         let mut sc = SlotCache::new(cfg(100, 4));
         sc.insert(Timestamp(150), Timestamp(0), 1.0, 0);
         sc.insert(Timestamp(150), Timestamp(0), 3.0, 0);
-        assert_eq!(sc.try_remove(Timestamp(150), 3.0), RemoveOutcome::NeedsRebuild);
+        assert_eq!(
+            sc.try_remove(Timestamp(150), 3.0),
+            RemoveOutcome::NeedsRebuild
+        );
         // State preserved for the rebuild.
         assert_eq!(sc.slot(1).unwrap().agg.count, 2);
     }
@@ -525,7 +540,7 @@ mod tests {
         let mut sc = SlotCache::new(cfg(100, 4));
         sc.insert(Timestamp(150), Timestamp(100), 1.0, 1); // slot 1: [100,200)
         sc.insert(Timestamp(250), Timestamp(100), 2.0, 1); // slot 2: [200,300)
-        // now = 150 sits inside slot 1 → slot 1 is partially expired, skip.
+                                                           // now = 150 sits inside slot 1 → slot 1 is partially expired, skip.
         let (agg, used) = sc.usable(Timestamp(150), TimeDelta::from_millis(1_000));
         assert_eq!(used, 1);
         assert_eq!(agg.sum, 2.0);
@@ -604,8 +619,8 @@ mod tests {
         // Defensive path: insert into a bucket still holding a pre-roll slot.
         let mut sc = SlotCache::new(cfg(100, 2)); // ring len 3
         sc.insert(Timestamp(50), Timestamp(0), 1.0, 0); // abs 0, bucket 0
-        // Window has moved to base 3 but roll_to was not called; abs 3 shares
-        // bucket 0.
+                                                        // Window has moved to base 3 but roll_to was not called; abs 3 shares
+                                                        // bucket 0.
         assert!(sc.insert(Timestamp(350), Timestamp(300), 9.0, 3));
         let s = sc.slot(3).unwrap();
         assert_eq!(s.agg.count, 1);
@@ -663,7 +678,10 @@ mod tests {
         sc.insert_kind(Timestamp(150), Timestamp(0), 1.0, 1, 0);
         sc.insert_kind(Timestamp(150), Timestamp(0), 2.0, 1, 0);
         sc.insert_kind(Timestamp(150), Timestamp(0), 3.0, 1, 0);
-        assert_eq!(sc.try_remove_kind(Timestamp(150), 2.0, 1), RemoveOutcome::Removed);
+        assert_eq!(
+            sc.try_remove_kind(Timestamp(150), 2.0, 1),
+            RemoveOutcome::Removed
+        );
         let slot = sc.slot(1).unwrap();
         assert_eq!(slot.agg.count, 2);
         assert_eq!(slot.kind_agg(1).count, 2);
@@ -676,16 +694,24 @@ mod tests {
 
     #[test]
     fn slot_histograms_track_inserts_and_lookups() {
-        let spec = HistogramSpec { lo: 0.0, hi: 10.0, buckets: 5 };
+        let spec = HistogramSpec {
+            lo: 0.0,
+            hi: 10.0,
+            buckets: 5,
+        };
         let mut sc = SlotCache::new(cfg(100, 4).with_histogram(spec));
         sc.insert(Timestamp(150), Timestamp(0), 1.0, 0);
         sc.insert(Timestamp(150), Timestamp(0), 3.0, 0);
         sc.insert(Timestamp(250), Timestamp(0), 9.0, 0);
-        let h = sc.usable_histogram(Timestamp(100), TimeDelta::from_millis(1_000)).unwrap();
+        let h = sc
+            .usable_histogram(Timestamp(100), TimeDelta::from_millis(1_000))
+            .unwrap();
         assert_eq!(h.total(), 3);
         assert_eq!(h.counts(), &[1, 1, 0, 0, 1]);
         // The partially expired boundary slot is excluded, like aggregates.
-        let h = sc.usable_histogram(Timestamp(150), TimeDelta::from_millis(1_000)).unwrap();
+        let h = sc
+            .usable_histogram(Timestamp(150), TimeDelta::from_millis(1_000))
+            .unwrap();
         assert_eq!(h.total(), 1);
     }
 
@@ -693,13 +719,19 @@ mod tests {
     fn histograms_absent_when_not_configured() {
         let mut sc = SlotCache::new(cfg(100, 4));
         sc.insert(Timestamp(150), Timestamp(0), 1.0, 0);
-        assert!(sc.usable_histogram(Timestamp(100), TimeDelta::from_millis(1_000)).is_none());
+        assert!(sc
+            .usable_histogram(Timestamp(100), TimeDelta::from_millis(1_000))
+            .is_none());
         assert!(sc.slot(1).unwrap().hist.is_none());
     }
 
     #[test]
     fn histogram_removal_keeps_counts_consistent() {
-        let spec = HistogramSpec { lo: 0.0, hi: 10.0, buckets: 5 };
+        let spec = HistogramSpec {
+            lo: 0.0,
+            hi: 10.0,
+            buckets: 5,
+        };
         let mut sc = SlotCache::new(cfg(100, 4).with_histogram(spec));
         sc.insert(Timestamp(150), Timestamp(0), 2.0, 0);
         sc.insert(Timestamp(150), Timestamp(0), 5.0, 0);

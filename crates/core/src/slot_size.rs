@@ -161,7 +161,7 @@ mod tests {
         };
         // Δ=0.4: one full slot + 0.1 uncovered → 1 + 0.1·100 = 11.
         assert!((w.cost(0.4) - 12.0).abs() < 1.01); // ⌈0.5/0.4⌉·0 + 1 + 10
-        // Δ=0.5 covers exactly → cost 1.
+                                                    // Δ=0.5 covers exactly → cost 1.
         assert!((w.cost(0.5) - 1.0).abs() < 1e-9);
     }
 

@@ -32,13 +32,21 @@ pub struct QueryStats {
 }
 
 impl QueryStats {
-    /// Probes that successfully returned data.
+    /// Probes that successfully returned data. A failure count can only
+    /// exceed the probe count through a merge of inconsistent records, so
+    /// this saturates rather than panicking in release builds.
     pub fn probes_succeeded(&self) -> u64 {
-        self.sensors_probed - self.probes_failed
+        self.sensors_probed.saturating_sub(self.probes_failed)
     }
 
     /// Adds another stats record into this one.
     pub fn merge(&mut self, other: &QueryStats) {
+        debug_assert!(
+            other.probes_failed <= other.sensors_probed,
+            "merging inconsistent stats: {} failures > {} probes",
+            other.probes_failed,
+            other.sensors_probed
+        );
         self.nodes_traversed += other.nodes_traversed;
         self.cache_nodes_used += other.cache_nodes_used;
         self.slots_combined += other.slots_combined;

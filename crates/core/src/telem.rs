@@ -1,0 +1,154 @@
+//! Cached handles onto the global telemetry registry for this crate's hot
+//! paths.
+//!
+//! Instrumentation sites must not pay the registry's name lookup (a
+//! read-lock + hash) per event, so each subsystem's handles are created once
+//! and held in `OnceLock` statics. Per-level counters are pre-created as
+//! fixed arrays indexed by `min(level, LEVEL_BUCKETS - 1)`, keeping the hot
+//! path a single relaxed atomic increment with no allocation. All handles
+//! target [`colr_telemetry::global`]; disabling that registry reduces every
+//! site to one relaxed load.
+
+use std::sync::OnceLock;
+
+use colr_telemetry::{global, Counter, Gauge, Histogram};
+
+use crate::lookup::Mode;
+
+/// Per-level counter arrays cover levels `0..LEVEL_BUCKETS-1`; deeper levels
+/// share the final bucket (labelled `N+`), far beyond the paper's tree
+/// heights.
+pub const LEVEL_BUCKETS: usize = 12;
+
+fn per_level(name: &str) -> [Counter; LEVEL_BUCKETS] {
+    std::array::from_fn(|i| {
+        if i + 1 == LEVEL_BUCKETS {
+            global().counter(&format!("{name}{{level=\"{i}+\"}}"))
+        } else {
+            global().counter(&format!("{name}{{level=\"{i}\"}}"))
+        }
+    })
+}
+
+#[inline]
+fn level_bucket(level: u16) -> usize {
+    (level as usize).min(LEVEL_BUCKETS - 1)
+}
+
+/// Handles for the tree's cache-maintenance and lookup counters
+/// (`colr_tree_*`).
+pub(crate) struct TreeTelem {
+    /// A node's slot cache covered a contained terminal, by node level.
+    cache_hits: [Counter; LEVEL_BUCKETS],
+    /// A contained terminal's aggregate fell short of coverage, by level.
+    cache_misses: [Counter; LEVEL_BUCKETS],
+    /// Whole slots dropped by the roll trigger.
+    pub(crate) slots_rolled: Counter,
+    /// Raw readings expunged because their slot slid out of the window.
+    pub(crate) readings_expunged: Counter,
+    /// Readings cached by insert/write-back.
+    pub(crate) cache_inserts: Counter,
+    /// Readings evicted by the capacity policy.
+    pub(crate) evictions: Counter,
+    /// Slots recomputed because an aggregate could not be decremented.
+    pub(crate) slot_rebuilds: Counter,
+    /// Stripe read acquisitions that had to block behind a writer.
+    pub(crate) stripe_read_contention: Counter,
+    /// Stripe write acquisitions that had to block.
+    pub(crate) stripe_write_contention: Counter,
+    /// Raw readings currently cached tree-wide.
+    pub(crate) cached_readings: Gauge,
+}
+
+impl TreeTelem {
+    pub(crate) fn cache_hit(&self, level: u16) {
+        self.cache_hits[level_bucket(level)].inc();
+    }
+
+    pub(crate) fn cache_miss(&self, level: u16) {
+        self.cache_misses[level_bucket(level)].inc();
+    }
+}
+
+pub(crate) fn tree() -> &'static TreeTelem {
+    static T: OnceLock<TreeTelem> = OnceLock::new();
+    T.get_or_init(|| TreeTelem {
+        cache_hits: per_level("colr_tree_cache_hits_total"),
+        cache_misses: per_level("colr_tree_cache_misses_total"),
+        slots_rolled: global().counter("colr_tree_slots_rolled_total"),
+        readings_expunged: global().counter("colr_tree_readings_expunged_total"),
+        cache_inserts: global().counter("colr_tree_cache_inserts_total"),
+        evictions: global().counter("colr_tree_evictions_total"),
+        slot_rebuilds: global().counter("colr_tree_slot_rebuilds_total"),
+        stripe_read_contention: global().counter("colr_tree_stripe_read_contention_total"),
+        stripe_write_contention: global().counter("colr_tree_stripe_write_contention_total"),
+        cached_readings: global().gauge("colr_tree_cached_readings"),
+    })
+}
+
+/// Handles for per-query counters (`colr_query_*`) and the probe-side
+/// counters the lookup path drives (`colr_probe_*`).
+pub(crate) struct QueryTelem {
+    queries_rtree: Counter,
+    queries_hier: Counter,
+    queries_colr: Counter,
+    /// Modelled end-to-end query latency, µs.
+    pub(crate) latency_us: Histogram,
+    /// Probe requests issued (successful or not).
+    pub(crate) probes_issued: Counter,
+    /// Probes that returned no data.
+    pub(crate) probes_failed: Counter,
+    /// Probe-wave batch sizes.
+    pub(crate) probe_batch_size: Histogram,
+    /// Modelled probe-wave latency (RTT waves + per-probe overhead), µs.
+    pub(crate) probe_wave_us: Histogram,
+}
+
+impl QueryTelem {
+    pub(crate) fn count_query(&self, mode: Mode) {
+        match mode {
+            Mode::RTree => self.queries_rtree.inc(),
+            Mode::HierCache => self.queries_hier.inc(),
+            Mode::Colr => self.queries_colr.inc(),
+        }
+    }
+}
+
+pub(crate) fn query() -> &'static QueryTelem {
+    static T: OnceLock<QueryTelem> = OnceLock::new();
+    T.get_or_init(|| QueryTelem {
+        queries_rtree: global().counter("colr_query_total{mode=\"rtree\"}"),
+        queries_hier: global().counter("colr_query_total{mode=\"hier_cache\"}"),
+        queries_colr: global().counter("colr_query_total{mode=\"colr\"}"),
+        latency_us: global().histogram("colr_query_latency_us"),
+        probes_issued: global().counter("colr_probe_issued_total"),
+        probes_failed: global().counter("colr_probe_failed_total"),
+        probe_batch_size: global().histogram("colr_probe_batch_size"),
+        probe_wave_us: global().histogram("colr_probe_wave_us"),
+    })
+}
+
+/// Handles for bulk-build phase metrics (`colr_build_*`).
+pub(crate) struct BuildTelem {
+    /// Trees bulk-built.
+    pub(crate) trees: Counter,
+    /// Lloyd iterations executed across all clustering invocations.
+    pub(crate) kmeans_iterations: Counter,
+    /// Wall time of the leaf clustering phase, µs.
+    pub(crate) leaf_phase_us: Histogram,
+    /// Wall time of the internal-level clustering phase, µs.
+    pub(crate) internal_phase_us: Histogram,
+    /// Wall time of cache assembly + level assignment, µs.
+    pub(crate) assemble_phase_us: Histogram,
+}
+
+pub(crate) fn build() -> &'static BuildTelem {
+    static T: OnceLock<BuildTelem> = OnceLock::new();
+    T.get_or_init(|| BuildTelem {
+        trees: global().counter("colr_build_trees_total"),
+        kmeans_iterations: global().counter("colr_build_kmeans_iterations_total"),
+        leaf_phase_us: global().histogram("colr_build_leaf_phase_us"),
+        internal_phase_us: global().histogram("colr_build_internal_phase_us"),
+        assemble_phase_us: global().histogram("colr_build_assemble_phase_us"),
+    })
+}

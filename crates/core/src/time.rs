@@ -180,15 +180,24 @@ mod tests {
     fn timestamp_arithmetic() {
         let t = Timestamp(1_000);
         assert_eq!(t + TimeDelta::from_millis(500), Timestamp(1_500));
-        assert_eq!(t.saturating_sub(TimeDelta::from_millis(1_500)), Timestamp::ZERO);
+        assert_eq!(
+            t.saturating_sub(TimeDelta::from_millis(1_500)),
+            Timestamp::ZERO
+        );
         assert_eq!(Timestamp(2_000).since(t), TimeDelta::from_millis(1_000));
         assert_eq!(t.since(Timestamp(2_000)), TimeDelta::ZERO);
     }
 
     #[test]
     fn delta_scaling() {
-        assert_eq!(TimeDelta::from_millis(1000).mul_f64(0.25), TimeDelta::from_millis(250));
-        assert_eq!(TimeDelta::from_millis(3).mul_f64(0.5), TimeDelta::from_millis(2)); // rounds
+        assert_eq!(
+            TimeDelta::from_millis(1000).mul_f64(0.25),
+            TimeDelta::from_millis(250)
+        );
+        assert_eq!(
+            TimeDelta::from_millis(3).mul_f64(0.5),
+            TimeDelta::from_millis(2)
+        ); // rounds
     }
 
     #[test]

@@ -338,7 +338,13 @@ impl ColrTree {
     /// call tree mutators (or `with_cache_mut`) from inside the closure.
     pub fn with_cache<T>(&self, id: NodeId, f: impl FnOnce(&NodeCache) -> T) -> T {
         let (stripe, pos) = Self::stripe_slot(id);
-        let guard = self.stripes[stripe].read();
+        let guard = match self.stripes[stripe].try_read() {
+            Some(g) => g,
+            None => {
+                crate::telem::tree().stripe_read_contention.inc();
+                self.stripes[stripe].read()
+            }
+        };
         f(&guard[pos])
     }
 
@@ -348,7 +354,13 @@ impl ColrTree {
     /// re-entrancy rule as [`ColrTree::with_cache`].
     pub fn with_cache_mut<T>(&self, id: NodeId, f: impl FnOnce(&mut NodeCache) -> T) -> T {
         let (stripe, pos) = Self::stripe_slot(id);
-        let mut guard = self.stripes[stripe].write();
+        let mut guard = match self.stripes[stripe].try_write() {
+            Some(g) => g,
+            None => {
+                crate::telem::tree().stripe_write_contention.inc();
+                self.stripes[stripe].write()
+            }
+        };
         f(&mut guard[pos])
     }
 
@@ -452,6 +464,8 @@ impl ColrTree {
         if new_base <= maint.cache_base {
             return;
         }
+        let telem = crate::telem::tree();
+        telem.slots_rolled.add(new_base - maint.cache_base);
         // Expunge raw readings living in slots that slid out.
         while let Some(&key @ (slot, _, sensor)) = maint.evict_index.iter().next() {
             if slot >= new_base {
@@ -468,6 +482,7 @@ impl ColrTree {
             });
             if removed {
                 maint.total_cached -= 1;
+                telem.readings_expunged.inc();
             }
         }
         // Drop the expired aggregate slots everywhere.
@@ -478,6 +493,7 @@ impl ColrTree {
             }
         }
         maint.cache_base = new_base;
+        telem.cached_readings.set(maint.total_cached as i64);
     }
 
     // ------------------------------------------------------------------
@@ -528,6 +544,9 @@ impl ColrTree {
         });
         maint.total_cached += 1;
         maint.evict_index.insert((slot, now, reading.sensor));
+        let telem = crate::telem::tree();
+        telem.cache_inserts.inc();
+        telem.cached_readings.set(maint.total_cached as i64);
 
         // Bottom-up slot aggregate updates, leaf first.
         let base = maint.cache_base;
@@ -556,10 +575,18 @@ impl ColrTree {
     pub fn apply_readings(&self, readings: &[Reading], now: Timestamp) -> usize {
         let mut maint = self.maint.lock();
         self.advance_locked(&mut maint, now);
-        readings
+        let applied = readings
             .iter()
             .filter(|r| self.insert_reading_locked(&mut maint, **r, now))
-            .count()
+            .count();
+        if applied > 0 {
+            colr_telemetry::tracer().record_now(
+                colr_telemetry::SpanKind::WriteBack,
+                0,
+                applied as u64,
+            );
+        }
+        applied
     }
 
     /// Removes the cached reading of `sensor` (if any) from the leaf and all
@@ -575,10 +602,11 @@ impl ColrTree {
             c.entry_pos(sensor).ok().map(|pos| c.entries.remove(pos))
         })?;
         maint.total_cached -= 1;
+        crate::telem::tree()
+            .cached_readings
+            .set(maint.total_cached as i64);
         let slot = self.slot_config.slot_of(entry.reading.expires_at);
-        maint
-            .evict_index
-            .remove(&(slot, entry.fetched_at, sensor));
+        maint.evict_index.remove(&(slot, entry.fetched_at, sensor));
 
         // Decrement bottom-up; rebuild any slot that cannot be decremented.
         let kind = self.sensors[sensor.index()].kind;
@@ -590,7 +618,10 @@ impl ColrTree {
             });
             match outcome {
                 RemoveOutcome::Removed | RemoveOutcome::Absent => {}
-                RemoveOutcome::NeedsRebuild => self.rebuild_slot(id, slot),
+                RemoveOutcome::NeedsRebuild => {
+                    crate::telem::tree().slot_rebuilds.inc();
+                    self.rebuild_slot(id, slot);
+                }
             }
             cur = self.node(id).parent;
         }
@@ -673,7 +704,9 @@ impl ColrTree {
             let Some(&(_, _, sensor)) = maint.evict_index.iter().next() else {
                 break;
             };
-            self.remove_cached_locked(maint, sensor);
+            if self.remove_cached_locked(maint, sensor).is_some() {
+                crate::telem::tree().evictions.inc();
+            }
         }
     }
 
@@ -725,8 +758,9 @@ impl ColrTree {
                     self.with_cache(cur, |c| {
                         for e in &c.entries {
                             if e.reading.is_fresh(now, staleness)
-                                && region
-                                    .contains_point(&self.sensors[e.reading.sensor.index()].location)
+                                && region.contains_point(
+                                    &self.sensors[e.reading.sensor.index()].location,
+                                )
                             {
                                 out.push(e.reading);
                             }
@@ -756,6 +790,7 @@ impl ColrTree {
         }
         maint.evict_index.clear();
         maint.total_cached = 0;
+        crate::telem::tree().cached_readings.set(0);
     }
 
     /// Debug validation: checks the structural invariants of the tree and

@@ -66,7 +66,8 @@ fn tokenize(input: &str) -> Result<Vec<Token>, ParseError> {
             }
             tokens.push(Token::Ident(ident));
         } else if c.is_ascii_digit()
-            || (c == '-' && matches!(chars.clone().nth(1), Some((_, d)) if d.is_ascii_digit() || d == '.'))
+            || (c == '-'
+                && matches!(chars.clone().nth(1), Some((_, d)) if d.is_ascii_digit() || d == '.'))
         {
             let mut num = String::new();
             if c == '-' {
@@ -463,18 +464,15 @@ mod tests {
 
     #[test]
     fn rejects_unknown_table() {
-        let err =
-            parse("SELECT count(*) FROM restaurants WHERE location WITHIN RECT(0,0,1,1)")
-                .unwrap_err();
+        let err = parse("SELECT count(*) FROM restaurants WHERE location WITHIN RECT(0,0,1,1)")
+            .unwrap_err();
         assert!(err.message.contains("unknown table"));
     }
 
     #[test]
     fn rejects_degenerate_polygon() {
-        let err = parse(
-            "SELECT count(*) FROM sensor WHERE location WITHIN POLYGON((0 0, 1 1))",
-        )
-        .unwrap_err();
+        let err = parse("SELECT count(*) FROM sensor WHERE location WITHIN POLYGON((0 0, 1 1))")
+            .unwrap_err();
         assert!(err.message.contains("3 vertices"));
     }
 
@@ -488,19 +486,17 @@ mod tests {
 
     #[test]
     fn rejects_trailing_tokens() {
-        let err = parse(
-            "SELECT count(*) FROM sensor WHERE location WITHIN RECT(0,0,1,1) GARBAGE",
-        )
-        .unwrap_err();
+        let err = parse("SELECT count(*) FROM sensor WHERE location WITHIN RECT(0,0,1,1) GARBAGE")
+            .unwrap_err();
         assert!(err.message.contains("trailing"));
     }
 
     #[test]
     fn rejects_zero_cluster() {
-        assert!(parse(
-            "SELECT count(*) FROM sensor WHERE location WITHIN RECT(0,0,1,1) CLUSTER 0"
-        )
-        .is_err());
+        assert!(
+            parse("SELECT count(*) FROM sensor WHERE location WITHIN RECT(0,0,1,1) CLUSTER 0")
+                .is_err()
+        );
     }
 
     #[test]
@@ -560,10 +556,8 @@ mod tests {
 
     #[test]
     fn negative_coordinates_parse() {
-        let q = parse(
-            "SELECT count(*) FROM sensor WHERE location WITHIN RECT(-10, -5, -1, -2)",
-        )
-        .expect("parses");
+        let q = parse("SELECT count(*) FROM sensor WHERE location WITHIN RECT(-10, -5, -1, -2)")
+            .expect("parses");
         assert_eq!(
             q.within,
             SpatialPredicate::Rect(Rect::from_coords(-10.0, -5.0, -1.0, -2.0))

@@ -108,20 +108,26 @@ impl Planner {
             Some(d) => out.push_str(&format!(", CLUSTER {d})")),
             None => out.push_str(", leaf-level groups)"),
         }
-        out.push_str(&format!("
-freshness bound {staleness}"));
+        out.push_str(&format!(
+            "
+freshness bound {staleness}"
+        ));
         match q.sample_size {
             Some(r) => out.push_str(&format!(
                 "
 collection: layered sampling, target R={r}, oversample level O={}",
                 self.oversample_level
             )),
-            None => out.push_str("
-collection: full range (every uncached sensor probed)"),
+            None => out.push_str(
+                "
+collection: full range (every uncached sensor probed)",
+            ),
         }
         if let Some(k) = q.sensor_type {
-            out.push_str(&format!("
-filter: sensor type = {k} (per-type sub-aggregates)"));
+            out.push_str(&format!(
+                "
+filter: sensor type = {k} (per-type sub-aggregates)"
+            ));
         }
         out
     }

@@ -8,9 +8,10 @@
 //! aggregate and the query's collection statistics.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, OnceLock};
 
 use colr_geo::Rect;
+use colr_telemetry::{global, tracer, Counter, SpanKind};
 use colr_tree::{
     AggKind, ColrConfig, ColrTree, Histogram, Mode, ProbeService, Query, QueryOutput, QueryStats,
     Reading, SensorMeta, SimClock, TimeDelta, Timestamp,
@@ -21,6 +22,28 @@ use rand::SeedableRng;
 use crate::ast::SelectQuery;
 use crate::parser::{parse, ParseError};
 use crate::planner::Planner;
+
+/// Cached handles for the portal-level counters (`colr_portal_*`).
+struct PortalTelem {
+    /// Queries answered (interactive and batched).
+    queries: Counter,
+    /// SQL strings that failed to parse.
+    parse_errors: Counter,
+    /// `execute_many` batches run.
+    batches: Counter,
+    /// Queries per batch.
+    batch_size: colr_telemetry::Histogram,
+}
+
+fn portal_telem() -> &'static PortalTelem {
+    static T: OnceLock<PortalTelem> = OnceLock::new();
+    T.get_or_init(|| PortalTelem {
+        queries: global().counter("colr_portal_queries_total"),
+        parse_errors: global().counter("colr_portal_parse_errors_total"),
+        batches: global().counter("colr_portal_batches_total"),
+        batch_size: global().histogram("colr_portal_batch_size"),
+    })
+}
 
 /// Portal construction parameters.
 #[derive(Debug, Clone)]
@@ -195,8 +218,24 @@ impl<P: ProbeService> Portal<P> {
 
     /// Parses and executes a dialect SQL query.
     pub fn query_sql(&mut self, sql: &str) -> Result<PortalResult, ParseError> {
-        let parsed = parse(sql)?;
+        let parsed = self.parse_traced(sql)?;
         Ok(self.query(&parsed))
+    }
+
+    /// Parses one SQL string, recording a `parse` span (timestamped on the
+    /// simulation clock so traces are reproducible) and counting failures.
+    fn parse_traced(&self, sql: &str) -> Result<SelectQuery, ParseError> {
+        let at_us = self.clock.now().0 * 1_000;
+        match parse(sql) {
+            Ok(q) => {
+                tracer().record(SpanKind::Parse, at_us, 0, sql.len() as u64);
+                Ok(q)
+            }
+            Err(e) => {
+                portal_telem().parse_errors.inc();
+                Err(e)
+            }
+        }
     }
 
     /// Parses a dialect query and describes its physical plan without
@@ -208,8 +247,10 @@ impl<P: ProbeService> Portal<P> {
 
     /// Executes a parsed query.
     pub fn query(&mut self, q: &SelectQuery) -> PortalResult {
-        let plan = self.plan_capped(q);
         let now = self.clock.now();
+        let plan = self.plan_capped(q);
+        tracer().record(SpanKind::Plan, now.0 * 1_000, 0, 1);
+        portal_telem().queries.inc();
         let out = self
             .tree
             .execute(&plan, self.mode, &self.probe, now, &mut self.rng);
@@ -236,9 +277,16 @@ impl<P: ProbeService> Portal<P> {
             .iter()
             .map(|q| (self.plan_capped(q), q.agg.kind()))
             .collect();
+        let telem = portal_telem();
+        telem.batches.inc();
+        telem.batch_size.observe(plans.len() as u64);
+        telem.queries.add(plans.len() as u64);
+        tracer().record(SpanKind::Plan, now.0 * 1_000, 0, plans.len() as u64);
 
         let threads = if threads == 0 {
-            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
         } else {
             threads
         }
@@ -289,6 +337,15 @@ impl<P: ProbeService> Portal<P> {
             stats.merge(&out.stats);
             results.push(self.finish(*kind, out));
         }
+        // Batch span: duration is the modelled critical path — the slowest
+        // single query, since the batch fans out across workers.
+        let dur_ms = results.iter().map(|r| r.latency_ms).fold(0.0f64, f64::max);
+        tracer().record(
+            SpanKind::Batch,
+            now.0 * 1_000,
+            (dur_ms * 1_000.0) as u64,
+            results.len() as u64,
+        );
         BatchResult {
             results,
             stats,
@@ -298,11 +355,18 @@ impl<P: ProbeService> Portal<P> {
 
     /// Parses and executes a batch of dialect SQL queries via
     /// [`Portal::execute_many`]. Fails fast on the first parse error.
-    pub fn query_many_sql(&mut self, sqls: &[&str], threads: usize) -> Result<BatchResult, ParseError>
+    pub fn query_many_sql(
+        &mut self,
+        sqls: &[&str],
+        threads: usize,
+    ) -> Result<BatchResult, ParseError>
     where
         P: Sync,
     {
-        let parsed: Vec<SelectQuery> = sqls.iter().map(|s| parse(s)).collect::<Result<_, _>>()?;
+        let parsed: Vec<SelectQuery> = sqls
+            .iter()
+            .map(|s| self.parse_traced(s))
+            .collect::<Result<_, _>>()?;
         Ok(self.execute_many(&parsed, threads))
     }
 
@@ -349,10 +413,12 @@ impl<P: ProbeService> Portal<P> {
             any.then_some(h)
         } else {
             (!out.readings.is_empty()).then(|| {
-                let (lo, hi) = out.readings.iter().fold(
-                    (f64::INFINITY, f64::NEG_INFINITY),
-                    |(lo, hi), r| (lo.min(r.value), hi.max(r.value)),
-                );
+                let (lo, hi) = out
+                    .readings
+                    .iter()
+                    .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), r| {
+                        (lo.min(r.value), hi.max(r.value))
+                    });
                 let hi = if hi > lo { hi + 1e-9 } else { lo + 1.0 };
                 let mut h = Histogram::new(lo, hi, 10);
                 for r in &out.readings {
@@ -402,7 +468,9 @@ mod tests {
             .collect();
         Portal::new(
             sensors,
-            AlwaysAvailable { expiry_ms: EXPIRY_MS },
+            AlwaysAvailable {
+                expiry_ms: EXPIRY_MS,
+            },
             PortalConfig {
                 mode,
                 ..Default::default()
@@ -460,7 +528,9 @@ mod tests {
         let mut p = portal(Mode::HierCache);
         p.clock_mut().advance(TimeDelta::from_secs(1));
         let res = p
-            .query_sql("SELECT avg(value) FROM sensor WHERE location WITHIN RECT(-0.5,-0.5,3.5,3.5)")
+            .query_sql(
+                "SELECT avg(value) FROM sensor WHERE location WITHIN RECT(-0.5,-0.5,3.5,3.5)",
+            )
             .expect("query runs");
         assert!(res.value.is_some());
         let h = res.histogram.expect("histogram from raw readings");
@@ -471,8 +541,7 @@ mod tests {
     fn warm_cache_reduces_latency() {
         let mut p = portal(Mode::HierCache);
         p.clock_mut().advance(TimeDelta::from_secs(1));
-        let sql =
-            "SELECT count(*) FROM sensor WHERE location WITHIN RECT(-0.5,-0.5,7.5,7.5) \
+        let sql = "SELECT count(*) FROM sensor WHERE location WITHIN RECT(-0.5,-0.5,7.5,7.5) \
              AND time BETWEEN now()-5 AND now() mins";
         let cold = p.query_sql(sql).unwrap();
         p.clock_mut().advance(TimeDelta::from_secs(1));
@@ -495,7 +564,9 @@ mod tests {
             .collect();
         let mut p = Portal::new(
             sensors,
-            AlwaysAvailable { expiry_ms: EXPIRY_MS },
+            AlwaysAvailable {
+                expiry_ms: EXPIRY_MS,
+            },
             PortalConfig {
                 mode: Mode::Colr,
                 max_sensors_per_query: Some(10),
@@ -504,7 +575,9 @@ mod tests {
         );
         p.clock_mut().advance(TimeDelta::from_secs(1));
         let res = p
-            .query_sql("SELECT count(*) FROM sensor WHERE location WITHIN RECT(-0.5,-0.5,15.5,15.5)")
+            .query_sql(
+                "SELECT count(*) FROM sensor WHERE location WITHIN RECT(-0.5,-0.5,15.5,15.5)",
+            )
             .unwrap();
         assert!(
             res.stats.sensors_probed <= 30,
@@ -535,7 +608,13 @@ mod tests {
             hi: 256.0,
             buckets: 8,
         });
-        let mut p = Portal::new(sensors, AlwaysAvailable { expiry_ms: EXPIRY_MS }, config);
+        let mut p = Portal::new(
+            sensors,
+            AlwaysAvailable {
+                expiry_ms: EXPIRY_MS,
+            },
+            config,
+        );
         p.clock_mut().advance(TimeDelta::from_secs(1));
         let sql = "SELECT count(*) FROM sensor WHERE location WITHIN RECT(-0.5,-0.5,15.5,15.5)";
         let cold = p.query_sql(sql).unwrap();
@@ -584,7 +663,9 @@ mod tests {
         assert_eq!(after.value, Some(3.0));
         // The old population still answers.
         let old = p
-            .query_sql("SELECT count(*) FROM sensor WHERE location WITHIN RECT(-0.5,-0.5,15.5,15.5)")
+            .query_sql(
+                "SELECT count(*) FROM sensor WHERE location WITHIN RECT(-0.5,-0.5,15.5,15.5)",
+            )
             .unwrap();
         assert_eq!(old.value, Some(256.0));
     }

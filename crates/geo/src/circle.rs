@@ -66,7 +66,11 @@ impl Circle {
     /// indicator).
     pub fn overlap_fraction(&self, rect: &Rect) -> f64 {
         if rect.area() <= EPSILON {
-            return if self.contains_point(&rect.center()) { 1.0 } else { 0.0 };
+            return if self.contains_point(&rect.center()) {
+                1.0
+            } else {
+                0.0
+            };
         }
         if self.contains_rect(rect) {
             return 1.0;
@@ -152,8 +156,14 @@ mod tests {
     #[test]
     fn overlap_fraction_limits() {
         let c = unit();
-        assert_eq!(c.overlap_fraction(&Rect::from_coords(-0.1, -0.1, 0.1, 0.1)), 1.0);
-        assert_eq!(c.overlap_fraction(&Rect::from_coords(5.0, 5.0, 6.0, 6.0)), 0.0);
+        assert_eq!(
+            c.overlap_fraction(&Rect::from_coords(-0.1, -0.1, 0.1, 0.1)),
+            1.0
+        );
+        assert_eq!(
+            c.overlap_fraction(&Rect::from_coords(5.0, 5.0, 6.0, 6.0)),
+            0.0
+        );
         // Half-plane split through the centre: about half the rect inside.
         let f = c.overlap_fraction(&Rect::from_coords(0.0, -0.2, 2.0, 0.2));
         assert!((0.35..=0.65).contains(&f), "got {f}");

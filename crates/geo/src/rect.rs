@@ -225,7 +225,11 @@ mod tests {
 
     #[test]
     fn bounding_of_points() {
-        let pts = [Point::new(1.0, 5.0), Point::new(-2.0, 0.0), Point::new(3.0, 2.0)];
+        let pts = [
+            Point::new(1.0, 5.0),
+            Point::new(-2.0, 0.0),
+            Point::new(3.0, 2.0),
+        ];
         assert_eq!(Rect::bounding(&pts), Some(r(-2.0, 0.0, 3.0, 5.0)));
         assert!(Rect::bounding(&[]).is_none());
     }

@@ -142,7 +142,10 @@ mod tests {
         assert!(r.contains_point(&Point::new(1.0, 1.0)));
         assert!(r.contains_rect(&Rect::from_coords(0.5, 0.5, 1.5, 1.5)));
         assert!(r.intersects_rect(&Rect::from_coords(1.0, 1.0, 3.0, 3.0)));
-        assert_eq!(r.overlap_fraction(&Rect::from_coords(1.0, 0.0, 3.0, 2.0)), 0.5);
+        assert_eq!(
+            r.overlap_fraction(&Rect::from_coords(1.0, 0.0, 3.0, 2.0)),
+            0.5
+        );
         assert_eq!(r.area(), 4.0);
     }
 

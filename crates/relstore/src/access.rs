@@ -101,7 +101,16 @@ impl RelationalColrTree {
         P: ProbeService + ?Sized,
         R: Rng + ?Sized,
     {
-        self.query_filtered(region, staleness, terminal_level, sample_size, None, probe, now, rng)
+        self.query_filtered(
+            region,
+            staleness,
+            terminal_level,
+            sample_size,
+            None,
+            probe,
+            now,
+            rng,
+        )
     }
 
     /// [`RelationalColrTree::query`] restricted to one sensor type: the
@@ -124,7 +133,15 @@ impl RelationalColrTree {
         R: Rng + ?Sized,
     {
         self.roll_trigger(now);
-        let d = self.join_descent(region, staleness, terminal_level, sample_size, kind_filter, now, rng);
+        let d = self.join_descent(
+            region,
+            staleness,
+            terminal_level,
+            sample_size,
+            kind_filter,
+            now,
+            rng,
+        );
         let mut stats = d.stats;
         let mut groups = d.groups;
         let mut readings = d.cached_readings;
@@ -195,7 +212,15 @@ impl RelationalColrTree {
         R: Rng + ?Sized,
     {
         self.roll_trigger(now);
-        let d = self.join_descent(region, staleness, terminal_level, sample_size, None, now, rng);
+        let d = self.join_descent(
+            region,
+            staleness,
+            terminal_level,
+            sample_size,
+            None,
+            now,
+            rng,
+        );
         (d.to_probe, d.stats)
     }
 
@@ -415,8 +440,8 @@ mod tests {
     use super::*;
     use colr_geo::Point;
     use colr_tree::probe::AlwaysAvailable;
-    use colr_tree::{ColrConfig, ColrTree, SensorMeta};
     use colr_tree::PartialAgg;
+    use colr_tree::{ColrConfig, ColrTree, SensorMeta};
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
@@ -444,7 +469,9 @@ mod tests {
     #[test]
     fn cold_query_probes_everything() {
         let mut rel = rel_tree();
-        let mut probe = AlwaysAvailable { expiry_ms: EXPIRY_MS };
+        let mut probe = AlwaysAvailable {
+            expiry_ms: EXPIRY_MS,
+        };
         let mut rng = StdRng::seed_from_u64(1);
         let out = rel.query(
             &region_all(),
@@ -463,7 +490,9 @@ mod tests {
     #[test]
     fn warm_query_served_from_cache() {
         let mut rel = rel_tree();
-        let mut probe = AlwaysAvailable { expiry_ms: EXPIRY_MS };
+        let mut probe = AlwaysAvailable {
+            expiry_ms: EXPIRY_MS,
+        };
         let mut rng = StdRng::seed_from_u64(1);
         rel.query(
             &region_all(),
@@ -491,7 +520,9 @@ mod tests {
     #[test]
     fn sampled_query_probes_fewer() {
         let mut rel = rel_tree();
-        let mut probe = AlwaysAvailable { expiry_ms: EXPIRY_MS };
+        let mut probe = AlwaysAvailable {
+            expiry_ms: EXPIRY_MS,
+        };
         let mut rng = StdRng::seed_from_u64(2);
         let out = rel.query(
             &region_all(),
@@ -513,7 +544,9 @@ mod tests {
     #[test]
     fn freshness_bound_expires_relational_cache() {
         let mut rel = rel_tree();
-        let mut probe = AlwaysAvailable { expiry_ms: EXPIRY_MS };
+        let mut probe = AlwaysAvailable {
+            expiry_ms: EXPIRY_MS,
+        };
         let mut rng = StdRng::seed_from_u64(3);
         rel.query(
             &region_all(),
@@ -540,7 +573,9 @@ mod tests {
     #[test]
     fn disjoint_region_is_empty() {
         let mut rel = rel_tree();
-        let mut probe = AlwaysAvailable { expiry_ms: EXPIRY_MS };
+        let mut probe = AlwaysAvailable {
+            expiry_ms: EXPIRY_MS,
+        };
         let mut rng = StdRng::seed_from_u64(4);
         let region = Region::Rect(Rect::from_coords(50.0, 50.0, 60.0, 60.0));
         let out = rel.query(
@@ -559,7 +594,9 @@ mod tests {
     #[test]
     fn cache_read_returns_nothing_cold_everything_warm() {
         let mut rel = rel_tree();
-        let mut probe = AlwaysAvailable { expiry_ms: EXPIRY_MS };
+        let mut probe = AlwaysAvailable {
+            expiry_ms: EXPIRY_MS,
+        };
         let mut rng = StdRng::seed_from_u64(7);
         let (groups, readings, _) =
             rel.cache_read(&region_all(), TimeDelta::from_mins(5), 2, Timestamp(1_000));
@@ -577,8 +614,11 @@ mod tests {
         );
         let (groups, readings, stats) =
             rel.cache_read(&region_all(), TimeDelta::from_mins(5), 2, Timestamp(2_000));
-        let total: u64 =
-            groups.iter().map(|g| g.agg.count).sum::<u64>().max(readings.len() as u64);
+        let total: u64 = groups
+            .iter()
+            .map(|g| g.agg.count)
+            .sum::<u64>()
+            .max(readings.len() as u64);
         assert_eq!(total, 64);
         assert!(stats.cache_nodes_used > 0 || stats.readings_from_cache > 0);
     }
@@ -586,7 +626,9 @@ mod tests {
     #[test]
     fn sensor_selection_shrinks_as_cache_fills() {
         let mut rel = rel_tree();
-        let mut probe = AlwaysAvailable { expiry_ms: EXPIRY_MS };
+        let mut probe = AlwaysAvailable {
+            expiry_ms: EXPIRY_MS,
+        };
         let mut rng = StdRng::seed_from_u64(9);
         let (cold, _) = rel.sensor_selection(
             &region_all(),
@@ -614,7 +656,11 @@ mod tests {
             Timestamp(2_000),
             &mut rng,
         );
-        assert!(warm.is_empty(), "warm selection still wants {} probes", warm.len());
+        assert!(
+            warm.is_empty(),
+            "warm selection still wants {} probes",
+            warm.len()
+        );
     }
 
     #[test]
@@ -652,7 +698,9 @@ mod tests {
             .collect();
         let tree = ColrTree::build(sensors, ColrConfig::default(), 7);
         let mut rel = RelationalColrTree::from_tree(&tree);
-        let mut probe = AlwaysAvailable { expiry_ms: EXPIRY_MS };
+        let mut probe = AlwaysAvailable {
+            expiry_ms: EXPIRY_MS,
+        };
         let mut rng = StdRng::seed_from_u64(13);
         // Warm with an unfiltered query.
         rel.query(
@@ -701,7 +749,9 @@ mod tests {
             .collect();
         let tree = ColrTree::build(sensors, ColrConfig::default(), 7);
         let mut rel = RelationalColrTree::from_tree(&tree);
-        let mut probe = AlwaysAvailable { expiry_ms: EXPIRY_MS };
+        let mut probe = AlwaysAvailable {
+            expiry_ms: EXPIRY_MS,
+        };
         let mut rng = StdRng::seed_from_u64(13);
         let out = rel.query_filtered(
             &region_all(),
@@ -722,7 +772,9 @@ mod tests {
     #[test]
     fn partial_region_probes_only_inside() {
         let mut rel = rel_tree();
-        let mut probe = AlwaysAvailable { expiry_ms: EXPIRY_MS };
+        let mut probe = AlwaysAvailable {
+            expiry_ms: EXPIRY_MS,
+        };
         let mut rng = StdRng::seed_from_u64(5);
         let region = Region::Rect(Rect::from_coords(-0.5, -0.5, 3.5, 7.5)); // left half: 32
         let out = rel.query(

@@ -18,12 +18,26 @@ use crate::store::{Store, TableId};
 
 /// Column layout of every per-level cache table.
 pub(crate) const CACHE_COLS: [&str; 9] = [
-    "node_id", "slot_id", "kind", "cnt", "sum", "min", "max", "value_weight", "min_ts",
+    "node_id",
+    "slot_id",
+    "kind",
+    "cnt",
+    "sum",
+    "min",
+    "max",
+    "value_weight",
+    "min_ts",
 ];
 
 /// Column layout of every layer table.
 pub(crate) const LAYER_COLS: [&str; 7] = [
-    "node_id", "child_id", "min_x", "min_y", "max_x", "max_y", "child_weight",
+    "node_id",
+    "child_id",
+    "min_x",
+    "min_y",
+    "max_x",
+    "max_y",
+    "child_weight",
 ];
 
 /// The relational COLR-Tree: Section VI's schema over the mini-engine, with
@@ -66,13 +80,27 @@ impl RelationalColrTree {
         );
         let sensor_t = store.create_table(
             "sensor",
-            &["sensor_id", "x", "y", "expiry_ms", "availability", "leaf_node", "kind"],
+            &[
+                "sensor_id",
+                "x",
+                "y",
+                "expiry_ms",
+                "availability",
+                "leaf_node",
+                "kind",
+            ],
         );
         let reading_t = store.create_table(
             "reading",
             &[
-                "sensor_id", "value", "timestamp", "expires_at", "fetched_at", "slot_id",
-                "leaf_node", "kind",
+                "sensor_id",
+                "value",
+                "timestamp",
+                "expires_at",
+                "fetched_at",
+                "slot_id",
+                "leaf_node",
+                "kind",
             ],
         );
         let leaf_level = tree.leaf_level();
@@ -223,7 +251,12 @@ impl RelationalColrTree {
         let t = self.store.table(self.node_t);
         let rid = t.find(t.col("node_id"), node_id);
         let row = t.get(rid[0]).expect("node exists");
-        Rect::from_coords(row[2].float(), row[3].float(), row[4].float(), row[5].float())
+        Rect::from_coords(
+            row[2].float(),
+            row[3].float(),
+            row[4].float(),
+            row[5].float(),
+        )
     }
 
     /// `(level, weight)` of a node.
@@ -334,7 +367,9 @@ mod tests {
         assert_eq!(rel.cache_t.len(), tree.leaf_level() as usize + 1);
         // Leaf layer rows = sensors.
         assert_eq!(
-            rel.store().table(rel.layer_t[tree.leaf_level() as usize]).len(),
+            rel.store()
+                .table(rel.layer_t[tree.leaf_level() as usize])
+                .len(),
             64
         );
     }

@@ -172,7 +172,12 @@ impl Table {
         row[col] = value;
         if indexed {
             let new = row[col].int();
-            self.indexes.get_mut(&col).unwrap().entry(new).or_default().insert(id.0);
+            self.indexes
+                .get_mut(&col)
+                .unwrap()
+                .entry(new)
+                .or_default()
+                .insert(id.0);
         }
         self.rows[id.0] = Some(row);
         true

@@ -17,11 +17,33 @@
 //! conservative variant the paper itself requires for non-decrementable
 //! aggregates (min/max), applied uniformly for simplicity.
 
+use std::sync::OnceLock;
+
+use colr_telemetry::{global, Counter};
 use colr_tree::{PartialAgg, Timestamp};
 
 use crate::schema::{RelationalColrTree, CACHE_COLS};
-use crate::store::{ChangeEvent, RowId};
 use crate::store::Value;
+use crate::store::{ChangeEvent, RowId};
+
+/// Cached handles counting trigger firings by kind
+/// (`colr_relstore_trigger_fires_total{kind="..."}`).
+struct TriggerTelem {
+    roll: Counter,
+    slot_insert: Counter,
+    slot_delete: Counter,
+    slot_update: Counter,
+}
+
+fn trigger_telem() -> &'static TriggerTelem {
+    static T: OnceLock<TriggerTelem> = OnceLock::new();
+    T.get_or_init(|| TriggerTelem {
+        roll: global().counter("colr_relstore_trigger_fires_total{kind=\"roll\"}"),
+        slot_insert: global().counter("colr_relstore_trigger_fires_total{kind=\"slot_insert\"}"),
+        slot_delete: global().counter("colr_relstore_trigger_fires_total{kind=\"slot_delete\"}"),
+        slot_update: global().counter("colr_relstore_trigger_fires_total{kind=\"slot_update\"}"),
+    })
+}
 
 /// A cache-table row's aggregate payload.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -55,7 +77,13 @@ impl CacheRow {
     }
 
     fn from_value(v: f64, ts: i64) -> CacheRow {
-        CacheRow { cnt: 1, sum: v, min: v, max: v, min_ts: ts }
+        CacheRow {
+            cnt: 1,
+            sum: v,
+            min: v,
+            max: v,
+            min_ts: ts,
+        }
     }
 
     fn to_row(self, node: i64, slot: i64, kind: i64) -> Vec<Value> {
@@ -103,6 +131,7 @@ impl RelationalColrTree {
         if new_base <= self.base_slot {
             return;
         }
+        trigger_telem().roll.inc();
         self.base_slot = new_base;
         // Whole-slot expiry is globally aligned: drop the rows directly at
         // every level — no bottom-up propagation is needed because every
@@ -146,12 +175,14 @@ impl RelationalColrTree {
                         Some(r) => r,
                         None => continue, // already expunged by a later roll
                     };
+                    trigger_telem().slot_insert.inc();
                     let leaf = row[6].int();
                     let slot = row[5].int();
                     self.refresh_leaf_slot(leaf, slot);
                 }
                 // Slot delete trigger: a reading left the leaf cache level.
                 ChangeEvent::Deleted(t, old) if t == self.reading_t => {
+                    trigger_telem().slot_delete.inc();
                     let leaf = old[6].int();
                     let slot = old[5].int();
                     self.refresh_leaf_slot(leaf, slot);
@@ -165,6 +196,7 @@ impl RelationalColrTree {
                 ChangeEvent::Inserted(t, rid) | ChangeEvent::Updated(t, rid) => {
                     if let Some(level) = self.cache_level_of(t) {
                         if let Some(row) = self.store.table(t).get(rid) {
+                            trigger_telem().slot_update.inc();
                             let node = row[0].int();
                             let slot = row[1].int();
                             self.propagate_to_parent(level, node, slot);
@@ -173,6 +205,7 @@ impl RelationalColrTree {
                 }
                 ChangeEvent::Deleted(t, old) => {
                     if let Some(level) = self.cache_level_of(t) {
+                        trigger_telem().slot_update.inc();
                         let node = old[0].int();
                         let slot = old[1].int();
                         self.propagate_to_parent(level, node, slot);
@@ -183,10 +216,7 @@ impl RelationalColrTree {
     }
 
     fn cache_level_of(&self, t: crate::store::TableId) -> Option<u16> {
-        self.cache_t
-            .iter()
-            .position(|&c| c == t)
-            .map(|l| l as u16)
+        self.cache_t.iter().position(|&c| c == t).map(|l| l as u16)
     }
 
     /// Recomputes one leaf cache slot from the reading table: one cache row
@@ -378,12 +408,16 @@ impl RelationalColrTree {
         slot: i64,
         kind: i64,
     ) -> Option<PartialAgg> {
-        self.cache_row_of_kind(level, node, slot, kind).map(|r| r.as_agg())
+        self.cache_row_of_kind(level, node, slot, kind)
+            .map(|r| r.as_agg())
     }
 
     /// Total cache rows across all levels (diagnostics).
     pub fn total_cache_rows(&self) -> usize {
-        self.cache_t.iter().map(|&t| self.store.table(t).len()).sum()
+        self.cache_t
+            .iter()
+            .map(|&t| self.store.table(t).len())
+            .sum()
     }
 
     /// Validates the layered invariant: every cache row above the leaf level
@@ -520,7 +554,10 @@ mod tests {
         let native = tree(Some(5));
         let mut rel = RelationalColrTree::from_tree(&native);
         for i in 0..10u32 {
-            rel.insert_reading(reading(i, 1.0, 1_000 + i as u64), Timestamp(1_000 + i as u64));
+            rel.insert_reading(
+                reading(i, 1.0, 1_000 + i as u64),
+                Timestamp(1_000 + i as u64),
+            );
         }
         assert_eq!(rel.cached_readings(), 5);
         // Oldest-fetched sensors (0..5) evicted; the root aggregate reflects
@@ -556,7 +593,9 @@ mod tests {
                         assert_eq!(ns.agg.min, rs.min);
                         assert_eq!(ns.agg.max, rs.max);
                     }
-                    (a, b) => panic!("slot presence mismatch at {id:?} slot {slot}: {a:?} vs {b:?}"),
+                    (a, b) => {
+                        panic!("slot presence mismatch at {id:?} slot {slot}: {a:?} vs {b:?}")
+                    }
                 }
             }
         }

@@ -98,7 +98,10 @@ impl SpatialField {
         noise: f64,
         seed: u64,
     ) -> Self {
-        assert!(correlation_length > 0.0, "correlation length must be positive");
+        assert!(
+            correlation_length > 0.0,
+            "correlation length must be positive"
+        );
         let mut rng = StdRng::seed_from_u64(seed);
         let bumps = (0..bumps)
             .map(|_| {
@@ -150,11 +153,23 @@ mod tests {
 
     #[test]
     fn constant_field_is_deterministic() {
-        let mut f = ConstantField { base: 10.0, step: 2.0 };
-        assert_eq!(f.value(SensorId(0), Point::new(0.0, 0.0), Timestamp(0)), 10.0);
-        assert_eq!(f.value(SensorId(3), Point::new(0.0, 0.0), Timestamp(5)), 16.0);
+        let mut f = ConstantField {
+            base: 10.0,
+            step: 2.0,
+        };
+        assert_eq!(
+            f.value(SensorId(0), Point::new(0.0, 0.0), Timestamp(0)),
+            10.0
+        );
+        assert_eq!(
+            f.value(SensorId(3), Point::new(0.0, 0.0), Timestamp(5)),
+            16.0
+        );
         // Same inputs, same outputs.
-        assert_eq!(f.value(SensorId(3), Point::new(0.0, 0.0), Timestamp(5)), 16.0);
+        assert_eq!(
+            f.value(SensorId(3), Point::new(0.0, 0.0), Timestamp(5)),
+            16.0
+        );
     }
 
     #[test]
@@ -188,10 +203,7 @@ mod tests {
         for _ in 0..trials {
             let p = Point::new(rng.random_range(10.0..90.0), rng.random_range(10.0..90.0));
             let near = Point::new(p.x + 1.0, p.y + 1.0);
-            let far = Point::new(
-                rng.random_range(0.0..100.0),
-                rng.random_range(0.0..100.0),
-            );
+            let far = Point::new(rng.random_range(0.0..100.0), rng.random_range(0.0..100.0));
             near_diff += (f.smooth_value(p) - f.smooth_value(near)).abs();
             far_diff += (f.smooth_value(p) - f.smooth_value(far)).abs();
         }
@@ -216,6 +228,14 @@ mod tests {
     #[test]
     #[should_panic(expected = "correlation length")]
     fn spatial_field_rejects_zero_correlation() {
-        SpatialField::new(Rect::from_coords(0.0, 0.0, 1.0, 1.0), 1, 1.0, 0.0, 0.0, 0.0, 1);
+        SpatialField::new(
+            Rect::from_coords(0.0, 0.0, 1.0, 1.0),
+            1,
+            1.0,
+            0.0,
+            0.0,
+            0.0,
+            1,
+        );
     }
 }

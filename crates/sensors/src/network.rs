@@ -1,8 +1,10 @@
 //! The simulated probe endpoint.
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::OnceLock;
 
 use colr_geo::Point;
+use colr_telemetry::{global, Counter, Histogram};
 use colr_tree::{ProbeService, Reading, SensorId, SensorMeta, Timestamp};
 use parking_lot::Mutex;
 use rand::rngs::StdRng;
@@ -44,6 +46,25 @@ struct NetState<F> {
     rng: StdRng,
 }
 
+/// Cached handles for the network-side probe counters (`colr_net_*`).
+struct NetTelem {
+    /// Probe requests that reached the network, any outcome.
+    probes: Counter,
+    /// Probes that failed (sensor down or unavailable this round).
+    failures: Counter,
+    /// Sizes of the batches handed to `probe_batch`.
+    batch_size: Histogram,
+}
+
+fn net_telem() -> &'static NetTelem {
+    static T: OnceLock<NetTelem> = OnceLock::new();
+    T.get_or_init(|| NetTelem {
+        probes: global().counter("colr_net_probes_total"),
+        failures: global().counter("colr_net_failures_total"),
+        batch_size: global().histogram("colr_net_batch_size"),
+    })
+}
+
 impl<F: ValueField> SimNetwork<F> {
     /// A network over `sensors` whose values come from `field`.
     pub fn new(sensors: Vec<SensorMeta>, field: F, seed: u64) -> Self {
@@ -67,7 +88,10 @@ impl<F: ValueField> SimNetwork<F> {
 
     /// Times each sensor has been probed so far.
     pub fn probe_counts(&self) -> Vec<u64> {
-        self.probes.iter().map(|c| c.load(Ordering::Relaxed)).collect()
+        self.probes
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .collect()
     }
 
     /// Times each sensor successfully answered.
@@ -111,11 +135,15 @@ impl<F: ValueField> SimNetwork<F> {
 
 impl<F: ValueField> ProbeService for SimNetwork<F> {
     fn probe_batch(&self, ids: &[SensorId], now: Timestamp) -> Vec<Option<Reading>> {
+        let telem = net_telem();
+        telem.probes.add(ids.len() as u64);
+        telem.batch_size.observe(ids.len() as u64);
         // One lock acquisition per batch: probes within a batch are
         // "concurrent" in the latency model, so serialising the whole batch
         // on the state mutex matches the simulated semantics.
         let mut state = self.state.lock();
-        ids.iter()
+        let out: Vec<Option<Reading>> = ids
+            .iter()
             .map(|&id| {
                 let meta = self.sensors[id.index()];
                 self.probes[id.index()].fetch_add(1, Ordering::Relaxed);
@@ -136,7 +164,11 @@ impl<F: ValueField> ProbeService for SimNetwork<F> {
                     expires_at: now + meta.expiry,
                 })
             })
-            .collect()
+            .collect();
+        telem
+            .failures
+            .add(out.iter().filter(|r| r.is_none()).count() as u64);
+        out
     }
 }
 
@@ -161,7 +193,14 @@ mod tests {
 
     #[test]
     fn probe_returns_reading_with_meta_expiry() {
-        let net = SimNetwork::new(sensors(3, 1.0), ConstantField { base: 1.0, step: 1.0 }, 1);
+        let net = SimNetwork::new(
+            sensors(3, 1.0),
+            ConstantField {
+                base: 1.0,
+                step: 1.0,
+            },
+            1,
+        );
         let out = net.probe_batch(&[SensorId(2)], Timestamp(1_000));
         let r = out[0].expect("available");
         assert_eq!(r.sensor, SensorId(2));
@@ -172,7 +211,14 @@ mod tests {
 
     #[test]
     fn full_availability_never_fails() {
-        let net = SimNetwork::new(sensors(10, 1.0), ConstantField { base: 0.0, step: 0.0 }, 1);
+        let net = SimNetwork::new(
+            sensors(10, 1.0),
+            ConstantField {
+                base: 0.0,
+                step: 0.0,
+            },
+            1,
+        );
         let ids: Vec<SensorId> = (0..10).map(SensorId).collect();
         let out = net.probe_batch(&ids, Timestamp(0));
         assert!(out.iter().all(|r| r.is_some()));
@@ -180,7 +226,14 @@ mod tests {
 
     #[test]
     fn zero_availability_always_fails() {
-        let net = SimNetwork::new(sensors(10, 0.0), ConstantField { base: 0.0, step: 0.0 }, 1);
+        let net = SimNetwork::new(
+            sensors(10, 0.0),
+            ConstantField {
+                base: 0.0,
+                step: 0.0,
+            },
+            1,
+        );
         let ids: Vec<SensorId> = (0..10).map(SensorId).collect();
         let out = net.probe_batch(&ids, Timestamp(0));
         assert!(out.iter().all(|r| r.is_none()));
@@ -188,7 +241,14 @@ mod tests {
 
     #[test]
     fn availability_rate_matches_statistics() {
-        let net = SimNetwork::new(sensors(1, 0.7), ConstantField { base: 0.0, step: 0.0 }, 1);
+        let net = SimNetwork::new(
+            sensors(1, 0.7),
+            ConstantField {
+                base: 0.0,
+                step: 0.0,
+            },
+            1,
+        );
         let trials = 20_000;
         let mut ok = 0;
         for t in 0..trials {
@@ -202,7 +262,14 @@ mod tests {
 
     #[test]
     fn counters_track_probes_and_successes() {
-        let net = SimNetwork::new(sensors(3, 1.0), ConstantField { base: 0.0, step: 0.0 }, 1);
+        let net = SimNetwork::new(
+            sensors(3, 1.0),
+            ConstantField {
+                base: 0.0,
+                step: 0.0,
+            },
+            1,
+        );
         net.probe_batch(&[SensorId(0), SensorId(0), SensorId(2)], Timestamp(0));
         assert_eq!(net.probe_counts(), &[2, 0, 1]);
         assert_eq!(net.success_counts(), &[2, 0, 1]);
@@ -213,7 +280,14 @@ mod tests {
 
     #[test]
     fn forced_down_sensor_fails_despite_availability() {
-        let net = SimNetwork::new(sensors(2, 1.0), ConstantField { base: 0.0, step: 0.0 }, 1);
+        let net = SimNetwork::new(
+            sensors(2, 1.0),
+            ConstantField {
+                base: 0.0,
+                step: 0.0,
+            },
+            1,
+        );
         net.set_forced_down(SensorId(0), true);
         let out = net.probe_batch(&[SensorId(0), SensorId(1)], Timestamp(0));
         assert!(out[0].is_none());
@@ -227,7 +301,14 @@ mod tests {
 
     #[test]
     fn shared_network_serves_concurrent_probes() {
-        let net = SimNetwork::new(sensors(8, 1.0), ConstantField { base: 0.0, step: 1.0 }, 1);
+        let net = SimNetwork::new(
+            sensors(8, 1.0),
+            ConstantField {
+                base: 0.0,
+                step: 1.0,
+            },
+            1,
+        );
         std::thread::scope(|scope| {
             for _ in 0..4 {
                 scope.spawn(|| {

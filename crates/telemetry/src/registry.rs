@@ -1,0 +1,527 @@
+//! The lock-free metrics registry: named counters, gauges and log-bucketed
+//! histograms with create-on-first-use handles and snapshot/diff support.
+//!
+//! A [`Registry`] maps metric names to shared atomic cells. Handles
+//! ([`Counter`], [`Gauge`], [`Histogram`]) are `Arc`s onto those cells:
+//! cloning is cheap, recording is a relaxed atomic op, and the registry's
+//! lock is only touched on first use of a name (and when snapshotting).
+//! Each registry carries its own enabled flag so the [`global`] registry can
+//! be switched off without disturbing private registries used by tests.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
+
+use parking_lot::RwLock;
+
+/// Number of histogram buckets: bucket 0 holds zero values, bucket `i`
+/// (1..=64) holds values in `[2^(i-1), 2^i)` — log-2 resolution over the
+/// full `u64` range.
+pub const HISTOGRAM_BUCKETS: usize = 65;
+
+const RELAXED: Ordering = Ordering::Relaxed;
+
+// ---------------------------------------------------------------------------
+// Handles
+// ---------------------------------------------------------------------------
+
+struct CounterCore {
+    value: AtomicU64,
+    enabled: Arc<AtomicBool>,
+}
+
+/// A monotonically increasing counter handle. Clones share the same cell.
+#[derive(Clone)]
+pub struct Counter(Arc<CounterCore>);
+
+impl Counter {
+    /// Adds 1.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if self.0.enabled.load(RELAXED) {
+            self.0.value.fetch_add(n, RELAXED);
+        }
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.value.load(RELAXED)
+    }
+}
+
+struct GaugeCore {
+    // i64 stored as two's-complement bits.
+    value: AtomicU64,
+    enabled: Arc<AtomicBool>,
+}
+
+/// A gauge handle: a value that can go up and down (e.g. cached readings,
+/// in-flight batch queries).
+#[derive(Clone)]
+pub struct Gauge(Arc<GaugeCore>);
+
+impl Gauge {
+    /// Sets the gauge to `v`.
+    #[inline]
+    pub fn set(&self, v: i64) {
+        if self.0.enabled.load(RELAXED) {
+            self.0.value.store(v as u64, RELAXED);
+        }
+    }
+
+    /// Adds `d` (may be negative).
+    #[inline]
+    pub fn add(&self, d: i64) {
+        if self.0.enabled.load(RELAXED) {
+            self.0.value.fetch_add(d as u64, RELAXED);
+        }
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.0.value.load(RELAXED) as i64
+    }
+}
+
+struct HistogramCore {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    enabled: Arc<AtomicBool>,
+}
+
+/// A log-bucketed histogram handle over `u64` observations (typically
+/// microseconds or batch sizes). Bucket `i` covers `[2^(i-1), 2^i)`;
+/// bucket 0 covers exactly zero.
+#[derive(Clone)]
+pub struct Histogram(Arc<HistogramCore>);
+
+/// The bucket index an observation lands in.
+#[inline]
+pub(crate) fn bucket_of(v: u64) -> usize {
+    (64 - v.leading_zeros()) as usize
+}
+
+/// Inclusive upper bound of bucket `i` (`u64::MAX` for the last bucket).
+pub(crate) fn bucket_upper(i: usize) -> u64 {
+    if i == 0 {
+        0
+    } else if i >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << i) - 1
+    }
+}
+
+impl Histogram {
+    /// Records one observation.
+    #[inline]
+    pub fn observe(&self, v: u64) {
+        if self.0.enabled.load(RELAXED) {
+            self.0.buckets[bucket_of(v)].fetch_add(1, RELAXED);
+            self.0.count.fetch_add(1, RELAXED);
+            self.0.sum.fetch_add(v, RELAXED);
+        }
+    }
+
+    /// Number of observations so far.
+    pub fn count(&self) -> u64 {
+        self.0.count.load(RELAXED)
+    }
+
+    /// Sum of all observations so far.
+    pub fn sum(&self) -> u64 {
+        self.0.sum.load(RELAXED)
+    }
+
+    /// A point-in-time copy of the histogram state.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let mut buckets = [0u64; HISTOGRAM_BUCKETS];
+        for (b, cell) in buckets.iter_mut().zip(self.0.buckets.iter()) {
+            *b = cell.load(RELAXED);
+        }
+        HistogramSnapshot {
+            count: self.0.count.load(RELAXED),
+            sum: self.0.sum.load(RELAXED),
+            buckets,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Snapshots
+// ---------------------------------------------------------------------------
+
+/// A point-in-time copy of one histogram.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Total observations.
+    pub count: u64,
+    /// Sum of observations.
+    pub sum: u64,
+    /// Per-bucket counts (see [`HISTOGRAM_BUCKETS`]).
+    pub buckets: [u64; HISTOGRAM_BUCKETS],
+}
+
+impl HistogramSnapshot {
+    /// Approximate quantile `q` in `[0, 1]`: the midpoint of the first
+    /// bucket whose cumulative count reaches `q · count` (log-2 bucket
+    /// resolution). Returns 0 for an empty histogram.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let rank = (q.clamp(0.0, 1.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, &b) in self.buckets.iter().enumerate() {
+            seen += b;
+            if seen >= rank {
+                if i == 0 {
+                    return 0.0;
+                }
+                let lo = 1u64 << (i - 1);
+                let hi = bucket_upper(i);
+                return (lo as f64 + hi as f64) / 2.0;
+            }
+        }
+        bucket_upper(HISTOGRAM_BUCKETS - 1) as f64
+    }
+
+    /// Mean observation (0 for an empty histogram).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Bucket-wise difference `self − older` (saturating).
+    pub fn diff(&self, older: &HistogramSnapshot) -> HistogramSnapshot {
+        let mut buckets = [0u64; HISTOGRAM_BUCKETS];
+        for (i, b) in buckets.iter_mut().enumerate() {
+            *b = self.buckets[i].saturating_sub(older.buckets[i]);
+        }
+        HistogramSnapshot {
+            count: self.count.saturating_sub(older.count),
+            sum: self.sum.saturating_sub(older.sum),
+            buckets,
+        }
+    }
+}
+
+/// A point-in-time copy of every metric in a registry. Maps are ordered, so
+/// two snapshots of identical state expose identically (determinism).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Snapshot {
+    /// Counter values by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge values by name.
+    pub gauges: BTreeMap<String, i64>,
+    /// Histogram states by name.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+}
+
+impl Snapshot {
+    /// Interval metrics: counters and histograms become `self − older`
+    /// (names absent from `older` keep their value); gauges keep the newer
+    /// value.
+    pub fn diff(&self, older: &Snapshot) -> Snapshot {
+        let counters = self
+            .counters
+            .iter()
+            .map(|(k, &v)| {
+                let prev = older.counters.get(k).copied().unwrap_or(0);
+                (k.clone(), v.saturating_sub(prev))
+            })
+            .collect();
+        let histograms = self
+            .histograms
+            .iter()
+            .map(|(k, h)| match older.histograms.get(k) {
+                Some(prev) => (k.clone(), h.diff(prev)),
+                None => (k.clone(), h.clone()),
+            })
+            .collect();
+        Snapshot {
+            counters,
+            gauges: self.gauges.clone(),
+            histograms,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Registry
+// ---------------------------------------------------------------------------
+
+#[derive(Default)]
+struct Tables {
+    counters: BTreeMap<String, Counter>,
+    gauges: BTreeMap<String, Gauge>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+/// A named-metric registry. See the crate docs for the naming scheme.
+pub struct Registry {
+    tables: RwLock<Tables>,
+    enabled: Arc<AtomicBool>,
+}
+
+impl Default for Registry {
+    fn default() -> Self {
+        Registry::new()
+    }
+}
+
+impl Registry {
+    /// An empty registry with recording enabled.
+    pub fn new() -> Registry {
+        Registry {
+            tables: RwLock::new(Tables::default()),
+            enabled: Arc::new(AtomicBool::new(true)),
+        }
+    }
+
+    /// Enables or disables recording through every handle of this registry.
+    /// Disabled handles short-circuit after one relaxed load.
+    pub fn set_enabled(&self, on: bool) {
+        self.enabled.store(on, RELAXED);
+    }
+
+    /// Whether recording is enabled.
+    pub fn enabled(&self) -> bool {
+        self.enabled.load(RELAXED)
+    }
+
+    /// The counter named `name`, created on first use.
+    pub fn counter(&self, name: &str) -> Counter {
+        if let Some(c) = self.tables.read().counters.get(name) {
+            return c.clone();
+        }
+        let mut tables = self.tables.write();
+        tables
+            .counters
+            .entry(name.to_owned())
+            .or_insert_with(|| {
+                Counter(Arc::new(CounterCore {
+                    value: AtomicU64::new(0),
+                    enabled: self.enabled.clone(),
+                }))
+            })
+            .clone()
+    }
+
+    /// The gauge named `name`, created on first use.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        if let Some(g) = self.tables.read().gauges.get(name) {
+            return g.clone();
+        }
+        let mut tables = self.tables.write();
+        tables
+            .gauges
+            .entry(name.to_owned())
+            .or_insert_with(|| {
+                Gauge(Arc::new(GaugeCore {
+                    value: AtomicU64::new(0),
+                    enabled: self.enabled.clone(),
+                }))
+            })
+            .clone()
+    }
+
+    /// The histogram named `name`, created on first use.
+    pub fn histogram(&self, name: &str) -> Histogram {
+        if let Some(h) = self.tables.read().histograms.get(name) {
+            return h.clone();
+        }
+        let mut tables = self.tables.write();
+        tables
+            .histograms
+            .entry(name.to_owned())
+            .or_insert_with(|| {
+                Histogram(Arc::new(HistogramCore {
+                    buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+                    count: AtomicU64::new(0),
+                    sum: AtomicU64::new(0),
+                    enabled: self.enabled.clone(),
+                }))
+            })
+            .clone()
+    }
+
+    /// A point-in-time copy of every metric.
+    pub fn snapshot(&self) -> Snapshot {
+        let tables = self.tables.read();
+        Snapshot {
+            counters: tables
+                .counters
+                .iter()
+                .map(|(k, c)| (k.clone(), c.get()))
+                .collect(),
+            gauges: tables
+                .gauges
+                .iter()
+                .map(|(k, g)| (k.clone(), g.get()))
+                .collect(),
+            histograms: tables
+                .histograms
+                .iter()
+                .map(|(k, h)| (k.clone(), h.snapshot()))
+                .collect(),
+        }
+    }
+
+    /// Zeroes every metric (handles stay valid) — for experiment phases.
+    pub fn reset(&self) {
+        let tables = self.tables.read();
+        for c in tables.counters.values() {
+            c.0.value.store(0, RELAXED);
+        }
+        for g in tables.gauges.values() {
+            g.0.value.store(0, RELAXED);
+        }
+        for h in tables.histograms.values() {
+            for b in &h.0.buckets {
+                b.store(0, RELAXED);
+            }
+            h.0.count.store(0, RELAXED);
+            h.0.sum.store(0, RELAXED);
+        }
+    }
+}
+
+/// The process-wide registry every built-in instrumentation site records
+/// into.
+pub fn global() -> &'static Registry {
+    static GLOBAL: OnceLock<Registry> = OnceLock::new();
+    GLOBAL.get_or_init(Registry::new)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_roundtrip_and_identity() {
+        let r = Registry::new();
+        let a = r.counter("x_total");
+        let b = r.counter("x_total");
+        a.inc();
+        b.add(4);
+        assert_eq!(a.get(), 5, "handles to one name share the cell");
+    }
+
+    #[test]
+    fn gauge_set_and_add() {
+        let r = Registry::new();
+        let g = r.gauge("g");
+        g.set(10);
+        g.add(-3);
+        assert_eq!(g.get(), 7);
+        g.add(5);
+        assert_eq!(g.get(), 12);
+    }
+
+    #[test]
+    fn histogram_buckets_are_log2() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(1023), 10);
+        assert_eq!(bucket_of(1024), 11);
+        assert_eq!(bucket_of(u64::MAX), 64);
+        assert_eq!(bucket_upper(0), 0);
+        assert_eq!(bucket_upper(1), 1);
+        assert_eq!(bucket_upper(10), 1023);
+        assert_eq!(bucket_upper(64), u64::MAX);
+    }
+
+    #[test]
+    fn histogram_observe_and_quantile() {
+        let r = Registry::new();
+        let h = r.histogram("lat_us");
+        for v in [0u64, 1, 2, 3, 100, 100, 100, 1000, 1000, 100_000] {
+            h.observe(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 10);
+        assert_eq!(s.sum, 102_306);
+        // p50 lands in the bucket holding the 100s: [64, 127].
+        let p50 = s.quantile(0.5);
+        assert!((64.0..=127.0).contains(&p50), "p50 = {p50}");
+        // p100 lands in the bucket holding 100_000: [65536, 131071].
+        let p100 = s.quantile(1.0);
+        assert!((65_536.0..=131_071.0).contains(&p100), "p100 = {p100}");
+        assert_eq!(HistogramSnapshot::default_empty().quantile(0.5), 0.0);
+    }
+
+    impl HistogramSnapshot {
+        fn default_empty() -> HistogramSnapshot {
+            HistogramSnapshot {
+                count: 0,
+                sum: 0,
+                buckets: [0; HISTOGRAM_BUCKETS],
+            }
+        }
+    }
+
+    #[test]
+    fn disabled_registry_records_nothing() {
+        let r = Registry::new();
+        let c = r.counter("c");
+        let g = r.gauge("g");
+        let h = r.histogram("h");
+        r.set_enabled(false);
+        c.inc();
+        g.set(9);
+        h.observe(5);
+        assert_eq!(c.get(), 0);
+        assert_eq!(g.get(), 0);
+        assert_eq!(h.count(), 0);
+        r.set_enabled(true);
+        c.inc();
+        assert_eq!(c.get(), 1);
+    }
+
+    #[test]
+    fn snapshot_diff_subtracts() {
+        let r = Registry::new();
+        let c = r.counter("c_total");
+        let h = r.histogram("h_us");
+        c.add(3);
+        h.observe(10);
+        let before = r.snapshot();
+        c.add(4);
+        h.observe(10);
+        h.observe(20);
+        let after = r.snapshot();
+        let d = after.diff(&before);
+        assert_eq!(d.counters["c_total"], 4);
+        assert_eq!(d.histograms["h_us"].count, 2);
+        assert_eq!(d.histograms["h_us"].sum, 30);
+        // Diffing a snapshot with itself is all-zero.
+        let z = after.diff(&after);
+        assert!(z.counters.values().all(|&v| v == 0));
+        assert!(z.histograms.values().all(|h| h.count == 0));
+    }
+
+    #[test]
+    fn reset_zeroes_but_keeps_handles() {
+        let r = Registry::new();
+        let c = r.counter("c");
+        c.add(7);
+        r.reset();
+        assert_eq!(c.get(), 0);
+        c.inc();
+        assert_eq!(c.get(), 1);
+    }
+}

@@ -67,9 +67,8 @@ impl PlacementModel {
                     })
                     .collect();
                 let zipf = Zipf::new(cities, alpha);
-                let diag = (extent.width() * extent.width()
-                    + extent.height() * extent.height())
-                .sqrt();
+                let diag =
+                    (extent.width() * extent.width() + extent.height() * extent.height()).sqrt();
                 let sigma = spread * diag;
                 (0..n)
                     .map(|_| {

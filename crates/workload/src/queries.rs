@@ -81,8 +81,7 @@ impl QueryWorkload {
         seed: u64,
     ) -> QueryWorkload {
         let mut rng = StdRng::seed_from_u64(seed);
-        let zipf = (!centres.is_empty())
-            .then(|| Zipf::new(centres.len(), config.hotspot_alpha));
+        let zipf = (!centres.is_empty()).then(|| Zipf::new(centres.len(), config.hotspot_alpha));
         let mut at = Timestamp::ZERO;
         let mean_gap = config.mean_interarrival.millis().max(1);
         let queries = (0..config.count)
@@ -93,8 +92,8 @@ impl QueryWorkload {
                 let u: f64 = rng.random_range(f64::MIN_POSITIVE..1.0);
                 let rate = match config.diurnal {
                     Some((period, amp)) if period.millis() > 0 => {
-                        let phase = std::f64::consts::TAU * at.millis() as f64
-                            / period.millis() as f64;
+                        let phase =
+                            std::f64::consts::TAU * at.millis() as f64 / period.millis() as f64;
                         (1.0 + amp.clamp(0.0, 0.99) * phase.sin()).max(0.01)
                     }
                     _ => 1.0,
@@ -126,7 +125,11 @@ impl QueryWorkload {
                 let lo = config.staleness.0.millis();
                 let hi = config.staleness.1.millis().max(lo);
                 let staleness = TimeDelta::from_millis(rng.random_range(lo..=hi));
-                QuerySpec { rect, staleness, at }
+                QuerySpec {
+                    rect,
+                    staleness,
+                    at,
+                }
             })
             .collect();
         QueryWorkload { queries }
@@ -212,7 +215,11 @@ mod tests {
         let w = QueryWorkload::generate(extent(), &[], &QueryWorkloadConfig::default(), 5);
         assert_eq!(w.queries.len(), 1_000);
         // Queries spread across the extent rather than piling up.
-        let left = w.queries.iter().filter(|q| q.rect.center().x < 2_000.0).count();
+        let left = w
+            .queries
+            .iter()
+            .filter(|q| q.rect.center().x < 2_000.0)
+            .count();
         assert!(left > 300 && left < 700, "left {left}");
     }
 

@@ -66,19 +66,19 @@ impl ScenarioConfig {
 
     /// Builds the scenario.
     pub fn build(&self) -> Scenario {
-        let locations = self.placement.place(self.extent, self.sensor_count, self.seed);
-        let expiries = self
-            .expiry
-            .durations(self.sensor_count, self.t_max, self.seed ^ 0x5eed_e791);
+        let locations = self
+            .placement
+            .place(self.extent, self.sensor_count, self.seed);
+        let expiries =
+            self.expiry
+                .durations(self.sensor_count, self.t_max, self.seed ^ 0x5eed_e791);
         let mut rng = StdRng::seed_from_u64(self.seed ^ 0xa7a1_1ab1e);
         let (alo, ahi) = self.availability;
         let sensors: Vec<SensorMeta> = locations
             .into_iter()
             .zip(expiries)
             .enumerate()
-            .map(|(i, (loc, exp))| {
-                SensorMeta::new(i as u32, loc, exp, rng.random_range(alo..=ahi))
-            })
+            .map(|(i, (loc, exp))| SensorMeta::new(i as u32, loc, exp, rng.random_range(alo..=ahi)))
             .collect();
         let centres = self.placement.centres(self.extent, self.seed);
         let queries =

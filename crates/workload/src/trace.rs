@@ -118,13 +118,8 @@ pub fn load(dir: &Path) -> io::Result<Scenario> {
         .map(|m| m.expiry)
         .max()
         .unwrap_or(TimeDelta::from_mins(10));
-    let extent = Rect::bounding(
-        &sensors
-            .iter()
-            .map(|m| m.location)
-            .collect::<Vec<_>>(),
-    )
-    .unwrap_or(Rect::from_coords(0.0, 0.0, 1.0, 1.0));
+    let extent = Rect::bounding(&sensors.iter().map(|m| m.location).collect::<Vec<_>>())
+        .unwrap_or(Rect::from_coords(0.0, 0.0, 1.0, 1.0));
     Ok(Scenario {
         sensors,
         queries: QueryWorkload { queries },
@@ -181,8 +176,16 @@ mod tests {
     fn load_rejects_malformed_rows() {
         let dir = temp_dir("bad");
         fs::create_dir_all(&dir).unwrap();
-        fs::write(dir.join("sensors.csv"), "id,x,y,expiry_ms,availability,kind\n0,1,2\n").unwrap();
-        fs::write(dir.join("queries.csv"), "min_x,min_y,max_x,max_y,staleness_ms,at_ms\n").unwrap();
+        fs::write(
+            dir.join("sensors.csv"),
+            "id,x,y,expiry_ms,availability,kind\n0,1,2\n",
+        )
+        .unwrap();
+        fs::write(
+            dir.join("queries.csv"),
+            "min_x,min_y,max_x,max_y,staleness_ms,at_ms\n",
+        )
+        .unwrap();
         let err = load(&dir).unwrap_err();
         assert_eq!(err.kind(), io::ErrorKind::InvalidData);
         let _ = fs::remove_dir_all(&dir);
@@ -197,7 +200,11 @@ mod tests {
             "id,x,y,expiry_ms,availability,kind\n5,1,2,1000,1,0\n",
         )
         .unwrap();
-        fs::write(dir.join("queries.csv"), "min_x,min_y,max_x,max_y,staleness_ms,at_ms\n").unwrap();
+        fs::write(
+            dir.join("queries.csv"),
+            "min_x,min_y,max_x,max_y,staleness_ms,at_ms\n",
+        )
+        .unwrap();
         assert!(load(&dir).is_err());
         let _ = fs::remove_dir_all(&dir);
     }

@@ -55,7 +55,10 @@ fn main() {
     // 1. Point estimates with zero probes.
     let model = IdwModel::default();
     println!("\npoint estimates from the model (no probes):");
-    println!("{:>10} {:>10} {:>10} {:>8}", "location", "model", "truth", "err");
+    println!(
+        "{:>10} {:>10} {:>10} {:>8}",
+        "location", "model", "truth", "err"
+    );
     for (x, y) in [(50.0, 50.0), (150.0, 150.0), (250.0, 80.0), (90.0, 260.0)] {
         let p = Point::new(x, y);
         let est = model
@@ -81,7 +84,13 @@ fn main() {
     let sampled_q = Query::range(region.clone(), staleness)
         .with_terminal_level(3)
         .with_sample_size(15.0);
-    let sampled = tree.execute(&sampled_q, Mode::Colr, &network, Timestamp(2_000), &mut qrng);
+    let sampled = tree.execute(
+        &sampled_q,
+        Mode::Colr,
+        &network,
+        Timestamp(2_000),
+        &mut qrng,
+    );
     let sampled_avg = sampled.aggregate(AggKind::Avg).unwrap_or(f64::NAN);
 
     let fresh_tree_for_truth = {
@@ -90,13 +99,8 @@ fn main() {
         ColrTree::build(metas, ColrConfig::default(), 1)
     };
     let exact_q = Query::range(region.clone(), staleness).with_terminal_level(3);
-    let exact = fresh_tree_for_truth.execute(
-        &exact_q,
-        Mode::RTree,
-        &network,
-        Timestamp(2_000),
-        &mut qrng,
-    );
+    let exact =
+        fresh_tree_for_truth.execute(&exact_q, Mode::RTree, &network, Timestamp(2_000), &mut qrng);
     let exact_avg = exact.aggregate(AggKind::Avg).unwrap_or(f64::NAN);
 
     println!("\nregion average over a circle (r=80):");

@@ -6,10 +6,10 @@
 //! cargo run --example restaurant_finder
 //! ```
 
+use colr_repro::colr::TimeDelta;
 use colr_repro::engine::{Portal, PortalConfig};
 use colr_repro::sensors::{RandomWalkField, SimNetwork};
 use colr_repro::workload::{PlacementModel, QueryWorkloadConfig, ScenarioConfig};
-use colr_repro::colr::TimeDelta;
 
 fn main() {
     // A city-scale deployment: 12,000 restaurants clustered around 40

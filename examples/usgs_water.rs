@@ -45,7 +45,10 @@ fn main() {
         exact_out.stats.sensors_probed, exact
     );
 
-    println!("\n{:>8} {:>12} {:>11} {:>10}", "sample", "avg", "rel_error", "probes");
+    println!(
+        "\n{:>8} {:>12} {:>11} {:>10}",
+        "sample", "avg", "rel_error", "probes"
+    );
     for sample in [5usize, 10, 15, 30, 60] {
         let tree = ColrTree::build(sensors.clone(), ColrConfig::default(), 1);
         let q = Query::range(region.clone(), TimeDelta::from_mins(10))

@@ -7,5 +7,6 @@ pub use colr_engine as engine;
 pub use colr_geo as geo;
 pub use colr_relstore as relstore;
 pub use colr_sensors as sensors;
+pub use colr_telemetry as telemetry;
 pub use colr_tree as colr;
 pub use colr_workload as workload;

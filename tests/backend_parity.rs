@@ -66,10 +66,11 @@ fn assert_parity(native: &ColrTree, rel: &RelationalColrTree) {
                 for (kind, a) in &ns.by_kind {
                     let rk = rel
                         .cache_row_agg_of_kind(node.level, id.0 as i64, slot as i64, *kind as i64)
-                        .unwrap_or_else(|| {
-                            panic!("missing kind {kind} row at {id:?} slot {slot}")
-                        });
-                    assert_eq!(a.count, rk.count, "kind count mismatch at {id:?} slot {slot}");
+                        .unwrap_or_else(|| panic!("missing kind {kind} row at {id:?} slot {slot}"));
+                    assert_eq!(
+                        a.count, rk.count,
+                        "kind count mismatch at {id:?} slot {slot}"
+                    );
                     assert!((a.sum - rk.sum).abs() < 1e-9);
                 }
             }
@@ -93,11 +94,7 @@ fn parity_under_random_inserts_and_updates() {
     let mut now = 1_000u64;
     for _ in 0..300 {
         now += rng.random_range(0..5_000);
-        let r = reading(
-            rng.random_range(0..100),
-            rng.random_range(0.0..100.0),
-            now,
-        );
+        let r = reading(rng.random_range(0..100), rng.random_range(0.0..100.0), now);
         let t = Timestamp(now);
         native.advance(t);
         native.insert_reading(r, t);
@@ -105,7 +102,8 @@ fn parity_under_random_inserts_and_updates() {
         rel.insert_reading(r, t);
     }
     native.validate().expect("native invariants");
-    rel.validate_cache_consistency().expect("relational invariants");
+    rel.validate_cache_consistency()
+        .expect("relational invariants");
     assert_parity(&native, &rel);
 }
 

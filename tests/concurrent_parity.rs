@@ -10,9 +10,7 @@
 //!     configured budget, and leave every structural invariant intact.
 
 use colr_repro::colr::probe::AlwaysAvailable;
-use colr_repro::colr::{
-    ColrConfig, ColrTree, Mode, Query, SensorMeta, TimeDelta, Timestamp,
-};
+use colr_repro::colr::{ColrConfig, ColrTree, Mode, Query, SensorMeta, TimeDelta, Timestamp};
 use colr_repro::engine::{parse, Portal, PortalConfig, SelectQuery};
 use colr_repro::geo::Rect;
 use rand::rngs::StdRng;
@@ -141,7 +139,12 @@ fn hammer_sixteen_threads_respects_cache_budget() {
                     let x0 = rng.random_range(0..side - w) as f64;
                     let y0 = rng.random_range(0..side - w) as f64;
                     let query = Query::range(
-                        Rect::from_coords(x0 - 0.5, y0 - 0.5, x0 + w as f64 + 0.5, y0 + w as f64 + 0.5),
+                        Rect::from_coords(
+                            x0 - 0.5,
+                            y0 - 0.5,
+                            x0 + w as f64 + 0.5,
+                            y0 + w as f64 + 0.5,
+                        ),
                         TimeDelta::from_millis(EXPIRY_MS),
                     )
                     .with_terminal_level(2)
@@ -166,5 +169,6 @@ fn hammer_sixteen_threads_respects_cache_budget() {
         "cache occupancy {} exceeds budget {BUDGET}",
         tree.cached_readings()
     );
-    tree.validate().expect("structural invariants after hammering");
+    tree.validate()
+        .expect("structural invariants after hammering");
 }

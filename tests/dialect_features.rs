@@ -1,10 +1,10 @@
 //! End-to-end tests of the dialect extensions: sensor-type filters and
 //! circular regions, driven through the portal.
 
+use colr_repro::colr::probe::AlwaysAvailable;
 use colr_repro::colr::{Mode, SensorMeta, TimeDelta};
 use colr_repro::engine::{Portal, PortalConfig};
 use colr_repro::geo::Point;
-use colr_repro::colr::probe::AlwaysAvailable;
 
 const EXPIRY_MS: u64 = 300_000;
 
@@ -25,7 +25,9 @@ fn typed_portal(mode: Mode) -> Portal<AlwaysAvailable> {
         .collect();
     Portal::new(
         sensors,
-        AlwaysAvailable { expiry_ms: EXPIRY_MS },
+        AlwaysAvailable {
+            expiry_ms: EXPIRY_MS,
+        },
         PortalConfig {
             mode,
             max_sensors_per_query: None,
@@ -98,7 +100,10 @@ fn circle_region_through_sql() {
         .query_sql("SELECT count(*) FROM sensor WHERE location WITHIN CIRCLE(8, 8, 2.2)")
         .unwrap();
     assert_eq!(res.value, Some(expected));
-    assert!(expected >= 9.0, "sanity: circle should cover several sensors");
+    assert!(
+        expected >= 9.0,
+        "sanity: circle should cover several sensors"
+    );
 }
 
 #[test]

@@ -3,9 +3,7 @@
 //! caching does not affect the accuracy of results". No mode may ever serve
 //! a reading that is expired or staler than the query bound.
 
-use colr_repro::colr::{
-    ColrConfig, ColrTree, Mode, Query, SensorMeta, TimeDelta, Timestamp,
-};
+use colr_repro::colr::{ColrConfig, ColrTree, Mode, Query, SensorMeta, TimeDelta, Timestamp};
 use colr_repro::geo::{Point, Rect, Region};
 use colr_repro::sensors::{RandomWalkField, SimNetwork};
 use rand::rngs::StdRng;

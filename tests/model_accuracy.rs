@@ -64,7 +64,11 @@ fn point_estimates_track_ground_truth_with_zero_probes() {
     }
     let mean_err = errs.iter().sum::<f64>() / errs.len() as f64;
     assert!(mean_err < 0.15, "mean relative error {mean_err} too high");
-    assert_eq!(net.total_probes(), probes_before, "model probed the network");
+    assert_eq!(
+        net.total_probes(),
+        probes_before,
+        "model probed the network"
+    );
 }
 
 #[test]
@@ -107,6 +111,11 @@ fn model_goes_dark_when_cache_expires() {
     let later = Timestamp(1_000 + 20 * 60_000);
     tree.advance(later);
     assert!(model
-        .estimate_at(&tree, Point::new(100.0, 100.0), later, TimeDelta::from_mins(10))
+        .estimate_at(
+            &tree,
+            Point::new(100.0, 100.0),
+            later,
+            TimeDelta::from_mins(10)
+        )
         .is_none());
 }

@@ -1,0 +1,149 @@
+//! End-to-end telemetry: drive portal scenarios and check that the global
+//! registry, the tracer, and the exposition formats observe them.
+//!
+//! The registry and tracer are process-wide and shared with every other test
+//! in this binary, so assertions are written as snapshot *deltas* (`diff`)
+//! or `>=` lower bounds — never exact global values.
+
+use colr_repro::colr::{Mode, SensorMeta, TimeDelta};
+use colr_repro::engine::{Portal, PortalConfig};
+use colr_repro::geo::Point;
+use colr_repro::sensors::{ConstantField, SimNetwork};
+use colr_repro::telemetry::{global, tracer, SpanKind};
+
+fn portal(mode: Mode) -> Portal<SimNetwork<ConstantField>> {
+    let sensors: Vec<SensorMeta> = (0..256)
+        .map(|i| {
+            SensorMeta::new(
+                i as u32,
+                Point::new((i % 16) as f64, (i / 16) as f64),
+                TimeDelta::from_mins(5),
+                1.0,
+            )
+        })
+        .collect();
+    let net = SimNetwork::new(
+        sensors.clone(),
+        ConstantField {
+            base: 1.0,
+            step: 0.5,
+        },
+        7,
+    );
+    Portal::new(
+        sensors,
+        net,
+        PortalConfig {
+            mode,
+            ..Default::default()
+        },
+    )
+}
+
+const VIEWPORT: &str = "SELECT count(*) FROM sensor WHERE location WITHIN RECT(-0.5,-0.5,7.5,7.5)";
+
+#[test]
+fn queries_move_the_global_counters() {
+    let before = global().snapshot();
+    let mut p = portal(Mode::HierCache);
+    p.clock_mut().advance(TimeDelta::from_secs(1));
+    p.query_sql(VIEWPORT).expect("cold");
+    p.clock_mut().advance(TimeDelta::from_secs(1));
+    p.query_sql(VIEWPORT).expect("warm");
+    let delta = global().snapshot().diff(&before);
+
+    assert!(delta.counters["colr_portal_queries_total"] >= 2);
+    assert!(delta.counters["colr_query_total{mode=\"hier_cache\"}"] >= 2);
+    assert!(delta.counters["colr_build_trees_total"] >= 1);
+    // The cold query probed the 64-sensor viewport and wrote it back.
+    assert!(delta.counters["colr_probe_issued_total"] >= 64);
+    assert!(delta.counters["colr_net_probes_total"] >= 64);
+    assert!(delta.counters["colr_tree_cache_inserts_total"] >= 64);
+    // The warm query was served by some node's slot cache.
+    let hits: u64 = delta
+        .counters
+        .iter()
+        .filter(|(k, _)| k.starts_with("colr_tree_cache_hits_total"))
+        .map(|(_, v)| v)
+        .sum();
+    assert!(hits >= 1, "warm query produced no aggregate cache hits");
+    // Latency histogram saw both queries.
+    assert!(delta.histograms["colr_query_latency_us"].count >= 2);
+}
+
+#[test]
+fn batch_execution_counts_batches_and_contention_paths() {
+    let before = global().snapshot();
+    let mut p = portal(Mode::Colr);
+    p.clock_mut().advance(TimeDelta::from_secs(1));
+    let sqls = [VIEWPORT; 6];
+    let batch = p.query_many_sql(&sqls, 3).expect("batch");
+    assert_eq!(batch.results.len(), 6);
+    let delta = global().snapshot().diff(&before);
+
+    assert!(delta.counters["colr_portal_batches_total"] >= 1);
+    assert!(delta.counters["colr_portal_queries_total"] >= 6);
+    assert!(delta.histograms["colr_portal_batch_size"].count >= 1);
+    assert!(delta.histograms["colr_portal_batch_size"].sum >= 6);
+    // Probe-side histograms observed the batch's waves.
+    assert!(delta.histograms["colr_probe_batch_size"].count >= 1);
+    assert!(delta.histograms["colr_probe_wave_us"].count >= 1);
+}
+
+#[test]
+fn tracer_records_the_query_lifecycle() {
+    // Drain whatever other tests left behind, then run one warm/cold pair
+    // and a batch; the drained events must cover the full lifecycle.
+    let mut p = portal(Mode::HierCache);
+    tracer().drain();
+    p.clock_mut().advance(TimeDelta::from_secs(1));
+    p.query_sql(VIEWPORT).expect("cold");
+    p.clock_mut().advance(TimeDelta::from_secs(1));
+    p.query_sql(VIEWPORT).expect("warm");
+    p.clock_mut().advance(TimeDelta::from_secs(1));
+    p.query_many_sql(&[VIEWPORT], 2).expect("batch");
+    let events = tracer().drain();
+
+    let count = |k: SpanKind| events.iter().filter(|e| e.kind == k).count();
+    assert!(count(SpanKind::Parse) >= 3, "parse spans");
+    assert!(count(SpanKind::Plan) >= 3, "plan spans");
+    assert!(count(SpanKind::Traverse) >= 3, "traverse spans");
+    assert!(count(SpanKind::CacheHit) >= 1, "cache-hit spans");
+    assert!(count(SpanKind::ProbeWave) >= 1, "probe-wave spans");
+    assert!(count(SpanKind::WriteBack) >= 1, "write-back spans");
+    assert!(count(SpanKind::Batch) >= 1, "batch spans");
+    // Global sequence order survives the per-thread rings.
+    assert!(events.windows(2).all(|w| w[0].seq < w[1].seq));
+    // Probe-wave durations are fed by the cost model, so they are exact: a
+    // wave of n <= 128 probes costs 25ms RTT + n * 0.05ms overhead.
+    for e in events.iter().filter(|e| e.kind == SpanKind::ProbeWave) {
+        assert!(
+            e.detail > 0 && e.detail <= 128,
+            "unexpected wave size {}",
+            e.detail
+        );
+        assert_eq!(e.dur_us, 25_000 + e.detail * 50, "wave of {}", e.detail);
+    }
+}
+
+#[test]
+fn exposition_formats_cover_live_metrics() {
+    let mut p = portal(Mode::Colr);
+    p.clock_mut().advance(TimeDelta::from_secs(1));
+    p.query_sql(VIEWPORT).expect("query");
+    let snap = global().snapshot();
+
+    let prom = snap.to_prometheus();
+    for family in [
+        "# TYPE colr_portal_queries_total counter",
+        "# TYPE colr_tree_cached_readings gauge",
+        "# TYPE colr_query_latency_us histogram",
+        "colr_query_latency_us_bucket{le=\"+Inf\"}",
+    ] {
+        assert!(prom.contains(family), "missing {family:?} in:\n{prom}");
+    }
+
+    let json = snap.to_json();
+    assert!(json.contains("\"colr_portal_queries_total\""));
+    assert!(json.contains("\"p99\""));
+}

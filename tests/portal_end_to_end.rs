@@ -106,9 +106,7 @@ fn group_counts_sum_to_combined_value() {
     let mut portal = build_portal(Mode::HierCache, 5);
     portal.clock_mut().advance(TimeDelta::from_secs(2));
     let res = portal
-        .query_sql(
-            "SELECT count(*) FROM sensor WHERE location WITHIN RECT(0, 0, 1000, 1000)",
-        )
+        .query_sql("SELECT count(*) FROM sensor WHERE location WITHIN RECT(0, 0, 1000, 1000)")
         .unwrap();
     let group_total: u64 = res.groups.iter().map(|g| g.count).sum();
     assert_eq!(Some(group_total as f64), res.value);

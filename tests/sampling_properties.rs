@@ -9,7 +9,11 @@ use colr_repro::workload::{PlacementModel, ScenarioConfig};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-fn clustered_scenario(n: usize, availability: (f64, f64), seed: u64) -> Vec<colr_repro::colr::SensorMeta> {
+fn clustered_scenario(
+    n: usize,
+    availability: (f64, f64),
+    seed: u64,
+) -> Vec<colr_repro::colr::SensorMeta> {
     let mut cfg = ScenarioConfig::live_local_small();
     cfg.sensor_count = n;
     cfg.queries.count = 0;
@@ -35,7 +39,14 @@ fn theorem1_expected_sample_size_on_clustered_deployment() {
     let mut total = 0usize;
     for t in 0..trials {
         let tree = ColrTree::build(sensors.clone(), ColrConfig::default(), 5);
-        let net = SimNetwork::new(sensors.clone(), ConstantField { base: 1.0, step: 0.0 }, t);
+        let net = SimNetwork::new(
+            sensors.clone(),
+            ConstantField {
+                base: 1.0,
+                step: 0.0,
+            },
+            t,
+        );
         let q = Query::range(region.clone(), TimeDelta::from_mins(5))
             .with_terminal_level(3)
             .with_sample_size(r);
@@ -62,7 +73,14 @@ fn theorem1_holds_under_heterogeneous_availability() {
     let mut probes = 0u64;
     for t in 0..trials {
         let tree = ColrTree::build(sensors.clone(), ColrConfig::default(), 5);
-        let net = SimNetwork::new(sensors.clone(), ConstantField { base: 1.0, step: 0.0 }, 100 + t);
+        let net = SimNetwork::new(
+            sensors.clone(),
+            ConstantField {
+                base: 1.0,
+                step: 0.0,
+            },
+            100 + t,
+        );
         let q = Query::range(region.clone(), TimeDelta::from_mins(5))
             .with_terminal_level(3)
             .with_oversample_level(1)
@@ -79,7 +97,10 @@ fn theorem1_holds_under_heterogeneous_availability() {
     );
     // Oversampling implies more probes than successes, but bounded.
     assert!(mean_probes > mean);
-    assert!(mean_probes < mean * 2.0, "oversampling exploded: {mean_probes}");
+    assert!(
+        mean_probes < mean * 2.0,
+        "oversampling exploded: {mean_probes}"
+    );
 }
 
 #[test]
@@ -88,7 +109,14 @@ fn sensing_workload_is_spread_across_sensors() {
     // load. Run many sampled queries over the same region and check the
     // probe counters through the network.
     let sensors = clustered_scenario(1_000, (1.0, 1.0), 47);
-    let net = SimNetwork::new(sensors.clone(), ConstantField { base: 1.0, step: 0.0 }, 3);
+    let net = SimNetwork::new(
+        sensors.clone(),
+        ConstantField {
+            base: 1.0,
+            step: 0.0,
+        },
+        3,
+    );
     let region = Region::Rect(Rect::from_coords(0.0, 0.0, 4_000.0, 2_500.0));
     let mut rng = StdRng::seed_from_u64(31);
     let queries = 150;
@@ -130,7 +158,14 @@ fn redistribution_compensates_forced_failures() {
     let mut rng = StdRng::seed_from_u64(37);
     let mut total = 0usize;
     for t in 0..trials {
-        let net = SimNetwork::new(sensors.clone(), ConstantField { base: 1.0, step: 0.0 }, 7 + t);
+        let net = SimNetwork::new(
+            sensors.clone(),
+            ConstantField {
+                base: 1.0,
+                step: 0.0,
+            },
+            7 + t,
+        );
         for i in 0..sensors.len() {
             if i % 3 == 0 {
                 net.set_forced_down(colr_repro::colr::SensorId(i as u32), true);

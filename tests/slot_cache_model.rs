@@ -14,7 +14,11 @@ use proptest::prelude::*;
 enum Op {
     /// Insert a reading: (expiry offset from now, ts offset back from now,
     /// value).
-    Insert { expiry_ms: u64, age_ms: u64, value: i32 },
+    Insert {
+        expiry_ms: u64,
+        age_ms: u64,
+        value: i32,
+    },
     /// Remove one previously inserted reading (by index into the live set).
     Remove(usize),
     /// Advance the clock.

@@ -3,8 +3,8 @@
 //! invariants and bounded state throughout. This is the "runs for a year
 //! like SensorMap did" confidence test at miniature scale.
 
-use colr_repro::colr::{ColrConfig, Mode, Query, TimeDelta, Timestamp};
 use colr_repro::colr::tree::ColrTree;
+use colr_repro::colr::{ColrConfig, Mode, Query, TimeDelta, Timestamp};
 use colr_repro::geo::Region;
 use colr_repro::sensors::{RandomWalkField, SimNetwork};
 use colr_repro::workload::{QueryWorkloadConfig, ScenarioConfig};
@@ -42,13 +42,20 @@ fn hours_of_traffic_preserve_invariants_and_bounds() {
         let out = tree.execute(&query, Mode::Colr, &net, spec.at, &mut rng);
         // Freshness discipline holds on every answer.
         for r in &out.readings {
-            assert!(r.is_fresh(spec.at, spec.staleness), "stale answer at query {i}");
+            assert!(
+                r.is_fresh(spec.at, spec.staleness),
+                "stale answer at query {i}"
+            );
         }
         // Bounded state.
-        assert!(tree.cached_readings() <= cap, "capacity violated at query {i}");
+        assert!(
+            tree.cached_readings() <= cap,
+            "capacity violated at query {i}"
+        );
         // Periodic deep validation (O(n), so not every step).
         if i % 100 == 0 {
-            tree.validate().unwrap_or_else(|e| panic!("invariant broken at query {i}: {e}"));
+            tree.validate()
+                .unwrap_or_else(|e| panic!("invariant broken at query {i}: {e}"));
         }
     }
     tree.validate().expect("final invariants");

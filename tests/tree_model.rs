@@ -5,7 +5,9 @@
 //! trigger maintenance is supposed to preserve.
 
 use colr_repro::colr::tree::{Children, ColrTree};
-use colr_repro::colr::{ColrConfig, PartialAgg, Reading, SensorId, SensorMeta, TimeDelta, Timestamp};
+use colr_repro::colr::{
+    ColrConfig, PartialAgg, Reading, SensorId, SensorMeta, TimeDelta, Timestamp,
+};
 use colr_repro::geo::Point;
 use proptest::prelude::*;
 

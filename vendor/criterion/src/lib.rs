@@ -57,7 +57,8 @@ impl Bencher {
         let start = Instant::now();
         std::hint::black_box(routine());
         let once = start.elapsed().max(Duration::from_nanos(50));
-        let per_sample_iters = (Duration::from_millis(10).as_nanos() / once.as_nanos()).clamp(1, 10_000) as usize;
+        let per_sample_iters =
+            (Duration::from_millis(10).as_nanos() / once.as_nanos()).clamp(1, 10_000) as usize;
 
         let mut samples = Vec::with_capacity(self.samples);
         for _ in 0..self.samples {
@@ -111,7 +112,11 @@ impl Criterion {
     const DEFAULT_SAMPLES: usize = 20;
 
     /// Runs a single named benchmark.
-    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: impl Display, f: F) -> &mut Self {
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: impl Display,
+        f: F,
+    ) -> &mut Self {
         run_one(None, &name.to_string(), Self::DEFAULT_SAMPLES, f);
         self
     }
@@ -141,7 +146,11 @@ impl BenchmarkGroup<'_> {
     }
 
     /// Runs a benchmark within this group.
-    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: impl Display, f: F) -> &mut Self {
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: impl Display,
+        f: F,
+    ) -> &mut Self {
         run_one(Some(&self.name), &name.to_string(), self.samples, f);
         self
     }
