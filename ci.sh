@@ -19,3 +19,12 @@ for metric in colr_query_latency_us colr_tree_cache_hits_total colr_portal_queri
     }
 done
 echo "ci: observability smoke OK"
+
+# Fault-injection smoke: a resilient portal under a regional outage + drift
+# must keep answering, open breakers, and track availability (the example
+# self-checks and prints the marker only when every invariant holds).
+cargo run --release --offline -q --example fault_injection | grep -q "fault_smoke OK" || {
+    echo "ci: fault-injection smoke failed" >&2
+    exit 1
+}
+echo "ci: fault-injection smoke OK"

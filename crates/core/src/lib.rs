@@ -48,6 +48,7 @@
 //! ```
 
 pub mod agg;
+pub mod avail;
 pub mod build;
 pub mod flat_cache;
 pub mod inspect;
@@ -56,6 +57,7 @@ pub mod metrics;
 pub mod model;
 pub mod probe;
 pub mod reading;
+pub mod resilient;
 pub mod sampling;
 pub mod slot_cache;
 pub mod slot_size;
@@ -65,11 +67,13 @@ pub mod time;
 pub mod tree;
 
 pub use agg::{AggKind, Histogram, PartialAgg};
+pub use avail::LiveAvailability;
 pub use flat_cache::{FlatCache, FlatOutput};
 pub use lookup::{GroupResult, Mode, Query, QueryOutput};
 pub use model::IdwModel;
-pub use probe::ProbeService;
+pub use probe::{ProbeReport, ProbeService};
 pub use reading::{Reading, SensorId, SensorMeta};
+pub use resilient::{BreakerState, ResilientConfig, ResilientProber};
 pub use slot_cache::{Slot, SlotCache, SlotConfig};
 pub use slot_size::SlotSizeWorkload;
 pub use stats::{CostModel, QueryStats};

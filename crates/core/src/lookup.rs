@@ -56,6 +56,10 @@ pub struct Query {
     /// types). Type-filtered queries are served from the per-type
     /// sub-aggregates each slot maintains.
     pub kind_filter: Option<u16>,
+    /// Simulated-time budget a fault-tolerant probe layer may spend on
+    /// retry backoff for this query. Shared across all of the query's
+    /// probe batches; plain probe services ignore it.
+    pub probe_deadline: TimeDelta,
 }
 
 impl Query {
@@ -70,6 +74,7 @@ impl Query {
             oversample_level: 1,
             sample_size: None,
             kind_filter: None,
+            probe_deadline: TimeDelta::from_secs(2),
         }
     }
 
@@ -95,6 +100,12 @@ impl Query {
     /// Restricts the query to one sensor type.
     pub fn with_kind_filter(mut self, kind: u16) -> Query {
         self.kind_filter = Some(kind);
+        self
+    }
+
+    /// Sets the per-query retry deadline budget.
+    pub fn with_probe_deadline(mut self, deadline: TimeDelta) -> Query {
+        self.probe_deadline = deadline;
         self
     }
 
@@ -418,11 +429,17 @@ impl ColrTree {
     /// Probes `ids`, returning the successful readings; updates `stats`.
     /// When `cache_results` is set the readings are routed through `wb`
     /// (applied immediately or buffered for a deferred apply).
+    ///
+    /// Fault-aware probe services (see [`crate::resilient`]) may retry
+    /// failures within the query's remaining deadline budget; their retry
+    /// waves and backoff waits are charged to the probe-wave latency model
+    /// alongside the primary wave.
     #[allow(clippy::too_many_arguments)]
     pub(crate) fn probe_sensors<P: ProbeService + ?Sized>(
         &self,
         ids: &[SensorId],
         probe: &P,
+        query: &Query,
         now: Timestamp,
         stats: &mut QueryStats,
         cache_results: bool,
@@ -431,12 +448,23 @@ impl ColrTree {
         if ids.is_empty() {
             return Vec::new();
         }
-        let outcomes = probe.probe_batch(ids, now);
-        debug_assert_eq!(outcomes.len(), ids.len());
+        // The deadline budget is per *query*: backoff already spent by
+        // earlier batches of this query shrinks what later ones may use.
+        let budget = query
+            .probe_deadline
+            .millis()
+            .saturating_sub(stats.retry_backoff_ms);
+        let report = probe.probe_batch_report(ids, now, budget);
+        debug_assert_eq!(report.outcomes.len(), ids.len());
         stats.sensors_probed += ids.len() as u64;
+        stats.probes_retried += report.retries_issued;
+        stats.retry_waves += report.retry_waves;
+        stats.retry_backoff_ms += report.backoff_wait_ms;
+        stats.breaker_skipped += report.breaker_skipped;
+        stats.deadline_clipped += report.deadline_clipped;
         let mut readings = Vec::with_capacity(ids.len());
         let mut failed = 0u64;
-        for outcome in outcomes {
+        for outcome in report.outcomes {
             match outcome {
                 Some(r) => readings.push(r),
                 None => failed += 1,
@@ -453,8 +481,9 @@ impl ColrTree {
         } else {
             (ids.len() as u64).div_ceil(cost.probe_parallelism)
         };
-        let wave_us = ((waves as f64 * cost.probe_rtt_ms
-            + ids.len() as f64 * cost.probe_overhead_ms)
+        let wave_us = (((waves + report.retry_waves) as f64 * cost.probe_rtt_ms
+            + (ids.len() as u64 + report.retries_issued) as f64 * cost.probe_overhead_ms
+            + report.backoff_wait_ms as f64)
             * 1_000.0) as u64;
         telem.probe_wave_us.observe(wave_us);
         colr_telemetry::tracer().record_now(
@@ -512,7 +541,7 @@ impl ColrTree {
                 let bbox = node.bbox;
                 // No cache in this mode: every sensor in the region is probed.
                 let sensors = self.collect_region_sensors(id, query, &mut stats);
-                let got = self.probe_sensors(&sensors, probe, now, &mut stats, false, wb);
+                let got = self.probe_sensors(&sensors, probe, query, now, &mut stats, false, wb);
                 groups.push(Self::group_over(id, bbox, &got, sensors.len() as f64));
                 readings.extend(got);
             } else if let Children::Internal(children) = &self.node(id).children {
@@ -589,7 +618,8 @@ impl ColrTree {
                     stats.cache_nodes_used += 1;
                 }
                 let target = (cached.len() + candidates.len()) as f64;
-                let probed = self.probe_sensors(&candidates, probe, now, &mut stats, true, wb);
+                let probed =
+                    self.probe_sensors(&candidates, probe, query, now, &mut stats, true, wb);
                 let mut all = cached;
                 all.extend(probed);
                 groups.push(Self::group_over(id, bbox, &all, target));

@@ -4,12 +4,47 @@
 //! [`ProbeService`] is the trait the index calls at probe points; the
 //! `colr-sensors` crate provides the simulated live network implementation
 //! (Bernoulli availability, spatially correlated values), and tests use small
-//! scripted implementations.
+//! scripted implementations. Fault-aware services (see
+//! [`crate::resilient::ResilientProber`]) additionally report retry and
+//! breaker accounting through [`ProbeReport`].
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::collections::HashMap;
+
+use parking_lot::Mutex;
 
 use crate::reading::{Reading, SensorId};
 use crate::time::Timestamp;
+
+/// The outcome of one fault-aware probe batch: per-sensor results plus the
+/// accounting the latency model and degradation reports need.
+///
+/// Plain services leave every extra field zero; `outcomes` alone is the
+/// `probe_batch` contract.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ProbeReport {
+    /// One outcome per requested id, in order (`None` = final failure).
+    pub outcomes: Vec<Option<Reading>>,
+    /// Individual probes re-issued by retry waves.
+    pub retries_issued: u64,
+    /// Retry waves after the primary wave; each costs one modelled RTT.
+    pub retry_waves: u64,
+    /// Cumulative simulated backoff waited before retry waves, ms.
+    pub backoff_wait_ms: u64,
+    /// Sensors skipped because their circuit breaker was open.
+    pub breaker_skipped: u64,
+    /// Failed sensors whose retries were abandoned on the deadline budget.
+    pub deadline_clipped: u64,
+}
+
+impl ProbeReport {
+    /// Wraps plain outcomes with zeroed fault-tolerance accounting.
+    pub fn plain(outcomes: Vec<Option<Reading>>) -> Self {
+        ProbeReport {
+            outcomes,
+            ..ProbeReport::default()
+        }
+    }
+}
 
 /// A live collection endpoint for a set of registered sensors.
 ///
@@ -25,17 +60,50 @@ pub trait ProbeService {
     /// Probes every sensor in `ids` at simulated instant `now`, returning one
     /// outcome per id, in order.
     fn probe_batch(&self, ids: &[SensorId], now: Timestamp) -> Vec<Option<Reading>>;
+
+    /// Fault-aware variant: like `probe_batch`, but may spend up to
+    /// `retry_budget_ms` of simulated time on retries and reports the
+    /// retry/breaker accounting alongside the outcomes. The default
+    /// implementation performs a single wave with no retries, so plain
+    /// services need only implement `probe_batch`.
+    fn probe_batch_report(
+        &self,
+        ids: &[SensorId],
+        now: Timestamp,
+        retry_budget_ms: u64,
+    ) -> ProbeReport {
+        let _ = retry_budget_ms;
+        ProbeReport::plain(self.probe_batch(ids, now))
+    }
 }
 
 impl<P: ProbeService + ?Sized> ProbeService for &P {
     fn probe_batch(&self, ids: &[SensorId], now: Timestamp) -> Vec<Option<Reading>> {
         (**self).probe_batch(ids, now)
     }
+
+    fn probe_batch_report(
+        &self,
+        ids: &[SensorId],
+        now: Timestamp,
+        retry_budget_ms: u64,
+    ) -> ProbeReport {
+        (**self).probe_batch_report(ids, now, retry_budget_ms)
+    }
 }
 
 impl<P: ProbeService + ?Sized> ProbeService for &mut P {
     fn probe_batch(&self, ids: &[SensorId], now: Timestamp) -> Vec<Option<Reading>> {
         (**self).probe_batch(ids, now)
+    }
+
+    fn probe_batch_report(
+        &self,
+        ids: &[SensorId],
+        now: Timestamp,
+        retry_budget_ms: u64,
+    ) -> ProbeReport {
+        (**self).probe_batch_report(ids, now, retry_budget_ms)
     }
 }
 
@@ -62,14 +130,21 @@ impl ProbeService for AlwaysAvailable {
     }
 }
 
-/// A probe service for tests that deterministically fails every `k`-th probe
-/// request (1-based counting across calls; the counter is atomic so shared
-/// use from multiple threads stays consistent).
+/// A probe service for tests that fails deterministically per *(sensor,
+/// probe ordinal)*: the `n`-th probe of sensor `s` (1-based) fails iff
+/// `(s + n) % k == 0`.
+///
+/// The failure pattern depends only on how many times each individual
+/// sensor has been probed — not on batch composition, interleaving, or
+/// scheduling — so results are identical whether a workload runs on one
+/// thread or sixteen (`Portal::execute_many` parity). The `s` offset
+/// staggers the phase so a single wave over many sensors still sees ~1/k
+/// of them fail.
 #[derive(Debug)]
 pub struct FailEveryKth {
     inner: AlwaysAvailable,
     k: u64,
-    issued: AtomicU64,
+    seen: Mutex<HashMap<u32, u64>>,
 }
 
 impl Clone for FailEveryKth {
@@ -77,18 +152,19 @@ impl Clone for FailEveryKth {
         FailEveryKth {
             inner: self.inner.clone(),
             k: self.k,
-            issued: AtomicU64::new(self.issued.load(Ordering::Relaxed)),
+            seen: Mutex::new(self.seen.lock().clone()),
         }
     }
 }
 
 impl FailEveryKth {
-    /// Fails every `k`-th probe; `k == 0` never fails.
+    /// Fails every `k`-th probe of each sensor (phase-staggered by sensor
+    /// id); `k == 0` never fails.
     pub fn new(expiry_ms: u64, k: u64) -> Self {
         FailEveryKth {
             inner: AlwaysAvailable { expiry_ms },
             k,
-            issued: AtomicU64::new(0),
+            seen: Mutex::new(HashMap::new()),
         }
     }
 }
@@ -96,10 +172,13 @@ impl FailEveryKth {
 impl ProbeService for FailEveryKth {
     fn probe_batch(&self, ids: &[SensorId], now: Timestamp) -> Vec<Option<Reading>> {
         let base = self.inner.probe_batch(ids, now);
-        base.into_iter()
-            .map(|r| {
-                let issued = self.issued.fetch_add(1, Ordering::Relaxed) + 1;
-                if self.k > 0 && issued.is_multiple_of(self.k) {
+        let mut seen = self.seen.lock();
+        ids.iter()
+            .zip(base)
+            .map(|(&id, r)| {
+                let ordinal = seen.entry(id.0).or_insert(0);
+                *ordinal += 1;
+                if self.k > 0 && (id.0 as u64 + *ordinal).is_multiple_of(self.k) {
                     None
                 } else {
                     r
@@ -127,7 +206,21 @@ mod tests {
     }
 
     #[test]
+    fn default_report_wraps_probe_batch() {
+        let svc = AlwaysAvailable { expiry_ms: 1_000 };
+        let ids = [SensorId(3), SensorId(4)];
+        let report = svc.probe_batch_report(&ids, Timestamp(10), 5_000);
+        assert_eq!(report.outcomes, svc.probe_batch(&ids, Timestamp(10)));
+        assert_eq!(report.retries_issued, 0);
+        assert_eq!(report.retry_waves, 0);
+        assert_eq!(report.backoff_wait_ms, 0);
+        assert_eq!(report.breaker_skipped, 0);
+        assert_eq!(report.deadline_clipped, 0);
+    }
+
+    #[test]
     fn fail_every_kth_fails_deterministically() {
+        // First probe of each sensor (ordinal 1): (id + 1) % 3 == 0 fails.
         let svc = FailEveryKth::new(1_000, 3);
         let ids: Vec<SensorId> = (0..6).map(SensorId).collect();
         let out = svc.probe_batch(&ids, Timestamp(0));
@@ -140,11 +233,35 @@ mod tests {
     }
 
     #[test]
-    fn fail_counter_spans_calls() {
+    fn fail_pattern_is_per_sensor_not_global() {
+        // Sensor 0 with k = 2 fails on its 2nd, 4th, ... probes regardless
+        // of how many other sensors are probed in between.
         let svc = FailEveryKth::new(1_000, 2);
-        let a = svc.probe_batch(&[SensorId(0)], Timestamp(0));
-        let b = svc.probe_batch(&[SensorId(1)], Timestamp(0));
-        assert!(a[0].is_some());
-        assert!(b[0].is_none());
+        let s0 = [SensorId(0)];
+        let pattern: Vec<bool> = (0..4)
+            .map(|i| {
+                // Interleave unrelated probes that must not shift s0's phase.
+                svc.probe_batch(&[SensorId(9), SensorId(10)], Timestamp(i));
+                svc.probe_batch(&s0, Timestamp(i))[0].is_some()
+            })
+            .collect();
+        assert_eq!(pattern, vec![true, false, true, false]);
+    }
+
+    #[test]
+    fn fail_pattern_is_composition_independent() {
+        // The same per-sensor probe sequence yields the same outcomes
+        // whether sensors are probed together or in separate batches.
+        let joint = FailEveryKth::new(1_000, 3);
+        let split = FailEveryKth::new(1_000, 3);
+        let ids: Vec<SensorId> = (0..8).map(SensorId).collect();
+        for round in 0..6u64 {
+            let a = joint.probe_batch(&ids, Timestamp(round));
+            let b: Vec<Option<Reading>> = ids
+                .iter()
+                .flat_map(|&id| split.probe_batch(&[id], Timestamp(round)))
+                .collect();
+            assert_eq!(a, b, "round {round}");
+        }
     }
 }

@@ -41,10 +41,25 @@ pub struct SensorMeta {
 
 impl SensorMeta {
     /// Convenience constructor.
+    ///
+    /// Debug builds reject non-finite or out-of-range inputs loudly: a
+    /// `NaN` availability would otherwise slip through every downstream
+    /// `max`/`clamp` (NaN comparisons are all false) and silently poison
+    /// the tree's availability means.
     pub fn new(id: u32, location: Point, expiry: TimeDelta, availability: f64) -> Self {
         debug_assert!(
+            availability.is_finite(),
+            "sensor {id}: availability must be finite, got {availability}"
+        );
+        debug_assert!(
             (0.0..=1.0).contains(&availability),
-            "availability must be a probability"
+            "sensor {id}: availability must be a probability in [0, 1], got {availability}"
+        );
+        debug_assert!(
+            location.x.is_finite() && location.y.is_finite(),
+            "sensor {id}: location must be finite, got ({}, {})",
+            location.x,
+            location.y
         );
         SensorMeta {
             id: SensorId(id),

@@ -183,7 +183,7 @@ impl ColrTree {
                     wb,
                 );
                 let want = if scaled && self.config.enable_oversampling {
-                    r_eff * self.node(id).avail_mean.max(MIN_AVAILABILITY)
+                    r_eff * self.node_avail(id).max(MIN_AVAILABILITY)
                 } else {
                     r_eff
                 };
@@ -267,7 +267,7 @@ impl ColrTree {
                                 && child.level == query.oversample_level
                                 && self.config.enable_oversampling
                             {
-                                push_target /= child.avail_mean.max(MIN_AVAILABILITY);
+                                push_target /= self.node_avail(c).max(MIN_AVAILABILITY);
                                 child_scaled = true;
                             }
                             pq.push(c, push_target, child_scaled);
@@ -346,7 +346,7 @@ impl ColrTree {
         let node = self.node(id);
         let bbox = node.bbox;
         let avail = if self.config.enable_oversampling {
-            node.avail_mean.max(MIN_AVAILABILITY)
+            self.node_avail(id).max(MIN_AVAILABILITY)
         } else {
             1.0
         };
@@ -415,7 +415,7 @@ impl ColrTree {
             let j = rng.random_range(i..candidates.len());
             candidates.swap(i, j);
         }
-        let probed = self.probe_sensors(&candidates[..k], probe, now, stats, true, wb);
+        let probed = self.probe_sensors(&candidates[..k], probe, query, now, stats, true, wb);
 
         let cached_count = cached.len();
         let mut all = cached;
@@ -450,9 +450,8 @@ impl ColrTree {
         P: ProbeService + ?Sized,
         R: Rng + ?Sized,
     {
-        let meta = *self.sensor(s);
         let avail = if self.config.enable_oversampling {
-            meta.availability.max(MIN_AVAILABILITY)
+            self.sensor_avail(s).max(MIN_AVAILABILITY)
         } else {
             1.0
         };
@@ -476,7 +475,7 @@ impl ColrTree {
         if !rng.random_bool(p) {
             return want; // not selected; expectation already accounted
         }
-        let got = self.probe_sensors(&[s], probe, now, stats, true, wb);
+        let got = self.probe_sensors(&[s], probe, query, now, stats, true, wb);
         if let Some(r) = got.first() {
             out.push(*r);
         }

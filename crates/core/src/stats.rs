@@ -29,6 +29,17 @@ pub struct QueryStats {
     pub entries_scanned: u64,
     /// Readings inserted into the cache as a result of this query's probes.
     pub cache_inserts: u64,
+    /// Individual probes re-issued by a resilient retry layer.
+    pub probes_retried: u64,
+    /// Retry waves issued after primary waves; each costs one RTT.
+    pub retry_waves: u64,
+    /// Simulated time spent waiting in retry backoff, ms.
+    pub retry_backoff_ms: u64,
+    /// Probes skipped because the sensor's circuit breaker was open
+    /// (counted within `sensors_probed` and `probes_failed`).
+    pub breaker_skipped: u64,
+    /// Failed probes whose retries were abandoned on the deadline budget.
+    pub deadline_clipped: u64,
 }
 
 impl QueryStats {
@@ -55,6 +66,11 @@ impl QueryStats {
         self.probes_failed += other.probes_failed;
         self.entries_scanned += other.entries_scanned;
         self.cache_inserts += other.cache_inserts;
+        self.probes_retried += other.probes_retried;
+        self.retry_waves += other.retry_waves;
+        self.retry_backoff_ms += other.retry_backoff_ms;
+        self.breaker_skipped += other.breaker_skipped;
+        self.deadline_clipped += other.deadline_clipped;
     }
 }
 
@@ -108,6 +124,12 @@ impl CostModel {
             + stats.entries_scanned as f64 * self.entry_scan_ms
             + waves as f64 * self.probe_rtt_ms
             + stats.sensors_probed as f64 * self.probe_overhead_ms
+            // Fault-tolerance surcharge: each retry wave is one more RTT,
+            // each re-issued probe pays marshalling overhead again, and
+            // backoff waits elapse on the simulated clock verbatim.
+            + stats.retry_waves as f64 * self.probe_rtt_ms
+            + stats.probes_retried as f64 * self.probe_overhead_ms
+            + stats.retry_backoff_ms as f64
     }
 }
 
@@ -126,6 +148,11 @@ mod tests {
             probes_failed: 1,
             entries_scanned: 6,
             cache_inserts: 7,
+            probes_retried: 8,
+            retry_waves: 9,
+            retry_backoff_ms: 10,
+            breaker_skipped: 1,
+            deadline_clipped: 2,
         };
         let mut b = a;
         b.merge(&a);
@@ -137,7 +164,34 @@ mod tests {
         assert_eq!(b.probes_failed, 2);
         assert_eq!(b.entries_scanned, 12);
         assert_eq!(b.cache_inserts, 14);
+        assert_eq!(b.probes_retried, 16);
+        assert_eq!(b.retry_waves, 18);
+        assert_eq!(b.retry_backoff_ms, 20);
+        assert_eq!(b.breaker_skipped, 2);
+        assert_eq!(b.deadline_clipped, 4);
         assert_eq!(b.probes_succeeded(), 8);
+    }
+
+    #[test]
+    fn retries_charge_rtt_overhead_and_backoff() {
+        let m = CostModel {
+            node_visit_ms: 0.0,
+            slot_combine_ms: 0.0,
+            entry_scan_ms: 0.0,
+            probe_rtt_ms: 10.0,
+            probe_parallelism: 128,
+            probe_overhead_ms: 0.5,
+        };
+        let s = QueryStats {
+            sensors_probed: 4,
+            probes_retried: 3,
+            retry_waves: 2,
+            retry_backoff_ms: 150,
+            ..Default::default()
+        };
+        // 1 primary wave + 2 retry waves at 10 ms, 7 marshalled probes at
+        // 0.5 ms, plus 150 ms of simulated backoff.
+        assert_eq!(m.latency_ms(&s), 30.0 + 3.5 + 150.0);
     }
 
     #[test]

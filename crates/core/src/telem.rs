@@ -152,3 +152,41 @@ pub(crate) fn build() -> &'static BuildTelem {
         assemble_phase_us: global().histogram("colr_build_assemble_phase_us"),
     })
 }
+
+/// Handles for the fault-tolerance layer (`colr_resilient_*`): retry
+/// volume, circuit-breaker state transitions, and estimator tracking.
+pub(crate) struct ResilientTelem {
+    /// Individual probes re-issued by the retry loop.
+    pub(crate) retries: Counter,
+    /// Retry waves issued (each costs one modelled RTT).
+    pub(crate) retry_waves: Counter,
+    /// Breaker transitions into the open state.
+    pub(crate) breaker_opened: Counter,
+    /// Breaker transitions back to closed (recovery observed).
+    pub(crate) breaker_closed: Counter,
+    /// Open breakers allowed one half-open trial probe.
+    pub(crate) breaker_half_open: Counter,
+    /// Probes skipped outright because the sensor's breaker was open.
+    pub(crate) breaker_skipped: Counter,
+    /// Failed probes whose retries were abandoned on the deadline budget.
+    pub(crate) deadline_clipped: Counter,
+    /// Breakers currently open across all resilient probers.
+    pub(crate) open_breakers: Gauge,
+    /// Mean |EWMA − true availability| × 1000, from `mean_abs_gap`.
+    pub(crate) ewma_gap_milli: Gauge,
+}
+
+pub(crate) fn resilient() -> &'static ResilientTelem {
+    static T: OnceLock<ResilientTelem> = OnceLock::new();
+    T.get_or_init(|| ResilientTelem {
+        retries: global().counter("colr_resilient_retries_total"),
+        retry_waves: global().counter("colr_resilient_retry_waves_total"),
+        breaker_opened: global().counter("colr_resilient_breaker_opened_total"),
+        breaker_closed: global().counter("colr_resilient_breaker_closed_total"),
+        breaker_half_open: global().counter("colr_resilient_breaker_half_open_total"),
+        breaker_skipped: global().counter("colr_resilient_breaker_skipped_total"),
+        deadline_clipped: global().counter("colr_resilient_deadline_clipped_total"),
+        open_breakers: global().gauge("colr_resilient_open_breakers"),
+        ewma_gap_milli: global().gauge("colr_resilient_ewma_gap_milli"),
+    })
+}

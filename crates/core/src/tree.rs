@@ -40,6 +40,7 @@
 //! triggers; per-node state is always internally consistent.
 
 use std::collections::BTreeSet;
+use std::sync::Arc;
 
 use colr_geo::{Point, Rect, Region};
 use parking_lot::{Mutex, RwLock};
@@ -270,6 +271,10 @@ pub struct ColrTree {
     pub(crate) stripes: Vec<RwLock<Vec<NodeCache>>>,
     /// Serialises mutators and holds the cross-node accounting.
     pub(crate) maint: Mutex<Maintenance>,
+    /// Optional live availability estimates (fault-tolerance layer).
+    /// When set, Algorithm 1 consults these instead of the frozen
+    /// build-time `avail_mean` / `SensorMeta::availability`.
+    pub(crate) live_avail: RwLock<Option<Arc<crate::avail::LiveAvailability>>>,
 }
 
 impl Clone for ColrTree {
@@ -289,6 +294,9 @@ impl Clone for ColrTree {
                 .map(|s| RwLock::new(s.read().clone()))
                 .collect(),
             maint: Mutex::new(self.maint.lock().clone()),
+            // Estimates describe the same physical sensors, so clones share
+            // the map (and keep learning from each other's probes).
+            live_avail: RwLock::new(self.live_avail.read().clone()),
         }
     }
 }
@@ -320,6 +328,7 @@ impl ColrTree {
             sensor_leaf,
             stripes: stripes.into_iter().map(RwLock::new).collect(),
             maint: Mutex::new(Maintenance::default()),
+            live_avail: RwLock::new(None),
         }
     }
 
@@ -427,6 +436,54 @@ impl ColrTree {
     /// Number of raw readings currently cached tree-wide.
     pub fn cached_readings(&self) -> usize {
         self.maint.lock().total_cached
+    }
+
+    // ------------------------------------------------------------------
+    // Live availability (fault-tolerance layer)
+    // ------------------------------------------------------------------
+
+    /// Switches Algorithm 1 from the frozen build-time availability means
+    /// to a live EWMA map seeded from them, and returns the map so a probe
+    /// layer (e.g. `ResilientProber::attach_availability`) can feed it.
+    /// Idempotent: a second call returns the existing map. `rebuild`
+    /// discards the map (the node arena it indexes is gone) — re-enable
+    /// and re-attach after rebuilding.
+    pub fn enable_live_availability(&self, alpha: f64) -> Arc<crate::avail::LiveAvailability> {
+        let mut slot = self.live_avail.write();
+        if let Some(live) = &*slot {
+            return live.clone();
+        }
+        let live = Arc::new(crate::avail::LiveAvailability::from_tree(self, alpha));
+        *slot = Some(live.clone());
+        live
+    }
+
+    /// The live availability map, when enabled.
+    pub fn live_availability(&self) -> Option<Arc<crate::avail::LiveAvailability>> {
+        self.live_avail.read().clone()
+    }
+
+    /// Reverts Algorithm 1 to the frozen build-time availability means.
+    pub fn disable_live_availability(&self) {
+        *self.live_avail.write() = None;
+    }
+
+    /// Mean availability of the subtree under `id`: live estimate when
+    /// enabled, frozen `avail_mean` otherwise.
+    pub fn node_avail(&self, id: NodeId) -> f64 {
+        match &*self.live_avail.read() {
+            Some(live) => live.node(id),
+            None => self.node(id).avail_mean,
+        }
+    }
+
+    /// Availability of one sensor: live estimate when enabled, static
+    /// registration metadata otherwise.
+    pub fn sensor_avail(&self, id: SensorId) -> f64 {
+        match &*self.live_avail.read() {
+            Some(live) => live.sensor(id),
+            None => self.sensor(id).availability,
+        }
     }
 
     /// The ancestor of `id` at `level` (or `id` itself when already at or

@@ -24,5 +24,5 @@ pub mod shared;
 pub use ast::{AggSpec, SelectQuery, SpatialPredicate};
 pub use parser::{parse, ParseError};
 pub use planner::Planner;
-pub use portal::{GroupView, Portal, PortalConfig, PortalResult};
+pub use portal::{DegradationReport, GroupView, Portal, PortalConfig, PortalResult};
 pub use shared::SharedPortal;

@@ -8,13 +8,13 @@
 //! aggregate and the query's collection statistics.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Mutex, OnceLock};
+use std::sync::{Arc, Mutex, OnceLock};
 
 use colr_geo::Rect;
 use colr_telemetry::{global, tracer, Counter, SpanKind};
 use colr_tree::{
-    AggKind, ColrConfig, ColrTree, Histogram, Mode, ProbeService, Query, QueryOutput, QueryStats,
-    Reading, SensorMeta, SimClock, TimeDelta, Timestamp,
+    AggKind, ColrConfig, ColrTree, Histogram, LiveAvailability, Mode, ProbeService, Query,
+    QueryOutput, QueryStats, Reading, ResilientProber, SensorMeta, SimClock, TimeDelta, Timestamp,
 };
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -104,6 +104,38 @@ pub struct BatchResult {
     pub readings_applied: usize,
 }
 
+/// How far a query's answer fell short of what was asked, and why.
+///
+/// Surfaced on every [`PortalResult`] so portal clients can label degraded
+/// answers ("showing 41 of 60 requested sensors — a region is down")
+/// instead of silently presenting a thinner sample as the truth.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct DegradationReport {
+    /// The sample-size target `R` the query asked for (0 when the query
+    /// ran in a mode without a sampling target).
+    pub requested: f64,
+    /// Fresh readings actually delivered (cache + successful probes).
+    pub sampled: u64,
+    /// Probes skipped because the sensor's circuit breaker was open.
+    pub breaker_skipped: u64,
+    /// Retries abandoned because the probe deadline budget ran out.
+    pub deadline_clipped: u64,
+    /// Retry probes issued while collecting this answer.
+    pub probes_retried: u64,
+}
+
+impl DegradationReport {
+    /// Fraction of the requested sample actually delivered (1.0 when no
+    /// target was set; can exceed 1.0 when oversampling overshoots).
+    pub fn fulfillment(&self) -> f64 {
+        if self.requested > 0.0 {
+            self.sampled as f64 / self.requested
+        } else {
+            1.0
+        }
+    }
+}
+
 /// A complete portal answer.
 #[derive(Debug, Clone)]
 pub struct PortalResult {
@@ -119,6 +151,8 @@ pub struct PortalResult {
     pub stats: QueryStats,
     /// Modelled processing latency, ms.
     pub latency_ms: f64,
+    /// Shortfall accounting for this answer.
+    pub degradation: DegradationReport,
 }
 
 /// The portal: SensorMap's query front end over a COLR-Tree back end.
@@ -251,10 +285,11 @@ impl<P: ProbeService> Portal<P> {
         let plan = self.plan_capped(q);
         tracer().record(SpanKind::Plan, now.0 * 1_000, 0, 1);
         portal_telem().queries.inc();
+        let requested = self.requested_target(&plan);
         let out = self
             .tree
             .execute(&plan, self.mode, &self.probe, now, &mut self.rng);
-        self.finish(q.agg.kind(), out)
+        self.finish(q.agg.kind(), requested, out)
     }
 
     /// Executes a batch of parsed queries, fanning them out over `threads`
@@ -331,11 +366,12 @@ impl<P: ProbeService> Portal<P> {
         let mut stats = QueryStats::default();
         let mut readings_applied = 0;
         let mut results = Vec::with_capacity(plans.len());
-        for ((_, kind), outcome) in plans.iter().zip(outcomes) {
+        for ((plan, kind), outcome) in plans.iter().zip(outcomes) {
             let (out, deferred) = outcome.expect("worker completed");
             readings_applied += self.tree.apply_readings(&deferred, now);
             stats.merge(&out.stats);
-            results.push(self.finish(*kind, out));
+            let requested = self.requested_target(plan);
+            results.push(self.finish(*kind, requested, out));
         }
         // Batch span: duration is the modelled critical path — the slowest
         // single query, since the batch fans out across workers.
@@ -382,8 +418,19 @@ impl<P: ProbeService> Portal<P> {
         plan
     }
 
+    /// The sample-size target a plan will aim for, for degradation
+    /// accounting: only the COLR mode samples, the baselines collect
+    /// everything in range.
+    fn requested_target(&self, plan: &Query) -> f64 {
+        if matches!(self.mode, Mode::Colr) {
+            plan.sample_size.unwrap_or(0.0)
+        } else {
+            0.0
+        }
+    }
+
     /// Converts a raw engine output into the portal's result shape.
-    fn finish(&self, kind: AggKind, out: QueryOutput) -> PortalResult {
+    fn finish(&self, kind: AggKind, requested: f64, out: QueryOutput) -> PortalResult {
         let groups: Vec<GroupView> = out
             .groups
             .iter()
@@ -427,13 +474,38 @@ impl<P: ProbeService> Portal<P> {
                 h
             })
         };
+        let sampled: u64 = out.groups.iter().map(|g| g.agg.count).sum();
+        let degradation = DegradationReport {
+            requested,
+            sampled,
+            breaker_skipped: out.stats.breaker_skipped,
+            deadline_clipped: out.stats.deadline_clipped,
+            probes_retried: out.stats.probes_retried,
+        };
         PortalResult {
             groups,
             value: out.aggregate(kind),
             histogram,
             stats: out.stats,
             latency_ms: out.latency_ms,
+            degradation,
         }
+    }
+}
+
+impl<Q: ProbeService> Portal<ResilientProber<Q>> {
+    /// Closes the availability feedback loop for a resilient portal: builds
+    /// a [`LiveAvailability`] map over the current index, installs it on the
+    /// tree (so Algorithm 1's oversampling reads live means) and on the
+    /// prober (so every probe outcome — including breaker skips — trains
+    /// the estimates). Returns the shared map for inspection.
+    ///
+    /// [`Portal::rebuild_index`] discards the tree's map (the node topology
+    /// changed); call this again after a rebuild to re-enable feedback.
+    pub fn enable_resilience_feedback(&mut self, alpha: f64) -> Arc<LiveAvailability> {
+        let live = self.tree.enable_live_availability(alpha);
+        self.probe.attach_availability(live.clone());
+        live
     }
 }
 

@@ -1,0 +1,230 @@
+//! Deterministic fault-injection plans for the simulated network.
+//!
+//! A [`FaultPlan`] is a declarative schedule of failures layered on top of
+//! a `SimNetwork`'s base Bernoulli availability model: regional outages
+//! (every sensor in a rectangle hard-down for a window), flapping sensors
+//! (periodic up/down duty cycle), fleet-wide availability drift (the
+//! success probabilities decay/recover over a window), and latency spikes
+//! (a multiplier experiments can apply to the modelled probe RTT). Plans
+//! are pure functions of `(sensor, location, now)` — no hidden state — so
+//! fault scenarios replay identically across runs and thread counts.
+//!
+//! Scenario builders in `colr_workload::scenario` produce plans sized to a
+//! workload; `SimNetwork::set_fault_plan` activates them.
+
+use colr_geo::{Point, Rect};
+use colr_tree::{SensorId, TimeDelta, Timestamp};
+
+/// One scheduled fault.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FaultEvent {
+    /// Every sensor located in `region` is hard-down during `[from, until)`.
+    RegionalOutage {
+        region: Rect,
+        from: Timestamp,
+        until: Timestamp,
+    },
+    /// `sensor` cycles up/down with the given period, up for the first
+    /// `up_fraction` of each period (phase anchored at the epoch).
+    Flapping {
+        sensor: SensorId,
+        period: TimeDelta,
+        up_fraction: f64,
+    },
+    /// Fleet-wide availability multiplier drifting linearly from
+    /// `start_factor` (at `from`) to `end_factor` (at `until`); the end
+    /// factor persists after the window — drift is a lasting change, not
+    /// a transient.
+    AvailabilityDrift {
+        from: Timestamp,
+        until: Timestamp,
+        start_factor: f64,
+        end_factor: f64,
+    },
+    /// Probe round-trips cost `factor`× the modelled RTT during
+    /// `[from, until)` (consumed by experiments via
+    /// [`FaultPlan::latency_factor`]; the simulated network itself has no
+    /// clock to slow down).
+    LatencySpike {
+        from: Timestamp,
+        until: Timestamp,
+        factor: f64,
+    },
+}
+
+/// A replayable schedule of [`FaultEvent`]s.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FaultPlan {
+    events: Vec<FaultEvent>,
+}
+
+impl FaultPlan {
+    pub fn new() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Adds an event (builder style).
+    pub fn with(mut self, event: FaultEvent) -> Self {
+        self.events.push(event);
+        self
+    }
+
+    /// Adds an event in place.
+    pub fn push(&mut self, event: FaultEvent) {
+        self.events.push(event);
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    pub fn events(&self) -> &[FaultEvent] {
+        &self.events
+    }
+
+    /// Is this sensor hard-down at `now` (outage window or flap trough)?
+    pub fn is_down(&self, sensor: SensorId, location: Point, now: Timestamp) -> bool {
+        self.events.iter().any(|e| match e {
+            FaultEvent::RegionalOutage {
+                region,
+                from,
+                until,
+            } => now >= *from && now < *until && region.contains_point(&location),
+            FaultEvent::Flapping {
+                sensor: s,
+                period,
+                up_fraction,
+            } => {
+                *s == sensor && {
+                    let p = period.millis().max(1);
+                    let phase = (now.0 % p) as f64 / p as f64;
+                    phase >= *up_fraction
+                }
+            }
+            _ => false,
+        })
+    }
+
+    /// Fleet-wide availability multiplier at `now` (product over active
+    /// drifts, clamped to [0, 1]; 1.0 when none).
+    pub fn availability_factor(&self, now: Timestamp) -> f64 {
+        let mut factor = 1.0;
+        for e in &self.events {
+            if let FaultEvent::AvailabilityDrift {
+                from,
+                until,
+                start_factor,
+                end_factor,
+            } = e
+            {
+                if now < *from {
+                    continue;
+                }
+                factor *= if now >= *until {
+                    *end_factor
+                } else {
+                    let span = until.0.saturating_sub(from.0).max(1) as f64;
+                    let t = (now.0 - from.0) as f64 / span;
+                    start_factor + (end_factor - start_factor) * t
+                };
+            }
+        }
+        factor.clamp(0.0, 1.0)
+    }
+
+    /// RTT multiplier at `now` (max over active spikes; 1.0 when none).
+    pub fn latency_factor(&self, now: Timestamp) -> f64 {
+        self.events
+            .iter()
+            .filter_map(|e| match e {
+                FaultEvent::LatencySpike {
+                    from,
+                    until,
+                    factor,
+                } if now >= *from && now < *until => Some(*factor),
+                _ => None,
+            })
+            .fold(1.0, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn regional_outage_covers_window_and_region() {
+        let plan = FaultPlan::new().with(FaultEvent::RegionalOutage {
+            region: Rect::from_coords(0.0, 0.0, 10.0, 10.0),
+            from: Timestamp(1_000),
+            until: Timestamp(2_000),
+        });
+        let inside = Point::new(5.0, 5.0);
+        let outside = Point::new(15.0, 5.0);
+        let s = SensorId(0);
+        assert!(!plan.is_down(s, inside, Timestamp(999)));
+        assert!(plan.is_down(s, inside, Timestamp(1_000)));
+        assert!(plan.is_down(s, inside, Timestamp(1_999)));
+        assert!(!plan.is_down(s, inside, Timestamp(2_000)));
+        assert!(!plan.is_down(s, outside, Timestamp(1_500)));
+    }
+
+    #[test]
+    fn flapping_follows_duty_cycle() {
+        let plan = FaultPlan::new().with(FaultEvent::Flapping {
+            sensor: SensorId(3),
+            period: TimeDelta::from_secs(10),
+            up_fraction: 0.6,
+        });
+        let loc = Point::new(0.0, 0.0);
+        // First 6 s of each 10 s period: up; last 4 s: down.
+        assert!(!plan.is_down(SensorId(3), loc, Timestamp(0)));
+        assert!(!plan.is_down(SensorId(3), loc, Timestamp(5_999)));
+        assert!(plan.is_down(SensorId(3), loc, Timestamp(6_000)));
+        assert!(plan.is_down(SensorId(3), loc, Timestamp(9_999)));
+        assert!(!plan.is_down(SensorId(3), loc, Timestamp(10_000)));
+        // Other sensors unaffected.
+        assert!(!plan.is_down(SensorId(4), loc, Timestamp(6_000)));
+    }
+
+    #[test]
+    fn drift_lerps_then_holds() {
+        let plan = FaultPlan::new().with(FaultEvent::AvailabilityDrift {
+            from: Timestamp(0),
+            until: Timestamp(1_000),
+            start_factor: 1.0,
+            end_factor: 0.5,
+        });
+        assert!((plan.availability_factor(Timestamp(0)) - 1.0).abs() < 1e-12);
+        assert!((plan.availability_factor(Timestamp(500)) - 0.75).abs() < 1e-12);
+        // The drifted level is permanent past the window.
+        assert!((plan.availability_factor(Timestamp(5_000)) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn latency_spike_takes_max_of_active_events() {
+        let plan = FaultPlan::new()
+            .with(FaultEvent::LatencySpike {
+                from: Timestamp(0),
+                until: Timestamp(100),
+                factor: 3.0,
+            })
+            .with(FaultEvent::LatencySpike {
+                from: Timestamp(50),
+                until: Timestamp(150),
+                factor: 2.0,
+            });
+        assert_eq!(plan.latency_factor(Timestamp(60)), 3.0);
+        assert_eq!(plan.latency_factor(Timestamp(120)), 2.0);
+        assert_eq!(plan.latency_factor(Timestamp(200)), 1.0);
+    }
+
+    #[test]
+    fn empty_plan_is_inert() {
+        let plan = FaultPlan::new();
+        assert!(plan.is_empty());
+        assert!(!plan.is_down(SensorId(0), Point::new(0.0, 0.0), Timestamp(0)));
+        assert_eq!(plan.availability_factor(Timestamp(0)), 1.0);
+        assert_eq!(plan.latency_factor(Timestamp(0)), 1.0);
+    }
+}

@@ -16,10 +16,15 @@
 //!   ([`field::SpatialField`]) reproducing the premise of the paper's Fig 7
 //!   ("sensor data is often spatially correlated");
 //! * per-sensor probe counters expose the *sensing workload* so experiments
-//!   can check the load-uniformity property of layered sampling.
+//!   can check the load-uniformity property of layered sampling;
+//! * [`FaultPlan`] layers deterministic fault schedules (regional outages,
+//!   flapping, availability drift, latency spikes) on top of the base
+//!   Bernoulli model, for fault-tolerance experiments.
 
+pub mod faults;
 pub mod field;
 pub mod network;
 
+pub use faults::{FaultEvent, FaultPlan};
 pub use field::{ConstantField, RandomWalkField, SpatialField, ValueField};
 pub use network::SimNetwork;

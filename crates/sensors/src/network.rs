@@ -4,12 +4,13 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::OnceLock;
 
 use colr_geo::Point;
-use colr_telemetry::{global, Counter, Histogram};
+use colr_telemetry::{global, Counter, Gauge, Histogram};
 use colr_tree::{ProbeService, Reading, SensorId, SensorMeta, Timestamp};
 use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+use crate::faults::FaultPlan;
 use crate::field::ValueField;
 
 /// A simulated wide-area sensor network.
@@ -18,7 +19,8 @@ use crate::field::ValueField;
 /// probability `meta.availability` (independently per probe — the paper's
 /// nondeterministic unavailability) and, on success, yields a reading whose
 /// value comes from the configured [`ValueField`], timestamped `now` and
-/// valid for `meta.expiry`.
+/// valid for `meta.expiry`. An active [`FaultPlan`] layers scheduled
+/// outages, flapping, and availability drift on top of the base model.
 ///
 /// The network keeps per-sensor probe counters so experiments can audit the
 /// *sensing workload* — Theorem 2's uniformity claim is about exactly this
@@ -38,6 +40,9 @@ pub struct SimNetwork<F> {
     /// Optional override forcing specific sensors offline (failure
     /// injection).
     forced_down: Vec<AtomicBool>,
+    /// Scheduled fault injection (outages, flapping, drift, latency).
+    /// Lock ordering: `faults` before `state`; never the reverse.
+    faults: Mutex<FaultPlan>,
 }
 
 /// The mutable part of the network: value process + availability RNG.
@@ -52,8 +57,13 @@ struct NetTelem {
     probes: Counter,
     /// Probes that failed (sensor down or unavailable this round).
     failures: Counter,
+    /// Failures caused by an active fault-plan event (subset of
+    /// `failures`; excludes base Bernoulli unavailability).
+    fault_downs: Counter,
     /// Sizes of the batches handed to `probe_batch`.
     batch_size: Histogram,
+    /// Active fault-plan RTT multiplier × 1000 at the last batch.
+    latency_factor_milli: Gauge,
 }
 
 fn net_telem() -> &'static NetTelem {
@@ -61,7 +71,9 @@ fn net_telem() -> &'static NetTelem {
     T.get_or_init(|| NetTelem {
         probes: global().counter("colr_net_probes_total"),
         failures: global().counter("colr_net_failures_total"),
+        fault_downs: global().counter("colr_net_fault_downs_total"),
         batch_size: global().histogram("colr_net_batch_size"),
+        latency_factor_milli: global().gauge("colr_net_latency_factor_milli"),
     })
 }
 
@@ -78,6 +90,7 @@ impl<F: ValueField> SimNetwork<F> {
             probes: (0..n).map(|_| AtomicU64::new(0)).collect(),
             successes: (0..n).map(|_| AtomicU64::new(0)).collect(),
             forced_down: (0..n).map(|_| AtomicBool::new(false)).collect(),
+            faults: Mutex::new(FaultPlan::new()),
         }
     }
 
@@ -113,11 +126,67 @@ impl<F: ValueField> SimNetwork<F> {
         self.forced_down[s.index()].store(down, Ordering::Relaxed);
     }
 
-    /// Resets the probe counters (between experiment phases).
+    /// Resets the probe counters *and* any injected failure state
+    /// (forced-down flags) so one experiment phase cannot silently leak
+    /// faults into the next. Scheduled fault plans are cleared separately
+    /// via [`SimNetwork::clear_faults`] (they are declarative and usually
+    /// span phases on purpose).
     pub fn reset_counters(&self) {
         for c in self.probes.iter().chain(self.successes.iter()) {
             c.store(0, Ordering::Relaxed);
         }
+        for f in &self.forced_down {
+            f.store(false, Ordering::Relaxed);
+        }
+    }
+
+    /// Activates a fault-injection plan (replacing any previous one).
+    pub fn set_fault_plan(&self, plan: FaultPlan) {
+        *self.faults.lock() = plan;
+    }
+
+    /// A snapshot of the active fault plan.
+    pub fn fault_plan(&self) -> FaultPlan {
+        self.faults.lock().clone()
+    }
+
+    /// Removes all injected faults: the scheduled plan and every
+    /// forced-down override. The network reverts to its base
+    /// availability model.
+    pub fn clear_faults(&self) {
+        *self.faults.lock() = FaultPlan::new();
+        for f in &self.forced_down {
+            f.store(false, Ordering::Relaxed);
+        }
+    }
+
+    /// Ground-truth probability that a probe of `s` succeeds at `now`,
+    /// accounting for forced-down state and the active fault plan — what
+    /// a live availability estimator is trying to learn.
+    pub fn true_availability(&self, s: SensorId, now: Timestamp) -> f64 {
+        let meta = &self.sensors[s.index()];
+        if self.forced_down[s.index()].load(Ordering::Relaxed) {
+            return 0.0;
+        }
+        let faults = self.faults.lock();
+        if faults.is_down(s, meta.location, now) {
+            return 0.0;
+        }
+        (meta.availability * faults.availability_factor(now)).clamp(0.0, 1.0)
+    }
+
+    /// Ground truth for every registered sensor at `now` (indexable by
+    /// `SensorId::index`; pairs with `LiveAvailability::mean_abs_gap`).
+    pub fn true_availabilities(&self, now: Timestamp) -> Vec<f64> {
+        (0..self.sensors.len())
+            .map(|i| self.true_availability(SensorId(i as u32), now))
+            .collect()
+    }
+
+    /// The fault plan's RTT multiplier at `now` (for experiments that
+    /// scale the modelled probe RTT during latency spikes).
+    pub fn latency_factor(&self, now: Timestamp) -> f64 {
+        self.faults.lock().latency_factor(now)
     }
 
     /// The ground-truth value sensor `s` would report at `now` if probed and
@@ -138,21 +207,38 @@ impl<F: ValueField> ProbeService for SimNetwork<F> {
         let telem = net_telem();
         telem.probes.add(ids.len() as u64);
         telem.batch_size.observe(ids.len() as u64);
+        // Lock ordering: faults before state (see the field docs).
+        let faults = self.faults.lock();
+        let avail_factor = faults.availability_factor(now);
+        telem
+            .latency_factor_milli
+            .set((faults.latency_factor(now) * 1000.0).round() as i64);
         // One lock acquisition per batch: probes within a batch are
         // "concurrent" in the latency model, so serialising the whole batch
         // on the state mutex matches the simulated semantics.
         let mut state = self.state.lock();
+        let mut fault_downs = 0u64;
         let out: Vec<Option<Reading>> = ids
             .iter()
             .map(|&id| {
                 let meta = self.sensors[id.index()];
                 self.probes[id.index()].fetch_add(1, Ordering::Relaxed);
-                if self.forced_down[id.index()].load(Ordering::Relaxed) {
+                // Every probe consumes exactly one availability draw —
+                // even always-up, dead, and fault-injected sensors — so
+                // the random fault stream each sensor sees depends only on
+                // its position in the cumulative probe sequence, never on
+                // the composition of its batch.
+                let u: f64 = state.rng.random();
+                if self.forced_down[id.index()].load(Ordering::Relaxed)
+                    || faults.is_down(id, meta.location, now)
+                {
+                    fault_downs += 1;
                     return None;
                 }
-                let up = meta.availability >= 1.0
-                    || (meta.availability > 0.0 && state.rng.random_bool(meta.availability));
-                if !up {
+                // `u ∈ [0, 1)`: effective availability 1.0 always
+                // succeeds, 0.0 never does.
+                let effective = (meta.availability * avail_factor).clamp(0.0, 1.0);
+                if u >= effective {
                     return None;
                 }
                 self.successes[id.index()].fetch_add(1, Ordering::Relaxed);
@@ -165,6 +251,7 @@ impl<F: ValueField> ProbeService for SimNetwork<F> {
                 })
             })
             .collect();
+        telem.fault_downs.add(fault_downs);
         telem
             .failures
             .add(out.iter().filter(|r| r.is_none()).count() as u64);
@@ -297,6 +384,111 @@ mod tests {
         assert_eq!(net.success_counts(), &[0, 1]);
         net.set_forced_down(SensorId(0), false);
         assert!(net.probe_batch(&[SensorId(0)], Timestamp(0))[0].is_some());
+    }
+
+    #[test]
+    fn fault_stream_is_composition_stable() {
+        // Same seed, same probe sequence — but sensor 0's availability
+        // differs (always-up vs mostly-down). Sensor 1's outcomes must be
+        // identical in both networks: every probe consumes exactly one
+        // draw, so a neighbour's availability can't shift the stream.
+        let field = || ConstantField {
+            base: 0.0,
+            step: 0.0,
+        };
+        let mut a_sensors = sensors(2, 0.7);
+        a_sensors[0].availability = 1.0;
+        let mut b_sensors = sensors(2, 0.7);
+        b_sensors[0].availability = 0.3;
+        let net_a = SimNetwork::new(a_sensors, field(), 99);
+        let net_b = SimNetwork::new(b_sensors, field(), 99);
+        let ids = [SensorId(0), SensorId(1)];
+        let s1_a: Vec<bool> = (0..200)
+            .map(|t| net_a.probe_batch(&ids, Timestamp(t))[1].is_some())
+            .collect();
+        let s1_b: Vec<bool> = (0..200)
+            .map(|t| net_b.probe_batch(&ids, Timestamp(t))[1].is_some())
+            .collect();
+        assert_eq!(s1_a, s1_b);
+    }
+
+    #[test]
+    fn reset_counters_clears_forced_down() {
+        let net = SimNetwork::new(
+            sensors(2, 1.0),
+            ConstantField {
+                base: 0.0,
+                step: 0.0,
+            },
+            1,
+        );
+        net.set_forced_down(SensorId(0), true);
+        assert!(net.probe_batch(&[SensorId(0)], Timestamp(0))[0].is_none());
+        net.reset_counters();
+        // The next phase starts from a clean slate: counters zeroed AND
+        // the injected failure gone.
+        assert_eq!(net.total_probes(), 0);
+        assert!(net.probe_batch(&[SensorId(0)], Timestamp(0))[0].is_some());
+    }
+
+    #[test]
+    fn regional_outage_downs_region_then_recovers() {
+        use crate::faults::{FaultEvent, FaultPlan};
+        let net = SimNetwork::new(
+            sensors(4, 1.0),
+            ConstantField {
+                base: 0.0,
+                step: 0.0,
+            },
+            1,
+        );
+        // Sensors sit at x = 0..3; the outage covers x <= 1.5.
+        net.set_fault_plan(FaultPlan::new().with(FaultEvent::RegionalOutage {
+            region: colr_geo::Rect::from_coords(-1.0, -1.0, 1.5, 1.0),
+            from: Timestamp(1_000),
+            until: Timestamp(2_000),
+        }));
+        let ids: Vec<SensorId> = (0..4).map(SensorId).collect();
+        let during: Vec<bool> = net
+            .probe_batch(&ids, Timestamp(1_500))
+            .iter()
+            .map(|r| r.is_some())
+            .collect();
+        assert_eq!(during, vec![false, false, true, true]);
+        assert_eq!(net.true_availability(SensorId(0), Timestamp(1_500)), 0.0);
+        assert_eq!(net.true_availability(SensorId(2), Timestamp(1_500)), 1.0);
+        let after: Vec<bool> = net
+            .probe_batch(&ids, Timestamp(2_500))
+            .iter()
+            .map(|r| r.is_some())
+            .collect();
+        assert_eq!(after, vec![true; 4]);
+        net.clear_faults();
+        assert!(net.fault_plan().is_empty());
+    }
+
+    #[test]
+    fn availability_drift_scales_success_probability() {
+        use crate::faults::{FaultEvent, FaultPlan};
+        let net = SimNetwork::new(
+            sensors(1, 1.0),
+            ConstantField {
+                base: 0.0,
+                step: 0.0,
+            },
+            1,
+        );
+        net.set_fault_plan(FaultPlan::new().with(FaultEvent::AvailabilityDrift {
+            from: Timestamp(0),
+            until: Timestamp(1),
+            start_factor: 0.0,
+            end_factor: 0.0,
+        }));
+        // Factor 0 at every instant: even a perfect sensor never answers.
+        for t in 0..50 {
+            assert!(net.probe_batch(&[SensorId(0)], Timestamp(t))[0].is_none());
+        }
+        assert_eq!(net.true_availability(SensorId(0), Timestamp(10)), 0.0);
     }
 
     #[test]

@@ -1,7 +1,8 @@
 //! Ready-to-run experiment scenarios: sensors + query trace from one seed.
 
 use colr_geo::Rect;
-use colr_tree::{SensorMeta, TimeDelta};
+use colr_sensors::{FaultEvent, FaultPlan};
+use colr_tree::{SensorMeta, TimeDelta, Timestamp};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -105,6 +106,82 @@ pub struct Scenario {
     pub t_max: TimeDelta,
 }
 
+impl Scenario {
+    /// A rectangle covering approximately `fraction` of this scenario's
+    /// sensors: the vertical strip left of the `fraction`-quantile of the
+    /// sensor x-coordinates. Deterministic — driven by the placed sensors,
+    /// not a new random draw — so fault experiments replay exactly.
+    pub fn outage_region(&self, fraction: f64) -> Rect {
+        assert!(
+            (0.0..=1.0).contains(&fraction),
+            "outage fraction must be in [0, 1], got {fraction}"
+        );
+        if self.sensors.is_empty() || fraction == 0.0 {
+            // Empty strip outside the extent: downs nothing.
+            let x = self.extent.min.x - 2.0;
+            return Rect::from_coords(x, self.extent.min.y, x + 1.0, self.extent.max.y);
+        }
+        let mut xs: Vec<f64> = self.sensors.iter().map(|m| m.location.x).collect();
+        xs.sort_by(|a, b| a.total_cmp(b));
+        let idx = (((xs.len() as f64) * fraction).ceil() as usize)
+            .clamp(1, xs.len())
+            .saturating_sub(1);
+        // Nudge the cut just past the quantile sensor so it is inside.
+        let cut = xs[idx] + 1e-9;
+        Rect::from_coords(
+            self.extent.min.x - 1.0,
+            self.extent.min.y - 1.0,
+            cut,
+            self.extent.max.y + 1.0,
+        )
+    }
+
+    /// A plan downing ~`fraction` of the sensors (a vertical strip) for
+    /// `[from, until)`.
+    pub fn regional_outage(&self, fraction: f64, from: Timestamp, until: Timestamp) -> FaultPlan {
+        FaultPlan::new().with(FaultEvent::RegionalOutage {
+            region: self.outage_region(fraction),
+            from,
+            until,
+        })
+    }
+
+    /// A composite stress plan over `[from, until)`: a regional outage of
+    /// ~`outage_fraction` of the fleet, fleet-wide availability drifting
+    /// down to `drift_floor` (and staying there), a 3x latency spike over
+    /// the middle third of the window, and one flapping sensor.
+    pub fn mixed_faults(
+        &self,
+        outage_fraction: f64,
+        drift_floor: f64,
+        from: Timestamp,
+        until: Timestamp,
+    ) -> FaultPlan {
+        let span = until.0.saturating_sub(from.0);
+        let mut plan = self
+            .regional_outage(outage_fraction, from, until)
+            .with(FaultEvent::AvailabilityDrift {
+                from,
+                until,
+                start_factor: 1.0,
+                end_factor: drift_floor,
+            })
+            .with(FaultEvent::LatencySpike {
+                from: Timestamp(from.0 + span / 3),
+                until: Timestamp(from.0 + 2 * span / 3),
+                factor: 3.0,
+            });
+        if let Some(m) = self.sensors.last() {
+            plan.push(FaultEvent::Flapping {
+                sensor: m.id,
+                period: TimeDelta::from_secs(30),
+                up_fraction: 0.5,
+            });
+        }
+        plan
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -141,5 +218,48 @@ mod tests {
         let cfg = ScenarioConfig::live_local_full();
         assert_eq!(cfg.sensor_count, 370_000);
         assert_eq!(cfg.queries.count, 106_000);
+    }
+
+    #[test]
+    fn outage_region_covers_requested_fraction() {
+        let mut cfg = ScenarioConfig::live_local_small();
+        cfg.sensor_count = 4_000;
+        cfg.queries.count = 1;
+        let s = cfg.build();
+        for fraction in [0.1, 0.3, 0.5] {
+            let region = s.outage_region(fraction);
+            let covered = s
+                .sensors
+                .iter()
+                .filter(|m| region.contains_point(&m.location))
+                .count() as f64
+                / s.sensors.len() as f64;
+            // The quantile cut lands on a sensor coordinate, so coverage can
+            // only overshoot by ties at the cut — allow a small band.
+            assert!(
+                (covered - fraction).abs() < 0.02,
+                "fraction {fraction}: covered {covered}"
+            );
+        }
+        // Degenerate fraction downs nothing.
+        let none = s.outage_region(0.0);
+        assert!(!s.sensors.iter().any(|m| none.contains_point(&m.location)));
+    }
+
+    #[test]
+    fn mixed_faults_compose_expected_events() {
+        let mut cfg = ScenarioConfig::live_local_small();
+        cfg.sensor_count = 500;
+        cfg.queries.count = 1;
+        let s = cfg.build();
+        let plan = s.mixed_faults(0.25, 0.8, Timestamp(0), Timestamp(90_000));
+        assert_eq!(plan.events().len(), 4);
+        // Drift is active mid-window and holds its floor afterwards.
+        let mid = plan.availability_factor(Timestamp(45_000));
+        assert!(mid < 1.0 && mid > 0.8);
+        assert!((plan.availability_factor(Timestamp(200_000)) - 0.8).abs() < 1e-12);
+        // The latency spike covers the middle third only.
+        assert_eq!(plan.latency_factor(Timestamp(10_000)), 1.0);
+        assert_eq!(plan.latency_factor(Timestamp(45_000)), 3.0);
     }
 }

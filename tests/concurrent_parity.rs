@@ -110,6 +110,64 @@ fn parallel_execute_many_matches_sequential() {
     assert_eq!(format!("{:?}", a.stats), format!("{:?}", b.stats));
 }
 
+/// Probe failures must not reintroduce scheduling dependence: `FailEveryKth`
+/// fails the j-th probe of sensor `s` as a pure function of `(s, j)`, so a
+/// batch of disjoint-region queries — where each sensor is owned by exactly
+/// one query per round — yields identical results at any thread count, round
+/// after round, even as the per-sensor ordinals advance.
+#[test]
+fn deterministic_probe_failures_are_thread_count_invariant() {
+    use colr_repro::colr::probe::FailEveryKth;
+
+    let (sensors, _) = grid_sensors(256); // 16 x 16
+    let quadrants = [
+        "RECT(-0.5, -0.5, 7.5, 7.5)",
+        "RECT(7.5, -0.5, 15.5, 7.5)",
+        "RECT(-0.5, 7.5, 7.5, 15.5)",
+        "RECT(7.5, 7.5, 15.5, 15.5)",
+    ];
+    let batch: Vec<SelectQuery> = quadrants
+        .iter()
+        .map(|r| {
+            parse(&format!(
+                "SELECT count(*) FROM sensor WHERE location WITHIN {r}"
+            ))
+            .expect("quadrant SQL parses")
+        })
+        .collect();
+
+    let make_portal = |seed| {
+        Portal::new(
+            sensors.clone(),
+            FailEveryKth::new(EXPIRY_MS, 3),
+            PortalConfig {
+                seed,
+                mode: Mode::RTree,
+                ..Default::default()
+            },
+        )
+    };
+    let mut seq = make_portal(7);
+    let mut par = make_portal(7);
+    for round in 0..3 {
+        // Step past the default staleness so every round re-probes and the
+        // per-sensor failure ordinals advance.
+        seq.clock_mut().advance(TimeDelta::from_mins(6));
+        par.clock_mut().advance(TimeDelta::from_mins(6));
+        let a = seq.execute_many(&batch, 1);
+        let b = par.execute_many(&batch, 8);
+        assert!(a.stats.probes_failed > 0, "round {round}: no failures");
+        assert_eq!(
+            format!("{:?}", a.stats),
+            format!("{:?}", b.stats),
+            "round {round}: stats diverged across thread counts"
+        );
+        for (i, (ra, rb)) in a.results.iter().zip(&b.results).enumerate() {
+            assert_eq!(ra.value, rb.value, "round {round} query {i}");
+        }
+    }
+}
+
 #[test]
 fn hammer_sixteen_threads_respects_cache_budget() {
     const THREADS: usize = 16;
