@@ -28,3 +28,21 @@ cargo run --release --offline -q --example fault_injection | grep -q "fault_smok
     exit 1
 }
 echo "ci: fault-injection smoke OK"
+
+# Service concurrency smoke: N client threads through one shared
+# PortalService handle during forced reindexes — no panics, no torn
+# answers, monotone generation counter (the example self-checks and
+# prints the marker only when every invariant holds).
+cargo run --release --offline -q --example service_storm | grep -q "service_storm OK" || {
+    echo "ci: service storm smoke failed" >&2
+    exit 1
+}
+echo "ci: service storm smoke OK"
+
+# Docs gate: rustdoc must build warning-free for every first-party crate
+# (vendored stand-in crates are exempt, hence the explicit -p list).
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --offline -q \
+    -p colr-geo -p colr-telemetry -p colr-tree -p colr-sensors \
+    -p colr-workload -p colr-relstore -p colr-engine -p colr-bench \
+    -p colr-repro
+echo "ci: docs gate OK"

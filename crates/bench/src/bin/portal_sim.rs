@@ -69,7 +69,7 @@ fn main() {
     let mut cache_hits = 0u64;
     let mut empty = 0usize;
     for spec in &sc.queries.queries {
-        portal.clock_mut().advance_to(Timestamp(spec.at.millis()));
+        portal.clock().advance_to(Timestamp(spec.at.millis()));
         let sql = format!(
             "SELECT avg(value) FROM sensor WHERE location WITHIN RECT({}, {}, {}, {}) \
              AND time BETWEEN now()-{} AND now() secs CLUSTER 50",

@@ -8,7 +8,7 @@
 //!
 //! ```text
 //! throughput [--sensors N] [--queries N] [--threads a,b,...] [--rtt-us N]
-//!            [--telemetry on|off] [--out FILE]
+//!            [--service-ms N] [--telemetry on|off] [--out FILE]
 //! ```
 //!
 //! `--telemetry off` disables the global metrics registry and tracer before
@@ -24,11 +24,21 @@
 //! `Portal::execute_many`), so every thread count executes the identical
 //! per-query work for the same derived seeds and the comparison is pure
 //! scheduling.
+//!
+//! The final phase (`service_concurrent`, window set by `--service-ms`) runs
+//! the same warm viewport mix closed-loop through one shared
+//! [`PortalService`] handle — every client calls `query` on `&self` — while
+//! a storm thread registers publishers and swaps index generations
+//! underneath them; it reports q/s, tail latency and how many reindexes the
+//! clients rode through.
 
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
+use colr_engine::{
+    AdmissionConfig, AggSpec, PortalConfig, PortalService, SelectQuery, SpatialPredicate,
+};
 use colr_geo::Rect;
 use colr_sensors::{ConstantField, SimNetwork};
 use colr_tree::{ColrConfig, ColrTree, Mode, Query, SensorMeta, TimeDelta, Timestamp};
@@ -40,6 +50,7 @@ struct Args {
     queries: usize,
     threads: Vec<usize>,
     rtt_us: u64,
+    service_ms: u64,
     telemetry: bool,
     out: String,
 }
@@ -50,6 +61,7 @@ fn parse_args() -> Args {
         queries: 600,
         threads: vec![1, 2, 4, 8],
         rtt_us: 200,
+        service_ms: 3_000,
         telemetry: true,
         out: "BENCH_throughput.json".to_owned(),
     };
@@ -70,6 +82,12 @@ fn parse_args() -> Args {
                     .collect();
             }
             "--rtt-us" => args.rtt_us = it.next().and_then(|v| v.parse().ok()).expect("--rtt-us N"),
+            "--service-ms" => {
+                args.service_ms = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--service-ms N")
+            }
             "--telemetry" => {
                 args.telemetry = match it.next().as_deref() {
                     Some("on") => true,
@@ -148,6 +166,130 @@ fn derive_seed(seed: u64, i: u64) -> u64 {
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
     z ^ (z >> 31)
+}
+
+/// The same seeded viewport mix lowered to portal AST queries for the
+/// service phase (staleness pinned to the expiry so the two phases demand
+/// identical freshness; explicit `SAMPLESIZE 64` as in the raw runs).
+fn viewport_select_queries(n: usize, side: usize, seed: u64) -> Vec<SelectQuery> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            let w = rng.random_range(8..=24) as f64;
+            let x0 = rng.random_range(0.0..(side as f64 - w).max(1.0));
+            let y0 = rng.random_range(0.0..(side as f64 - w).max(1.0));
+            SelectQuery {
+                agg: AggSpec::Count,
+                within: SpatialPredicate::Rect(Rect::from_coords(
+                    x0 - 0.5,
+                    y0 - 0.5,
+                    x0 + w + 0.5,
+                    y0 + w + 0.5,
+                )),
+                staleness: Some(EXPIRY),
+                cluster: None,
+                sample_size: Some(64),
+                sensor_type: None,
+            }
+        })
+        .collect()
+}
+
+struct ServiceRunResult {
+    clients: usize,
+    ops: usize,
+    queries_per_sec: f64,
+    p50_latency_ms: f64,
+    p95_latency_ms: f64,
+    p99_latency_ms: f64,
+    reindexes: u64,
+    shed: u64,
+}
+
+/// Closed-loop multi-client phase: `clients` threads spin on one shared
+/// [`PortalService`] handle for `window`, each looping "pick next viewport,
+/// `query` through `&self`, record latency", while a storm thread registers
+/// publishers and swaps index generations underneath them (cache carry-over
+/// keeps the viewports warm across swaps).
+fn run_service_concurrent<P: colr_tree::ProbeService + Send + Sync>(
+    svc: &PortalService<P>,
+    queries: &[SelectQuery],
+    clients: usize,
+    window: Duration,
+) -> ServiceRunResult {
+    let stop = AtomicBool::new(false);
+    let next = AtomicUsize::new(0);
+    let shed = AtomicU64::new(0);
+    let latencies: Mutex<Vec<u64>> = Mutex::new(Vec::new());
+    let gen_before = svc.generation();
+    let wall = Instant::now();
+    std::thread::scope(|scope| {
+        // The reindex storm: keep registering publishers (outside every
+        // viewport, so answers stay comparable) and republishing the index
+        // while the clients run.
+        let storm = scope.spawn(|| {
+            let mut k = 0u32;
+            while !stop.load(Ordering::Relaxed) {
+                svc.register_sensor(
+                    colr_geo::Point::new(-20.0 - k as f64, -20.0),
+                    EXPIRY,
+                    1.0,
+                    0,
+                );
+                k += 1;
+                svc.reindex();
+                std::thread::sleep(Duration::from_millis(100));
+            }
+        });
+        let mut workers = Vec::new();
+        for _ in 0..clients {
+            workers.push(scope.spawn(|| {
+                let mut local = Vec::new();
+                while !stop.load(Ordering::Relaxed) {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    let q = &queries[i % queries.len()];
+                    let start = Instant::now();
+                    match svc.query(q) {
+                        Ok(_) => local.push(start.elapsed().as_nanos() as u64),
+                        Err(e) if e.is_overload() => {
+                            shed.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Err(e) => panic!("service query failed: {e}"),
+                    }
+                }
+                local
+            }));
+        }
+        std::thread::sleep(window);
+        stop.store(true, Ordering::Relaxed);
+        for w in workers {
+            latencies
+                .lock()
+                .expect("latency sink")
+                .extend(w.join().expect("client thread"));
+        }
+        storm.join().expect("storm thread");
+    });
+    let elapsed = wall.elapsed().as_secs_f64();
+    let mut lat = latencies.into_inner().expect("latency sink");
+    lat.sort_unstable();
+    let pct = |p: f64| -> f64 {
+        if lat.is_empty() {
+            return 0.0;
+        }
+        let idx = ((lat.len() as f64 - 1.0) * p).round() as usize;
+        lat[idx] as f64 / 1e6
+    };
+    ServiceRunResult {
+        clients,
+        ops: lat.len(),
+        queries_per_sec: lat.len() as f64 / elapsed,
+        p50_latency_ms: pct(0.50),
+        p95_latency_ms: pct(0.95),
+        p99_latency_ms: pct(0.99),
+        reindexes: svc.generation() - gen_before,
+        shed: shed.load(Ordering::Relaxed),
+    }
 }
 
 struct RunResult {
@@ -232,6 +374,7 @@ fn main() {
     let (sensors, side) = grid_sensors(args.sensors);
     eprintln!("building tree over {} sensors...", sensors.len());
     let tree = ColrTree::build(sensors.clone(), ColrConfig::default(), 42);
+    let service_sensors = sensors.clone();
     let net = WanProbe {
         inner: SimNetwork::new(
             sensors,
@@ -291,6 +434,69 @@ fn main() {
         warm.p99_latency_ms
     );
 
+    // Service phase: the identical warm viewport mix, but closed-loop
+    // through one shared PortalService handle (`query` on `&self` from
+    // every client) while a storm thread swaps index generations.
+    eprintln!("building service generation 0...");
+    let svc = PortalService::new(
+        service_sensors.clone(),
+        WanProbe {
+            inner: SimNetwork::new(
+                service_sensors,
+                ConstantField {
+                    base: 0.0,
+                    step: 0.01,
+                },
+                7,
+            ),
+            rtt: Duration::from_micros(args.rtt_us),
+        },
+        PortalConfig {
+            default_staleness: EXPIRY,
+            mode: Mode::Colr,
+            max_sensors_per_query: None,
+            seed: 42,
+            admission: AdmissionConfig {
+                max_in_flight: 1024,
+                queue_capacity: 1024,
+                ..Default::default()
+            },
+            ..Default::default()
+        },
+    );
+    svc.clock().advance_to(now);
+    let select_queries = viewport_select_queries(args.queries, side, 1234);
+    // Untimed warm pass: every viewport probed once, write-backs landed, so
+    // the timed window measures the warm service path like `warm_run` does.
+    let warm_next = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..max_threads {
+            scope.spawn(|| loop {
+                let i = warm_next.fetch_add(1, Ordering::Relaxed);
+                if i >= select_queries.len() {
+                    break;
+                }
+                svc.query(&select_queries[i]).expect("service warm query");
+            });
+        }
+    });
+    let service = run_service_concurrent(
+        &svc,
+        &select_queries,
+        max_threads,
+        Duration::from_millis(args.service_ms),
+    );
+    eprintln!(
+        "service clients={:<2} q/s={:>10.0} p50={:.3}ms p95={:.3}ms p99={:.3}ms reindexes={} shed={}",
+        service.clients,
+        service.queries_per_sec,
+        service.p50_latency_ms,
+        service.p95_latency_ms,
+        service.p99_latency_ms,
+        service.reindexes,
+        service.shed
+    );
+
     let single = runs
         .iter()
         .find(|r| r.threads == 1)
@@ -342,6 +548,19 @@ fn main() {
         warm.p50_latency_ms,
         warm.p95_latency_ms,
         warm.p99_latency_ms
+    ));
+    json.push_str(&format!(
+        "  \"service_concurrent\": {{\"clients\": {}, \"ops\": {}, \"queries_per_sec\": {:.1}, \
+         \"p50_latency_ms\": {:.4}, \"p95_latency_ms\": {:.4}, \"p99_latency_ms\": {:.4}, \
+         \"reindexes_during_run\": {}, \"shed\": {}}},\n",
+        service.clients,
+        service.ops,
+        service.queries_per_sec,
+        service.p50_latency_ms,
+        service.p95_latency_ms,
+        service.p99_latency_ms,
+        service.reindexes,
+        service.shed
     ));
     json.push_str(&format!("  \"speedup_vs_single_thread\": {speedup:.2}\n"));
     json.push_str("}\n");

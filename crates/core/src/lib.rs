@@ -77,7 +77,7 @@ pub use resilient::{BreakerState, ResilientConfig, ResilientProber};
 pub use slot_cache::{Slot, SlotCache, SlotConfig};
 pub use slot_size::SlotSizeWorkload;
 pub use stats::{CostModel, QueryStats};
-pub use time::{SimClock, TimeDelta, Timestamp};
+pub use time::{ClockHandle, SimClock, TimeDelta, Timestamp};
 pub use tree::{
     BuildStrategy, CachedEntry, Children, ColrConfig, ColrTree, Node, NodeCache, NodeId,
     CACHE_STRIPES,

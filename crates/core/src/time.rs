@@ -8,6 +8,8 @@
 
 use std::fmt;
 use std::ops::{Add, AddAssign, Sub};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// Milliseconds since the simulation epoch.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
@@ -166,6 +168,54 @@ impl SimClock {
     }
 }
 
+/// A cheaply cloneable, thread-safe simulation clock.
+///
+/// Where [`SimClock`] is a single-owner value (`advance` takes `&mut self`),
+/// a `ClockHandle` shares one atomic instant between any number of clones:
+/// a service thread can advance time while query threads read it, with no
+/// lock. Clocks never move backwards — [`ClockHandle::advance_to`] is a
+/// `fetch_max`, so racing advancers settle on the latest instant.
+#[derive(Debug, Clone, Default)]
+pub struct ClockHandle {
+    now_ms: Arc<AtomicU64>,
+}
+
+impl ClockHandle {
+    /// A shared clock at the simulation epoch.
+    pub fn new() -> Self {
+        ClockHandle::default()
+    }
+
+    /// A shared clock starting at `t`.
+    pub fn starting_at(t: Timestamp) -> Self {
+        ClockHandle {
+            now_ms: Arc::new(AtomicU64::new(t.0)),
+        }
+    }
+
+    /// Current instant.
+    #[inline]
+    pub fn now(&self) -> Timestamp {
+        Timestamp(self.now_ms.load(Ordering::Acquire))
+    }
+
+    /// Advances the clock by `delta`, visible to every clone.
+    pub fn advance(&self, delta: TimeDelta) {
+        self.now_ms.fetch_add(delta.0, Ordering::AcqRel);
+    }
+
+    /// Advances the clock to `t`; an earlier `t` is ignored (monotonicity),
+    /// including under concurrent advancement.
+    pub fn advance_to(&self, t: Timestamp) {
+        self.now_ms.fetch_max(t.0, Ordering::AcqRel);
+    }
+
+    /// `true` when `other` is a clone of this clock (shares the instant).
+    pub fn shares_with(&self, other: &ClockHandle) -> bool {
+        Arc::ptr_eq(&self.now_ms, &other.now_ms)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -215,5 +265,37 @@ mod tests {
     fn display_formats() {
         assert_eq!(Timestamp(42).to_string(), "t+42ms");
         assert_eq!(TimeDelta(42).to_string(), "42ms");
+    }
+
+    #[test]
+    fn clock_handle_clones_share_one_instant() {
+        let a = ClockHandle::new();
+        let b = a.clone();
+        assert!(a.shares_with(&b));
+        a.advance(TimeDelta::from_secs(3));
+        assert_eq!(b.now(), Timestamp(3_000));
+        b.advance_to(Timestamp(10_000));
+        assert_eq!(a.now(), Timestamp(10_000));
+        // Monotone: an earlier advance_to is ignored.
+        b.advance_to(Timestamp(5_000));
+        assert_eq!(a.now(), Timestamp(10_000));
+        // A fresh handle is a different clock.
+        assert!(!a.shares_with(&ClockHandle::starting_at(Timestamp(10_000))));
+    }
+
+    #[test]
+    fn clock_handle_concurrent_advances_accumulate() {
+        let clock = ClockHandle::new();
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let c = clock.clone();
+                scope.spawn(move || {
+                    for _ in 0..1_000 {
+                        c.advance(TimeDelta::from_millis(1));
+                    }
+                });
+            }
+        });
+        assert_eq!(clock.now(), Timestamp(4_000));
     }
 }

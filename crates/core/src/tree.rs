@@ -573,7 +573,31 @@ impl ColrTree {
         reading: Reading,
         now: Timestamp,
     ) -> bool {
+        self.insert_entry_locked(
+            maint,
+            CachedEntry {
+                reading,
+                fetched_at: now,
+            },
+            now,
+        )
+    }
+
+    /// Like [`ColrTree::insert_reading`] but preserving an explicit
+    /// `fetched_at` (the carry-over path keeps the original fetch instants so
+    /// eviction order survives a generation swap).
+    fn insert_entry_locked(
+        &self,
+        maint: &mut Maintenance,
+        entry: CachedEntry,
+        now: Timestamp,
+    ) -> bool {
+        let reading = entry.reading;
+        let fetched_at = entry.fetched_at;
         self.advance_locked(maint, now);
+        if reading.sensor.index() >= self.sensors.len() {
+            return false; // unknown sensor (population changed under carry-over)
+        }
         let slot = self.slot_config.slot_of(reading.expires_at);
         let window_top = maint.cache_base + self.config.num_slots as u64 + 1;
         if slot < maint.cache_base || slot >= window_top || !reading.is_live(now) {
@@ -595,12 +619,12 @@ impl ColrTree {
                 pos,
                 CachedEntry {
                     reading,
-                    fetched_at: now,
+                    fetched_at,
                 },
             );
         });
         maint.total_cached += 1;
-        maint.evict_index.insert((slot, now, reading.sensor));
+        maint.evict_index.insert((slot, fetched_at, reading.sensor));
         let telem = crate::telem::tree();
         telem.cache_inserts.inc();
         telem.cached_readings.set(maint.total_cached as i64);
@@ -644,6 +668,39 @@ impl ColrTree {
             );
         }
         applied
+    }
+
+    /// Every raw cached reading with its original fetch instant, in global
+    /// eviction order (oldest expiry slot first). This is the payload an
+    /// online reindex carries from a retiring index generation into its
+    /// replacement ([`ColrTree::restore_entries`]); slot alignment is global,
+    /// so the entries land in the same absolute expiry slots on the other
+    /// side.
+    pub fn cached_entries(&self) -> Vec<CachedEntry> {
+        let maint = self.maint.lock();
+        maint
+            .evict_index
+            .iter()
+            .filter_map(|&(_, _, sensor)| {
+                let leaf = self.sensor_leaf[sensor.index()];
+                self.with_cache(leaf, |c| c.entry(sensor).copied())
+            })
+            .collect()
+    }
+
+    /// Re-caches entries exported by [`ColrTree::cached_entries`] from
+    /// another tree over the same (or a grown) sensor population, preserving
+    /// each entry's `fetched_at` so the least-recently-fetched eviction order
+    /// is unchanged by the transfer. Expired entries, entries outside the
+    /// slot window at `now`, and entries for unknown sensors are skipped.
+    /// Returns how many entries were restored.
+    pub fn restore_entries(&self, entries: &[CachedEntry], now: Timestamp) -> usize {
+        let mut maint = self.maint.lock();
+        self.advance_locked(&mut maint, now);
+        entries
+            .iter()
+            .filter(|e| self.insert_entry_locked(&mut maint, **e, now))
+            .count()
     }
 
     /// Removes the cached reading of `sensor` (if any) from the leaf and all

@@ -11,18 +11,30 @@
 //! * [`planner`] — maps the `CLUSTER` distance to a terminal level `T`
 //!   (the zoom-level → threshold-level translation of Section III-C) and
 //!   assembles the physical [`colr_tree::Query`];
-//! * [`portal`] — the [`Portal`] facade: register sensors, accept SQL or
-//!   programmatic queries, collect live data through a probe service, and
-//!   return per-group results ready to overlay on a map.
+//! * [`portal`] — the single-owner [`Portal`] facade: register sensors,
+//!   accept SQL or programmatic queries, collect live data through a probe
+//!   service, and return per-group results ready to overlay on a map;
+//! * [`service`] — the shared [`PortalService`] front door: cloneable
+//!   `&self` handles over epoch-published index generations, with online
+//!   reindexing (cache carry-over included) and admission control;
+//! * [`error`] — the unified [`PortalError`] every front-door entry point
+//!   returns.
 
 pub mod ast;
+pub mod error;
 pub mod parser;
 pub mod planner;
 pub mod portal;
+pub mod service;
 pub mod shared;
 
 pub use ast::{AggSpec, SelectQuery, SpatialPredicate};
+pub use error::PortalError;
 pub use parser::{parse, ParseError};
 pub use planner::Planner;
-pub use portal::{DegradationReport, GroupView, Portal, PortalConfig, PortalResult};
+pub use portal::{
+    BatchResult, DegradationReport, GroupView, Portal, PortalConfig, PortalConfigBuilder,
+    PortalConfigError, PortalResult,
+};
+pub use service::{AdmissionConfig, Generation, PortalService, Reindexer};
 pub use shared::SharedPortal;

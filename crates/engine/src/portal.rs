@@ -1,49 +1,33 @@
 //! The portal facade — the programmatic equivalent of SENSORMAP's front
-//! door.
+//! door, in its single-owner form.
 //!
-//! A [`Portal`] owns a built COLR-Tree, a probe service (the live network),
-//! a planner, a simulation clock and a seeded RNG. Clients submit dialect
-//! SQL ([`Portal::query_sql`]) or parsed queries and receive per-group
-//! results ([`GroupView`]) ready to overlay on a map, plus the combined
-//! aggregate and the query's collection statistics.
+//! A [`Portal`] is a thin `&mut self` wrapper over a shared
+//! [`crate::PortalService`]: it keeps the original one-owner API (clients
+//! submit dialect SQL via [`Portal::query_sql`] or parsed queries and
+//! receive per-group results ready to overlay on a map) while the service
+//! underneath owns the index generations, the shared clock and the probe
+//! service. Call [`Portal::service`] to hand out concurrent `&self` handles
+//! to the same back end, or [`Portal::into_service`] to graduate entirely.
+//!
+//! The wrapper differs from a raw service handle in two deliberate ways:
+//! it keeps one sequential RNG across queries (reproducible single-client
+//! traces), and it bypasses admission control (a single owner cannot
+//! overload itself).
 
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex, OnceLock};
+use std::sync::Arc;
 
 use colr_geo::Rect;
-use colr_telemetry::{global, tracer, Counter, SpanKind};
 use colr_tree::{
-    AggKind, ColrConfig, ColrTree, Histogram, LiveAvailability, Mode, ProbeService, Query,
-    QueryOutput, QueryStats, Reading, ResilientProber, SensorMeta, SimClock, TimeDelta, Timestamp,
+    ClockHandle, ColrConfig, ColrTree, Histogram, LiveAvailability, Mode, ProbeService, QueryStats,
+    ResilientProber, SensorMeta, TimeDelta, Timestamp,
 };
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use crate::ast::SelectQuery;
-use crate::parser::{parse, ParseError};
+use crate::error::PortalError;
 use crate::planner::Planner;
-
-/// Cached handles for the portal-level counters (`colr_portal_*`).
-struct PortalTelem {
-    /// Queries answered (interactive and batched).
-    queries: Counter,
-    /// SQL strings that failed to parse.
-    parse_errors: Counter,
-    /// `execute_many` batches run.
-    batches: Counter,
-    /// Queries per batch.
-    batch_size: colr_telemetry::Histogram,
-}
-
-fn portal_telem() -> &'static PortalTelem {
-    static T: OnceLock<PortalTelem> = OnceLock::new();
-    T.get_or_init(|| PortalTelem {
-        queries: global().counter("colr_portal_queries_total"),
-        parse_errors: global().counter("colr_portal_parse_errors_total"),
-        batches: global().counter("colr_portal_batches_total"),
-        batch_size: global().histogram("colr_portal_batch_size"),
-    })
-}
+use crate::service::{AdmissionConfig, Generation, PortalService};
 
 /// Portal construction parameters.
 #[derive(Debug, Clone)]
@@ -61,6 +45,10 @@ pub struct PortalConfig {
     pub max_sensors_per_query: Option<usize>,
     /// RNG seed.
     pub seed: u64,
+    /// Admission-controller tuning for [`crate::PortalService`] front doors
+    /// (ignored by the single-owner [`Portal`] wrapper, which cannot
+    /// overload itself).
+    pub admission: AdmissionConfig,
 }
 
 impl Default for PortalConfig {
@@ -71,7 +59,134 @@ impl Default for PortalConfig {
             mode: Mode::Colr,
             max_sensors_per_query: Some(500),
             seed: 42,
+            admission: AdmissionConfig::default(),
         }
+    }
+}
+
+impl PortalConfig {
+    /// A validating builder over the same fields; prefer it when the values
+    /// come from user input or external configuration.
+    pub fn builder() -> PortalConfigBuilder {
+        PortalConfigBuilder {
+            cfg: PortalConfig::default(),
+            staleness_secs: None,
+        }
+    }
+}
+
+/// Why a [`PortalConfigBuilder`] refused to produce a config.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum PortalConfigError {
+    /// `max_sensors_per_query == Some(0)`: every query would be planned
+    /// with a zero sample target and answer nothing. Use `None` for
+    /// "uncapped" instead.
+    ZeroSensorCap,
+    /// The staleness bound in seconds was NaN or infinite.
+    NonFiniteStaleness(f64),
+    /// The staleness bound in seconds was negative.
+    NegativeStaleness(f64),
+    /// `admission.max_in_flight == 0`: no query could ever execute.
+    NoExecutionSlots,
+}
+
+impl std::fmt::Display for PortalConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PortalConfigError::ZeroSensorCap => {
+                write!(f, "max_sensors_per_query = Some(0); use None for uncapped")
+            }
+            PortalConfigError::NonFiniteStaleness(s) => {
+                write!(f, "default staleness must be finite, got {s}")
+            }
+            PortalConfigError::NegativeStaleness(s) => {
+                write!(f, "default staleness must be non-negative, got {s}")
+            }
+            PortalConfigError::NoExecutionSlots => {
+                write!(f, "admission.max_in_flight = 0; no query could execute")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PortalConfigError {}
+
+/// Builder for [`PortalConfig`] that validates before producing a value,
+/// so impossible portals (zero sensor cap, NaN staleness, zero execution
+/// slots) are rejected at configuration time rather than surfacing as
+/// empty answers later.
+#[derive(Debug, Clone)]
+pub struct PortalConfigBuilder {
+    cfg: PortalConfig,
+    staleness_secs: Option<f64>,
+}
+
+impl PortalConfigBuilder {
+    /// Sets the index configuration.
+    pub fn tree(mut self, tree: ColrConfig) -> Self {
+        self.cfg.tree = tree;
+        self
+    }
+
+    /// Sets the execution mode.
+    pub fn mode(mut self, mode: Mode) -> Self {
+        self.cfg.mode = mode;
+        self
+    }
+
+    /// Sets the default staleness bound directly.
+    pub fn default_staleness(mut self, staleness: TimeDelta) -> Self {
+        self.cfg.default_staleness = staleness;
+        self.staleness_secs = None;
+        self
+    }
+
+    /// Sets the default staleness bound in (fractional) seconds — the form
+    /// external configuration usually arrives in. Validated at
+    /// [`PortalConfigBuilder::build`]: NaN, infinite and negative values
+    /// are rejected.
+    pub fn default_staleness_secs(mut self, secs: f64) -> Self {
+        self.staleness_secs = Some(secs);
+        self
+    }
+
+    /// Sets the portal-wide sensors-per-query cap (`None` = uncapped).
+    pub fn max_sensors_per_query(mut self, cap: Option<usize>) -> Self {
+        self.cfg.max_sensors_per_query = cap;
+        self
+    }
+
+    /// Sets the RNG seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.cfg.seed = seed;
+        self
+    }
+
+    /// Sets the admission-controller tuning.
+    pub fn admission(mut self, admission: AdmissionConfig) -> Self {
+        self.cfg.admission = admission;
+        self
+    }
+
+    /// Validates and produces the config.
+    pub fn build(self) -> Result<PortalConfig, PortalConfigError> {
+        let mut cfg = self.cfg;
+        if let Some(secs) = self.staleness_secs {
+            if !secs.is_finite() {
+                return Err(PortalConfigError::NonFiniteStaleness(secs));
+            }
+            if secs < 0.0 {
+                return Err(PortalConfigError::NegativeStaleness(secs));
+            }
+            cfg.default_staleness = TimeDelta::from_millis((secs * 1_000.0).round() as u64);
+        }
+        if cfg.max_sensors_per_query == Some(0) {
+            return Err(PortalConfigError::ZeroSensorCap);
+        }
+        if cfg.admission.max_in_flight == 0 {
+            return Err(PortalConfigError::NoExecutionSlots);
+        }
+        Ok(cfg)
     }
 }
 
@@ -89,10 +204,6 @@ pub struct GroupView {
     pub from_cache: bool,
 }
 
-/// What one frozen query execution produces: its output plus the probe
-/// write-backs deferred until the batch completes.
-type FrozenOutcome = (QueryOutput, Vec<Reading>);
-
 /// Aggregated outcome of a [`Portal::execute_many`] batch.
 #[derive(Debug, Clone)]
 pub struct BatchResult {
@@ -102,6 +213,21 @@ pub struct BatchResult {
     pub stats: QueryStats,
     /// Readings written back into the cache after the batch completed.
     pub readings_applied: usize,
+    /// Shortfall accounting merged over the whole batch (per-query reports
+    /// stay on each [`PortalResult`]).
+    pub degradation: DegradationReport,
+}
+
+impl BatchResult {
+    /// The worst per-query fulfillment in the batch (1.0 for an empty
+    /// batch): the number a portal dashboard should alarm on, since a batch
+    /// average hides one fully-degraded viewport among healthy ones.
+    pub fn worst_fulfillment(&self) -> f64 {
+        self.results
+            .iter()
+            .map(|r| r.degradation.fulfillment())
+            .fold(1.0_f64, f64::min)
+    }
 }
 
 /// How far a query's answer fell short of what was asked, and why.
@@ -134,6 +260,16 @@ impl DegradationReport {
             1.0
         }
     }
+
+    /// Folds another report into this one (summing every axis), for
+    /// batch-level accounting.
+    pub fn absorb(&mut self, other: &DegradationReport) {
+        self.requested += other.requested;
+        self.sampled += other.sampled;
+        self.breaker_skipped += other.breaker_skipped;
+        self.deadline_clipped += other.deadline_clipped;
+        self.probes_retried += other.probes_retried;
+    }
 }
 
 /// A complete portal answer.
@@ -155,36 +291,49 @@ pub struct PortalResult {
     pub degradation: DegradationReport,
 }
 
-/// The portal: SensorMap's query front end over a COLR-Tree back end.
+/// The portal: SensorMap's query front end over a COLR-Tree back end,
+/// single-owner edition. See the module docs for how it relates to
+/// [`PortalService`].
 pub struct Portal<P> {
-    tree: ColrTree,
-    planner: Planner,
-    probe: P,
-    clock: SimClock,
+    service: PortalService<P>,
+    /// Cached snapshot of the published generation, refreshed by every
+    /// `&mut self` entry point so `tree()`/`planner()` can hand out plain
+    /// references.
+    current: Arc<Generation>,
+    /// The wrapper's own sequential RNG: single-client query traces stay
+    /// reproducible run-to-run, independent of the service's per-ordinal
+    /// derivation.
     rng: StdRng,
-    mode: Mode,
-    max_sensors_per_query: Option<usize>,
-    /// Publishers registered since the last index reconstruction.
-    pending_registrations: Vec<SensorMeta>,
-    seed: u64,
 }
 
 impl<P: ProbeService> Portal<P> {
     /// Builds a portal over `sensors`, probing live data through `probe`.
     pub fn new(sensors: Vec<SensorMeta>, probe: P, config: PortalConfig) -> Portal<P> {
-        let tree = ColrTree::build(sensors, config.tree, config.seed);
-        let planner = Planner::new(&tree, config.default_staleness);
+        let seed = config.seed;
+        let service = PortalService::new(sensors, probe, config);
+        let current = service.snapshot();
         Portal {
-            tree,
-            planner,
-            probe,
-            clock: SimClock::new(),
-            rng: StdRng::seed_from_u64(config.seed),
-            mode: config.mode,
-            max_sensors_per_query: config.max_sensors_per_query,
-            pending_registrations: Vec::new(),
-            seed: config.seed,
+            service,
+            current,
+            rng: StdRng::seed_from_u64(seed),
         }
+    }
+
+    /// The shared service under this portal: clone it to run concurrent
+    /// `&self` queries against the same index, clock and probe service.
+    pub fn service(&self) -> &PortalService<P> {
+        &self.service
+    }
+
+    /// Consumes the wrapper, leaving only the shared service.
+    pub fn into_service(self) -> PortalService<P> {
+        self.service
+    }
+
+    /// Re-reads the published generation (a service handle may have
+    /// reindexed since the last `&mut self` call).
+    fn refresh(&mut self) {
+        self.current = self.service.snapshot();
     }
 
     /// Registers a new publisher (Section III-A). The sensor becomes
@@ -201,95 +350,81 @@ impl<P: ProbeService> Portal<P> {
         availability: f64,
         kind: u16,
     ) -> colr_tree::SensorId {
-        let id = (self.tree.sensors().len() + self.pending_registrations.len()) as u32;
-        let meta = SensorMeta::new(id, location, expiry, availability).with_kind(kind);
-        self.pending_registrations.push(meta);
-        meta.id
+        self.service
+            .register_sensor(location, expiry, availability, kind)
     }
 
     /// Number of registrations awaiting the next reconstruction.
     pub fn pending_registrations(&self) -> usize {
-        self.pending_registrations.len()
+        self.service.pending_registrations()
     }
 
     /// Reconstructs the index over the current sensor population plus all
     /// pending registrations (the paper's periodic rebuild). Cached data is
     /// discarded — the rebuild is a batch, offline operation in SensorMap.
-    /// Returns the new population size.
+    /// (The *online* path, [`crate::PortalService::reindex`], carries
+    /// caches over instead.) Returns the new population size.
     pub fn rebuild_index(&mut self) -> usize {
-        let mut sensors = self.tree.sensors().to_vec();
-        sensors.append(&mut self.pending_registrations);
-        let n = sensors.len();
-        self.tree.rebuild(sensors, self.seed ^ n as u64);
-        self.planner = Planner::new(&self.tree, self.planner.default_staleness);
+        let n = self.service.reindex_discarding();
+        self.refresh();
         n
     }
 
-    /// The simulation clock (advance it to model passing time).
-    pub fn clock_mut(&mut self) -> &mut SimClock {
-        &mut self.clock
+    /// The shared simulation clock (advance it to model passing time).
+    pub fn clock(&self) -> &ClockHandle {
+        self.service.clock()
+    }
+
+    /// The simulation clock.
+    #[deprecated(
+        since = "0.5.0",
+        note = "the clock is shared and advances through `&self` now; use `clock()`"
+    )]
+    pub fn clock_mut(&mut self) -> &ClockHandle {
+        self.service.clock()
     }
 
     /// Current simulated instant.
     pub fn now(&self) -> Timestamp {
-        self.clock.now()
+        self.service.now()
     }
 
-    /// The underlying index (read-only).
+    /// The underlying index (read-only; the generation snapshot taken at
+    /// the last `&mut self` call).
     pub fn tree(&self) -> &ColrTree {
-        &self.tree
+        self.current.tree()
     }
 
     /// The planner (read-only).
     pub fn planner(&self) -> &Planner {
-        &self.planner
+        self.current.planner()
     }
 
     /// The probe service (e.g. to inspect simulated probe counters).
     pub fn probe(&self) -> &P {
-        &self.probe
+        self.service.probe()
     }
 
     /// Parses and executes a dialect SQL query.
-    pub fn query_sql(&mut self, sql: &str) -> Result<PortalResult, ParseError> {
-        let parsed = self.parse_traced(sql)?;
+    pub fn query_sql(&mut self, sql: &str) -> Result<PortalResult, PortalError> {
+        let parsed = self.service.parse_traced(sql)?;
         Ok(self.query(&parsed))
-    }
-
-    /// Parses one SQL string, recording a `parse` span (timestamped on the
-    /// simulation clock so traces are reproducible) and counting failures.
-    fn parse_traced(&self, sql: &str) -> Result<SelectQuery, ParseError> {
-        let at_us = self.clock.now().0 * 1_000;
-        match parse(sql) {
-            Ok(q) => {
-                tracer().record(SpanKind::Parse, at_us, 0, sql.len() as u64);
-                Ok(q)
-            }
-            Err(e) => {
-                portal_telem().parse_errors.inc();
-                Err(e)
-            }
-        }
     }
 
     /// Parses a dialect query and describes its physical plan without
     /// executing it (the portal's `EXPLAIN`).
-    pub fn explain_sql(&self, sql: &str) -> Result<String, ParseError> {
-        let parsed = parse(sql)?;
-        Ok(self.planner.explain(&parsed))
+    pub fn explain_sql(&self, sql: &str) -> Result<String, PortalError> {
+        self.service.explain_sql(sql)
     }
 
-    /// Executes a parsed query.
+    /// Executes a parsed query. Bypasses admission control (a single owner
+    /// is its own admission controller) and draws from the portal's
+    /// sequential RNG.
     pub fn query(&mut self, q: &SelectQuery) -> PortalResult {
-        let now = self.clock.now();
-        let plan = self.plan_capped(q);
-        tracer().record(SpanKind::Plan, now.0 * 1_000, 0, 1);
-        portal_telem().queries.inc();
-        let requested = self.requested_target(&plan);
-        let out = self
-            .tree
-            .execute(&plan, self.mode, &self.probe, now, &mut self.rng);
-        self.finish(q.agg.kind(), requested, out)
+        self.refresh();
+        let gen = self.current.clone();
+        self.service
+            .run_with_rng(&gen, q, &mut self.rng, TimeDelta::ZERO)
     }
 
     /// Executes a batch of parsed queries, fanning them out over `threads`
@@ -306,87 +441,9 @@ impl<P: ProbeService> Portal<P> {
     where
         P: Sync,
     {
-        let now = self.clock.now();
-        self.tree.advance(now);
-        let plans: Vec<(Query, AggKind)> = queries
-            .iter()
-            .map(|q| (self.plan_capped(q), q.agg.kind()))
-            .collect();
-        let telem = portal_telem();
-        telem.batches.inc();
-        telem.batch_size.observe(plans.len() as u64);
-        telem.queries.add(plans.len() as u64);
-        tracer().record(SpanKind::Plan, now.0 * 1_000, 0, plans.len() as u64);
-
-        let threads = if threads == 0 {
-            std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(1)
-        } else {
-            threads
-        }
-        .min(plans.len().max(1));
-        let tree = &self.tree;
-        let probe = &self.probe;
-        let mode = self.mode;
-        let seed = self.seed;
-        let run_query = |i: usize| {
-            let mut rng = StdRng::seed_from_u64(derive_seed(seed, i as u64));
-            tree.execute_frozen(&plans[i].0, mode, probe, now, &mut rng)
-        };
-
-        let outcomes: Vec<Option<FrozenOutcome>> = if threads <= 1 {
-            (0..plans.len()).map(|i| Some(run_query(i))).collect()
-        } else {
-            // Work-stealing by shared index: each worker claims the next
-            // unprocessed query until the batch is drained.
-            let next = AtomicUsize::new(0);
-            let slots: Vec<Mutex<Option<FrozenOutcome>>> =
-                plans.iter().map(|_| Mutex::new(None)).collect();
-            std::thread::scope(|scope| {
-                for _ in 0..threads {
-                    scope.spawn(|| loop {
-                        let i = next.fetch_add(1, Ordering::Relaxed);
-                        if i >= plans.len() {
-                            break;
-                        }
-                        let out = run_query(i);
-                        *slots[i].lock().expect("result slot") = Some(out);
-                    });
-                }
-            });
-            slots
-                .into_iter()
-                .map(|s| s.into_inner().expect("result slot"))
-                .collect()
-        };
-
-        // Deferred write-backs land in query-index order, so the post-batch
-        // cache state matches a sequential run of the same batch.
-        let mut stats = QueryStats::default();
-        let mut readings_applied = 0;
-        let mut results = Vec::with_capacity(plans.len());
-        for ((plan, kind), outcome) in plans.iter().zip(outcomes) {
-            let (out, deferred) = outcome.expect("worker completed");
-            readings_applied += self.tree.apply_readings(&deferred, now);
-            stats.merge(&out.stats);
-            let requested = self.requested_target(plan);
-            results.push(self.finish(*kind, requested, out));
-        }
-        // Batch span: duration is the modelled critical path — the slowest
-        // single query, since the batch fans out across workers.
-        let dur_ms = results.iter().map(|r| r.latency_ms).fold(0.0f64, f64::max);
-        tracer().record(
-            SpanKind::Batch,
-            now.0 * 1_000,
-            (dur_ms * 1_000.0) as u64,
-            results.len() as u64,
-        );
-        BatchResult {
-            results,
-            stats,
-            readings_applied,
-        }
+        self.refresh();
+        let gen = self.current.clone();
+        self.service.execute_many_with(&gen, queries, threads)
     }
 
     /// Parses and executes a batch of dialect SQL queries via
@@ -395,101 +452,15 @@ impl<P: ProbeService> Portal<P> {
         &mut self,
         sqls: &[&str],
         threads: usize,
-    ) -> Result<BatchResult, ParseError>
+    ) -> Result<BatchResult, PortalError>
     where
         P: Sync,
     {
         let parsed: Vec<SelectQuery> = sqls
             .iter()
-            .map(|s| self.parse_traced(s))
+            .map(|s| self.service.parse_traced(s))
             .collect::<Result<_, _>>()?;
         Ok(self.execute_many(&parsed, threads))
-    }
-
-    /// Plans a query, applying the portal-wide collection cap when the query
-    /// didn't choose a sample size.
-    fn plan_capped(&self, q: &SelectQuery) -> Query {
-        let mut plan: Query = self.planner.plan(q);
-        if plan.sample_size.is_none() {
-            if let Some(cap) = self.max_sensors_per_query {
-                plan = plan.with_sample_size(cap as f64);
-            }
-        }
-        plan
-    }
-
-    /// The sample-size target a plan will aim for, for degradation
-    /// accounting: only the COLR mode samples, the baselines collect
-    /// everything in range.
-    fn requested_target(&self, plan: &Query) -> f64 {
-        if matches!(self.mode, Mode::Colr) {
-            plan.sample_size.unwrap_or(0.0)
-        } else {
-            0.0
-        }
-    }
-
-    /// Converts a raw engine output into the portal's result shape.
-    fn finish(&self, kind: AggKind, requested: f64, out: QueryOutput) -> PortalResult {
-        let groups: Vec<GroupView> = out
-            .groups
-            .iter()
-            .map(|g| GroupView {
-                bbox: g.bbox,
-                count: g.agg.count,
-                value: g.agg.finalize(kind),
-                from_cache: g.from_cache,
-            })
-            .collect();
-        // Distribution: when the index maintains slot histograms, merge the
-        // cache-served group histograms with the raw readings under the
-        // configured binning; otherwise bin the raw readings adaptively.
-        let histogram = if let Some(spec) = self.tree.config().slot_histograms {
-            let mut h = spec.empty();
-            let mut any = false;
-            for g in &out.groups {
-                if let Some(gh) = &g.hist {
-                    h.merge(gh);
-                    any = true;
-                }
-            }
-            for r in &out.readings {
-                h.insert(r.value);
-                any = true;
-            }
-            any.then_some(h)
-        } else {
-            (!out.readings.is_empty()).then(|| {
-                let (lo, hi) = out
-                    .readings
-                    .iter()
-                    .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), r| {
-                        (lo.min(r.value), hi.max(r.value))
-                    });
-                let hi = if hi > lo { hi + 1e-9 } else { lo + 1.0 };
-                let mut h = Histogram::new(lo, hi, 10);
-                for r in &out.readings {
-                    h.insert(r.value);
-                }
-                h
-            })
-        };
-        let sampled: u64 = out.groups.iter().map(|g| g.agg.count).sum();
-        let degradation = DegradationReport {
-            requested,
-            sampled,
-            breaker_skipped: out.stats.breaker_skipped,
-            deadline_clipped: out.stats.deadline_clipped,
-            probes_retried: out.stats.probes_retried,
-        };
-        PortalResult {
-            groups,
-            value: out.aggregate(kind),
-            histogram,
-            stats: out.stats,
-            latency_ms: out.latency_ms,
-            degradation,
-        }
     }
 }
 
@@ -503,20 +474,9 @@ impl<Q: ProbeService> Portal<ResilientProber<Q>> {
     /// [`Portal::rebuild_index`] discards the tree's map (the node topology
     /// changed); call this again after a rebuild to re-enable feedback.
     pub fn enable_resilience_feedback(&mut self, alpha: f64) -> Arc<LiveAvailability> {
-        let live = self.tree.enable_live_availability(alpha);
-        self.probe.attach_availability(live.clone());
-        live
+        self.refresh();
+        self.service.enable_resilience_feedback(alpha)
     }
-}
-
-/// Derives the per-query RNG seed for query `i` of a batch (splitmix64-style
-/// mix of the portal seed and the query index, so neighbouring indices get
-/// decorrelated streams).
-fn derive_seed(seed: u64, i: u64) -> u64 {
-    let mut z = seed ^ i.wrapping_mul(0x9E37_79B9_7F4A_7C15);
-    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    z ^ (z >> 31)
 }
 
 #[cfg(test)]
@@ -553,7 +513,7 @@ mod tests {
     #[test]
     fn end_to_end_sql_count() {
         let mut p = portal(Mode::HierCache);
-        p.clock_mut().advance(TimeDelta::from_secs(1));
+        p.clock().advance(TimeDelta::from_secs(1));
         let res = p
             .query_sql(
                 "SELECT count(*) FROM sensor WHERE location WITHIN RECT(-0.5, -0.5, 7.5, 7.5)",
@@ -567,7 +527,7 @@ mod tests {
     #[test]
     fn sql_samplesize_limits_probes() {
         let mut p = portal(Mode::Colr);
-        p.clock_mut().advance(TimeDelta::from_secs(1));
+        p.clock().advance(TimeDelta::from_secs(1));
         let res = p
             .query_sql(
                 "SELECT count(*) FROM sensor WHERE location WITHIN RECT(-0.5,-0.5,15.5,15.5) \
@@ -584,7 +544,7 @@ mod tests {
     #[test]
     fn polygon_query_via_sql() {
         let mut p = portal(Mode::RTree);
-        p.clock_mut().advance(TimeDelta::from_secs(1));
+        p.clock().advance(TimeDelta::from_secs(1));
         let res = p
             .query_sql(
                 "SELECT count(*) FROM sensor WHERE location WITHIN \
@@ -598,7 +558,7 @@ mod tests {
     #[test]
     fn avg_histogram_present_with_raw_readings() {
         let mut p = portal(Mode::HierCache);
-        p.clock_mut().advance(TimeDelta::from_secs(1));
+        p.clock().advance(TimeDelta::from_secs(1));
         let res = p
             .query_sql(
                 "SELECT avg(value) FROM sensor WHERE location WITHIN RECT(-0.5,-0.5,3.5,3.5)",
@@ -612,14 +572,22 @@ mod tests {
     #[test]
     fn warm_cache_reduces_latency() {
         let mut p = portal(Mode::HierCache);
-        p.clock_mut().advance(TimeDelta::from_secs(1));
+        p.clock().advance(TimeDelta::from_secs(1));
         let sql = "SELECT count(*) FROM sensor WHERE location WITHIN RECT(-0.5,-0.5,7.5,7.5) \
              AND time BETWEEN now()-5 AND now() mins";
         let cold = p.query_sql(sql).unwrap();
-        p.clock_mut().advance(TimeDelta::from_secs(1));
+        p.clock().advance(TimeDelta::from_secs(1));
         let warm = p.query_sql(sql).unwrap();
         assert!(warm.latency_ms < cold.latency_ms);
         assert!(warm.stats.sensors_probed < cold.stats.sensors_probed);
+    }
+
+    #[test]
+    fn deprecated_clock_mut_still_advances() {
+        let mut p = portal(Mode::HierCache);
+        #[allow(deprecated)]
+        p.clock_mut().advance(TimeDelta::from_secs(2));
+        assert_eq!(p.now(), Timestamp(2_000));
     }
 
     #[test]
@@ -645,7 +613,7 @@ mod tests {
                 ..Default::default()
             },
         );
-        p.clock_mut().advance(TimeDelta::from_secs(1));
+        p.clock().advance(TimeDelta::from_secs(1));
         let res = p
             .query_sql(
                 "SELECT count(*) FROM sensor WHERE location WITHIN RECT(-0.5,-0.5,15.5,15.5)",
@@ -687,13 +655,13 @@ mod tests {
             },
             config,
         );
-        p.clock_mut().advance(TimeDelta::from_secs(1));
+        p.clock().advance(TimeDelta::from_secs(1));
         let sql = "SELECT count(*) FROM sensor WHERE location WITHIN RECT(-0.5,-0.5,15.5,15.5)";
         let cold = p.query_sql(sql).unwrap();
         assert_eq!(cold.histogram.as_ref().unwrap().total(), 256);
         // Warm query: answered from aggregates, yet the distribution is
         // still complete — out of the slot histograms, not raw readings.
-        p.clock_mut().advance(TimeDelta::from_secs(1));
+        p.clock().advance(TimeDelta::from_secs(1));
         let warm = p.query_sql(sql).unwrap();
         assert!(warm.stats.sensors_probed == 0);
         let h = warm.histogram.as_ref().expect("cached distribution");
@@ -705,7 +673,7 @@ mod tests {
     #[test]
     fn registration_and_rebuild_extend_the_population() {
         let mut p = portal(Mode::RTree);
-        p.clock_mut().advance(TimeDelta::from_secs(1));
+        p.clock().advance(TimeDelta::from_secs(1));
         let before = p
             .query_sql("SELECT count(*) FROM sensor WHERE location WITHIN RECT(100,100,110,110)")
             .unwrap();
@@ -745,7 +713,7 @@ mod tests {
     #[test]
     fn rebuild_discards_cached_data() {
         let mut p = portal(Mode::HierCache);
-        p.clock_mut().advance(TimeDelta::from_secs(1));
+        p.clock().advance(TimeDelta::from_secs(1));
         let sql = "SELECT count(*) FROM sensor WHERE location WITHIN RECT(-0.5,-0.5,7.5,7.5)";
         p.query_sql(sql).unwrap();
         assert!(p.tree().cached_readings() > 0);
@@ -771,9 +739,10 @@ mod tests {
     }
 
     #[test]
-    fn parse_errors_bubble_up() {
+    fn parse_errors_bubble_up_as_portal_errors() {
         let mut p = portal(Mode::Colr);
-        assert!(p.query_sql("SELECT nonsense").is_err());
+        let err = p.query_sql("SELECT nonsense").unwrap_err();
+        assert!(matches!(err, PortalError::Parse(_)));
     }
 
     #[test]
@@ -792,7 +761,7 @@ mod tests {
         let mut batches = Vec::new();
         for threads in [1usize, 4] {
             let mut p = portal(Mode::Colr);
-            p.clock_mut().advance(TimeDelta::from_secs(1));
+            p.clock().advance(TimeDelta::from_secs(1));
             batches.push(p.query_many_sql(&sql_refs, threads).expect("batch runs"));
         }
         let (seq, par) = (&batches[0], &batches[1]);
@@ -807,12 +776,13 @@ mod tests {
             }
         }
         assert_eq!(format!("{:?}", seq.stats), format!("{:?}", par.stats));
+        assert_eq!(seq.degradation, par.degradation);
     }
 
     #[test]
     fn execute_many_applies_writebacks_after_batch() {
         let mut p = portal(Mode::HierCache);
-        p.clock_mut().advance(TimeDelta::from_secs(1));
+        p.clock().advance(TimeDelta::from_secs(1));
         let sql = "SELECT count(*) FROM sensor WHERE location WITHIN RECT(-0.5,-0.5,7.5,7.5)";
         let batch = p.query_many_sql(&[sql], 2).unwrap();
         // Frozen execution probed the region, then wrote the readings back.
@@ -820,7 +790,7 @@ mod tests {
         assert_eq!(batch.readings_applied, 64);
         assert_eq!(p.tree().cached_readings(), 64);
         // A follow-up interactive query is served warm.
-        p.clock_mut().advance(TimeDelta::from_secs(1));
+        p.clock().advance(TimeDelta::from_secs(1));
         let warm = p.query_sql(sql).unwrap();
         assert_eq!(warm.stats.sensors_probed, 0);
     }
@@ -831,7 +801,7 @@ mod tests {
         // batch is a snapshot, so the second query must NOT be served from
         // the first one's write-backs (unlike sequential interactive mode).
         let mut p = portal(Mode::HierCache);
-        p.clock_mut().advance(TimeDelta::from_secs(1));
+        p.clock().advance(TimeDelta::from_secs(1));
         let sql = "SELECT count(*) FROM sensor WHERE location WITHIN RECT(-0.5,-0.5,7.5,7.5)";
         let batch = p.query_many_sql(&[sql, sql], 2).unwrap();
         assert_eq!(batch.stats.sensors_probed, 128, "both queries probed cold");
@@ -840,9 +810,32 @@ mod tests {
     }
 
     #[test]
+    fn batch_degradation_merges_and_reports_worst() {
+        let mut p = portal(Mode::Colr);
+        p.clock().advance(TimeDelta::from_secs(1));
+        let sqls = [
+            "SELECT count(*) FROM sensor WHERE location WITHIN RECT(-0.5,-0.5,15.5,15.5) \
+             SAMPLESIZE 20",
+            "SELECT count(*) FROM sensor WHERE location WITHIN RECT(-0.5,-0.5,7.5,7.5) \
+             SAMPLESIZE 10",
+        ];
+        let batch = p.query_many_sql(&sqls, 2).unwrap();
+        assert_eq!(batch.degradation.requested, 30.0);
+        let summed: u64 = batch.results.iter().map(|r| r.degradation.sampled).sum();
+        assert_eq!(batch.degradation.sampled, summed);
+        let worst = batch.worst_fulfillment();
+        assert!(batch
+            .results
+            .iter()
+            .all(|r| r.degradation.fulfillment() >= worst));
+        // Fully-available fleet: nobody under-delivers.
+        assert!(worst >= 1.0, "worst fulfillment {worst}");
+    }
+
+    #[test]
     fn cluster_controls_group_granularity() {
         let mut p = portal(Mode::RTree);
-        p.clock_mut().advance(TimeDelta::from_secs(1));
+        p.clock().advance(TimeDelta::from_secs(1));
         let fine = p
             .query_sql(
                 "SELECT count(*) FROM sensor WHERE location WITHIN RECT(-0.5,-0.5,15.5,15.5) \
@@ -850,7 +843,7 @@ mod tests {
             )
             .unwrap();
         let mut p2 = portal(Mode::RTree);
-        p2.clock_mut().advance(TimeDelta::from_secs(1));
+        p2.clock().advance(TimeDelta::from_secs(1));
         let coarse = p2
             .query_sql(
                 "SELECT count(*) FROM sensor WHERE location WITHIN RECT(-0.5,-0.5,15.5,15.5) \
@@ -865,5 +858,77 @@ mod tests {
         );
         // Same total either way.
         assert_eq!(fine.value, coarse.value);
+    }
+
+    #[test]
+    fn builder_accepts_valid_configs() {
+        let cfg = PortalConfig::builder()
+            .mode(Mode::HierCache)
+            .default_staleness_secs(120.5)
+            .max_sensors_per_query(Some(100))
+            .seed(7)
+            .build()
+            .expect("valid config");
+        assert_eq!(cfg.default_staleness, TimeDelta::from_millis(120_500));
+        assert_eq!(cfg.max_sensors_per_query, Some(100));
+        assert_eq!(cfg.seed, 7);
+    }
+
+    #[test]
+    fn builder_rejects_zero_sensor_cap() {
+        let err = PortalConfig::builder()
+            .max_sensors_per_query(Some(0))
+            .build()
+            .unwrap_err();
+        assert_eq!(err, PortalConfigError::ZeroSensorCap);
+        // None means uncapped and is fine.
+        assert!(PortalConfig::builder()
+            .max_sensors_per_query(None)
+            .build()
+            .is_ok());
+    }
+
+    #[test]
+    fn builder_rejects_nan_staleness() {
+        let err = PortalConfig::builder()
+            .default_staleness_secs(f64::NAN)
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, PortalConfigError::NonFiniteStaleness(_)));
+    }
+
+    #[test]
+    fn builder_rejects_infinite_staleness() {
+        let err = PortalConfig::builder()
+            .default_staleness_secs(f64::INFINITY)
+            .build()
+            .unwrap_err();
+        assert_eq!(err, PortalConfigError::NonFiniteStaleness(f64::INFINITY));
+    }
+
+    #[test]
+    fn builder_rejects_negative_staleness() {
+        let err = PortalConfig::builder()
+            .default_staleness_secs(-1.0)
+            .build()
+            .unwrap_err();
+        assert_eq!(err, PortalConfigError::NegativeStaleness(-1.0));
+    }
+
+    #[test]
+    fn builder_rejects_zero_execution_slots() {
+        let err = PortalConfig::builder()
+            .admission(AdmissionConfig {
+                max_in_flight: 0,
+                ..Default::default()
+            })
+            .build()
+            .unwrap_err();
+        assert_eq!(err, PortalConfigError::NoExecutionSlots);
+        // An explicit TimeDelta staleness needs no seconds validation.
+        assert!(PortalConfig::builder()
+            .default_staleness(TimeDelta::from_mins(2))
+            .build()
+            .is_ok());
     }
 }

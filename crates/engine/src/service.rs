@@ -1,0 +1,1194 @@
+//! The portal *service*: SensorMap's shared front door.
+//!
+//! Where [`crate::Portal`] is a single-owner facade (`&mut self` per query),
+//! a [`PortalService`] is a cheaply cloneable, `Send + Sync` handle that any
+//! number of client threads drive concurrently through `&self` methods. It
+//! is built from three pieces:
+//!
+//! * **Epoch-published index generations.** The tree + planner pair lives in
+//!   an immutable [`Generation`] behind an `Arc` swapped under a
+//!   `parking_lot::RwLock`. A query clones the `Arc` (one brief read lock)
+//!   and runs entirely against that snapshot; a reindex builds the next
+//!   generation *off the hot path* and swaps the pointer. Readers never
+//!   block on an index build: in-flight queries finish on the generation
+//!   they started with, new arrivals land on the new one — zero reader
+//!   downtime, and no torn mixes of two generations within one answer.
+//! * **Online registration + the reindexer.** [`PortalService::register_sensor`]
+//!   pushes onto a lock-free Treiber stack; [`PortalService::reindex`]
+//!   (explicitly pumped, or driven by a background [`Reindexer`] thread)
+//!   drains it, bulk-builds the grown population, *carries over* every
+//!   still-fresh raw cached reading — slot caches are globally aligned by
+//!   absolute expiry slot, so carried readings expire at exactly the
+//!   boundary they would have without the swap — and publishes the new
+//!   generation.
+//! * **Admission control.** A bounded in-flight counter models the portal's
+//!   request queue: up to [`AdmissionConfig::max_in_flight`] queries execute
+//!   at once, the next [`AdmissionConfig::queue_capacity`] are admitted with
+//!   a modelled queue wait *deducted from their probe-retry deadline budget*
+//!   (the resilient prober's budget machinery — a query that waited in the
+//!   queue has less time left to retry probes), and everything beyond that
+//!   is shed with [`PortalError::Overloaded`]. Shed/queued/served depths are
+//!   recorded in the `colr_service_*` telemetry family.
+//!
+//! Determinism: every interactive query draws a fresh RNG seeded from
+//! `(service seed, query ordinal)` — the same splitmix64 derivation batch
+//! execution has always used — so, for a given generation, the answer to
+//! ordinal `i` does not depend on which thread ran it.
+
+use std::ptr;
+use std::sync::atomic::{AtomicBool, AtomicPtr, AtomicU32, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, OnceLock};
+
+use colr_telemetry::{global, tracer, Counter, Gauge, SpanKind};
+use colr_tree::{
+    AggKind, ClockHandle, ColrConfig, ColrTree, Histogram, LiveAvailability, Mode, ProbeService,
+    Query, QueryOutput, QueryStats, Reading, ResilientProber, SensorId, SensorMeta, TimeDelta,
+    Timestamp,
+};
+use parking_lot::{Mutex, RwLock};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::ast::SelectQuery;
+use crate::error::PortalError;
+use crate::parser::{parse, ParseError};
+use crate::planner::Planner;
+use crate::portal::{BatchResult, DegradationReport, GroupView, PortalConfig, PortalResult};
+
+// ---------------------------------------------------------------------------
+// Telemetry
+// ---------------------------------------------------------------------------
+
+/// Cached handles for the portal-level counters (`colr_portal_*`), shared by
+/// the service and the single-owner wrapper.
+pub(crate) struct PortalTelem {
+    /// Queries answered (interactive and batched).
+    pub(crate) queries: Counter,
+    /// SQL strings that failed to parse.
+    pub(crate) parse_errors: Counter,
+    /// `execute_many` batches run.
+    pub(crate) batches: Counter,
+    /// Queries per batch.
+    pub(crate) batch_size: colr_telemetry::Histogram,
+}
+
+pub(crate) fn portal_telem() -> &'static PortalTelem {
+    static T: OnceLock<PortalTelem> = OnceLock::new();
+    T.get_or_init(|| PortalTelem {
+        queries: global().counter("colr_portal_queries_total"),
+        parse_errors: global().counter("colr_portal_parse_errors_total"),
+        batches: global().counter("colr_portal_batches_total"),
+        batch_size: global().histogram("colr_portal_batch_size"),
+    })
+}
+
+/// Cached handles for the service-level counters (`colr_service_*`).
+struct ServiceTelem {
+    /// Queries admitted and served through a service handle.
+    served: Counter,
+    /// Queries shed by the admission controller.
+    shed: Counter,
+    /// Queries admitted into the wait queue (beyond the execution slots).
+    queued: Counter,
+    /// Index generations published (initial build excluded).
+    reindexes: Counter,
+    /// Sensors registered through service handles.
+    registrations: Counter,
+    /// Cached readings carried across generation swaps.
+    carryover: Counter,
+    /// Current index generation ordinal.
+    generation: Gauge,
+    /// Queries currently in flight (executing + queued).
+    in_flight: Gauge,
+    /// Queue position of each admitted-but-queued query.
+    queue_depth: colr_telemetry::Histogram,
+}
+
+fn service_telem() -> &'static ServiceTelem {
+    static T: OnceLock<ServiceTelem> = OnceLock::new();
+    T.get_or_init(|| ServiceTelem {
+        served: global().counter("colr_service_queries_total"),
+        shed: global().counter("colr_service_shed_total"),
+        queued: global().counter("colr_service_queued_total"),
+        reindexes: global().counter("colr_service_reindexes_total"),
+        registrations: global().counter("colr_service_registrations_total"),
+        carryover: global().counter("colr_service_carryover_readings_total"),
+        generation: global().gauge("colr_service_generation"),
+        in_flight: global().gauge("colr_service_in_flight"),
+        queue_depth: global().histogram("colr_service_queue_depth"),
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Admission control
+// ---------------------------------------------------------------------------
+
+/// Admission-controller tuning: how many queries may execute at once, how
+/// many may wait, and how waiting is charged against their deadline budgets.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AdmissionConfig {
+    /// Queries allowed to execute concurrently before arrivals are queued.
+    pub max_in_flight: usize,
+    /// Bounded wait-queue length; arrivals beyond `max_in_flight +
+    /// queue_capacity` are shed with [`PortalError::Overloaded`].
+    pub queue_capacity: usize,
+    /// Modelled (simulated-time) wait per occupied queue slot ahead of an
+    /// admitted-but-queued query. The total wait is deducted from the
+    /// query's probe-retry deadline budget, so a query that queued long has
+    /// less budget left for retry waves.
+    pub queue_wait_per_slot: TimeDelta,
+    /// Queries whose modelled queue wait would exceed this bound are shed
+    /// instead of admitted (they would arrive at execution with no useful
+    /// deadline budget left).
+    pub max_queue_wait: TimeDelta,
+}
+
+impl Default for AdmissionConfig {
+    fn default() -> Self {
+        AdmissionConfig {
+            max_in_flight: 64,
+            queue_capacity: 256,
+            queue_wait_per_slot: TimeDelta::from_millis(2),
+            max_queue_wait: TimeDelta::from_millis(500),
+        }
+    }
+}
+
+/// RAII in-flight slot: decrements the counter (and the gauge) when the
+/// query finishes, succeeds or not.
+#[derive(Debug)]
+struct InFlightGuard<'a> {
+    counter: &'a AtomicUsize,
+}
+
+impl Drop for InFlightGuard<'_> {
+    fn drop(&mut self) {
+        let after = self.counter.fetch_sub(1, Ordering::AcqRel) - 1;
+        service_telem().in_flight.set(after as i64);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Lock-free registration queue
+// ---------------------------------------------------------------------------
+
+struct RegNode {
+    meta: SensorMeta,
+    next: *mut RegNode,
+}
+
+/// A Treiber stack of pending registrations: multi-producer lock-free
+/// `push`, whole-list `drain` (used only by the reindexer, which swaps the
+/// head and owns everything it detached). No ABA hazard arises because nodes
+/// are never re-linked — a drained node is consumed and freed.
+struct RegistrationQueue {
+    head: AtomicPtr<RegNode>,
+    len: AtomicUsize,
+}
+
+// SAFETY: the raw pointers are only ever (a) published via the atomic head
+// and (b) exclusively owned after a `swap` detaches the whole list.
+unsafe impl Send for RegistrationQueue {}
+unsafe impl Sync for RegistrationQueue {}
+
+impl RegistrationQueue {
+    fn new() -> Self {
+        RegistrationQueue {
+            head: AtomicPtr::new(ptr::null_mut()),
+            len: AtomicUsize::new(0),
+        }
+    }
+
+    fn push(&self, meta: SensorMeta) {
+        let node = Box::into_raw(Box::new(RegNode {
+            meta,
+            next: ptr::null_mut(),
+        }));
+        let mut head = self.head.load(Ordering::Relaxed);
+        loop {
+            // SAFETY: `node` is unpublished until the CAS below succeeds.
+            unsafe { (*node).next = head };
+            match self
+                .head
+                .compare_exchange_weak(head, node, Ordering::Release, Ordering::Relaxed)
+            {
+                Ok(_) => break,
+                Err(h) => head = h,
+            }
+        }
+        self.len.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn len(&self) -> usize {
+        self.len.load(Ordering::Relaxed)
+    }
+
+    /// Detaches and returns the whole list in push order.
+    fn drain(&self) -> Vec<SensorMeta> {
+        let mut cur = self.head.swap(ptr::null_mut(), Ordering::Acquire);
+        let mut out = Vec::new();
+        while !cur.is_null() {
+            // SAFETY: the swap above made this thread the sole owner of the
+            // detached list; each node is consumed exactly once.
+            let node = unsafe { Box::from_raw(cur) };
+            cur = node.next;
+            out.push(node.meta);
+        }
+        self.len.fetch_sub(out.len(), Ordering::Relaxed);
+        out.reverse();
+        out
+    }
+}
+
+impl Drop for RegistrationQueue {
+    fn drop(&mut self) {
+        let _ = self.drain();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Generations
+// ---------------------------------------------------------------------------
+
+/// One published index generation: an immutable-by-convention tree (its
+/// caches stay live — the tree is internally synchronised) plus the planner
+/// derived from its topology, tagged with a monotone ordinal.
+pub struct Generation {
+    tree: ColrTree,
+    planner: Planner,
+    ordinal: u64,
+}
+
+impl Generation {
+    /// The generation's index.
+    pub fn tree(&self) -> &ColrTree {
+        &self.tree
+    }
+
+    /// The generation's planner.
+    pub fn planner(&self) -> &Planner {
+        &self.planner
+    }
+
+    /// Monotone generation counter (0 = the initial build).
+    pub fn ordinal(&self) -> u64 {
+        self.ordinal
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The service
+// ---------------------------------------------------------------------------
+
+struct ServiceCore<P> {
+    probe: P,
+    clock: ClockHandle,
+    current: RwLock<Arc<Generation>>,
+    pending: RegistrationQueue,
+    /// Next dense sensor id to hand out (population + queued registrations).
+    next_sensor_id: AtomicU32,
+    /// Global query ordinal: seeds the per-query RNG.
+    ordinal: AtomicU64,
+    /// Mirror of the published generation's ordinal, readable lock-free.
+    generation_counter: AtomicU64,
+    in_flight: AtomicUsize,
+    closed: AtomicBool,
+    /// Serialises reindex builds (concurrent pumps coalesce, they don't
+    /// race to publish).
+    reindex_lock: Mutex<()>,
+    tree_config: ColrConfig,
+    default_staleness: TimeDelta,
+    mode: Mode,
+    max_sensors_per_query: Option<usize>,
+    admission: AdmissionConfig,
+    seed: u64,
+}
+
+/// A cloneable, thread-safe handle to one shared portal back end. See the
+/// module docs for the architecture; clones share everything (index
+/// generations, clock, probe service, admission state).
+pub struct PortalService<P> {
+    core: Arc<ServiceCore<P>>,
+}
+
+impl<P> Clone for PortalService<P> {
+    fn clone(&self) -> Self {
+        PortalService {
+            core: Arc::clone(&self.core),
+        }
+    }
+}
+
+impl<P: ProbeService> PortalService<P> {
+    /// Builds the initial index generation over `sensors` and wraps it in a
+    /// service handle probing live data through `probe`.
+    pub fn new(sensors: Vec<SensorMeta>, probe: P, config: PortalConfig) -> PortalService<P> {
+        let population = sensors.len() as u32;
+        let tree = ColrTree::build(sensors, config.tree.clone(), config.seed);
+        let planner = Planner::new(&tree, config.default_staleness);
+        let generation = Arc::new(Generation {
+            tree,
+            planner,
+            ordinal: 0,
+        });
+        service_telem().generation.set(0);
+        PortalService {
+            core: Arc::new(ServiceCore {
+                probe,
+                clock: ClockHandle::new(),
+                current: RwLock::new(generation),
+                pending: RegistrationQueue::new(),
+                next_sensor_id: AtomicU32::new(population),
+                ordinal: AtomicU64::new(0),
+                generation_counter: AtomicU64::new(0),
+                in_flight: AtomicUsize::new(0),
+                closed: AtomicBool::new(false),
+                reindex_lock: Mutex::new(()),
+                tree_config: config.tree,
+                default_staleness: config.default_staleness,
+                mode: config.mode,
+                max_sensors_per_query: config.max_sensors_per_query,
+                admission: config.admission,
+                seed: config.seed,
+            }),
+        }
+    }
+
+    // -- accessors ---------------------------------------------------------
+
+    /// The shared simulation clock (advance it from any thread).
+    pub fn clock(&self) -> &ClockHandle {
+        &self.core.clock
+    }
+
+    /// Current simulated instant.
+    pub fn now(&self) -> Timestamp {
+        self.core.clock.now()
+    }
+
+    /// The probe service.
+    pub fn probe(&self) -> &P {
+        &self.core.probe
+    }
+
+    /// The currently published index generation. The snapshot stays valid
+    /// (and its caches stay live) for as long as the `Arc` is held, even
+    /// across subsequent swaps.
+    pub fn snapshot(&self) -> Arc<Generation> {
+        self.core.current.read().clone()
+    }
+
+    /// The published generation ordinal, without touching the publication
+    /// lock (monotone; starts at 0).
+    pub fn generation(&self) -> u64 {
+        self.core.generation_counter.load(Ordering::Acquire)
+    }
+
+    /// Queries currently in flight (executing + queued).
+    pub fn in_flight(&self) -> usize {
+        self.core.in_flight.load(Ordering::Acquire)
+    }
+
+    /// Closes the front door: every subsequent query returns
+    /// [`PortalError::Closed`]. In-flight queries finish normally.
+    pub fn close(&self) {
+        self.core.closed.store(true, Ordering::Release);
+    }
+
+    /// `true` once [`PortalService::close`] has been called.
+    pub fn is_closed(&self) -> bool {
+        self.core.closed.load(Ordering::Acquire)
+    }
+
+    // -- registration & reindexing ----------------------------------------
+
+    /// Registers a new publisher (Section III-A), lock-free. The sensor
+    /// becomes queryable after the next [`PortalService::reindex`] —
+    /// COLR-Tree is bulk-built, so registrations accumulate and the
+    /// reindexer folds them in, exactly as the paper prescribes for
+    /// location changes.
+    pub fn register_sensor(
+        &self,
+        location: colr_geo::Point,
+        expiry: TimeDelta,
+        availability: f64,
+        kind: u16,
+    ) -> SensorId {
+        let id = self.core.next_sensor_id.fetch_add(1, Ordering::Relaxed);
+        let meta = SensorMeta::new(id, location, expiry, availability).with_kind(kind);
+        self.core.pending.push(meta);
+        service_telem().registrations.inc();
+        meta.id
+    }
+
+    /// Number of registrations awaiting the next reindex.
+    pub fn pending_registrations(&self) -> usize {
+        self.core.pending.len()
+    }
+
+    /// Builds and publishes the next index generation *online*: drains the
+    /// pending registrations, bulk-builds the grown population off the hot
+    /// path, carries still-fresh cached readings across (globally aligned
+    /// slotting means they expire at the same instants they would have
+    /// without the swap), and atomically swaps the published generation.
+    /// Queries running against the old generation finish undisturbed.
+    /// Returns the new population size.
+    pub fn reindex(&self) -> usize {
+        self.reindex_inner(true)
+    }
+
+    /// [`PortalService::reindex`] without the cache carry-over — every cache
+    /// in the new generation starts cold (the paper's offline batch
+    /// reconstruction, kept for [`crate::Portal::rebuild_index`]).
+    pub fn reindex_discarding(&self) -> usize {
+        self.reindex_inner(false)
+    }
+
+    fn reindex_inner(&self, carry_over: bool) -> usize {
+        let core = &*self.core;
+        let _build = core.reindex_lock.lock();
+        let old = self.snapshot();
+        let mut sensors = old.tree.sensors().to_vec();
+        // Ids are allocated by fetch_add *before* the queue push, so a
+        // concurrent registration can be mid-publication. Fold in the
+        // contiguous id prefix; anything after a gap waits for the next
+        // reindex.
+        let mut pending = core.pending.drain();
+        pending.sort_by_key(|m| m.id.index());
+        let mut leftovers = Vec::new();
+        for meta in pending {
+            if leftovers.is_empty() && meta.id.index() == sensors.len() {
+                sensors.push(meta);
+            } else {
+                leftovers.push(meta);
+            }
+        }
+        for meta in leftovers {
+            core.pending.push(meta);
+        }
+        let n = sensors.len();
+        let tree = ColrTree::build(sensors, core.tree_config.clone(), core.seed ^ n as u64);
+        let now = core.clock.now();
+        tree.advance(now);
+        if carry_over {
+            let carried = tree.restore_entries(&old.tree.cached_entries(), now);
+            service_telem().carryover.add(carried as u64);
+        }
+        let planner = Planner::new(&tree, core.default_staleness);
+        let next_ordinal = old.ordinal + 1;
+        let next = Arc::new(Generation {
+            tree,
+            planner,
+            ordinal: next_ordinal,
+        });
+        *core.current.write() = next;
+        core.generation_counter
+            .store(next_ordinal, Ordering::Release);
+        let t = service_telem();
+        t.reindexes.inc();
+        t.generation.set(next_ordinal as i64);
+        n
+    }
+
+    // -- admission ---------------------------------------------------------
+
+    /// Admits or sheds one query. On admission, returns the RAII in-flight
+    /// slot and the modelled queue wait to charge against the query's
+    /// deadline budget.
+    fn admit(&self) -> Result<(InFlightGuard<'_>, TimeDelta), PortalError> {
+        let core = &*self.core;
+        if core.closed.load(Ordering::Acquire) {
+            return Err(PortalError::Closed);
+        }
+        let t = service_telem();
+        let prior = core.in_flight.fetch_add(1, Ordering::AcqRel);
+        // The guard is armed immediately so every early return decrements.
+        let guard = InFlightGuard {
+            counter: &core.in_flight,
+        };
+        t.in_flight.set((prior + 1) as i64);
+        let a = &core.admission;
+        if prior < a.max_in_flight {
+            return Ok((guard, TimeDelta::ZERO));
+        }
+        let depth = prior - a.max_in_flight + 1;
+        if depth > a.queue_capacity {
+            t.shed.inc();
+            return Err(PortalError::Overloaded { in_flight: prior });
+        }
+        let wait = a.queue_wait_per_slot.mul_f64(depth as f64);
+        if wait > a.max_queue_wait {
+            t.shed.inc();
+            return Err(PortalError::Overloaded { in_flight: prior });
+        }
+        t.queued.inc();
+        t.queue_depth.observe(depth as u64);
+        Ok((guard, wait))
+    }
+
+    // -- queries -----------------------------------------------------------
+
+    /// Parses and executes a dialect SQL query. Concurrent-safe: any number
+    /// of handles may call this at once.
+    pub fn query_sql(&self, sql: &str) -> Result<PortalResult, PortalError> {
+        let parsed = self.parse_traced(sql)?;
+        self.query(&parsed)
+    }
+
+    /// Executes a parsed query against the current generation snapshot,
+    /// under admission control, with an RNG derived from `(seed, ordinal)`.
+    pub fn query(&self, q: &SelectQuery) -> Result<PortalResult, PortalError> {
+        let ordinal = self.core.ordinal.fetch_add(1, Ordering::Relaxed);
+        let (_slot, queue_wait) = self.admit()?;
+        let gen = self.snapshot();
+        let mut rng = StdRng::seed_from_u64(derive_seed(self.core.seed, ordinal));
+        service_telem().served.inc();
+        Ok(self.run_with_rng(&gen, q, &mut rng, queue_wait))
+    }
+
+    /// Parses a dialect query and describes its physical plan without
+    /// executing it (the portal's `EXPLAIN`).
+    pub fn explain_sql(&self, sql: &str) -> Result<String, PortalError> {
+        let parsed = parse(sql)?;
+        Ok(self.snapshot().planner.explain(&parsed))
+    }
+
+    /// Executes a batch of parsed queries against one generation snapshot,
+    /// fanning out over `threads` workers, under admission control (the
+    /// batch occupies one admission slot; its queries run frozen against the
+    /// snapshot with per-index derived seeds, exactly as
+    /// [`crate::Portal::execute_many`] always has).
+    pub fn execute_many(
+        &self,
+        queries: &[SelectQuery],
+        threads: usize,
+    ) -> Result<BatchResult, PortalError>
+    where
+        P: Sync,
+    {
+        let (_slot, _queue_wait) = self.admit()?;
+        let gen = self.snapshot();
+        service_telem().served.inc();
+        Ok(self.execute_many_with(&gen, queries, threads))
+    }
+
+    /// Parses and executes a batch of dialect SQL queries via
+    /// [`PortalService::execute_many`]. Fails fast on the first parse error.
+    pub fn query_many_sql(&self, sqls: &[&str], threads: usize) -> Result<BatchResult, PortalError>
+    where
+        P: Sync,
+    {
+        let parsed: Vec<SelectQuery> = sqls
+            .iter()
+            .map(|s| self.parse_traced(s))
+            .collect::<Result<_, _>>()?;
+        self.execute_many(&parsed, threads)
+    }
+
+    // -- shared execution internals (also used by the Portal wrapper) ------
+
+    /// Parses one SQL string, recording a `parse` span (timestamped on the
+    /// simulation clock so traces are reproducible) and counting failures.
+    pub(crate) fn parse_traced(&self, sql: &str) -> Result<SelectQuery, ParseError> {
+        let at_us = self.core.clock.now().0 * 1_000;
+        match parse(sql) {
+            Ok(q) => {
+                tracer().record(SpanKind::Parse, at_us, 0, sql.len() as u64);
+                Ok(q)
+            }
+            Err(e) => {
+                portal_telem().parse_errors.inc();
+                Err(e)
+            }
+        }
+    }
+
+    /// Interactive execution against `gen` with a caller-supplied RNG;
+    /// `queue_wait` is deducted from the probe deadline budget.
+    pub(crate) fn run_with_rng(
+        &self,
+        gen: &Generation,
+        q: &SelectQuery,
+        rng: &mut StdRng,
+        queue_wait: TimeDelta,
+    ) -> PortalResult {
+        let core = &*self.core;
+        let now = core.clock.now();
+        let mut plan = self.plan_capped(gen, q);
+        plan.probe_deadline = plan.probe_deadline - queue_wait;
+        tracer().record(SpanKind::Plan, now.0 * 1_000, 0, 1);
+        portal_telem().queries.inc();
+        let requested = self.requested_target(&plan);
+        let out = gen.tree.execute(&plan, core.mode, &core.probe, now, rng);
+        self.finish(gen, q.agg.kind(), requested, out)
+    }
+
+    /// The batch executor behind both [`PortalService::execute_many`] and
+    /// [`crate::Portal::execute_many`]: every query runs frozen against the
+    /// cache snapshot taken at batch start, with its own RNG seeded from
+    /// `(seed, query index)`; probe write-backs are applied afterwards in
+    /// query-index order, so results are independent of the thread count and
+    /// of scheduling.
+    pub(crate) fn execute_many_with(
+        &self,
+        gen: &Generation,
+        queries: &[SelectQuery],
+        threads: usize,
+    ) -> BatchResult
+    where
+        P: Sync,
+    {
+        let core = &*self.core;
+        let now = core.clock.now();
+        gen.tree.advance(now);
+        let plans: Vec<(Query, AggKind)> = queries
+            .iter()
+            .map(|q| (self.plan_capped(gen, q), q.agg.kind()))
+            .collect();
+        let telem = portal_telem();
+        telem.batches.inc();
+        telem.batch_size.observe(plans.len() as u64);
+        telem.queries.add(plans.len() as u64);
+        tracer().record(SpanKind::Plan, now.0 * 1_000, 0, plans.len() as u64);
+
+        let threads = if threads == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        } else {
+            threads
+        }
+        .min(plans.len().max(1));
+        let tree = &gen.tree;
+        let probe = &core.probe;
+        let mode = core.mode;
+        let seed = core.seed;
+        let run_query = |i: usize| {
+            let mut rng = StdRng::seed_from_u64(derive_seed(seed, i as u64));
+            tree.execute_frozen(&plans[i].0, mode, probe, now, &mut rng)
+        };
+
+        let outcomes: Vec<Option<FrozenOutcome>> = if threads <= 1 {
+            (0..plans.len()).map(|i| Some(run_query(i))).collect()
+        } else {
+            // Work-stealing by shared index: each worker claims the next
+            // unprocessed query until the batch is drained.
+            let next = AtomicUsize::new(0);
+            let slots: Vec<Mutex<Option<FrozenOutcome>>> =
+                plans.iter().map(|_| Mutex::new(None)).collect();
+            std::thread::scope(|scope| {
+                for _ in 0..threads {
+                    scope.spawn(|| loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= plans.len() {
+                            break;
+                        }
+                        let out = run_query(i);
+                        *slots[i].lock() = Some(out);
+                    });
+                }
+            });
+            slots.into_iter().map(|s| s.into_inner()).collect()
+        };
+
+        // Deferred write-backs land in query-index order, so the post-batch
+        // cache state matches a sequential run of the same batch.
+        let mut stats = QueryStats::default();
+        let mut readings_applied = 0;
+        let mut results = Vec::with_capacity(plans.len());
+        let mut degradation = DegradationReport::default();
+        for ((plan, kind), outcome) in plans.iter().zip(outcomes) {
+            let (out, deferred) = outcome.expect("worker completed");
+            readings_applied += gen.tree.apply_readings(&deferred, now);
+            stats.merge(&out.stats);
+            let requested = self.requested_target(plan);
+            let result = self.finish(gen, *kind, requested, out);
+            degradation.absorb(&result.degradation);
+            results.push(result);
+        }
+        // Batch span: duration is the modelled critical path — the slowest
+        // single query, since the batch fans out across workers.
+        let dur_ms = results.iter().map(|r| r.latency_ms).fold(0.0f64, f64::max);
+        tracer().record(
+            SpanKind::Batch,
+            now.0 * 1_000,
+            (dur_ms * 1_000.0) as u64,
+            results.len() as u64,
+        );
+        BatchResult {
+            results,
+            stats,
+            readings_applied,
+            degradation,
+        }
+    }
+
+    /// Plans a query, applying the portal-wide collection cap when the query
+    /// didn't choose a sample size.
+    fn plan_capped(&self, gen: &Generation, q: &SelectQuery) -> Query {
+        let mut plan: Query = gen.planner.plan(q);
+        if plan.sample_size.is_none() {
+            if let Some(cap) = self.core.max_sensors_per_query {
+                plan = plan.with_sample_size(cap as f64);
+            }
+        }
+        plan
+    }
+
+    /// The sample-size target a plan will aim for, for degradation
+    /// accounting: only the COLR mode samples, the baselines collect
+    /// everything in range.
+    fn requested_target(&self, plan: &Query) -> f64 {
+        if matches!(self.core.mode, Mode::Colr) {
+            plan.sample_size.unwrap_or(0.0)
+        } else {
+            0.0
+        }
+    }
+
+    /// Converts a raw engine output into the portal's result shape.
+    fn finish(
+        &self,
+        gen: &Generation,
+        kind: AggKind,
+        requested: f64,
+        out: QueryOutput,
+    ) -> PortalResult {
+        let groups: Vec<GroupView> = out
+            .groups
+            .iter()
+            .map(|g| GroupView {
+                bbox: g.bbox,
+                count: g.agg.count,
+                value: g.agg.finalize(kind),
+                from_cache: g.from_cache,
+            })
+            .collect();
+        // Distribution: when the index maintains slot histograms, merge the
+        // cache-served group histograms with the raw readings under the
+        // configured binning; otherwise bin the raw readings adaptively.
+        let histogram = if let Some(spec) = gen.tree.config().slot_histograms {
+            let mut h = spec.empty();
+            let mut any = false;
+            for g in &out.groups {
+                if let Some(gh) = &g.hist {
+                    h.merge(gh);
+                    any = true;
+                }
+            }
+            for r in &out.readings {
+                h.insert(r.value);
+                any = true;
+            }
+            any.then_some(h)
+        } else {
+            (!out.readings.is_empty()).then(|| {
+                let (lo, hi) = out
+                    .readings
+                    .iter()
+                    .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), r| {
+                        (lo.min(r.value), hi.max(r.value))
+                    });
+                let hi = if hi > lo { hi + 1e-9 } else { lo + 1.0 };
+                let mut h = Histogram::new(lo, hi, 10);
+                for r in &out.readings {
+                    h.insert(r.value);
+                }
+                h
+            })
+        };
+        let sampled: u64 = out.groups.iter().map(|g| g.agg.count).sum();
+        let degradation = DegradationReport {
+            requested,
+            sampled,
+            breaker_skipped: out.stats.breaker_skipped,
+            deadline_clipped: out.stats.deadline_clipped,
+            probes_retried: out.stats.probes_retried,
+        };
+        PortalResult {
+            groups,
+            value: out.aggregate(kind),
+            histogram,
+            stats: out.stats,
+            latency_ms: out.latency_ms,
+            degradation,
+        }
+    }
+}
+
+impl<Q: ProbeService> PortalService<ResilientProber<Q>> {
+    /// Closes the availability feedback loop for a resilient service: builds
+    /// a [`LiveAvailability`] map over the *current* generation, installs it
+    /// on that generation's tree (so Algorithm 1's oversampling reads live
+    /// means) and on the prober (so every probe outcome trains the
+    /// estimates). Returns the shared map for inspection.
+    ///
+    /// A reindex publishes a fresh tree without a live map (its node
+    /// topology changed); call this again after reindexing to re-enable
+    /// feedback, as with the old rebuild path.
+    pub fn enable_resilience_feedback(&self, alpha: f64) -> Arc<LiveAvailability> {
+        let gen = self.snapshot();
+        let live = gen.tree.enable_live_availability(alpha);
+        self.core.probe.attach_availability(live.clone());
+        live
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Background reindexer
+// ---------------------------------------------------------------------------
+
+/// A detached background reindexer thread: pumps
+/// [`PortalService::reindex`] whenever at least `min_pending` registrations
+/// have accumulated, polling on a (wall-clock) interval. The alternative to
+/// calling `reindex` explicitly; stop (or drop) it to join the thread.
+pub struct Reindexer {
+    stop: Arc<AtomicBool>,
+    handle: Option<std::thread::JoinHandle<u64>>,
+}
+
+impl<P> PortalService<P>
+where
+    P: ProbeService + Send + Sync + 'static,
+{
+    /// Spawns a background thread that reindexes whenever `min_pending`
+    /// registrations are waiting, checking every `poll`.
+    pub fn spawn_reindexer(&self, min_pending: usize, poll: std::time::Duration) -> Reindexer {
+        let service = self.clone();
+        let stop = Arc::new(AtomicBool::new(false));
+        let flag = stop.clone();
+        let handle = std::thread::spawn(move || {
+            let mut pumped = 0u64;
+            while !flag.load(Ordering::Acquire) {
+                if service.pending_registrations() >= min_pending.max(1) {
+                    service.reindex();
+                    pumped += 1;
+                } else {
+                    std::thread::park_timeout(poll);
+                }
+            }
+            pumped
+        });
+        Reindexer {
+            stop,
+            handle: Some(handle),
+        }
+    }
+}
+
+impl Reindexer {
+    /// Stops the background thread and returns how many reindexes it pumped.
+    pub fn stop(mut self) -> u64 {
+        self.shutdown().unwrap_or(0)
+    }
+
+    fn shutdown(&mut self) -> Option<u64> {
+        let handle = self.handle.take()?;
+        self.stop.store(true, Ordering::Release);
+        handle.thread().unpark();
+        handle.join().ok()
+    }
+}
+
+impl Drop for Reindexer {
+    fn drop(&mut self) {
+        let _ = self.shutdown();
+    }
+}
+
+// ---------------------------------------------------------------------------
+
+/// What one frozen query execution produces: its output plus the probe
+/// write-backs deferred until the batch completes.
+type FrozenOutcome = (QueryOutput, Vec<Reading>);
+
+/// Derives the per-query RNG seed for ordinal `i` (splitmix64-style mix of
+/// the service seed and the ordinal, so neighbouring ordinals get
+/// decorrelated streams). Identical to the batch derivation `execute_many`
+/// has always used.
+pub(crate) fn derive_seed(seed: u64, i: u64) -> u64 {
+    let mut z = seed ^ i.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use colr_geo::Point;
+    use colr_tree::probe::AlwaysAvailable;
+
+    const EXPIRY_MS: u64 = 300_000;
+
+    fn grid_sensors(n: usize, side: usize) -> Vec<SensorMeta> {
+        (0..n)
+            .map(|i| {
+                SensorMeta::new(
+                    i as u32,
+                    Point::new((i % side) as f64, (i / side) as f64),
+                    TimeDelta::from_millis(EXPIRY_MS),
+                    1.0,
+                )
+            })
+            .collect()
+    }
+
+    fn service(config: PortalConfig) -> PortalService<AlwaysAvailable> {
+        PortalService::new(
+            grid_sensors(256, 16),
+            AlwaysAvailable {
+                expiry_ms: EXPIRY_MS,
+            },
+            config,
+        )
+    }
+
+    fn hier_service() -> PortalService<AlwaysAvailable> {
+        service(PortalConfig {
+            mode: Mode::HierCache,
+            ..Default::default()
+        })
+    }
+
+    #[test]
+    fn service_handles_are_send_sync_and_share_state() {
+        fn assert_send_sync<T: Send + Sync>(_: &T) {}
+        let svc = hier_service();
+        assert_send_sync(&svc);
+        let other = svc.clone();
+        svc.clock().advance(TimeDelta::from_secs(5));
+        assert_eq!(other.now(), Timestamp(5_000));
+        let res = other
+            .query_sql("SELECT count(*) FROM sensor WHERE location WITHIN RECT(-0.5,-0.5,7.5,7.5)")
+            .expect("query through a clone");
+        assert_eq!(res.value, Some(64.0));
+        // The clone's query warmed the caches the original sees.
+        assert!(svc.snapshot().tree().cached_readings() > 0);
+    }
+
+    #[test]
+    fn queries_take_shared_self_from_many_threads() {
+        let svc = hier_service();
+        svc.clock().advance(TimeDelta::from_secs(1));
+        std::thread::scope(|scope| {
+            for t in 0..8 {
+                let handle = svc.clone();
+                scope.spawn(move || {
+                    let x0 = (t % 4) as f64 * 4.0 - 0.5;
+                    let sql = format!(
+                        "SELECT count(*) FROM sensor WHERE location WITHIN \
+                         RECT({x0}, -0.5, {}, 15.5)",
+                        x0 + 4.0
+                    );
+                    for _ in 0..5 {
+                        handle.query_sql(&sql).expect("concurrent query");
+                    }
+                });
+            }
+        });
+        assert_eq!(svc.in_flight(), 0);
+    }
+
+    #[test]
+    fn registrations_reindex_online_with_carryover() {
+        let svc = hier_service();
+        svc.clock().advance(TimeDelta::from_secs(1));
+        let warm_sql = "SELECT count(*) FROM sensor WHERE location WITHIN RECT(-0.5,-0.5,7.5,7.5)";
+        svc.query_sql(warm_sql).unwrap();
+        let cached_before = svc.snapshot().tree().cached_readings();
+        assert!(cached_before > 0);
+
+        for i in 0..3 {
+            let id = svc.register_sensor(
+                Point::new(105.0 + i as f64, 105.0),
+                TimeDelta::from_mins(5),
+                1.0,
+                0,
+            );
+            assert_eq!(id.index(), 256 + i);
+        }
+        assert_eq!(svc.pending_registrations(), 3);
+        assert_eq!(svc.generation(), 0);
+        assert_eq!(svc.reindex(), 259);
+        assert_eq!(svc.generation(), 1);
+        assert_eq!(svc.pending_registrations(), 0);
+
+        // Carry-over: the warmed readings survived the swap...
+        assert_eq!(svc.snapshot().tree().cached_readings(), cached_before);
+        let warm = svc.query_sql(warm_sql).unwrap();
+        assert_eq!(warm.stats.sensors_probed, 0, "carried cache should serve");
+        // ...and the new population answers.
+        let new_region = svc
+            .query_sql("SELECT count(*) FROM sensor WHERE location WITHIN RECT(100,100,110,110)")
+            .unwrap();
+        assert_eq!(new_region.value, Some(3.0));
+    }
+
+    #[test]
+    fn reindex_discarding_cold_starts_caches() {
+        let svc = hier_service();
+        svc.clock().advance(TimeDelta::from_secs(1));
+        svc.query_sql("SELECT count(*) FROM sensor WHERE location WITHIN RECT(-0.5,-0.5,7.5,7.5)")
+            .unwrap();
+        assert!(svc.snapshot().tree().cached_readings() > 0);
+        svc.reindex_discarding();
+        assert_eq!(svc.snapshot().tree().cached_readings(), 0);
+    }
+
+    #[test]
+    fn old_generation_snapshot_survives_a_swap() {
+        let svc = hier_service();
+        svc.clock().advance(TimeDelta::from_secs(1));
+        let old = svc.snapshot();
+        svc.register_sensor(Point::new(100.0, 100.0), TimeDelta::from_mins(5), 1.0, 0);
+        svc.reindex();
+        assert_eq!(old.ordinal(), 0);
+        assert_eq!(old.tree().sensors().len(), 256);
+        assert_eq!(svc.snapshot().tree().sensors().len(), 257);
+        assert_eq!(svc.snapshot().ordinal(), 1);
+    }
+
+    #[test]
+    fn admission_sheds_beyond_queue_capacity() {
+        let svc = service(PortalConfig {
+            mode: Mode::HierCache,
+            admission: AdmissionConfig {
+                max_in_flight: 1,
+                queue_capacity: 1,
+                ..Default::default()
+            },
+            ..Default::default()
+        });
+        svc.clock().advance(TimeDelta::from_secs(1));
+        // Saturate the execution slot + queue from this thread by holding
+        // fake in-flight slots, then observe the shed.
+        svc.core.in_flight.store(2, Ordering::Release);
+        let err = svc
+            .query_sql("SELECT count(*) FROM sensor WHERE location WITHIN RECT(0,0,1,1)")
+            .unwrap_err();
+        assert_eq!(err, PortalError::Overloaded { in_flight: 2 });
+        svc.core.in_flight.store(0, Ordering::Release);
+        // With the pressure gone the same query is served.
+        assert!(svc
+            .query_sql("SELECT count(*) FROM sensor WHERE location WITHIN RECT(0,0,1,1)")
+            .is_ok());
+    }
+
+    #[test]
+    fn queued_queries_pay_from_their_deadline_budget() {
+        let svc = service(PortalConfig {
+            mode: Mode::HierCache,
+            admission: AdmissionConfig {
+                max_in_flight: 1,
+                queue_capacity: 8,
+                queue_wait_per_slot: TimeDelta::from_millis(100),
+                max_queue_wait: TimeDelta::from_millis(300),
+            },
+            ..Default::default()
+        });
+        // One occupant: the next arrival queues at depth 1 (100 ms of its
+        // budget); at depth 4 the modelled wait exceeds max_queue_wait → shed.
+        svc.core.in_flight.store(1, Ordering::Release);
+        let (_slot, wait) = svc.admit().expect("queued");
+        assert_eq!(wait, TimeDelta::from_millis(100));
+        drop(_slot);
+        svc.core.in_flight.store(4, Ordering::Release);
+        let err = svc.admit().unwrap_err();
+        assert!(err.is_overload());
+        svc.core.in_flight.store(0, Ordering::Release);
+    }
+
+    #[test]
+    fn closed_service_rejects_queries() {
+        let svc = hier_service();
+        svc.clock().advance(TimeDelta::from_secs(1));
+        svc.close();
+        assert!(svc.is_closed());
+        let err = svc
+            .query_sql("SELECT count(*) FROM sensor WHERE location WITHIN RECT(0,0,1,1)")
+            .unwrap_err();
+        assert_eq!(err, PortalError::Closed);
+        assert_eq!(svc.in_flight(), 0);
+    }
+
+    #[test]
+    fn per_ordinal_results_are_deterministic_across_services() {
+        let run = || -> Vec<Option<f64>> {
+            let svc = service(PortalConfig {
+                mode: Mode::Colr,
+                ..Default::default()
+            });
+            svc.clock().advance(TimeDelta::from_secs(1));
+            (0..6)
+                .map(|i| {
+                    let x0 = (i % 3) as f64 * 4.0 - 0.5;
+                    svc.query_sql(&format!(
+                        "SELECT count(*) FROM sensor WHERE location WITHIN \
+                         RECT({x0}, -0.5, {}, 15.5) SAMPLESIZE 20",
+                        x0 + 4.0
+                    ))
+                    .unwrap()
+                    .value
+                })
+                .collect()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn background_reindexer_folds_in_registrations() {
+        let svc = hier_service();
+        svc.clock().advance(TimeDelta::from_secs(1));
+        let reindexer = svc.spawn_reindexer(1, std::time::Duration::from_millis(1));
+        for i in 0..5 {
+            svc.register_sensor(
+                Point::new(50.0 + i as f64, 50.0),
+                TimeDelta::from_mins(5),
+                1.0,
+                0,
+            );
+        }
+        // Wait (wall clock) for the background thread to pump.
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+        while svc.generation() == 0 && std::time::Instant::now() < deadline {
+            std::thread::yield_now();
+        }
+        let pumped = reindexer.stop();
+        assert!(pumped >= 1, "reindexer never pumped");
+        assert!(svc.generation() >= 1);
+        assert_eq!(
+            svc.snapshot().tree().sensors().len() + svc.pending_registrations(),
+            261
+        );
+    }
+
+    #[test]
+    fn registration_queue_is_safe_under_contention() {
+        let q = RegistrationQueue::new();
+        let next = AtomicU32::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                scope.spawn(|| {
+                    for _ in 0..100 {
+                        let id = next.fetch_add(1, Ordering::Relaxed);
+                        q.push(SensorMeta::new(
+                            id,
+                            Point::new(0.0, 0.0),
+                            TimeDelta::from_mins(5),
+                            1.0,
+                        ));
+                    }
+                });
+            }
+        });
+        assert_eq!(q.len(), 800);
+        let mut drained = q.drain();
+        assert_eq!(drained.len(), 800);
+        assert_eq!(q.len(), 0);
+        drained.sort_by_key(|m| m.id.index());
+        for (i, m) in drained.iter().enumerate() {
+            assert_eq!(m.id.index(), i);
+        }
+    }
+}

@@ -3,16 +3,18 @@
 //! The real SensorMap front-end serves many web sessions against one
 //! back-end database. [`SharedPortal`] is a cheaply cloneable, thread-safe
 //! handle around a [`Portal`]: queries serialise on a `parking_lot` mutex
-//! (the index is a single writer — every query may update caches, as in the
-//! paper's SQL Server deployment where the trigger pipeline serialises
-//! maintenance).
+//! (the single-writer model of the paper's SQL Server deployment, where the
+//! trigger pipeline serialises maintenance). For genuinely concurrent
+//! execution — queries proceeding in parallel, not taking turns — prefer
+//! [`crate::PortalService`], which shares the index itself rather than a
+//! lock around the facade.
 
 use std::sync::Arc;
 
 use colr_tree::{ProbeService, TimeDelta, Timestamp};
 use parking_lot::Mutex;
 
-use crate::parser::ParseError;
+use crate::error::PortalError;
 use crate::portal::{Portal, PortalResult};
 
 /// A clone-to-share handle over a portal.
@@ -37,13 +39,13 @@ impl<P: ProbeService> SharedPortal<P> {
     }
 
     /// Parses and executes a dialect query under the portal lock.
-    pub fn query_sql(&self, sql: &str) -> Result<PortalResult, ParseError> {
+    pub fn query_sql(&self, sql: &str) -> Result<PortalResult, PortalError> {
         self.inner.lock().query_sql(sql)
     }
 
     /// Advances the shared simulation clock.
     pub fn advance(&self, delta: TimeDelta) {
-        self.inner.lock().clock_mut().advance(delta);
+        self.inner.lock().clock().advance(delta);
     }
 
     /// Current simulated instant.

@@ -46,7 +46,7 @@ fn main() {
     );
 
     // Cold viewport queries, then the same viewports warm, then a batch.
-    portal.clock_mut().advance(TimeDelta::from_secs(1));
+    portal.clock().advance(TimeDelta::from_secs(1));
     let sqls: Vec<String> = (0..8)
         .map(|i| {
             let x0 = (i % 4) as f64 * 8.0 - 0.5;
@@ -62,11 +62,11 @@ fn main() {
     for sql in &sqls {
         portal.query_sql(sql).expect("cold query");
     }
-    portal.clock_mut().advance(TimeDelta::from_secs(5));
+    portal.clock().advance(TimeDelta::from_secs(5));
     for sql in &sqls {
         portal.query_sql(sql).expect("warm query");
     }
-    portal.clock_mut().advance(TimeDelta::from_secs(5));
+    portal.clock().advance(TimeDelta::from_secs(5));
     let refs: Vec<&str> = sqls.iter().map(String::as_str).collect();
     let batch = portal.query_many_sql(&refs, 4).expect("batch");
     println!(

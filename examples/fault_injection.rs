@@ -67,7 +67,7 @@ fn main() {
     let mut total_skipped = 0u64;
     let mut last_fulfillment = 0.0;
     for i in 0..30 {
-        portal.clock_mut().advance(TimeDelta::from_mins(3));
+        portal.clock().advance(TimeDelta::from_mins(3));
         let res = portal.query_sql(&sql).expect("smoke query runs");
         total_retries += res.degradation.probes_retried;
         total_skipped += res.degradation.breaker_skipped;
@@ -86,6 +86,61 @@ fn main() {
             );
         }
     }
+    // Batch path: the same viewport plus four sub-quadrants in one
+    // `query_many_sql`, whose BatchResult merges per-query degradation and
+    // surfaces the single worst-served query.
+    let (cx, cy) = (
+        (extent.min.x + extent.max.x) / 2.0,
+        (extent.min.y + extent.max.y) / 2.0,
+    );
+    let quadrants = [
+        (extent.min.x, extent.min.y, cx, cy),
+        (cx, extent.min.y, extent.max.x, cy),
+        (extent.min.x, cy, cx, extent.max.y),
+        (cx, cy, extent.max.x, extent.max.y),
+    ];
+    let mut batch_sql: Vec<String> = quadrants
+        .iter()
+        .map(|(x0, y0, x1, y1)| {
+            format!(
+                "SELECT avg(value) FROM sensor WHERE location WITHIN \
+                 RECT({x0}, {y0}, {x1}, {y1}) SAMPLESIZE 60"
+            )
+        })
+        .collect();
+    batch_sql.push(sql.clone());
+    let refs: Vec<&str> = batch_sql.iter().map(String::as_str).collect();
+    portal.clock().advance(TimeDelta::from_mins(3));
+    let batch = portal.query_many_sql(&refs, 4).expect("batch parses");
+    println!(
+        "fault_smoke batch: queries={} sampled={}/{} merged_fulfillment={:.2} \
+         worst_fulfillment={:.2} retried={} breaker_skipped={}",
+        batch.results.len(),
+        batch.degradation.sampled,
+        batch.degradation.requested,
+        batch.degradation.fulfillment(),
+        batch.worst_fulfillment(),
+        batch.degradation.probes_retried,
+        batch.degradation.breaker_skipped,
+    );
+    // The merged report is a fleet-weighted mean, so the worst single query
+    // can never beat it; and under a standing 25% outage the worst viewport
+    // must still be served at a usable level.
+    assert!(
+        batch.worst_fulfillment() <= batch.degradation.fulfillment() + 1e-9,
+        "worst query outperformed the merged mean"
+    );
+    assert!(
+        batch.worst_fulfillment() > 0.3,
+        "worst batch query collapsed: {}",
+        batch.worst_fulfillment()
+    );
+    assert_eq!(
+        batch.degradation.requested,
+        batch.results.iter().map(|r| r.degradation.requested).sum(),
+        "merged report lost a query's probes"
+    );
+
     let truth = portal.probe().inner().true_availabilities(portal.now());
     let gap = live.mean_abs_gap(&truth);
     println!(

@@ -44,7 +44,7 @@ fn main() {
         centre.x + 150.0,
         centre.y + 150.0,
     );
-    portal.clock_mut().advance(TimeDelta::from_secs(5));
+    portal.clock().advance(TimeDelta::from_secs(5));
     let sql = format!(
         "SELECT avg(value) FROM sensor S \
          WHERE S.location WITHIN RECT({x0:.1}, {y0:.1}, {x1:.1}, {y1:.1}) \
@@ -80,7 +80,7 @@ fn main() {
 
     // The user zooms in: smaller CLUSTER → finer groups, cache absorbs most
     // of the second query.
-    portal.clock_mut().advance(TimeDelta::from_secs(20));
+    portal.clock().advance(TimeDelta::from_secs(20));
     let zoomed = format!(
         "SELECT avg(value) FROM sensor \
          WHERE location WITHIN RECT({:.1}, {:.1}, {:.1}, {:.1}) \

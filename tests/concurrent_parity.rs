@@ -152,8 +152,8 @@ fn deterministic_probe_failures_are_thread_count_invariant() {
     for round in 0..3 {
         // Step past the default staleness so every round re-probes and the
         // per-sensor failure ordinals advance.
-        seq.clock_mut().advance(TimeDelta::from_mins(6));
-        par.clock_mut().advance(TimeDelta::from_mins(6));
+        seq.clock().advance(TimeDelta::from_mins(6));
+        par.clock().advance(TimeDelta::from_mins(6));
         let a = seq.execute_many(&batch, 1);
         let b = par.execute_many(&batch, 8);
         assert!(a.stats.probes_failed > 0, "round {round}: no failures");

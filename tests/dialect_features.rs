@@ -39,7 +39,7 @@ fn typed_portal(mode: Mode) -> Portal<AlwaysAvailable> {
 #[test]
 fn type_filter_counts_only_matching_sensors() {
     let mut portal = typed_portal(Mode::RTree);
-    portal.clock_mut().advance(TimeDelta::from_secs(1));
+    portal.clock().advance(TimeDelta::from_secs(1));
     let all = portal
         .query_sql("SELECT count(*) FROM sensor WHERE location WITHIN RECT(-0.5,-0.5,15.5,15.5)")
         .unwrap();
@@ -63,7 +63,7 @@ fn type_filter_counts_only_matching_sensors() {
 #[test]
 fn type_filter_with_sampling_stays_within_type() {
     let mut portal = typed_portal(Mode::Colr);
-    portal.clock_mut().advance(TimeDelta::from_secs(1));
+    portal.clock().advance(TimeDelta::from_secs(1));
     let res = portal
         .query_sql(
             "SELECT count(*) FROM sensor WHERE location WITHIN RECT(-0.5,-0.5,15.5,15.5) \
@@ -87,7 +87,7 @@ fn type_filter_with_sampling_stays_within_type() {
 #[test]
 fn circle_region_through_sql() {
     let mut portal = typed_portal(Mode::RTree);
-    portal.clock_mut().advance(TimeDelta::from_secs(1));
+    portal.clock().advance(TimeDelta::from_secs(1));
     // Circle of radius 2.2 around (8,8): grid points within distance 2.2 —
     // count them explicitly.
     let expected = (0..256)
@@ -109,7 +109,7 @@ fn circle_region_through_sql() {
 #[test]
 fn circle_and_type_compose() {
     let mut portal = typed_portal(Mode::HierCache);
-    portal.clock_mut().advance(TimeDelta::from_secs(1));
+    portal.clock().advance(TimeDelta::from_secs(1));
     let both = portal
         .query_sql(
             "SELECT count(*) FROM sensor WHERE location WITHIN CIRCLE(8, 8, 3.0) AND type = 1",
@@ -127,7 +127,7 @@ fn min_max_aggregates_over_filtered_sets() {
     // AlwaysAvailable reports value == sensor id, so min/max are exactly
     // checkable.
     let mut portal = typed_portal(Mode::RTree);
-    portal.clock_mut().advance(TimeDelta::from_secs(1));
+    portal.clock().advance(TimeDelta::from_secs(1));
     // Row y=0 only: ids 0..16; type 2 = odd x → ids 1,3,...,15.
     let res = portal
         .query_sql(

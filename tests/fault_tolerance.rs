@@ -240,7 +240,7 @@ fn portal_reports_degradation_under_outage() {
                RECT(-0.5, -0.5, 15.5, 15.5) SAMPLESIZE 120";
     let mut last = None;
     for _ in 0..12 {
-        portal.clock_mut().advance(TimeDelta::from_mins(6));
+        portal.clock().advance(TimeDelta::from_mins(6));
         last = Some(portal.query_sql(sql).expect("query runs"));
     }
     let res = last.unwrap();

@@ -46,9 +46,9 @@ const VIEWPORT: &str = "SELECT count(*) FROM sensor WHERE location WITHIN RECT(-
 fn queries_move_the_global_counters() {
     let before = global().snapshot();
     let mut p = portal(Mode::HierCache);
-    p.clock_mut().advance(TimeDelta::from_secs(1));
+    p.clock().advance(TimeDelta::from_secs(1));
     p.query_sql(VIEWPORT).expect("cold");
-    p.clock_mut().advance(TimeDelta::from_secs(1));
+    p.clock().advance(TimeDelta::from_secs(1));
     p.query_sql(VIEWPORT).expect("warm");
     let delta = global().snapshot().diff(&before);
 
@@ -75,7 +75,7 @@ fn queries_move_the_global_counters() {
 fn batch_execution_counts_batches_and_contention_paths() {
     let before = global().snapshot();
     let mut p = portal(Mode::Colr);
-    p.clock_mut().advance(TimeDelta::from_secs(1));
+    p.clock().advance(TimeDelta::from_secs(1));
     let sqls = [VIEWPORT; 6];
     let batch = p.query_many_sql(&sqls, 3).expect("batch");
     assert_eq!(batch.results.len(), 6);
@@ -96,11 +96,11 @@ fn tracer_records_the_query_lifecycle() {
     // and a batch; the drained events must cover the full lifecycle.
     let mut p = portal(Mode::HierCache);
     tracer().drain();
-    p.clock_mut().advance(TimeDelta::from_secs(1));
+    p.clock().advance(TimeDelta::from_secs(1));
     p.query_sql(VIEWPORT).expect("cold");
-    p.clock_mut().advance(TimeDelta::from_secs(1));
+    p.clock().advance(TimeDelta::from_secs(1));
     p.query_sql(VIEWPORT).expect("warm");
-    p.clock_mut().advance(TimeDelta::from_secs(1));
+    p.clock().advance(TimeDelta::from_secs(1));
     p.query_many_sql(&[VIEWPORT], 2).expect("batch");
     let events = tracer().drain();
 
@@ -129,7 +129,7 @@ fn tracer_records_the_query_lifecycle() {
 #[test]
 fn exposition_formats_cover_live_metrics() {
     let mut p = portal(Mode::Colr);
-    p.clock_mut().advance(TimeDelta::from_secs(1));
+    p.clock().advance(TimeDelta::from_secs(1));
     p.query_sql(VIEWPORT).expect("query");
     let snap = global().snapshot();
 

@@ -27,7 +27,7 @@ fn build_portal(mode: Mode, seed: u64) -> Portal<SimNetwork<RandomWalkField>> {
 #[test]
 fn paper_example_query_round_trips() {
     let mut portal = build_portal(Mode::Colr, 1);
-    portal.clock_mut().advance(TimeDelta::from_secs(2));
+    portal.clock().advance(TimeDelta::from_secs(2));
     let res = portal
         .query_sql(
             "SELECT count(*) FROM sensor S \
@@ -53,8 +53,8 @@ fn sampled_count_approximates_full_count() {
     let mut exact = build_portal(Mode::RTree, 2);
     let sql = "SELECT count(*) FROM sensor \
                WHERE location WITHIN RECT(0, 0, 2000, 1500) SAMPLESIZE 50";
-    sampled.clock_mut().advance(TimeDelta::from_secs(2));
-    exact.clock_mut().advance(TimeDelta::from_secs(2));
+    sampled.clock().advance(TimeDelta::from_secs(2));
+    exact.clock().advance(TimeDelta::from_secs(2));
     let s = sampled.query_sql(sql).unwrap();
     let e = exact.query_sql(sql).unwrap(); // RTree ignores sampling
     let full = e.value.unwrap();
@@ -73,9 +73,9 @@ fn repeated_queries_warm_the_cache() {
     let sql = "SELECT avg(value) FROM sensor \
                WHERE location WITHIN RECT(500, 500, 1500, 1200) \
                AND time BETWEEN now()-8 AND now() mins SAMPLESIZE 60";
-    portal.clock_mut().advance(TimeDelta::from_secs(2));
+    portal.clock().advance(TimeDelta::from_secs(2));
     let cold = portal.query_sql(sql).unwrap();
-    portal.clock_mut().advance(TimeDelta::from_secs(10));
+    portal.clock().advance(TimeDelta::from_secs(10));
     let warm = portal.query_sql(sql).unwrap();
     assert!(
         warm.stats.sensors_probed < cold.stats.sensors_probed,
@@ -91,10 +91,10 @@ fn staleness_expires_portal_cache() {
     let sql = "SELECT count(*) FROM sensor \
                WHERE location WITHIN RECT(500, 500, 1500, 1200) \
                AND time BETWEEN now()-1 AND now() mins SAMPLESIZE 60";
-    portal.clock_mut().advance(TimeDelta::from_secs(2));
+    portal.clock().advance(TimeDelta::from_secs(2));
     let first = portal.query_sql(sql).unwrap();
     // 5 minutes later, the 1-minute staleness bound rejects everything.
-    portal.clock_mut().advance(TimeDelta::from_mins(5));
+    portal.clock().advance(TimeDelta::from_mins(5));
     let later = portal.query_sql(sql).unwrap();
     assert!(later.stats.readings_from_cache == 0);
     assert!(later.stats.sensors_probed > 0);
@@ -104,7 +104,7 @@ fn staleness_expires_portal_cache() {
 #[test]
 fn group_counts_sum_to_combined_value() {
     let mut portal = build_portal(Mode::HierCache, 5);
-    portal.clock_mut().advance(TimeDelta::from_secs(2));
+    portal.clock().advance(TimeDelta::from_secs(2));
     let res = portal
         .query_sql("SELECT count(*) FROM sensor WHERE location WITHIN RECT(0, 0, 1000, 1000)")
         .unwrap();
@@ -115,7 +115,7 @@ fn group_counts_sum_to_combined_value() {
 #[test]
 fn probe_counters_visible_through_portal() {
     let mut portal = build_portal(Mode::Colr, 6);
-    portal.clock_mut().advance(TimeDelta::from_secs(2));
+    portal.clock().advance(TimeDelta::from_secs(2));
     portal
         .query_sql(
             "SELECT count(*) FROM sensor WHERE location WITHIN RECT(0,0,2000,1500) SAMPLESIZE 40",

@@ -1,0 +1,246 @@
+//! End-to-end coverage of the online index lifecycle behind
+//! [`PortalService`]:
+//!
+//! (a) **Swap parity under fire.** Eight-plus client threads hammer one
+//!     service handle while the main thread publishes new index generations
+//!     mid-storm. Every answer must equal either the old-generation count
+//!     or the new-generation count — never a torn mix — every query must
+//!     succeed (zero reader downtime), each thread's answers must switch
+//!     from old to new at most once, and the generation counter must be
+//!     monotone from every thread's viewpoint.
+//! (b) **Carry-over expiry alignment.** Slot caches align expiry to global
+//!     absolute slots, so a reading carried across a reindex must expire at
+//!     exactly the slot boundary it would have hit without the swap. A
+//!     reindexed service and an untouched control are stepped through the
+//!     boundary in lockstep and must probe identically at every instant.
+//! (c) **Per-ordinal determinism.** Replaying the same query sequence on a
+//!     freshly built identical service reproduces the same answers,
+//!     because each query's RNG is derived from `(seed, ordinal)`.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+use colr_repro::colr::probe::AlwaysAvailable;
+use colr_repro::colr::{Mode, SensorMeta, TimeDelta};
+use colr_repro::engine::{AdmissionConfig, PortalConfig, PortalService};
+use colr_repro::geo::Point;
+
+const EXPIRY_MS: u64 = 300_000;
+const SIDE: usize = 16;
+const BASE: usize = SIDE * SIDE; // 256
+
+fn grid_sensors() -> Vec<SensorMeta> {
+    (0..BASE)
+        .map(|i| {
+            SensorMeta::new(
+                i as u32,
+                Point::new((i % SIDE) as f64, (i / SIDE) as f64),
+                TimeDelta::from_millis(EXPIRY_MS),
+                1.0,
+            )
+        })
+        .collect()
+}
+
+fn service(mode: Mode) -> PortalService<AlwaysAvailable> {
+    PortalService::new(
+        grid_sensors(),
+        AlwaysAvailable {
+            expiry_ms: EXPIRY_MS,
+        },
+        PortalConfig {
+            mode,
+            // Generous slots so the storm tests exercise swapping, not
+            // shedding (admission behaviour has its own tests).
+            admission: AdmissionConfig {
+                max_in_flight: 1024,
+                queue_capacity: 1024,
+                ..Default::default()
+            },
+            ..Default::default()
+        },
+    )
+}
+
+const FULL_GRID: &str =
+    "SELECT count(*) FROM sensor WHERE location WITHIN RECT(-0.5,-0.5,15.5,15.5)";
+
+#[test]
+fn concurrent_queries_straddle_swaps_without_tearing() {
+    const CLIENTS: usize = 8;
+    const SWAPS: usize = 3;
+    const NEW_PER_SWAP: usize = 4;
+
+    let svc = service(Mode::HierCache);
+    svc.clock().advance(TimeDelta::from_secs(1));
+    let stop = AtomicBool::new(false);
+
+    // Valid answers: 256 before any swap, +4 after each (new sensors are
+    // registered *inside* the queried rect, so a generation's count
+    // identifies it exactly — any other value would be a torn read).
+    let valid: Vec<f64> = (0..=SWAPS)
+        .map(|g| (BASE + g * NEW_PER_SWAP) as f64)
+        .collect();
+
+    std::thread::scope(|scope| {
+        let mut clients = Vec::new();
+        for _ in 0..CLIENTS {
+            let handle = svc.clone();
+            let stop = &stop;
+            clients.push(scope.spawn(move || {
+                let mut answers = Vec::new();
+                let mut generations = Vec::new();
+                while !stop.load(Ordering::Relaxed) {
+                    generations.push(handle.generation());
+                    let res = handle.query_sql(FULL_GRID).expect("zero reader downtime");
+                    answers.push(res.value.expect("count is always defined"));
+                }
+                (answers, generations)
+            }));
+        }
+
+        // The reindex storm: register publishers inside the viewport and
+        // swap generations while the clients run.
+        for swap in 0..SWAPS {
+            std::thread::sleep(std::time::Duration::from_millis(30));
+            for i in 0..NEW_PER_SWAP {
+                svc.register_sensor(
+                    Point::new(3.25 + i as f64 * 0.1, 3.25 + swap as f64 * 0.1),
+                    TimeDelta::from_millis(EXPIRY_MS),
+                    1.0,
+                    0,
+                );
+            }
+            svc.reindex();
+        }
+        std::thread::sleep(std::time::Duration::from_millis(30));
+        stop.store(true, Ordering::Relaxed);
+
+        for client in clients {
+            let (answers, generations) = client.join().expect("client thread panicked");
+            assert!(!answers.is_empty(), "client observed no answers");
+            // Never torn: every answer names exactly one generation.
+            for a in &answers {
+                assert!(valid.contains(a), "torn answer {a}, valid: {valid:?}");
+            }
+            // Per-thread monotone: a later query never sees an older
+            // generation's answer (snapshots only move forward).
+            let mut last = answers[0];
+            for &a in &answers {
+                assert!(a >= last, "answer regressed from {last} to {a}");
+                last = a;
+            }
+            // Generation counter is monotone from every thread.
+            let mut g_last = generations[0];
+            for &g in &generations {
+                assert!(g >= g_last, "generation regressed from {g_last} to {g}");
+                g_last = g;
+            }
+        }
+    });
+
+    assert_eq!(svc.generation(), SWAPS as u64);
+    assert_eq!(svc.in_flight(), 0);
+    // The final population answers through a fresh query too.
+    let final_count = svc.query_sql(FULL_GRID).unwrap().value.unwrap();
+    assert_eq!(final_count, (BASE + SWAPS * NEW_PER_SWAP) as f64);
+}
+
+#[test]
+fn carried_cache_expires_at_the_same_aligned_boundary() {
+    let reindexed = service(Mode::HierCache);
+    let control = service(Mode::HierCache);
+    let warm_rect = "SELECT count(*) FROM sensor WHERE location WITHIN RECT(-0.5,-0.5,7.5,7.5)";
+
+    // Warm both caches at t = 1 s with the same viewport.
+    for svc in [&reindexed, &control] {
+        svc.clock().advance(TimeDelta::from_secs(1));
+        let cold = svc.query_sql(warm_rect).unwrap();
+        assert_eq!(cold.stats.sensors_probed, 64);
+    }
+    let cached = control.snapshot().tree().cached_readings();
+    assert!(cached > 0);
+
+    // Swap generations on one of them mid-lifetime; the control is
+    // untouched. The carried entries keep their original fetch instants.
+    reindexed.clock().advance(TimeDelta::from_secs(149));
+    control.clock().advance(TimeDelta::from_secs(149));
+    reindexed.reindex();
+    assert_eq!(reindexed.generation(), 1);
+    assert_eq!(reindexed.snapshot().tree().cached_readings(), cached);
+
+    // Step both services through the expiry boundary (readings fetched at
+    // t=1 s with a 300 s expiry die just after t=301 s) and demand
+    // identical probe behaviour at every instant: the carried entries must
+    // expire exactly when the control's do — same aligned slot boundary —
+    // not sooner (carry-over reset freshness) or later (leaked lifetime).
+    let mut transitions = Vec::new();
+    for step_secs in [100, 50, 25, 20, 10, 3, 1, 1, 1] {
+        let step = TimeDelta::from_secs(step_secs);
+        reindexed.clock().advance(step);
+        control.clock().advance(step);
+        assert_eq!(reindexed.now(), control.now());
+        let a = reindexed.query_sql(warm_rect).unwrap();
+        let b = control.query_sql(warm_rect).unwrap();
+        assert_eq!(
+            a.stats.sensors_probed,
+            b.stats.sensors_probed,
+            "probe divergence at {}",
+            control.now()
+        );
+        assert_eq!(a.value, b.value);
+        transitions.push(a.stats.sensors_probed);
+    }
+    // The boundary was actually crossed inside the window: warm before,
+    // re-probed after (otherwise this test would vacuously pass).
+    assert!(
+        transitions.contains(&0) && transitions.iter().any(|&p| p > 0),
+        "expiry boundary not exercised: {transitions:?}"
+    );
+}
+
+#[test]
+fn replayed_ordinals_reproduce_answers_exactly() {
+    let run = || -> Vec<Option<f64>> {
+        let svc = service(Mode::Colr);
+        svc.clock().advance(TimeDelta::from_secs(1));
+        let mut answers = Vec::new();
+        for i in 0..10 {
+            let x0 = (i % 3) as f64 * 4.0 - 0.5;
+            let sql = format!(
+                "SELECT count(*) FROM sensor WHERE location WITHIN \
+                 RECT({x0}, -0.5, {}, 15.5) SAMPLESIZE 25",
+                x0 + 4.0
+            );
+            answers.push(svc.query_sql(&sql).unwrap().value);
+        }
+        answers
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn snapshot_held_across_swap_stays_queryable() {
+    // A client that cloned the generation Arc before a swap keeps a fully
+    // working index — the service never tears a snapshot out from under a
+    // reader, it only stops handing it out.
+    let svc = service(Mode::HierCache);
+    svc.clock().advance(TimeDelta::from_secs(1));
+    let old = svc.snapshot();
+    svc.register_sensor(
+        Point::new(3.3, 3.3),
+        TimeDelta::from_millis(EXPIRY_MS),
+        1.0,
+        0,
+    );
+    svc.reindex();
+
+    assert_eq!(old.ordinal(), 0);
+    assert_eq!(old.tree().sensors().len(), BASE);
+    assert_eq!(svc.snapshot().tree().sensors().len(), BASE + 1);
+    // The retired generation still executes queries (via the service's own
+    // front door the answer comes from the new one).
+    assert_eq!(
+        svc.query_sql(FULL_GRID).unwrap().value,
+        Some((BASE + 1) as f64)
+    );
+}
