@@ -39,6 +39,16 @@ cargo run --release --offline -q --example service_storm | grep -q "service_stor
 }
 echo "ci: service storm smoke OK"
 
+# Hot-path parity smoke: the arena fast path must produce bit-identical
+# sample streams to the pointer traversal, across seeds and thread counts.
+cargo test -q --release --offline -p colr-repro --test hotpath_parity
+echo "ci: hot-path parity smoke OK"
+
+# Hot-path throughput gate: warm arena q/s must stay within 10% of the
+# pointer baseline (CPU-time, best-of slices — stable on a shared host).
+cargo run --release --offline -q -p colr-bench --bin throughput -- --quick
+echo "ci: hot-path throughput gate OK"
+
 # Docs gate: rustdoc must build warning-free for every first-party crate
 # (vendored stand-in crates are exempt, hence the explicit -p list).
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --offline -q \

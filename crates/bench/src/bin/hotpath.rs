@@ -1,0 +1,276 @@
+//! Per-layout warm hot-path benchmark: pointer tree vs arena vs Morton.
+//!
+//! The arena rewrite of Algorithm 1 is gated on bit-identical sample streams
+//! (see `tests/hotpath_parity.rs`), so the only thing left to measure is raw
+//! speed. This binary builds the same fleet three ways —
+//!
+//! * `pointer-kmeans` — the original pointer-chasing traversal over the
+//!   k-means bulk-built tree (`HotPathLayout::Pointer`);
+//! * `arena-kmeans`  — the flattened SoA arena over the same tree
+//!   (`HotPathLayout::Arena`, the default);
+//! * `arena-morton`  — the arena over the Morton/Z-order flat-packed
+//!   baseline (`BuildStrategy::Morton`);
+//!
+//! — warms the slot caches with one identical replay, then times the warm
+//! viewport mix single-threaded and at `--threads` workers (best of
+//! `--reps`). Probes cost nothing here (`rtt = 0`): the point is the CPU
+//! cost of traversal, MBR tests, weighted splitting, and cache reads, which
+//! the WAN sleep of the `throughput` benchmark would otherwise mask.
+//!
+//! ```text
+//! hotpath [--sensors N] [--queries N] [--threads N] [--reps N] [--out FILE]
+//! ```
+//!
+//! Writes `BENCH_hotpath.json` with one row per layout plus the headline
+//! `arena_speedup` (arena-kmeans warm q/s over pointer-kmeans warm q/s).
+
+use std::time::Duration;
+
+use colr_bench::hotpath::{
+    cpu_qps, grid_sensors, run, viewport_queries_at, warm_caches, RunResult, WanProbe,
+};
+use colr_sensors::{ConstantField, SimNetwork};
+use colr_tree::{BuildStrategy, ColrConfig, ColrTree, HotPathLayout, Timestamp};
+
+struct Args {
+    sensors: usize,
+    queries: usize,
+    threads: usize,
+    reps: usize,
+    terminal_level: u16,
+    out: String,
+}
+
+fn parse_args() -> Args {
+    // Defaults pick the regime where layout is the variable: a fleet whose
+    // arena fits hot in cache, viewports partitioned to deep terminals
+    // (T = 4), zero-RTT probes. Larger fleets shift time into the shared
+    // slot-cache scans and the layouts converge — measurable via --sensors.
+    let mut args = Args {
+        sensors: 4_096,
+        queries: 400,
+        threads: 2,
+        reps: 5,
+        terminal_level: 4,
+        out: "BENCH_hotpath.json".to_owned(),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--sensors" => {
+                args.sensors = it.next().and_then(|v| v.parse().ok()).expect("--sensors N")
+            }
+            "--queries" => {
+                args.queries = it.next().and_then(|v| v.parse().ok()).expect("--queries N")
+            }
+            "--threads" => {
+                args.threads = it.next().and_then(|v| v.parse().ok()).expect("--threads N")
+            }
+            "--reps" => args.reps = it.next().and_then(|v| v.parse().ok()).expect("--reps N"),
+            "--terminal-level" => {
+                args.terminal_level = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--terminal-level N")
+            }
+            "--out" => args.out = it.next().expect("--out FILE"),
+            other => panic!("unknown flag {other}"),
+        }
+    }
+    args
+}
+
+struct LayoutRow {
+    name: &'static str,
+    build_ms: f64,
+    /// Single-threaded warm q/s in CPU time — the headline number: immune to
+    /// descheduling on a shared host, so layout ratios are trustworthy.
+    cpu_qps: f64,
+    single: RunResult,
+    multi: RunResult,
+}
+
+type Net = WanProbe<SimNetwork<ConstantField>>;
+
+fn main() {
+    let args = parse_args();
+    let (sensors, side) = grid_sensors(args.sensors);
+    let now = Timestamp(1_000);
+    let queries = viewport_queries_at(args.queries, side, 1234, args.terminal_level);
+    let kmeans = BuildStrategy::default();
+    let configs: [(&'static str, HotPathLayout, BuildStrategy); 3] = [
+        ("pointer-kmeans", HotPathLayout::Pointer, kmeans),
+        ("arena-kmeans", HotPathLayout::Arena, kmeans),
+        ("arena-morton", HotPathLayout::Arena, BuildStrategy::Morton),
+    ];
+
+    // Build and warm every layout first, so the timed reps can interleave
+    // across layouts — background-load drift then hits all three equally
+    // instead of biasing whichever happened to run last.
+    let mut setups: Vec<(&'static str, f64, ColrTree, Net)> = Vec::new();
+    for (name, layout, build) in configs {
+        let build_start = std::time::Instant::now();
+        let tree = ColrTree::build(
+            sensors.clone(),
+            ColrConfig {
+                layout,
+                build,
+                ..Default::default()
+            },
+            42,
+        );
+        let build_ms = build_start.elapsed().as_secs_f64() * 1e3;
+        tree.advance(now);
+        let net = WanProbe {
+            inner: SimNetwork::new(
+                sensors.clone(),
+                ConstantField {
+                    base: 0.0,
+                    step: 0.01,
+                },
+                7,
+            ),
+            rtt: Duration::ZERO,
+        };
+        warm_caches(&tree, &net, &queries, now, 5678);
+        // Untimed rehearsal.
+        run(&tree, &net, &queries[..args.queries.min(64)], 1, now, 999);
+        setups.push((name, build_ms, tree, net));
+    }
+
+    let mut best: Vec<[Option<RunResult>; 2]> = (0..setups.len()).map(|_| [None, None]).collect();
+    for rep in 0..args.reps.max(1) {
+        for (ti, &threads) in [1usize, args.threads].iter().enumerate() {
+            // Alternate the visiting order between reps: if the host throttles
+            // CPU progressively within a rep cycle, the penalty lands on both
+            // ends of the layout list and best-of stays fair.
+            let order: Vec<usize> = if rep % 2 == 0 {
+                (0..setups.len()).collect()
+            } else {
+                (0..setups.len()).rev().collect()
+            };
+            for si in order {
+                let (_, _, tree, net) = &setups[si];
+                let r = run(tree, net, &queries, threads, now, 5678);
+                let slot = &mut best[si][ti];
+                if slot
+                    .as_ref()
+                    .is_none_or(|b| r.queries_per_sec > b.queries_per_sec)
+                {
+                    *slot = Some(r);
+                }
+            }
+        }
+    }
+
+    // The headline comparison runs in CPU time, single-threaded, two
+    // alternating passes — descheduling by a busy host doesn't count
+    // against either layout.
+    // Interleaved short slices, best-of per layout: a shared host slows CPU
+    // time itself down (cache pollution, frequency drift), so the best slice
+    // — the one that caught a quiet window — is the closest estimate of the
+    // true cost. Interleaving in rotated order gives every layout the same
+    // shot at the quiet windows.
+    const CPU_REPS: usize = 11;
+    let mut cpu: Vec<f64> = vec![0.0; setups.len()];
+    for rep in 0..CPU_REPS {
+        for k in 0..setups.len() {
+            let si = (rep + k) % setups.len();
+            let (_, _, tree, net) = &setups[si];
+            cpu[si] = cpu[si].max(cpu_qps(tree, net, &queries, now, 5678, 0.25));
+        }
+    }
+
+    let mut rows = Vec::new();
+    for (si, (name, build_ms, _, _)) in setups.iter().enumerate() {
+        let [single, multi] = std::mem::take(&mut best[si]);
+        let (single, multi) = (single.expect("reps >= 1"), multi.expect("reps >= 1"));
+        eprintln!(
+            "{name:<16} build={build_ms:>7.1}ms warm q/s: cpu={:>9.0} 1t={:>9.0} {}t={:>9.0} \
+             probes/q={:.2} hit={:.3} p50={:.4}ms",
+            cpu[si],
+            single.queries_per_sec,
+            args.threads,
+            multi.queries_per_sec,
+            multi.probes_per_query,
+            multi.cache_hit_ratio,
+            multi.p50_latency_ms,
+        );
+        rows.push(LayoutRow {
+            name,
+            build_ms: *build_ms,
+            cpu_qps: cpu[si],
+            single,
+            multi,
+        });
+    }
+
+    let cpu_of = |name: &str| -> f64 {
+        rows.iter()
+            .find(|r| r.name == name)
+            .map(|r| r.cpu_qps)
+            .unwrap_or(0.0)
+    };
+    let speedup_cpu = cpu_of("arena-kmeans") / cpu_of("pointer-kmeans");
+    let qps = |name: &str, pick: fn(&LayoutRow) -> &RunResult| -> f64 {
+        rows.iter()
+            .find(|r| r.name == name)
+            .map(|r| pick(r).queries_per_sec)
+            .unwrap_or(0.0)
+    };
+    let speedup_1t = qps("arena-kmeans", |r| &r.single) / qps("pointer-kmeans", |r| &r.single);
+    let speedup_mt = qps("arena-kmeans", |r| &r.multi) / qps("pointer-kmeans", |r| &r.multi);
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"benchmark\": \"hotpath_layouts\",\n");
+    json.push_str(&format!("  \"sensors\": {},\n", args.sensors));
+    json.push_str(&format!("  \"queries_per_run\": {},\n", args.queries));
+    json.push_str(&format!("  \"reps_best_of\": {},\n", args.reps));
+    json.push_str(&format!("  \"terminal_level\": {},\n", args.terminal_level));
+    json.push_str(
+        "  \"mode\": \"Colr\",\n  \"workload\": \"seeded warm viewports, R=64, zero-RTT probes (pure CPU)\",\n",
+    );
+    json.push_str("  \"layouts\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"layout\": \"{}\", \"build_ms\": {:.1}, \
+             \"warm_qps_cpu_time\": {:.1}, \
+             \"warm_qps_1_thread\": {:.1}, \"warm_qps_{}_threads\": {:.1}, \
+             \"probes_per_query\": {:.3}, \"cache_hit_ratio\": {:.4}, \
+             \"p50_latency_ms\": {:.4}, \"p99_latency_ms\": {:.4}}}{}\n",
+            r.name,
+            r.build_ms,
+            r.cpu_qps,
+            r.single.queries_per_sec,
+            args.threads,
+            r.multi.queries_per_sec,
+            r.multi.probes_per_query,
+            r.multi.cache_hit_ratio,
+            r.multi.p50_latency_ms,
+            r.multi.p99_latency_ms,
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ],\n");
+    json.push_str(&format!(
+        "  \"arena_speedup_vs_pointer_cpu_time\": {speedup_cpu:.3},\n"
+    ));
+    json.push_str(&format!(
+        "  \"arena_speedup_vs_pointer_1_thread\": {speedup_1t:.3},\n"
+    ));
+    json.push_str(&format!(
+        "  \"arena_speedup_vs_pointer_{}_threads\": {speedup_mt:.3}\n",
+        args.threads
+    ));
+    json.push_str("}\n");
+    std::fs::write(&args.out, &json).expect("write BENCH_hotpath.json");
+    eprintln!(
+        "wrote {} (arena vs pointer: {:.3}x cpu, {:.3}x @1t, {:.3}x @{}t)",
+        args.out, speedup_cpu, speedup_1t, speedup_mt, args.threads
+    );
+    if speedup_cpu <= 1.0 {
+        eprintln!("WARNING: arena layout did not beat the pointer layout in CPU time");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,296 @@
+//! Shared harness for the raw-speed benchmarks (the `throughput` and
+//! `hotpath` binaries): a seeded viewport workload over a sensor grid, a
+//! simulated-WAN probe wrapper, and a frozen-snapshot measurement loop whose
+//! per-query seeds match `Portal::execute_many` — so every layout and thread
+//! count executes the identical sampling work and the comparison is pure
+//! scheduling plus memory layout.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use colr_geo::Rect;
+use colr_tree::{ColrTree, Mode, Query, SensorMeta, TimeDelta, Timestamp};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Reading lifetime shared by every sensor in the benchmark fleets.
+pub const EXPIRY: TimeDelta = TimeDelta::from_mins(10);
+
+/// Wraps a probe service with a simulated wide-area round-trip: each
+/// non-empty batch blocks the issuing worker for `rtt` before the simulated
+/// network answers, without holding any lock — concurrent clients overlap
+/// their waits.
+pub struct WanProbe<P> {
+    pub inner: P,
+    pub rtt: Duration,
+}
+
+impl<P: colr_tree::ProbeService> colr_tree::ProbeService for WanProbe<P> {
+    fn probe_batch(
+        &self,
+        ids: &[colr_tree::SensorId],
+        now: Timestamp,
+    ) -> Vec<Option<colr_tree::Reading>> {
+        if !ids.is_empty() && !self.rtt.is_zero() {
+            std::thread::sleep(self.rtt);
+        }
+        self.inner.probe_batch(ids, now)
+    }
+}
+
+/// A `side × side` grid fleet of always-available sensors.
+pub fn grid_sensors(n: usize) -> (Vec<SensorMeta>, usize) {
+    let side = (n as f64).sqrt().ceil() as usize;
+    let sensors = (0..n)
+        .map(|i| {
+            SensorMeta::new(
+                i as u32,
+                colr_geo::Point::new((i % side) as f64, (i / side) as f64),
+                EXPIRY,
+                1.0,
+            )
+        })
+        .collect();
+    (sensors, side)
+}
+
+/// Seeded viewport mix: square viewports of 8..=24 cells, uniform positions,
+/// sampled at R = 64 — the SensorMap "map pan" workload.
+pub fn viewport_queries(n: usize, side: usize, seed: u64) -> Vec<Query> {
+    viewport_queries_at(n, side, seed, 2)
+}
+
+/// [`viewport_queries`] with an explicit terminal level `T`. Deeper
+/// terminals shift work from the cache scan into traversal and weighted
+/// partitioning — the axis the hot-path layout benchmark sweeps.
+pub fn viewport_queries_at(n: usize, side: usize, seed: u64, terminal_level: u16) -> Vec<Query> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            let w = rng.random_range(8..=24) as f64;
+            let x0 = rng.random_range(0.0..(side as f64 - w).max(1.0));
+            let y0 = rng.random_range(0.0..(side as f64 - w).max(1.0));
+            Query::range(
+                Rect::from_coords(x0 - 0.5, y0 - 0.5, x0 + w + 0.5, y0 + w + 0.5),
+                EXPIRY,
+            )
+            .with_terminal_level(terminal_level)
+            .with_sample_size(64.0)
+        })
+        .collect()
+}
+
+/// Same per-query seed derivation as `Portal::execute_many`.
+pub fn derive_seed(seed: u64, i: u64) -> u64 {
+    let mut z = seed ^ i.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// One timed frozen-snapshot run at a fixed thread count.
+pub struct RunResult {
+    pub threads: usize,
+    pub queries_per_sec: f64,
+    pub probes_per_query: f64,
+    /// Fraction of answer readings served from the slot caches rather than
+    /// live probes: `from_cache / (from_cache + probed)`.
+    pub cache_hit_ratio: f64,
+    /// Mean probe waves per query (primary dispatch waves plus retry waves) —
+    /// each wave is one WAN round-trip on the critical path.
+    pub probe_waves_per_query: f64,
+    /// Mean retried probes per query.
+    pub retries_per_query: f64,
+    /// Mean modelled retry backoff spent per query, ms.
+    pub retry_backoff_ms_per_query: f64,
+    pub p50_latency_ms: f64,
+    pub p95_latency_ms: f64,
+    pub p99_latency_ms: f64,
+}
+
+/// Drives `queries` through `threads` workers against one shared frozen
+/// snapshot, deriving each query's RNG from (`seed`, index) exactly as
+/// `Portal::execute_many` does, and reports throughput plus latency
+/// percentiles and per-query probe/cache/wave averages.
+pub fn run<P: colr_tree::ProbeService + Sync>(
+    tree: &ColrTree,
+    probe: &P,
+    queries: &[Query],
+    threads: usize,
+    now: Timestamp,
+    seed: u64,
+) -> RunResult {
+    let next = AtomicUsize::new(0);
+    let probes = AtomicU64::new(0);
+    let from_cache = AtomicU64::new(0);
+    let waves = AtomicU64::new(0);
+    let retries = AtomicU64::new(0);
+    let backoff_ms = AtomicU64::new(0);
+    let latencies: Mutex<Vec<u64>> = Mutex::new(Vec::with_capacity(queries.len()));
+    let wall = Instant::now();
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| {
+                let mut local = Vec::with_capacity(queries.len() / threads + 1);
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= queries.len() {
+                        break;
+                    }
+                    let mut rng = StdRng::seed_from_u64(derive_seed(seed, i as u64));
+                    let start = Instant::now();
+                    let (out, _deferred) =
+                        tree.execute_frozen(&queries[i], Mode::Colr, probe, now, &mut rng);
+                    local.push(start.elapsed().as_nanos() as u64);
+                    probes.fetch_add(out.stats.sensors_probed, Ordering::Relaxed);
+                    from_cache.fetch_add(out.stats.readings_from_cache, Ordering::Relaxed);
+                    waves.fetch_add(out.stats.probe_waves, Ordering::Relaxed);
+                    retries.fetch_add(out.stats.probes_retried, Ordering::Relaxed);
+                    backoff_ms.fetch_add(out.stats.retry_backoff_ms, Ordering::Relaxed);
+                }
+                latencies.lock().expect("latency sink").extend(local);
+            });
+        }
+    });
+    let elapsed = wall.elapsed().as_secs_f64();
+    let mut lat = latencies.into_inner().expect("latency sink");
+    lat.sort_unstable();
+    let pct = |p: f64| -> f64 {
+        if lat.is_empty() {
+            return 0.0;
+        }
+        let idx = ((lat.len() as f64 - 1.0) * p).round() as usize;
+        lat[idx] as f64 / 1e6
+    };
+    let probed = probes.load(Ordering::Relaxed);
+    let cached = from_cache.load(Ordering::Relaxed);
+    let nq = queries.len() as f64;
+    RunResult {
+        threads,
+        queries_per_sec: nq / elapsed,
+        probes_per_query: probed as f64 / nq,
+        cache_hit_ratio: if probed + cached == 0 {
+            0.0
+        } else {
+            cached as f64 / (probed + cached) as f64
+        },
+        probe_waves_per_query: waves.load(Ordering::Relaxed) as f64 / nq,
+        retries_per_query: retries.load(Ordering::Relaxed) as f64 / nq,
+        retry_backoff_ms_per_query: backoff_ms.load(Ordering::Relaxed) as f64 / nq,
+        p50_latency_ms: pct(0.50),
+        p95_latency_ms: pct(0.95),
+        p99_latency_ms: pct(0.99),
+    }
+}
+
+/// Process CPU time (user + system) in seconds, read from `/proc/self/stat`.
+/// Returns `None` off Linux or if the file is unreadable. Granularity is one
+/// clock tick (10ms at the conventional `USER_HZ` of 100), so accumulate at
+/// least a few hundred ms of work between readings.
+pub fn process_cpu_seconds() -> Option<f64> {
+    let stat = std::fs::read_to_string("/proc/self/stat").ok()?;
+    // The comm field may contain spaces; everything positional starts after
+    // the closing paren. utime and stime are overall fields 14 and 15, i.e.
+    // indices 11 and 12 of the post-paren split.
+    let (_, after) = stat.rsplit_once(')')?;
+    let fields: Vec<&str> = after.split_whitespace().collect();
+    let utime: f64 = fields.get(11)?.parse().ok()?;
+    let stime: f64 = fields.get(12)?.parse().ok()?;
+    const USER_HZ: f64 = 100.0;
+    Some((utime + stime) / USER_HZ)
+}
+
+/// Single-threaded warm queries/sec measured in *CPU time*, not wall time:
+/// replays the batch until at least `min_cpu_s` of CPU has accumulated (and
+/// at least three full passes), then divides queries executed by CPU spent.
+/// On a shared, throttled host this is far more stable than wall clock —
+/// descheduled time simply doesn't count. Falls back to wall time when no
+/// CPU clock is available.
+pub fn cpu_qps<P: colr_tree::ProbeService>(
+    tree: &ColrTree,
+    probe: &P,
+    queries: &[Query],
+    now: Timestamp,
+    seed: u64,
+    min_cpu_s: f64,
+) -> f64 {
+    let wall = Instant::now();
+    let cpu0 = process_cpu_seconds();
+    let mut passes = 0u64;
+    let spent = loop {
+        for (i, q) in queries.iter().enumerate() {
+            let mut rng = StdRng::seed_from_u64(derive_seed(seed, i as u64));
+            let _ = tree.execute_frozen(q, Mode::Colr, probe, now, &mut rng);
+        }
+        passes += 1;
+        let spent = match (cpu0, process_cpu_seconds()) {
+            (Some(a), Some(b)) => b - a,
+            _ => wall.elapsed().as_secs_f64(),
+        };
+        if spent >= min_cpu_s && passes >= 3 {
+            break spent;
+        }
+    };
+    (passes * queries.len() as u64) as f64 / spent
+}
+
+/// Warms the slot caches: replays the whole batch once against the frozen
+/// snapshot (same derived seeds as the timed runs) and applies the deferred
+/// write-backs, so a subsequent `run` measures the warm hot path.
+pub fn warm_caches<P: colr_tree::ProbeService>(
+    tree: &ColrTree,
+    probe: &P,
+    queries: &[Query],
+    now: Timestamp,
+    seed: u64,
+) {
+    let mut deferred = Vec::new();
+    for (i, q) in queries.iter().enumerate() {
+        let mut rng = StdRng::seed_from_u64(derive_seed(seed, i as u64));
+        let (_, d) = tree.execute_frozen(q, Mode::Colr, probe, now, &mut rng);
+        deferred.extend(d);
+    }
+    tree.apply_readings(&deferred, now);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use colr_sensors::{ConstantField, SimNetwork};
+    use colr_tree::ColrConfig;
+
+    #[test]
+    fn warm_run_hits_caches_and_counts_waves_cold() {
+        let (sensors, side) = grid_sensors(1_024);
+        let tree = ColrTree::build(sensors.clone(), ColrConfig::default(), 7);
+        let now = Timestamp(1_000);
+        tree.advance(now);
+        let net = WanProbe {
+            inner: SimNetwork::new(
+                sensors,
+                ConstantField {
+                    base: 0.0,
+                    step: 0.01,
+                },
+                7,
+            ),
+            rtt: Duration::ZERO,
+        };
+        let queries = viewport_queries(40, side, 11);
+        let cold = run(&tree, &net, &queries, 2, now, 5);
+        assert!(cold.cache_hit_ratio < 0.5, "cold run should mostly probe");
+        assert!(
+            cold.probe_waves_per_query > 0.0,
+            "cold probes pay at least one wave per query"
+        );
+        warm_caches(&tree, &net, &queries, now, 5);
+        let warm = run(&tree, &net, &queries, 2, now, 5);
+        assert!(
+            warm.cache_hit_ratio > cold.cache_hit_ratio,
+            "warming must raise the hit ratio ({} -> {})",
+            cold.cache_hit_ratio,
+            warm.cache_hit_ratio
+        );
+    }
+}

@@ -8,6 +8,8 @@
 //! This library holds the shared setup: scenario construction, trace
 //! replay, and per-query measurement records.
 
+pub mod hotpath;
+
 use colr_geo::Region;
 use colr_tree::{
     ColrConfig, ColrTree, FlatCache, Mode, ProbeService, Query, QueryStats, Timestamp,

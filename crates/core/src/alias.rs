@@ -1,0 +1,270 @@
+//! Walker alias tables for O(1) weighted child selection.
+//!
+//! Algorithm 1 splits a query's sample budget among a node's children in
+//! proportion to `w_i · Overlap(BB(i), A)`. When the node is fully contained
+//! in the query region the overlap factor is exactly 1.0 for every child, so
+//! the split degenerates to the static weights `w_i` — precisely the regime
+//! the warm path lives in. An [`AliasTable`] built once per generation (in
+//! `build.rs`, alongside the arena) serves two roles there:
+//!
+//! 1. **Weight store** — it memoises each child's `w_i` as `f64` plus their
+//!    in-child-order sum, so the contained fast path of the arena traversal
+//!    reads both without touching the pointer tree or re-summing. The sum is
+//!    accumulated in exactly the order the pointer path accumulates its
+//!    denominator, which is what keeps the two paths bit-identical.
+//! 2. **O(1) sampler** — `draw` picks a child with probability `w_i / Σw`
+//!    using one uniform index and one uniform real, independent of fan-out.
+//!    This powers the direct region sampler and the Morton baseline, and can
+//!    be perturbed at query time by `LiveAvailability` means (the PR 3
+//!    feedback loop) via [`AliasTable::perturbed`].
+//!
+//! Construction is Vose's stable two-worklist variant: O(n) time, and exact
+//! for uniform weights (every bucket probability is 1).
+
+use rand::Rng;
+
+/// A Walker/Vose alias table over a fixed weight vector.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AliasTable {
+    /// The raw weights, as given (never normalised) — the hot-path store.
+    weights: Vec<f64>,
+    /// In-order sum of `weights`. Matches the f64 accumulation order of the
+    /// sampling denominator, so it can stand in for it bitwise.
+    total: f64,
+    /// Probability of keeping bucket `i` rather than taking its alias.
+    prob: Vec<f64>,
+    /// Alias target per bucket.
+    alias: Vec<u32>,
+}
+
+impl AliasTable {
+    /// Builds a table over `weights`. Non-finite or negative entries are
+    /// treated as zero weight; zero-weight entries are never drawn. A table
+    /// whose weights sum to zero (or an empty table) never draws anything.
+    pub fn new(weights: &[f64]) -> Self {
+        let weights: Vec<f64> = weights.to_vec();
+        let sanitised: Vec<f64> = weights
+            .iter()
+            .map(|&w| if w.is_finite() && w > 0.0 { w } else { 0.0 })
+            .collect();
+        // The in-order sum over the *sanitised* weights: for the hot path the
+        // inputs are already finite and non-negative, so this is bitwise the
+        // denominator the pointer path accumulates (zero entries add +0.0,
+        // which never changes a non-negative partial sum's bits), while a
+        // NaN or negative entry from an external caller stays inert.
+        let total: f64 = sanitised.iter().sum();
+        let sane_total = total;
+        let n = weights.len();
+        let mut prob = vec![0.0f64; n];
+        let mut alias: Vec<u32> = (0..n as u32).collect();
+        if n > 0 && sane_total > 0.0 && sane_total.is_finite() {
+            // Vose: scale each weight to mean 1, then pair underfull buckets
+            // with overfull donors until every bucket holds exactly 1.
+            let scale = n as f64 / sane_total;
+            let mut scaled: Vec<f64> = sanitised.iter().map(|&w| w * scale).collect();
+            let mut small: Vec<u32> = Vec::with_capacity(n);
+            let mut large: Vec<u32> = Vec::with_capacity(n);
+            for (i, &s) in scaled.iter().enumerate() {
+                if s < 1.0 {
+                    small.push(i as u32);
+                } else {
+                    large.push(i as u32);
+                }
+            }
+            while let (Some(&s), Some(&l)) = (small.last(), large.last()) {
+                small.pop();
+                prob[s as usize] = scaled[s as usize];
+                alias[s as usize] = l;
+                scaled[l as usize] -= 1.0 - scaled[s as usize];
+                if scaled[l as usize] < 1.0 {
+                    large.pop();
+                    small.push(l);
+                }
+            }
+            // Leftovers in either list are exactly full modulo rounding.
+            for &i in large.iter().chain(small.iter()) {
+                prob[i as usize] = 1.0;
+            }
+        }
+        AliasTable {
+            weights,
+            total,
+            prob,
+            alias,
+        }
+    }
+
+    /// Rebuilds the table with each weight multiplied by `factor(i)` — the
+    /// availability perturbation hook. Renormalisation is implicit: alias
+    /// construction only depends on weight ratios, so the perturbed table
+    /// draws index `i` with probability `w_i·f_i / Σ_j w_j·f_j`.
+    pub fn perturbed(&self, mut factor: impl FnMut(usize) -> f64) -> AliasTable {
+        let perturbed: Vec<f64> = self
+            .weights
+            .iter()
+            .enumerate()
+            .map(|(i, &w)| w * factor(i))
+            .collect();
+        AliasTable::new(&perturbed)
+    }
+
+    /// Draws an index with probability proportional to its weight, in O(1):
+    /// one uniform bucket pick plus one uniform real against the bucket's
+    /// keep-probability. Returns `None` for empty or all-zero tables.
+    #[inline]
+    pub fn draw<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<usize> {
+        // `total` can be NaN if a caller fed NaN weights; treat that like an
+        // all-zero table rather than drawing from garbage buckets.
+        let total_positive = self.total.partial_cmp(&0.0) == Some(std::cmp::Ordering::Greater);
+        if self.prob.is_empty() || !total_positive {
+            return None;
+        }
+        let i = rng.random_range(0..self.prob.len());
+        if rng.random::<f64>() < self.prob[i] {
+            Some(i)
+        } else {
+            Some(self.alias[i] as usize)
+        }
+    }
+
+    /// The raw weight vector, in original order.
+    #[inline]
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// In-order f64 sum of the weights (the contained-split denominator).
+    #[inline]
+    pub fn total(&self) -> f64 {
+        self.total
+    }
+
+    /// Number of entries.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// `true` when the table has no entries.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.weights.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    fn frequencies(table: &AliasTable, draws: usize, seed: u64) -> Vec<f64> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut counts = vec![0usize; table.len()];
+        for _ in 0..draws {
+            let i = table.draw(&mut rng).expect("drawable table");
+            counts[i] += 1;
+        }
+        counts
+            .into_iter()
+            .map(|c| c as f64 / draws as f64)
+            .collect()
+    }
+
+    #[test]
+    fn single_child_always_selected() {
+        let t = AliasTable::new(&[42.0]);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..100 {
+            assert_eq!(t.draw(&mut rng), Some(0));
+        }
+    }
+
+    #[test]
+    fn zero_weight_child_never_selected() {
+        let t = AliasTable::new(&[3.0, 0.0, 1.0]);
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..10_000 {
+            assert_ne!(t.draw(&mut rng), Some(1));
+        }
+    }
+
+    #[test]
+    fn empty_and_all_zero_tables_draw_nothing() {
+        let mut rng = StdRng::seed_from_u64(3);
+        assert_eq!(AliasTable::new(&[]).draw(&mut rng), None);
+        assert_eq!(AliasTable::new(&[0.0, 0.0]).draw(&mut rng), None);
+    }
+
+    #[test]
+    fn negative_and_non_finite_weights_are_inert() {
+        let t = AliasTable::new(&[2.0, -5.0, f64::NAN, 2.0]);
+        let mut rng = StdRng::seed_from_u64(4);
+        for _ in 0..10_000 {
+            let i = t.draw(&mut rng).unwrap();
+            assert!(i == 0 || i == 3, "drew sanitised-out index {i}");
+        }
+    }
+
+    #[test]
+    fn uniform_weights_have_unit_keep_probability() {
+        // Vose is exact for uniform weights: every draw costs exactly one
+        // index pick and one (always-true) comparison.
+        let t = AliasTable::new(&[1.0; 8]);
+        assert!(t.prob.iter().all(|&p| p == 1.0));
+    }
+
+    #[test]
+    fn total_is_in_order_sum() {
+        let w = [0.1, 0.2, 0.3];
+        let t = AliasTable::new(&w);
+        assert_eq!(t.total().to_bits(), ((0.1 + 0.2) + 0.3f64).to_bits());
+        assert_eq!(t.weights(), &w);
+    }
+
+    #[test]
+    fn frequencies_converge_to_weight_proportions() {
+        let w = [5.0, 1.0, 3.0, 1.0];
+        let t = AliasTable::new(&w);
+        let total: f64 = w.iter().sum();
+        let freq = frequencies(&t, 200_000, 7);
+        for (i, &f) in freq.iter().enumerate() {
+            let expect = w[i] / total;
+            assert!(
+                (f - expect).abs() < 0.01,
+                "index {i}: empirical {f:.4} vs expected {expect:.4}"
+            );
+        }
+    }
+
+    #[test]
+    fn perturbed_weights_renormalise() {
+        // Availability perturbation: child 0 drops to 20% availability,
+        // child 1 stays at 100%. Draw frequencies must follow the
+        // renormalised products, not the raw weights.
+        let t = AliasTable::new(&[4.0, 1.0]);
+        let avail = [0.2, 1.0];
+        let p = t.perturbed(|i| avail[i]);
+        let products = [4.0 * 0.2, 1.0];
+        let total: f64 = products.iter().sum();
+        let freq = frequencies(&p, 200_000, 11);
+        for (i, &f) in freq.iter().enumerate() {
+            let expect = products[i] / total;
+            assert!(
+                (f - expect).abs() < 0.01,
+                "index {i}: empirical {f:.4} vs expected {expect:.4}"
+            );
+        }
+        // The perturbed total really is the renormalisation denominator.
+        assert!((p.total() - total).abs() < 1e-12);
+        // And the original table is untouched.
+        assert_eq!(t.weights(), &[4.0, 1.0]);
+    }
+
+    #[test]
+    fn perturbing_to_zero_disables_children() {
+        let t = AliasTable::new(&[2.0, 3.0]);
+        let dead = t.perturbed(|_| 0.0);
+        let mut rng = StdRng::seed_from_u64(13);
+        assert_eq!(dead.draw(&mut rng), None);
+    }
+}

@@ -1,0 +1,890 @@
+//! Cache-conscious arena layout for the sampling hot path.
+//!
+//! The pointer tree ([`crate::tree::ColrTree`]) stores each node as a
+//! heap-allocated struct whose children live wherever the builder happened to
+//! push them, so Algorithm 1's traversal chases pointers across the heap and
+//! every MBR test loads a whole `Node` (including the cold `kind_weights`
+//! vector) to read four doubles. [`SamplingArena`] is a read-only mirror of
+//! the same tree flattened for traversal speed:
+//!
+//! * **BFS order, children contiguous** — a node's children occupy the index
+//!   range `child_start .. child_start + child_len`, so the partition loop is
+//!   a linear walk, not a pointer chase.
+//! * **Structure-of-arrays MBRs** — `min_x/min_y/max_x/max_y` are separate
+//!   `f64` arrays. Classifying a run of children against a rectangular
+//!   viewport is a branch-free pass over four contiguous slices, processed
+//!   four lanes at a time so LLVM lowers it to SIMD compares
+//!   ([`SamplingArena::classify_children`]).
+//! * **Per-node alias tables** — a Walker/Vose [`AliasTable`] over the child
+//!   weights `w_i`, built once per generation. Its in-order `total()` doubles
+//!   as the precomputed denominator of Algorithm 1's proportional split for
+//!   fully contained nodes, and its O(1) draws power the standalone weighted
+//!   samplers [`SamplingArena::draw_sensor`] / [`SamplingArena::sample_region`]
+//!   (optionally perturbed by live availability means).
+//! * **Flattened sensors** — leaf sensor ids, locations, and kinds in three
+//!   parallel arrays, so terminal scans touch no `SensorMeta`.
+//!
+//! # Parity with the pointer path
+//!
+//! `exec_colr_arena` is gated on producing **bit-identical** sample streams
+//! to `exec_colr`: every RNG draw must happen at the same point with the same
+//! arguments. The arena therefore keeps Algorithm 1's deterministic
+//! proportional split (alias draws are *not* used on this path) and restricts
+//! its geometric fast paths to `Region::Rect`, where `<=`/`>=` comparisons
+//! are exact and transitive: a viewport containing a node's MBR contains
+//! every descendant MBR and sensor, so skipped per-child overlap tests and
+//! per-sensor point tests are provably no-ops. Polygon and circle regions use
+//! EPSILON-based predicates without that guarantee, so the arena path makes
+//! exactly the same scalar calls the pointer path makes. The
+//! `hotpath_parity` integration test enforces the gate across seeds and
+//! thread counts.
+
+use colr_geo::{Point, Rect, Region};
+use rand::Rng;
+
+use crate::alias::AliasTable;
+use crate::avail::LiveAvailability;
+use crate::lookup::{GroupResult, Query, QueryOutput, WriteBack};
+use crate::probe::ProbeService;
+use crate::reading::{Reading, SensorId};
+use crate::sampling::TermTarget;
+use crate::scratch::QueryScratch;
+use crate::stats::QueryStats;
+use crate::time::Timestamp;
+use crate::tree::{Children, ColrTree, NodeId};
+
+/// Read-only flattened mirror of a [`ColrTree`], rebuilt with the tree once
+/// per generation (see [`ColrTree::sampling_arena`]).
+#[derive(Debug)]
+pub struct SamplingArena {
+    len: usize,
+    // --- per-node SoA (arena BFS order, root at index 0) ---------------
+    min_x: Vec<f64>,
+    min_y: Vec<f64>,
+    max_x: Vec<f64>,
+    max_y: Vec<f64>,
+    /// The same MBRs packed AoS: single-node reads (`bbox`, one-off
+    /// intersect/containment tests) touch one cache line here instead of
+    /// four scattered coordinate arrays; the SoA slices above exist for the
+    /// four-lane `classify_children` sweep.
+    rect: Vec<Rect>,
+    level: Vec<u16>,
+    /// `Node::weight` as `f64` (bitwise what the pointer path computes).
+    weight: Vec<f64>,
+    /// Arena index → pointer-tree node id.
+    orig: Vec<NodeId>,
+    child_start: Vec<u32>,
+    child_len: Vec<u32>,
+    sensor_start: Vec<u32>,
+    sensor_len: Vec<u32>,
+    /// Internal nodes: alias table over child weights (in child order).
+    /// Leaves: uniform table over the leaf's sensors.
+    alias: Vec<AliasTable>,
+    // --- flattened leaf sensors (leaf order) ---------------------------
+    sensors: Vec<SensorId>,
+    sensor_x: Vec<f64>,
+    sensor_y: Vec<f64>,
+    sensor_kind: Vec<u16>,
+    /// `NodeId.0` → arena index.
+    arena_of: Vec<u32>,
+}
+
+impl SamplingArena {
+    /// Flattens `tree` into arena form. Children of each node are laid out
+    /// contiguously in BFS order; the root is arena index 0.
+    pub fn from_tree(tree: &ColrTree) -> SamplingArena {
+        let n = tree.node_count();
+        let mut order: Vec<NodeId> = Vec::with_capacity(n);
+        let mut child_start = Vec::with_capacity(n);
+        let mut child_len = Vec::with_capacity(n);
+        if n > 0 {
+            order.push(tree.root());
+        }
+        let mut i = 0;
+        while i < order.len() {
+            match &tree.node(order[i]).children {
+                Children::Internal(ch) => {
+                    child_start.push(order.len() as u32);
+                    child_len.push(ch.len() as u32);
+                    order.extend(ch.iter().copied());
+                }
+                Children::Leaf(_) => {
+                    child_start.push(0);
+                    child_len.push(0);
+                }
+            }
+            i += 1;
+        }
+
+        let mut a = SamplingArena {
+            len: order.len(),
+            min_x: Vec::with_capacity(n),
+            min_y: Vec::with_capacity(n),
+            max_x: Vec::with_capacity(n),
+            max_y: Vec::with_capacity(n),
+            rect: Vec::with_capacity(n),
+            level: Vec::with_capacity(n),
+            weight: Vec::with_capacity(n),
+            orig: Vec::with_capacity(n),
+            child_start,
+            child_len,
+            sensor_start: Vec::with_capacity(n),
+            sensor_len: Vec::with_capacity(n),
+            alias: Vec::with_capacity(n),
+            sensors: Vec::new(),
+            sensor_x: Vec::new(),
+            sensor_y: Vec::new(),
+            sensor_kind: Vec::new(),
+            arena_of: vec![u32::MAX; n],
+        };
+        let mut wbuf: Vec<f64> = Vec::new();
+        for (idx, &id) in order.iter().enumerate() {
+            let node = tree.node(id);
+            a.min_x.push(node.bbox.min.x);
+            a.min_y.push(node.bbox.min.y);
+            a.max_x.push(node.bbox.max.x);
+            a.max_y.push(node.bbox.max.y);
+            a.rect.push(node.bbox);
+            a.level.push(node.level);
+            a.weight.push(node.weight as f64);
+            a.orig.push(id);
+            a.arena_of[id.0 as usize] = idx as u32;
+            wbuf.clear();
+            match &node.children {
+                Children::Internal(ch) => {
+                    a.sensor_start.push(0);
+                    a.sensor_len.push(0);
+                    wbuf.extend(ch.iter().map(|&c| tree.node(c).weight as f64));
+                }
+                Children::Leaf(sensors) => {
+                    a.sensor_start.push(a.sensors.len() as u32);
+                    a.sensor_len.push(sensors.len() as u32);
+                    for &s in sensors {
+                        let meta = tree.sensor(s);
+                        a.sensors.push(s);
+                        a.sensor_x.push(meta.location.x);
+                        a.sensor_y.push(meta.location.y);
+                        a.sensor_kind.push(meta.kind);
+                    }
+                    wbuf.extend(std::iter::repeat_n(1.0, sensors.len()));
+                }
+            }
+            a.alias.push(AliasTable::new(&wbuf));
+        }
+        a
+    }
+
+    /// Number of nodes in the arena.
+    pub fn node_count(&self) -> usize {
+        self.len
+    }
+
+    /// `true` when the arena mirrors an empty tree.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The node's MBR, bitwise identical to the pointer node's `bbox`.
+    #[inline]
+    pub fn bbox(&self, idx: usize) -> Rect {
+        self.rect[idx]
+    }
+
+    /// The node's level (root is 0).
+    #[inline]
+    pub fn level(&self, idx: usize) -> u16 {
+        self.level[idx]
+    }
+
+    /// The node's sampling weight `w_i` as `f64`.
+    #[inline]
+    pub fn weight(&self, idx: usize) -> f64 {
+        self.weight[idx]
+    }
+
+    /// The pointer-tree id this arena node mirrors.
+    #[inline]
+    pub fn orig(&self, idx: usize) -> NodeId {
+        self.orig[idx]
+    }
+
+    /// The arena index of a pointer-tree node.
+    #[inline]
+    pub fn arena_index(&self, id: NodeId) -> usize {
+        self.arena_of[id.0 as usize] as usize
+    }
+
+    /// First arena index of the node's children.
+    #[inline]
+    pub fn child_start(&self, idx: usize) -> usize {
+        self.child_start[idx] as usize
+    }
+
+    /// Number of children (0 for leaves).
+    #[inline]
+    pub fn child_len(&self, idx: usize) -> usize {
+        self.child_len[idx] as usize
+    }
+
+    /// First flat-sensor slot of a leaf.
+    #[inline]
+    pub fn sensor_start(&self, idx: usize) -> usize {
+        self.sensor_start[idx] as usize
+    }
+
+    /// Number of sensors under a leaf.
+    #[inline]
+    pub fn sensor_len(&self, idx: usize) -> usize {
+        self.sensor_len[idx] as usize
+    }
+
+    /// The node's alias table (child weights, or uniform sensor weights).
+    #[inline]
+    pub fn alias(&self, idx: usize) -> &AliasTable {
+        &self.alias[idx]
+    }
+
+    /// Sensor id at flat slot `j`.
+    #[inline]
+    pub fn sensor(&self, j: usize) -> SensorId {
+        self.sensors[j]
+    }
+
+    /// Sensor kind at flat slot `j`.
+    #[inline]
+    pub fn sensor_kind(&self, j: usize) -> u16 {
+        self.sensor_kind[j]
+    }
+
+    /// Sensor location at flat slot `j`.
+    #[inline]
+    pub fn sensor_loc(&self, j: usize) -> Point {
+        Point::new(self.sensor_x[j], self.sensor_y[j])
+    }
+
+    /// Mirrors [`Rect::intersects`] against the packed MBR.
+    #[inline]
+    pub fn intersects(&self, idx: usize, q: &Rect) -> bool {
+        let r = &self.rect[idx];
+        r.min.x <= q.max.x && r.max.x >= q.min.x && r.min.y <= q.max.y && r.max.y >= q.min.y
+    }
+
+    /// Mirrors `q.contains_rect(bbox(idx))` against the packed MBR.
+    #[inline]
+    pub fn contained_in(&self, idx: usize, q: &Rect) -> bool {
+        let r = &self.rect[idx];
+        q.min.x <= r.min.x && q.min.y <= r.min.y && q.max.x >= r.max.x && q.max.y >= r.max.y
+    }
+
+    /// Mirrors `q.contains_point(sensor_loc(j))` against the SoA coordinates.
+    #[inline]
+    pub fn sensor_in_rect(&self, j: usize, q: &Rect) -> bool {
+        self.sensor_x[j] >= q.min.x
+            && self.sensor_x[j] <= q.max.x
+            && self.sensor_y[j] >= q.min.y
+            && self.sensor_y[j] <= q.max.y
+    }
+
+    /// Classifies the child run `start .. start + len` against viewport `q`:
+    /// `class[j]` is 0 (disjoint), 1 (partial overlap), or 2 (contained in
+    /// `q`). The body is branch-free and processed four lanes at a time over
+    /// the four coordinate slices, which the compiler vectorises; the
+    /// comparisons are exactly [`Rect::intersects`] / `contains_rect`, so the
+    /// classes agree with the scalar predicates bit for bit.
+    pub fn classify_children(&self, start: usize, len: usize, q: &Rect, class: &mut Vec<u8>) {
+        class.clear();
+        class.resize(len, 0);
+        let minx = &self.min_x[start..start + len];
+        let miny = &self.min_y[start..start + len];
+        let maxx = &self.max_x[start..start + len];
+        let maxy = &self.max_y[start..start + len];
+        #[inline(always)]
+        fn lane(q: &Rect, minx: f64, miny: f64, maxx: f64, maxy: f64) -> u8 {
+            let inter =
+                (minx <= q.max.x) & (maxx >= q.min.x) & (miny <= q.max.y) & (maxy >= q.min.y);
+            let cont =
+                (q.min.x <= minx) & (q.min.y <= miny) & (q.max.x >= maxx) & (q.max.y >= maxy);
+            inter as u8 + (inter & cont) as u8
+        }
+        let mut j = 0;
+        while j + 4 <= len {
+            class[j] = lane(q, minx[j], miny[j], maxx[j], maxy[j]);
+            class[j + 1] = lane(q, minx[j + 1], miny[j + 1], maxx[j + 1], maxy[j + 1]);
+            class[j + 2] = lane(q, minx[j + 2], miny[j + 2], maxx[j + 2], maxy[j + 2]);
+            class[j + 3] = lane(q, minx[j + 3], miny[j + 3], maxx[j + 3], maxy[j + 3]);
+            j += 4;
+        }
+        while j < len {
+            class[j] = lane(q, minx[j], miny[j], maxx[j], maxy[j]);
+            j += 1;
+        }
+    }
+
+    /// Draws the flat sensor slot of one weighted root-to-leaf descent.
+    fn draw_flat<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        live: Option<&LiveAvailability>,
+    ) -> Option<usize> {
+        if self.len == 0 {
+            return None;
+        }
+        let mut idx = 0usize;
+        loop {
+            let al = &self.alias[idx];
+            if self.child_len[idx] == 0 {
+                let start = self.sensor_start[idx] as usize;
+                let j = match live {
+                    None => al.draw(rng)?,
+                    Some(live) => al
+                        .perturbed(|j| live.sensor(self.sensors[start + j]))
+                        .draw(rng)?,
+                };
+                return Some(start + j);
+            }
+            let start = self.child_start[idx] as usize;
+            let j = match live {
+                None => al.draw(rng)?,
+                Some(live) => al
+                    .perturbed(|j| live.node(self.orig[start + j]))
+                    .draw(rng)?,
+            };
+            idx = start + j;
+        }
+    }
+
+    /// Draws one sensor with probability proportional to its weight along a
+    /// root-to-leaf alias descent (O(height) with O(1) work per level).
+    ///
+    /// When `live` is provided, each level's child weights are perturbed by
+    /// the live availability means before drawing, biasing the draw toward
+    /// subtrees that are actually answering — the weighted analogue of
+    /// Algorithm 1's oversampling. This is the *standalone* sampler; the
+    /// query path keeps the deterministic proportional split for parity.
+    pub fn draw_sensor<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        live: Option<&LiveAvailability>,
+    ) -> Option<SensorId> {
+        self.draw_flat(rng, live).map(|j| self.sensors[j])
+    }
+
+    /// Draws up to `k` *distinct* sensors inside `region` by rejection
+    /// sampling over [`Self::draw_sensor`], giving up after `max_attempts`
+    /// draws. Useful for seeding map overlays without a full query.
+    pub fn sample_region<R: Rng + ?Sized>(
+        &self,
+        region: &Region,
+        k: usize,
+        max_attempts: usize,
+        rng: &mut R,
+    ) -> Vec<SensorId> {
+        let mut out: Vec<SensorId> = Vec::with_capacity(k.min(16));
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..max_attempts {
+            if out.len() >= k {
+                break;
+            }
+            let Some(j) = self.draw_flat(rng, None) else {
+                break;
+            };
+            if region.contains_point(&self.sensor_loc(j)) && seen.insert(self.sensors[j]) {
+                out.push(self.sensors[j]);
+            }
+        }
+        out
+    }
+}
+
+/// Minimum availability used when scaling targets (mirrors `sampling.rs`).
+const MIN_AVAILABILITY: f64 = 0.05;
+/// Targets below this are treated as zero (mirrors `sampling.rs`).
+const TARGET_EPS: f64 = 1e-9;
+
+impl ColrTree {
+    /// Algorithm 1 over the flattened arena. Draw-for-draw identical to
+    /// [`ColrTree::exec_colr`] (see the module docs for why), but traversal
+    /// state is arena indices, MBR tests run against the SoA coordinate
+    /// slices, and fully contained rectangular nodes take their split
+    /// denominator straight from the prebuilt alias table.
+    pub(crate) fn exec_colr_arena<P, R>(
+        &self,
+        query: &Query,
+        probe: &P,
+        now: Timestamp,
+        rng: &mut R,
+        wb: &mut WriteBack,
+        scratch: &mut QueryScratch,
+    ) -> QueryOutput
+    where
+        P: ProbeService + ?Sized,
+        R: Rng + ?Sized,
+    {
+        let arena = self
+            .sampling_arena()
+            .expect("arena layout dispatched without a built arena");
+        let qr: Option<Rect> = match &query.region {
+            Region::Rect(r) => Some(*r),
+            _ => None,
+        };
+        let terminal_level = query.terminal_level.min(self.leaf_level());
+        let mut stats = QueryStats::default();
+        let mut groups: Vec<GroupResult> = Vec::new();
+        let mut readings: Vec<Reading> = Vec::new();
+
+        let target = query.sample_size.unwrap_or(arena.weight(0));
+        let mut pq = std::mem::take(&mut scratch.pq);
+        pq.reset(self.config.enable_redistribution);
+        pq.push(0, target, false);
+
+        while let Some((idx, r_eff, scaled)) = pq.pop() {
+            let idx = idx as usize;
+            stats.nodes_traversed += 1;
+            let intersects = match &qr {
+                Some(q) => arena.intersects(idx, q),
+                None => query.region.intersects_rect(&arena.bbox(idx)),
+            };
+            if !intersects {
+                pq.redistribute(r_eff);
+                continue;
+            }
+            let contained = match &qr {
+                Some(q) => arena.contained_in(idx, q),
+                None => query.region.contains_rect(&arena.bbox(idx)),
+            };
+
+            // --- Terminal: probe/serve this subtree -----------------------
+            if contained && arena.level(idx) >= terminal_level {
+                let fulfilled = self.serve_terminal(
+                    TermTarget::Arena {
+                        arena,
+                        idx,
+                        rect_contained: qr.is_some(),
+                    },
+                    r_eff,
+                    scaled,
+                    query,
+                    probe,
+                    now,
+                    rng,
+                    &mut stats,
+                    &mut groups,
+                    &mut readings,
+                    wb,
+                    scratch,
+                );
+                let want = if scaled && self.config.enable_oversampling {
+                    r_eff * self.node_avail(arena.orig(idx)).max(MIN_AVAILABILITY)
+                } else {
+                    r_eff
+                };
+                if fulfilled + TARGET_EPS < want {
+                    pq.redistribute(want - fulfilled);
+                }
+                continue;
+            }
+
+            // --- Partition the target among children ----------------------
+            scratch.kid_nodes.clear();
+            scratch.kid_ow.clear();
+            scratch.kid_sensors.clear();
+            let mut denom = 0.0f64;
+            let clen = arena.child_len(idx);
+            if clen > 0 {
+                let cstart = arena.child_start(idx);
+                match (&qr, query.kind_filter) {
+                    (Some(_), None) if contained => {
+                        // Every child of a contained node is contained
+                        // (rect comparisons are transitive), so each overlap
+                        // fraction is exactly 1.0 and the split denominator
+                        // is the alias table's in-order weight sum.
+                        let al = arena.alias(idx);
+                        let ws = al.weights();
+                        for (j, &ow) in ws.iter().enumerate().take(clen) {
+                            if ow > TARGET_EPS {
+                                scratch.kid_nodes.push((cstart + j) as u32);
+                                scratch.kid_ow.push(ow);
+                            }
+                        }
+                        denom = al.total();
+                    }
+                    (Some(q), None) => {
+                        // Partial viewport overlap: classify the child run
+                        // with the SIMD-friendly pass, then compute exact
+                        // overlap fractions only for partially covered kids.
+                        arena.classify_children(cstart, clen, q, &mut scratch.class);
+                        for j in 0..clen {
+                            let c = cstart + j;
+                            let ow = match scratch.class[j] {
+                                0 => 0.0,
+                                2 => arena.weight(c),
+                                _ => {
+                                    arena.weight(c) * query.region.overlap_fraction(&arena.bbox(c))
+                                }
+                            };
+                            if ow > TARGET_EPS {
+                                scratch.kid_nodes.push(c as u32);
+                                scratch.kid_ow.push(ow);
+                                denom += ow;
+                            }
+                        }
+                    }
+                    _ => {
+                        // Polygon/circle regions or kind-filtered queries:
+                        // make exactly the scalar calls the pointer path
+                        // makes (their EPSILON-based predicates are not
+                        // transitive, so no geometric shortcuts here).
+                        for j in 0..clen {
+                            let c = cstart + j;
+                            let w = match query.kind_filter {
+                                None => arena.weight(c),
+                                Some(k) => self.node(arena.orig(c)).query_weight(Some(k)) as f64,
+                            };
+                            let ow = w * query.region.overlap_fraction(&arena.bbox(c));
+                            if ow > TARGET_EPS {
+                                scratch.kid_nodes.push(c as u32);
+                                scratch.kid_ow.push(ow);
+                                denom += ow;
+                            }
+                        }
+                    }
+                }
+            } else {
+                // Leaf partition (only reachable when not contained): match
+                // sensors against the query. For rectangular viewports the
+                // point test runs on the SoA coordinates.
+                let sstart = arena.sensor_start(idx);
+                let slen = arena.sensor_len(idx);
+                match &qr {
+                    Some(q) => {
+                        for j in sstart..sstart + slen {
+                            let kind_ok =
+                                query.kind_filter.is_none_or(|k| arena.sensor_kind(j) == k);
+                            if kind_ok && arena.sensor_in_rect(j, q) {
+                                scratch.kid_sensors.push(arena.sensor(j));
+                                denom += 1.0;
+                            }
+                        }
+                    }
+                    None => {
+                        for j in sstart..sstart + slen {
+                            let s = arena.sensor(j);
+                            if query.matches_sensor(self.sensor(s)) {
+                                scratch.kid_sensors.push(s);
+                                denom += 1.0;
+                            }
+                        }
+                    }
+                }
+            }
+            if denom <= TARGET_EPS {
+                // Dead end: give the whole target back to pending nodes.
+                pq.redistribute(r_eff);
+                continue;
+            }
+
+            let mut fulfilled = 0.0;
+            let mut assigned = 0.0;
+            scratch.leaf_readings.clear();
+            let mut leaf_target = 0.0;
+
+            for i in 0..scratch.kid_sensors.len() {
+                let s = scratch.kid_sensors[i];
+                let share = r_eff * 1.0 / denom;
+                if share <= TARGET_EPS {
+                    continue;
+                }
+                leaf_target += share;
+                fulfilled += self.serve_sensor(
+                    s,
+                    share,
+                    scaled,
+                    query,
+                    probe,
+                    now,
+                    rng,
+                    &mut stats,
+                    &mut scratch.leaf_readings,
+                    wb,
+                );
+            }
+            for i in 0..scratch.kid_nodes.len() {
+                let c = scratch.kid_nodes[i] as usize;
+                let ow = scratch.kid_ow[i];
+                let share = r_eff * ow / denom;
+                if share <= TARGET_EPS {
+                    continue;
+                }
+                let child_contained = match &qr {
+                    Some(q) => arena.contained_in(c, q),
+                    None => query.region.contains_rect(&arena.bbox(c)),
+                } && arena.level(c) >= terminal_level;
+                if child_contained {
+                    pq.push(c as u32, share, scaled);
+                    assigned += share;
+                } else {
+                    let mut push_target = share;
+                    let mut child_scaled = scaled;
+                    if !scaled
+                        && arena.level(c) == query.oversample_level
+                        && self.config.enable_oversampling
+                    {
+                        push_target /= self.node_avail(arena.orig(c)).max(MIN_AVAILABILITY);
+                        child_scaled = true;
+                    }
+                    pq.push(c as u32, push_target, child_scaled);
+                    assigned += share;
+                }
+            }
+
+            if !scratch.leaf_readings.is_empty() || leaf_target > TARGET_EPS {
+                let mut group = Self::group_over_readings(
+                    arena.orig(idx),
+                    arena.bbox(idx),
+                    &scratch.leaf_readings,
+                    leaf_target,
+                );
+                group.results = scratch.leaf_readings.len() as u64;
+                groups.push(group);
+                readings.append(&mut scratch.leaf_readings);
+            }
+
+            let lag = r_eff - fulfilled - assigned;
+            if lag > TARGET_EPS {
+                pq.redistribute(lag);
+            }
+        }
+        debug_assert!(pq.is_empty());
+        scratch.pq = pq;
+
+        QueryOutput {
+            groups,
+            readings,
+            stats,
+            latency_ms: 0.0,
+        }
+    }
+
+    /// Arena twin of [`ColrTree::terminal_scan_into`]: classifies each sensor
+    /// under arena node `idx` as cached-fresh or probe candidate, visiting
+    /// nodes in the same (reverse-DFS) order so the candidate list — and the
+    /// Fisher–Yates draws over it — match the pointer path exactly. When
+    /// `rect_contained` the per-node intersect tests and per-sensor point
+    /// tests are skipped outright: a rectangle containing the terminal's MBR
+    /// contains every descendant MBR and sensor location.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn terminal_scan_arena(
+        &self,
+        arena: &SamplingArena,
+        idx: usize,
+        rect_contained: bool,
+        query: &Query,
+        now: Timestamp,
+        stats: &mut QueryStats,
+        cached: &mut Vec<Reading>,
+        candidates: &mut Vec<SensorId>,
+        stack: &mut Vec<u32>,
+    ) {
+        let staleness = query.staleness;
+        stack.clear();
+        stack.push(idx as u32);
+        let mut first = true;
+        while let Some(cur) = stack.pop() {
+            let cur = cur as usize;
+            // The terminal itself was already counted by the caller.
+            if !first {
+                stats.nodes_traversed += 1;
+            }
+            first = false;
+            if !rect_contained && !query.region.intersects_rect(&arena.bbox(cur)) {
+                continue;
+            }
+            let clen = arena.child_len(cur);
+            if clen > 0 {
+                let cstart = arena.child_start(cur);
+                stack.extend((cstart..cstart + clen).map(|c| c as u32));
+            } else {
+                let sstart = arena.sensor_start(cur);
+                let slen = arena.sensor_len(cur);
+                self.with_cache(arena.orig(cur), |nc| {
+                    if rect_contained && query.kind_filter.is_none() {
+                        // Contained, unfiltered viewport: every sensor of the
+                        // leaf qualifies — the loop is just cache triage.
+                        for &s in &arena.sensors[sstart..sstart + slen] {
+                            match nc.entry(s) {
+                                Some(e) if e.reading.is_fresh(now, staleness) => {
+                                    cached.push(e.reading);
+                                }
+                                _ => candidates.push(s),
+                            }
+                        }
+                        return;
+                    }
+                    for j in sstart..sstart + slen {
+                        let kind_ok = query.kind_filter.is_none_or(|k| arena.sensor_kind(j) == k);
+                        if !kind_ok {
+                            continue;
+                        }
+                        if !rect_contained && !query.region.contains_point(&arena.sensor_loc(j)) {
+                            continue;
+                        }
+                        let s = arena.sensor(j);
+                        match nc.entry(s) {
+                            Some(e) if e.reading.is_fresh(now, staleness) => {
+                                cached.push(e.reading);
+                            }
+                            _ => candidates.push(s),
+                        }
+                    }
+                });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reading::SensorMeta;
+    use crate::time::TimeDelta;
+    use crate::tree::ColrConfig;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn grid_tree(side: usize) -> ColrTree {
+        let sensors: Vec<SensorMeta> = (0..side * side)
+            .map(|i| {
+                SensorMeta::new(
+                    i as u32,
+                    Point::new((i % side) as f64, (i / side) as f64),
+                    TimeDelta::from_mins(5),
+                    0.9,
+                )
+            })
+            .collect();
+        ColrTree::build(sensors, ColrConfig::default(), 7)
+    }
+
+    #[test]
+    fn arena_mirrors_tree_structure() {
+        let tree = grid_tree(12);
+        let arena = tree.sampling_arena().expect("build installs an arena");
+        assert_eq!(arena.node_count(), tree.node_count());
+        let mut seen_sensors = 0usize;
+        for idx in 0..arena.node_count() {
+            let id = arena.orig(idx);
+            let node = tree.node(id);
+            assert_eq!(arena.arena_index(id), idx);
+            assert_eq!(arena.level(idx), node.level);
+            assert_eq!(arena.weight(idx).to_bits(), (node.weight as f64).to_bits());
+            let bb = arena.bbox(idx);
+            assert_eq!(bb.min.x.to_bits(), node.bbox.min.x.to_bits());
+            assert_eq!(bb.max.y.to_bits(), node.bbox.max.y.to_bits());
+            match &node.children {
+                Children::Internal(ch) => {
+                    assert_eq!(arena.child_len(idx), ch.len());
+                    for (j, &c) in ch.iter().enumerate() {
+                        // Children are contiguous and in pointer order.
+                        assert_eq!(arena.orig(arena.child_start(idx) + j), c);
+                    }
+                    // Alias weights are the child weights, and the alias
+                    // total is bitwise the in-order f64 sum the pointer
+                    // path computes as its split denominator.
+                    let al = arena.alias(idx);
+                    let mut sum = 0.0f64;
+                    for (j, &c) in ch.iter().enumerate() {
+                        let w = tree.node(c).weight as f64;
+                        assert_eq!(al.weights()[j].to_bits(), w.to_bits());
+                        sum += w;
+                    }
+                    assert_eq!(al.total().to_bits(), sum.to_bits());
+                }
+                Children::Leaf(sensors) => {
+                    assert_eq!(arena.child_len(idx), 0);
+                    assert_eq!(arena.sensor_len(idx), sensors.len());
+                    seen_sensors += sensors.len();
+                    for (j, &s) in sensors.iter().enumerate() {
+                        let slot = arena.sensor_start(idx) + j;
+                        assert_eq!(arena.sensor(slot), s);
+                        let meta = tree.sensor(s);
+                        assert_eq!(arena.sensor_loc(slot), meta.location);
+                        assert_eq!(arena.sensor_kind(slot), meta.kind);
+                    }
+                }
+            }
+        }
+        assert_eq!(seen_sensors, 144);
+    }
+
+    #[test]
+    fn classify_matches_scalar_predicates() {
+        let tree = grid_tree(10);
+        let arena = tree.sampling_arena().unwrap();
+        let viewports = [
+            Rect::from_coords(-1.0, -1.0, 20.0, 20.0),
+            Rect::from_coords(2.0, 2.0, 5.5, 7.5),
+            Rect::from_coords(3.0, 3.0, 3.0, 3.0),
+            Rect::from_coords(40.0, 40.0, 50.0, 50.0),
+        ];
+        let mut class = Vec::new();
+        for idx in 0..arena.node_count() {
+            let clen = arena.child_len(idx);
+            if clen == 0 {
+                continue;
+            }
+            let start = arena.child_start(idx);
+            for q in &viewports {
+                arena.classify_children(start, clen, q, &mut class);
+                for j in 0..clen {
+                    let bb = arena.bbox(start + j);
+                    let expect = if !q.intersects(&bb) {
+                        0
+                    } else if q.contains_rect(&bb) {
+                        2
+                    } else {
+                        1
+                    };
+                    assert_eq!(class[j], expect, "node {idx} child {j} vs {q:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn draw_sensor_covers_all_sensors_uniformly() {
+        let tree = grid_tree(4); // 16 sensors, uniform weight 1 each
+        let arena = tree.sampling_arena().unwrap();
+        let mut rng = StdRng::seed_from_u64(99);
+        let mut counts = [0u32; 16];
+        let draws = 32_000;
+        for _ in 0..draws {
+            let s = arena.draw_sensor(&mut rng, None).expect("non-empty arena");
+            counts[s.0 as usize] += 1;
+        }
+        let expect = draws as f64 / 16.0;
+        for (i, &c) in counts.iter().enumerate() {
+            let dev = (c as f64 - expect).abs() / expect;
+            assert!(
+                dev < 0.15,
+                "sensor {i} drawn {c} times (expected ~{expect})"
+            );
+        }
+    }
+
+    #[test]
+    fn sample_region_returns_distinct_matching_sensors() {
+        let tree = grid_tree(8);
+        let arena = tree.sampling_arena().unwrap();
+        let mut rng = StdRng::seed_from_u64(5);
+        let region = Region::Rect(Rect::from_coords(-0.5, -0.5, 3.5, 7.5));
+        let got = arena.sample_region(&region, 10, 10_000, &mut rng);
+        assert!(got.len() == 10, "wanted 10 distinct, got {}", got.len());
+        let mut ids: Vec<u32> = got.iter().map(|s| s.0).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), got.len(), "duplicates returned");
+        for s in &got {
+            assert!(region.contains_point(&tree.sensor(*s).location));
+        }
+    }
+}

@@ -48,6 +48,8 @@
 //! ```
 
 pub mod agg;
+pub mod alias;
+pub mod arena;
 pub mod avail;
 pub mod build;
 pub mod flat_cache;
@@ -55,10 +57,12 @@ pub mod inspect;
 pub mod lookup;
 pub mod metrics;
 pub mod model;
+pub mod morton;
 pub mod probe;
 pub mod reading;
 pub mod resilient;
 pub mod sampling;
+pub(crate) mod scratch;
 pub mod slot_cache;
 pub mod slot_size;
 pub mod stats;
@@ -67,6 +71,8 @@ pub mod time;
 pub mod tree;
 
 pub use agg::{AggKind, Histogram, PartialAgg};
+pub use alias::AliasTable;
+pub use arena::SamplingArena;
 pub use avail::LiveAvailability;
 pub use flat_cache::{FlatCache, FlatOutput};
 pub use lookup::{GroupResult, Mode, Query, QueryOutput};
@@ -79,6 +85,6 @@ pub use slot_size::SlotSizeWorkload;
 pub use stats::{CostModel, QueryStats};
 pub use time::{ClockHandle, SimClock, TimeDelta, Timestamp};
 pub use tree::{
-    BuildStrategy, CachedEntry, Children, ColrConfig, ColrTree, Node, NodeCache, NodeId,
-    CACHE_STRIPES,
+    BuildStrategy, CachedEntry, Children, ColrConfig, ColrTree, HotPathLayout, Node, NodeCache,
+    NodeId, CACHE_STRIPES,
 };

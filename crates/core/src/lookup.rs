@@ -298,7 +298,15 @@ impl ColrTree {
         let mut out = match mode {
             Mode::RTree => self.exec_rtree(query, probe, now, wb),
             Mode::HierCache => self.exec_hier(query, probe, now, wb),
-            Mode::Colr => self.exec_colr(query, probe, now, rng, wb),
+            Mode::Colr => crate::scratch::with_scratch(|scratch| {
+                if self.config().layout == crate::tree::HotPathLayout::Arena
+                    && self.sampling_arena().is_some()
+                {
+                    self.exec_colr_arena(query, probe, now, rng, wb, scratch)
+                } else {
+                    self.exec_colr(query, probe, now, rng, wb, scratch)
+                }
+            }),
         };
         out.latency_ms = self.config().cost.latency_ms(&out.stats);
         let telem = crate::telem::query();
@@ -352,13 +360,43 @@ impl ColrTree {
         now: Timestamp,
         stats: &mut QueryStats,
     ) -> (Vec<Reading>, Vec<SensorId>) {
-        let region = &query.region;
-        let staleness = query.staleness;
         let mut cached = Vec::new();
         let mut candidates = Vec::new();
-        let mut stack = vec![id];
+        let mut stack = Vec::new();
+        self.terminal_scan_into(
+            id,
+            query,
+            now,
+            stats,
+            &mut cached,
+            &mut candidates,
+            &mut stack,
+        );
+        (cached, candidates)
+    }
+
+    /// Buffer-reusing core of [`Self::terminal_scan`]: appends into
+    /// caller-owned `cached`/`candidates`, using `stack` (of `NodeId.0`
+    /// values) as DFS storage. The hot path passes pooled scratch buffers so
+    /// warm queries allocate nothing here.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn terminal_scan_into(
+        &self,
+        id: NodeId,
+        query: &Query,
+        now: Timestamp,
+        stats: &mut QueryStats,
+        cached: &mut Vec<Reading>,
+        candidates: &mut Vec<SensorId>,
+        stack: &mut Vec<u32>,
+    ) {
+        let region = &query.region;
+        let staleness = query.staleness;
+        stack.clear();
+        stack.push(id.0);
         let mut first = true;
         while let Some(cur) = stack.pop() {
+            let cur = NodeId(cur);
             // The terminal itself was already counted by the caller.
             if !first {
                 stats.nodes_traversed += 1;
@@ -384,10 +422,9 @@ impl ColrTree {
                         }
                     });
                 }
-                Children::Internal(children) => stack.extend(children.iter().copied()),
+                Children::Internal(children) => stack.extend(children.iter().map(|c| c.0)),
             }
         }
-        (cached, candidates)
     }
 
     /// Collects every sensor under `id` matching the query, counting the
@@ -481,6 +518,7 @@ impl ColrTree {
         } else {
             (ids.len() as u64).div_ceil(cost.probe_parallelism)
         };
+        stats.probe_waves += waves + report.retry_waves;
         let wave_us = (((waves + report.retry_waves) as f64 * cost.probe_rtt_ms
             + (ids.len() as u64 + report.retries_issued) as f64 * cost.probe_overhead_ms
             + report.backoff_wait_ms as f64)

@@ -1,0 +1,159 @@
+//! Morton (Z-order) space-filling-curve grouping — the flat-tree baseline.
+//!
+//! The bench matrix needs a layout that is *cheap to build and flat to scan*
+//! so the COLR-Tree's k-means clustering can be shown to earn its keep. The
+//! classic candidate is a Z-order curve: quantise each sensor location onto a
+//! 2^16 × 2^16 grid over the fleet's bounding box, interleave the coordinate
+//! bits into a 32-bit Morton key, sort, and cut the sorted run into
+//! consecutive chunks. Chunks become leaves; the usual bottom-up grouping
+//! then stacks internal levels on top. The result is a valid `ColrTree`
+//! (every invariant holds) whose leaves follow the curve instead of k-means
+//! clusters — typically with more elongated, overlapping MBRs, which is
+//! exactly the contrast the `hotpath` bench quantifies.
+
+use colr_geo::{Point, Rect};
+
+/// Interleaves the low 16 bits of `x` (even positions) and `y` (odd
+/// positions) into a 32-bit Morton key.
+#[inline]
+pub fn morton_key(x: u16, y: u16) -> u32 {
+    spread16(x) | (spread16(y) << 1)
+}
+
+/// Spreads the 16 bits of `v` onto the even bit positions of a `u32`.
+#[inline]
+fn spread16(v: u16) -> u32 {
+    let mut v = v as u32;
+    v = (v | (v << 8)) & 0x00FF_00FF;
+    v = (v | (v << 4)) & 0x0F0F_0F0F;
+    v = (v | (v << 2)) & 0x3333_3333;
+    v = (v | (v << 1)) & 0x5555_5555;
+    v
+}
+
+/// Quantises `p` onto a 2^16 grid over `bounds` and returns its Morton key.
+/// Degenerate bounds (zero width or height) collapse that axis to 0.
+#[inline]
+pub fn morton_of(p: &Point, bounds: &Rect) -> u32 {
+    let qx = quantise(p.x, bounds.min.x, bounds.max.x);
+    let qy = quantise(p.y, bounds.min.y, bounds.max.y);
+    morton_key(qx, qy)
+}
+
+#[inline]
+fn quantise(v: f64, lo: f64, hi: f64) -> u16 {
+    let span = hi - lo;
+    if span <= 0.0 {
+        return 0;
+    }
+    // Scale into [0, 65535]; clamp shields against out-of-bounds points.
+    let t = ((v - lo) / span * 65535.0).clamp(0.0, 65535.0);
+    t as u16
+}
+
+/// Groups `items` (indices into `points`) into runs of at most `group_size`
+/// consecutive positions along the Z-order curve. Ties on the Morton key are
+/// broken by item index, so the grouping is deterministic regardless of the
+/// caller's ordering.
+pub fn morton_pack(points: &[Point], items: &[usize], group_size: usize) -> Vec<Vec<usize>> {
+    if items.is_empty() {
+        return Vec::new();
+    }
+    let group_size = group_size.max(1);
+    let bounds = Rect::bounding(&items.iter().map(|&i| points[i]).collect::<Vec<_>>())
+        .expect("non-empty item set has a bounding rect");
+    let mut keyed: Vec<(u32, usize)> = items
+        .iter()
+        .map(|&i| (morton_of(&points[i], &bounds), i))
+        .collect();
+    keyed.sort_unstable();
+    keyed
+        .chunks(group_size)
+        .map(|chunk| chunk.iter().map(|&(_, i)| i).collect())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn key_interleaves_bits() {
+        assert_eq!(morton_key(0, 0), 0);
+        assert_eq!(morton_key(1, 0), 0b01);
+        assert_eq!(morton_key(0, 1), 0b10);
+        assert_eq!(morton_key(0b11, 0b11), 0b1111);
+        assert_eq!(morton_key(u16::MAX, u16::MAX), u32::MAX);
+    }
+
+    #[test]
+    fn key_orders_quadrants() {
+        // Z-order visits quadrants in the order SW, SE, NW, NE.
+        let sw = morton_key(0, 0);
+        let se = morton_key(u16::MAX, 0);
+        let nw = morton_key(0, u16::MAX);
+        let ne = morton_key(u16::MAX, u16::MAX);
+        assert!(sw < se && se < nw && nw < ne);
+    }
+
+    #[test]
+    fn quantise_handles_degenerate_axes() {
+        let line = Rect::from_coords(0.0, 5.0, 10.0, 5.0);
+        let k = morton_of(&Point::new(10.0, 5.0), &line);
+        assert_eq!(k, morton_key(u16::MAX, 0));
+    }
+
+    #[test]
+    fn pack_covers_every_item_once() {
+        let points: Vec<Point> = (0..37)
+            .map(|i| Point::new((i * 7 % 19) as f64, (i * 5 % 23) as f64))
+            .collect();
+        let items: Vec<usize> = (0..points.len()).collect();
+        let groups = morton_pack(&points, &items, 8);
+        let mut seen: Vec<usize> = groups.iter().flatten().copied().collect();
+        seen.sort_unstable();
+        assert_eq!(seen, items);
+        assert!(groups.iter().all(|g| g.len() <= 8 && !g.is_empty()));
+    }
+
+    #[test]
+    fn pack_groups_spatial_neighbours() {
+        // Two well-separated clusters must not share a group.
+        let mut points = Vec::new();
+        for i in 0..8 {
+            points.push(Point::new(i as f64 * 0.01, 0.0));
+        }
+        for i in 0..8 {
+            points.push(Point::new(100.0 + i as f64 * 0.01, 100.0));
+        }
+        let items: Vec<usize> = (0..points.len()).collect();
+        let groups = morton_pack(&points, &items, 8);
+        assert_eq!(groups.len(), 2);
+        for g in &groups {
+            let left = g.iter().filter(|&&i| i < 8).count();
+            assert!(left == 0 || left == g.len(), "mixed group: {g:?}");
+        }
+    }
+
+    #[test]
+    fn pack_is_deterministic_under_input_order() {
+        let points: Vec<Point> = (0..20)
+            .map(|i| Point::new((i % 5) as f64, (i / 5) as f64))
+            .collect();
+        let forward: Vec<usize> = (0..points.len()).collect();
+        let mut backward = forward.clone();
+        backward.reverse();
+        assert_eq!(
+            morton_pack(&points, &forward, 4),
+            morton_pack(&points, &backward, 4)
+        );
+    }
+
+    #[test]
+    fn pack_empty_and_tiny() {
+        assert!(morton_pack(&[], &[], 4).is_empty());
+        let pts = [Point::new(1.0, 2.0)];
+        let groups = morton_pack(&pts, &[0], 4);
+        assert_eq!(groups, vec![vec![0]]);
+    }
+}

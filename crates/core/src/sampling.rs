@@ -34,6 +34,7 @@ use rand::Rng;
 use crate::lookup::{GroupResult, Query, QueryOutput, WriteBack};
 use crate::probe::ProbeService;
 use crate::reading::{Reading, SensorId};
+use crate::scratch::QueryScratch;
 use crate::stats::QueryStats;
 use crate::time::Timestamp;
 use crate::tree::{Children, ColrTree, NodeId};
@@ -49,7 +50,10 @@ struct PqEntry {
     base: f64,
     /// Tie-breaker for deterministic ordering.
     seq: u64,
-    node: NodeId,
+    /// Node identifier — a `NodeId.0` on the pointer path, an arena index on
+    /// the arena path. The queue is payload-agnostic so one pooled heap
+    /// serves both layouts.
+    node: u32,
     /// Whether an ancestor already applied the availability scale-up.
     scaled: bool,
 }
@@ -74,7 +78,10 @@ impl Ord for PqEntry {
 }
 
 /// Priority queue with O(1) proportional redistribution (Algorithm 2).
-struct ScaledPq {
+///
+/// Pooled in [`crate::scratch::QueryScratch`]: callers `reset` it at query
+/// start and the backing heap allocation is reused across queries.
+pub(crate) struct ScaledPq {
     heap: BinaryHeap<PqEntry>,
     scale: f64,
     sum_base: f64,
@@ -83,18 +90,29 @@ struct ScaledPq {
     enabled: bool,
 }
 
-impl ScaledPq {
-    fn new(enabled: bool) -> Self {
+impl Default for ScaledPq {
+    fn default() -> Self {
         ScaledPq {
             heap: BinaryHeap::new(),
             scale: 1.0,
             sum_base: 0.0,
             seq: 0,
-            enabled,
+            enabled: true,
         }
     }
+}
 
-    fn push(&mut self, node: NodeId, target: f64, scaled: bool) {
+impl ScaledPq {
+    /// Clears the queue for a new query, keeping the heap allocation.
+    pub(crate) fn reset(&mut self, enabled: bool) {
+        self.heap.clear();
+        self.scale = 1.0;
+        self.sum_base = 0.0;
+        self.seq = 0;
+        self.enabled = enabled;
+    }
+
+    pub(crate) fn push(&mut self, node: u32, target: f64, scaled: bool) {
         if target <= TARGET_EPS {
             return;
         }
@@ -109,7 +127,7 @@ impl ScaledPq {
         });
     }
 
-    fn pop(&mut self) -> Option<(NodeId, f64, bool)> {
+    pub(crate) fn pop(&mut self) -> Option<(u32, f64, bool)> {
         let e = self.heap.pop()?;
         self.sum_base -= e.base;
         Some((e.node, e.base * self.scale, e.scaled))
@@ -117,7 +135,7 @@ impl ScaledPq {
 
     /// Distributes `lag` additional target proportionally over every pending
     /// node (Algorithm 2): each priority grows by `lag · p_i / Σp`.
-    fn redistribute(&mut self, lag: f64) {
+    pub(crate) fn redistribute(&mut self, lag: f64) {
         if !self.enabled {
             return;
         }
@@ -128,14 +146,33 @@ impl ScaledPq {
         self.scale *= 1.0 + lag / total;
     }
 
-    fn is_empty(&self) -> bool {
+    pub(crate) fn is_empty(&self) -> bool {
         self.heap.is_empty()
     }
 }
 
+/// The terminal subtree [`ColrTree::serve_terminal`] is asked to serve —
+/// either a pointer-tree node or an arena index. One shared implementation
+/// keeps the two layouts behaviourally identical by construction.
+pub(crate) enum TermTarget<'a> {
+    /// A pointer-tree node.
+    Ptr(NodeId),
+    /// An arena node, with a precomputed "rectangular query fully contains
+    /// this subtree" fact that licenses the exact geometric fast paths.
+    Arena {
+        /// The arena the traversal runs against.
+        arena: &'a crate::arena::SamplingArena,
+        /// Arena index of the terminal.
+        idx: usize,
+        /// `true` iff the query region is a `Rect` (the terminal itself is
+        /// always contained when this is called).
+        rect_contained: bool,
+    },
+}
+
 impl ColrTree {
     /// Full COLR-Tree execution: Algorithm 1's layered sampling over the
-    /// slot-cache tree.
+    /// slot-cache tree (pointer layout).
     pub(crate) fn exec_colr<P, R>(
         &self,
         query: &Query,
@@ -143,6 +180,7 @@ impl ColrTree {
         now: Timestamp,
         rng: &mut R,
         wb: &mut WriteBack,
+        scratch: &mut QueryScratch,
     ) -> QueryOutput
     where
         P: ProbeService + ?Sized,
@@ -155,10 +193,12 @@ impl ColrTree {
 
         let root = self.root();
         let target = query.sample_size.unwrap_or(self.node(root).weight as f64);
-        let mut pq = ScaledPq::new(self.config.enable_redistribution);
-        pq.push(root, target, false);
+        let mut pq = std::mem::take(&mut scratch.pq);
+        pq.reset(self.config.enable_redistribution);
+        pq.push(root.0, target, false);
 
         while let Some((id, r_eff, scaled)) = pq.pop() {
+            let id = NodeId(id);
             stats.nodes_traversed += 1;
             let node = self.node(id);
             if !query.region.intersects_rect(&node.bbox) {
@@ -170,7 +210,7 @@ impl ColrTree {
             // --- Terminal: probe/serve this subtree -----------------------
             if contained && node.level >= terminal_level {
                 let fulfilled = self.serve_terminal(
-                    id,
+                    TermTarget::Ptr(id),
                     r_eff,
                     scaled,
                     query,
@@ -181,6 +221,7 @@ impl ColrTree {
                     &mut groups,
                     &mut readings,
                     wb,
+                    scratch,
                 );
                 let want = if scaled && self.config.enable_oversampling {
                     r_eff * self.node_avail(id).max(MIN_AVAILABILITY)
@@ -194,30 +235,32 @@ impl ColrTree {
             }
 
             // --- Partition the target among children ----------------------
-            enum Kid {
-                Node(NodeId),
-                Sensor(SensorId),
-            }
-            let kids: Vec<(Kid, f64)> = match &node.children {
-                Children::Internal(children) => children
-                    .iter()
-                    .filter_map(|&c| {
+            scratch.kid_nodes.clear();
+            scratch.kid_ow.clear();
+            scratch.kid_sensors.clear();
+            let mut denom = 0.0f64;
+            match &node.children {
+                Children::Internal(children) => {
+                    for &c in children {
                         let child = self.node(c);
                         let ow = child.query_weight(query.kind_filter) as f64
                             * query.region.overlap_fraction(&child.bbox);
-                        (ow > TARGET_EPS).then_some((Kid::Node(c), ow))
-                    })
-                    .collect(),
-                Children::Leaf(sensors) => sensors
-                    .iter()
-                    .filter_map(|&s| {
-                        query
-                            .matches_sensor(self.sensor(s))
-                            .then_some((Kid::Sensor(s), 1.0))
-                    })
-                    .collect(),
-            };
-            let denom: f64 = kids.iter().map(|(_, ow)| ow).sum();
+                        if ow > TARGET_EPS {
+                            scratch.kid_nodes.push(c.0);
+                            scratch.kid_ow.push(ow);
+                            denom += ow;
+                        }
+                    }
+                }
+                Children::Leaf(sensors) => {
+                    for &s in sensors {
+                        if query.matches_sensor(self.sensor(s)) {
+                            scratch.kid_sensors.push(s);
+                            denom += 1.0;
+                        }
+                    }
+                }
+            }
             if denom <= TARGET_EPS {
                 // Dead end: give the whole target back to pending nodes.
                 pq.redistribute(r_eff);
@@ -227,62 +270,66 @@ impl ColrTree {
             let mut fulfilled = 0.0;
             let mut assigned = 0.0;
             // Readings gathered from per-sensor terminals under this leaf.
-            let mut leaf_readings: Vec<Reading> = Vec::new();
+            scratch.leaf_readings.clear();
             let mut leaf_target = 0.0;
 
-            for (kid, ow) in kids {
+            for i in 0..scratch.kid_sensors.len() {
+                let s = scratch.kid_sensors[i];
+                let share = r_eff * 1.0 / denom;
+                if share <= TARGET_EPS {
+                    continue;
+                }
+                leaf_target += share;
+                fulfilled += self.serve_sensor(
+                    s,
+                    share,
+                    scaled,
+                    query,
+                    probe,
+                    now,
+                    rng,
+                    &mut stats,
+                    &mut scratch.leaf_readings,
+                    wb,
+                );
+            }
+            for i in 0..scratch.kid_nodes.len() {
+                let c = NodeId(scratch.kid_nodes[i]);
+                let ow = scratch.kid_ow[i];
                 let share = r_eff * ow / denom;
                 if share <= TARGET_EPS {
                     continue;
                 }
-                match kid {
-                    Kid::Sensor(s) => {
-                        leaf_target += share;
-                        fulfilled += self.serve_sensor(
-                            s,
-                            share,
-                            scaled,
-                            query,
-                            probe,
-                            now,
-                            rng,
-                            &mut stats,
-                            &mut leaf_readings,
-                            wb,
-                        );
+                let child = self.node(c);
+                let child_contained =
+                    query.region.contains_rect(&child.bbox) && child.level >= terminal_level;
+                if child_contained {
+                    // Terminal child: handled when popped; push keeps
+                    // the traversal order and redistribution simple.
+                    pq.push(c.0, share, scaled);
+                    assigned += share;
+                } else {
+                    let mut push_target = share;
+                    let mut child_scaled = scaled;
+                    if !scaled
+                        && child.level == query.oversample_level
+                        && self.config.enable_oversampling
+                    {
+                        push_target /= self.node_avail(c).max(MIN_AVAILABILITY);
+                        child_scaled = true;
                     }
-                    Kid::Node(c) => {
-                        let child = self.node(c);
-                        let child_contained = query.region.contains_rect(&child.bbox)
-                            && child.level >= terminal_level;
-                        if child_contained {
-                            // Terminal child: handled when popped; push keeps
-                            // the traversal order and redistribution simple.
-                            pq.push(c, share, scaled);
-                            assigned += share;
-                        } else {
-                            let mut push_target = share;
-                            let mut child_scaled = scaled;
-                            if !scaled
-                                && child.level == query.oversample_level
-                                && self.config.enable_oversampling
-                            {
-                                push_target /= self.node_avail(c).max(MIN_AVAILABILITY);
-                                child_scaled = true;
-                            }
-                            pq.push(c, push_target, child_scaled);
-                            assigned += share;
-                        }
-                    }
+                    pq.push(c.0, push_target, child_scaled);
+                    assigned += share;
                 }
             }
 
-            if !leaf_readings.is_empty() || leaf_target > TARGET_EPS {
+            if !scratch.leaf_readings.is_empty() || leaf_target > TARGET_EPS {
                 let bbox = self.node(id).bbox;
-                let mut group = Self::group_over_readings(id, bbox, &leaf_readings, leaf_target);
-                group.results = leaf_readings.len() as u64;
+                let mut group =
+                    Self::group_over_readings(id, bbox, &scratch.leaf_readings, leaf_target);
+                group.results = scratch.leaf_readings.len() as u64;
                 groups.push(group);
-                readings.extend(leaf_readings);
+                readings.append(&mut scratch.leaf_readings);
             }
 
             let lag = r_eff - fulfilled - assigned;
@@ -291,6 +338,7 @@ impl ColrTree {
             }
         }
         debug_assert!(pq.is_empty());
+        scratch.pq = pq;
 
         QueryOutput {
             groups,
@@ -300,7 +348,7 @@ impl ColrTree {
         }
     }
 
-    fn group_over_readings(
+    pub(crate) fn group_over_readings(
         node: NodeId,
         bbox: colr_geo::Rect,
         readings: &[Reading],
@@ -324,10 +372,14 @@ impl ColrTree {
     /// Serves one terminal subtree: cached aggregate shortcut → raw cache →
     /// sampled probes. Returns the number of successful readings credited
     /// against the (raw, pre-oversampling) target.
+    ///
+    /// Shared by the pointer and arena layouts via [`TermTarget`]; every RNG
+    /// draw and every f64 operation below is layout-independent, which is
+    /// what makes the two sample streams bit-identical.
     #[allow(clippy::too_many_arguments)]
-    fn serve_terminal<P, R>(
+    pub(crate) fn serve_terminal<P, R>(
         &self,
-        id: NodeId,
+        target: TermTarget<'_>,
         r_eff: f64,
         scaled: bool,
         query: &Query,
@@ -338,19 +390,33 @@ impl ColrTree {
         groups: &mut Vec<GroupResult>,
         readings: &mut Vec<Reading>,
         wb: &mut WriteBack,
+        scratch: &mut QueryScratch,
     ) -> f64
     where
         P: ProbeService + ?Sized,
         R: Rng + ?Sized,
     {
-        let node = self.node(id);
-        let bbox = node.bbox;
+        let (id, bbox, weight) = match &target {
+            TermTarget::Ptr(id) => {
+                let node = self.node(*id);
+                (*id, node.bbox, node.query_weight(query.kind_filter) as f64)
+            }
+            TermTarget::Arena { arena, idx, .. } => {
+                let id = arena.orig(*idx);
+                // The arena mirrors the unfiltered weight as f64; filtered
+                // weights stay on the pointer node's sorted kind table.
+                let weight = match query.kind_filter {
+                    None => arena.weight(*idx),
+                    Some(k) => self.node(id).query_weight(Some(k)) as f64,
+                };
+                (id, arena.bbox(*idx), weight)
+            }
+        };
         let avail = if self.config.enable_oversampling {
             self.node_avail(id).max(MIN_AVAILABILITY)
         } else {
             1.0
         };
-        let weight = node.query_weight(query.kind_filter) as f64;
         // The desired number of *successful* readings from this subtree.
         let want = if scaled { r_eff * avail } else { r_eff }.min(weight.max(1.0));
 
@@ -386,19 +452,46 @@ impl ColrTree {
         }
 
         // 2. Raw cached readings count against the target (line 9 / 15).
-        let (cached, mut candidates) = self.terminal_scan(id, query, now, stats);
-        stats.readings_from_cache += cached.len() as u64;
-        if !cached.is_empty() {
+        scratch.cached.clear();
+        scratch.candidates.clear();
+        match &target {
+            TermTarget::Ptr(id) => self.terminal_scan_into(
+                *id,
+                query,
+                now,
+                stats,
+                &mut scratch.cached,
+                &mut scratch.candidates,
+                &mut scratch.stack,
+            ),
+            TermTarget::Arena {
+                arena,
+                idx,
+                rect_contained,
+            } => self.terminal_scan_arena(
+                arena,
+                *idx,
+                *rect_contained,
+                query,
+                now,
+                stats,
+                &mut scratch.cached,
+                &mut scratch.candidates,
+                &mut scratch.stack,
+            ),
+        }
+        stats.readings_from_cache += scratch.cached.len() as u64;
+        if !scratch.cached.is_empty() {
             stats.cache_nodes_used += 1;
         }
-        let need = want - cached.len() as f64;
+        let need = want - scratch.cached.len() as f64;
 
         // 3. Oversampled probing of the remainder (lines 11–14).
         let probe_target = if need <= TARGET_EPS {
             0.0
         } else if scaled {
             // Target was inflated upstream; spend what remains of it.
-            (r_eff - cached.len() as f64).max(0.0)
+            (r_eff - scratch.cached.len() as f64).max(0.0)
         } else {
             need / avail
         };
@@ -408,22 +501,32 @@ impl ColrTree {
         // only the downside back into the queue would inflate the sample).
         // Only a *structural* shortfall — fewer candidates than the target —
         // redistributes (deployment holes, Algorithm 1 line 22).
-        let attempted = probe_target.min(candidates.len() as f64);
-        let k = stochastic_round(attempted, rng).min(candidates.len());
+        let attempted = probe_target.min(scratch.candidates.len() as f64);
+        let k = stochastic_round(attempted, rng).min(scratch.candidates.len());
         // Partial Fisher–Yates: uniform k-subset of the candidates.
         for i in 0..k {
-            let j = rng.random_range(i..candidates.len());
-            candidates.swap(i, j);
+            let j = rng.random_range(i..scratch.candidates.len());
+            scratch.candidates.swap(i, j);
         }
-        let probed = self.probe_sensors(&candidates[..k], probe, query, now, stats, true, wb);
+        let probed =
+            self.probe_sensors(&scratch.candidates[..k], probe, query, now, stats, true, wb);
 
-        let cached_count = cached.len();
-        let mut all = cached;
-        all.extend(probed);
-        let mut group = Self::group_over_readings(id, bbox, &all, want);
-        group.results = all.len() as u64;
-        groups.push(group);
-        readings.extend(all);
+        let cached_count = scratch.cached.len();
+        let mut agg = crate::agg::PartialAgg::empty();
+        for r in scratch.cached.iter().chain(probed.iter()) {
+            agg.insert(r.value);
+        }
+        groups.push(GroupResult {
+            node: id,
+            bbox,
+            agg,
+            from_cache: false,
+            target: want,
+            results: (cached_count + probed.len()) as u64,
+            hist: None,
+        });
+        readings.append(&mut scratch.cached);
+        readings.extend(probed);
         // Expected successes from the attempt, independent of rounding and
         // per-probe luck (oversampling already compensates failures).
         let credit = cached_count as f64 + attempted * avail;
@@ -433,7 +536,7 @@ impl ColrTree {
     /// Serves a single-sensor terminal (a sensor child of a partially
     /// overlapped leaf). Returns the credit against the raw target.
     #[allow(clippy::too_many_arguments)]
-    fn serve_sensor<P, R>(
+    pub(crate) fn serve_sensor<P, R>(
         &self,
         s: SensorId,
         share: f64,
@@ -557,24 +660,24 @@ mod tests {
 
     #[test]
     fn scaled_pq_pops_in_priority_order() {
-        let mut pq = ScaledPq::new(true);
-        pq.push(NodeId(1), 1.0, false);
-        pq.push(NodeId(2), 5.0, false);
-        pq.push(NodeId(3), 3.0, false);
-        assert_eq!(pq.pop().unwrap().0, NodeId(2));
-        assert_eq!(pq.pop().unwrap().0, NodeId(3));
-        assert_eq!(pq.pop().unwrap().0, NodeId(1));
+        let mut pq = ScaledPq::default();
+        pq.push(1, 1.0, false);
+        pq.push(2, 5.0, false);
+        pq.push(3, 3.0, false);
+        assert_eq!(pq.pop().unwrap().0, 2);
+        assert_eq!(pq.pop().unwrap().0, 3);
+        assert_eq!(pq.pop().unwrap().0, 1);
         assert!(pq.pop().is_none());
     }
 
     #[test]
     fn scaled_pq_redistribute_grows_targets_proportionally() {
-        let mut pq = ScaledPq::new(true);
-        pq.push(NodeId(1), 2.0, false);
-        pq.push(NodeId(2), 6.0, false);
+        let mut pq = ScaledPq::default();
+        pq.push(1, 2.0, false);
+        pq.push(2, 6.0, false);
         pq.redistribute(4.0); // total 8 → scale 1.5
         let (n, t, _) = pq.pop().unwrap();
-        assert_eq!(n, NodeId(2));
+        assert_eq!(n, 2);
         assert!((t - 9.0).abs() < 1e-9);
         let (_, t, _) = pq.pop().unwrap();
         assert!((t - 3.0).abs() < 1e-9);
@@ -582,12 +685,12 @@ mod tests {
 
     #[test]
     fn scaled_pq_push_after_redistribute_uses_current_scale() {
-        let mut pq = ScaledPq::new(true);
-        pq.push(NodeId(1), 4.0, false);
+        let mut pq = ScaledPq::default();
+        pq.push(1, 4.0, false);
         pq.redistribute(4.0); // scale 2
-        pq.push(NodeId(2), 4.0, false); // effective 4.0 at push time
+        pq.push(2, 4.0, false); // effective 4.0 at push time
         let (n, t, _) = pq.pop().unwrap();
-        assert_eq!(n, NodeId(1));
+        assert_eq!(n, 1);
         assert!((t - 8.0).abs() < 1e-9);
         let (_, t, _) = pq.pop().unwrap();
         assert!((t - 4.0).abs() < 1e-9);
@@ -738,8 +841,9 @@ mod tests {
 
     #[test]
     fn disabled_redistribution_never_inflates_targets() {
-        let mut pq = ScaledPq::new(false);
-        pq.push(NodeId(1), 2.0, false);
+        let mut pq = ScaledPq::default();
+        pq.reset(false);
+        pq.push(1, 2.0, false);
         pq.redistribute(100.0);
         let (_, t, _) = pq.pop().unwrap();
         assert_eq!(t, 2.0);

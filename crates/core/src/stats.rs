@@ -23,6 +23,9 @@ pub struct QueryStats {
     pub readings_from_cache: u64,
     /// Sensors probed (requests issued, including failed ones).
     pub sensors_probed: u64,
+    /// Probe waves issued (primary waves of `probe_parallelism` sensors plus
+    /// retry waves). Lets cold-run reports attribute latency to round-trips.
+    pub probe_waves: u64,
     /// Probes that returned no data (sensor unavailable).
     pub probes_failed: u64,
     /// Cache entries scanned (flat-cache baseline work).
@@ -63,6 +66,7 @@ impl QueryStats {
         self.slots_combined += other.slots_combined;
         self.readings_from_cache += other.readings_from_cache;
         self.sensors_probed += other.sensors_probed;
+        self.probe_waves += other.probe_waves;
         self.probes_failed += other.probes_failed;
         self.entries_scanned += other.entries_scanned;
         self.cache_inserts += other.cache_inserts;
@@ -145,6 +149,7 @@ mod tests {
             slots_combined: 3,
             readings_from_cache: 4,
             sensors_probed: 5,
+            probe_waves: 3,
             probes_failed: 1,
             entries_scanned: 6,
             cache_inserts: 7,
@@ -161,6 +166,7 @@ mod tests {
         assert_eq!(b.slots_combined, 6);
         assert_eq!(b.readings_from_cache, 8);
         assert_eq!(b.sensors_probed, 10);
+        assert_eq!(b.probe_waves, 6);
         assert_eq!(b.probes_failed, 2);
         assert_eq!(b.entries_scanned, 12);
         assert_eq!(b.cache_inserts, 14);

@@ -177,12 +177,29 @@ pub enum BuildStrategy {
     },
     /// Sort-Tile-Recursive packing.
     Str,
+    /// Morton (Z-order) curve packing: sort by interleaved-bit key, chunk
+    /// consecutive runs. The cheap flat baseline of the bench matrix.
+    Morton,
 }
 
 impl Default for BuildStrategy {
     fn default() -> Self {
         BuildStrategy::KMeans { iterations: 8 }
     }
+}
+
+/// Which in-memory representation Algorithm 1 traverses at query time.
+///
+/// Both layouts produce **bit-identical sample streams** for the same
+/// `(tree, query, rng)` — enforced by the hot-path parity test — so the
+/// choice is purely a performance knob.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HotPathLayout {
+    /// Traverse the pointer tree of [`Node`] structs (the reference path).
+    Pointer,
+    /// Traverse the flattened structure-of-arrays [`crate::arena::SamplingArena`]
+    /// (cache-conscious; the default).
+    Arena,
 }
 
 /// Configuration of a COLR-Tree.
@@ -216,6 +233,8 @@ pub struct ColrConfig {
     pub cache_coverage_threshold: f64,
     /// Latency model used to convert query stats into processing latency.
     pub cost: CostModel,
+    /// Query-time representation Algorithm 1 runs against.
+    pub layout: HotPathLayout,
 }
 
 impl Default for ColrConfig {
@@ -230,6 +249,7 @@ impl Default for ColrConfig {
             enable_redistribution: true,
             cache_coverage_threshold: 0.5,
             cost: CostModel::default(),
+            layout: HotPathLayout::Arena,
         }
     }
 }
@@ -275,6 +295,10 @@ pub struct ColrTree {
     /// When set, Algorithm 1 consults these instead of the frozen
     /// build-time `avail_mean` / `SensorMeta::availability`.
     pub(crate) live_avail: RwLock<Option<Arc<crate::avail::LiveAvailability>>>,
+    /// Flattened structure-of-arrays mirror of `nodes`, rebuilt once per
+    /// generation by the bulk loader. Immutable after construction; shared
+    /// by clones (it mirrors the same immutable node structure).
+    pub(crate) arena: Option<Arc<crate::arena::SamplingArena>>,
 }
 
 impl Clone for ColrTree {
@@ -297,6 +321,7 @@ impl Clone for ColrTree {
             // Estimates describe the same physical sensors, so clones share
             // the map (and keep learning from each other's probes).
             live_avail: RwLock::new(self.live_avail.read().clone()),
+            arena: self.arena.clone(),
         }
     }
 }
@@ -329,6 +354,7 @@ impl ColrTree {
             stripes: stripes.into_iter().map(RwLock::new).collect(),
             maint: Mutex::new(Maintenance::default()),
             live_avail: RwLock::new(None),
+            arena: None,
         }
     }
 
@@ -436,6 +462,13 @@ impl ColrTree {
     /// Number of raw readings currently cached tree-wide.
     pub fn cached_readings(&self) -> usize {
         self.maint.lock().total_cached
+    }
+
+    /// The flattened structure-of-arrays mirror of the node structure, built
+    /// once per generation by the bulk loader (`None` only for hand-assembled
+    /// trees that never went through `build`).
+    pub fn sampling_arena(&self) -> Option<&crate::arena::SamplingArena> {
+        self.arena.as_deref()
     }
 
     // ------------------------------------------------------------------
