@@ -42,8 +42,8 @@ use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 use colr_bench::hotpath::{
-    cpu_qps, grid_sensors, run, viewport_queries, viewport_queries_at, warm_caches, WanProbe,
-    EXPIRY,
+    cpu_qps, cpu_qps_recorded, grid_sensors, run, viewport_queries, viewport_queries_at,
+    warm_caches, WanProbe, EXPIRY,
 };
 use colr_engine::{
     AdmissionConfig, AggSpec, PortalConfig, PortalService, SelectQuery, SpatialPredicate,
@@ -300,6 +300,37 @@ fn run_quick() {
         std::process::exit(1);
     }
     eprintln!("OK: arena layout within gate (>= 0.9x pointer warm q/s)");
+
+    // Second gate: the flight recorder's warm-path overhead. Recording
+    // every query (begin → execute → take → recycle, as a
+    // `flight_record_every = 1` portal would) must keep at least 95% of the
+    // unrecorded warm q/s — the recorder is pooled and allocation-free on
+    // the warm path, so anything worse is a hot-path regression.
+    let mut plain = 0.0f64;
+    let mut recorded = 0.0f64;
+    for rep in 0..5 {
+        if rep % 2 == 0 {
+            plain = plain.max(cpu_qps(&ptr_tree, &ptr_net, &queries, now, 5678, 0.25));
+            recorded = recorded.max(cpu_qps_recorded(
+                &ptr_tree, &ptr_net, &queries, now, 5678, 0.25,
+            ));
+        } else {
+            recorded = recorded.max(cpu_qps_recorded(
+                &ptr_tree, &ptr_net, &queries, now, 5678, 0.25,
+            ));
+            plain = plain.max(cpu_qps(&ptr_tree, &ptr_net, &queries, now, 5678, 0.25));
+        }
+    }
+    let rec_ratio = recorded / plain;
+    eprintln!(
+        "recorder gate (best-of CPU-time q/s): off {plain:.0}, on {recorded:.0}, \
+         ratio {rec_ratio:.3}"
+    );
+    if rec_ratio < 0.95 {
+        eprintln!("FAIL: flight recorder costs >5% of warm q/s");
+        std::process::exit(1);
+    }
+    eprintln!("OK: flight recorder within gate (>= 0.95x unrecorded warm q/s)");
 }
 
 fn main() {
@@ -385,6 +416,25 @@ fn main() {
         warm.p50_latency_ms,
         warm.p95_latency_ms,
         warm.p99_latency_ms
+    );
+
+    // Flight-recorder overhead on the warm single-threaded hot path: the
+    // same caches, CPU-time q/s with the recorder off vs armed for every
+    // query (best-of interleaved slices, as in the quick gate).
+    let mut rec_off = 0.0f64;
+    let mut rec_on = 0.0f64;
+    for rep in 0..5 {
+        if rep % 2 == 0 {
+            rec_off = rec_off.max(cpu_qps(&tree, &net, &queries, now, 5678, 0.25));
+            rec_on = rec_on.max(cpu_qps_recorded(&tree, &net, &queries, now, 5678, 0.25));
+        } else {
+            rec_on = rec_on.max(cpu_qps_recorded(&tree, &net, &queries, now, 5678, 0.25));
+            rec_off = rec_off.max(cpu_qps(&tree, &net, &queries, now, 5678, 0.25));
+        }
+    }
+    let rec_ratio = rec_on / rec_off;
+    eprintln!(
+        "flight recorder warm cpu-time q/s: off {rec_off:.0}, on {rec_on:.0}, ratio {rec_ratio:.3}"
     );
 
     // Service phase: the identical warm viewport mix, but closed-loop
@@ -516,6 +566,10 @@ fn main() {
         warm.p50_latency_ms,
         warm.p95_latency_ms,
         warm.p99_latency_ms
+    ));
+    json.push_str(&format!(
+        "  \"flight_recorder\": {{\"warm_cpu_qps_recorder_off\": {rec_off:.1}, \
+         \"warm_cpu_qps_recorder_on\": {rec_on:.1}, \"throughput_ratio\": {rec_ratio:.4}}},\n"
     ));
     json.push_str(&format!(
         "  \"service_concurrent\": {{\"clients\": {}, \"ops\": {}, \"queries_per_sec\": {:.1}, \

@@ -235,6 +235,43 @@ pub fn cpu_qps<P: colr_tree::ProbeService>(
     (passes * queries.len() as u64) as f64 / spent
 }
 
+/// [`cpu_qps`] with the flight recorder armed for every query: each query
+/// runs begin → execute → take → recycle, exactly the per-query cost a
+/// `flight_record_every = 1` portal pays. Dividing this by [`cpu_qps`] on
+/// the same workload is the recorder's warm-path overhead.
+pub fn cpu_qps_recorded<P: colr_tree::ProbeService>(
+    tree: &ColrTree,
+    probe: &P,
+    queries: &[Query],
+    now: Timestamp,
+    seed: u64,
+    min_cpu_s: f64,
+) -> f64 {
+    use colr_tree::flight;
+    let wall = Instant::now();
+    let cpu0 = process_cpu_seconds();
+    let mut passes = 0u64;
+    let spent = loop {
+        for (i, q) in queries.iter().enumerate() {
+            let mut rng = StdRng::seed_from_u64(derive_seed(seed, i as u64));
+            flight::begin(i as u64);
+            let (out, _deferred) = tree.execute_frozen(q, Mode::Colr, probe, now, &mut rng);
+            let mut rec = flight::take().expect("recorder armed for the query");
+            rec.finalize(&out.stats, 0.0);
+            flight::recycle(rec);
+        }
+        passes += 1;
+        let spent = match (cpu0, process_cpu_seconds()) {
+            (Some(a), Some(b)) => b - a,
+            _ => wall.elapsed().as_secs_f64(),
+        };
+        if spent >= min_cpu_s && passes >= 3 {
+            break spent;
+        }
+    };
+    (passes * queries.len() as u64) as f64 / spent
+}
+
 /// Warms the slot caches: replays the whole batch once against the frozen
 /// snapshot (same derived seeds as the timed runs) and applies the deferred
 /// write-backs, so a subsequent `run` measures the warm hot path.

@@ -440,6 +440,7 @@ impl ColrTree {
         while let Some((idx, r_eff, scaled)) = pq.pop() {
             let idx = idx as usize;
             stats.nodes_traversed += 1;
+            crate::flight::with(|f| f.node(arena.level(idx)));
             let intersects = match &qr {
                 Some(q) => arena.intersects(idx, q),
                 None => query.region.intersects_rect(&arena.bbox(idx)),
@@ -694,6 +695,7 @@ impl ColrTree {
             // The terminal itself was already counted by the caller.
             if !first {
                 stats.nodes_traversed += 1;
+                crate::flight::with(|f| f.node(arena.level(cur)));
             }
             first = false;
             if !rect_contained && !query.region.intersects_rect(&arena.bbox(cur)) {
@@ -835,7 +837,7 @@ mod tests {
             let start = arena.child_start(idx);
             for q in &viewports {
                 arena.classify_children(start, clen, q, &mut class);
-                for j in 0..clen {
+                for (j, &got) in class.iter().enumerate().take(clen) {
                     let bb = arena.bbox(start + j);
                     let expect = if !q.intersects(&bb) {
                         0
@@ -844,7 +846,7 @@ mod tests {
                     } else {
                         1
                     };
-                    assert_eq!(class[j], expect, "node {idx} child {j} vs {q:?}");
+                    assert_eq!(got, expect, "node {idx} child {j} vs {q:?}");
                 }
             }
         }

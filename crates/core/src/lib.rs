@@ -53,6 +53,7 @@ pub mod arena;
 pub mod avail;
 pub mod build;
 pub mod flat_cache;
+pub mod flight;
 pub mod inspect;
 pub mod lookup;
 pub mod metrics;
@@ -75,6 +76,7 @@ pub use alias::AliasTable;
 pub use arena::SamplingArena;
 pub use avail::LiveAvailability;
 pub use flat_cache::{FlatCache, FlatOutput};
+pub use flight::{FlightRecord, LevelStage, RetryRound, WaveStage};
 pub use lookup::{GroupResult, Mode, Query, QueryOutput};
 pub use model::IdwModel;
 pub use probe::{ProbeReport, ProbeService};

@@ -215,6 +215,7 @@ impl WriteBack {
                     }
                 }
                 stats.cache_inserts += inserted;
+                crate::flight::with(|f| f.write_back(inserted));
                 if inserted > 0 {
                     colr_telemetry::tracer().record_now(
                         colr_telemetry::SpanKind::WriteBack,
@@ -400,6 +401,7 @@ impl ColrTree {
             // The terminal itself was already counted by the caller.
             if !first {
                 stats.nodes_traversed += 1;
+                crate::flight::with(|f| f.node(self.node(cur).level));
             }
             first = false;
             let node = self.node(cur);
@@ -443,6 +445,7 @@ impl ColrTree {
         while let Some(cur) = stack.pop() {
             if !first {
                 stats.nodes_traversed += 1;
+                crate::flight::with(|f| f.node(self.node(cur).level));
             }
             first = false;
             let node = self.node(cur);
@@ -524,6 +527,20 @@ impl ColrTree {
             + report.backoff_wait_ms as f64)
             * 1_000.0) as u64;
         telem.probe_wave_us.observe(wave_us);
+        crate::flight::with(|f| {
+            f.wave(crate::flight::WaveStage {
+                probes: ids.len() as u64,
+                waves: waves + report.retry_waves,
+                failed,
+                retries: report.retries_issued,
+                retry_waves: report.retry_waves,
+                backoff_ms: report.backoff_wait_ms,
+                breaker_skipped: report.breaker_skipped,
+                deadline_clipped: report.deadline_clipped,
+                budget_before_ms: budget,
+                dur_us: wave_us,
+            });
+        });
         colr_telemetry::tracer().record_now(
             colr_telemetry::SpanKind::ProbeWave,
             wave_us,
@@ -570,6 +587,7 @@ impl ColrTree {
         while let Some(id) = stack.pop() {
             stats.nodes_traversed += 1;
             let node = self.node(id);
+            crate::flight::with(|f| f.node(node.level));
             if !query.region.intersects_rect(&node.bbox) {
                 continue;
             }
@@ -613,6 +631,7 @@ impl ColrTree {
         while let Some(id) = stack.pop() {
             stats.nodes_traversed += 1;
             let node = self.node(id);
+            crate::flight::with(|f| f.node(node.level));
             if !query.region.intersects_rect(&node.bbox) {
                 continue;
             }
@@ -635,6 +654,7 @@ impl ColrTree {
                     crate::telem::tree().cache_hit(node.level);
                     stats.cache_nodes_used += 1;
                     stats.slots_combined += slots;
+                    crate::flight::with(|f| f.cache_hit(node.level, slots));
                     groups.push(GroupResult {
                         node: id,
                         bbox: node.bbox,
@@ -647,13 +667,16 @@ impl ColrTree {
                     continue;
                 }
                 crate::telem::tree().cache_miss(node.level);
+                crate::flight::with(|f| f.cache_miss(node.level));
             }
             if node.is_leaf() {
                 let bbox = node.bbox;
                 let (cached, candidates) = self.terminal_scan(id, query, now, &mut stats);
                 stats.readings_from_cache += cached.len() as u64;
+                crate::flight::with(|f| f.cached_readings(cached.len() as u64));
                 if !cached.is_empty() {
                     stats.cache_nodes_used += 1;
+                    crate::flight::with(|f| f.cache_hit(node.level, 0));
                 }
                 let target = (cached.len() + candidates.len()) as f64;
                 let probed =

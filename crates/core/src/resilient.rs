@@ -285,6 +285,9 @@ impl<P> ResilientProber<P> {
             report.retries_issued += retryable.len() as u64;
             t.retries.add(retryable.len() as u64);
             t.retry_waves.inc();
+            crate::flight::with(|f| {
+                f.retry_round(u64::from(wave) + 1, retryable.len() as u64, backoff)
+            });
             wave += 1;
             pending = retryable;
         }

@@ -201,6 +201,7 @@ impl ColrTree {
             let id = NodeId(id);
             stats.nodes_traversed += 1;
             let node = self.node(id);
+            crate::flight::with(|f| f.node(node.level));
             if !query.region.intersects_rect(&node.bbox) {
                 pq.redistribute(r_eff);
                 continue;
@@ -439,6 +440,7 @@ impl ColrTree {
         if !agg.is_empty() && (agg.count as f64) + TARGET_EPS >= want.min(weight) {
             stats.cache_nodes_used += 1;
             stats.slots_combined += slots;
+            crate::flight::with(|f| f.cache_hit(self.node(id).level, slots));
             groups.push(GroupResult {
                 node: id,
                 bbox,
@@ -450,6 +452,9 @@ impl ColrTree {
             });
             return want;
         }
+
+        // The aggregate shortcut fell short of coverage for this terminal.
+        crate::flight::with(|f| f.cache_miss(self.node(id).level));
 
         // 2. Raw cached readings count against the target (line 9 / 15).
         scratch.cached.clear();
@@ -481,8 +486,10 @@ impl ColrTree {
             ),
         }
         stats.readings_from_cache += scratch.cached.len() as u64;
+        crate::flight::with(|f| f.cached_readings(scratch.cached.len() as u64));
         if !scratch.cached.is_empty() {
             stats.cache_nodes_used += 1;
+            crate::flight::with(|f| f.cache_hit(self.node(id).level, 0));
         }
         let need = want - scratch.cached.len() as f64;
 
@@ -570,6 +577,7 @@ impl ColrTree {
         });
         if let Some(r) = fresh {
             stats.readings_from_cache += 1;
+            crate::flight::with(|f| f.cached_readings(1));
             out.push(r);
             return want;
         }

@@ -262,9 +262,11 @@ impl SlotCache {
     ) -> bool {
         let abs = self.config.slot_of(expires_at);
         if abs < base || abs >= base + self.ring.len() as u64 {
+            crate::flight::with(|f| f.wb_rejected += 1);
             return false;
         }
         let bucket = self.bucket(abs);
+        let opened;
         match &mut self.ring[bucket] {
             Some((a, s)) if *a == abs => {
                 s.agg.insert(value);
@@ -275,12 +277,15 @@ impl SlotCache {
                 if ts < s.min_ts {
                     s.min_ts = ts;
                 }
+                opened = false;
             }
             entry => {
                 // Either empty or holds a stale (pre-roll) slot; replace.
                 *entry = Some((abs, Slot::singleton(value, ts, kind, self.config.histogram)));
+                opened = true;
             }
         }
+        crate::flight::with(|f| f.slot_write(opened));
         true
     }
 

@@ -30,7 +30,7 @@ pub mod shared;
 
 pub use ast::{AggSpec, SelectQuery, SpatialPredicate};
 pub use error::PortalError;
-pub use parser::{parse, ParseError};
+pub use parser::{parse, parse_statement, ParseError, Statement};
 pub use planner::Planner;
 pub use portal::{
     BatchResult, DegradationReport, GroupView, Portal, PortalConfig, PortalConfigBuilder,

@@ -402,6 +402,46 @@ pub fn parse(input: &str) -> Result<SelectQuery, ParseError> {
     Parser { tokens, pos: 0 }.query()
 }
 
+/// A parsed portal statement: either a plain query or an `EXPLAIN [ANALYZE]`
+/// wrapper around one.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Statement {
+    /// Execute the query and return its results.
+    Select(SelectQuery),
+    /// Describe the plan; with `analyze`, also execute the query under an
+    /// always-on flight recorder and return the captured stage tree.
+    Explain {
+        /// `EXPLAIN ANALYZE ...` (vs plain `EXPLAIN ...`).
+        analyze: bool,
+        /// The wrapped query.
+        query: SelectQuery,
+    },
+}
+
+/// Parses a statement of the portal dialect: `[EXPLAIN [ANALYZE]] SELECT ...`.
+///
+/// ```
+/// use colr_engine::{parse_statement, Statement};
+///
+/// let s = parse_statement(
+///     "EXPLAIN ANALYZE SELECT avg(temp) FROM sensor \
+///      WHERE location WITHIN Rect(0, 0, 10, 10) SAMPLESIZE 20",
+/// )
+/// .expect("parses");
+/// assert!(matches!(s, Statement::Explain { analyze: true, .. }));
+/// ```
+pub fn parse_statement(input: &str) -> Result<Statement, ParseError> {
+    let tokens = tokenize(input)?;
+    let mut p = Parser { tokens, pos: 0 };
+    if p.try_keyword("explain") {
+        let analyze = p.try_keyword("analyze");
+        let query = p.query()?;
+        Ok(Statement::Explain { analyze, query })
+    } else {
+        Ok(Statement::Select(p.query()?))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -422,6 +462,30 @@ mod tests {
         assert_eq!(q.staleness, Some(TimeDelta::from_mins(10)));
         assert_eq!(q.cluster, Some(10.0));
         assert_eq!(q.sample_size, Some(30));
+    }
+
+    #[test]
+    fn parses_explain_and_explain_analyze_statements() {
+        let sql = "SELECT count(*) FROM sensor WHERE location WITHIN RECT(0,0,4,4)";
+        match parse_statement(sql).expect("plain select") {
+            Statement::Select(q) => assert_eq!(q.agg, AggSpec::Count),
+            other => panic!("expected Select, got {other:?}"),
+        }
+        match parse_statement(&format!("EXPLAIN {sql}")).expect("explain") {
+            Statement::Explain { analyze, query } => {
+                assert!(!analyze);
+                assert_eq!(query.agg, AggSpec::Count);
+            }
+            other => panic!("expected Explain, got {other:?}"),
+        }
+        match parse_statement(&format!("explain ANALYZE {sql}")).expect("explain analyze") {
+            Statement::Explain { analyze, .. } => assert!(analyze),
+            other => panic!("expected Explain, got {other:?}"),
+        }
+        // EXPLAIN requires a complete query after it.
+        assert!(parse_statement("EXPLAIN ANALYZE").is_err());
+        // `analyze` alone is not a statement starter.
+        assert!(parse_statement(&format!("ANALYZE {sql}")).is_err());
     }
 
     #[test]

@@ -49,6 +49,11 @@ pub struct PortalConfig {
     /// (ignored by the single-owner [`Portal`] wrapper, which cannot
     /// overload itself).
     pub admission: AdmissionConfig,
+    /// Record one per-query flight record every this many interactive
+    /// queries (0 = never). `EXPLAIN ANALYZE` always records, regardless of
+    /// this gate. Recording never perturbs answers: it consumes no RNG and
+    /// changes no float computation.
+    pub flight_record_every: u64,
 }
 
 impl Default for PortalConfig {
@@ -60,6 +65,7 @@ impl Default for PortalConfig {
             max_sensors_per_query: Some(500),
             seed: 42,
             admission: AdmissionConfig::default(),
+            flight_record_every: 0,
         }
     }
 }
@@ -165,6 +171,13 @@ impl PortalConfigBuilder {
     /// Sets the admission-controller tuning.
     pub fn admission(mut self, admission: AdmissionConfig) -> Self {
         self.cfg.admission = admission;
+        self
+    }
+
+    /// Sets the flight-recorder sampling gate (record 1-in-`every` queries;
+    /// 0 = never).
+    pub fn flight_record_every(mut self, every: u64) -> Self {
+        self.cfg.flight_record_every = every;
         self
     }
 
@@ -415,6 +428,20 @@ impl<P: ProbeService> Portal<P> {
     /// executing it (the portal's `EXPLAIN`).
     pub fn explain_sql(&self, sql: &str) -> Result<String, PortalError> {
         self.service.explain_sql(sql)
+    }
+
+    /// The portal's `EXPLAIN ANALYZE`: executes the query under an always-on
+    /// flight recorder and returns the plan description plus the captured
+    /// stage tree, with stage totals parity-checked against the query's
+    /// `QueryStats`. See [`crate::PortalService::explain_analyze_sql`].
+    pub fn explain_analyze_sql(&self, sql: &str) -> Result<String, PortalError> {
+        self.service.explain_analyze_sql(sql)
+    }
+
+    /// Attaches an SLO watchdog fed by every subsequent interactive query.
+    /// See [`crate::PortalService::attach_watchdog`].
+    pub fn attach_watchdog(&self, watchdog: std::sync::Arc<colr_telemetry::SloWatchdog>) {
+        self.service.attach_watchdog(watchdog)
     }
 
     /// Executes a parsed query. Bypasses admission control (a single owner

@@ -35,15 +35,16 @@
 //! execution has always used — so, for a given generation, the answer to
 //! ordinal `i` does not depend on which thread ran it.
 
+use std::fmt::Write as _;
 use std::ptr;
 use std::sync::atomic::{AtomicBool, AtomicPtr, AtomicU32, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, OnceLock};
 
-use colr_telemetry::{global, tracer, Counter, Gauge, SpanKind};
+use colr_telemetry::{global, tracer, Counter, Gauge, SloWatchdog, SpanKind};
 use colr_tree::{
-    AggKind, ClockHandle, ColrConfig, ColrTree, Histogram, LiveAvailability, Mode, ProbeService,
-    Query, QueryOutput, QueryStats, Reading, ResilientProber, SensorId, SensorMeta, TimeDelta,
-    Timestamp,
+    flight, AggKind, ClockHandle, ColrConfig, ColrTree, Histogram, LiveAvailability, Mode,
+    ProbeService, Query, QueryOutput, QueryStats, Reading, ResilientProber, SensorId, SensorMeta,
+    TimeDelta, Timestamp,
 };
 use parking_lot::{Mutex, RwLock};
 use rand::rngs::StdRng;
@@ -51,7 +52,7 @@ use rand::SeedableRng;
 
 use crate::ast::SelectQuery;
 use crate::error::PortalError;
-use crate::parser::{parse, ParseError};
+use crate::parser::{parse, parse_statement, ParseError, Statement};
 use crate::planner::Planner;
 use crate::portal::{BatchResult, DegradationReport, GroupView, PortalConfig, PortalResult};
 
@@ -302,6 +303,13 @@ struct ServiceCore<P> {
     max_sensors_per_query: Option<usize>,
     admission: AdmissionConfig,
     seed: u64,
+    /// Record one flight per this many interactive queries (0 = off;
+    /// `EXPLAIN ANALYZE` always records regardless).
+    flight_every: u64,
+    /// Interactive queries seen by the sampling gate.
+    flight_counter: AtomicU64,
+    /// Optional SLO watchdog fed one observation per interactive query.
+    watchdog: RwLock<Option<Arc<SloWatchdog>>>,
 }
 
 /// A cloneable, thread-safe handle to one shared portal back end. See the
@@ -350,6 +358,9 @@ impl<P: ProbeService> PortalService<P> {
                 max_sensors_per_query: config.max_sensors_per_query,
                 admission: config.admission,
                 seed: config.seed,
+                flight_every: config.flight_record_every,
+                flight_counter: AtomicU64::new(0),
+                watchdog: RwLock::new(None),
             }),
         }
     }
@@ -398,6 +409,20 @@ impl<P: ProbeService> PortalService<P> {
     /// `true` once [`PortalService::close`] has been called.
     pub fn is_closed(&self) -> bool {
         self.core.closed.load(Ordering::Acquire)
+    }
+
+    /// Attaches an SLO watchdog: every subsequent interactive query feeds it
+    /// one `(latency, fulfillment)` observation, plus the query's flight
+    /// record (as JSON) whenever one was captured. On an objective breach
+    /// the watchdog snapshots the registry diff and the last K flight
+    /// records into a structured [`colr_telemetry::BreachReport`].
+    pub fn attach_watchdog(&self, watchdog: Arc<SloWatchdog>) {
+        *self.core.watchdog.write() = Some(watchdog);
+    }
+
+    /// The attached SLO watchdog, if any.
+    pub fn watchdog(&self) -> Option<Arc<SloWatchdog>> {
+        self.core.watchdog.read().clone()
     }
 
     // -- registration & reindexing ----------------------------------------
@@ -553,6 +578,76 @@ impl<P: ProbeService> PortalService<P> {
         Ok(self.snapshot().planner.explain(&parsed))
     }
 
+    /// The portal's `EXPLAIN ANALYZE`: executes the query under an always-on
+    /// flight recorder and returns the plan description, the captured stage
+    /// tree (per-level cache hits/misses, probe-wave deadline-budget
+    /// consumption, write-back), the degradation report, and a parity line
+    /// asserting the stage totals are bit-identical to the query's
+    /// [`QueryStats`].
+    ///
+    /// Accepts either a bare `SELECT ...` or the full
+    /// `EXPLAIN [ANALYZE] SELECT ...` statement form.
+    pub fn explain_analyze_sql(&self, sql: &str) -> Result<String, PortalError> {
+        let ordinal = self.core.ordinal.fetch_add(1, Ordering::Relaxed);
+        // Arm before parsing so the parse stage lands in the record; every
+        // error path below must disarm to avoid leaking an active recorder
+        // onto this thread.
+        flight::begin(ordinal);
+        let disarm = || {
+            if let Some(rec) = flight::take() {
+                flight::recycle(rec);
+            }
+        };
+        let at_us = self.core.clock.now().0 * 1_000;
+        let parsed = match parse_statement(sql) {
+            Ok(Statement::Select(q)) | Ok(Statement::Explain { query: q, .. }) => {
+                tracer().record(SpanKind::Parse, at_us, 0, sql.len() as u64);
+                flight::with(|f| f.parse_sql_len = sql.len() as u64);
+                q
+            }
+            Err(e) => {
+                portal_telem().parse_errors.inc();
+                disarm();
+                return Err(e.into());
+            }
+        };
+        let (_slot, queue_wait) = match self.admit() {
+            Ok(admitted) => admitted,
+            Err(e) => {
+                disarm();
+                return Err(e);
+            }
+        };
+        let gen = self.snapshot();
+        let mut rng = StdRng::seed_from_u64(derive_seed(self.core.seed, ordinal));
+        service_telem().served.inc();
+        let result = self.run_with_rng(&gen, &parsed, &mut rng, queue_wait);
+        let rec = flight::take().expect("recorder stays armed through EXPLAIN ANALYZE");
+        let mut out = gen.planner.explain(&parsed);
+        out.push('\n');
+        out.push_str(&rec.render_tree());
+        let d = &result.degradation;
+        let _ = writeln!(
+            out,
+            "degradation: requested={} sampled={} fulfillment={:.3} \
+             breaker_skipped={} deadline_clipped={} probes_retried={}",
+            d.requested,
+            d.sampled,
+            d.fulfillment(),
+            d.breaker_skipped,
+            d.deadline_clipped,
+            d.probes_retried
+        );
+        match rec.parity() {
+            Ok(()) => out.push_str("parity: stage totals == QueryStats (bit-exact)"),
+            Err(e) => {
+                let _ = write!(out, "parity: FAILED — {e}");
+            }
+        }
+        flight::recycle(rec);
+        Ok(out)
+    }
+
     /// Executes a batch of parsed queries against one generation snapshot,
     /// fanning out over `threads` workers, under admission control (the
     /// batch occupies one admission slot; its queries run frozen against the
@@ -594,6 +689,9 @@ impl<P: ProbeService> PortalService<P> {
         match parse(sql) {
             Ok(q) => {
                 tracer().record(SpanKind::Parse, at_us, 0, sql.len() as u64);
+                // Only an already-armed recorder (EXPLAIN ANALYZE) sees the
+                // parse stage; the sampling gate arms later, at execution.
+                flight::with(|f| f.parse_sql_len = sql.len() as u64);
                 Ok(q)
             }
             Err(e) => {
@@ -613,14 +711,61 @@ impl<P: ProbeService> PortalService<P> {
         queue_wait: TimeDelta,
     ) -> PortalResult {
         let core = &*self.core;
+        // Flight gate: an externally-armed recorder (EXPLAIN ANALYZE) stays
+        // under its caller's control; otherwise the 1-in-N sampler may arm
+        // one for this query. Recording never touches the RNG or any float
+        // op, so recorded and unrecorded queries return identical answers.
+        let external = flight::is_active();
+        let self_armed = if !external && core.flight_every > 0 {
+            let n = core.flight_counter.fetch_add(1, Ordering::Relaxed);
+            let hit = n.is_multiple_of(core.flight_every);
+            if hit {
+                flight::begin(n);
+            }
+            hit
+        } else {
+            false
+        };
         let now = core.clock.now();
         let mut plan = self.plan_capped(gen, q);
         plan.probe_deadline = plan.probe_deadline - queue_wait;
         tracer().record(SpanKind::Plan, now.0 * 1_000, 0, 1);
+        flight::with(|f| {
+            f.admission_wait_ms = queue_wait.millis();
+            f.plan_target = plan.sample_size.unwrap_or(0.0);
+            f.plan_terminal_level = plan.terminal_level;
+            f.plan_deadline_ms = plan.probe_deadline.millis();
+        });
         portal_telem().queries.inc();
         let requested = self.requested_target(&plan);
         let out = gen.tree.execute(&plan, core.mode, &core.probe, now, rng);
-        self.finish(gen, q.agg.kind(), requested, out)
+        let result = self.finish(gen, q.agg.kind(), requested, out);
+        let watchdog = core.watchdog.read().clone();
+        let mut flight_json = None;
+        if flight::is_active() {
+            flight::with(|f| {
+                f.finalize(&result.stats, result.latency_ms);
+                f.requested = result.degradation.requested;
+                f.sampled = result.degradation.sampled;
+                if watchdog.is_some() {
+                    flight_json = Some(f.to_json());
+                }
+            });
+            if self_armed {
+                if let Some(rec) = flight::take() {
+                    flight::recycle(rec);
+                }
+            }
+            // An external record stays armed for its caller to take.
+        }
+        if let Some(w) = watchdog {
+            w.observe(
+                (result.latency_ms * 1_000.0) as u64,
+                result.degradation.fulfillment(),
+                flight_json,
+            );
+        }
+        result
     }
 
     /// The batch executor behind both [`PortalService::execute_many`] and

@@ -570,7 +570,7 @@ mod tests {
 
     #[test]
     fn parity_with_native_tree_aggregates() {
-        let mut native = tree(None);
+        let native = tree(None);
         let mut rel = RelationalColrTree::from_tree(&native);
         // Insert the same readings into both implementations.
         for i in 0..32u32 {

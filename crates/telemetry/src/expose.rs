@@ -130,7 +130,7 @@ fn highest_used_bucket(h: &HistogramSnapshot) -> usize {
 
 /// Quotes a metric name as a JSON string (names are ASCII identifiers plus
 /// `{key="value"}` label suffixes, so only `"` and `\` need escaping).
-fn json_str(s: &str) -> String {
+pub(crate) fn json_str(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
     for c in s.chars() {

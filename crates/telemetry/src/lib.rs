@@ -18,6 +18,9 @@
 //!   deterministically.
 //! * Exposition — [`Snapshot::to_prometheus`] (text format 0.0.4) and
 //!   [`Snapshot::to_json`], plus [`Snapshot::diff`] for interval metrics.
+//! * [`SloWatchdog`] — sliding-window objectives over per-query latency and
+//!   fulfillment that, on breach, snapshot the registry diff plus the last
+//!   K flight records into a structured JSON [`BreachReport`].
 //!
 //! ## Naming scheme
 //!
@@ -42,8 +45,10 @@
 pub mod expose;
 pub mod registry;
 pub mod trace;
+pub mod watchdog;
 
 pub use registry::{
     global, Counter, Gauge, Histogram, HistogramSnapshot, Registry, Snapshot, HISTOGRAM_BUCKETS,
 };
 pub use trace::{tracer, SpanKind, TraceEvent, Tracer};
+pub use watchdog::{BreachReport, SloConfig, SloWatchdog};

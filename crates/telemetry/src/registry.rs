@@ -187,7 +187,14 @@ impl HistogramSnapshot {
                 }
                 let lo = 1u64 << (i - 1);
                 let hi = bucket_upper(i);
-                return (lo as f64 + hi as f64) / 2.0;
+                // Rank-interpolate within the log-2 bucket: the rank'th
+                // observation is the `into`'th of `b` in this bucket, so
+                // place it proportionally between the bucket bounds instead
+                // of collapsing every in-bucket rank to one point (which
+                // overstated low quantiles by up to 2x).
+                let into = rank - (seen - b);
+                let frac = into as f64 / b as f64;
+                return lo as f64 + frac * (hi - lo) as f64;
             }
         }
         bucket_upper(HISTOGRAM_BUCKETS - 1) as f64
@@ -462,6 +469,33 @@ mod tests {
         let p100 = s.quantile(1.0);
         assert!((65_536.0..=131_071.0).contains(&p100), "p100 = {p100}");
         assert_eq!(HistogramSnapshot::default_empty().quantile(0.5), 0.0);
+    }
+
+    #[test]
+    fn quantiles_interpolate_within_log2_buckets() {
+        // All mass in one bucket: [512, 1023] holds 1000 observations. The
+        // quantile must spread ranks across the bucket span instead of
+        // collapsing them all to one point — p10 < p50 < p99, with p50 near
+        // the bucket middle and p99 near (but not beyond) the upper bound.
+        let r = Registry::new();
+        let h = r.histogram("spread_us");
+        for _ in 0..1000 {
+            h.observe(700);
+        }
+        let s = h.snapshot();
+        let (p10, p50, p99) = (s.quantile(0.10), s.quantile(0.50), s.quantile(0.99));
+        assert!(p10 < p50 && p50 < p99, "p10={p10} p50={p50} p99={p99}");
+        assert!(
+            (p50 - 767.5).abs() < 2.0,
+            "p50 = {p50}, want ~bucket middle"
+        );
+        assert!(p99 <= 1023.0, "p99 = {p99} beyond the bucket upper bound");
+        assert!(p99 > 1000.0, "p99 = {p99} should approach the upper bound");
+        // A lone observation fills its whole bucket: frac = 1/1 puts every
+        // quantile at the upper bound, never beyond it.
+        let one = r.histogram("one_us");
+        one.observe(700);
+        assert_eq!(one.snapshot().quantile(0.5), 1023.0);
     }
 
     impl HistogramSnapshot {

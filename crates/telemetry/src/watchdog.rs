@@ -1,0 +1,341 @@
+//! The SLO watchdog: sliding-window monitors over per-query latency and
+//! fulfillment that turn "the portal feels slow" into a structured,
+//! attributable breach report.
+//!
+//! A [`SloWatchdog`] is fed one observation per served query — the modelled
+//! latency, the degradation-report fulfillment, and (when the query was
+//! flight-recorded) the query's flight record pre-rendered as a JSON string.
+//! It keeps bounded sliding windows; whenever the window violates a
+//! configured objective (`p99 < limit`, `fulfillment >= floor`) it snapshots
+//! the *registry diff since the previous breach* plus the last K flight
+//! records into a [`BreachReport`] whose `json` field is a self-contained
+//! document: thresholds, observed window statistics, every `colr_*` counter
+//! that moved, and the per-stage flight records of the queries that were in
+//! the blast radius.
+//!
+//! The watchdog lives in `colr-telemetry` (below every other crate), so the
+//! flight records cross the dependency boundary as opaque pre-rendered JSON
+//! strings — the watchdog never needs the recorder's types.
+
+use std::collections::VecDeque;
+
+use parking_lot::Mutex;
+
+use crate::registry::{global, Snapshot};
+
+/// Objectives and window tuning for a [`SloWatchdog`].
+#[derive(Debug, Clone)]
+pub struct SloConfig {
+    /// Sliding-window length, in observations.
+    pub window: usize,
+    /// Minimum observations in the window before objectives are evaluated
+    /// (prevents a single cold query from tripping a p99 objective).
+    pub min_samples: usize,
+    /// Breach when the window's p99 latency exceeds this, in µs.
+    pub p99_latency_us: Option<u64>,
+    /// Breach when the window's *minimum* fulfillment falls below this
+    /// (a batch mean hides one fully degraded viewport among healthy ones).
+    pub min_fulfillment: Option<f64>,
+    /// Flight records retained for breach reports (most recent K).
+    pub keep_flight_records: usize,
+    /// Observations to swallow after a breach before re-evaluating, so one
+    /// sustained incident produces one report per cooldown rather than one
+    /// per query.
+    pub cooldown: usize,
+}
+
+impl Default for SloConfig {
+    fn default() -> Self {
+        SloConfig {
+            window: 128,
+            min_samples: 16,
+            p99_latency_us: Some(5_000),
+            min_fulfillment: Some(0.9),
+            keep_flight_records: 4,
+            cooldown: 64,
+        }
+    }
+}
+
+/// One objective violation: the window statistics at the breach, plus the
+/// self-contained JSON document described in the module docs.
+#[derive(Debug, Clone)]
+pub struct BreachReport {
+    /// Observation ordinal (1-based) at which the breach fired.
+    pub at_observation: u64,
+    /// Which objective(s) failed, human-readable.
+    pub reason: String,
+    /// Window p99 latency at the breach, µs.
+    pub p99_latency_us: u64,
+    /// Window minimum fulfillment at the breach.
+    pub min_fulfillment: f64,
+    /// Flight records attached to the report (count, for quick assertions).
+    pub flight_records: usize,
+    /// The full structured report.
+    pub json: String,
+}
+
+struct Inner {
+    latencies: VecDeque<u64>,
+    fulfillments: VecDeque<f64>,
+    flights: VecDeque<String>,
+    /// Registry snapshot at creation / last breach: each report diffs
+    /// against it, so counters are attributed to one incident, not to the
+    /// process lifetime.
+    baseline: Snapshot,
+    observed: u64,
+    since_breach: usize,
+    breaches: Vec<BreachReport>,
+}
+
+/// Sliding-window SLO monitor. `Send + Sync`; share it behind an `Arc` and
+/// feed it from every query thread.
+pub struct SloWatchdog {
+    cfg: SloConfig,
+    inner: Mutex<Inner>,
+}
+
+impl SloWatchdog {
+    /// Creates a watchdog whose first breach report diffs the registry
+    /// against its state *now*.
+    pub fn new(cfg: SloConfig) -> SloWatchdog {
+        SloWatchdog {
+            inner: Mutex::new(Inner {
+                latencies: VecDeque::with_capacity(cfg.window),
+                fulfillments: VecDeque::with_capacity(cfg.window),
+                flights: VecDeque::with_capacity(cfg.keep_flight_records),
+                baseline: global().snapshot(),
+                observed: 0,
+                since_breach: usize::MAX / 2,
+                breaches: Vec::new(),
+            }),
+            cfg,
+        }
+    }
+
+    /// Feeds one served query: modelled latency (µs), fulfillment (1.0 =
+    /// full answer) and, if the query was flight-recorded, its record as a
+    /// pre-rendered JSON string. Returns the breach report when this
+    /// observation tripped an objective.
+    pub fn observe(
+        &self,
+        latency_us: u64,
+        fulfillment: f64,
+        flight_json: Option<String>,
+    ) -> Option<BreachReport> {
+        let cfg = &self.cfg;
+        let mut inner = self.inner.lock();
+        inner.observed += 1;
+        inner.since_breach = inner.since_breach.saturating_add(1);
+        push_bounded(&mut inner.latencies, latency_us, cfg.window);
+        push_bounded(&mut inner.fulfillments, fulfillment, cfg.window);
+        if let Some(f) = flight_json {
+            push_bounded(&mut inner.flights, f, cfg.keep_flight_records.max(1));
+        }
+        if inner.latencies.len() < cfg.min_samples.max(1) || inner.since_breach < cfg.cooldown {
+            return None;
+        }
+
+        let p99 = window_quantile(&inner.latencies, 0.99);
+        let worst = inner
+            .fulfillments
+            .iter()
+            .copied()
+            .fold(f64::INFINITY, f64::min);
+        let mut reasons = Vec::new();
+        if let Some(limit) = cfg.p99_latency_us {
+            if p99 > limit {
+                reasons.push(format!("p99 latency {p99}us > {limit}us"));
+            }
+        }
+        if let Some(floor) = cfg.min_fulfillment {
+            if worst < floor {
+                reasons.push(format!("fulfillment {worst:.3} < {floor:.3}"));
+            }
+        }
+        if reasons.is_empty() {
+            return None;
+        }
+
+        let reason = reasons.join("; ");
+        let report = self.render_breach(&inner, &reason, p99, worst);
+        inner.baseline = global().snapshot();
+        inner.since_breach = 0;
+        inner.breaches.push(report.clone());
+        Some(report)
+    }
+
+    fn render_breach(&self, inner: &Inner, reason: &str, p99: u64, worst: f64) -> BreachReport {
+        let cfg = &self.cfg;
+        let mean_fulfillment = if inner.fulfillments.is_empty() {
+            1.0
+        } else {
+            inner.fulfillments.iter().sum::<f64>() / inner.fulfillments.len() as f64
+        };
+        let diff = global().snapshot().diff(&inner.baseline);
+        let mut json = String::with_capacity(1024);
+        json.push_str("{\"breach\": {");
+        json.push_str(&format!("\"at_observation\": {}, ", inner.observed));
+        json.push_str(&format!(
+            "\"reason\": {}, ",
+            crate::expose::json_str(reason)
+        ));
+        json.push_str("\"thresholds\": {");
+        json.push_str(&format!(
+            "\"p99_latency_us\": {}, ",
+            cfg.p99_latency_us
+                .map_or("null".to_owned(), |v| v.to_string())
+        ));
+        json.push_str(&format!(
+            "\"min_fulfillment\": {}",
+            cfg.min_fulfillment
+                .map_or("null".to_owned(), |v| format!("{v:.3}"))
+        ));
+        json.push_str("}, \"window\": {");
+        json.push_str(&format!("\"samples\": {}, ", inner.latencies.len()));
+        json.push_str(&format!(
+            "\"p50_latency_us\": {}, ",
+            window_quantile(&inner.latencies, 0.50)
+        ));
+        json.push_str(&format!("\"p99_latency_us\": {p99}, "));
+        json.push_str(&format!("\"min_fulfillment\": {worst:.4}, "));
+        json.push_str(&format!("\"mean_fulfillment\": {mean_fulfillment:.4}"));
+        json.push_str("}, \"registry_diff\": ");
+        json.push_str(&diff.to_json());
+        json.push_str(", \"flight_records\": [");
+        for (i, f) in inner.flights.iter().enumerate() {
+            if i > 0 {
+                json.push_str(", ");
+            }
+            json.push_str(f);
+        }
+        json.push_str("]}}");
+        BreachReport {
+            at_observation: inner.observed,
+            reason: reason.to_owned(),
+            p99_latency_us: p99,
+            min_fulfillment: worst,
+            flight_records: inner.flights.len(),
+            json,
+        }
+    }
+
+    /// Every breach recorded so far, oldest first.
+    pub fn breaches(&self) -> Vec<BreachReport> {
+        self.inner.lock().breaches.clone()
+    }
+
+    /// One-line health summary for status pages and examples.
+    pub fn status(&self) -> String {
+        let inner = self.inner.lock();
+        let p99 = window_quantile(&inner.latencies, 0.99);
+        let worst = inner
+            .fulfillments
+            .iter()
+            .copied()
+            .fold(f64::INFINITY, f64::min);
+        let worst = if worst.is_finite() { worst } else { 1.0 };
+        format!(
+            "slo watchdog: {} observed, window {} (p99 {}us, min fulfillment {:.3}), {} breach(es)",
+            inner.observed,
+            inner.latencies.len(),
+            p99,
+            worst,
+            inner.breaches.len()
+        )
+    }
+}
+
+fn push_bounded<T>(q: &mut VecDeque<T>, v: T, cap: usize) {
+    while q.len() >= cap.max(1) {
+        q.pop_front();
+    }
+    q.push_back(v);
+}
+
+/// Nearest-rank quantile over a copy of the window (windows are small —
+/// hundreds of entries — so a sort per evaluation is cheap and exact).
+fn window_quantile(window: &VecDeque<u64>, q: f64) -> u64 {
+    if window.is_empty() {
+        return 0;
+    }
+    let mut v: Vec<u64> = window.iter().copied().collect();
+    v.sort_unstable();
+    let idx = ((v.len() as f64 - 1.0) * q.clamp(0.0, 1.0)).round() as usize;
+    v[idx]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quiet_cfg() -> SloConfig {
+        SloConfig {
+            window: 16,
+            min_samples: 4,
+            p99_latency_us: Some(1_000),
+            min_fulfillment: Some(0.9),
+            keep_flight_records: 2,
+            cooldown: 8,
+        }
+    }
+
+    #[test]
+    fn healthy_window_never_breaches() {
+        let w = SloWatchdog::new(quiet_cfg());
+        for _ in 0..64 {
+            assert!(w.observe(500, 1.0, None).is_none());
+        }
+        assert!(w.breaches().is_empty());
+        assert!(w.status().contains("0 breach"));
+    }
+
+    #[test]
+    fn latency_objective_breaches_with_report() {
+        let w = SloWatchdog::new(quiet_cfg());
+        for _ in 0..4 {
+            w.observe(500, 1.0, None);
+        }
+        let breach = w
+            .observe(50_000, 1.0, Some("{\"stage\": \"probe\"}".to_owned()))
+            .expect("p99 objective violated");
+        assert!(breach.reason.contains("p99 latency"));
+        assert!(breach.p99_latency_us >= 50_000);
+        assert_eq!(breach.flight_records, 1);
+        assert!(breach.json.contains("\"registry_diff\""));
+        assert!(breach.json.contains("{\"stage\": \"probe\"}"));
+    }
+
+    #[test]
+    fn fulfillment_objective_and_cooldown() {
+        let w = SloWatchdog::new(quiet_cfg());
+        for _ in 0..4 {
+            w.observe(100, 1.0, None);
+        }
+        assert!(w.observe(100, 0.2, None).is_some(), "fulfillment breach");
+        // Cooldown swallows the sustained violation...
+        for _ in 0..7 {
+            assert!(w.observe(100, 0.2, None).is_none());
+        }
+        // ...and the incident re-reports after it elapses.
+        assert!(w.observe(100, 0.2, None).is_some());
+        assert_eq!(w.breaches().len(), 2);
+    }
+
+    #[test]
+    fn flight_ring_keeps_most_recent_k() {
+        let w = SloWatchdog::new(SloConfig {
+            min_fulfillment: Some(0.5),
+            ..quiet_cfg()
+        });
+        for i in 0..4 {
+            w.observe(100, 1.0, Some(format!("{{\"q\": {i}}}")));
+        }
+        let breach = w.observe(100, 0.0, None).expect("breach");
+        // keep_flight_records = 2: only the last two records survive.
+        assert_eq!(breach.flight_records, 2);
+        assert!(!breach.json.contains("{\"q\": 1}"));
+        assert!(breach.json.contains("{\"q\": 2}"));
+        assert!(breach.json.contains("{\"q\": 3}"));
+    }
+}

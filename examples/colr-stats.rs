@@ -9,11 +9,13 @@
 //! Used by `ci.sh` as the observability smoke test: the run must emit the
 //! metric families the instrumentation promises.
 
+use std::sync::Arc;
+
 use colr_repro::colr::{inspect, Mode, SensorMeta, TimeDelta};
 use colr_repro::engine::{Portal, PortalConfig};
 use colr_repro::geo::Point;
 use colr_repro::sensors::{RandomWalkField, SimNetwork};
-use colr_repro::telemetry::{global, tracer};
+use colr_repro::telemetry::{global, tracer, SloConfig, SloWatchdog};
 
 fn main() {
     // A 32x32 grid of 5-minute sensors at 90% availability over a drifting
@@ -44,6 +46,18 @@ fn main() {
             ..Default::default()
         },
     );
+
+    // An SLO watchdog rides along for the whole scenario; the objectives
+    // are generous, so this run reports a clean status rather than breaches.
+    let watchdog = Arc::new(SloWatchdog::new(SloConfig {
+        window: 64,
+        min_samples: 8,
+        p99_latency_us: Some(30_000_000),
+        min_fulfillment: Some(0.5),
+        keep_flight_records: 4,
+        cooldown: 16,
+    }));
+    portal.attach_watchdog(watchdog.clone());
 
     // Cold viewport queries, then the same viewports warm, then a batch.
     portal.clock().advance(TimeDelta::from_secs(1));
@@ -99,7 +113,19 @@ fn main() {
         );
     }
 
-    // 3. Structural level statistics of the index (Section VII-B).
+    // 3. One query under `EXPLAIN ANALYZE`: the per-query flight recorder's
+    //    stage tree, with the parity assertion against `QueryStats`.
+    println!("\n== EXPLAIN ANALYZE ==");
+    let report = portal
+        .explain_analyze_sql(&format!("EXPLAIN ANALYZE {}", sqls[0]))
+        .expect("explain analyze");
+    println!("{report}");
+
+    // 4. The watchdog's view of the whole run.
+    println!("\n== SLO watchdog ==");
+    println!("{}", watchdog.status());
+
+    // 5. Structural level statistics of the index (Section VII-B).
     println!("\n== Tree level stats ==");
     println!(
         "{:>5} {:>6} {:>10} {:>10} {:>11} {:>9} {:>10}",

@@ -6,17 +6,21 @@
 //! contention, zero reader downtime (every query answered), no torn
 //! answers (every count names exactly one generation), a monotone
 //! generation counter from every thread's viewpoint, and cache carry-over
-//! across each swap. Prints `service_storm OK` on success (ci.sh greps
-//! for it).
+//! across each swap. A second phase injects a regional outage under an
+//! SLO watchdog and asserts the fulfillment breach report carries flight
+//! records. Prints `service_storm OK` on success (ci.sh greps for it).
 //!
 //! ```sh
 //! cargo run --example service_storm
 //! ```
 
+use std::sync::Arc;
+
 use colr_repro::colr::probe::AlwaysAvailable;
-use colr_repro::colr::{Mode, SensorMeta, TimeDelta};
+use colr_repro::colr::{Mode, ProbeService, Reading, SensorId, SensorMeta, TimeDelta, Timestamp};
 use colr_repro::engine::{PortalConfig, PortalService};
 use colr_repro::geo::Point;
+use colr_repro::telemetry::{SloConfig, SloWatchdog};
 
 const SIDE: usize = 32;
 const BASE: usize = SIDE * SIDE; // 1024 sensors
@@ -118,5 +122,97 @@ fn main() {
         "service_storm clients={CLIENTS} queries={} swaps={SWAPS} final_population={final_count}",
         CLIENTS * QUERIES_PER_CLIENT,
     );
+
+    outage_phase();
     println!("service_storm OK");
+}
+
+/// Sensors in the eastern half of the grid go dark; every query keeps
+/// getting answered (degraded), and the SLO watchdog must notice.
+struct RegionalOutage {
+    locations: Vec<Point>,
+    cutoff_x: f64,
+}
+
+impl ProbeService for RegionalOutage {
+    fn probe_batch(&self, ids: &[SensorId], now: Timestamp) -> Vec<Option<Reading>> {
+        ids.iter()
+            .map(|&id| {
+                let loc = self.locations[id.0 as usize];
+                if loc.x >= self.cutoff_x {
+                    return None;
+                }
+                Some(Reading {
+                    sensor: id,
+                    value: id.0 as f64,
+                    timestamp: now,
+                    expires_at: now + TimeDelta::from_millis(EXPIRY_MS),
+                })
+            })
+            .collect()
+    }
+}
+
+/// Phase two: a fresh service under a half-dark fleet, flight-recording
+/// every query, with a fulfillment watchdog attached. The breach report
+/// must arrive and must embed flight records for the offending queries.
+fn outage_phase() {
+    let sensors: Vec<SensorMeta> = (0..BASE)
+        .map(|i| {
+            SensorMeta::new(
+                i as u32,
+                Point::new((i % SIDE) as f64, (i / SIDE) as f64),
+                TimeDelta::from_millis(EXPIRY_MS),
+                1.0,
+            )
+        })
+        .collect();
+    let locations: Vec<Point> = sensors.iter().map(|m| m.location).collect();
+    let svc = PortalService::new(
+        sensors,
+        RegionalOutage {
+            locations,
+            cutoff_x: SIDE as f64 / 2.0,
+        },
+        PortalConfig {
+            mode: Mode::Colr,
+            flight_record_every: 1,
+            ..Default::default()
+        },
+    );
+    svc.clock().advance(TimeDelta::from_secs(1));
+    let watchdog = Arc::new(SloWatchdog::new(SloConfig {
+        window: 32,
+        min_samples: 8,
+        p99_latency_us: None,
+        min_fulfillment: Some(0.9),
+        keep_flight_records: 4,
+        cooldown: 16,
+    }));
+    svc.attach_watchdog(watchdog.clone());
+    let sql = format!(
+        "SELECT count(*) FROM sensor WHERE location WITHIN RECT(-0.5,-0.5,{},{}) SAMPLESIZE 200",
+        SIDE as f64 - 0.5,
+        SIDE as f64 - 0.5
+    );
+    for _ in 0..16 {
+        svc.query_sql(&sql).expect("degraded, never refused");
+    }
+    let breaches = watchdog.breaches();
+    assert!(
+        !breaches.is_empty(),
+        "half-dark fleet must breach fulfillment >= 0.9"
+    );
+    let report = &breaches[0];
+    assert!(report.reason.contains("fulfillment"), "{}", report.reason);
+    assert!(
+        report.flight_records > 0,
+        "breach report carries no flight records"
+    );
+    println!(
+        "service_storm outage_phase breaches={} first_reason={:?} flight_records={}",
+        breaches.len(),
+        report.reason,
+        report.flight_records,
+    );
 }

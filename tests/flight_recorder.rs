@@ -1,0 +1,291 @@
+//! The per-query flight recorder and the SLO watchdog, end to end.
+//!
+//! The recorder's contract has three legs:
+//!
+//! (a) **Parity by construction** — the stage tree accumulates at exactly
+//!     the sites that mutate `QueryStats`, so its totals are bit-identical
+//!     to the stats, on the pointer *and* the arena hot-path layouts, in
+//!     every execution mode, cold and warm, with retries and failures in
+//!     play.
+//! (b) **Zero observable effect** — arming the recorder consumes no RNG and
+//!     changes no float op; a recorded run answers byte-for-byte like an
+//!     unrecorded one.
+//! (c) **Surfacing** — `EXPLAIN ANALYZE` returns the stage tree with the
+//!     parity assertion, and a watchdog breach under a regional outage
+//!     snapshots flight records into its JSON report.
+
+use std::sync::Arc;
+
+use colr_repro::colr::probe::{AlwaysAvailable, FailEveryKth};
+use colr_repro::colr::{
+    flight, ColrConfig, ColrTree, HotPathLayout, Mode, ProbeService, Query, Reading,
+    ResilientConfig, ResilientProber, SensorId, SensorMeta, TimeDelta, Timestamp,
+};
+use colr_repro::engine::{Portal, PortalConfig, PortalService};
+use colr_repro::geo::{Point, Rect};
+use colr_repro::telemetry::{SloConfig, SloWatchdog};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const EXPIRY_MS: u64 = 600_000;
+const SIDE: usize = 16; // 256 sensors
+
+fn fleet() -> Vec<SensorMeta> {
+    (0..SIDE * SIDE)
+        .map(|i| {
+            SensorMeta::new(
+                i as u32,
+                Point::new((i % SIDE) as f64, (i / SIDE) as f64),
+                TimeDelta::from_millis(EXPIRY_MS),
+                0.9,
+            )
+        })
+        .collect()
+}
+
+fn viewport(sample: Option<f64>) -> Query {
+    let q = Query::range(
+        Rect::from_coords(-0.5, -0.5, SIDE as f64 - 4.5, SIDE as f64 - 4.5),
+        TimeDelta::from_mins(5),
+    );
+    match sample {
+        Some(r) => q.with_sample_size(r),
+        None => q,
+    }
+}
+
+#[test]
+fn stage_totals_match_query_stats_across_layouts_and_modes() {
+    // Retrying prober over a deterministic failure pattern: waves, retries,
+    // backoff and failures all flow through the record.
+    for layout in [HotPathLayout::Pointer, HotPathLayout::Arena] {
+        for (mode, sample) in [
+            (Mode::RTree, None),
+            (Mode::HierCache, None),
+            (Mode::Colr, Some(60.0)),
+        ] {
+            let tree = ColrTree::build(
+                fleet(),
+                ColrConfig {
+                    layout,
+                    ..Default::default()
+                },
+                11,
+            );
+            let probe =
+                ResilientProber::new(FailEveryKth::new(EXPIRY_MS, 3), ResilientConfig::default());
+            let mut rng = StdRng::seed_from_u64(99);
+            let q = viewport(sample);
+            for round in 0..3u64 {
+                // Rounds 0/1 share an instant (1 is warm); round 2 expires
+                // the caches so probing resumes.
+                let now = Timestamp(1_000 + (round / 2) * EXPIRY_MS);
+                flight::begin(round);
+                let out = tree.execute(&q, mode, &probe, now, &mut rng);
+                let mut rec = flight::take().expect("recorder was armed");
+                rec.finalize(&out.stats, 0.0);
+                rec.parity().unwrap_or_else(|e| {
+                    panic!("{layout:?}/{mode:?} round {round}: {e}");
+                });
+                assert!(
+                    rec.levels.iter().map(|l| l.nodes).sum::<u64>() > 0,
+                    "{layout:?}/{mode:?}: no traversal recorded"
+                );
+                if round == 2 && out.stats.probes_retried > 0 {
+                    assert!(
+                        !rec.retry_rounds.is_empty(),
+                        "{layout:?}/{mode:?}: retries happened but no retry rounds recorded"
+                    );
+                }
+                flight::recycle(rec);
+            }
+        }
+    }
+}
+
+#[test]
+fn recording_never_changes_answers() {
+    // Two identical portals, same seed, same queries; one records every
+    // query, the other never does. Answers must match byte for byte.
+    let build = |every: u64| {
+        Portal::new(
+            fleet(),
+            AlwaysAvailable {
+                expiry_ms: EXPIRY_MS,
+            },
+            PortalConfig {
+                flight_record_every: every,
+                ..Default::default()
+            },
+        )
+    };
+    let mut plain = build(0);
+    let mut recorded = build(1);
+    let sql = "SELECT avg(value) FROM sensor WHERE location WITHIN \
+               RECT(-0.5,-0.5,11.5,11.5) SAMPLESIZE 40";
+    for round in 0..4 {
+        let a = plain.query_sql(sql).expect("plain query");
+        let b = recorded.query_sql(sql).expect("recorded query");
+        assert_eq!(
+            format!("{:?}", (a.value, &a.groups, &a.stats, a.latency_ms)),
+            format!("{:?}", (b.value, &b.groups, &b.stats, b.latency_ms)),
+            "round {round}: recording changed the answer"
+        );
+    }
+}
+
+#[test]
+fn explain_analyze_executes_and_asserts_parity_on_both_layouts() {
+    for layout in [HotPathLayout::Pointer, HotPathLayout::Arena] {
+        let portal = PortalService::new(
+            fleet(),
+            AlwaysAvailable {
+                expiry_ms: EXPIRY_MS,
+            },
+            PortalConfig {
+                tree: ColrConfig {
+                    layout,
+                    ..Default::default()
+                },
+                ..Default::default()
+            },
+        );
+        portal.clock().advance(TimeDelta::from_secs(1));
+        let sql = "EXPLAIN ANALYZE SELECT count(*) FROM sensor WHERE location \
+                   WITHIN RECT(-0.5,-0.5,11.5,11.5) SAMPLESIZE 50";
+        // Cold, then warm: the second run must show cache activity in the
+        // stage tree and still hold parity.
+        let cold = portal
+            .explain_analyze_sql(sql)
+            .expect("cold explain analyze");
+        let warm = portal
+            .explain_analyze_sql(sql)
+            .expect("warm explain analyze");
+        for (tag, report) in [("cold", &cold), ("warm", &warm)] {
+            for needle in [
+                "flight record",
+                "├─ plan",
+                "├─ traverse",
+                "├─ probe",
+                "├─ write-back",
+                "degradation:",
+                "parity: stage totals == QueryStats (bit-exact)",
+            ] {
+                assert!(
+                    report.contains(needle),
+                    "{layout:?} {tag}: missing `{needle}` in:\n{report}"
+                );
+            }
+            assert!(
+                !report.contains("parity: FAILED"),
+                "{layout:?} {tag}: parity failure:\n{report}"
+            );
+        }
+        assert!(
+            cold.contains("wave"),
+            "{layout:?}: cold run issued no probe wave:\n{cold}"
+        );
+        // The bare-SELECT form is accepted too.
+        let bare = portal
+            .explain_analyze_sql(
+                "SELECT count(*) FROM sensor WHERE location WITHIN \
+                 RECT(-0.5,-0.5,5.5,5.5) SAMPLESIZE 10",
+            )
+            .expect("bare select analyzes");
+        assert!(bare.contains("parity: stage totals == QueryStats (bit-exact)"));
+        // EXPLAIN ANALYZE must not leak an armed recorder onto the thread.
+        assert!(
+            !flight::is_active(),
+            "recorder leaked after EXPLAIN ANALYZE"
+        );
+    }
+}
+
+/// Sensors east of `cutoff_x` are dark; everyone else answers like
+/// [`AlwaysAvailable`].
+struct RegionalOutage {
+    locations: Vec<Point>,
+    cutoff_x: f64,
+    expiry_ms: u64,
+}
+
+impl ProbeService for RegionalOutage {
+    fn probe_batch(&self, ids: &[SensorId], now: Timestamp) -> Vec<Option<Reading>> {
+        ids.iter()
+            .map(|&id| {
+                let loc = self.locations[id.0 as usize];
+                if loc.x >= self.cutoff_x {
+                    return None;
+                }
+                Some(Reading {
+                    sensor: id,
+                    value: id.0 as f64,
+                    timestamp: now,
+                    expires_at: now + TimeDelta::from_millis(self.expiry_ms),
+                })
+            })
+            .collect()
+    }
+}
+
+#[test]
+fn regional_outage_breaches_the_fulfillment_objective_with_flight_records() {
+    let sensors = fleet();
+    let locations: Vec<Point> = sensors.iter().map(|m| m.location).collect();
+    let svc = PortalService::new(
+        sensors,
+        RegionalOutage {
+            locations,
+            cutoff_x: SIDE as f64 / 2.0, // the east half is dark
+            expiry_ms: EXPIRY_MS,
+        },
+        PortalConfig {
+            mode: Mode::Colr,
+            flight_record_every: 1,
+            ..Default::default()
+        },
+    );
+    svc.clock().advance(TimeDelta::from_secs(1));
+    let watchdog = Arc::new(SloWatchdog::new(SloConfig {
+        window: 32,
+        min_samples: 8,
+        p99_latency_us: None,
+        min_fulfillment: Some(0.9),
+        keep_flight_records: 4,
+        cooldown: 16,
+    }));
+    svc.attach_watchdog(watchdog.clone());
+    let sql = format!(
+        "SELECT count(*) FROM sensor WHERE location WITHIN \
+         RECT(-0.5,-0.5,{},{}) SAMPLESIZE 120",
+        SIDE as f64 - 0.5,
+        SIDE as f64 - 0.5
+    );
+    for _ in 0..16 {
+        let r = svc.query_sql(&sql).expect("query under outage");
+        assert!(r.degradation.requested > 0.0);
+    }
+    let breaches = watchdog.breaches();
+    assert!(
+        !breaches.is_empty(),
+        "a half-dark region at SAMPLESIZE 120 must breach fulfillment >= 0.9"
+    );
+    let report = &breaches[0];
+    assert!(report.reason.contains("fulfillment"), "{}", report.reason);
+    assert!(
+        report.flight_records > 0,
+        "breach report carries no flight records"
+    );
+    for needle in [
+        "\"breach\"",
+        "\"registry_diff\"",
+        "\"flight_records\"",
+        "\"flight\"",
+    ] {
+        assert!(
+            report.json.contains(needle),
+            "missing `{needle}` in breach JSON:\n{}",
+            report.json
+        );
+    }
+}

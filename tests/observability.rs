@@ -6,7 +6,7 @@
 //! or `>=` lower bounds — never exact global values.
 
 use colr_repro::colr::{Mode, SensorMeta, TimeDelta};
-use colr_repro::engine::{Portal, PortalConfig};
+use colr_repro::engine::{AdmissionConfig, Portal, PortalConfig, PortalService};
 use colr_repro::geo::Point;
 use colr_repro::sensors::{ConstantField, SimNetwork};
 use colr_repro::telemetry::{global, tracer, SpanKind};
@@ -124,6 +124,95 @@ fn tracer_records_the_query_lifecycle() {
         );
         assert_eq!(e.dur_us, 25_000 + e.detail * 50, "wave of {}", e.detail);
     }
+}
+
+#[test]
+fn service_front_door_counters_cover_admission_and_reindex() {
+    use colr_repro::colr::probe::AlwaysAvailable;
+
+    let sensors: Vec<SensorMeta> = (0..64)
+        .map(|i| {
+            SensorMeta::new(
+                i as u32,
+                Point::new((i % 8) as f64, (i / 8) as f64),
+                TimeDelta::from_mins(5),
+                1.0,
+            )
+        })
+        .collect();
+    let service = |admission: AdmissionConfig| {
+        PortalService::new(
+            sensors.clone(),
+            AlwaysAvailable { expiry_ms: 300_000 },
+            PortalConfig {
+                admission,
+                ..Default::default()
+            },
+        )
+    };
+    let sql = "SELECT count(*) FROM sensor WHERE location WITHIN RECT(-0.5,-0.5,3.5,3.5)";
+
+    // Direct admission: plenty of execution slots, nobody queues or sheds.
+    let before = global().snapshot();
+    let svc = service(AdmissionConfig::default());
+    svc.clock().advance(TimeDelta::from_secs(1));
+    svc.query_sql(sql).expect("direct");
+    let delta = global().snapshot().diff(&before);
+    assert!(delta.counters["colr_service_queries_total"] >= 1);
+    assert_eq!(delta.counters["colr_service_queued_total"], 0);
+    assert_eq!(delta.counters["colr_service_shed_total"], 0);
+
+    // Queued admission: zero execution slots force every arrival through
+    // the wait queue. The builder rejects `max_in_flight == 0`, but the
+    // struct literal lets the test pin the admission state deterministically.
+    let before = global().snapshot();
+    let svc = service(AdmissionConfig {
+        max_in_flight: 0,
+        queue_capacity: 8,
+        ..Default::default()
+    });
+    svc.clock().advance(TimeDelta::from_secs(1));
+    for _ in 0..3 {
+        svc.query_sql(sql).expect("queued but admitted");
+    }
+    let delta = global().snapshot().diff(&before);
+    assert!(delta.counters["colr_service_queued_total"] >= 3);
+    assert_eq!(delta.counters["colr_service_shed_total"], 0);
+    assert!(delta.histograms["colr_service_queue_depth"].count >= 3);
+
+    // Shed: zero slots *and* zero queue capacity rejects every arrival.
+    let before = global().snapshot();
+    let svc = service(AdmissionConfig {
+        max_in_flight: 0,
+        queue_capacity: 0,
+        ..Default::default()
+    });
+    svc.clock().advance(TimeDelta::from_secs(1));
+    assert!(
+        svc.query_sql(sql).is_err(),
+        "zero-capacity service must shed"
+    );
+    let delta = global().snapshot().diff(&before);
+    assert!(delta.counters["colr_service_shed_total"] >= 1);
+    assert_eq!(delta.counters["colr_service_queued_total"], 0);
+
+    // Registration + online reindex move their counters and the generation
+    // gauge; the warm cache carries readings into the new generation.
+    let svc = service(AdmissionConfig::default());
+    svc.clock().advance(TimeDelta::from_secs(1));
+    svc.query_sql(sql).expect("warm the caches");
+    let before = global().snapshot();
+    svc.register_sensor(Point::new(2.5, 2.5), TimeDelta::from_mins(5), 1.0, 0);
+    let population = svc.reindex();
+    assert_eq!(population, 65);
+    let delta = global().snapshot().diff(&before);
+    assert!(delta.counters["colr_service_registrations_total"] >= 1);
+    assert!(delta.counters["colr_service_reindexes_total"] >= 1);
+    assert!(
+        delta.counters["colr_service_carryover_readings_total"] >= 1,
+        "warm readings must survive the swap"
+    );
+    assert!(delta.gauges["colr_service_generation"] >= 1);
 }
 
 #[test]
