@@ -39,13 +39,27 @@ cargo run --release --offline -q --example service_storm | grep -q "service_stor
 }
 echo "ci: service storm smoke OK"
 
+# Sharded storm smoke: the same storm scatter-gathered through a 4-shard
+# ShardedPortal — boundary registrations rebalanced at reindex, and a
+# closed shard degrading the merged answer instead of failing it (the
+# example self-checks and prints the marker only when every invariant
+# holds).
+cargo run --release --offline -q --example service_storm -- --shards 4 \
+    | grep -q "service_storm sharded OK" || {
+    echo "ci: sharded storm smoke failed" >&2
+    exit 1
+}
+echo "ci: sharded storm smoke OK"
+
 # Hot-path parity smoke: the arena fast path must produce bit-identical
 # sample streams to the pointer traversal, across seeds and thread counts.
 cargo test -q --release --offline -p colr-repro --test hotpath_parity
 echo "ci: hot-path parity smoke OK"
 
-# Hot-path throughput gate: warm arena q/s must stay within 10% of the
-# pointer baseline (CPU-time, best-of slices — stable on a shared host).
+# Hot-path throughput gates (CPU-time, best-of slices — stable on a shared
+# host): warm arena q/s within 10% of the pointer baseline, flight recorder
+# under 5% overhead, and a 4-shard router clearing 1.5x single-shard warm
+# q/s under the reindex-pump storm.
 cargo run --release --offline -q -p colr-bench --bin throughput -- --quick
 echo "ci: hot-path throughput gate OK"
 

@@ -42,15 +42,16 @@ use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 use colr_bench::hotpath::{
-    cpu_qps, cpu_qps_recorded, grid_sensors, run, viewport_queries, viewport_queries_at,
-    warm_caches, WanProbe, EXPIRY,
+    cpu_qps, cpu_qps_recorded, grid_sensors, process_cpu_seconds, run, viewport_queries,
+    viewport_queries_at, warm_caches, WanProbe, EXPIRY,
 };
 use colr_engine::{
-    AdmissionConfig, AggSpec, PortalConfig, PortalService, SelectQuery, SpatialPredicate,
+    AdmissionConfig, AggSpec, PortalConfig, PortalService, QueryRequest, SelectQuery,
+    ShardedPortal, SpatialPredicate,
 };
 use colr_geo::Rect;
 use colr_sensors::{ConstantField, SimNetwork};
-use colr_tree::{ColrConfig, ColrTree, HotPathLayout, Mode, Timestamp};
+use colr_tree::{ColrConfig, ColrTree, HotPathLayout, Mode, SensorMeta, Timestamp};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -238,6 +239,153 @@ fn run_service_concurrent<P: colr_tree::ProbeService + Send + Sync>(
     }
 }
 
+/// One shard reindex pump per this many routed queries in the sharded storm
+/// phase — frequent enough that republish cost dominates the loop (as it
+/// does in the service storm), rare enough that the warm query path still
+/// registers.
+const SHARD_REINDEX_EVERY: usize = 32;
+
+/// One timed slice of the sharded storm loop: `total` warm queries with a
+/// reindex pump every [`SHARD_REINDEX_EVERY`], measured in CPU time (the
+/// loop is single-threaded; wall clock on a shared host is too noisy).
+fn storm_slice_cpu_qps(
+    total: usize,
+    mut query: impl FnMut(usize),
+    mut reindex: impl FnMut(),
+) -> f64 {
+    let t0 = process_cpu_seconds().expect("process CPU clock");
+    for i in 0..total {
+        if i % SHARD_REINDEX_EVERY == 0 {
+            reindex();
+        }
+        query(i);
+    }
+    let dt = process_cpu_seconds().expect("process CPU clock") - t0;
+    total as f64 / dt.max(1e-9)
+}
+
+/// The sharded storm phase: the warm viewport mix routed through a
+/// [`ShardedPortal`] at each shard count, with a round-robin shard reindex
+/// pump every [`SHARD_REINDEX_EVERY`] queries — the same
+/// query-while-republishing regime as the service storm, minus the WAN
+/// sleep so CPU time is the whole story. A bare [`PortalService`] runs the
+/// identical loop (its pump republishes the full population every time) as
+/// the no-router baseline. Returns `(bare_cpu_qps, [(shards, cpu_qps)])`,
+/// each best-of `reps` interleaved slices.
+///
+/// Slice length is calibrated per configuration so every timed slice spans
+/// roughly `target_secs` of CPU time: `/proc/self/stat` ticks at 10ms, so a
+/// fixed query count would quantize the fast configurations much harder
+/// than the slow ones and scramble the shard-count ordering.
+fn sharded_storm_phase(
+    sensors: &[SensorMeta],
+    side: usize,
+    shard_counts: &[usize],
+    n_queries: usize,
+    target_secs: f64,
+    reps: usize,
+) -> (f64, Vec<(usize, f64)>) {
+    let now = Timestamp(1_000);
+    let select_queries = viewport_select_queries(n_queries, side, 4321);
+    let reqs: Vec<QueryRequest> = select_queries
+        .iter()
+        .map(|q| QueryRequest::new(q.clone()))
+        .collect();
+    let config = PortalConfig {
+        default_staleness: EXPIRY,
+        mode: Mode::Colr,
+        max_sensors_per_query: None,
+        seed: 42,
+        admission: AdmissionConfig {
+            max_in_flight: 1024,
+            queue_capacity: 1024,
+            ..Default::default()
+        },
+        ..Default::default()
+    };
+    let probe = |metas: &[SensorMeta]| WanProbe {
+        inner: SimNetwork::new(
+            metas.to_vec(),
+            ConstantField {
+                base: 0.0,
+                step: 0.01,
+            },
+            7,
+        ),
+        rtt: Duration::ZERO,
+    };
+    let bare = PortalService::new(sensors.to_vec(), probe(sensors), config.clone());
+    bare.clock().advance_to(now);
+    for r in &reqs {
+        bare.execute(r).expect("bare warm query");
+    }
+    let mut routers = Vec::new();
+    for &k in shard_counts {
+        let router =
+            ShardedPortal::new(sensors.to_vec(), |_, metas| probe(metas), k, config.clone());
+        router.clock().advance_to(now);
+        for r in &reqs {
+            router.execute(r).expect("router warm query");
+        }
+        routers.push(router);
+    }
+    // Configuration 0 is the bare service; 1.. are the routers in
+    // `shard_counts` order.
+    let run_config = |cfg: usize, total: usize| -> f64 {
+        if cfg == 0 {
+            storm_slice_cpu_qps(
+                total,
+                |i| {
+                    bare.execute(&reqs[i % reqs.len()]).expect("bare query");
+                },
+                || {
+                    bare.reindex();
+                },
+            )
+        } else {
+            let router = &routers[cfg - 1];
+            storm_slice_cpu_qps(
+                total,
+                |i| {
+                    router.execute(&reqs[i % reqs.len()]).expect("routed query");
+                },
+                || {
+                    router.reindex();
+                },
+            )
+        }
+    };
+    // Calibrate each configuration's slice to ~`target_secs` of CPU time
+    // (whole pump blocks, bounded both ways).
+    let n_cfg = routers.len() + 1;
+    let mut slices = vec![0usize; n_cfg];
+    for (cfg, slot) in slices.iter_mut().enumerate() {
+        let approx = run_config(cfg, 4 * SHARD_REINDEX_EVERY);
+        let blocks = (approx * target_secs / SHARD_REINDEX_EVERY as f64).ceil() as usize;
+        *slot = (blocks.clamp(4, 256)) * SHARD_REINDEX_EVERY;
+    }
+    // Best-of interleaved slices, same rationale as the layout gate: host
+    // noise only ever *inflates* CPU time, so each configuration's quietest
+    // window is the fairest estimate of its true cost. The visit order
+    // flips every rep so no configuration always samples the same phase of
+    // a load swing.
+    let mut best = vec![0.0f64; n_cfg];
+    for rep in 0..reps {
+        for k in 0..n_cfg {
+            let cfg = if rep % 2 == 0 { k } else { n_cfg - 1 - k };
+            best[cfg] = best[cfg].max(run_config(cfg, slices[cfg]));
+        }
+    }
+    (
+        best[0],
+        shard_counts
+            .iter()
+            .copied()
+            .zip(best[1..].iter().copied())
+            .collect(),
+    )
+}
+
 /// The `--quick` CI gate: a small fleet with no WAN sleep, both layouts
 /// warmed identically, then single-threaded warm q/s measured in *CPU time*
 /// (wall clock on a shared CI host is too noisy to gate on). Exits non-zero
@@ -279,16 +427,32 @@ fn run_quick() {
     // Interleaved slices, best-of per layout: a shared CI host slows CPU
     // time itself (cache pollution, frequency drift), so each layout's best
     // slice — the one that caught a quiet window — is the fairest estimate.
-    let mut pointer = 0.0f64;
-    let mut arena = 0.0f64;
-    for rep in 0..5 {
-        if rep % 2 == 0 {
-            pointer = pointer.max(cpu_qps(&ptr_tree, &ptr_net, &queries, now, 5678, 0.25));
-            arena = arena.max(cpu_qps(&arena_tree, &arena_net, &queries, now, 5678, 0.25));
-        } else {
-            arena = arena.max(cpu_qps(&arena_tree, &arena_net, &queries, now, 5678, 0.25));
-            pointer = pointer.max(cpu_qps(&ptr_tree, &ptr_net, &queries, now, 5678, 0.25));
+    let arena_round = |reps: usize, slice: f64| {
+        let mut pointer = 0.0f64;
+        let mut arena = 0.0f64;
+        for rep in 0..reps {
+            if rep % 2 == 0 {
+                pointer = pointer.max(cpu_qps(&ptr_tree, &ptr_net, &queries, now, 5678, slice));
+                arena = arena.max(cpu_qps(&arena_tree, &arena_net, &queries, now, 5678, slice));
+            } else {
+                arena = arena.max(cpu_qps(&arena_tree, &arena_net, &queries, now, 5678, slice));
+                pointer = pointer.max(cpu_qps(&ptr_tree, &ptr_net, &queries, now, 5678, slice));
+            }
         }
+        (pointer, arena)
+    };
+    let (mut pointer, mut arena) = arena_round(5, 0.25);
+    if arena / pointer < 0.9 {
+        // Borderline readings are usually 10ms-tick quantisation plus a
+        // noisy neighbour; escalate to longer slices before failing (still
+        // best-of — noise only ever inflates CPU time).
+        eprintln!(
+            "quick gate: borderline ratio {:.3}, re-measuring with longer slices",
+            arena / pointer
+        );
+        let (p2, a2) = arena_round(7, 0.8);
+        pointer = pointer.max(p2);
+        arena = arena.max(a2);
     }
     let ratio = arena / pointer;
     eprintln!(
@@ -306,20 +470,33 @@ fn run_quick() {
     // `flight_record_every = 1` portal would) must keep at least 95% of the
     // unrecorded warm q/s — the recorder is pooled and allocation-free on
     // the warm path, so anything worse is a hot-path regression.
-    let mut plain = 0.0f64;
-    let mut recorded = 0.0f64;
-    for rep in 0..5 {
-        if rep % 2 == 0 {
-            plain = plain.max(cpu_qps(&ptr_tree, &ptr_net, &queries, now, 5678, 0.25));
-            recorded = recorded.max(cpu_qps_recorded(
-                &ptr_tree, &ptr_net, &queries, now, 5678, 0.25,
-            ));
-        } else {
-            recorded = recorded.max(cpu_qps_recorded(
-                &ptr_tree, &ptr_net, &queries, now, 5678, 0.25,
-            ));
-            plain = plain.max(cpu_qps(&ptr_tree, &ptr_net, &queries, now, 5678, 0.25));
+    let recorder_round = |reps: usize, slice: f64| {
+        let mut plain = 0.0f64;
+        let mut recorded = 0.0f64;
+        for rep in 0..reps {
+            if rep % 2 == 0 {
+                plain = plain.max(cpu_qps(&ptr_tree, &ptr_net, &queries, now, 5678, slice));
+                recorded = recorded.max(cpu_qps_recorded(
+                    &ptr_tree, &ptr_net, &queries, now, 5678, slice,
+                ));
+            } else {
+                recorded = recorded.max(cpu_qps_recorded(
+                    &ptr_tree, &ptr_net, &queries, now, 5678, slice,
+                ));
+                plain = plain.max(cpu_qps(&ptr_tree, &ptr_net, &queries, now, 5678, slice));
+            }
         }
+        (plain, recorded)
+    };
+    let (mut plain, mut recorded) = recorder_round(5, 0.25);
+    if recorded / plain < 0.95 {
+        eprintln!(
+            "recorder gate: borderline ratio {:.3}, re-measuring with longer slices",
+            recorded / plain
+        );
+        let (p2, r2) = recorder_round(7, 0.8);
+        plain = plain.max(p2);
+        recorded = recorded.max(r2);
     }
     let rec_ratio = recorded / plain;
     eprintln!(
@@ -331,6 +508,27 @@ fn run_quick() {
         std::process::exit(1);
     }
     eprintln!("OK: flight recorder within gate (>= 0.95x unrecorded warm q/s)");
+
+    // Third gate: sharding must actually buy throughput under the storm
+    // regime. A 4-shard router republishes a quarter of the population per
+    // reindex pump, so its warm q/s under the pump loop must clear 1.5x the
+    // single-shard router's on the same host. The fleet is sized so each
+    // shard stays on the bulk loader's partitioned-kmeans path (> 4096
+    // sensors per shard), where republish cost shrinks with population.
+    let (storm_sensors, storm_side) = grid_sensors(20_000);
+    let (_bare, rows) = sharded_storm_phase(&storm_sensors, storm_side, &[1, 4], 128, 0.2, 3);
+    let one = rows[0].1;
+    let four = rows[1].1;
+    let shard_ratio = four / one;
+    eprintln!(
+        "sharded gate (best-of CPU-time q/s under reindex pump): 1 shard {one:.0}, \
+         4 shards {four:.0}, ratio {shard_ratio:.3}"
+    );
+    if shard_ratio < 1.5 {
+        eprintln!("FAIL: 4-shard warm q/s under the storm pump is below 1.5x single-shard");
+        std::process::exit(1);
+    }
+    eprintln!("OK: 4-shard router within gate (>= 1.5x single-shard warm q/s)");
 }
 
 fn main() {
@@ -500,6 +698,33 @@ fn main() {
         service.shed
     );
 
+    // Sharded storm phase: the warm viewport mix scattered across a
+    // ShardedPortal at 1/2/4/8 shards, with a round-robin shard reindex pump
+    // every SHARD_REINDEX_EVERY queries, plus a bare-service baseline under
+    // the identical loop. CPU-time q/s, best-of interleaved slices. The
+    // phase runs its own larger fleet so every shard's population stays on
+    // the bulk loader's partitioned-kmeans path (> 4096 sensors): below
+    // that threshold the loader switches to direct Lloyd clustering, whose
+    // cost is not proportionally smaller, and the per-shard republish no
+    // longer shrinks with the shard count.
+    eprintln!("sharded storm phase (shards 1/2/4/8 + bare baseline, 40k sensors)...");
+    let (storm_sensors, storm_side) = grid_sensors(40_000);
+    let shard_counts = [1usize, 2, 4, 8];
+    let (bare_qps, sharded_rows) =
+        sharded_storm_phase(&storm_sensors, storm_side, &shard_counts, 256, 0.4, 7);
+    eprintln!("bare service   cpu q/s={bare_qps:>10.0} (full-population reindex pump)");
+    for &(k, qps) in &sharded_rows {
+        eprintln!(
+            "shards={k:<2}       cpu q/s={qps:>10.0} ({:.2}x bare)",
+            qps / bare_qps
+        );
+    }
+    let single_shard_ratio = sharded_rows
+        .iter()
+        .find(|(k, _)| *k == 1)
+        .map(|(_, qps)| qps / bare_qps)
+        .unwrap_or(1.0);
+
     let single = runs
         .iter()
         .find(|r| r.threads == 1)
@@ -584,6 +809,20 @@ fn main() {
         service.reindexes,
         service.shed
     ));
+    json.push_str(&format!(
+        "  \"sharded\": {{\"workload\": \"warm routed viewports, R=64, round-robin shard reindex \
+         pump every {SHARD_REINDEX_EVERY} queries, CPU-time q/s\", \
+         \"bare_service_cpu_qps\": {bare_qps:.1}, \
+         \"single_shard_ratio\": {single_shard_ratio:.4}, \"runs\": [\n"
+    ));
+    for (i, &(k, qps)) in sharded_rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"shards\": {k}, \"cpu_queries_per_sec\": {qps:.1}, \"vs_bare\": {:.4}}}{}\n",
+            qps / bare_qps,
+            if i + 1 < sharded_rows.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]},\n");
     json.push_str(&format!("  \"speedup_vs_single_thread\": {speedup:.2}\n"));
     json.push_str("}\n");
     std::fs::write(&args.out, &json).expect("write BENCH_throughput.json");

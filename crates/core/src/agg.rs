@@ -257,6 +257,13 @@ impl Histogram {
         self.total() == 0
     }
 
+    /// `true` when `other` uses the same `[lo, hi)` range and bucket count,
+    /// i.e. when [`Histogram::merge`] would accept it. Lets a scatter-gather
+    /// merger test compatibility instead of panicking.
+    pub fn same_binning(&self, other: &Histogram) -> bool {
+        self.lo == other.lo && self.hi == other.hi && self.counts.len() == other.counts.len()
+    }
+
     /// Merges another histogram with identical binning.
     ///
     /// # Panics

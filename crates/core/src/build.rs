@@ -369,6 +369,37 @@ impl Builder {
     }
 }
 
+/// Clusters `points` into at most `k` non-empty spatial groups using the
+/// same Lloyd's k-means the bulk build runs per level, returning the point
+/// indices of each group (indices ascending within a group, groups ordered
+/// by their smallest member).
+///
+/// This is the shard-map primitive: a sharded portal partitions its sensor
+/// population with exactly the clustering the tree itself is built from, so
+/// shard extents line up with the index's own notion of spatial locality.
+/// Deterministic for a given `(points, k, iterations, seed)`.
+pub fn kmeans_partition(
+    points: &[Point],
+    k: usize,
+    iterations: usize,
+    seed: u64,
+) -> Vec<Vec<usize>> {
+    let n = points.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let items: Vec<usize> = (0..n).collect();
+    if k <= 1 || n <= 1 {
+        return vec![items];
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut groups = lloyd(points, &items, k, iterations.max(1), &mut rng);
+    // `lloyd` pushes members in input order (ascending); order the groups
+    // themselves by first member so shard numbering is stable to read.
+    groups.sort_by_key(|g| g[0]);
+    groups
+}
+
 /// Plain Lloyd's k-means with random distinct seeding.
 fn lloyd(
     points: &[Point],

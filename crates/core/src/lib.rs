@@ -75,6 +75,7 @@ pub use agg::{AggKind, Histogram, PartialAgg};
 pub use alias::AliasTable;
 pub use arena::SamplingArena;
 pub use avail::LiveAvailability;
+pub use build::kmeans_partition;
 pub use flat_cache::{FlatCache, FlatOutput};
 pub use flight::{FlightRecord, LevelStage, RetryRound, WaveStage};
 pub use lookup::{GroupResult, Mode, Query, QueryOutput};

@@ -208,21 +208,12 @@ impl WriteBack {
     ) {
         match self {
             WriteBack::Immediate => {
-                let mut inserted = 0u64;
-                for r in readings {
-                    if tree.insert_reading(*r, now) {
-                        inserted += 1;
-                    }
-                }
+                // One batched application per probe group: each touched node
+                // cache updates atomically, so concurrent readers never see a
+                // half-written aggregate (the tracer span is recorded there).
+                let inserted = tree.apply_readings(readings, now) as u64;
                 stats.cache_inserts += inserted;
                 crate::flight::with(|f| f.write_back(inserted));
-                if inserted > 0 {
-                    colr_telemetry::tracer().record_now(
-                        colr_telemetry::SpanKind::WriteBack,
-                        0,
-                        inserted,
-                    );
-                }
             }
             WriteBack::Buffered(buf) => buf.extend_from_slice(readings),
         }

@@ -597,102 +597,227 @@ impl ColrTree {
     /// readings beyond the window are dropped).
     pub fn insert_reading(&self, reading: Reading, now: Timestamp) -> bool {
         let mut maint = self.maint.lock();
-        self.insert_reading_locked(&mut maint, reading, now)
+        let entry = CachedEntry {
+            reading,
+            fetched_at: now,
+        };
+        self.insert_entries_locked(&mut maint, &[entry], now) == 1
     }
 
-    fn insert_reading_locked(
+    /// Batch insertion with *per-node atomicity*: every removal and
+    /// insertion the batch performs on one node's cache happens under a
+    /// single stripe-lock hold, so a concurrent reader sees either none or
+    /// all of the batch's effect on that node. This is what keeps the
+    /// coverage-gated cache lookup sound under concurrency — a reader must
+    /// never observe a half-applied write-back whose partial count passes
+    /// the coverage threshold and gets served as a torn aggregate.
+    ///
+    /// A sensor repeated within the batch splits it into duplicate-free
+    /// runs applied in order, preserving sequential last-write-wins
+    /// semantics. Returns how many entries were cached.
+    fn insert_entries_locked(
         &self,
         maint: &mut Maintenance,
-        reading: Reading,
+        entries: &[CachedEntry],
         now: Timestamp,
-    ) -> bool {
-        self.insert_entry_locked(
-            maint,
-            CachedEntry {
-                reading,
-                fetched_at: now,
-            },
-            now,
-        )
+    ) -> usize {
+        let mut inserted = 0;
+        let mut run: Vec<CachedEntry> = Vec::with_capacity(entries.len());
+        let mut seen: BTreeSet<SensorId> = BTreeSet::new();
+        for e in entries {
+            if !seen.insert(e.reading.sensor) {
+                inserted += self.apply_run_locked(maint, &run, now);
+                run.clear();
+                seen.clear();
+                seen.insert(e.reading.sensor);
+            }
+            run.push(*e);
+        }
+        inserted += self.apply_run_locked(maint, &run, now);
+        inserted
     }
 
-    /// Like [`ColrTree::insert_reading`] but preserving an explicit
-    /// `fetched_at` (the carry-over path keeps the original fetch instants so
-    /// eviction order survives a generation swap).
-    fn insert_entry_locked(
+    /// Applies one duplicate-free run of entries (see
+    /// [`ColrTree::insert_entries_locked`]): validates, swaps raw leaf
+    /// entries grouped per leaf, then applies each node's slot-aggregate
+    /// deltas bottom-up — one critical section per touched node, removal of
+    /// a replaced reading and insertion of its successor inside the same
+    /// hold.
+    fn apply_run_locked(
         &self,
         maint: &mut Maintenance,
-        entry: CachedEntry,
+        run: &[CachedEntry],
         now: Timestamp,
-    ) -> bool {
-        let reading = entry.reading;
-        let fetched_at = entry.fetched_at;
+    ) -> usize {
+        struct Planned {
+            entry: CachedEntry,
+            old: Option<CachedEntry>,
+        }
+        enum AggOp {
+            Remove { expires_at: Timestamp, value: f64 },
+            Insert(Reading),
+        }
+        struct NodeOps {
+            id: NodeId,
+            level: u16,
+            ops: Vec<(AggOp, u16)>,
+        }
+        if run.is_empty() {
+            return 0;
+        }
         self.advance_locked(maint, now);
-        if reading.sensor.index() >= self.sensors.len() {
-            return false; // unknown sensor (population changed under carry-over)
-        }
-        let slot = self.slot_config.slot_of(reading.expires_at);
         let window_top = maint.cache_base + self.config.num_slots as u64 + 1;
-        if slot < maint.cache_base || slot >= window_top || !reading.is_live(now) {
-            return false;
+        let mut plans: Vec<Planned> = Vec::with_capacity(run.len());
+        for &entry in run {
+            let reading = entry.reading;
+            if reading.sensor.index() >= self.sensors.len() {
+                continue; // unknown sensor (population changed under carry-over)
+            }
+            let slot = self.slot_config.slot_of(reading.expires_at);
+            if slot < maint.cache_base || slot >= window_top || !reading.is_live(now) {
+                continue;
+            }
+            let leaf = self.sensor_leaf[reading.sensor.index()];
+            let old = self.with_cache(leaf, |c| c.entry(reading.sensor).copied());
+            plans.push(Planned { entry, old });
         }
-        let leaf = self.sensor_leaf[reading.sensor.index()];
-
-        // Replace any existing reading for the sensor (the update trigger).
-        if self.with_cache(leaf, |c| c.entry(reading.sensor).is_some()) {
-            self.remove_cached_locked(maint, reading.sensor);
+        if plans.is_empty() {
+            return 0;
         }
 
-        self.with_cache_mut(leaf, |c| {
-            let pos = match c.entry_pos(reading.sensor) {
-                Ok(_) => unreachable!("entry was just removed"),
-                Err(pos) => pos,
-            };
-            c.entries.insert(
-                pos,
-                CachedEntry {
-                    reading,
-                    fetched_at,
-                },
-            );
-        });
-        maint.total_cached += 1;
-        maint.evict_index.insert((slot, fetched_at, reading.sensor));
+        // Raw leaf entries: replace-and-insert per leaf in one hold.
+        let mut by_leaf: Vec<(NodeId, Vec<usize>)> = Vec::new();
+        for (i, p) in plans.iter().enumerate() {
+            let leaf = self.sensor_leaf[p.entry.reading.sensor.index()];
+            match by_leaf.iter_mut().find(|(id, _)| *id == leaf) {
+                Some((_, idxs)) => idxs.push(i),
+                None => by_leaf.push((leaf, vec![i])),
+            }
+        }
+        for (leaf, idxs) in &by_leaf {
+            self.with_cache_mut(*leaf, |c| {
+                for &i in idxs {
+                    let p = &plans[i];
+                    let sensor = p.entry.reading.sensor;
+                    if let Ok(pos) = c.entry_pos(sensor) {
+                        c.entries.remove(pos);
+                    }
+                    match c.entry_pos(sensor) {
+                        Ok(_) => unreachable!("entry was just removed"),
+                        Err(pos) => c.entries.insert(pos, p.entry),
+                    }
+                }
+            });
+        }
         let telem = crate::telem::tree();
-        telem.cache_inserts.inc();
+        for p in &plans {
+            if let Some(old) = &p.old {
+                maint.total_cached -= 1;
+                let old_slot = self.slot_config.slot_of(old.reading.expires_at);
+                maint
+                    .evict_index
+                    .remove(&(old_slot, old.fetched_at, old.reading.sensor));
+            }
+            let slot = self.slot_config.slot_of(p.entry.reading.expires_at);
+            maint.total_cached += 1;
+            maint
+                .evict_index
+                .insert((slot, p.entry.fetched_at, p.entry.reading.sensor));
+            telem.cache_inserts.inc();
+        }
         telem.cached_readings.set(maint.total_cached as i64);
 
-        // Bottom-up slot aggregate updates, leaf first.
+        // Slot aggregates: group each root-ward chain's deltas per node
+        // (arrival order within a node), then apply bottom-up.
         let base = maint.cache_base;
-        let kind = self.sensors[reading.sensor.index()].kind;
-        let mut cur = Some(leaf);
-        while let Some(id) = cur {
-            self.with_cache_mut(id, |c| {
-                c.cache.insert_kind(
-                    reading.expires_at,
-                    reading.timestamp,
-                    reading.value,
-                    kind,
-                    base,
-                )
+        let mut node_ops: Vec<NodeOps> = Vec::new();
+        for p in &plans {
+            let reading = p.entry.reading;
+            let kind = self.sensors[reading.sensor.index()].kind;
+            let mut cur = Some(self.sensor_leaf[reading.sensor.index()]);
+            while let Some(id) = cur {
+                let node = self.node(id);
+                let ops = match node_ops.iter_mut().find(|n| n.id == id) {
+                    Some(n) => &mut n.ops,
+                    None => {
+                        node_ops.push(NodeOps {
+                            id,
+                            level: node.level,
+                            ops: Vec::new(),
+                        });
+                        &mut node_ops.last_mut().expect("just pushed").ops
+                    }
+                };
+                if let Some(old) = &p.old {
+                    ops.push((
+                        AggOp::Remove {
+                            expires_at: old.reading.expires_at,
+                            value: old.reading.value,
+                        },
+                        kind,
+                    ));
+                }
+                ops.push((AggOp::Insert(reading), kind));
+                cur = node.parent;
+            }
+        }
+        node_ops.sort_by(|a, b| b.level.cmp(&a.level).then(a.id.cmp(&b.id)));
+        let mut rebuilds: Vec<(NodeId, u64)> = Vec::new();
+        for NodeOps { id, ops, .. } in &node_ops {
+            let mut needs: Vec<u64> = Vec::new();
+            self.with_cache_mut(*id, |c| {
+                for (op, kind) in ops {
+                    match op {
+                        AggOp::Remove { expires_at, value } => {
+                            match c.cache.try_remove_kind(*expires_at, *value, *kind) {
+                                RemoveOutcome::Removed | RemoveOutcome::Absent => {}
+                                RemoveOutcome::NeedsRebuild => {
+                                    needs.push(self.slot_config.slot_of(*expires_at));
+                                }
+                            }
+                        }
+                        AggOp::Insert(r) => {
+                            c.cache
+                                .insert_kind(r.expires_at, r.timestamp, r.value, *kind, base);
+                        }
+                    }
+                }
             });
-            cur = self.node(id).parent;
+            for slot in needs {
+                telem.slot_rebuilds.inc();
+                if !rebuilds.contains(&(*id, slot)) {
+                    rebuilds.push((*id, slot));
+                }
+            }
+        }
+        // Rebuilt slots are recomputed from the (already final) level below,
+        // outside the node's own critical section — the transient window is
+        // a slot that over-counts one replaced reading, never a torn fill.
+        for (id, slot) in rebuilds {
+            self.rebuild_slot(id, slot);
         }
 
         self.enforce_capacity_locked(maint);
-        true
+        plans.len()
     }
 
-    /// Applies a batch of probe results collected by a *frozen* execution
-    /// (see [`ColrTree::execute_frozen`]) in order, returning how many were
-    /// cached. One maintenance acquisition covers the whole batch.
+    /// Applies a batch of probe results in order — the deferred write-back
+    /// of a *frozen* execution (see [`ColrTree::execute_frozen`]) and the
+    /// immediate write-back of interactive queries both land here. One
+    /// maintenance acquisition covers the whole batch, and each touched
+    /// node cache is updated in a single critical section, so concurrent
+    /// readers never observe a half-applied write-back. Returns how many
+    /// readings were cached.
     pub fn apply_readings(&self, readings: &[Reading], now: Timestamp) -> usize {
         let mut maint = self.maint.lock();
-        self.advance_locked(&mut maint, now);
-        let applied = readings
+        let entries: Vec<CachedEntry> = readings
             .iter()
-            .filter(|r| self.insert_reading_locked(&mut maint, **r, now))
-            .count();
+            .map(|&reading| CachedEntry {
+                reading,
+                fetched_at: now,
+            })
+            .collect();
+        let applied = self.insert_entries_locked(&mut maint, &entries, now);
         if applied > 0 {
             colr_telemetry::tracer().record_now(
                 colr_telemetry::SpanKind::WriteBack,
@@ -729,11 +854,7 @@ impl ColrTree {
     /// Returns how many entries were restored.
     pub fn restore_entries(&self, entries: &[CachedEntry], now: Timestamp) -> usize {
         let mut maint = self.maint.lock();
-        self.advance_locked(&mut maint, now);
-        entries
-            .iter()
-            .filter(|e| self.insert_entry_locked(&mut maint, **e, now))
-            .count()
+        self.insert_entries_locked(&mut maint, entries, now)
     }
 
     /// Removes the cached reading of `sensor` (if any) from the leaf and all

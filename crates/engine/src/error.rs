@@ -25,13 +25,27 @@ pub enum PortalError {
     },
     /// The service was closed; no further queries are admitted.
     Closed,
+    /// A sharded router could not answer from any shard the query overlaps:
+    /// every one of them declined. `shard` identifies the first failing
+    /// shard and `cause` its error. (A *partially* failed fan-out is not an
+    /// error — the router degrades the merged fulfillment instead.)
+    ShardUnavailable {
+        /// Index of the first shard that declined.
+        shard: usize,
+        /// Why that shard declined.
+        cause: Box<PortalError>,
+    },
 }
 
 impl PortalError {
     /// `true` when the error is retryable back-pressure rather than a
     /// caller bug (clients should back off and resubmit).
     pub fn is_overload(&self) -> bool {
-        matches!(self, PortalError::Overloaded { .. })
+        match self {
+            PortalError::Overloaded { .. } => true,
+            PortalError::ShardUnavailable { cause, .. } => cause.is_overload(),
+            _ => false,
+        }
     }
 }
 
@@ -49,6 +63,9 @@ impl fmt::Display for PortalError {
                 write!(f, "overloaded: {in_flight} queries already in flight")
             }
             PortalError::Closed => write!(f, "portal service is closed"),
+            PortalError::ShardUnavailable { shard, cause } => {
+                write!(f, "no shard could answer (shard {shard}: {cause})")
+            }
         }
     }
 }
@@ -57,6 +74,7 @@ impl std::error::Error for PortalError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             PortalError::Parse(e) => Some(e),
+            PortalError::ShardUnavailable { cause, .. } => Some(cause.as_ref()),
             _ => None,
         }
     }
@@ -83,5 +101,24 @@ mod tests {
         assert!(e.is_overload());
         assert!(PortalError::Closed.to_string().contains("closed"));
         assert!(std::error::Error::source(&PortalError::Closed).is_none());
+    }
+
+    #[test]
+    fn shard_unavailable_carries_its_cause() {
+        let e = PortalError::ShardUnavailable {
+            shard: 3,
+            cause: Box::new(PortalError::Overloaded { in_flight: 7 }),
+        };
+        assert!(e.to_string().contains("shard 3"));
+        assert!(e.to_string().contains("7"));
+        // Overload propagates through the wrapper: clients should still
+        // back off and resubmit.
+        assert!(e.is_overload());
+        assert!(std::error::Error::source(&e).is_some());
+        let closed = PortalError::ShardUnavailable {
+            shard: 0,
+            cause: Box::new(PortalError::Closed),
+        };
+        assert!(!closed.is_overload());
     }
 }

@@ -17,6 +17,13 @@
 //! * [`service`] — the shared [`PortalService`] front door: cloneable
 //!   `&self` handles over epoch-published index generations, with online
 //!   reindexing (cache carry-over included) and admission control;
+//! * [`request`] — the unified request surface: every entry point lowers
+//!   onto `execute(&`[`QueryRequest`]`)`, which answers with a
+//!   [`QueryResponse`];
+//! * [`router`] — the spatially sharded [`ShardedPortal`]: a deterministic
+//!   scatter-gather router over per-shard [`PortalService`]s, splitting the
+//!   sample target `R` across overlapping shards exactly as Algorithm 1
+//!   splits it across children;
 //! * [`error`] — the unified [`PortalError`] every front-door entry point
 //!   returns.
 
@@ -25,6 +32,8 @@ pub mod error;
 pub mod parser;
 pub mod planner;
 pub mod portal;
+pub mod request;
+pub mod router;
 pub mod service;
 pub mod shared;
 
@@ -36,5 +45,7 @@ pub use portal::{
     BatchResult, DegradationReport, GroupView, Portal, PortalConfig, PortalConfigBuilder,
     PortalConfigError, PortalResult,
 };
+pub use request::{ExplainLevel, QueryRequest, QueryRequestBuilder, QueryResponse, ShardOutcome};
+pub use router::{ShardInfo, ShardedPortal};
 pub use service::{AdmissionConfig, Generation, PortalService, Reindexer};
 pub use shared::SharedPortal;

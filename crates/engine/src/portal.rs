@@ -261,6 +261,11 @@ pub struct DegradationReport {
     pub deadline_clipped: u64,
     /// Retry probes issued while collecting this answer.
     pub probes_retried: u64,
+    /// Minimum per-constituent fulfillment tracked across
+    /// [`DegradationReport::merge`] calls; `None` on a leaf report (a single
+    /// query's own accounting, where the worst constituent is the report
+    /// itself).
+    pub(crate) worst: Option<f64>,
 }
 
 impl DegradationReport {
@@ -274,14 +279,66 @@ impl DegradationReport {
         }
     }
 
-    /// Folds another report into this one (summing every axis), for
-    /// batch-level accounting.
-    pub fn absorb(&mut self, other: &DegradationReport) {
+    /// The minimum fulfillment over every report merged into this one (the
+    /// report's own [`DegradationReport::fulfillment`] when nothing has been
+    /// merged in). This is the number a dashboard should alarm on: the sum
+    /// of a starving viewport and a healthy one looks healthy, the minimum
+    /// does not.
+    pub fn worst_fulfillment(&self) -> f64 {
+        self.worst.unwrap_or_else(|| self.fulfillment())
+    }
+
+    /// `true` when the report carries no accounting at all (the identity
+    /// element of [`DegradationReport::merge`]).
+    pub fn is_empty(&self) -> bool {
+        self.requested == 0.0
+            && self.sampled == 0
+            && self.breaker_skipped == 0
+            && self.deadline_clipped == 0
+            && self.probes_retried == 0
+            && self.worst.is_none()
+    }
+
+    /// What this report contributes to a merged minimum: nothing when it is
+    /// the empty identity, its tracked minimum when it is itself a merge,
+    /// its own fulfillment otherwise.
+    fn min_contribution(&self) -> Option<f64> {
+        if self.is_empty() {
+            None
+        } else {
+            Some(self.worst_fulfillment())
+        }
+    }
+
+    /// Folds another report into this one: every axis sums, and the merged
+    /// report additionally tracks the minimum constituent fulfillment
+    /// (surfaced by [`DegradationReport::worst_fulfillment`]).
+    ///
+    /// Associative and commutative with `DegradationReport::default()` as
+    /// the identity — merging a batch in any order yields the same sums and
+    /// the same worst fulfillment — which is what lets both
+    /// [`BatchResult`] accounting and a scatter-gather shard router use it
+    /// on results arriving in arbitrary order.
+    pub fn merge(&mut self, other: &DegradationReport) {
+        self.worst = match (self.min_contribution(), other.min_contribution()) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (one, None) | (None, one) => one,
+        };
         self.requested += other.requested;
         self.sampled += other.sampled;
         self.breaker_skipped += other.breaker_skipped;
         self.deadline_clipped += other.deadline_clipped;
         self.probes_retried += other.probes_retried;
+    }
+
+    /// Folds another report into this one (summing every axis), for
+    /// batch-level accounting.
+    #[deprecated(
+        since = "0.9.0",
+        note = "use `merge`, which also tracks worst_fulfillment"
+    )]
+    pub fn absorb(&mut self, other: &DegradationReport) {
+        self.merge(other);
     }
 }
 
@@ -857,6 +914,78 @@ mod tests {
             .all(|r| r.degradation.fulfillment() >= worst));
         // Fully-available fleet: nobody under-delivers.
         assert!(worst >= 1.0, "worst fulfillment {worst}");
+    }
+
+    #[test]
+    fn degradation_merge_is_order_independent() {
+        let leaf = |requested: f64, sampled: u64| DegradationReport {
+            requested,
+            sampled,
+            breaker_skipped: sampled / 2,
+            deadline_clipped: 1,
+            probes_retried: 3,
+            worst: None,
+        };
+        // Distinct fulfillments, including one overshoot and one zero.
+        let reports = [leaf(60.0, 41), leaf(20.0, 24), leaf(10.0, 0), leaf(0.0, 0)];
+        let merge_in = |order: &[usize]| {
+            let mut acc = DegradationReport::default();
+            for &i in order {
+                acc.merge(&reports[i]);
+            }
+            acc
+        };
+        let baseline = merge_in(&[0, 1, 2, 3]);
+        assert_eq!(baseline.worst_fulfillment(), 0.0); // the starving report
+        assert_eq!(baseline.requested, 90.0);
+        assert_eq!(baseline.sampled, 65);
+        for order in [
+            [3, 2, 1, 0],
+            [1, 3, 0, 2],
+            [2, 0, 3, 1],
+            [0, 2, 1, 3],
+            [3, 1, 2, 0],
+        ] {
+            let merged = merge_in(&order);
+            assert_eq!(merged, baseline, "order {order:?} diverged");
+            assert_eq!(merged.worst_fulfillment(), baseline.worst_fulfillment());
+        }
+        // Associativity with pre-merged sub-trees (the router's shape: some
+        // inputs are themselves merged results).
+        let mut left = DegradationReport::default();
+        left.merge(&reports[0]);
+        left.merge(&reports[1]);
+        let mut right = DegradationReport::default();
+        right.merge(&reports[2]);
+        right.merge(&reports[3]);
+        let mut tree = left;
+        tree.merge(&right);
+        assert_eq!(tree, baseline);
+    }
+
+    #[test]
+    fn degradation_merge_identity_and_leaf_semantics() {
+        // Merging a single leaf into the identity preserves every
+        // observable, including worst_fulfillment.
+        let leaf = DegradationReport {
+            requested: 30.0,
+            sampled: 36,
+            breaker_skipped: 0,
+            deadline_clipped: 0,
+            probes_retried: 2,
+            worst: None,
+        };
+        let mut acc = DegradationReport::default();
+        assert!(acc.is_empty());
+        acc.merge(&leaf);
+        assert_eq!(acc.fulfillment(), leaf.fulfillment());
+        assert_eq!(acc.worst_fulfillment(), leaf.worst_fulfillment());
+        // A lone leaf's worst is its own (over-)fulfillment, not clamped.
+        assert!(acc.worst_fulfillment() > 1.0);
+        // Merging the identity into a report changes nothing.
+        let before = acc;
+        acc.merge(&DegradationReport::default());
+        assert_eq!(acc, before);
     }
 
     #[test]

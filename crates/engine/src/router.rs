@@ -1,0 +1,764 @@
+//! The spatially sharded portal: a deterministic scatter-gather router over
+//! per-shard [`PortalService`]s.
+//!
+//! A [`ShardedPortal`] partitions the sensor population spatially with the
+//! same k-means grid the bulk build uses ([`colr_tree::kmeans_partition`]),
+//! runs one full `PortalService` per shard (own index generations, own
+//! admission controller, own reindexer — all on **one shared clock**), and
+//! routes each viewport query by lifting Algorithm 1's split one level up:
+//! the sample target `R` is divided across the shards the viewport overlaps
+//! in proportion to `w_i × Overlap(BB(i), A)`, exactly as a COLR-Tree node
+//! divides it across its children. Because the per-shard seeds derive from
+//! `(router seed, query ordinal, shard index)`, a routed query replays
+//! bit-identically regardless of shard completion order — and a router over
+//! a single shard answers bit-identically to the bare service it wraps.
+//!
+//! The gather side merges per-shard [`PortalResult`]s into one response:
+//! groups concatenate in shard order, [`QueryStats`] sum, latency is the
+//! fan-out critical path (max), the aggregate recombines by its
+//! [`AggKind`], and the [`DegradationReport`]s fold through the associative
+//! [`DegradationReport::merge`]. A shard that sheds, trips its deadline, or
+//! is closed **degrades the merged fulfillment instead of failing the
+//! query**; only when every overlapping shard declines does the router
+//! return [`PortalError::ShardUnavailable`].
+//!
+//! Registration is router-level: a new sensor is parked with the shard whose
+//! centroid is nearest *at reindex time*, so sensors registered near a shard
+//! boundary migrate to the right shard at the next generation swap
+//! (rebalance-on-reindex, counted by `colr_router_rebalanced_total`).
+
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, OnceLock};
+
+use colr_geo::{Point, Rect};
+use colr_telemetry::{global, Counter};
+use colr_tree::{
+    kmeans_partition, AggKind, BuildStrategy, ClockHandle, Histogram, Mode, ProbeService,
+    QueryStats, SensorMeta, TimeDelta, Timestamp,
+};
+use parking_lot::{Mutex, RwLock};
+
+use crate::ast::SelectQuery;
+use crate::error::PortalError;
+use crate::portal::{BatchResult, DegradationReport, PortalConfig, PortalResult};
+use crate::request::{ExplainLevel, QueryRequest, QueryResponse, ShardOutcome};
+use crate::service::{derive_seed, PortalService, Reindexer};
+
+// ---------------------------------------------------------------------------
+// Telemetry
+// ---------------------------------------------------------------------------
+
+/// Cached handles for the router-level counters (`colr_router_*`).
+struct RouterTelem {
+    /// Queries routed (all explain levels).
+    queries: Counter,
+    /// Shards targeted per routed query.
+    fanout: colr_telemetry::Histogram,
+    /// Per-shard failures absorbed into a degraded merge.
+    shard_errors: Counter,
+    /// Pending sensors that landed on a different shard than the one
+    /// guessed at registration time.
+    rebalanced: Counter,
+    /// Per-shard reindexes pumped through the router.
+    reindexes: Counter,
+    /// Sensors registered through the router.
+    registrations: Counter,
+}
+
+fn router_telem() -> &'static RouterTelem {
+    static T: OnceLock<RouterTelem> = OnceLock::new();
+    T.get_or_init(|| RouterTelem {
+        queries: global().counter("colr_router_queries_total"),
+        fanout: global().histogram("colr_router_fanout"),
+        shard_errors: global().counter("colr_router_shard_errors_total"),
+        rebalanced: global().counter("colr_router_rebalanced_total"),
+        reindexes: global().counter("colr_router_reindexes_total"),
+        registrations: global().counter("colr_router_registrations_total"),
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Shard map
+// ---------------------------------------------------------------------------
+
+/// One entry of the router's shard map: where a shard sits and how much it
+/// holds, refreshed at every generation swap.
+#[derive(Debug, Clone, Copy)]
+pub struct ShardInfo {
+    /// Shard index (stable for the router's lifetime).
+    pub index: usize,
+    /// Bounding box of the shard's current index root.
+    pub bbox: Rect,
+    /// Mean location of the shard's sensors — the k-means centroid the
+    /// rebalancer measures registration distance against.
+    pub centroid: Point,
+    /// Sensors in the shard's current generation.
+    pub sensors: usize,
+}
+
+/// A sensor registered with the router, parked until the rebalancer assigns
+/// it to a shard at that shard's next reindex.
+struct PendingSensor {
+    location: Point,
+    expiry: TimeDelta,
+    availability: f64,
+    kind: u16,
+    /// Nearest shard at registration time; if the centroids have drifted by
+    /// the time the sensor is placed, it migrates (and is counted).
+    guessed: usize,
+}
+
+struct RouterCore<P> {
+    shards: Vec<PortalService<P>>,
+    map: RwLock<Vec<ShardInfo>>,
+    pending: Mutex<Vec<PendingSensor>>,
+    clock: ClockHandle,
+    ordinal: AtomicU64,
+    /// Round-robin pointer for [`ShardedPortal::reindex`].
+    next_reindex: AtomicUsize,
+    seed: u64,
+    mode: Mode,
+    max_sensors_per_query: Option<usize>,
+}
+
+/// A cloneable, thread-safe scatter-gather router over spatial shards. See
+/// the module docs for the architecture; clones share everything.
+pub struct ShardedPortal<P> {
+    core: Arc<RouterCore<P>>,
+}
+
+impl<P> Clone for ShardedPortal<P> {
+    fn clone(&self) -> Self {
+        ShardedPortal {
+            core: Arc::clone(&self.core),
+        }
+    }
+}
+
+impl<P: ProbeService> ShardedPortal<P> {
+    /// Partitions `sensors` into (at most) `shard_count` spatial shards with
+    /// the bulk build's k-means grid and runs one [`PortalService`] per
+    /// shard, all on one shared clock. `probe_factory` is called once per
+    /// shard with the shard index and its (renumbered) population, so each
+    /// shard gets its own probe backend over exactly its sensors.
+    ///
+    /// Each shard's population is renumbered to the dense in-order ids
+    /// [`colr_tree::ColrTree::build`] requires; ordering within a shard
+    /// preserves the original registration order. With `shard_count == 1`
+    /// the single shard is the identity partition, and the router answers
+    /// bit-identically to a bare service built from the same config.
+    pub fn new<F>(
+        sensors: Vec<SensorMeta>,
+        mut probe_factory: F,
+        shard_count: usize,
+        config: PortalConfig,
+    ) -> ShardedPortal<P>
+    where
+        F: FnMut(usize, &[SensorMeta]) -> P,
+    {
+        assert!(
+            !sensors.is_empty(),
+            "ShardedPortal needs at least one sensor to place shards"
+        );
+        let points: Vec<Point> = sensors.iter().map(|m| m.location).collect();
+        let iterations = match config.tree.build {
+            BuildStrategy::KMeans { iterations } => iterations,
+            _ => 8,
+        };
+        let mut groups = kmeans_partition(&points, shard_count.max(1), iterations, config.seed);
+        let clock = ClockHandle::new();
+        let mut shards = Vec::with_capacity(groups.len());
+        let mut map = Vec::with_capacity(groups.len());
+        for (s, group) in groups.iter_mut().enumerate() {
+            group.sort_unstable();
+            let metas: Vec<SensorMeta> = group
+                .iter()
+                .enumerate()
+                .map(|(j, &orig)| {
+                    let m = sensors[orig];
+                    SensorMeta::new(j as u32, m.location, m.expiry, m.availability)
+                        .with_kind(m.kind)
+                })
+                .collect();
+            let probe = probe_factory(s, &metas);
+            let shard = PortalService::with_clock(metas, probe, config.clone(), clock.clone());
+            map.push(shard_info(s, &shard));
+            shards.push(shard);
+        }
+        ShardedPortal {
+            core: Arc::new(RouterCore {
+                shards,
+                map: RwLock::new(map),
+                pending: Mutex::new(Vec::new()),
+                clock,
+                ordinal: AtomicU64::new(0),
+                next_reindex: AtomicUsize::new(0),
+                seed: config.seed,
+                mode: config.mode,
+                max_sensors_per_query: config.max_sensors_per_query,
+            }),
+        }
+    }
+
+    // -- accessors ---------------------------------------------------------
+
+    /// Number of shards (fixed at construction).
+    pub fn shard_count(&self) -> usize {
+        self.core.shards.len()
+    }
+
+    /// Direct handle to shard `s` (e.g. to close it for an outage drill, or
+    /// to inspect its generations).
+    pub fn shard(&self, s: usize) -> &PortalService<P> {
+        &self.core.shards[s]
+    }
+
+    /// The clock every shard shares.
+    pub fn clock(&self) -> &ClockHandle {
+        &self.core.clock
+    }
+
+    /// Current simulated instant.
+    pub fn now(&self) -> Timestamp {
+        self.core.clock.now()
+    }
+
+    /// A snapshot of the shard map (refreshed at every reindex).
+    pub fn shard_map(&self) -> Vec<ShardInfo> {
+        self.core.map.read().clone()
+    }
+
+    /// Sensors registered with the router but not yet placed into a shard.
+    pub fn pending_registrations(&self) -> usize {
+        self.core.pending.lock().len()
+    }
+
+    // -- registration & rebalance-on-reindex -------------------------------
+
+    /// Registers a new publisher with the *router*. The sensor is parked
+    /// until a reindex of the shard whose centroid is then nearest — so a
+    /// registration near a shard boundary migrates with centroid drift
+    /// instead of being pinned to a stale guess. Returns the router-level
+    /// registration ticket (per-shard [`colr_tree::SensorId`]s are assigned
+    /// at placement and are not comparable across shards).
+    pub fn register_sensor(
+        &self,
+        location: Point,
+        expiry: TimeDelta,
+        availability: f64,
+        kind: u16,
+    ) -> usize {
+        let guessed = self.nearest_shard(location);
+        let mut pending = self.core.pending.lock();
+        let ticket = pending.len();
+        pending.push(PendingSensor {
+            location,
+            expiry,
+            availability,
+            kind,
+            guessed,
+        });
+        router_telem().registrations.inc();
+        ticket
+    }
+
+    /// The shard whose centroid is nearest to `location` (ties to the lower
+    /// index).
+    fn nearest_shard(&self, location: Point) -> usize {
+        let map = self.core.map.read();
+        let mut best = 0;
+        let mut best_d2 = f64::INFINITY;
+        for info in map.iter() {
+            let dx = info.centroid.x - location.x;
+            let dy = info.centroid.y - location.y;
+            let d2 = dx * dx + dy * dy;
+            if d2 < best_d2 {
+                best_d2 = d2;
+                best = info.index;
+            }
+        }
+        best
+    }
+
+    /// Reindexes shard `s`: drains every parked sensor whose nearest
+    /// centroid is *currently* `s` into that shard (counting migrations away
+    /// from the registration-time guess), pumps the shard's online reindex,
+    /// and refreshes the shard map entry from the new generation. Returns
+    /// the shard's new population size.
+    pub fn reindex_shard(&self, s: usize) -> usize {
+        let core = &*self.core;
+        let mine: Vec<PendingSensor> = {
+            let mut pending = core.pending.lock();
+            let mut kept = Vec::with_capacity(pending.len());
+            let mut mine = Vec::new();
+            for entry in pending.drain(..) {
+                if self.nearest_shard(entry.location) == s {
+                    mine.push(entry);
+                } else {
+                    kept.push(entry);
+                }
+            }
+            *pending = kept;
+            mine
+        };
+        let t = router_telem();
+        for entry in mine {
+            if entry.guessed != s {
+                t.rebalanced.inc();
+            }
+            core.shards[s].register_sensor(
+                entry.location,
+                entry.expiry,
+                entry.availability,
+                entry.kind,
+            );
+        }
+        let n = core.shards[s].reindex();
+        core.map.write()[s] = shard_info(s, &core.shards[s]);
+        t.reindexes.inc();
+        n
+    }
+
+    /// Round-robin [`ShardedPortal::reindex_shard`] — each call pumps the
+    /// next shard, so a periodic caller cycles the whole fleet. Returns that
+    /// shard's new population size.
+    pub fn reindex(&self) -> usize {
+        let s = self.core.next_reindex.fetch_add(1, Ordering::Relaxed) % self.shard_count();
+        self.reindex_shard(s)
+    }
+
+    /// Reindexes every shard once, in index order. Returns the total
+    /// population.
+    pub fn reindex_all(&self) -> usize {
+        (0..self.shard_count()).map(|s| self.reindex_shard(s)).sum()
+    }
+
+    // -- queries -----------------------------------------------------------
+
+    /// Parses and executes a dialect SQL query through the router.
+    pub fn query_sql(&self, sql: &str) -> Result<PortalResult, PortalError> {
+        Ok(self.execute(&QueryRequest::from_sql(sql)?)?.result)
+    }
+
+    /// Routes one [`QueryRequest`]: splits `R` across the shards the
+    /// viewport overlaps in proportion to `w_i × Overlap`, executes each
+    /// slice with a seed derived from `(router seed, ordinal, shard)`, and
+    /// merges the answers. Fails only when *every* overlapping shard
+    /// declines; partial failures degrade the merged fulfillment instead.
+    pub fn execute(&self, req: &QueryRequest) -> Result<QueryResponse, PortalError> {
+        let core = &*self.core;
+        let t = router_telem();
+        t.queries.inc();
+        let targets = self.overlap_targets(req.select());
+        t.fanout.observe(targets.len() as u64);
+        if req.explain() == ExplainLevel::Plan {
+            return Ok(self.plan_across(req, &targets));
+        }
+        let ordinal = core.ordinal.fetch_add(1, Ordering::Relaxed);
+        let base = derive_seed(core.seed, ordinal);
+        if targets.len() <= 1 {
+            // Single-target fast path: forward the request unchanged so the
+            // shard's answer (samples, stats, degradation) passes through
+            // verbatim — this is what makes a 1-shard router bit-identical
+            // to the bare service.
+            let s = targets.first().map_or(0, |&(s, _)| s);
+            return match core.shards[s].execute_seeded(req, shard_seed(base, s), ordinal) {
+                Ok(mut resp) => {
+                    resp.shards = vec![ShardOutcome {
+                        shard: s,
+                        requested: 0.0,
+                        error: None,
+                    }];
+                    Ok(resp)
+                }
+                Err(cause) => {
+                    t.shard_errors.inc();
+                    Err(PortalError::ShardUnavailable {
+                        shard: s,
+                        cause: Box::new(cause),
+                    })
+                }
+            };
+        }
+        // Fan-out. Split R only when the effective mode actually samples;
+        // the baselines collect everything in range, so each shard just
+        // answers the full request over its own population.
+        let mode = req.mode().unwrap_or(core.mode);
+        let target_r = req.select().sample_size.or(if mode == Mode::Colr {
+            core.max_sensors_per_query
+        } else {
+            None
+        });
+        let shares: Vec<Option<usize>> = match target_r {
+            Some(r) if mode == Mode::Colr => apportion(r, &targets).into_iter().map(Some).collect(),
+            _ => vec![None; targets.len()],
+        };
+        let mut outcomes = Vec::with_capacity(targets.len());
+        let mut answers: Vec<(usize, QueryResponse)> = Vec::with_capacity(targets.len());
+        let mut merged_degradation = DegradationReport::default();
+        let mut first_failure: Option<(usize, PortalError)> = None;
+        for (i, &(s, _)) in targets.iter().enumerate() {
+            let share = shares[i];
+            if share == Some(0) {
+                // Apportionment starved this shard: skip it without paying
+                // its admission slot; its zero slice is already accounted.
+                continue;
+            }
+            let sub = match share {
+                Some(r) => req.with_sample_share(r),
+                None => req.clone(),
+            };
+            let requested = share.map_or(0.0, |r| r as f64);
+            match core.shards[s].execute_seeded(&sub, shard_seed(base, s), ordinal) {
+                Ok(resp) => {
+                    merged_degradation.merge(&resp.result.degradation);
+                    outcomes.push(ShardOutcome {
+                        shard: s,
+                        requested,
+                        error: None,
+                    });
+                    answers.push((s, resp));
+                }
+                Err(e) => {
+                    t.shard_errors.inc();
+                    // The dead shard's slice of R goes unserved: merge a
+                    // synthetic all-shortfall report so the fulfillment (and
+                    // worst_fulfillment) reflect the outage.
+                    merged_degradation.merge(&DegradationReport {
+                        requested,
+                        ..Default::default()
+                    });
+                    if first_failure.is_none() {
+                        first_failure = Some((s, e.clone()));
+                    }
+                    outcomes.push(ShardOutcome {
+                        shard: s,
+                        requested,
+                        error: Some(e),
+                    });
+                }
+            }
+        }
+        if answers.is_empty() {
+            let (shard, cause) = first_failure.expect("fan-out with no answers has a failure");
+            return Err(PortalError::ShardUnavailable {
+                shard,
+                cause: Box::new(cause),
+            });
+        }
+        Ok(self.merge(req, answers, merged_degradation, outcomes))
+    }
+
+    /// Executes a batch through the router. A single-shard router delegates
+    /// to the shard's own [`PortalService::execute_many`] (thread-fan-out
+    /// included, bit-identical to the bare service); a multi-shard router
+    /// routes the queries one by one — already deterministic by
+    /// construction, so the thread hint is ignored.
+    pub fn execute_many(
+        &self,
+        queries: &[SelectQuery],
+        threads: usize,
+    ) -> Result<BatchResult, PortalError>
+    where
+        P: Sync,
+    {
+        if self.shard_count() == 1 {
+            return self.core.shards[0].execute_many(queries, threads);
+        }
+        let mut results = Vec::with_capacity(queries.len());
+        let mut stats = QueryStats::default();
+        let mut degradation = DegradationReport::default();
+        for q in queries {
+            let resp = self.execute(&QueryRequest::new(q.clone()))?;
+            stats.merge(&resp.result.stats);
+            degradation.merge(&resp.result.degradation);
+            results.push(resp.result);
+        }
+        Ok(BatchResult {
+            results,
+            stats,
+            // Routed queries run interactively per shard, so write-backs are
+            // applied inline rather than deferred to batch end.
+            readings_applied: 0,
+            degradation,
+        })
+    }
+
+    // -- routing internals -------------------------------------------------
+
+    /// The shards the query region overlaps, with their Algorithm 1 split
+    /// weights `w_i × Overlap(BB(i), A)` read from each shard's live root.
+    /// Falls back to shard 0 (weightless) when nothing overlaps, so an
+    /// empty-viewport query still yields one well-formed empty answer.
+    fn overlap_targets(&self, select: &SelectQuery) -> Vec<(usize, f64)> {
+        let region = select.within.region();
+        let mut targets = Vec::new();
+        for (s, shard) in self.core.shards.iter().enumerate() {
+            let gen = shard.snapshot();
+            let tree = gen.tree();
+            let root = tree.node(tree.root());
+            let w = root.query_weight(select.sensor_type) as f64;
+            let ow = w * region.overlap_fraction(&root.bbox);
+            if ow > 0.0 {
+                targets.push((s, ow));
+            }
+        }
+        targets
+    }
+
+    /// The [`ExplainLevel::Plan`] path: no execution, so gather each target
+    /// shard's plan text (prefixed with its shard header when fanned out).
+    fn plan_across(&self, req: &QueryRequest, targets: &[(usize, f64)]) -> QueryResponse {
+        let core = &*self.core;
+        if targets.len() <= 1 {
+            let s = targets.first().map_or(0, |&(s, _)| s);
+            let mut resp = core.shards[s]
+                .execute(req)
+                .expect("Plan requests cannot fail");
+            resp.shards = vec![ShardOutcome {
+                shard: s,
+                requested: 0.0,
+                error: None,
+            }];
+            return resp;
+        }
+        let mut text = String::new();
+        let mut outcomes = Vec::with_capacity(targets.len());
+        for &(s, _) in targets {
+            let resp = core.shards[s]
+                .execute(req)
+                .expect("Plan requests cannot fail");
+            if !text.is_empty() {
+                text.push('\n');
+            }
+            text.push_str(&format!("— shard {s} —\n"));
+            text.push_str(resp.explain.as_deref().unwrap_or(""));
+            outcomes.push(ShardOutcome {
+                shard: s,
+                requested: 0.0,
+                error: None,
+            });
+        }
+        QueryResponse {
+            result: PortalResult {
+                groups: Vec::new(),
+                value: None,
+                histogram: None,
+                stats: QueryStats::default(),
+                latency_ms: 0.0,
+                degradation: DegradationReport::default(),
+            },
+            explain: Some(text),
+            flight: None,
+            shards: outcomes,
+        }
+    }
+
+    /// Gathers per-shard answers (in shard order) into one response.
+    fn merge(
+        &self,
+        req: &QueryRequest,
+        answers: Vec<(usize, QueryResponse)>,
+        degradation: DegradationReport,
+        outcomes: Vec<ShardOutcome>,
+    ) -> QueryResponse {
+        let kind = req.select().agg.kind();
+        let mut groups = Vec::new();
+        let mut stats = QueryStats::default();
+        let mut latency_ms = 0.0f64;
+        let mut histogram: Option<Histogram> = None;
+        let mut histogram_ok = true;
+        let mut value_acc: Option<f64> = None;
+        let mut avg_weight = 0.0f64;
+        let mut explains = Vec::new();
+        let mut flights = Vec::new();
+        for (s, resp) in answers {
+            let r = resp.result;
+            stats.merge(&r.stats);
+            // The fan-out runs (conceptually) in parallel: the merged
+            // latency is the critical path, not the sum.
+            latency_ms = latency_ms.max(r.latency_ms);
+            if let Some(h) = r.histogram {
+                match &mut histogram {
+                    None if histogram_ok => histogram = Some(h),
+                    Some(acc) if acc.same_binning(&h) => acc.merge(&h),
+                    _ => {
+                        // Shards binned differently (adaptive raw-reading
+                        // bins): a merged distribution would be meaningless.
+                        histogram_ok = false;
+                        histogram = None;
+                    }
+                }
+            }
+            if let Some(v) = r.value {
+                let n: u64 = r.groups.iter().map(|g| g.count).sum();
+                value_acc = Some(match (value_acc, kind) {
+                    (None, AggKind::Avg) => v * n as f64,
+                    (None, _) => v,
+                    (Some(acc), AggKind::Count | AggKind::Sum) => acc + v,
+                    (Some(acc), AggKind::Min) => acc.min(v),
+                    (Some(acc), AggKind::Max) => acc.max(v),
+                    (Some(acc), AggKind::Avg) => acc + v * n as f64,
+                });
+                if kind == AggKind::Avg {
+                    avg_weight += n as f64;
+                }
+            }
+            groups.extend(r.groups);
+            if let Some(e) = resp.explain {
+                explains.push((s, e));
+            }
+            if let Some(f) = resp.flight {
+                flights.push(f);
+            }
+        }
+        let value = match (value_acc, kind) {
+            (Some(acc), AggKind::Avg) if avg_weight > 0.0 => Some(acc / avg_weight),
+            (Some(_), AggKind::Avg) => None,
+            (v, _) => v,
+        };
+        let explain = (!explains.is_empty()).then(|| {
+            explains
+                .into_iter()
+                .map(|(s, e)| format!("— shard {s} —\n{e}"))
+                .collect::<Vec<_>>()
+                .join("\n")
+        });
+        let flight = (!flights.is_empty()).then(|| format!("[{}]", flights.join(",")));
+        QueryResponse {
+            result: PortalResult {
+                groups,
+                value,
+                histogram,
+                stats,
+                latency_ms,
+                degradation,
+            },
+            explain,
+            flight,
+            shards: outcomes,
+        }
+    }
+}
+
+impl<P> ShardedPortal<P>
+where
+    P: ProbeService + Send + Sync + 'static,
+{
+    /// Spawns a background thread that pumps the round-robin
+    /// [`ShardedPortal::reindex`] whenever at least `min_pending` router
+    /// registrations are waiting, checking every `poll` — the sharded
+    /// analogue of [`PortalService::spawn_reindexer`], rebalance included.
+    pub fn spawn_reindexer(&self, min_pending: usize, poll: std::time::Duration) -> Reindexer {
+        let router = self.clone();
+        let stop = Arc::new(AtomicBool::new(false));
+        let flag = stop.clone();
+        let handle = std::thread::spawn(move || {
+            let mut pumped = 0u64;
+            while !flag.load(Ordering::Acquire) {
+                if router.pending_registrations() >= min_pending.max(1) {
+                    router.reindex();
+                    pumped += 1;
+                } else {
+                    std::thread::park_timeout(poll);
+                }
+            }
+            pumped
+        });
+        Reindexer {
+            stop,
+            handle: Some(handle),
+        }
+    }
+}
+
+/// The seed shard `s` executes ordinal `base`'s slice under. Shard 0 reuses
+/// `base` itself so a single-shard router replays the bare service's exact
+/// RNG stream; other shards re-derive from their absolute index.
+fn shard_seed(base: u64, s: usize) -> u64 {
+    if s == 0 {
+        base
+    } else {
+        derive_seed(base, s as u64)
+    }
+}
+
+/// Reads one shard map entry off the shard's current generation.
+fn shard_info<P: ProbeService>(index: usize, shard: &PortalService<P>) -> ShardInfo {
+    let gen = shard.snapshot();
+    let tree = gen.tree();
+    let sensors = tree.sensors();
+    let mut cx = 0.0;
+    let mut cy = 0.0;
+    for m in sensors {
+        cx += m.location.x;
+        cy += m.location.y;
+    }
+    let n = sensors.len().max(1) as f64;
+    ShardInfo {
+        index,
+        bbox: tree.node(tree.root()).bbox,
+        centroid: Point::new(cx / n, cy / n),
+        sensors: sensors.len(),
+    }
+}
+
+/// Largest-remainder apportionment of `r` across `targets` in proportion to
+/// their overlap weights: floors first, then one leftover unit per highest
+/// fractional part (ties to the lower shard index). Deterministic, sums to
+/// exactly `r`, and matches Algorithm 1's proportional intent without the
+/// rounding drift of independent `round()`s.
+fn apportion(r: usize, targets: &[(usize, f64)]) -> Vec<usize> {
+    let total: f64 = targets.iter().map(|&(_, w)| w).sum();
+    if total <= 0.0 {
+        let mut shares = vec![0; targets.len()];
+        if let Some(first) = shares.first_mut() {
+            *first = r;
+        }
+        return shares;
+    }
+    let ideals: Vec<f64> = targets.iter().map(|&(_, w)| r as f64 * w / total).collect();
+    let mut shares: Vec<usize> = ideals.iter().map(|&x| x.floor() as usize).collect();
+    let assigned: usize = shares.iter().sum();
+    let mut order: Vec<usize> = (0..targets.len()).collect();
+    order.sort_by(|&a, &b| {
+        let fa = ideals[a] - ideals[a].floor();
+        let fb = ideals[b] - ideals[b].floor();
+        fb.partial_cmp(&fa)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(targets[a].0.cmp(&targets[b].0))
+    });
+    for i in 0..r.saturating_sub(assigned) {
+        shares[order[i % order.len()]] += 1;
+    }
+    shares
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn apportionment_is_exact_and_deterministic() {
+        let targets = [(0usize, 3.0), (1, 1.0), (2, 1.0)];
+        let shares = apportion(10, &targets);
+        assert_eq!(shares.iter().sum::<usize>(), 10);
+        assert_eq!(shares, vec![6, 2, 2]);
+        // Remainders break ties toward the lower shard index.
+        let tied = apportion(4, &[(0usize, 1.0), (1, 1.0), (2, 1.0)]);
+        assert_eq!(tied, vec![2, 1, 1]);
+        // Degenerate weights: everything lands on the first target.
+        assert_eq!(apportion(5, &[(0usize, 0.0), (1, 0.0)]), vec![5, 0]);
+        // A starving split leaves zero shares (the router skips them).
+        let starved = apportion(1, &[(0usize, 1.0), (1, 100.0)]);
+        assert_eq!(starved.iter().sum::<usize>(), 1);
+        assert_eq!(starved, vec![0, 1]);
+    }
+
+    #[test]
+    fn shard_zero_replays_the_base_stream() {
+        assert_eq!(shard_seed(1234, 0), 1234);
+        assert_ne!(shard_seed(1234, 1), 1234);
+        assert_ne!(shard_seed(1234, 1), shard_seed(1234, 2));
+    }
+}

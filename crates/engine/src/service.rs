@@ -55,6 +55,7 @@ use crate::error::PortalError;
 use crate::parser::{parse, parse_statement, ParseError, Statement};
 use crate::planner::Planner;
 use crate::portal::{BatchResult, DegradationReport, GroupView, PortalConfig, PortalResult};
+use crate::request::{ExplainLevel, QueryRequest, QueryResponse};
 
 // ---------------------------------------------------------------------------
 // Telemetry
@@ -331,6 +332,18 @@ impl<P: ProbeService> PortalService<P> {
     /// Builds the initial index generation over `sensors` and wraps it in a
     /// service handle probing live data through `probe`.
     pub fn new(sensors: Vec<SensorMeta>, probe: P, config: PortalConfig) -> PortalService<P> {
+        PortalService::with_clock(sensors, probe, config, ClockHandle::new())
+    }
+
+    /// [`PortalService::new`] with a caller-supplied clock, so several
+    /// services (the shards of a [`crate::ShardedPortal`]) can share one
+    /// simulated timeline.
+    pub(crate) fn with_clock(
+        sensors: Vec<SensorMeta>,
+        probe: P,
+        config: PortalConfig,
+        clock: ClockHandle,
+    ) -> PortalService<P> {
         let population = sensors.len() as u32;
         let tree = ColrTree::build(sensors, config.tree.clone(), config.seed);
         let planner = Planner::new(&tree, config.default_staleness);
@@ -343,7 +356,7 @@ impl<P: ProbeService> PortalService<P> {
         PortalService {
             core: Arc::new(ServiceCore {
                 probe,
-                clock: ClockHandle::new(),
+                clock,
                 current: RwLock::new(generation),
                 pending: RegistrationQueue::new(),
                 next_sensor_id: AtomicU32::new(population),
@@ -553,29 +566,137 @@ impl<P: ProbeService> PortalService<P> {
 
     // -- queries -----------------------------------------------------------
 
+    /// Executes one [`QueryRequest`] — the portal's single entry point.
+    /// Every other query method (`query_sql`, `query`, `explain_sql`,
+    /// `explain_analyze_sql`) is a thin wrapper that builds a request and
+    /// delegates here, as does the sharded router.
+    pub fn execute(&self, req: &QueryRequest) -> Result<QueryResponse, PortalError> {
+        if req.explain() == ExplainLevel::Plan {
+            // Planning only: no admission slot, no ordinal, no RNG.
+            return Ok(self.plan_response(req));
+        }
+        let ordinal = self.core.ordinal.fetch_add(1, Ordering::Relaxed);
+        self.execute_seeded(req, derive_seed(self.core.seed, ordinal), ordinal)
+    }
+
+    /// [`PortalService::execute`] with a caller-derived seed and ordinal —
+    /// the router's hook: it derives one seed per `(router ordinal, shard)`
+    /// so a routed fan-out replays bit-identically regardless of shard
+    /// completion order.
+    pub(crate) fn execute_seeded(
+        &self,
+        req: &QueryRequest,
+        seed: u64,
+        ordinal: u64,
+    ) -> Result<QueryResponse, PortalError> {
+        if req.explain() == ExplainLevel::Plan {
+            return Ok(self.plan_response(req));
+        }
+        let analyze = req.explain() == ExplainLevel::Analyze;
+        if analyze {
+            // Arm the always-on recorder; every error path below must disarm
+            // to avoid leaking an active recorder onto this thread.
+            flight::begin(ordinal);
+            if req.sql_len() > 0 {
+                flight::with(|f| f.parse_sql_len = req.sql_len());
+            }
+        }
+        let (_slot, queue_wait) = match self.admit() {
+            Ok(admitted) => admitted,
+            Err(e) => {
+                if analyze {
+                    if let Some(rec) = flight::take() {
+                        flight::recycle(rec);
+                    }
+                }
+                return Err(e);
+            }
+        };
+        let gen = self.snapshot();
+        let mut rng = StdRng::seed_from_u64(seed);
+        service_telem().served.inc();
+        let result = self.run_inner(
+            &gen,
+            req.select(),
+            &mut rng,
+            queue_wait,
+            req.deadline(),
+            req.mode(),
+        );
+        let (explain, flight_json) = if analyze {
+            let rec = flight::take().expect("recorder stays armed through EXPLAIN ANALYZE");
+            let mut out = gen.planner.explain(req.select());
+            out.push('\n');
+            out.push_str(&rec.render_tree());
+            let d = &result.degradation;
+            let _ = writeln!(
+                out,
+                "degradation: requested={} sampled={} fulfillment={:.3} \
+                 breaker_skipped={} deadline_clipped={} probes_retried={}",
+                d.requested,
+                d.sampled,
+                d.fulfillment(),
+                d.breaker_skipped,
+                d.deadline_clipped,
+                d.probes_retried
+            );
+            match rec.parity() {
+                Ok(()) => out.push_str("parity: stage totals == QueryStats (bit-exact)"),
+                Err(e) => {
+                    let _ = write!(out, "parity: FAILED — {e}");
+                }
+            }
+            let json = rec.to_json();
+            flight::recycle(rec);
+            (Some(out), Some(json))
+        } else {
+            (None, None)
+        };
+        Ok(QueryResponse {
+            result,
+            explain,
+            flight: flight_json,
+            shards: Vec::new(),
+        })
+    }
+
+    /// The [`ExplainLevel::Plan`] response: the plan text and an empty
+    /// result, without executing anything.
+    fn plan_response(&self, req: &QueryRequest) -> QueryResponse {
+        QueryResponse {
+            result: PortalResult {
+                groups: Vec::new(),
+                value: None,
+                histogram: None,
+                stats: QueryStats::default(),
+                latency_ms: 0.0,
+                degradation: DegradationReport::default(),
+            },
+            explain: Some(self.snapshot().planner.explain(req.select())),
+            flight: None,
+            shards: Vec::new(),
+        }
+    }
+
     /// Parses and executes a dialect SQL query. Concurrent-safe: any number
     /// of handles may call this at once.
     pub fn query_sql(&self, sql: &str) -> Result<PortalResult, PortalError> {
         let parsed = self.parse_traced(sql)?;
-        self.query(&parsed)
+        Ok(self.execute(&QueryRequest::new(parsed))?.result)
     }
 
     /// Executes a parsed query against the current generation snapshot,
     /// under admission control, with an RNG derived from `(seed, ordinal)`.
     pub fn query(&self, q: &SelectQuery) -> Result<PortalResult, PortalError> {
-        let ordinal = self.core.ordinal.fetch_add(1, Ordering::Relaxed);
-        let (_slot, queue_wait) = self.admit()?;
-        let gen = self.snapshot();
-        let mut rng = StdRng::seed_from_u64(derive_seed(self.core.seed, ordinal));
-        service_telem().served.inc();
-        Ok(self.run_with_rng(&gen, q, &mut rng, queue_wait))
+        Ok(self.execute(&QueryRequest::new(q.clone()))?.result)
     }
 
     /// Parses a dialect query and describes its physical plan without
     /// executing it (the portal's `EXPLAIN`).
     pub fn explain_sql(&self, sql: &str) -> Result<String, PortalError> {
         let parsed = parse(sql)?;
-        Ok(self.snapshot().planner.explain(&parsed))
+        let resp = self.execute(&QueryRequest::new(parsed).with_explain(ExplainLevel::Plan))?;
+        Ok(resp.explain.expect("Plan responses carry explain text"))
     }
 
     /// The portal's `EXPLAIN ANALYZE`: executes the query under an always-on
@@ -588,64 +709,22 @@ impl<P: ProbeService> PortalService<P> {
     /// Accepts either a bare `SELECT ...` or the full
     /// `EXPLAIN [ANALYZE] SELECT ...` statement form.
     pub fn explain_analyze_sql(&self, sql: &str) -> Result<String, PortalError> {
-        let ordinal = self.core.ordinal.fetch_add(1, Ordering::Relaxed);
-        // Arm before parsing so the parse stage lands in the record; every
-        // error path below must disarm to avoid leaking an active recorder
-        // onto this thread.
-        flight::begin(ordinal);
-        let disarm = || {
-            if let Some(rec) = flight::take() {
-                flight::recycle(rec);
-            }
-        };
         let at_us = self.core.clock.now().0 * 1_000;
         let parsed = match parse_statement(sql) {
             Ok(Statement::Select(q)) | Ok(Statement::Explain { query: q, .. }) => {
                 tracer().record(SpanKind::Parse, at_us, 0, sql.len() as u64);
-                flight::with(|f| f.parse_sql_len = sql.len() as u64);
                 q
             }
             Err(e) => {
                 portal_telem().parse_errors.inc();
-                disarm();
                 return Err(e.into());
             }
         };
-        let (_slot, queue_wait) = match self.admit() {
-            Ok(admitted) => admitted,
-            Err(e) => {
-                disarm();
-                return Err(e);
-            }
-        };
-        let gen = self.snapshot();
-        let mut rng = StdRng::seed_from_u64(derive_seed(self.core.seed, ordinal));
-        service_telem().served.inc();
-        let result = self.run_with_rng(&gen, &parsed, &mut rng, queue_wait);
-        let rec = flight::take().expect("recorder stays armed through EXPLAIN ANALYZE");
-        let mut out = gen.planner.explain(&parsed);
-        out.push('\n');
-        out.push_str(&rec.render_tree());
-        let d = &result.degradation;
-        let _ = writeln!(
-            out,
-            "degradation: requested={} sampled={} fulfillment={:.3} \
-             breaker_skipped={} deadline_clipped={} probes_retried={}",
-            d.requested,
-            d.sampled,
-            d.fulfillment(),
-            d.breaker_skipped,
-            d.deadline_clipped,
-            d.probes_retried
-        );
-        match rec.parity() {
-            Ok(()) => out.push_str("parity: stage totals == QueryStats (bit-exact)"),
-            Err(e) => {
-                let _ = write!(out, "parity: FAILED — {e}");
-            }
-        }
-        flight::recycle(rec);
-        Ok(out)
+        let req = QueryRequest::new(parsed)
+            .with_explain(ExplainLevel::Analyze)
+            .with_sql_len(sql.len() as u64);
+        let resp = self.execute(&req)?;
+        Ok(resp.explain.expect("Analyze responses carry explain text"))
     }
 
     /// Executes a batch of parsed queries against one generation snapshot,
@@ -710,7 +789,23 @@ impl<P: ProbeService> PortalService<P> {
         rng: &mut StdRng,
         queue_wait: TimeDelta,
     ) -> PortalResult {
+        self.run_inner(gen, q, rng, queue_wait, None, None)
+    }
+
+    /// [`PortalService::run_with_rng`] with the per-request envelope: an
+    /// optional probe-deadline override and an optional mode override (both
+    /// from [`QueryRequest`]; `None` falls back to the service config).
+    fn run_inner(
+        &self,
+        gen: &Generation,
+        q: &SelectQuery,
+        rng: &mut StdRng,
+        queue_wait: TimeDelta,
+        deadline: Option<TimeDelta>,
+        mode_override: Option<Mode>,
+    ) -> PortalResult {
         let core = &*self.core;
+        let mode = mode_override.unwrap_or(core.mode);
         // Flight gate: an externally-armed recorder (EXPLAIN ANALYZE) stays
         // under its caller's control; otherwise the 1-in-N sampler may arm
         // one for this query. Recording never touches the RNG or any float
@@ -728,6 +823,9 @@ impl<P: ProbeService> PortalService<P> {
         };
         let now = core.clock.now();
         let mut plan = self.plan_capped(gen, q);
+        if let Some(d) = deadline {
+            plan.probe_deadline = d;
+        }
         plan.probe_deadline = plan.probe_deadline - queue_wait;
         tracer().record(SpanKind::Plan, now.0 * 1_000, 0, 1);
         flight::with(|f| {
@@ -737,8 +835,8 @@ impl<P: ProbeService> PortalService<P> {
             f.plan_deadline_ms = plan.probe_deadline.millis();
         });
         portal_telem().queries.inc();
-        let requested = self.requested_target(&plan);
-        let out = gen.tree.execute(&plan, core.mode, &core.probe, now, rng);
+        let requested = requested_target(&plan, mode);
+        let out = gen.tree.execute(&plan, mode, &core.probe, now, rng);
         let result = self.finish(gen, q.agg.kind(), requested, out);
         let watchdog = core.watchdog.read().clone();
         let mut flight_json = None;
@@ -846,9 +944,9 @@ impl<P: ProbeService> PortalService<P> {
             let (out, deferred) = outcome.expect("worker completed");
             readings_applied += gen.tree.apply_readings(&deferred, now);
             stats.merge(&out.stats);
-            let requested = self.requested_target(plan);
+            let requested = requested_target(plan, core.mode);
             let result = self.finish(gen, *kind, requested, out);
-            degradation.absorb(&result.degradation);
+            degradation.merge(&result.degradation);
             results.push(result);
         }
         // Batch span: duration is the modelled critical path — the slowest
@@ -878,17 +976,6 @@ impl<P: ProbeService> PortalService<P> {
             }
         }
         plan
-    }
-
-    /// The sample-size target a plan will aim for, for degradation
-    /// accounting: only the COLR mode samples, the baselines collect
-    /// everything in range.
-    fn requested_target(&self, plan: &Query) -> f64 {
-        if matches!(self.core.mode, Mode::Colr) {
-            plan.sample_size.unwrap_or(0.0)
-        } else {
-            0.0
-        }
     }
 
     /// Converts a raw engine output into the portal's result shape.
@@ -949,6 +1036,7 @@ impl<P: ProbeService> PortalService<P> {
             breaker_skipped: out.stats.breaker_skipped,
             deadline_clipped: out.stats.deadline_clipped,
             probes_retried: out.stats.probes_retried,
+            worst: None,
         };
         PortalResult {
             groups,
@@ -988,8 +1076,8 @@ impl<Q: ProbeService> PortalService<ResilientProber<Q>> {
 /// have accumulated, polling on a (wall-clock) interval. The alternative to
 /// calling `reindex` explicitly; stop (or drop) it to join the thread.
 pub struct Reindexer {
-    stop: Arc<AtomicBool>,
-    handle: Option<std::thread::JoinHandle<u64>>,
+    pub(crate) stop: Arc<AtomicBool>,
+    pub(crate) handle: Option<std::thread::JoinHandle<u64>>,
 }
 
 impl<P> PortalService<P>
@@ -1046,6 +1134,16 @@ impl Drop for Reindexer {
 /// What one frozen query execution produces: its output plus the probe
 /// write-backs deferred until the batch completes.
 type FrozenOutcome = (QueryOutput, Vec<Reading>);
+
+/// The sample-size target a plan will aim for, for degradation accounting:
+/// only the COLR mode samples, the baselines collect everything in range.
+fn requested_target(plan: &Query, mode: Mode) -> f64 {
+    if matches!(mode, Mode::Colr) {
+        plan.sample_size.unwrap_or(0.0)
+    } else {
+        0.0
+    }
+}
 
 /// Derives the per-query RNG seed for ordinal `i` (splitmix64-style mix of
 /// the service seed and the ordinal, so neighbouring ordinals get

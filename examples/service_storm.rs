@@ -10,15 +10,23 @@
 //! SLO watchdog and asserts the fulfillment breach report carries flight
 //! records. Prints `service_storm OK` on success (ci.sh greps for it).
 //!
+//! With `--shards N` the storm runs against a spatially sharded
+//! [`ShardedPortal`] instead: clients scatter-gather through the unified
+//! [`QueryRequest`] surface while the main thread registers publishers near
+//! a shard boundary and republishes every shard (rebalance-on-reindex),
+//! then closes one shard and asserts the outage degrades the merged answer
+//! instead of failing it. Prints `service_storm sharded OK` on success.
+//!
 //! ```sh
 //! cargo run --example service_storm
+//! cargo run --example service_storm -- --shards 4
 //! ```
 
 use std::sync::Arc;
 
 use colr_repro::colr::probe::AlwaysAvailable;
 use colr_repro::colr::{Mode, ProbeService, Reading, SensorId, SensorMeta, TimeDelta, Timestamp};
-use colr_repro::engine::{PortalConfig, PortalService};
+use colr_repro::engine::{PortalConfig, PortalService, QueryRequest, ShardedPortal};
 use colr_repro::geo::Point;
 use colr_repro::telemetry::{SloConfig, SloWatchdog};
 
@@ -31,6 +39,24 @@ const SWAPS: usize = 4;
 const NEW_PER_SWAP: usize = 8;
 
 fn main() {
+    let mut args = std::env::args().skip(1);
+    let mut shards: Option<usize> = None;
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--shards" => {
+                shards = Some(
+                    args.next()
+                        .and_then(|v| v.parse().ok())
+                        .expect("--shards N"),
+                )
+            }
+            other => panic!("unknown flag {other}"),
+        }
+    }
+    if let Some(k) = shards {
+        sharded_phase(k);
+        return;
+    }
     let sensors: Vec<SensorMeta> = (0..BASE)
         .map(|i| {
             SensorMeta::new(
@@ -125,6 +151,144 @@ fn main() {
 
     outage_phase();
     println!("service_storm OK");
+}
+
+/// The sharded storm (`--shards N`): clients scatter-gather through one
+/// [`ShardedPortal`] via the unified [`QueryRequest`] surface while the main
+/// thread registers publishers near the inter-shard boundary and
+/// republishes every shard — the rebalance-on-reindex path — then injects a
+/// regional outage by closing one shard and asserts the merged answer
+/// degrades instead of failing.
+fn sharded_phase(shards: usize) {
+    const SHARD_CLIENTS: usize = 4;
+    const SHARD_QUERIES: usize = 100;
+
+    let sensors: Vec<SensorMeta> = (0..BASE)
+        .map(|i| {
+            SensorMeta::new(
+                i as u32,
+                Point::new((i % SIDE) as f64, (i / SIDE) as f64),
+                TimeDelta::from_millis(EXPIRY_MS),
+                1.0,
+            )
+        })
+        .collect();
+    let router = ShardedPortal::new(
+        sensors,
+        |_, _| AlwaysAvailable {
+            expiry_ms: EXPIRY_MS,
+        },
+        shards,
+        PortalConfig {
+            mode: Mode::Colr,
+            ..Default::default()
+        },
+    );
+    router.clock().advance(TimeDelta::from_secs(1));
+    assert_eq!(router.shard_count(), shards);
+
+    let extent = SIDE as f64 - 0.5;
+    let spanning_sql = format!(
+        "SELECT count(*) FROM sensor WHERE location WITHIN RECT(-0.5,-0.5,{extent},{extent}) \
+         SAMPLESIZE 64"
+    );
+    let half = SIDE as f64 / 2.0 - 0.5;
+    let mut sqls = vec![spanning_sql.clone()];
+    for (x0, y0, x1, y1) in [
+        (-0.5, -0.5, half, half),
+        (half, -0.5, extent, half),
+        (-0.5, half, half, extent),
+        (half, half, extent, extent),
+    ] {
+        sqls.push(format!(
+            "SELECT count(*) FROM sensor WHERE location WITHIN RECT({x0},{y0},{x1},{y1}) \
+             SAMPLESIZE 16"
+        ));
+    }
+    let reqs: Vec<QueryRequest> = sqls
+        .iter()
+        .map(|sql| QueryRequest::from_sql(sql).expect("storm SQL parses"))
+        .collect();
+
+    std::thread::scope(|scope| {
+        let mut clients = Vec::new();
+        for c in 0..SHARD_CLIENTS {
+            let handle = router.clone();
+            let reqs = &reqs;
+            clients.push(scope.spawn(move || {
+                for i in 0..SHARD_QUERIES {
+                    let resp = handle
+                        .execute(&reqs[(c + i) % reqs.len()])
+                        .expect("zero reader downtime through the router");
+                    assert!(!resp.shards.is_empty(), "no fan-out outcome recorded");
+                    assert!(
+                        resp.shards.iter().all(|o| o.error.is_none()),
+                        "healthy fleet reported a shard error"
+                    );
+                }
+            }));
+        }
+
+        // Registrations near the boundary between the first and last shard's
+        // territories, republishing every shard each swap — exactly the path
+        // rebalance-on-reindex arbitrates.
+        let map = router.shard_map();
+        let (a, b) = (map[0].centroid, map[map.len() - 1].centroid);
+        let mid = Point::new((a.x + b.x) / 2.0, (a.y + b.y) / 2.0);
+        for swap in 0..SWAPS {
+            for i in 0..NEW_PER_SWAP {
+                router.register_sensor(
+                    Point::new(mid.x + i as f64 * 0.05, mid.y + swap as f64 * 0.05),
+                    TimeDelta::from_millis(EXPIRY_MS),
+                    1.0,
+                    0,
+                );
+            }
+            router.reindex_all();
+            std::thread::sleep(std::time::Duration::from_millis(5));
+        }
+        for client in clients {
+            client.join().expect("sharded client panicked");
+        }
+    });
+
+    assert_eq!(
+        router.pending_registrations(),
+        0,
+        "boundary registrations drained at reindex"
+    );
+    let population: usize = router.shard_map().iter().map(|s| s.sensors).sum();
+    assert_eq!(
+        population,
+        BASE + SWAPS * NEW_PER_SWAP,
+        "every registration landed in exactly one shard"
+    );
+
+    // Regional outage: one dead shard degrades the merged answer (and is
+    // named in the fan-out outcomes) instead of failing the query.
+    if shards > 1 {
+        let dead = shards - 1;
+        router.shard(dead).close();
+        let resp = router
+            .execute(&QueryRequest::from_sql(&spanning_sql).expect("spanning SQL"))
+            .expect("a regional outage must degrade the answer, not fail it");
+        assert!(
+            resp.result.degradation.worst_fulfillment() < 1.0,
+            "dead shard's unmet share must breach merged fulfillment"
+        );
+        assert!(
+            resp.shards
+                .iter()
+                .any(|o| o.shard == dead && o.error.is_some()),
+            "dead shard must be named in the fan-out outcomes"
+        );
+    }
+
+    println!(
+        "service_storm sharded OK shards={shards} clients={SHARD_CLIENTS} \
+         queries={} population={population}",
+        SHARD_CLIENTS * SHARD_QUERIES,
+    );
 }
 
 /// Sensors in the eastern half of the grid go dark; every query keeps

@@ -1,0 +1,227 @@
+//! Scatter-gather router correctness.
+//!
+//! (a) A single-shard [`ShardedPortal`] is bit-identical to a bare
+//!     [`PortalService`] over the same population and seed: the router
+//!     derives its shard-0 seed as the identity, so the RNG stream — and
+//!     therefore every sample, group, stat and degradation field — replays
+//!     exactly, across seeds, predicate shapes and batch thread counts.
+//! (b) A regional outage (one shard closed) degrades the merged answer —
+//!     fulfillment drops below 1.0 and the dead shard's outcome carries the
+//!     error — instead of failing the query. Only when every overlapping
+//!     shard declines does the router return `ShardUnavailable`.
+
+use colr_repro::colr::probe::AlwaysAvailable;
+use colr_repro::colr::{Mode, SensorMeta, TimeDelta, Timestamp};
+use colr_repro::engine::{
+    parse, PortalConfig, PortalError, PortalResult, PortalService, QueryRequest, ShardedPortal,
+};
+use colr_repro::geo::Point;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const EXPIRY_MS: u64 = 600_000;
+
+/// A clustered population: `per_cluster` sensors jittered around each
+/// centre, ids dense in generation order.
+fn clustered_sensors(centres: &[(f64, f64)], per_cluster: usize, seed: u64) -> Vec<SensorMeta> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut sensors = Vec::with_capacity(centres.len() * per_cluster);
+    for &(cx, cy) in centres {
+        for _ in 0..per_cluster {
+            let id = sensors.len() as u32;
+            let x = cx + rng.random_range(-8.0..8.0);
+            let y = cy + rng.random_range(-8.0..8.0);
+            sensors.push(SensorMeta::new(
+                id,
+                Point::new(x, y),
+                TimeDelta::from_millis(EXPIRY_MS),
+                1.0,
+            ));
+        }
+    }
+    sensors
+}
+
+fn config(seed: u64) -> PortalConfig {
+    PortalConfig {
+        seed,
+        mode: Mode::Colr,
+        ..Default::default()
+    }
+}
+
+fn probe() -> AlwaysAvailable {
+    AlwaysAvailable {
+        expiry_ms: EXPIRY_MS,
+    }
+}
+
+/// Everything except wall-clock latency must match exactly.
+fn assert_results_identical(a: &PortalResult, b: &PortalResult, ctx: &str) {
+    assert_eq!(
+        format!("{:?}", a.groups),
+        format!("{:?}", b.groups),
+        "{ctx}: groups diverged"
+    );
+    assert_eq!(a.value, b.value, "{ctx}: aggregate value diverged");
+    assert_eq!(
+        format!("{:?}", a.histogram),
+        format!("{:?}", b.histogram),
+        "{ctx}: histogram diverged"
+    );
+    assert_eq!(
+        format!("{:?}", a.stats),
+        format!("{:?}", b.stats),
+        "{ctx}: collection stats diverged"
+    );
+    assert_eq!(a.degradation, b.degradation, "{ctx}: degradation diverged");
+}
+
+/// The three predicate shapes, each with an explicit sampling target so the
+/// seeded sampler is actually exercised.
+fn shape_sqls() -> [&'static str; 3] {
+    [
+        "SELECT count(*) FROM sensor WHERE location WITHIN RECT(2, 2, 50, 50) SAMPLESIZE 24",
+        "SELECT avg(value) FROM sensor WHERE location WITHIN \
+         POLYGON((0 0, 70 0, 70 70, 0 70)) SAMPLESIZE 32",
+        "SELECT sum(value) FROM sensor WHERE location WITHIN CIRCLE(60, 60, 15) SAMPLESIZE 16",
+    ]
+}
+
+#[test]
+fn single_shard_router_is_bit_identical_to_bare_service() {
+    let sensors = clustered_sensors(&[(12.0, 12.0), (60.0, 60.0)], 200, 1);
+    for seed in [7u64, 99, 20_080_407] {
+        let bare = PortalService::new(sensors.clone(), probe(), config(seed));
+        let routed = ShardedPortal::new(sensors.clone(), |_, _| probe(), 1, config(seed));
+        bare.clock().advance_to(Timestamp(5_000));
+        routed.clock().advance_to(Timestamp(5_000));
+        // Interleave cold and warm passes: the second round replays each
+        // viewport against carried-over caches, so cache attribution is
+        // compared too, not just probe-path sampling.
+        for round in 0..2 {
+            for sql in shape_sqls() {
+                let a = bare.query_sql(sql).expect("bare query");
+                let b = routed.query_sql(sql).expect("routed query");
+                assert_results_identical(&a, &b, &format!("seed {seed} round {round} `{sql}`"));
+            }
+        }
+    }
+}
+
+#[test]
+fn single_shard_batches_match_at_any_thread_count() {
+    let sensors = clustered_sensors(&[(12.0, 12.0), (60.0, 60.0)], 200, 1);
+    let batch: Vec<_> = shape_sqls()
+        .iter()
+        .map(|sql| parse(sql).expect("shape SQL parses"))
+        .collect();
+    let seed = 7;
+    let bare = PortalService::new(sensors.clone(), probe(), config(seed));
+    bare.clock().advance_to(Timestamp(5_000));
+    let reference = bare.execute_many(&batch, 1).expect("bare batch");
+    for threads in [1usize, 8] {
+        let routed = ShardedPortal::new(sensors.clone(), |_, _| probe(), 1, config(seed));
+        routed.clock().advance_to(Timestamp(5_000));
+        let got = routed.execute_many(&batch, threads).expect("routed batch");
+        assert_eq!(reference.results.len(), got.results.len());
+        for (i, (a, b)) in reference.results.iter().zip(&got.results).enumerate() {
+            assert_results_identical(a, b, &format!("threads {threads} query {i}"));
+        }
+        assert_eq!(
+            format!("{:?}", reference.stats),
+            format!("{:?}", got.stats),
+            "threads {threads}: batch stats diverged"
+        );
+        assert_eq!(
+            reference.degradation, got.degradation,
+            "threads {threads}: batch degradation diverged"
+        );
+    }
+}
+
+/// Builds a two-shard router over a bimodal population and returns it with
+/// the indices of the shard covering the west cluster and the east cluster.
+fn bimodal_router() -> (ShardedPortal<AlwaysAvailable>, usize, usize) {
+    let sensors = clustered_sensors(&[(10.0, 10.0), (210.0, 10.0)], 150, 2);
+    let router = ShardedPortal::new(sensors, |_, _| probe(), 2, config(7));
+    router.clock().advance_to(Timestamp(5_000));
+    let map = router.shard_map();
+    let east = map
+        .iter()
+        .find(|s| s.centroid.x > 100.0)
+        .expect("k-means separates the clusters: one shard sits east")
+        .index;
+    let west = map
+        .iter()
+        .find(|s| s.centroid.x < 100.0)
+        .expect("k-means separates the clusters: one shard sits west")
+        .index;
+    assert_ne!(east, west);
+    (router, west, east)
+}
+
+#[test]
+fn dead_shard_degrades_the_answer_instead_of_failing_it() {
+    let (router, west, east) = bimodal_router();
+    router.shard(east).close();
+
+    // Spans both clusters: the west shard still answers, the dead east
+    // shard's share is accounted as shortfall.
+    let spanning =
+        "SELECT count(*) FROM sensor WHERE location WITHIN RECT(-5, -5, 225, 25) SAMPLESIZE 64";
+    let resp = router
+        .execute(&QueryRequest::from_sql(spanning).expect("spanning SQL"))
+        .expect("a regional outage must degrade the answer, not fail it");
+    assert!(
+        resp.result.degradation.worst_fulfillment() < 1.0,
+        "dead shard's unmet share must breach merged fulfillment, got {:?}",
+        resp.result.degradation
+    );
+    assert!(
+        !resp.result.groups.is_empty(),
+        "the live shard's samples must still be served"
+    );
+    let dead_outcome = resp
+        .shards
+        .iter()
+        .find(|o| o.shard == east)
+        .expect("the dead shard must appear in the fan-out outcomes");
+    assert!(
+        matches!(dead_outcome.error, Some(PortalError::Closed)),
+        "dead shard outcome must carry its error, got {:?}",
+        dead_outcome.error
+    );
+    let live_outcome = resp
+        .shards
+        .iter()
+        .find(|o| o.shard == west)
+        .expect("the live shard must appear in the fan-out outcomes");
+    assert!(live_outcome.error.is_none());
+
+    // A viewport entirely inside the live shard is untouched by the outage.
+    let west_only =
+        "SELECT count(*) FROM sensor WHERE location WITHIN RECT(-5, -5, 30, 25) SAMPLESIZE 16";
+    let healthy = router.query_sql(west_only).expect("west-only query");
+    assert!(
+        healthy.degradation.worst_fulfillment() >= 1.0,
+        "live-shard viewport must stay fully fulfilled, got {:?}",
+        healthy.degradation
+    );
+}
+
+#[test]
+fn all_shards_dead_is_shard_unavailable() {
+    let (router, west, east) = bimodal_router();
+    router.shard(west).close();
+    router.shard(east).close();
+    let spanning =
+        "SELECT count(*) FROM sensor WHERE location WITHIN RECT(-5, -5, 225, 25) SAMPLESIZE 64";
+    let err = router
+        .execute(&QueryRequest::from_sql(spanning).expect("spanning SQL"))
+        .expect_err("no live shard overlaps: the query cannot be answered");
+    assert!(
+        matches!(err, PortalError::ShardUnavailable { .. }),
+        "expected ShardUnavailable, got {err:?}"
+    );
+}
