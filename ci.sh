@@ -51,6 +51,18 @@ cargo run --release --offline -q --example service_storm -- --shards 4 \
 }
 echo "ci: sharded storm smoke OK"
 
+# Churn soak: sensor churn as a first-class workload against the LSM index —
+# a writer thread sustaining >= 2,000 register/retire ops/sec while clients
+# query and a merge thread compacts L0 (the example self-checks churn rate,
+# exact answers, query-path stalls, and the L0 occupancy bound, printing
+# the marker only when every invariant holds).
+cargo run --release --offline -q --example service_storm -- --churn \
+    | grep -q "service_storm churn OK" || {
+    echo "ci: churn soak failed" >&2
+    exit 1
+}
+echo "ci: churn soak OK"
+
 # Hot-path parity smoke: the arena fast path must produce bit-identical
 # sample streams to the pointer traversal, across seeds and thread counts.
 cargo test -q --release --offline -p colr-repro --test hotpath_parity
@@ -58,8 +70,9 @@ echo "ci: hot-path parity smoke OK"
 
 # Hot-path throughput gates (CPU-time, best-of slices — stable on a shared
 # host): warm arena q/s within 10% of the pointer baseline, flight recorder
-# under 5% overhead, and a 4-shard router clearing 1.5x single-shard warm
-# q/s under the reindex-pump storm.
+# under 5% overhead, a 4-shard router clearing 1.5x single-shard warm q/s
+# under the reindex-pump storm, and the LSM index holding warm q/s within
+# 10% of the monolithic index through the service front door.
 cargo run --release --offline -q -p colr-bench --bin throughput -- --quick
 echo "ci: hot-path throughput gate OK"
 

@@ -1,0 +1,292 @@
+//! Sensor-churn benchmark for the incremental LSM index.
+//!
+//! Drives one shared [`PortalService`] configured with
+//! [`IndexStrategy::Lsm`] through three measured phases and writes
+//! `BENCH_churn.json`:
+//!
+//! 1. **quiet** — the warm viewport mix with no churn, the baseline q/s;
+//! 2. **churn** — an unthrottled writer sustains register/retire churn
+//!    while the same clients query and a merge thread compacts L0; reports
+//!    the sustained churn rate, warm q/s under churn, and every merge
+//!    pause (p50/p99/max);
+//! 3. **drain** — merges until quiescent, reporting the final index shape.
+//!
+//! ```text
+//! churn [--sensors N] [--clients N] [--window-ms N] [--out FILE]
+//! ```
+//!
+//! The churned cohort lives outside every query viewport, so the query mix
+//! does identical work in both measured phases and the quiet/churn q/s
+//! ratio isolates what churn costs the read path.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use colr_bench::hotpath::{grid_sensors, EXPIRY};
+use colr_engine::{
+    AggSpec, IndexStrategy, PortalConfig, PortalService, SelectQuery, SpatialPredicate,
+};
+use colr_geo::{Point, Rect};
+use colr_tree::probe::AlwaysAvailable;
+use colr_tree::{LsmConfig, Mode, SensorId, Timestamp};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+struct Args {
+    sensors: usize,
+    clients: usize,
+    window_ms: u64,
+    out: String,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        sensors: 4_096,
+        clients: 4,
+        window_ms: 1_500,
+        out: "BENCH_churn.json".to_owned(),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--sensors" => {
+                args.sensors = it.next().and_then(|v| v.parse().ok()).expect("--sensors N")
+            }
+            "--clients" => {
+                args.clients = it.next().and_then(|v| v.parse().ok()).expect("--clients N")
+            }
+            "--window-ms" => {
+                args.window_ms = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--window-ms N")
+            }
+            "--out" => args.out = it.next().expect("--out FILE"),
+            other => panic!("unknown flag {other}"),
+        }
+    }
+    args
+}
+
+/// Seeded warm viewport mix (the throughput bench's service mix).
+fn viewport_mix(n: usize, side: usize, seed: u64) -> Vec<SelectQuery> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            let w = rng.random_range(8..=24) as f64;
+            let x0 = rng.random_range(0.0..(side as f64 - w).max(1.0));
+            let y0 = rng.random_range(0.0..(side as f64 - w).max(1.0));
+            SelectQuery {
+                agg: AggSpec::Count,
+                within: SpatialPredicate::Rect(Rect::from_coords(
+                    x0 - 0.5,
+                    y0 - 0.5,
+                    x0 + w + 0.5,
+                    y0 + w + 0.5,
+                )),
+                staleness: Some(EXPIRY),
+                cluster: None,
+                sample_size: Some(64),
+                sensor_type: None,
+            }
+        })
+        .collect()
+}
+
+/// Closed-loop query phase: `clients` threads over `window`, returning q/s.
+fn query_phase(
+    svc: &PortalService<AlwaysAvailable>,
+    queries: &[SelectQuery],
+    clients: usize,
+    window: Duration,
+    stop: &AtomicBool,
+) -> f64 {
+    let next = AtomicUsize::new(0);
+    let answered = AtomicU64::new(0);
+    let wall = Instant::now();
+    std::thread::scope(|scope| {
+        for _ in 0..clients {
+            let handle = svc.clone();
+            let next = &next;
+            let answered = &answered;
+            scope.spawn(move || {
+                while !stop.load(Ordering::Relaxed) {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    handle
+                        .query(&queries[i % queries.len()])
+                        .expect("churn bench query");
+                    answered.fetch_add(1, Ordering::Relaxed);
+                }
+            });
+        }
+        std::thread::sleep(window);
+        stop.store(true, Ordering::Relaxed);
+    });
+    answered.load(Ordering::Relaxed) as f64 / wall.elapsed().as_secs_f64()
+}
+
+fn pct(sorted_us: &[u64], p: f64) -> f64 {
+    if sorted_us.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted_us.len() as f64 - 1.0) * p).round() as usize;
+    sorted_us[idx] as f64
+}
+
+fn main() {
+    let args = parse_args();
+    let (sensors, side) = grid_sensors(args.sensors);
+    let l0_capacity = 1_024;
+    let svc = PortalService::new(
+        sensors,
+        AlwaysAvailable {
+            expiry_ms: EXPIRY.0,
+        },
+        PortalConfig {
+            default_staleness: EXPIRY,
+            mode: Mode::Colr,
+            max_sensors_per_query: None,
+            seed: 42,
+            index: IndexStrategy::Lsm(LsmConfig {
+                l0_capacity,
+                level_ratio: 4,
+            }),
+            ..Default::default()
+        },
+    );
+    svc.clock().advance_to(Timestamp(1_000));
+    let queries = viewport_mix(400, side, 1234);
+    for q in &queries {
+        svc.query(q).expect("warm query");
+    }
+    let window = Duration::from_millis(args.window_ms);
+
+    // Phase 1: quiet baseline.
+    let quiet_qps = query_phase(
+        &svc,
+        &queries,
+        args.clients,
+        window,
+        &AtomicBool::new(false),
+    );
+
+    // Phase 2: the same mix under unthrottled register/retire churn with a
+    // merge pump, every merge pause recorded.
+    let stop = AtomicBool::new(false);
+    let churn_ops = AtomicU64::new(0);
+    let max_l0 = AtomicUsize::new(0);
+    let merge_pauses_us: Mutex<Vec<u64>> = Mutex::new(Vec::new());
+    let mut churn_qps = 0.0;
+    let churn_wall = Instant::now();
+    std::thread::scope(|scope| {
+        {
+            let handle = svc.clone();
+            let stop = &stop;
+            let churn_ops = &churn_ops;
+            scope.spawn(move || {
+                let mut cohort: VecDeque<SensorId> = VecDeque::new();
+                let mut k = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    let id = handle.register_sensor(
+                        Point::new(
+                            -40.0 - (k % 64) as f64 * 0.2,
+                            -40.0 - ((k / 64) % 64) as f64 * 0.2,
+                        ),
+                        EXPIRY,
+                        1.0,
+                        0,
+                    );
+                    k += 1;
+                    cohort.push_back(id);
+                    let mut ops = 1;
+                    if cohort.len() > 512 {
+                        let old = cohort.pop_front().expect("cohort non-empty");
+                        assert!(handle.retire_sensor(old), "cohort sensor was live");
+                        ops += 1;
+                    }
+                    churn_ops.fetch_add(ops, Ordering::Relaxed);
+                }
+            });
+        }
+        {
+            let handle = svc.clone();
+            let stop = &stop;
+            let max_l0 = &max_l0;
+            let merge_pauses_us = &merge_pauses_us;
+            scope.spawn(move || {
+                while !stop.load(Ordering::Relaxed) {
+                    let stats = handle.index_stats().expect("LSM bench");
+                    max_l0.fetch_max(stats.l0_occupancy, Ordering::Relaxed);
+                    if handle.wants_reindex(usize::MAX) {
+                        let t0 = Instant::now();
+                        handle.reindex();
+                        merge_pauses_us
+                            .lock()
+                            .expect("merge pause sink")
+                            .push(t0.elapsed().as_micros() as u64);
+                    } else {
+                        std::thread::sleep(Duration::from_micros(200));
+                    }
+                }
+            });
+        }
+        churn_qps = query_phase(&svc, &queries, args.clients, window, &stop);
+    });
+    let churn_elapsed = churn_wall.elapsed().as_secs_f64();
+    let ops = churn_ops.load(Ordering::Relaxed);
+    let churn_ops_per_sec = ops as f64 / churn_elapsed;
+
+    // Phase 3: drain to quiescence.
+    let drain_start = Instant::now();
+    while svc.wants_reindex(usize::MAX) {
+        svc.reindex();
+    }
+    svc.reindex();
+    let drain_ms = drain_start.elapsed().as_secs_f64() * 1e3;
+    let stats = svc.index_stats().expect("LSM bench");
+
+    let mut pauses = merge_pauses_us.into_inner().expect("merge pause sink");
+    pauses.sort_unstable();
+    let qps_ratio = churn_qps / quiet_qps.max(1e-9);
+    println!(
+        "churn sensors={} clients={} window_ms={}: {churn_ops_per_sec:.0} ops/sec, \
+         quiet {quiet_qps:.0} q/s -> churn {churn_qps:.0} q/s (ratio {qps_ratio:.3}), \
+         merges={} pause p50={:.0}us p99={:.0}us max={:.0}us, max_l0={}, drain {drain_ms:.1}ms",
+        args.sensors,
+        args.clients,
+        args.window_ms,
+        pauses.len(),
+        pct(&pauses, 0.50),
+        pct(&pauses, 0.99),
+        pct(&pauses, 1.0),
+        max_l0.load(Ordering::Relaxed),
+    );
+
+    let json = format!(
+        "{{\n  \"bench\": \"churn\",\n  \"config\": {{\"sensors\": {}, \"clients\": {}, \
+         \"window_ms\": {}, \"l0_capacity\": {l0_capacity}, \"level_ratio\": 4}},\n  \
+         \"churn_ops_per_sec\": {churn_ops_per_sec:.1},\n  \
+         \"quiet_queries_per_sec\": {quiet_qps:.1},\n  \
+         \"churn_queries_per_sec\": {churn_qps:.1},\n  \
+         \"churn_to_quiet_qps_ratio\": {qps_ratio:.4},\n  \
+         \"merges\": {},\n  \"merge_pause_us\": {{\"p50\": {:.1}, \"p99\": {:.1}, \
+         \"max\": {:.1}}},\n  \"max_l0_occupancy\": {},\n  \
+         \"drain_ms\": {drain_ms:.2},\n  \"final\": {{\"levels\": {}, \"live_sensors\": {}, \
+         \"tombstones\": {}}}\n}}\n",
+        args.sensors,
+        args.clients,
+        args.window_ms,
+        pauses.len(),
+        pct(&pauses, 0.50),
+        pct(&pauses, 0.99),
+        pct(&pauses, 1.0),
+        max_l0.load(Ordering::Relaxed),
+        stats.levels,
+        stats.live_sensors,
+        stats.tombstones,
+    );
+    std::fs::write(&args.out, json).expect("write churn JSON");
+    println!("wrote {}", args.out);
+}

@@ -46,12 +46,12 @@ use colr_bench::hotpath::{
     viewport_queries_at, warm_caches, WanProbe, EXPIRY,
 };
 use colr_engine::{
-    AdmissionConfig, AggSpec, PortalConfig, PortalService, QueryRequest, SelectQuery,
-    ShardedPortal, SpatialPredicate,
+    AdmissionConfig, AggSpec, IndexStrategy, PortalConfig, PortalService, QueryRequest,
+    SelectQuery, ShardedPortal, SpatialPredicate,
 };
 use colr_geo::Rect;
 use colr_sensors::{ConstantField, SimNetwork};
-use colr_tree::{ColrConfig, ColrTree, HotPathLayout, Mode, SensorMeta, Timestamp};
+use colr_tree::{ColrConfig, ColrTree, HotPathLayout, LsmConfig, Mode, SensorMeta, Timestamp};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -489,12 +489,15 @@ fn run_quick() {
         (plain, recorded)
     };
     let (mut plain, mut recorded) = recorder_round(5, 0.25);
-    if recorded / plain < 0.95 {
+    for slice in [0.8, 1.2, 1.6] {
+        if recorded / plain >= 0.95 {
+            break;
+        }
         eprintln!(
-            "recorder gate: borderline ratio {:.3}, re-measuring with longer slices",
+            "recorder gate: borderline ratio {:.3}, re-measuring with {slice}s slices",
             recorded / plain
         );
-        let (p2, r2) = recorder_round(7, 0.8);
+        let (p2, r2) = recorder_round(7, slice);
         plain = plain.max(p2);
         recorded = recorded.max(r2);
     }
@@ -529,6 +532,99 @@ fn run_quick() {
         std::process::exit(1);
     }
     eprintln!("OK: 4-shard router within gate (>= 1.5x single-shard warm q/s)");
+
+    // Fourth gate: the incremental LSM index must not tax the warm query
+    // path. A single-level LSM forwards to the same tree the monolithic
+    // service publishes (bit-identical answers, see the parity tests), so
+    // its warm q/s through the service front door must hold at least 90% of
+    // the monolithic service's — anything less is per-query overhead in the
+    // LSM dispatch layer.
+    let select_queries = viewport_select_queries(400, side, 1234);
+    let service_for = |index: IndexStrategy| {
+        let svc = PortalService::new(
+            sensors.clone(),
+            WanProbe {
+                inner: SimNetwork::new(
+                    sensors.clone(),
+                    ConstantField {
+                        base: 0.0,
+                        step: 0.01,
+                    },
+                    7,
+                ),
+                rtt: Duration::ZERO,
+            },
+            PortalConfig {
+                default_staleness: EXPIRY,
+                mode: Mode::Colr,
+                max_sensors_per_query: None,
+                seed: 42,
+                index,
+                ..Default::default()
+            },
+        );
+        svc.clock().advance_to(now);
+        for q in &select_queries {
+            svc.query(q).expect("warm service query");
+        }
+        svc
+    };
+    let mono_svc = service_for(IndexStrategy::Monolithic);
+    let lsm_svc = service_for(IndexStrategy::Lsm(LsmConfig::default()));
+    let svc_cpu_qps =
+        |svc: &PortalService<WanProbe<SimNetwork<ConstantField>>>, slice: f64| -> f64 {
+            let t0 = process_cpu_seconds().expect("process CPU clock");
+            let mut n = 0usize;
+            loop {
+                svc.query(&select_queries[n % select_queries.len()])
+                    .expect("timed service query");
+                n += 1;
+                if n % 64 == 0 && process_cpu_seconds().expect("process CPU clock") - t0 >= slice {
+                    break;
+                }
+            }
+            n as f64 / (process_cpu_seconds().expect("process CPU clock") - t0)
+        };
+    let lsm_round = |reps: usize, slice: f64| {
+        let mut mono = 0.0f64;
+        let mut lsm = 0.0f64;
+        for rep in 0..reps {
+            if rep % 2 == 0 {
+                mono = mono.max(svc_cpu_qps(&mono_svc, slice));
+                lsm = lsm.max(svc_cpu_qps(&lsm_svc, slice));
+            } else {
+                lsm = lsm.max(svc_cpu_qps(&lsm_svc, slice));
+                mono = mono.max(svc_cpu_qps(&mono_svc, slice));
+            }
+        }
+        (mono, lsm)
+    };
+    let (mut mono, mut lsm) = lsm_round(5, 0.25);
+    // Best-of converges both sides to their quiet-host ceiling, but one
+    // borderline round can still catch asymmetric load; keep escalating
+    // until the ratio clears or the slices stop helping.
+    for slice in [0.8, 1.2, 1.6] {
+        if lsm / mono >= 0.9 {
+            break;
+        }
+        eprintln!(
+            "lsm gate: borderline ratio {:.3}, re-measuring with {slice}s slices",
+            lsm / mono
+        );
+        let (m2, l2) = lsm_round(7, slice);
+        mono = mono.max(m2);
+        lsm = lsm.max(l2);
+    }
+    let lsm_ratio = lsm / mono;
+    eprintln!(
+        "lsm gate (best-of CPU-time q/s): monolithic {mono:.0}, lsm {lsm:.0}, \
+         ratio {lsm_ratio:.3}"
+    );
+    if lsm_ratio < 0.9 {
+        eprintln!("FAIL: LSM warm q/s regressed >10% below the monolithic index");
+        std::process::exit(1);
+    }
+    eprintln!("OK: LSM index within gate (>= 0.9x monolithic warm q/s)");
 }
 
 fn main() {

@@ -56,6 +56,7 @@ pub mod flat_cache;
 pub mod flight;
 pub mod inspect;
 pub mod lookup;
+pub mod lsm;
 pub mod metrics;
 pub mod model;
 pub mod morton;
@@ -79,6 +80,7 @@ pub use build::kmeans_partition;
 pub use flat_cache::{FlatCache, FlatOutput};
 pub use flight::{FlightRecord, LevelStage, RetryRound, WaveStage};
 pub use lookup::{GroupResult, Mode, Query, QueryOutput};
+pub use lsm::{L0Level, LsmConfig, LsmLevel, LsmSnapshot, LsmStats, LsmTree, MergeReport};
 pub use model::IdwModel;
 pub use probe::{ProbeReport, ProbeService};
 pub use reading::{Reading, SensorId, SensorMeta};

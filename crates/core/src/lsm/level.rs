@@ -1,0 +1,436 @@
+//! The two kinds of LSM level: immutable bulk-built COLR-Tree levels with a
+//! local↔global id translation boundary, and the small mutable L0 that
+//! absorbs registrations the instant they arrive.
+//!
+//! [`crate::tree::ColrTree::build`] requires dense in-order sensor ids, so
+//! every immutable level renumbers its population to local ids `0..n` and
+//! keeps the sorted `global` map alongside. Everything that crosses the
+//! level boundary — probes going out, readings coming back — is translated
+//! by [`LevelProbe`], so the portal's probe service only ever sees global
+//! ids and a level tree only ever sees its own local ids. A level whose map
+//! is the identity and which carries no tombstones is a *passthrough*: the
+//! wrapper forwards untouched, which is what makes a single-level LSM replay
+//! the monolithic tree bit-identically.
+
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+use parking_lot::RwLock;
+
+use crate::lookup::Query;
+use crate::probe::{ProbeReport, ProbeService};
+use crate::reading::{Reading, SensorId, SensorMeta};
+use crate::time::Timestamp;
+use crate::tree::{CachedEntry, ColrConfig, ColrTree};
+
+/// One immutable LSM level: a bulk-built COLR-Tree over a locally renumbered
+/// population, plus the translation map back to global ids and the tombstone
+/// mask for sensors retired since the level was built.
+pub struct LsmLevel {
+    /// Unique, monotone level key (stable across publications; the write-back
+    /// router and the directory validate against it).
+    key: u64,
+    tree: ColrTree,
+    /// Local index → global id, ascending (levels are built over populations
+    /// sorted by global id).
+    global: Vec<SensorId>,
+    /// `true` when `global[j] == j` for all `j` — the base level built
+    /// straight from the initial population.
+    identity: bool,
+    /// Per-local-sensor tombstone mask. A tombstoned sensor is masked out of
+    /// probes (it reads as permanently unavailable) and its cached readings
+    /// are purged, so it can never appear in an answer; the merge that next
+    /// touches this level drops it physically.
+    tombstoned: Box<[AtomicBool]>,
+    tombstones: AtomicU64,
+}
+
+impl LsmLevel {
+    /// Builds a level over `metas` (carrying *global* ids, sorted ascending)
+    /// by renumbering to the dense local ids the bulk builder requires.
+    pub(crate) fn build(key: u64, metas: &[SensorMeta], config: ColrConfig, seed: u64) -> LsmLevel {
+        debug_assert!(
+            metas.windows(2).all(|w| w[0].id.0 < w[1].id.0),
+            "level populations must be sorted by global id"
+        );
+        let global: Vec<SensorId> = metas.iter().map(|m| m.id).collect();
+        let identity = global.iter().enumerate().all(|(j, id)| id.index() == j);
+        let local: Vec<SensorMeta> = metas
+            .iter()
+            .enumerate()
+            .map(|(j, m)| {
+                SensorMeta::new(j as u32, m.location, m.expiry, m.availability).with_kind(m.kind)
+            })
+            .collect();
+        let tree = ColrTree::build(local, config, seed);
+        let tombstoned = (0..global.len())
+            .map(|_| AtomicBool::new(false))
+            .collect::<Vec<_>>()
+            .into_boxed_slice();
+        LsmLevel {
+            key,
+            tree,
+            global,
+            identity,
+            tombstoned,
+            tombstones: AtomicU64::new(0),
+        }
+    }
+
+    /// The level's unique key.
+    pub fn key(&self) -> u64 {
+        self.key
+    }
+
+    /// The level's index (local ids).
+    pub fn tree(&self) -> &ColrTree {
+        &self.tree
+    }
+
+    /// Sensors the level was built over (tombstoned included).
+    pub fn len(&self) -> usize {
+        self.global.len()
+    }
+
+    /// `true` when the level holds no sensors at all.
+    pub fn is_empty(&self) -> bool {
+        self.global.is_empty()
+    }
+
+    /// Sensors not yet tombstoned.
+    pub fn live(&self) -> usize {
+        self.len() - self.tombstones.load(Ordering::Acquire) as usize
+    }
+
+    /// Tombstoned sensors awaiting physical removal by a merge.
+    pub fn tombstone_count(&self) -> u64 {
+        self.tombstones.load(Ordering::Acquire)
+    }
+
+    /// The global id of local sensor `local`.
+    pub fn global_id(&self, local: SensorId) -> SensorId {
+        self.global[local.index()]
+    }
+
+    /// The local id of global sensor `id`, if this level holds it.
+    pub fn local_of(&self, id: SensorId) -> Option<SensorId> {
+        self.global
+            .binary_search(&id)
+            .ok()
+            .map(|j| SensorId(j as u32))
+    }
+
+    /// `true` when local sensor `local` has been tombstoned.
+    pub fn is_tombstoned(&self, local: SensorId) -> bool {
+        self.tombstoned[local.index()].load(Ordering::Acquire)
+    }
+
+    /// `true` when the probe wrapper can forward untouched: identity id map
+    /// and no tombstones. The degenerate single-level fast path requires
+    /// this, and it is what preserves bit parity with the monolithic tree.
+    pub fn passthrough(&self) -> bool {
+        self.identity && self.tombstones.load(Ordering::Acquire) == 0
+    }
+
+    /// Tombstones local sensor `local`: masks it from probes, purges its
+    /// cached reading (updating every ancestor aggregate, so slot caches
+    /// never serve it again), and decrements the live weight. Returns `false`
+    /// when it was already tombstoned.
+    pub(crate) fn tombstone(&self, local: SensorId) -> bool {
+        if self.tombstoned[local.index()].swap(true, Ordering::AcqRel) {
+            return false;
+        }
+        self.tombstones.fetch_add(1, Ordering::AcqRel);
+        self.tree.remove_cached(local);
+        true
+    }
+
+    /// Fraction of the built population still live (1.0 for a fresh level).
+    pub fn live_fraction(&self) -> f64 {
+        if self.global.is_empty() {
+            return 0.0;
+        }
+        self.live() as f64 / self.len() as f64
+    }
+
+    /// The level's Algorithm 1 split weight for a query: the root's
+    /// (kind-filtered) sensor weight, discounted by the live fraction (node
+    /// weights inside the tree still count tombstoned sensors until the next
+    /// merge — a bounded, documented approximation) and scaled by the
+    /// viewport overlap, exactly as the shard router weighs its shards.
+    pub fn query_weight(&self, region: &colr_geo::Region, kind_filter: Option<u16>) -> f64 {
+        if self.global.is_empty() {
+            return 0.0;
+        }
+        let root = self.tree.node(self.tree.root());
+        root.query_weight(kind_filter) as f64
+            * self.live_fraction()
+            * region.overlap_fraction(&root.bbox)
+    }
+
+    /// Reconstructs the *global* meta of local sensor `local`.
+    pub fn global_meta(&self, local: usize) -> SensorMeta {
+        let m = self.tree.sensors()[local];
+        SensorMeta::new(self.global[local].0, m.location, m.expiry, m.availability)
+            .with_kind(m.kind)
+    }
+
+    /// Every live (non-tombstoned) sensor with its global id, ascending.
+    pub(crate) fn live_global_metas(&self) -> Vec<SensorMeta> {
+        (0..self.len())
+            .filter(|&j| !self.tombstoned[j].load(Ordering::Acquire))
+            .map(|j| self.global_meta(j))
+            .collect()
+    }
+
+    /// The level's cached readings translated to global ids, for merge
+    /// carry-over (the LSM analogue of what
+    /// [`crate::tree::ColrTree::cached_entries`] feeds `restore_entries`).
+    pub(crate) fn cached_entries_global(&self) -> Vec<CachedEntry> {
+        self.tree
+            .cached_entries()
+            .into_iter()
+            .map(|mut e| {
+                e.reading.sensor = self.global_id(e.reading.sensor);
+                e
+            })
+            .collect()
+    }
+}
+
+/// The id-translation probe boundary of one level: local ids out to global,
+/// global readings back to local, tombstoned sensors masked to `None`
+/// without touching the wire. Forwards the fault-aware
+/// [`ProbeService::probe_batch_report`] (retry budget included), so a
+/// resilient prober keeps its retry/breaker semantics through the wrapper.
+pub(crate) struct LevelProbe<'a, P: ?Sized> {
+    pub(crate) inner: &'a P,
+    pub(crate) level: &'a LsmLevel,
+}
+
+impl<P: ProbeService + ?Sized> LevelProbe<'_, P> {
+    /// Splits `ids` into the forwarded global list and the positions each
+    /// forwarded outcome scatters back to (tombstoned ids keep `None`).
+    fn translate(&self, ids: &[SensorId]) -> (Vec<SensorId>, Vec<usize>) {
+        let mut fwd = Vec::with_capacity(ids.len());
+        let mut pos = Vec::with_capacity(ids.len());
+        for (i, &id) in ids.iter().enumerate() {
+            if !self.level.is_tombstoned(id) {
+                fwd.push(self.level.global_id(id));
+                pos.push(i);
+            }
+        }
+        (fwd, pos)
+    }
+
+    fn scatter(
+        &self,
+        ids: &[SensorId],
+        pos: Vec<usize>,
+        results: Vec<Option<Reading>>,
+    ) -> Vec<Option<Reading>> {
+        let mut out = vec![None; ids.len()];
+        for (slot, r) in pos.into_iter().zip(results) {
+            out[slot] = r.map(|mut reading| {
+                reading.sensor = ids[slot];
+                reading
+            });
+        }
+        out
+    }
+}
+
+impl<P: ProbeService + ?Sized> ProbeService for LevelProbe<'_, P> {
+    fn probe_batch(&self, ids: &[SensorId], now: Timestamp) -> Vec<Option<Reading>> {
+        if self.level.passthrough() {
+            return self.inner.probe_batch(ids, now);
+        }
+        let (fwd, pos) = self.translate(ids);
+        if fwd.is_empty() {
+            return vec![None; ids.len()];
+        }
+        let results = self.inner.probe_batch(&fwd, now);
+        self.scatter(ids, pos, results)
+    }
+
+    fn probe_batch_report(
+        &self,
+        ids: &[SensorId],
+        now: Timestamp,
+        retry_budget_ms: u64,
+    ) -> ProbeReport {
+        if self.level.passthrough() {
+            return self.inner.probe_batch_report(ids, now, retry_budget_ms);
+        }
+        let (fwd, pos) = self.translate(ids);
+        if fwd.is_empty() {
+            return ProbeReport::plain(vec![None; ids.len()]);
+        }
+        let mut report = self.inner.probe_batch_report(&fwd, now, retry_budget_ms);
+        report.outcomes = self.scatter(ids, pos, report.outcomes);
+        report
+    }
+}
+
+// ---------------------------------------------------------------------------
+// L0
+// ---------------------------------------------------------------------------
+
+/// The mutable top level: a flat, append-ordered list of freshly registered
+/// sensors (global ids) with a per-sensor reading cache. Registration is one
+/// push under a short write lock — O(1), immediately visible to queries —
+/// and the level stays small: every merge drains the prefix that existed
+/// when the merge began into a bulk-built immutable level.
+pub struct L0Level {
+    inner: RwLock<L0Inner>,
+}
+
+#[derive(Default)]
+struct L0Inner {
+    /// Registration order; global ids. Append-only between merges.
+    sensors: Vec<SensorMeta>,
+    /// Global ids retired while still in L0.
+    tombstoned: HashSet<u32>,
+    /// Cached readings by global id (L0 is flat: no slot aggregates, just
+    /// the raw-reading cache the merge carries into the built level).
+    entries: HashMap<u32, CachedEntry>,
+}
+
+impl L0Level {
+    pub(crate) fn new() -> L0Level {
+        L0Level {
+            inner: RwLock::new(L0Inner::default()),
+        }
+    }
+
+    pub(crate) fn with_contents(sensors: Vec<SensorMeta>, entries: Vec<CachedEntry>) -> L0Level {
+        let entries = entries
+            .into_iter()
+            .map(|e| (e.reading.sensor.0, e))
+            .collect();
+        L0Level {
+            inner: RwLock::new(L0Inner {
+                sensors,
+                tombstoned: HashSet::new(),
+                entries,
+            }),
+        }
+    }
+
+    /// Appends a freshly registered sensor — the O(1) ingestion path.
+    pub(crate) fn push(&self, meta: SensorMeta) {
+        self.inner.write().sensors.push(meta);
+    }
+
+    /// Sensors currently parked in L0 (tombstoned included).
+    pub fn len(&self) -> usize {
+        self.inner.read().sensors.len()
+    }
+
+    /// `true` when L0 holds no sensors (the degenerate-parity precondition).
+    pub fn is_empty(&self) -> bool {
+        self.inner.read().sensors.is_empty()
+    }
+
+    /// Live (non-tombstoned) sensors in L0.
+    pub fn live(&self) -> usize {
+        let inner = self.inner.read();
+        inner.sensors.len() - inner.tombstoned.len()
+    }
+
+    pub(crate) fn tombstone_count(&self) -> usize {
+        self.inner.read().tombstoned.len()
+    }
+
+    /// Retires global sensor `id` while it is still in L0. Returns `false`
+    /// when the sensor is not here or already retired.
+    pub(crate) fn tombstone(&self, id: SensorId) -> bool {
+        let mut inner = self.inner.write();
+        if !inner.sensors.iter().any(|m| m.id == id) || !inner.tombstoned.insert(id.0) {
+            return false;
+        }
+        inner.entries.remove(&id.0);
+        true
+    }
+
+    /// Live sensors matching the query's spatial + kind predicates, each
+    /// with its cached reading (if any) — the L0 candidate scan. Taken under
+    /// one read lock so a query sees a consistent L0 cut; probing happens
+    /// after the lock is released.
+    pub(crate) fn candidates(&self, query: &Query) -> Vec<(SensorMeta, Option<CachedEntry>)> {
+        let inner = self.inner.read();
+        inner
+            .sensors
+            .iter()
+            .filter(|m| !inner.tombstoned.contains(&m.id.0) && query.matches_sensor(m))
+            .map(|m| (*m, inner.entries.get(&m.id.0).copied()))
+            .collect()
+    }
+
+    /// Every live sensor with its cached reading — the frozen-batch snapshot
+    /// and the merge input.
+    pub(crate) fn snapshot(&self) -> Vec<(SensorMeta, Option<CachedEntry>)> {
+        let inner = self.inner.read();
+        inner
+            .sensors
+            .iter()
+            .filter(|m| !inner.tombstoned.contains(&m.id.0))
+            .map(|m| (*m, inner.entries.get(&m.id.0).copied()))
+            .collect()
+    }
+
+    /// Caches a freshly probed reading (write-back) if the sensor is still
+    /// live in L0. Returns how many entries were inserted.
+    pub(crate) fn insert_reading(&self, reading: Reading, fetched_at: Timestamp) -> usize {
+        let mut inner = self.inner.write();
+        let id = reading.sensor.0;
+        if inner.tombstoned.contains(&id) || !inner.sensors.iter().any(|m| m.id.0 == id) {
+            return 0;
+        }
+        inner.entries.insert(
+            id,
+            CachedEntry {
+                reading,
+                fetched_at,
+            },
+        );
+        1
+    }
+
+    /// Drops expired cached readings (the flat analogue of the tree's slot
+    /// roll at [`crate::tree::ColrTree::advance`]).
+    pub(crate) fn advance(&self, now: Timestamp) {
+        let mut inner = self.inner.write();
+        inner.entries.retain(|_, e| e.reading.is_live(now));
+    }
+
+    /// Global ids retired while parked in L0 — physically dropped (not
+    /// carried anywhere) by the merge that drains them.
+    pub(crate) fn tombstoned_ids(&self) -> Vec<u32> {
+        self.inner.read().tombstoned.iter().copied().collect()
+    }
+
+    /// Removes every sensor in `merged` (they now live in a built level) and
+    /// every tombstoned sensor, returning what stays parked — the suffix
+    /// registered while the merge was building. Called by the merge while it
+    /// holds the publication write lock, so no registration can race the
+    /// partition.
+    pub(crate) fn drain_merged(
+        &self,
+        merged: &HashSet<u32>,
+    ) -> (Vec<SensorMeta>, Vec<CachedEntry>) {
+        let mut inner = self.inner.write();
+        let mut rest = Vec::new();
+        let mut rest_entries = Vec::new();
+        for m in std::mem::take(&mut inner.sensors) {
+            if merged.contains(&m.id.0) || inner.tombstoned.contains(&m.id.0) {
+                continue;
+            }
+            rest.push(m);
+            if let Some(e) = inner.entries.get(&m.id.0) {
+                rest_entries.push(*e);
+            }
+        }
+        (rest, rest_entries)
+    }
+}

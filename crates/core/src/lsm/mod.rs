@@ -1,0 +1,953 @@
+//! LSM-style incremental COLR-Tree index: continuous sensor churn without
+//! stop-the-world rebuilds.
+//!
+//! The monolithic portal parks freshly registered sensors until a full bulk
+//! rebuild republishes the tree, and has no retire path at all. This module
+//! replaces that with a log-structured collection of levels:
+//!
+//! * **L0** — a small mutable top level ([`L0Level`]). `register` is one
+//!   vector push; the sensor is visible to the very next query.
+//! * **Immutable levels** — bulk-built COLR-Trees ([`LsmLevel`]) over
+//!   geometrically larger populations. Retires tombstone in place: the
+//!   sensor is masked out of probes, weights, and slot caches immediately,
+//!   and dropped physically by the next merge that touches its level.
+//! * **Merges** — [`LsmTree::merge`] drains L0 plus a trailing run of small
+//!   (or heavily tombstoned) levels into one freshly bulk-built level,
+//!   carrying still-fresh cached readings across through
+//!   [`crate::tree::ColrTree::restore_entries`], exactly like the monolithic
+//!   reindex carry-over. Queries never block: merges build off to the side
+//!   and publish by swapping one `Arc`.
+//!
+//! Algorithm 1's sampling becomes *layered*: a query's sample target `R`
+//! splits across components (levels + L0) in proportion to each component's
+//! live weight, using the same largest-remainder apportionment the shard
+//! router uses across shards. Expectation is preserved end-to-end
+//! (Theorems 1/2: floors plus fractional remainders sum to exactly the
+//! stochastically rounded `R`, and each component applies Algorithm 1's
+//! availability oversampling internally), and the degenerate configuration —
+//! a single untombstoned identity level with an empty L0 — bypasses the
+//! layering entirely and replays the monolithic tree **bit-identically**,
+//! RNG draw for RNG draw.
+
+mod level;
+
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::{Mutex, RwLock};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use level::LevelProbe;
+pub use level::{L0Level, LsmLevel};
+
+use crate::agg::PartialAgg;
+use crate::lookup::{GroupResult, Mode, Query, QueryOutput};
+use crate::probe::ProbeService;
+use crate::reading::{Reading, SensorId, SensorMeta};
+use crate::sampling::stochastic_round;
+use crate::stats::QueryStats;
+use crate::time::Timestamp;
+use crate::tree::{CachedEntry, ColrConfig, NodeId};
+
+/// Minimum availability used when compensating the L0 sample for expected
+/// probe failures — same clamp as Algorithm 1's oversampling step (the
+/// constant is private to the sampling module, duplicated here).
+const MIN_AVAILABILITY: f64 = 0.05;
+
+/// Sentinel `GroupResult::node` for groups produced by the flat L0 level,
+/// which has no tree node to point at.
+pub const L0_GROUP_NODE: NodeId = NodeId(u32::MAX);
+
+/// Shape parameters of the level structure.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LsmConfig {
+    /// Soft L0 occupancy bound: [`LsmTree::wants_merge`] turns true once L0
+    /// holds this many sensors. Registration never blocks on it — the bound
+    /// is advisory, enforced by whoever drives merges.
+    pub l0_capacity: usize,
+    /// Geometric growth factor between adjacent levels: a merge absorbs the
+    /// trailing run of levels while the next level in is smaller than
+    /// `level_ratio ×` the population already being merged.
+    pub level_ratio: usize,
+}
+
+impl Default for LsmConfig {
+    fn default() -> Self {
+        LsmConfig {
+            l0_capacity: 1024,
+            level_ratio: 4,
+        }
+    }
+}
+
+/// What one [`LsmTree::merge`] did.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct MergeReport {
+    /// Immutable levels absorbed into the new level.
+    pub absorbed_levels: usize,
+    /// Live sensors in the freshly built level.
+    pub merged_sensors: usize,
+    /// Cached readings carried into the new level (post-filter: still live,
+    /// in-window, sensor survived the merge).
+    pub carried_entries: usize,
+    /// Tombstoned sensors physically dropped.
+    pub dropped_tombstones: usize,
+    /// Wall-clock build+publish time, µs.
+    pub duration_us: u64,
+    /// Level count after publication.
+    pub levels_after: usize,
+    /// L0 occupancy after publication (sensors registered mid-merge).
+    pub l0_after: usize,
+}
+
+/// Point-in-time shape of the level structure, for dashboards and tests.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct LsmStats {
+    /// Immutable levels currently published.
+    pub levels: usize,
+    /// Sensors parked in L0 (live).
+    pub l0_occupancy: usize,
+    /// Live sensors across all components.
+    pub live_sensors: usize,
+    /// Tombstoned sensors awaiting physical removal.
+    pub tombstones: usize,
+    /// Merges completed since construction.
+    pub merges: u64,
+}
+
+/// Where a global sensor currently lives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SensorLoc {
+    /// Parked in L0.
+    L0,
+    /// In the immutable level with this key, at this local index.
+    Level { key: u64, local: u32 },
+}
+
+/// One published cut of the level structure. Immutable once published;
+/// readers clone the `Arc` and work off a consistent snapshot while merges
+/// prepare the next cut on the side.
+struct LsmState {
+    /// Oldest/largest first; merges append the freshly built level.
+    levels: Vec<Arc<LsmLevel>>,
+    l0: Arc<L0Level>,
+}
+
+impl LsmState {
+    /// `true` when the structure is exactly the monolithic tree: one
+    /// passthrough level, nothing in L0. Queries then bypass the layered
+    /// planner and replay the monolithic execution bit-identically.
+    fn degenerate(&self) -> bool {
+        self.levels.len() == 1 && self.levels[0].passthrough() && self.l0.is_empty()
+    }
+}
+
+/// A frozen cut for batch execution: queries of one batch all run against
+/// this snapshot (levels by `Arc`, L0 by value), with probe results deferred
+/// to an ordered [`LsmTree::apply_deferred`] — the LSM analogue of
+/// [`crate::tree::ColrTree::execute_frozen`].
+pub struct LsmSnapshot {
+    state: Arc<LsmState>,
+    l0: Vec<(SensorMeta, Option<CachedEntry>)>,
+}
+
+/// The incremental index: an `Arc`-swapped level stack (`LsmState`) plus the global
+/// directory and retire registry that route churn to the right component.
+///
+/// Lock order (deadlock freedom): `state` → `retired` → `directory`. The
+/// `merge_lock` serialises merges and is always taken first, before any of
+/// the three.
+pub struct LsmTree {
+    config: ColrConfig,
+    lsm: LsmConfig,
+    seed: u64,
+    state: RwLock<Arc<LsmState>>,
+    /// Global id → current location. Updated at register/retire/merge.
+    directory: Mutex<HashMap<u32, SensorLoc>>,
+    /// Retire intents, kept until the sensor is physically dropped so a
+    /// merge racing a retire re-applies the tombstone to the new level.
+    retired: Mutex<HashSet<u32>>,
+    merge_lock: Mutex<()>,
+    next_level_key: AtomicU64,
+    merges: AtomicU64,
+}
+
+impl LsmTree {
+    /// Builds the base level over `sensors` (the same dense in-order
+    /// population the monolithic [`crate::tree::ColrTree::build`] takes, so
+    /// the base level is an identity passthrough) with an empty L0.
+    ///
+    /// `seed` must match the seed the monolithic build would use for the
+    /// degenerate configuration to be bit-identical.
+    pub fn new(sensors: Vec<SensorMeta>, config: ColrConfig, lsm: LsmConfig, seed: u64) -> LsmTree {
+        let base = Arc::new(LsmLevel::build(0, &sensors, config.clone(), seed));
+        let mut directory = HashMap::with_capacity(sensors.len());
+        for (j, m) in sensors.iter().enumerate() {
+            directory.insert(
+                m.id.0,
+                SensorLoc::Level {
+                    key: 0,
+                    local: j as u32,
+                },
+            );
+        }
+        let tree = LsmTree {
+            config,
+            lsm,
+            seed,
+            state: RwLock::new(Arc::new(LsmState {
+                levels: vec![base],
+                l0: Arc::new(L0Level::new()),
+            })),
+            directory: Mutex::new(directory),
+            retired: Mutex::new(HashSet::new()),
+            merge_lock: Mutex::new(()),
+            next_level_key: AtomicU64::new(1),
+            merges: AtomicU64::new(0),
+        };
+        tree.publish_gauges();
+        tree
+    }
+
+    /// The tree-shape configuration every level is built with.
+    pub fn config(&self) -> &ColrConfig {
+        &self.config
+    }
+
+    /// The LSM shape parameters.
+    pub fn lsm_config(&self) -> LsmConfig {
+        self.lsm
+    }
+
+    /// The level whose tree anchors planning (most live sensors; ties to the
+    /// oldest). For a fresh single-level LSM this is the monolithic tree.
+    pub fn primary_level(&self) -> Arc<LsmLevel> {
+        let state = self.state.read().clone();
+        state
+            .levels
+            .iter()
+            .max_by_key(|l| l.live())
+            .cloned()
+            .expect("LsmTree always holds at least one level")
+    }
+
+    /// Current shape counters.
+    pub fn stats(&self) -> LsmStats {
+        let state = self.state.read().clone();
+        let tombstones: usize = state
+            .levels
+            .iter()
+            .map(|l| l.tombstone_count() as usize)
+            .sum::<usize>()
+            + state.l0.tombstone_count();
+        LsmStats {
+            levels: state.levels.len(),
+            l0_occupancy: state.l0.live(),
+            live_sensors: state.levels.iter().map(|l| l.live()).sum::<usize>() + state.l0.live(),
+            tombstones,
+            merges: self.merges.load(Ordering::Acquire),
+        }
+    }
+
+    /// `true` once L0 has outgrown its soft capacity and a merge is due.
+    pub fn wants_merge(&self) -> bool {
+        self.state.read().l0.len() >= self.lsm.l0_capacity.max(1)
+    }
+
+    /// Registers a sensor: one push into L0, visible to the next query.
+    /// The read guard is held across the push so a concurrent merge
+    /// publication (which holds the write lock) can never miss it.
+    pub fn register(&self, meta: SensorMeta) {
+        {
+            let state = self.state.read();
+            state.l0.push(meta);
+            self.directory.lock().insert(meta.id.0, SensorLoc::L0);
+        }
+        let t = crate::telem::lsm();
+        t.registrations.inc();
+        t.l0_occupancy.set(self.state.read().l0.live() as i64);
+    }
+
+    /// Retires a sensor wherever it lives: tombstoned out of probes, sample
+    /// weights, and cached slot aggregates immediately; physically dropped
+    /// by the next merge touching its component. Returns `false` for
+    /// unknown or already-retired sensors.
+    pub fn retire(&self, id: SensorId) -> bool {
+        let hit = {
+            let state = self.state.read();
+            let mut retired = self.retired.lock();
+            let directory = self.directory.lock();
+            let Some(&loc) = directory.get(&id.0) else {
+                return false;
+            };
+            if !retired.insert(id.0) {
+                return false;
+            }
+            match loc {
+                SensorLoc::L0 => state.l0.tombstone(id),
+                SensorLoc::Level { key, local } => state
+                    .levels
+                    .iter()
+                    .find(|l| l.key() == key)
+                    .map(|l| l.tombstone(SensorId(local)))
+                    .unwrap_or(false),
+            }
+        };
+        if hit {
+            let t = crate::telem::lsm();
+            t.retires.inc();
+            self.publish_gauges();
+        }
+        hit
+    }
+
+    /// Rolls every component's cache window forward to `now`.
+    pub fn advance(&self, now: Timestamp) {
+        let state = self.state.read().clone();
+        for level in &state.levels {
+            level.tree().advance(now);
+        }
+        state.l0.advance(now);
+    }
+
+    /// Live sensors (global metas) across all components — levels in order,
+    /// then L0 in registration order.
+    pub fn live_sensor_metas(&self) -> Vec<SensorMeta> {
+        let state = self.state.read().clone();
+        let mut out = Vec::new();
+        for level in &state.levels {
+            out.extend(level.live_global_metas());
+        }
+        out.extend(state.l0.snapshot().into_iter().map(|(m, _)| m));
+        out
+    }
+
+    /// Live sensors currently parked in L0 (the shard router's
+    /// rebalance-on-merge input: only unmerged sensors are cheap to move).
+    pub fn l0_sensor_metas(&self) -> Vec<SensorMeta> {
+        let state = self.state.read().clone();
+        state.l0.snapshot().into_iter().map(|(m, _)| m).collect()
+    }
+
+    /// The structure's live sampling weight for a viewport — the layered
+    /// analogue of `root.query_weight × overlap_fraction` on the monolithic
+    /// tree, used by the shard router to apportion across shards.
+    pub fn overlap_weight(&self, region: &colr_geo::Region, kind_filter: Option<u16>) -> f64 {
+        let state = self.state.read().clone();
+        let mut w: f64 = state
+            .levels
+            .iter()
+            .map(|l| l.query_weight(region, kind_filter))
+            .sum();
+        w += state
+            .l0
+            .snapshot()
+            .iter()
+            .filter(|(m, _)| {
+                kind_filter.is_none_or(|k| m.kind == k) && region.contains_point(&m.location)
+            })
+            .count() as f64;
+        w
+    }
+
+    // ------------------------------------------------------------------
+    // Query execution
+    // ------------------------------------------------------------------
+
+    /// Processes `query` across the level structure — the LSM analogue of
+    /// [`crate::tree::ColrTree::execute`].
+    ///
+    /// The degenerate configuration (single passthrough level, empty L0)
+    /// forwards to the monolithic executor with the caller's RNG untouched,
+    /// replaying it bit-identically. Otherwise the sample target splits
+    /// across components by live weight (largest-remainder apportionment)
+    /// and each component runs under an independent RNG stream derived from
+    /// one draw of the caller's RNG.
+    pub fn execute<P, R>(
+        &self,
+        query: &Query,
+        mode: Mode,
+        probe: &P,
+        now: Timestamp,
+        rng: &mut R,
+    ) -> QueryOutput
+    where
+        P: ProbeService + ?Sized,
+        R: Rng + ?Sized,
+    {
+        let state = self.state.read().clone();
+        if state.degenerate() {
+            return state.levels[0].tree().execute(query, mode, probe, now, rng);
+        }
+        self.advance_state(&state, now);
+        let l0_cands = state.l0.candidates(query);
+        self.exec_layered(
+            &state,
+            l0_cands,
+            Some(&state.l0),
+            query,
+            mode,
+            probe,
+            now,
+            rng,
+            &mut Vec::new(),
+        )
+    }
+
+    /// Captures a frozen cut for batch execution. The caller is expected to
+    /// [`LsmTree::advance`] to the batch instant first, exactly like the
+    /// monolithic frozen path.
+    pub fn freeze(&self) -> LsmSnapshot {
+        let state = self.state.read().clone();
+        let l0 = state.l0.snapshot();
+        LsmSnapshot { state, l0 }
+    }
+
+    /// [`LsmTree::execute`] against a frozen snapshot: no component advances
+    /// its window and probe results are returned (global ids) for a deferred
+    /// [`LsmTree::apply_deferred`] instead of being cached mid-query.
+    pub fn execute_frozen<P, R>(
+        &self,
+        snap: &LsmSnapshot,
+        query: &Query,
+        mode: Mode,
+        probe: &P,
+        now: Timestamp,
+        rng: &mut R,
+    ) -> (QueryOutput, Vec<Reading>)
+    where
+        P: ProbeService + ?Sized,
+        R: Rng + ?Sized,
+    {
+        if snap.state.degenerate() {
+            return snap.state.levels[0]
+                .tree()
+                .execute_frozen(query, mode, probe, now, rng);
+        }
+        let mut deferred = Vec::new();
+        let l0_cands: Vec<(SensorMeta, Option<CachedEntry>)> = snap
+            .l0
+            .iter()
+            .filter(|(m, _)| query.matches_sensor(m))
+            .cloned()
+            .collect();
+        let out = self.exec_layered(
+            &snap.state,
+            l0_cands,
+            None,
+            query,
+            mode,
+            probe,
+            now,
+            rng,
+            &mut deferred,
+        );
+        (out, deferred)
+    }
+
+    /// Applies deferred probe results (global ids) from frozen executions,
+    /// routing each reading to wherever its sensor lives *now* — readings of
+    /// sensors merged mid-batch land in the new level, retired ones are
+    /// discarded. Returns the number of readings cached.
+    pub fn apply_deferred(&self, readings: &[Reading], now: Timestamp) -> usize {
+        if readings.is_empty() {
+            return 0;
+        }
+        let state = self.state.read();
+        let retired = self.retired.lock();
+        let directory = self.directory.lock();
+        let mut per_level: HashMap<u64, Vec<Reading>> = HashMap::new();
+        let mut l0_readings = Vec::new();
+        for r in readings {
+            if retired.contains(&r.sensor.0) {
+                continue;
+            }
+            match directory.get(&r.sensor.0) {
+                Some(SensorLoc::L0) => l0_readings.push(*r),
+                Some(&SensorLoc::Level { key, local }) => {
+                    let mut local_r = *r;
+                    local_r.sensor = SensorId(local);
+                    per_level.entry(key).or_default().push(local_r);
+                }
+                None => {}
+            }
+        }
+        drop(directory);
+        drop(retired);
+        let mut inserted = 0;
+        for level in &state.levels {
+            if let Some(batch) = per_level.remove(&level.key()) {
+                inserted += level.tree().apply_readings(&batch, now);
+            }
+        }
+        for r in l0_readings {
+            inserted += state.l0.insert_reading(r, now);
+        }
+        inserted
+    }
+
+    fn advance_state(&self, state: &LsmState, now: Timestamp) {
+        for level in &state.levels {
+            level.tree().advance(now);
+        }
+        state.l0.advance(now);
+    }
+
+    /// Layered execution over one snapshot. `l0_live` is `Some` for the
+    /// interactive path (immediate write-back into L0); `None` freezes L0
+    /// and pushes probe results into `deferred` (as do the level trees).
+    #[allow(clippy::too_many_arguments)]
+    fn exec_layered<P, R>(
+        &self,
+        state: &LsmState,
+        l0_cands: Vec<(SensorMeta, Option<CachedEntry>)>,
+        l0_live: Option<&L0Level>,
+        query: &Query,
+        mode: Mode,
+        probe: &P,
+        now: Timestamp,
+        rng: &mut R,
+        deferred: &mut Vec<Reading>,
+    ) -> QueryOutput
+    where
+        P: ProbeService + ?Sized,
+        R: Rng + ?Sized,
+    {
+        let frozen = l0_live.is_none();
+        // Component shares. Levels keep their state order; L0 is the last
+        // component. Only Mode::Colr with an explicit target is layered —
+        // other modes visit every component with the query unchanged.
+        let shares: Vec<Option<usize>> = match (mode, query.sample_size) {
+            (Mode::Colr, Some(r)) => {
+                let mut targets: Vec<(usize, f64)> = Vec::new();
+                for (i, level) in state.levels.iter().enumerate() {
+                    let w = level.query_weight(&query.region, query.kind_filter);
+                    if w > 0.0 {
+                        targets.push((i, w));
+                    }
+                }
+                if !l0_cands.is_empty() {
+                    targets.push((state.levels.len(), l0_cands.len() as f64));
+                }
+                let r_int = stochastic_round(r, rng);
+                let split = apportion(r_int, &targets);
+                let mut shares = vec![Some(0); state.levels.len() + 1];
+                for (&(component, _), share) in targets.iter().zip(split) {
+                    shares[component] = Some(share);
+                }
+                shares
+            }
+            _ => vec![None; state.levels.len() + 1],
+        };
+        // One draw of the caller's RNG seeds every component's independent
+        // stream, so results do not depend on component execution order.
+        let base = rng.next_u64();
+        let mut groups = Vec::new();
+        let mut readings = Vec::new();
+        let mut stats = QueryStats::default();
+        for (i, level) in state.levels.iter().enumerate() {
+            if level.is_empty() || shares[i] == Some(0) {
+                continue;
+            }
+            let sub = match shares[i] {
+                Some(share) => query.clone().with_sample_size(share as f64),
+                None => query.clone(),
+            };
+            let mut comp_rng = StdRng::seed_from_u64(mix(base, i as u64 + 1));
+            let lp = LevelProbe {
+                inner: probe,
+                level: level.as_ref(),
+            };
+            let mut out = if frozen {
+                let (out, def) = level
+                    .tree()
+                    .execute_frozen(&sub, mode, &lp, now, &mut comp_rng);
+                deferred.extend(def.into_iter().map(|mut r| {
+                    r.sensor = level.global_id(r.sensor);
+                    r
+                }));
+                out
+            } else {
+                level.tree().execute(&sub, mode, &lp, now, &mut comp_rng)
+            };
+            for r in &mut out.readings {
+                r.sensor = level.global_id(r.sensor);
+            }
+            groups.append(&mut out.groups);
+            readings.append(&mut out.readings);
+            stats.merge(&out.stats);
+        }
+        let l0_component = state.levels.len();
+        if shares[l0_component] != Some(0) {
+            let mut comp_rng = StdRng::seed_from_u64(mix(base, l0_component as u64 + 1));
+            if let Some((group, mut got)) = self.exec_l0(
+                &l0_cands,
+                l0_live,
+                query,
+                mode,
+                probe,
+                now,
+                &mut comp_rng,
+                shares[l0_component],
+                deferred,
+                &mut stats,
+            ) {
+                groups.push(group);
+                readings.append(&mut got);
+            }
+        }
+        let latency_ms = self.config.cost.latency_ms(&stats);
+        QueryOutput {
+            groups,
+            readings,
+            stats,
+            latency_ms,
+        }
+    }
+
+    /// Executes the L0 component: a flat scan with Algorithm 1's
+    /// availability-compensated sampling when a share is assigned, cache-first
+    /// collection otherwise. Returns `None` when L0 contributes no group.
+    #[allow(clippy::too_many_arguments)]
+    fn exec_l0<P, R>(
+        &self,
+        cands: &[(SensorMeta, Option<CachedEntry>)],
+        l0_live: Option<&L0Level>,
+        query: &Query,
+        mode: Mode,
+        probe: &P,
+        now: Timestamp,
+        rng: &mut R,
+        share: Option<usize>,
+        deferred: &mut Vec<Reading>,
+        stats: &mut QueryStats,
+    ) -> Option<(GroupResult, Vec<Reading>)>
+    where
+        P: ProbeService + ?Sized,
+        R: Rng + ?Sized,
+    {
+        if cands.is_empty() {
+            return None;
+        }
+        let n = cands.len();
+        stats.entries_scanned += n as u64;
+        // Selection: apportioned share with availability oversampling
+        // (Algorithm 1 applied to a flat level), or everything.
+        let mut order: Vec<usize> = (0..n).collect();
+        let (selected, target) = match share {
+            Some(r) => {
+                let target = r.min(n);
+                let avail_mean = cands.iter().map(|(m, _)| m.availability).sum::<f64>() / n as f64;
+                let attempt =
+                    stochastic_round(target as f64 / avail_mean.max(MIN_AVAILABILITY), rng).min(n);
+                for i in 0..attempt {
+                    let j = rng.random_range(i..n);
+                    order.swap(i, j);
+                }
+                (&order[..attempt], target as f64)
+            }
+            None => (&order[..n], n as f64),
+        };
+        if selected.is_empty() {
+            return None;
+        }
+        let mut readings = Vec::with_capacity(selected.len());
+        let mut bbox: Option<colr_geo::Rect> = None;
+        let mut to_probe = Vec::new();
+        let mut cached_used = 0u64;
+        for &i in selected {
+            let (meta, entry) = &cands[i];
+            match bbox.as_mut() {
+                Some(b) => b.expand_to_point(&meta.location),
+                None => bbox = Some(colr_geo::Rect::new(meta.location, meta.location)),
+            }
+            let fresh = match (mode, entry) {
+                (Mode::RTree, _) => None,
+                (_, Some(e)) if e.reading.is_fresh(now, query.staleness) => Some(e.reading),
+                _ => None,
+            };
+            match fresh {
+                Some(r) => {
+                    cached_used += 1;
+                    readings.push(r);
+                }
+                None => to_probe.push(meta.id),
+            }
+        }
+        stats.readings_from_cache += cached_used;
+        let probed = self.probe_global(&to_probe, probe, query, now, stats);
+        if mode != Mode::RTree {
+            match l0_live {
+                Some(l0) => {
+                    let mut inserted = 0;
+                    for r in &probed {
+                        inserted += l0.insert_reading(*r, now);
+                    }
+                    stats.cache_inserts += inserted as u64;
+                }
+                None => deferred.extend_from_slice(&probed),
+            }
+        }
+        readings.extend(probed);
+        let mut agg = PartialAgg::empty();
+        for r in &readings {
+            agg.insert(r.value);
+        }
+        let group = GroupResult {
+            node: L0_GROUP_NODE,
+            bbox: bbox.expect("selected is non-empty"),
+            agg,
+            from_cache: to_probe.is_empty() && cached_used > 0,
+            target,
+            results: readings.len() as u64,
+            hist: None,
+        };
+        Some((group, readings))
+    }
+
+    /// Probes global ids with the same accounting as the tree executors'
+    /// probe path: one fault-aware batch within the query's remaining
+    /// deadline budget, stats charged per the shared cost model.
+    fn probe_global<P: ProbeService + ?Sized>(
+        &self,
+        ids: &[SensorId],
+        probe: &P,
+        query: &Query,
+        now: Timestamp,
+        stats: &mut QueryStats,
+    ) -> Vec<Reading> {
+        if ids.is_empty() {
+            return Vec::new();
+        }
+        let budget = query
+            .probe_deadline
+            .millis()
+            .saturating_sub(stats.retry_backoff_ms);
+        let report = probe.probe_batch_report(ids, now, budget);
+        debug_assert_eq!(report.outcomes.len(), ids.len());
+        stats.sensors_probed += ids.len() as u64;
+        stats.probes_retried += report.retries_issued;
+        stats.retry_waves += report.retry_waves;
+        stats.retry_backoff_ms += report.backoff_wait_ms;
+        stats.breaker_skipped += report.breaker_skipped;
+        stats.deadline_clipped += report.deadline_clipped;
+        let mut readings = Vec::with_capacity(ids.len());
+        let mut failed = 0u64;
+        for outcome in report.outcomes {
+            match outcome {
+                Some(r) => readings.push(r),
+                None => failed += 1,
+            }
+        }
+        stats.probes_failed += failed;
+        let telem = crate::telem::query();
+        telem.probes_issued.add(ids.len() as u64);
+        telem.probes_failed.add(failed);
+        telem.probe_batch_size.observe(ids.len() as u64);
+        let cost = &self.config.cost;
+        let waves = if cost.probe_parallelism == 0 {
+            ids.len() as u64
+        } else {
+            (ids.len() as u64).div_ceil(cost.probe_parallelism)
+        };
+        stats.probe_waves += waves + report.retry_waves;
+        readings
+    }
+
+    // ------------------------------------------------------------------
+    // Merge
+    // ------------------------------------------------------------------
+
+    /// Compacts L0 and a trailing run of small or heavily tombstoned levels
+    /// into one freshly bulk-built level, carrying still-fresh cached
+    /// readings across. Queries keep running against the old cut throughout;
+    /// publication is one `Arc` swap. Returns what happened (a no-op report
+    /// when there is nothing to compact).
+    ///
+    /// Safe to call from a background thread; merges serialise on an
+    /// internal lock.
+    pub fn merge(&self, now: Timestamp) -> MergeReport {
+        let _serial = self.merge_lock.lock();
+        let start = std::time::Instant::now();
+        let state = self.state.read().clone();
+        // The batch cut: live L0 sensors at merge start. Sensors registered
+        // after this point stay in L0 across the publication.
+        let batch = state.l0.snapshot();
+        let batch_ids: HashSet<u32> = batch.iter().map(|(m, _)| m.id.0).collect();
+
+        // Absorb the trailing (newest, smallest) run of levels while each is
+        // small relative to the pool being merged, or mostly tombstoned.
+        let mut pool = batch.len();
+        let mut absorb_from = state.levels.len();
+        while absorb_from > 0 {
+            let level = &state.levels[absorb_from - 1];
+            let half_dead = !level.is_empty() && level.tombstone_count() * 2 >= level.len() as u64;
+            let small = level.live() < self.lsm.level_ratio.max(2) * pool.max(1);
+            if small || half_dead {
+                pool += level.live();
+                absorb_from -= 1;
+            } else {
+                break;
+            }
+        }
+        let absorbed = &state.levels[absorb_from..];
+        if batch.is_empty() && absorbed.iter().all(|l| l.tombstone_count() == 0) {
+            // Nothing new and nothing to purge: leave the structure alone
+            // rather than churn identical levels.
+            return MergeReport {
+                levels_after: state.levels.len(),
+                l0_after: state.l0.live(),
+                ..MergeReport::default()
+            };
+        }
+
+        // Build the merged level off to the side.
+        let mut dropped: Vec<u32> = Vec::new();
+        let mut metas: Vec<SensorMeta> = Vec::new();
+        for level in absorbed {
+            metas.extend(level.live_global_metas());
+            dropped.extend(
+                (0..level.len())
+                    .filter(|&j| level.is_tombstoned(SensorId(j as u32)))
+                    .map(|j| level.global_id(SensorId(j as u32)).0),
+            );
+        }
+        metas.extend(batch.iter().map(|(m, _)| *m));
+        metas.sort_by_key(|m| m.id.0);
+        let key = self.next_level_key.fetch_add(1, Ordering::AcqRel);
+        let merge_ordinal = self.merges.fetch_add(1, Ordering::AcqRel) + 1;
+        let new_level = Arc::new(LsmLevel::build(
+            key,
+            &metas,
+            self.config.clone(),
+            mix(self.seed, merge_ordinal),
+        ));
+        new_level.tree().advance(now);
+
+        // Carry-over: absorbed levels' cached readings plus L0's, translated
+        // to the new level's local ids; `restore_entries` drops anything
+        // expired, out of window, or belonging to a dropped sensor.
+        let mut carry: Vec<CachedEntry> = Vec::new();
+        for level in absorbed {
+            carry.extend(level.cached_entries_global());
+        }
+        carry.extend(batch.iter().filter_map(|(_, e)| *e));
+        let local_entries: Vec<CachedEntry> = carry
+            .into_iter()
+            .filter_map(|mut e| {
+                new_level.local_of(e.reading.sensor).map(|local| {
+                    e.reading.sensor = local;
+                    e
+                })
+            })
+            .collect();
+        let carried = new_level.tree().restore_entries(&local_entries, now);
+
+        // Publish: swap the state under the write lock, re-route the
+        // directory, and re-apply any retire that raced the build.
+        let (levels_after, l0_after) = {
+            let mut published = self.state.write();
+            let mut retired = self.retired.lock();
+            for &id in retired.iter() {
+                if let Some(local) = new_level.local_of(SensorId(id)) {
+                    new_level.tombstone(local);
+                }
+            }
+            dropped.extend(state.l0.tombstoned_ids());
+            let (rest, rest_entries) = state.l0.drain_merged(&batch_ids);
+            let new_l0 = Arc::new(L0Level::with_contents(rest, rest_entries));
+            let mut levels: Vec<Arc<LsmLevel>> = state.levels[..absorb_from].to_vec();
+            levels.push(new_level.clone());
+            let mut directory = self.directory.lock();
+            for (j, m) in new_level.tree().sensors().iter().enumerate() {
+                let global = new_level.global_id(m.id).0;
+                debug_assert_eq!(m.id.index(), j);
+                directory.insert(
+                    global,
+                    SensorLoc::Level {
+                        key,
+                        local: j as u32,
+                    },
+                );
+            }
+            for id in &dropped {
+                directory.remove(id);
+                retired.remove(id);
+            }
+            let l0_after = new_l0.live();
+            let levels_after = levels.len();
+            *published = Arc::new(LsmState { levels, l0: new_l0 });
+            (levels_after, l0_after)
+        };
+
+        let report = MergeReport {
+            absorbed_levels: absorbed.len(),
+            merged_sensors: new_level.live(),
+            carried_entries: carried,
+            dropped_tombstones: dropped.len(),
+            duration_us: start.elapsed().as_micros() as u64,
+            levels_after,
+            l0_after,
+        };
+        let t = crate::telem::lsm();
+        t.merges.inc();
+        t.merge_duration_us.observe(report.duration_us);
+        t.merge_carryover.add(report.carried_entries as u64);
+        t.merge_dropped.add(report.dropped_tombstones as u64);
+        self.publish_gauges();
+        report
+    }
+
+    fn publish_gauges(&self) {
+        let s = self.stats();
+        let t = crate::telem::lsm();
+        t.levels.set(s.levels as i64);
+        t.l0_occupancy.set(s.l0_occupancy as i64);
+        t.live_sensors.set(s.live_sensors as i64);
+        t.tombstones.set(s.tombstones as i64);
+    }
+}
+
+/// Largest-remainder apportionment of `r` across `targets` by weight —
+/// the same scheme the shard router uses across shards, applied here across
+/// levels: floors first, then one leftover unit per highest fractional part
+/// (ties to the lower component index). Deterministic and sums to `r`.
+fn apportion(r: usize, targets: &[(usize, f64)]) -> Vec<usize> {
+    let total: f64 = targets.iter().map(|&(_, w)| w).sum();
+    if total <= 0.0 {
+        let mut shares = vec![0; targets.len()];
+        if let Some(first) = shares.first_mut() {
+            *first = r;
+        }
+        return shares;
+    }
+    let ideals: Vec<f64> = targets.iter().map(|&(_, w)| r as f64 * w / total).collect();
+    let mut shares: Vec<usize> = ideals.iter().map(|&x| x.floor() as usize).collect();
+    let assigned: usize = shares.iter().sum();
+    let mut order: Vec<usize> = (0..targets.len()).collect();
+    order.sort_by(|&a, &b| {
+        let fa = ideals[a] - ideals[a].floor();
+        let fb = ideals[b] - ideals[b].floor();
+        fb.partial_cmp(&fa)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(targets[a].0.cmp(&targets[b].0))
+    });
+    for i in 0..r.saturating_sub(assigned) {
+        shares[order[i % order.len()]] += 1;
+    }
+    shares
+}
+
+/// splitmix64 finaliser: derives an independent component seed from one base
+/// draw, matching the engine's per-query seed derivation discipline.
+fn mix(seed: u64, i: u64) -> u64 {
+    let mut z = seed ^ i.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests;

@@ -1,0 +1,453 @@
+use super::*;
+use crate::lookup::Mode;
+use crate::probe::{AlwaysAvailable, ProbeService};
+use crate::reading::SensorMeta;
+use crate::time::TimeDelta;
+use crate::tree::{ColrConfig, ColrTree};
+use colr_geo::{Point, Rect};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const EXPIRY_MS: u64 = 300_000;
+
+/// A probe service that never returns data — isolates what the cache serves.
+struct Dead;
+
+impl ProbeService for Dead {
+    fn probe_batch(&self, ids: &[SensorId], _now: Timestamp) -> Vec<Option<Reading>> {
+        vec![None; ids.len()]
+    }
+}
+
+fn grid_sensors(n: usize, side: usize) -> Vec<SensorMeta> {
+    (0..n)
+        .map(|i| {
+            SensorMeta::new(
+                i as u32,
+                Point::new((i % side) as f64, (i / side) as f64),
+                TimeDelta::from_millis(EXPIRY_MS),
+                1.0,
+            )
+        })
+        .collect()
+}
+
+fn viewport() -> Rect {
+    Rect::from_coords(-0.5, -0.5, 10.5, 10.5)
+}
+
+fn sample_query(r: f64) -> Query {
+    Query::range(viewport(), TimeDelta::from_millis(EXPIRY_MS)).with_sample_size(r)
+}
+
+fn outputs_equal(a: &QueryOutput, b: &QueryOutput) -> bool {
+    a.stats == b.stats
+        && a.latency_ms == b.latency_ms
+        && a.readings == b.readings
+        && a.groups.len() == b.groups.len()
+        && a.groups.iter().zip(&b.groups).all(|(x, y)| {
+            x.node == y.node
+                && x.bbox == y.bbox
+                && x.agg == y.agg
+                && x.from_cache == y.from_cache
+                && x.target == y.target
+                && x.results == y.results
+        })
+}
+
+#[test]
+fn degenerate_single_level_replays_monolithic_bit_identically() {
+    let sensors = grid_sensors(256, 16);
+    let mono = ColrTree::build(sensors.clone(), ColrConfig::default(), 42);
+    let lsm = LsmTree::new(sensors, ColrConfig::default(), LsmConfig::default(), 42);
+    let probe = AlwaysAvailable {
+        expiry_ms: EXPIRY_MS,
+    };
+    for (i, mode) in [Mode::Colr, Mode::HierCache, Mode::RTree]
+        .iter()
+        .enumerate()
+    {
+        // A warm/cold pair per mode: the second query must replay against
+        // the identically mutated cache.
+        for step in 0..2u64 {
+            let now = Timestamp(1_000 + step * 10_000);
+            let q = sample_query(24.0);
+            let mut r1 = StdRng::seed_from_u64(7 + i as u64);
+            let mut r2 = StdRng::seed_from_u64(7 + i as u64);
+            let a = mono.execute(&q, *mode, &probe, now, &mut r1);
+            let b = lsm.execute(&q, *mode, &probe, now, &mut r2);
+            assert!(
+                outputs_equal(&a, &b),
+                "mode {mode:?} step {step}: degenerate LSM diverged from monolithic"
+            );
+        }
+    }
+}
+
+#[test]
+fn registration_is_visible_to_the_next_query() {
+    let lsm = LsmTree::new(
+        grid_sensors(64, 8),
+        ColrConfig::default(),
+        LsmConfig::default(),
+        1,
+    );
+    lsm.register(SensorMeta::new(
+        500,
+        Point::new(100.0, 100.0),
+        TimeDelta::from_millis(EXPIRY_MS),
+        1.0,
+    ));
+    let q = Query::range(
+        Rect::from_coords(99.0, 99.0, 101.0, 101.0),
+        TimeDelta::from_millis(EXPIRY_MS),
+    );
+    let probe = AlwaysAvailable {
+        expiry_ms: EXPIRY_MS,
+    };
+    let mut rng = StdRng::seed_from_u64(3);
+    let out = lsm.execute(&q, Mode::RTree, &probe, Timestamp(1_000), &mut rng);
+    assert_eq!(out.readings.len(), 1);
+    assert_eq!(out.readings[0].sensor, SensorId(500));
+    assert_eq!(lsm.stats().l0_occupancy, 1);
+}
+
+#[test]
+fn retire_masks_immediately_and_merge_drops_physically() {
+    let lsm = LsmTree::new(
+        grid_sensors(64, 8),
+        ColrConfig::default(),
+        LsmConfig::default(),
+        1,
+    );
+    // A small second level whose tombstones the next merge will purge.
+    for i in 0..4 {
+        lsm.register(SensorMeta::new(
+            100 + i,
+            Point::new(40.0 + i as f64, 40.0),
+            TimeDelta::from_millis(EXPIRY_MS),
+            1.0,
+        ));
+    }
+    lsm.merge(Timestamp(500));
+    assert_eq!(lsm.stats().levels, 2);
+    let probe = AlwaysAvailable {
+        expiry_ms: EXPIRY_MS,
+    };
+    // Warm the victims' cache entries, then retire them: one in the large
+    // base level (stays masked), one in the small level (purged next merge).
+    let all = Query::range(
+        Rect::from_coords(-0.5, -0.5, 44.5, 44.5),
+        TimeDelta::from_millis(EXPIRY_MS),
+    );
+    let mut rng = StdRng::seed_from_u64(5);
+    let warm = lsm.execute(&all, Mode::HierCache, &probe, Timestamp(1_000), &mut rng);
+    assert_eq!(warm.result_size(), 68);
+    assert!(lsm.retire(SensorId(0)));
+    assert!(lsm.retire(SensorId(100)));
+    assert!(!lsm.retire(SensorId(0)), "double retire must be rejected");
+    // Masked immediately: the probe still answers, the index must not ask,
+    // and the decremented slot aggregates must not count them either.
+    let out = lsm.execute(&all, Mode::RTree, &probe, Timestamp(2_000), &mut rng);
+    assert!(out
+        .readings
+        .iter()
+        .all(|r| r.sensor != SensorId(0) && r.sensor != SensorId(100)));
+    assert_eq!(out.readings.len(), 66);
+    let cached = lsm.execute(&all, Mode::HierCache, &Dead, Timestamp(2_000), &mut rng);
+    assert!(
+        cached.result_size() <= 66,
+        "retired sensors leaked from cached slots: {}",
+        cached.result_size()
+    );
+    assert_eq!(lsm.stats().tombstones, 2);
+    assert_eq!(lsm.stats().live_sensors, 66);
+    // The next merge absorbs the small trailing level and purges its
+    // tombstone physically; the base-level tombstone stays masked.
+    let report = lsm.merge(Timestamp(2_000));
+    assert_eq!(report.dropped_tombstones, 1);
+    assert_eq!(lsm.stats().tombstones, 1);
+    assert_eq!(lsm.stats().live_sensors, 66);
+    assert!(!lsm.retire(SensorId(100)), "dropped sensor is unknown");
+}
+
+#[test]
+fn merge_compacts_l0_and_carries_fresh_entries() {
+    let lsm = LsmTree::new(
+        grid_sensors(64, 8),
+        ColrConfig::default(),
+        LsmConfig::default(),
+        1,
+    );
+    for i in 0..8 {
+        lsm.register(SensorMeta::new(
+            100 + i,
+            Point::new(50.0 + i as f64, 50.0),
+            TimeDelta::from_millis(EXPIRY_MS),
+            1.0,
+        ));
+    }
+    let probe = AlwaysAvailable {
+        expiry_ms: EXPIRY_MS,
+    };
+    // Populate the L0 cache through a query (immediate write-back).
+    let q = Query::range(
+        Rect::from_coords(49.0, 49.0, 58.0, 51.0),
+        TimeDelta::from_millis(EXPIRY_MS),
+    );
+    let mut rng = StdRng::seed_from_u64(9);
+    let out = lsm.execute(&q, Mode::HierCache, &probe, Timestamp(1_000), &mut rng);
+    assert_eq!(out.readings.len(), 8);
+    let report = lsm.merge(Timestamp(1_500));
+    assert!(report.merged_sensors >= 8);
+    assert!(
+        report.carried_entries >= 8,
+        "L0 cache entries must survive the merge (got {})",
+        report.carried_entries
+    );
+    assert_eq!(report.l0_after, 0);
+    // The carried entries now serve from the merged level without probing.
+    let cached = lsm.execute(&q, Mode::HierCache, &Dead, Timestamp(2_000), &mut rng);
+    assert_eq!(
+        cached.result_size(),
+        8,
+        "carried entries did not serve after the merge"
+    );
+    assert_eq!(cached.stats.sensors_probed, 0);
+}
+
+#[test]
+fn layered_sampling_keeps_the_expected_size() {
+    let lsm = LsmTree::new(
+        grid_sensors(128, 16),
+        ColrConfig::default(),
+        LsmConfig::default(),
+        11,
+    );
+    // Second component: a merged level over late registrations.
+    for i in 0..32 {
+        lsm.register(SensorMeta::new(
+            200 + i,
+            Point::new((i % 8) as f64, 8.0 + (i / 8) as f64),
+            TimeDelta::from_millis(EXPIRY_MS),
+            1.0,
+        ));
+    }
+    lsm.merge(Timestamp(500));
+    // Third component: fresh L0 arrivals.
+    for i in 0..16 {
+        lsm.register(SensorMeta::new(
+            300 + i,
+            Point::new((i % 4) as f64, 10.0 + (i / 4) as f64),
+            TimeDelta::from_millis(EXPIRY_MS),
+            1.0,
+        ));
+    }
+    assert!(lsm.stats().levels >= 2);
+    assert_eq!(lsm.stats().l0_occupancy, 16);
+    let probe = AlwaysAvailable {
+        expiry_ms: EXPIRY_MS,
+    };
+    let q = Query::range(
+        Rect::from_coords(-0.5, -0.5, 16.5, 14.5),
+        TimeDelta::from_millis(EXPIRY_MS),
+    )
+    .with_sample_size(32.0);
+    for seed in 0..5u64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let out = lsm.execute(&q, Mode::Colr, &probe, Timestamp(1_000), &mut rng);
+        let total = out.result_size();
+        assert!(
+            (24..=40).contains(&total),
+            "seed {seed}: layered sample size {total} strays from target 32"
+        );
+        let targets: f64 = out.groups.iter().map(|g| g.target).sum();
+        assert!(
+            (targets - 32.0).abs() < 8.0,
+            "seed {seed}: apportioned targets sum to {targets}"
+        );
+    }
+}
+
+#[test]
+fn frozen_execution_defers_write_back_until_apply() {
+    let lsm = LsmTree::new(
+        grid_sensors(64, 8),
+        ColrConfig::default(),
+        LsmConfig::default(),
+        2,
+    );
+    for i in 0..4 {
+        lsm.register(SensorMeta::new(
+            400 + i,
+            Point::new(20.0 + i as f64, 20.0),
+            TimeDelta::from_millis(EXPIRY_MS),
+            1.0,
+        ));
+    }
+    let probe = AlwaysAvailable {
+        expiry_ms: EXPIRY_MS,
+    };
+    let q = Query::range(
+        Rect::from_coords(-0.5, -0.5, 24.5, 24.5),
+        TimeDelta::from_millis(EXPIRY_MS),
+    );
+    lsm.advance(Timestamp(1_000));
+    let snap = lsm.freeze();
+    let mut rng = StdRng::seed_from_u64(4);
+    let (out, deferred) = lsm.execute_frozen(
+        &snap,
+        &q,
+        Mode::HierCache,
+        &probe,
+        Timestamp(1_000),
+        &mut rng,
+    );
+    assert_eq!(out.readings.len(), 68);
+    assert_eq!(out.stats.cache_inserts, 0, "frozen run must not write back");
+    assert_eq!(deferred.len(), 68);
+    // Nothing cached yet: a dead-probe run finds an empty cache.
+    let mut rng2 = StdRng::seed_from_u64(4);
+    let (cold, _) = lsm.execute_frozen(
+        &snap,
+        &q,
+        Mode::HierCache,
+        &Dead,
+        Timestamp(1_000),
+        &mut rng2,
+    );
+    assert_eq!(cold.result_size(), 0);
+    let applied = lsm.apply_deferred(&deferred, Timestamp(1_000));
+    assert_eq!(applied, 68);
+    // Now the cache serves the same population without probes.
+    let mut rng3 = StdRng::seed_from_u64(4);
+    let warm = lsm.execute(&q, Mode::HierCache, &Dead, Timestamp(1_200), &mut rng3);
+    assert_eq!(warm.result_size(), 68);
+}
+
+#[test]
+fn merge_mid_batch_routes_deferred_readings_to_the_new_level() {
+    let lsm = LsmTree::new(
+        grid_sensors(64, 8),
+        ColrConfig::default(),
+        LsmConfig::default(),
+        3,
+    );
+    for i in 0..6 {
+        lsm.register(SensorMeta::new(
+            600 + i,
+            Point::new(30.0 + i as f64, 30.0),
+            TimeDelta::from_millis(EXPIRY_MS),
+            1.0,
+        ));
+    }
+    let probe = AlwaysAvailable {
+        expiry_ms: EXPIRY_MS,
+    };
+    let q = Query::range(
+        Rect::from_coords(29.0, 29.0, 36.5, 31.0),
+        TimeDelta::from_millis(EXPIRY_MS),
+    );
+    lsm.advance(Timestamp(1_000));
+    let snap = lsm.freeze();
+    let mut rng = StdRng::seed_from_u64(8);
+    let (out, deferred) = lsm.execute_frozen(
+        &snap,
+        &q,
+        Mode::HierCache,
+        &probe,
+        Timestamp(1_000),
+        &mut rng,
+    );
+    assert_eq!(out.readings.len(), 6);
+    // The merge lands between execution and the deferred apply.
+    lsm.merge(Timestamp(1_000));
+    let applied = lsm.apply_deferred(&deferred, Timestamp(1_000));
+    assert_eq!(applied, 6, "deferred readings must follow merged sensors");
+    let mut rng2 = StdRng::seed_from_u64(8);
+    let warm = lsm.execute(&q, Mode::HierCache, &Dead, Timestamp(1_200), &mut rng2);
+    assert_eq!(warm.result_size(), 6);
+}
+
+#[test]
+fn wants_merge_tracks_l0_capacity() {
+    let lsm = LsmTree::new(
+        grid_sensors(16, 4),
+        ColrConfig::default(),
+        LsmConfig {
+            l0_capacity: 4,
+            level_ratio: 4,
+        },
+        1,
+    );
+    assert!(!lsm.wants_merge());
+    for i in 0..4 {
+        lsm.register(SensorMeta::new(
+            50 + i,
+            Point::new(i as f64, -5.0),
+            TimeDelta::from_millis(EXPIRY_MS),
+            1.0,
+        ));
+    }
+    assert!(lsm.wants_merge());
+    lsm.merge(Timestamp(100));
+    assert!(!lsm.wants_merge());
+}
+
+#[test]
+fn empty_merge_is_a_no_op() {
+    let lsm = LsmTree::new(
+        grid_sensors(16, 4),
+        ColrConfig::default(),
+        LsmConfig::default(),
+        1,
+    );
+    let before = lsm.stats();
+    let report = lsm.merge(Timestamp(100));
+    assert_eq!(report.absorbed_levels, 0);
+    assert_eq!(report.merged_sensors, 0);
+    assert_eq!(lsm.stats(), before);
+}
+
+#[test]
+fn apportionment_is_exact_and_deterministic() {
+    let targets = [(0usize, 3.0), (1, 1.0), (2, 1.0)];
+    let shares = apportion(10, &targets);
+    assert_eq!(shares.iter().sum::<usize>(), 10);
+    assert_eq!(shares, vec![6, 2, 2]);
+    let tied = apportion(4, &[(0usize, 1.0), (1, 1.0), (2, 1.0)]);
+    assert_eq!(tied, vec![2, 1, 1]);
+    assert_eq!(apportion(5, &[(0usize, 0.0), (1, 0.0)]), vec![5, 0]);
+}
+
+#[test]
+fn geometric_absorption_bounds_level_count() {
+    let lsm = LsmTree::new(
+        grid_sensors(256, 16),
+        ColrConfig::default(),
+        LsmConfig {
+            l0_capacity: 8,
+            level_ratio: 4,
+        },
+        17,
+    );
+    let mut next_id = 1_000u32;
+    for round in 0..12 {
+        for _ in 0..8 {
+            lsm.register(SensorMeta::new(
+                next_id,
+                Point::new((next_id % 32) as f64, 20.0 + (next_id % 7) as f64),
+                TimeDelta::from_millis(EXPIRY_MS),
+                1.0,
+            ));
+            next_id += 1;
+        }
+        lsm.merge(Timestamp(1_000 + round));
+        assert!(
+            lsm.stats().levels <= 5,
+            "round {round}: {} levels — trailing runs are not being absorbed",
+            lsm.stats().levels
+        );
+    }
+    assert_eq!(lsm.stats().live_sensors, 256 + 96);
+}

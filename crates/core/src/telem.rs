@@ -153,6 +153,47 @@ pub(crate) fn build() -> &'static BuildTelem {
     })
 }
 
+/// Handles for the incremental LSM index (`colr_lsm_*`): level shape,
+/// churn volume, and merge behaviour.
+pub(crate) struct LsmTelem {
+    /// Immutable levels currently published.
+    pub(crate) levels: Gauge,
+    /// Live sensors parked in L0.
+    pub(crate) l0_occupancy: Gauge,
+    /// Live sensors across all components.
+    pub(crate) live_sensors: Gauge,
+    /// Tombstoned sensors awaiting physical removal.
+    pub(crate) tombstones: Gauge,
+    /// Sensors registered through the LSM path.
+    pub(crate) registrations: Counter,
+    /// Sensors retired (tombstoned) through the LSM path.
+    pub(crate) retires: Counter,
+    /// Merges completed.
+    pub(crate) merges: Counter,
+    /// Wall-clock merge duration (build + publish), µs.
+    pub(crate) merge_duration_us: Histogram,
+    /// Cached readings carried across merges via `restore_entries`.
+    pub(crate) merge_carryover: Counter,
+    /// Tombstoned sensors physically dropped by merges.
+    pub(crate) merge_dropped: Counter,
+}
+
+pub(crate) fn lsm() -> &'static LsmTelem {
+    static T: OnceLock<LsmTelem> = OnceLock::new();
+    T.get_or_init(|| LsmTelem {
+        levels: global().gauge("colr_lsm_levels"),
+        l0_occupancy: global().gauge("colr_lsm_l0_occupancy"),
+        live_sensors: global().gauge("colr_lsm_live_sensors"),
+        tombstones: global().gauge("colr_lsm_tombstones"),
+        registrations: global().counter("colr_lsm_registrations_total"),
+        retires: global().counter("colr_lsm_retires_total"),
+        merges: global().counter("colr_lsm_merges_total"),
+        merge_duration_us: global().histogram("colr_lsm_merge_duration_us"),
+        merge_carryover: global().counter("colr_lsm_merge_carryover_total"),
+        merge_dropped: global().counter("colr_lsm_merge_dropped_total"),
+    })
+}
+
 /// Handles for the fault-tolerance layer (`colr_resilient_*`): retry
 /// volume, circuit-breaker state transitions, and estimator tracking.
 pub(crate) struct ResilientTelem {

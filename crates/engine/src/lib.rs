@@ -42,8 +42,8 @@ pub use error::PortalError;
 pub use parser::{parse, parse_statement, ParseError, Statement};
 pub use planner::Planner;
 pub use portal::{
-    BatchResult, DegradationReport, GroupView, Portal, PortalConfig, PortalConfigBuilder,
-    PortalConfigError, PortalResult,
+    BatchResult, DegradationReport, GroupView, IndexStrategy, Portal, PortalConfig,
+    PortalConfigBuilder, PortalConfigError, PortalResult,
 };
 pub use request::{ExplainLevel, QueryRequest, QueryRequestBuilder, QueryResponse, ShardOutcome};
 pub use router::{ShardInfo, ShardedPortal};

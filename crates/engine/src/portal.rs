@@ -29,6 +29,21 @@ use crate::error::PortalError;
 use crate::planner::Planner;
 use crate::service::{AdmissionConfig, Generation, PortalService};
 
+/// How the service maintains its index as sensors come and go.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum IndexStrategy {
+    /// One bulk-built COLR-Tree per generation. Registrations park in a
+    /// pending queue until the next full rebuild ([`PortalService::reindex`])
+    /// folds them in; retirements mask the sensor until then.
+    #[default]
+    Monolithic,
+    /// Incremental LSM index ([`colr_tree::LsmTree`]): registrations land in
+    /// a mutable L0 and are queryable immediately, retirements tombstone in
+    /// O(1), and background merges compact L0 into geometrically larger
+    /// immutable COLR-Tree levels off the hot path.
+    Lsm(colr_tree::LsmConfig),
+}
+
 /// Portal construction parameters.
 #[derive(Debug, Clone)]
 pub struct PortalConfig {
@@ -54,6 +69,9 @@ pub struct PortalConfig {
     /// this gate. Recording never perturbs answers: it consumes no RNG and
     /// changes no float computation.
     pub flight_record_every: u64,
+    /// Index maintenance strategy (monolithic rebuilds by default; see
+    /// [`IndexStrategy::Lsm`] for churn-heavy deployments).
+    pub index: IndexStrategy,
 }
 
 impl Default for PortalConfig {
@@ -66,6 +84,7 @@ impl Default for PortalConfig {
             seed: 42,
             admission: AdmissionConfig::default(),
             flight_record_every: 0,
+            index: IndexStrategy::Monolithic,
         }
     }
 }
@@ -181,6 +200,12 @@ impl PortalConfigBuilder {
         self
     }
 
+    /// Sets the index maintenance strategy.
+    pub fn index(mut self, index: IndexStrategy) -> Self {
+        self.cfg.index = index;
+        self
+    }
+
     /// Validates and produces the config.
     pub fn build(self) -> Result<PortalConfig, PortalConfigError> {
         let mut cfg = self.cfg;
@@ -261,6 +286,11 @@ pub struct DegradationReport {
     pub deadline_clipped: u64,
     /// Retry probes issued while collecting this answer.
     pub probes_retried: u64,
+    /// Registered sensors inside the queried region that are parked in the
+    /// pending queue and not yet indexed — a blind spot no amount of probing
+    /// can cover until the next reindex. Always 0 under
+    /// [`IndexStrategy::Lsm`], where registrations index immediately.
+    pub pending_unindexed: u64,
     /// Minimum per-constituent fulfillment tracked across
     /// [`DegradationReport::merge`] calls; `None` on a leaf report (a single
     /// query's own accounting, where the worst constituent is the report
@@ -296,6 +326,7 @@ impl DegradationReport {
             && self.breaker_skipped == 0
             && self.deadline_clipped == 0
             && self.probes_retried == 0
+            && self.pending_unindexed == 0
             && self.worst.is_none()
     }
 
@@ -329,6 +360,7 @@ impl DegradationReport {
         self.breaker_skipped += other.breaker_skipped;
         self.deadline_clipped += other.deadline_clipped;
         self.probes_retried += other.probes_retried;
+        self.pending_unindexed += other.pending_unindexed;
     }
 
     /// Folds another report into this one (summing every axis), for
@@ -924,6 +956,7 @@ mod tests {
             breaker_skipped: sampled / 2,
             deadline_clipped: 1,
             probes_retried: 3,
+            pending_unindexed: 0,
             worst: None,
         };
         // Distinct fulfillments, including one overshoot and one zero.
@@ -973,6 +1006,7 @@ mod tests {
             breaker_skipped: 0,
             deadline_clipped: 0,
             probes_retried: 2,
+            pending_unindexed: 0,
             worst: None,
         };
         let mut acc = DegradationReport::default();

@@ -34,13 +34,13 @@ use colr_geo::{Point, Rect};
 use colr_telemetry::{global, Counter};
 use colr_tree::{
     kmeans_partition, AggKind, BuildStrategy, ClockHandle, Histogram, Mode, ProbeService,
-    QueryStats, SensorMeta, TimeDelta, Timestamp,
+    QueryStats, SensorId, SensorMeta, TimeDelta, Timestamp,
 };
 use parking_lot::{Mutex, RwLock};
 
 use crate::ast::SelectQuery;
 use crate::error::PortalError;
-use crate::portal::{BatchResult, DegradationReport, PortalConfig, PortalResult};
+use crate::portal::{BatchResult, DegradationReport, IndexStrategy, PortalConfig, PortalResult};
 use crate::request::{ExplainLevel, QueryRequest, QueryResponse, ShardOutcome};
 use crate::service::{derive_seed, PortalService, Reindexer};
 
@@ -106,12 +106,28 @@ struct PendingSensor {
     /// Nearest shard at registration time; if the centroids have drifted by
     /// the time the sensor is placed, it migrates (and is counted).
     guessed: usize,
+    /// The router-level registration ticket tracking this sensor.
+    ticket: usize,
+}
+
+/// Where a router-level registration ticket currently lives.
+#[derive(Debug, Clone, Copy)]
+enum RouterPlacement {
+    /// Parked with the router, awaiting placement at a reindex.
+    Pending,
+    /// Registered with shard `shard` under the per-shard id `id`.
+    Placed { shard: usize, id: SensorId },
+    /// Retired through [`ShardedPortal::retire_sensor`].
+    Retired,
 }
 
 struct RouterCore<P> {
     shards: Vec<PortalService<P>>,
     map: RwLock<Vec<ShardInfo>>,
     pending: Mutex<Vec<PendingSensor>>,
+    /// Ticket → current placement. Tickets are append-only; retirement
+    /// marks in place. Lock order: `placements` before `pending`.
+    placements: Mutex<Vec<RouterPlacement>>,
     clock: ClockHandle,
     ordinal: AtomicU64,
     /// Round-robin pointer for [`ShardedPortal::reindex`].
@@ -119,6 +135,7 @@ struct RouterCore<P> {
     seed: u64,
     mode: Mode,
     max_sensors_per_query: Option<usize>,
+    index: IndexStrategy,
 }
 
 /// A cloneable, thread-safe scatter-gather router over spatial shards. See
@@ -190,12 +207,14 @@ impl<P: ProbeService> ShardedPortal<P> {
                 shards,
                 map: RwLock::new(map),
                 pending: Mutex::new(Vec::new()),
+                placements: Mutex::new(Vec::new()),
                 clock,
                 ordinal: AtomicU64::new(0),
                 next_reindex: AtomicUsize::new(0),
                 seed: config.seed,
                 mode: config.mode,
                 max_sensors_per_query: config.max_sensors_per_query,
+                index: config.index,
             }),
         }
     }
@@ -228,19 +247,36 @@ impl<P: ProbeService> ShardedPortal<P> {
         self.core.map.read().clone()
     }
 
-    /// Sensors registered with the router but not yet placed into a shard.
+    /// Sensors registered with the router but not yet placed into a shard
+    /// (always 0 under [`IndexStrategy::Lsm`], where registrations go
+    /// straight into a shard's L0).
     pub fn pending_registrations(&self) -> usize {
         self.core.pending.lock().len()
     }
 
+    /// The first shard whose L0 has reached its occupancy bound and wants a
+    /// merge (`None` for monolithic routers and when every L0 is bounded).
+    pub fn shard_wanting_merge(&self) -> Option<usize> {
+        self.core
+            .shards
+            .iter()
+            .position(|shard| shard.wants_reindex(usize::MAX))
+    }
+
     // -- registration & rebalance-on-reindex -------------------------------
 
-    /// Registers a new publisher with the *router*. The sensor is parked
-    /// until a reindex of the shard whose centroid is then nearest — so a
-    /// registration near a shard boundary migrates with centroid drift
-    /// instead of being pinned to a stale guess. Returns the router-level
+    /// Registers a new publisher with the *router*. Returns the router-level
     /// registration ticket (per-shard [`colr_tree::SensorId`]s are assigned
-    /// at placement and are not comparable across shards).
+    /// at placement and are not comparable across shards; retire through
+    /// [`ShardedPortal::retire_sensor`] with the ticket).
+    ///
+    /// Under [`IndexStrategy::Monolithic`] the sensor is parked until a
+    /// reindex of the shard whose centroid is then nearest — so a
+    /// registration near a shard boundary migrates with centroid drift
+    /// instead of being pinned to a stale guess. Under
+    /// [`IndexStrategy::Lsm`] it registers O(1) into the nearest shard's L0
+    /// and is queryable immediately; if the centroids drift, the next merge
+    /// of that shard migrates it (rebalance-on-merge).
     pub fn register_sensor(
         &self,
         location: Point,
@@ -248,18 +284,58 @@ impl<P: ProbeService> ShardedPortal<P> {
         availability: f64,
         kind: u16,
     ) -> usize {
+        let core = &*self.core;
         let guessed = self.nearest_shard(location);
-        let mut pending = self.core.pending.lock();
-        let ticket = pending.len();
-        pending.push(PendingSensor {
-            location,
-            expiry,
-            availability,
-            kind,
-            guessed,
-        });
+        let ticket = if matches!(core.index, IndexStrategy::Lsm(_)) {
+            let id = core.shards[guessed].register_sensor(location, expiry, availability, kind);
+            let mut placements = core.placements.lock();
+            let ticket = placements.len();
+            placements.push(RouterPlacement::Placed { shard: guessed, id });
+            ticket
+        } else {
+            let mut placements = core.placements.lock();
+            let ticket = placements.len();
+            placements.push(RouterPlacement::Pending);
+            core.pending.lock().push(PendingSensor {
+                location,
+                expiry,
+                availability,
+                kind,
+                guessed,
+                ticket,
+            });
+            ticket
+        };
         router_telem().registrations.inc();
         ticket
+    }
+
+    /// Retires the publisher behind a registration ticket. Returns `true`
+    /// when the ticket was live: a still-parked sensor is simply unparked, a
+    /// placed one is retired on its shard ([`PortalService::retire_sensor`]
+    /// — an O(1) tombstone under [`IndexStrategy::Lsm`]).
+    pub fn retire_sensor(&self, ticket: usize) -> bool {
+        let core = &*self.core;
+        let mut placements = core.placements.lock();
+        let Some(&placement) = placements.get(ticket) else {
+            return false;
+        };
+        match placement {
+            RouterPlacement::Retired => false,
+            RouterPlacement::Pending => {
+                placements[ticket] = RouterPlacement::Retired;
+                let mut pending = core.pending.lock();
+                if let Some(pos) = pending.iter().position(|e| e.ticket == ticket) {
+                    pending.remove(pos);
+                }
+                true
+            }
+            RouterPlacement::Placed { shard, id } => {
+                placements[ticket] = RouterPlacement::Retired;
+                drop(placements);
+                core.shards[shard].retire_sensor(id)
+            }
+        }
     }
 
     /// The shard whose centroid is nearest to `location` (ties to the lower
@@ -280,43 +356,95 @@ impl<P: ProbeService> ShardedPortal<P> {
         best
     }
 
-    /// Reindexes shard `s`: drains every parked sensor whose nearest
-    /// centroid is *currently* `s` into that shard (counting migrations away
-    /// from the registration-time guess), pumps the shard's online reindex,
-    /// and refreshes the shard map entry from the new generation. Returns
-    /// the shard's new population size.
+    /// Reindexes shard `s` and refreshes its shard map entry from the new
+    /// generation. Returns the shard's new population size.
+    ///
+    /// Under [`IndexStrategy::Monolithic`] this drains every parked sensor
+    /// whose nearest centroid is *currently* `s` into that shard (counting
+    /// migrations away from the registration-time guess) and pumps the
+    /// shard's online rebuild. Under [`IndexStrategy::Lsm`] nothing is
+    /// parked; instead, L0 sensors whose nearest centroid has drifted to
+    /// another shard are migrated *before* the merge compacts L0
+    /// (rebalance-on-merge), then the shard's merge is pumped.
     pub fn reindex_shard(&self, s: usize) -> usize {
         let core = &*self.core;
-        let mine: Vec<PendingSensor> = {
-            let mut pending = core.pending.lock();
-            let mut kept = Vec::with_capacity(pending.len());
-            let mut mine = Vec::new();
-            for entry in pending.drain(..) {
-                if self.nearest_shard(entry.location) == s {
-                    mine.push(entry);
-                } else {
-                    kept.push(entry);
-                }
-            }
-            *pending = kept;
-            mine
-        };
         let t = router_telem();
-        for entry in mine {
-            if entry.guessed != s {
-                t.rebalanced.inc();
+        if matches!(core.index, IndexStrategy::Lsm(_)) {
+            self.rebalance_l0(s);
+        } else {
+            let mine: Vec<PendingSensor> = {
+                let mut pending = core.pending.lock();
+                let mut kept = Vec::with_capacity(pending.len());
+                let mut mine = Vec::new();
+                for entry in pending.drain(..) {
+                    if self.nearest_shard(entry.location) == s {
+                        mine.push(entry);
+                    } else {
+                        kept.push(entry);
+                    }
+                }
+                *pending = kept;
+                mine
+            };
+            for entry in mine {
+                if entry.guessed != s {
+                    t.rebalanced.inc();
+                }
+                let id = core.shards[s].register_sensor(
+                    entry.location,
+                    entry.expiry,
+                    entry.availability,
+                    entry.kind,
+                );
+                core.placements.lock()[entry.ticket] = RouterPlacement::Placed { shard: s, id };
             }
-            core.shards[s].register_sensor(
-                entry.location,
-                entry.expiry,
-                entry.availability,
-                entry.kind,
-            );
         }
         let n = core.shards[s].reindex();
         core.map.write()[s] = shard_info(s, &core.shards[s]);
         t.reindexes.inc();
         n
+    }
+
+    /// Rebalance-on-merge: moves shard `s`'s L0 sensors whose nearest
+    /// centroid has drifted to another shard — tombstone on `s`, O(1)
+    /// re-register into the destination's L0 — so the imminent merge only
+    /// compacts sensors that actually belong to `s`.
+    fn rebalance_l0(&self, s: usize) {
+        let core = &*self.core;
+        let t = router_telem();
+        let Some(lsm) = core.shards[s].lsm() else {
+            return;
+        };
+        for meta in lsm.l0_sensor_metas() {
+            let dest = self.nearest_shard(meta.location);
+            if dest == s {
+                continue;
+            }
+            // Only router-registered sensors live in L0, so each has a
+            // ticket; resolve it to keep retire-by-ticket pointing at the
+            // sensor's new home.
+            let mut placements = core.placements.lock();
+            let ticket = placements.iter().position(
+                |p| matches!(p, RouterPlacement::Placed { shard, id } if *shard == s && *id == meta.id),
+            );
+            let Some(ticket) = ticket else {
+                continue;
+            };
+            if !core.shards[s].retire_sensor(meta.id) {
+                continue;
+            }
+            let new_id = core.shards[dest].register_sensor(
+                meta.location,
+                meta.expiry,
+                meta.availability,
+                meta.kind,
+            );
+            placements[ticket] = RouterPlacement::Placed {
+                shard: dest,
+                id: new_id,
+            };
+            t.rebalanced.inc();
+        }
     }
 
     /// Round-robin [`ShardedPortal::reindex_shard`] — each call pumps the
@@ -495,10 +623,18 @@ impl<P: ProbeService> ShardedPortal<P> {
         let mut targets = Vec::new();
         for (s, shard) in self.core.shards.iter().enumerate() {
             let gen = shard.snapshot();
-            let tree = gen.tree();
-            let root = tree.node(tree.root());
-            let w = root.query_weight(select.sensor_type) as f64;
-            let ow = w * region.overlap_fraction(&root.bbox);
+            let ow = match gen.lsm() {
+                // The layered analogue — every level's weighted overlap plus
+                // the L0 candidates — so freshly registered (and not yet
+                // merged) sensors pull routed sample share immediately.
+                Some(lsm) => lsm.overlap_weight(&region, select.sensor_type),
+                None => {
+                    let tree = gen.tree();
+                    let root = tree.node(tree.root());
+                    let w = root.query_weight(select.sensor_type) as f64;
+                    w * region.overlap_fraction(&root.bbox)
+                }
+            };
             if ow > 0.0 {
                 targets.push((s, ow));
             }
@@ -645,10 +781,12 @@ impl<P> ShardedPortal<P>
 where
     P: ProbeService + Send + Sync + 'static,
 {
-    /// Spawns a background thread that pumps the round-robin
+    /// Spawns a background thread that pumps shard reindexes, checking every
+    /// `poll` — the sharded analogue of [`PortalService::spawn_reindexer`],
+    /// rebalance included. It fires the round-robin
     /// [`ShardedPortal::reindex`] whenever at least `min_pending` router
-    /// registrations are waiting, checking every `poll` — the sharded
-    /// analogue of [`PortalService::spawn_reindexer`], rebalance included.
+    /// registrations are parked (monolithic), and pumps any shard whose L0
+    /// has reached its occupancy bound directly (LSM).
     pub fn spawn_reindexer(&self, min_pending: usize, poll: std::time::Duration) -> Reindexer {
         let router = self.clone();
         let stop = Arc::new(AtomicBool::new(false));
@@ -658,6 +796,9 @@ where
             while !flag.load(Ordering::Acquire) {
                 if router.pending_registrations() >= min_pending.max(1) {
                     router.reindex();
+                    pumped += 1;
+                } else if let Some(s) = router.shard_wanting_merge() {
+                    router.reindex_shard(s);
                     pumped += 1;
                 } else {
                     std::thread::park_timeout(poll);
@@ -683,9 +824,32 @@ fn shard_seed(base: u64, s: usize) -> u64 {
     }
 }
 
-/// Reads one shard map entry off the shard's current generation.
+/// Reads one shard map entry off the shard's current generation. Under
+/// [`IndexStrategy::Lsm`] the live population spans every level plus L0, so
+/// the extent, centroid and count come from the live metas rather than one
+/// tree root.
 fn shard_info<P: ProbeService>(index: usize, shard: &PortalService<P>) -> ShardInfo {
     let gen = shard.snapshot();
+    if let Some(lsm) = gen.lsm() {
+        let metas = lsm.live_sensor_metas();
+        if let Some((first, rest)) = metas.split_first() {
+            let mut bbox = Rect::new(first.location, first.location);
+            let mut cx = first.location.x;
+            let mut cy = first.location.y;
+            for m in rest {
+                bbox.expand_to_point(&m.location);
+                cx += m.location.x;
+                cy += m.location.y;
+            }
+            let n = metas.len() as f64;
+            return ShardInfo {
+                index,
+                bbox,
+                centroid: Point::new(cx / n, cy / n),
+                sensors: metas.len(),
+            };
+        }
+    }
     let tree = gen.tree();
     let sensors = tree.sensors();
     let mut cx = 0.0;

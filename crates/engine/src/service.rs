@@ -35,6 +35,7 @@
 //! execution has always used — so, for a given generation, the answer to
 //! ordinal `i` does not depend on which thread ran it.
 
+use std::collections::HashSet;
 use std::fmt::Write as _;
 use std::ptr;
 use std::sync::atomic::{AtomicBool, AtomicPtr, AtomicU32, AtomicU64, AtomicUsize, Ordering};
@@ -42,9 +43,9 @@ use std::sync::{Arc, OnceLock};
 
 use colr_telemetry::{global, tracer, Counter, Gauge, SloWatchdog, SpanKind};
 use colr_tree::{
-    flight, AggKind, ClockHandle, ColrConfig, ColrTree, Histogram, LiveAvailability, Mode,
-    ProbeService, Query, QueryOutput, QueryStats, Reading, ResilientProber, SensorId, SensorMeta,
-    TimeDelta, Timestamp,
+    flight, AggKind, ClockHandle, ColrConfig, ColrTree, Histogram, LiveAvailability, LsmLevel,
+    LsmStats, LsmTree, Mode, ProbeReport, ProbeService, Query, QueryOutput, QueryStats, Reading,
+    ResilientProber, SensorId, SensorMeta, TimeDelta, Timestamp,
 };
 use parking_lot::{Mutex, RwLock};
 use rand::rngs::StdRng;
@@ -54,7 +55,9 @@ use crate::ast::SelectQuery;
 use crate::error::PortalError;
 use crate::parser::{parse, parse_statement, ParseError, Statement};
 use crate::planner::Planner;
-use crate::portal::{BatchResult, DegradationReport, GroupView, PortalConfig, PortalResult};
+use crate::portal::{
+    BatchResult, DegradationReport, GroupView, IndexStrategy, PortalConfig, PortalResult,
+};
 use crate::request::{ExplainLevel, QueryRequest, QueryResponse};
 
 // ---------------------------------------------------------------------------
@@ -252,19 +255,47 @@ impl Drop for RegistrationQueue {
 // Generations
 // ---------------------------------------------------------------------------
 
-/// One published index generation: an immutable-by-convention tree (its
+/// One published index generation: an immutable-by-convention index (its
 /// caches stay live — the tree is internally synchronised) plus the planner
 /// derived from its topology, tagged with a monotone ordinal.
+///
+/// Under [`IndexStrategy::Monolithic`] the generation owns its tree; under
+/// [`IndexStrategy::Lsm`] it pins the shared [`LsmTree`] plus the primary
+/// level current at publication, so [`Generation::tree`] stays a stable
+/// reference for planners and inspectors while churn proceeds underneath.
 pub struct Generation {
-    tree: ColrTree,
+    index: GenIndex,
     planner: Planner,
     ordinal: u64,
 }
 
+enum GenIndex {
+    Mono(Box<ColrTree>),
+    Lsm {
+        lsm: Arc<LsmTree>,
+        /// The planning anchor: the level with the most live sensors at the
+        /// instant this generation was published.
+        primary: Arc<LsmLevel>,
+    },
+}
+
 impl Generation {
-    /// The generation's index.
+    /// The generation's index: the monolithic tree, or — under
+    /// [`IndexStrategy::Lsm`] — the primary level's tree (the planning and
+    /// inspection anchor; queries still fan out across every level).
     pub fn tree(&self) -> &ColrTree {
-        &self.tree
+        match &self.index {
+            GenIndex::Mono(tree) => tree,
+            GenIndex::Lsm { primary, .. } => primary.tree(),
+        }
+    }
+
+    /// The LSM backing this generation, when one is configured.
+    pub fn lsm(&self) -> Option<&Arc<LsmTree>> {
+        match &self.index {
+            GenIndex::Mono(_) => None,
+            GenIndex::Lsm { lsm, .. } => Some(lsm),
+        }
     }
 
     /// The generation's planner.
@@ -282,11 +313,77 @@ impl Generation {
 // The service
 // ---------------------------------------------------------------------------
 
+/// The monolithic retire mask: probes to retired sensors are answered with
+/// `None` without contacting the service, exactly like a dead publisher, so
+/// Algorithm 1's availability compensation redistributes their share while
+/// the sensors wait (the bulk-built tree's dense-id invariant forbids
+/// removing them) for the next rebuild. Retired sensors are skipped before
+/// the inner probe call — they consume no probe budget and no accounting.
+struct MaskedProbe<'a, P: ?Sized> {
+    inner: &'a P,
+    retired: &'a HashSet<u32>,
+}
+
+impl<P: ProbeService + ?Sized> ProbeService for MaskedProbe<'_, P> {
+    fn probe_batch(&self, ids: &[SensorId], now: Timestamp) -> Vec<Option<Reading>> {
+        self.probe_batch_report(ids, now, u64::MAX).outcomes
+    }
+
+    fn probe_batch_report(
+        &self,
+        ids: &[SensorId],
+        now: Timestamp,
+        retry_budget_ms: u64,
+    ) -> ProbeReport {
+        let mut forward = Vec::with_capacity(ids.len());
+        let mut slots = Vec::with_capacity(ids.len());
+        for (i, &id) in ids.iter().enumerate() {
+            if !self.retired.contains(&id.0) {
+                forward.push(id);
+                slots.push(i);
+            }
+        }
+        if forward.is_empty() {
+            return ProbeReport::plain(vec![None; ids.len()]);
+        }
+        let inner = self
+            .inner
+            .probe_batch_report(&forward, now, retry_budget_ms);
+        let mut outcomes = vec![None; ids.len()];
+        for (slot, outcome) in slots.into_iter().zip(inner.outcomes) {
+            outcomes[slot] = outcome;
+        }
+        ProbeReport {
+            outcomes,
+            retries_issued: inner.retries_issued,
+            retry_waves: inner.retry_waves,
+            backoff_wait_ms: inner.backoff_wait_ms,
+            breaker_skipped: inner.breaker_skipped,
+            deadline_clipped: inner.deadline_clipped,
+        }
+    }
+}
+
 struct ServiceCore<P> {
     probe: P,
     clock: ClockHandle,
     current: RwLock<Arc<Generation>>,
     pending: RegistrationQueue,
+    /// The incremental index, when [`IndexStrategy::Lsm`] is configured.
+    /// Long-lived and shared across generations: a reindex publishes a new
+    /// `Generation` pinning a fresh primary level, never a new `LsmTree`.
+    lsm: Option<Arc<LsmTree>>,
+    /// Readable mirror of the pending queue (monolithic strategy only): the
+    /// degradation report counts parked-but-unindexed sensors inside a
+    /// queried viewport from it. The Treiber stack itself only supports
+    /// destructive drains.
+    parked: RwLock<Vec<SensorMeta>>,
+    /// Monolithic retire mask: retired sensor ids stay in the bulk-built
+    /// tree (dense ids forbid removal) but are masked out of probing and
+    /// purged from the caches. LSM retires tombstone instead.
+    retired: RwLock<HashSet<u32>>,
+    /// Lock-free fast-path gate for `retired` (almost always false).
+    any_retired: AtomicBool,
     /// Next dense sensor id to hand out (population + queued registrations).
     next_sensor_id: AtomicU32,
     /// Global query ordinal: seeds the per-query RNG.
@@ -345,13 +442,42 @@ impl<P: ProbeService> PortalService<P> {
         clock: ClockHandle,
     ) -> PortalService<P> {
         let population = sensors.len() as u32;
-        let tree = ColrTree::build(sensors, config.tree.clone(), config.seed);
-        let planner = Planner::new(&tree, config.default_staleness);
-        let generation = Arc::new(Generation {
-            tree,
-            planner,
-            ordinal: 0,
-        });
+        let (generation, lsm) = match config.index {
+            IndexStrategy::Monolithic => {
+                let tree = ColrTree::build(sensors, config.tree.clone(), config.seed);
+                let planner = Planner::new(&tree, config.default_staleness);
+                (
+                    Generation {
+                        index: GenIndex::Mono(Box::new(tree)),
+                        planner,
+                        ordinal: 0,
+                    },
+                    None,
+                )
+            }
+            IndexStrategy::Lsm(lsm_cfg) => {
+                let lsm = Arc::new(LsmTree::new(
+                    sensors,
+                    config.tree.clone(),
+                    lsm_cfg,
+                    config.seed,
+                ));
+                let primary = lsm.primary_level();
+                let planner = Planner::new(primary.tree(), config.default_staleness);
+                (
+                    Generation {
+                        index: GenIndex::Lsm {
+                            lsm: lsm.clone(),
+                            primary,
+                        },
+                        planner,
+                        ordinal: 0,
+                    },
+                    Some(lsm),
+                )
+            }
+        };
+        let generation = Arc::new(generation);
         service_telem().generation.set(0);
         PortalService {
             core: Arc::new(ServiceCore {
@@ -359,6 +485,10 @@ impl<P: ProbeService> PortalService<P> {
                 clock,
                 current: RwLock::new(generation),
                 pending: RegistrationQueue::new(),
+                lsm,
+                parked: RwLock::new(Vec::new()),
+                retired: RwLock::new(HashSet::new()),
+                any_retired: AtomicBool::new(false),
                 next_sensor_id: AtomicU32::new(population),
                 ordinal: AtomicU64::new(0),
                 generation_counter: AtomicU64::new(0),
@@ -440,11 +570,15 @@ impl<P: ProbeService> PortalService<P> {
 
     // -- registration & reindexing ----------------------------------------
 
-    /// Registers a new publisher (Section III-A), lock-free. The sensor
-    /// becomes queryable after the next [`PortalService::reindex`] —
-    /// COLR-Tree is bulk-built, so registrations accumulate and the
-    /// reindexer folds them in, exactly as the paper prescribes for
-    /// location changes.
+    /// Registers a new publisher (Section III-A), lock-free.
+    ///
+    /// Under [`IndexStrategy::Monolithic`] the sensor becomes queryable
+    /// after the next [`PortalService::reindex`] — COLR-Tree is bulk-built,
+    /// so registrations accumulate and the reindexer folds them in, exactly
+    /// as the paper prescribes for location changes. Under
+    /// [`IndexStrategy::Lsm`] the sensor lands in the mutable L0 level and
+    /// is visible to the very next query; merges compact it downward later,
+    /// off the hot path.
     pub fn register_sensor(
         &self,
         location: colr_geo::Point,
@@ -454,14 +588,73 @@ impl<P: ProbeService> PortalService<P> {
     ) -> SensorId {
         let id = self.core.next_sensor_id.fetch_add(1, Ordering::Relaxed);
         let meta = SensorMeta::new(id, location, expiry, availability).with_kind(kind);
-        self.core.pending.push(meta);
+        if let Some(lsm) = &self.core.lsm {
+            lsm.register(meta);
+        } else {
+            self.core.pending.push(meta);
+            self.core.parked.write().push(meta);
+        }
         service_telem().registrations.inc();
         meta.id
     }
 
-    /// Number of registrations awaiting the next reindex.
+    /// Retires a publisher. Returns `true` when the sensor was known and not
+    /// already retired.
+    ///
+    /// Under [`IndexStrategy::Lsm`] this is an O(1) tombstone: the sensor is
+    /// masked out of sampling, weights and cached aggregates immediately and
+    /// physically dropped when a merge next rewrites its level. Under
+    /// [`IndexStrategy::Monolithic`] the sensor stays in the bulk-built tree
+    /// (its dense-id invariant forbids removal) but its cached readings are
+    /// purged and every future probe of it is masked to `None`, so it can
+    /// never again contribute a reading.
+    pub fn retire_sensor(&self, id: SensorId) -> bool {
+        let core = &*self.core;
+        if let Some(lsm) = &core.lsm {
+            return lsm.retire(id);
+        }
+        if id.0 >= core.next_sensor_id.load(Ordering::Acquire) {
+            return false;
+        }
+        let fresh = core.retired.write().insert(id.0);
+        if fresh {
+            core.any_retired.store(true, Ordering::Release);
+            // Purge cached readings so cache-first passes cannot serve the
+            // retired sensor from a slot aggregate. A parked sensor was
+            // never indexed, so there is nothing to purge yet.
+            let gen = self.snapshot();
+            if id.index() < gen.tree().sensors().len() {
+                gen.tree().remove_cached(id);
+            }
+            core.parked.write().retain(|m| m.id != id);
+        }
+        fresh
+    }
+
+    /// Number of registrations awaiting the next reindex (always 0 under
+    /// [`IndexStrategy::Lsm`], where registrations index immediately).
     pub fn pending_registrations(&self) -> usize {
         self.core.pending.len()
+    }
+
+    /// `true` when the index wants a maintenance pass: enough parked
+    /// registrations (monolithic), or an L0 at its occupancy bound (LSM).
+    pub fn wants_reindex(&self, min_pending: usize) -> bool {
+        match &self.core.lsm {
+            Some(lsm) => lsm.wants_merge(),
+            None => self.pending_registrations() >= min_pending.max(1),
+        }
+    }
+
+    /// The incremental index behind this service, when
+    /// [`IndexStrategy::Lsm`] is configured.
+    pub fn lsm(&self) -> Option<&Arc<LsmTree>> {
+        self.core.lsm.as_ref()
+    }
+
+    /// LSM shape statistics (`None` under [`IndexStrategy::Monolithic`]).
+    pub fn index_stats(&self) -> Option<LsmStats> {
+        self.core.lsm.as_ref().map(|lsm| lsm.stats())
     }
 
     /// Builds and publishes the next index generation *online*: drains the
@@ -485,8 +678,11 @@ impl<P: ProbeService> PortalService<P> {
     fn reindex_inner(&self, carry_over: bool) -> usize {
         let core = &*self.core;
         let _build = core.reindex_lock.lock();
+        if let Some(lsm) = &core.lsm {
+            return self.merge_lsm(lsm);
+        }
         let old = self.snapshot();
-        let mut sensors = old.tree.sensors().to_vec();
+        let mut sensors = old.tree().sensors().to_vec();
         // Ids are allocated by fetch_add *before* the queue push, so a
         // concurrent registration can be mid-publication. Fold in the
         // contiguous id prefix; anything after a gap waits for the next
@@ -509,13 +705,26 @@ impl<P: ProbeService> PortalService<P> {
         let now = core.clock.now();
         tree.advance(now);
         if carry_over {
-            let carried = tree.restore_entries(&old.tree.cached_entries(), now);
+            let carried = tree.restore_entries(&old.tree().cached_entries(), now);
             service_telem().carryover.add(carried as u64);
         }
+        if core.any_retired.load(Ordering::Acquire) {
+            // Retired sensors were rebuilt into the tree (dense ids) and
+            // may have ridden along in the carry-over; re-purge them.
+            for &id in core.retired.read().iter() {
+                if (id as usize) < n {
+                    tree.remove_cached(SensorId(id));
+                }
+            }
+        }
+        // Everything below the new population is indexed now; the mirror
+        // keeps only genuinely parked leftovers (including sensors that
+        // registered concurrently with this rebuild).
+        core.parked.write().retain(|m| m.id.index() >= n);
         let planner = Planner::new(&tree, core.default_staleness);
         let next_ordinal = old.ordinal + 1;
         let next = Arc::new(Generation {
-            tree,
+            index: GenIndex::Mono(Box::new(tree)),
             planner,
             ordinal: next_ordinal,
         });
@@ -526,6 +735,36 @@ impl<P: ProbeService> PortalService<P> {
         t.reindexes.inc();
         t.generation.set(next_ordinal as i64);
         n
+    }
+
+    /// The LSM analogue of a reindex, behind the same `reindex_lock`:
+    /// compacts L0 (and the trailing small-level run) into a fresh level via
+    /// [`LsmTree::merge`] — carry-over of still-fresh cached readings is
+    /// intrinsic to the merge — and republishes the generation so planners
+    /// re-anchor on the new primary level. Returns the live population.
+    fn merge_lsm(&self, lsm: &Arc<LsmTree>) -> usize {
+        let core = &*self.core;
+        let now = core.clock.now();
+        let report = lsm.merge(now);
+        service_telem().carryover.add(report.carried_entries as u64);
+        let old = self.snapshot();
+        let primary = lsm.primary_level();
+        let planner = Planner::new(primary.tree(), core.default_staleness);
+        let next_ordinal = old.ordinal + 1;
+        *core.current.write() = Arc::new(Generation {
+            index: GenIndex::Lsm {
+                lsm: lsm.clone(),
+                primary,
+            },
+            planner,
+            ordinal: next_ordinal,
+        });
+        core.generation_counter
+            .store(next_ordinal, Ordering::Release);
+        let t = service_telem();
+        t.reindexes.inc();
+        t.generation.set(next_ordinal as i64);
+        lsm.stats().live_sensors
     }
 
     // -- admission ---------------------------------------------------------
@@ -632,13 +871,15 @@ impl<P: ProbeService> PortalService<P> {
             let _ = writeln!(
                 out,
                 "degradation: requested={} sampled={} fulfillment={:.3} \
-                 breaker_skipped={} deadline_clipped={} probes_retried={}",
+                 breaker_skipped={} deadline_clipped={} probes_retried={} \
+                 pending_unindexed={}",
                 d.requested,
                 d.sampled,
                 d.fulfillment(),
                 d.breaker_skipped,
                 d.deadline_clipped,
-                d.probes_retried
+                d.probes_retried,
+                d.pending_unindexed
             );
             match rec.parity() {
                 Ok(()) => out.push_str("parity: stage totals == QueryStats (bit-exact)"),
@@ -836,8 +1077,19 @@ impl<P: ProbeService> PortalService<P> {
         });
         portal_telem().queries.inc();
         let requested = requested_target(&plan, mode);
-        let out = gen.tree.execute(&plan, mode, &core.probe, now, rng);
-        let result = self.finish(gen, q.agg.kind(), requested, out);
+        let out = if let Some(lsm) = gen.lsm() {
+            lsm.execute(&plan, mode, &core.probe, now, rng)
+        } else if core.any_retired.load(Ordering::Acquire) {
+            let retired = core.retired.read();
+            let masked = MaskedProbe {
+                inner: &core.probe,
+                retired: &retired,
+            };
+            gen.tree().execute(&plan, mode, &masked, now, rng)
+        } else {
+            gen.tree().execute(&plan, mode, &core.probe, now, rng)
+        };
+        let result = self.finish(gen, q.agg.kind(), requested, &plan, out);
         let watchdog = core.watchdog.read().clone();
         let mut flight_json = None;
         if flight::is_active() {
@@ -883,7 +1135,16 @@ impl<P: ProbeService> PortalService<P> {
     {
         let core = &*self.core;
         let now = core.clock.now();
-        gen.tree.advance(now);
+        // Freeze the index for the whole batch: the LSM snapshot pins every
+        // level plus the L0 population at batch start, so a merge published
+        // mid-batch changes no in-flight answer.
+        let lsm_batch = gen.lsm().map(|lsm| {
+            lsm.advance(now);
+            (lsm, lsm.freeze())
+        });
+        if lsm_batch.is_none() {
+            gen.tree().advance(now);
+        }
         let plans: Vec<(Query, AggKind)> = queries
             .iter()
             .map(|q| (self.plan_capped(gen, q), q.agg.kind()))
@@ -902,13 +1163,28 @@ impl<P: ProbeService> PortalService<P> {
             threads
         }
         .min(plans.len().max(1));
-        let tree = &gen.tree;
+        let tree = gen.tree();
         let probe = &core.probe;
         let mode = core.mode;
         let seed = core.seed;
+        let masked: Option<HashSet<u32>> = (lsm_batch.is_none()
+            && core.any_retired.load(Ordering::Acquire))
+        .then(|| core.retired.read().clone());
         let run_query = |i: usize| {
             let mut rng = StdRng::seed_from_u64(derive_seed(seed, i as u64));
-            tree.execute_frozen(&plans[i].0, mode, probe, now, &mut rng)
+            match (&lsm_batch, &masked) {
+                (Some((lsm, snap)), _) => {
+                    lsm.execute_frozen(snap, &plans[i].0, mode, probe, now, &mut rng)
+                }
+                (None, Some(retired)) => {
+                    let masked = MaskedProbe {
+                        inner: probe,
+                        retired,
+                    };
+                    tree.execute_frozen(&plans[i].0, mode, &masked, now, &mut rng)
+                }
+                (None, None) => tree.execute_frozen(&plans[i].0, mode, probe, now, &mut rng),
+            }
         };
 
         let outcomes: Vec<Option<FrozenOutcome>> = if threads <= 1 {
@@ -942,10 +1218,13 @@ impl<P: ProbeService> PortalService<P> {
         let mut degradation = DegradationReport::default();
         for ((plan, kind), outcome) in plans.iter().zip(outcomes) {
             let (out, deferred) = outcome.expect("worker completed");
-            readings_applied += gen.tree.apply_readings(&deferred, now);
+            readings_applied += match gen.lsm() {
+                Some(lsm) => lsm.apply_deferred(&deferred, now),
+                None => gen.tree().apply_readings(&deferred, now),
+            };
             stats.merge(&out.stats);
             let requested = requested_target(plan, core.mode);
-            let result = self.finish(gen, *kind, requested, out);
+            let result = self.finish(gen, *kind, requested, plan, out);
             degradation.merge(&result.degradation);
             results.push(result);
         }
@@ -966,6 +1245,34 @@ impl<P: ProbeService> PortalService<P> {
         }
     }
 
+    /// How many registered-but-unindexed sensors fall inside the plan's
+    /// viewport — the query's structural blind spot until the next reindex.
+    /// Always 0 under [`IndexStrategy::Lsm`] (L0 indexes immediately) and on
+    /// the hot path when nothing is parked.
+    fn pending_unindexed_in(&self, gen: &Generation, plan: &Query) -> u64 {
+        if gen.lsm().is_some() {
+            return 0;
+        }
+        let core = &*self.core;
+        let parked = core.parked.read();
+        if parked.is_empty() {
+            return 0;
+        }
+        // A retired-while-parked sensor is no blind spot: it will never
+        // answer. Indexed sensors are pruned from the mirror at reindex, but
+        // a parked entry can already be folded into the tree by a rebuild
+        // racing this query's snapshot — count against the snapshot's
+        // population so such sensors are not double-reported.
+        let indexed = gen.tree().sensors().len();
+        let retired = core.retired.read();
+        parked
+            .iter()
+            .filter(|m| {
+                m.id.index() >= indexed && !retired.contains(&m.id.0) && plan.matches_sensor(m)
+            })
+            .count() as u64
+    }
+
     /// Plans a query, applying the portal-wide collection cap when the query
     /// didn't choose a sample size.
     fn plan_capped(&self, gen: &Generation, q: &SelectQuery) -> Query {
@@ -984,6 +1291,7 @@ impl<P: ProbeService> PortalService<P> {
         gen: &Generation,
         kind: AggKind,
         requested: f64,
+        plan: &Query,
         out: QueryOutput,
     ) -> PortalResult {
         let groups: Vec<GroupView> = out
@@ -999,7 +1307,7 @@ impl<P: ProbeService> PortalService<P> {
         // Distribution: when the index maintains slot histograms, merge the
         // cache-served group histograms with the raw readings under the
         // configured binning; otherwise bin the raw readings adaptively.
-        let histogram = if let Some(spec) = gen.tree.config().slot_histograms {
+        let histogram = if let Some(spec) = gen.tree().config().slot_histograms {
             let mut h = spec.empty();
             let mut any = false;
             for g in &out.groups {
@@ -1036,6 +1344,7 @@ impl<P: ProbeService> PortalService<P> {
             breaker_skipped: out.stats.breaker_skipped,
             deadline_clipped: out.stats.deadline_clipped,
             probes_retried: out.stats.probes_retried,
+            pending_unindexed: self.pending_unindexed_in(gen, plan),
             worst: None,
         };
         PortalResult {
@@ -1061,7 +1370,7 @@ impl<Q: ProbeService> PortalService<ResilientProber<Q>> {
     /// feedback, as with the old rebuild path.
     pub fn enable_resilience_feedback(&self, alpha: f64) -> Arc<LiveAvailability> {
         let gen = self.snapshot();
-        let live = gen.tree.enable_live_availability(alpha);
+        let live = gen.tree().enable_live_availability(alpha);
         self.core.probe.attach_availability(live.clone());
         live
     }
@@ -1085,7 +1394,8 @@ where
     P: ProbeService + Send + Sync + 'static,
 {
     /// Spawns a background thread that reindexes whenever `min_pending`
-    /// registrations are waiting, checking every `poll`.
+    /// registrations are waiting — or, under [`IndexStrategy::Lsm`], merges
+    /// whenever L0 reaches its occupancy bound — checking every `poll`.
     pub fn spawn_reindexer(&self, min_pending: usize, poll: std::time::Duration) -> Reindexer {
         let service = self.clone();
         let stop = Arc::new(AtomicBool::new(false));
@@ -1093,7 +1403,7 @@ where
         let handle = std::thread::spawn(move || {
             let mut pumped = 0u64;
             while !flag.load(Ordering::Acquire) {
-                if service.pending_registrations() >= min_pending.max(1) {
+                if service.wants_reindex(min_pending) {
                     service.reindex();
                     pumped += 1;
                 } else {

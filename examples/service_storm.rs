@@ -17,16 +17,28 @@
 //! then closes one shard and asserts the outage degrades the merged answer
 //! instead of failing it. Prints `service_storm sharded OK` on success.
 //!
+//! With `--churn` the storm runs the sensor-churn soak against an
+//! incremental LSM index ([`IndexStrategy::Lsm`]): a writer thread
+//! sustains thousands of register/retire ops per second while clients
+//! query and a merge thread compacts L0 — asserting the churn rate clears
+//! 2,000 ops/sec, no query stalls or torn answers, and L0 occupancy stays
+//! bounded by the merge cadence. Prints `service_storm churn OK`.
+//!
 //! ```sh
 //! cargo run --example service_storm
 //! cargo run --example service_storm -- --shards 4
+//! cargo run --example service_storm -- --churn
 //! ```
 
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use colr_repro::colr::probe::AlwaysAvailable;
-use colr_repro::colr::{Mode, ProbeService, Reading, SensorId, SensorMeta, TimeDelta, Timestamp};
-use colr_repro::engine::{PortalConfig, PortalService, QueryRequest, ShardedPortal};
+use colr_repro::colr::{
+    LsmConfig, Mode, ProbeService, Reading, SensorId, SensorMeta, TimeDelta, Timestamp,
+};
+use colr_repro::engine::{IndexStrategy, PortalConfig, PortalService, QueryRequest, ShardedPortal};
 use colr_repro::geo::Point;
 use colr_repro::telemetry::{SloConfig, SloWatchdog};
 
@@ -41,6 +53,7 @@ const NEW_PER_SWAP: usize = 8;
 fn main() {
     let mut args = std::env::args().skip(1);
     let mut shards: Option<usize> = None;
+    let mut churn = false;
     while let Some(a) = args.next() {
         match a.as_str() {
             "--shards" => {
@@ -50,8 +63,13 @@ fn main() {
                         .expect("--shards N"),
                 )
             }
+            "--churn" => churn = true,
             other => panic!("unknown flag {other}"),
         }
+    }
+    if churn {
+        churn_phase();
+        return;
     }
     if let Some(k) = shards {
         sharded_phase(k);
@@ -289,6 +307,206 @@ fn sharded_phase(shards: usize) {
          queries={} population={population}",
         SHARD_CLIENTS * SHARD_QUERIES,
     );
+}
+
+/// The churn soak (`--churn`): sensor churn as a first-class workload
+/// against the incremental LSM index.
+///
+/// A writer thread sustains register/retire churn (throttled to a steady
+/// tens-of-thousands ops/sec so the merge thread's cadence, not raw lock
+/// throughput, is what the soak exercises), client threads query the whole
+/// viewport concurrently, and a merge thread compacts L0 whenever it
+/// reaches its occupancy bound. Churned sensors live outside the viewport,
+/// so every query must answer the exact base population — any torn or
+/// stale answer is visible. Asserts:
+///
+/// * sustained churn ≥ 2,000 register/retire ops/sec under query load;
+/// * no query-path stall: every query answered, worst wall latency under
+///   [`CHURN_STALL_MS`] even while merges republish underneath;
+/// * bounded L0: occupancy never drifts past cap + one merge's backlog.
+fn churn_phase() {
+    const CHURN_CLIENTS: usize = 4;
+    const L0_CAP: usize = 256;
+    /// Live churn cohort: the writer retires the oldest churned sensor
+    /// once this many are in flight, so register/retire stay balanced.
+    const COHORT: usize = 512;
+    const WINDOW_MS: u64 = 600;
+    const MIN_OPS_PER_SEC: f64 = 2_000.0;
+    /// Worst acceptable single-query wall latency. Generous — the point is
+    /// catching a query path that blocks behind a merge, not benchmarking.
+    const CHURN_STALL_MS: u64 = 250;
+
+    let sensors: Vec<SensorMeta> = (0..BASE)
+        .map(|i| {
+            SensorMeta::new(
+                i as u32,
+                Point::new((i % SIDE) as f64, (i / SIDE) as f64),
+                TimeDelta::from_millis(EXPIRY_MS),
+                1.0,
+            )
+        })
+        .collect();
+    let svc = PortalService::new(
+        sensors,
+        AlwaysAvailable {
+            expiry_ms: EXPIRY_MS,
+        },
+        PortalConfig {
+            mode: Mode::Colr,
+            // Uncapped: the count query contacts every viewport sensor, so
+            // the answer is exact and any torn read is visible.
+            max_sensors_per_query: None,
+            index: IndexStrategy::Lsm(LsmConfig {
+                l0_capacity: L0_CAP,
+                level_ratio: 4,
+            }),
+            ..Default::default()
+        },
+    );
+    svc.clock().advance(TimeDelta::from_secs(1));
+    let sql = format!(
+        "SELECT count(*) FROM sensor WHERE location WITHIN RECT(-0.5,-0.5,{},{})",
+        SIDE as f64 - 0.5,
+        SIDE as f64 - 0.5
+    );
+
+    let stop = AtomicBool::new(false);
+    let churn_ops = AtomicU64::new(0);
+    let queries_answered = AtomicU64::new(0);
+    let worst_latency_ns = AtomicU64::new(0);
+    let max_l0 = AtomicUsize::new(0);
+    let merges = AtomicU64::new(0);
+    let wall = std::time::Instant::now();
+    std::thread::scope(|scope| {
+        for _ in 0..CHURN_CLIENTS {
+            let handle = svc.clone();
+            let sql = sql.as_str();
+            let stop = &stop;
+            let queries_answered = &queries_answered;
+            let worst_latency_ns = &worst_latency_ns;
+            scope.spawn(move || {
+                while !stop.load(Ordering::Relaxed) {
+                    let t0 = std::time::Instant::now();
+                    let res = handle.query_sql(sql).expect("no query-path downtime");
+                    let dt = t0.elapsed().as_nanos() as u64;
+                    worst_latency_ns.fetch_max(dt, Ordering::Relaxed);
+                    // Churned sensors live outside the viewport: the count
+                    // must name the base population, every time.
+                    assert_eq!(res.value, Some(BASE as f64), "torn answer under churn");
+                    queries_answered.fetch_add(1, Ordering::Relaxed);
+                }
+            });
+        }
+        // The churn writer: register into L0, retire the oldest once the
+        // cohort is full. Throttled in small batches so the merge thread
+        // (not the writer's lock throughput) sets the pace.
+        {
+            let handle = svc.clone();
+            let stop = &stop;
+            let churn_ops = &churn_ops;
+            scope.spawn(move || {
+                let mut cohort: VecDeque<SensorId> = VecDeque::with_capacity(COHORT + 1);
+                let mut k = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    // 64 ops per (coarse) sleep tick: ~5-10k ops/sec on a
+                    // shared host — comfortably past the 2k floor while the
+                    // merge pump still sets the pace.
+                    for _ in 0..64 {
+                        let id = handle.register_sensor(
+                            Point::new(
+                                -40.0 - (k % 64) as f64 * 0.2,
+                                -40.0 - ((k / 64) % 64) as f64 * 0.2,
+                            ),
+                            TimeDelta::from_millis(EXPIRY_MS),
+                            1.0,
+                            0,
+                        );
+                        k += 1;
+                        cohort.push_back(id);
+                        let mut ops = 1;
+                        if cohort.len() > COHORT {
+                            let old = cohort.pop_front().expect("cohort non-empty");
+                            assert!(handle.retire_sensor(old), "cohort sensor was live");
+                            ops += 1;
+                        }
+                        churn_ops.fetch_add(ops, Ordering::Relaxed);
+                    }
+                    std::thread::sleep(std::time::Duration::from_micros(500));
+                }
+            });
+        }
+        // The merge pump: compact L0 whenever it hits its bound, watching
+        // the high-water mark.
+        {
+            let handle = svc.clone();
+            let stop = &stop;
+            let max_l0 = &max_l0;
+            let merges = &merges;
+            scope.spawn(move || {
+                while !stop.load(Ordering::Relaxed) {
+                    let stats = handle.index_stats().expect("churn soak runs on LSM");
+                    max_l0.fetch_max(stats.l0_occupancy, Ordering::Relaxed);
+                    if handle.wants_reindex(usize::MAX) {
+                        handle.reindex();
+                        merges.fetch_add(1, Ordering::Relaxed);
+                    } else {
+                        std::thread::sleep(std::time::Duration::from_micros(200));
+                    }
+                }
+            });
+        }
+        std::thread::sleep(std::time::Duration::from_millis(WINDOW_MS));
+        stop.store(true, Ordering::Relaxed);
+    });
+    let elapsed = wall.elapsed().as_secs_f64();
+
+    let ops = churn_ops.load(Ordering::Relaxed);
+    let ops_per_sec = ops as f64 / elapsed;
+    let answered = queries_answered.load(Ordering::Relaxed);
+    let worst_ms = worst_latency_ns.load(Ordering::Relaxed) as f64 / 1e6;
+    let high_water = max_l0.load(Ordering::Relaxed);
+    let merge_count = merges.load(Ordering::Relaxed);
+    assert!(
+        ops_per_sec >= MIN_OPS_PER_SEC,
+        "churn too slow: {ops_per_sec:.0} ops/sec < {MIN_OPS_PER_SEC} under query load"
+    );
+    assert!(answered > 0, "no queries answered during the soak");
+    assert!(
+        worst_ms < CHURN_STALL_MS as f64,
+        "query-path stall: worst latency {worst_ms:.1}ms during churn"
+    );
+    // Bounded L0: the cap plus one merge's worth of writer backlog. The
+    // writer adds at most ~16k registrations/sec, so a merge pause would
+    // have to exceed ~100ms to breach this — that *is* the stall we soak
+    // for.
+    let l0_bound = L0_CAP + 2 * COHORT;
+    assert!(
+        high_water <= l0_bound,
+        "L0 unbounded under churn: high water {high_water} > {l0_bound}"
+    );
+    assert!(merge_count > 0, "the merge pump never ran");
+
+    // Drain: merge until quiescent, then the answer must still be exact and
+    // the retired cohort must be physically gone from the directory.
+    while svc.wants_reindex(usize::MAX) {
+        svc.reindex();
+    }
+    svc.reindex();
+    let final_count = svc.query_sql(&sql).unwrap().value.unwrap();
+    assert_eq!(final_count, BASE as f64, "population drifted under churn");
+    let stats = svc.index_stats().expect("lsm stats");
+    assert!(
+        stats.live_sensors <= BASE + COHORT + 1,
+        "retired churn sensors still counted live: {}",
+        stats.live_sensors
+    );
+    println!(
+        "service_storm churn ops={ops} ops_per_sec={ops_per_sec:.0} queries={answered} \
+         worst_query_ms={worst_ms:.2} merges={merge_count} max_l0={high_water} \
+         levels={} live={}",
+        stats.levels, stats.live_sensors,
+    );
+    println!("service_storm churn OK");
 }
 
 /// Sensors in the eastern half of the grid go dark; every query keeps
